@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! component count K (paper fixes 4), Gamma-prior smoothing on/off, and
+//! the three initialization methods' E-step cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmreg_core::gm::{e_step, m_step, EmAccumulators, GmConfig, GmRegularizer, InitMethod};
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_tensor::SampleExt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn weights(m: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(21);
+    (0..m)
+        .map(|i| {
+            let std = if i % 4 == 0 { 0.8 } else { 0.05 };
+            rng.normal(0.0, std) as f32
+        })
+        .collect()
+}
+
+/// K ablation: full GM step cost scales linearly in the component count.
+fn bench_k_ablation(c: &mut Criterion) {
+    let m = 50_000;
+    let w = weights(m);
+    let mut grad = vec![0.0f32; m];
+    let mut group = c.benchmark_group("gm_step_by_k");
+    for k in [1usize, 2, 4, 8] {
+        let mut reg = GmRegularizer::new(
+            m,
+            0.1,
+            GmConfig {
+                k,
+                ..GmConfig::default()
+            },
+        )
+        .expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut it = 0u64;
+            b.iter(|| {
+                grad.fill(0.0);
+                reg.accumulate_grad(black_box(&w), &mut grad, StepCtx::new(it, 0));
+                it += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Gamma-smoothing ablation: the M-step with and without the prior's
+/// pseudo-counts (a = 1, b -> 0 disables them). Cost is identical; the
+/// bench documents that the smoothing is free — its value is numerical,
+/// not performance (see gmreg-core's `gamma_prior_caps_lambda_blowup`).
+fn bench_m_step_smoothing(c: &mut Criterion) {
+    let m = 100_000;
+    let w = weights(m);
+    let gm = InitMethod::Linear.mixture(4, 10.0).expect("valid mixture");
+    let acc: EmAccumulators = e_step(&gm, &w, None);
+    let alpha = vec![(m as f64).sqrt(); 4];
+    c.bench_function("m_step_with_gamma_prior", |b| {
+        b.iter(|| black_box(m_step(black_box(&acc), 1.0 + 5.0, 500.0, &alpha)))
+    });
+    c.bench_function("m_step_without_gamma_prior", |b| {
+        b.iter(|| black_box(m_step(black_box(&acc), 1.0, 1e-12, &alpha)))
+    });
+}
+
+/// Init-method ablation: first-E-step cost under each initialization.
+fn bench_init_methods(c: &mut Criterion) {
+    let m = 89_440;
+    let w = weights(m);
+    let mut group = c.benchmark_group("e_step_by_init");
+    for init in InitMethod::ALL {
+        let gm = init.mixture(4, 10.0).expect("valid mixture");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(init.name()),
+            &init,
+            |b, _| b.iter(|| black_box(e_step(black_box(&gm), black_box(&w), None))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_k_ablation,
+    bench_m_step_smoothing,
+    bench_init_methods
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the GM regularizer's hot kernels: the E-step sweep
+//! (responsibilities + cached g_reg), the M-step, and the responsibility
+//! function itself — the costs Algorithm 2's lazy schedule amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmreg_core::gm::{e_step, m_step, GaussianMixture};
+use gmreg_tensor::SampleExt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn weights(m: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..m)
+        .map(|i| {
+            let std = if i % 2 == 0 { 0.05 } else { 0.8 };
+            rng.normal(0.0, std) as f32
+        })
+        .collect()
+}
+
+fn mixture(k: usize) -> GaussianMixture {
+    let pi = vec![1.0 / k as f64; k];
+    let lambda: Vec<f64> = (0..k).map(|i| 10.0 * 2f64.powi(i as i32)).collect();
+    GaussianMixture::new(pi, lambda).expect("valid mixture")
+}
+
+fn bench_e_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e_step");
+    // The paper's two models' weight dimensionalities, plus a small case.
+    for &m in &[10_000usize, 89_440, 270_896] {
+        let w = weights(m);
+        let gm = mixture(4);
+        let mut greg = vec![0.0f32; m];
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let acc = e_step(black_box(&gm), black_box(&w), Some(&mut greg));
+                black_box(acc);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_e_step_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e_step_by_k");
+    let m = 50_000;
+    let w = weights(m);
+    for &k in &[1usize, 2, 4, 8] {
+        let gm = mixture(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(e_step(black_box(&gm), black_box(&w), None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_m_step(c: &mut Criterion) {
+    let gm = mixture(4);
+    let w = weights(100_000);
+    let acc = e_step(&gm, &w, None);
+    let alpha = vec![(w.len() as f64).sqrt(); 4];
+    c.bench_function("m_step_k4", |b| {
+        b.iter(|| black_box(m_step(black_box(&acc), 1.5, 500.0, &alpha)))
+    });
+}
+
+fn bench_responsibility(c: &mut Criterion) {
+    let gm = mixture(4);
+    let mut out = Vec::new();
+    c.bench_function("responsibilities_single", |b| {
+        b.iter(|| {
+            gm.responsibilities(black_box(0.07), &mut out);
+            black_box(&out);
+        })
+    });
+    c.bench_function("reg_coefficient_single", |b| {
+        b.iter(|| black_box(gm.reg_coefficient(black_box(0.07))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_e_step,
+    bench_e_step_by_k,
+    bench_m_step,
+    bench_responsibility
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the nn substrate's layer forward/backward passes at
+//! the sizes the paper's models use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmreg_nn::{BatchNorm2d, Conv2d, Dense, Layer, Lrn, Pool2d, WeightInit};
+use gmreg_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // conv2 of Alex-CIFAR-10 at 16x16: the stack's dominant cost.
+    let mut conv = Conv2d::new("conv2", 32, 32, 5, 1, 2, WeightInit::He, &mut rng)
+        .expect("valid layer");
+    let x = Tensor::randn(&mut rng, [8, 32, 16, 16], 0.0, 1.0);
+    let y = conv.forward(&x, true).expect("forward");
+    c.bench_function("conv2d_fwd_8x32x16x16", |b| {
+        b.iter(|| black_box(conv.forward(&x, true).expect("forward")))
+    });
+    c.bench_function("conv2d_bwd_8x32x16x16", |b| {
+        b.iter(|| black_box(conv.backward(&y).expect("backward")))
+    });
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut dense =
+        Dense::new("fc", 1024, 10, WeightInit::He, &mut rng).expect("valid layer");
+    let x = Tensor::randn(&mut rng, [64, 1024], 0.0, 1.0);
+    let y = dense.forward(&x, true).expect("forward");
+    c.bench_function("dense_fwd_64x1024x10", |b| {
+        b.iter(|| black_box(dense.forward(&x, true).expect("forward")))
+    });
+    c.bench_function("dense_bwd_64x1024x10", |b| {
+        b.iter(|| black_box(dense.backward(&y).expect("backward")))
+    });
+}
+
+fn bench_norm_layers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn(&mut rng, [8, 32, 16, 16], 0.0, 1.0);
+    let mut bn = BatchNorm2d::new("bn", 32).expect("valid layer");
+    c.bench_function("batchnorm_fwd_8x32x16x16", |b| {
+        b.iter(|| black_box(bn.forward(&x, true).expect("forward")))
+    });
+    let mut lrn = Lrn::alexnet("lrn");
+    c.bench_function("lrn_fwd_8x32x16x16", |b| {
+        b.iter(|| black_box(lrn.forward(&x, true).expect("forward")))
+    });
+    let mut pool = Pool2d::max("mp", 3, 2).expect("valid layer");
+    c.bench_function("maxpool_fwd_8x32x16x16", |b| {
+        b.iter(|| black_box(pool.forward(&x, true).expect("forward")))
+    });
+}
+
+criterion_group!(benches, bench_conv, bench_dense, bench_norm_layers);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The paper's own ablation as a Criterion bench: per-iteration cost of
+//! Algorithm 2 at different update intervals on the two paper-sized
+//! workloads (Figs. 5-7 in bench form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmreg_bench::scale::TimingParams;
+use gmreg_bench::timing::{im_sweep, Workload};
+use std::hint::black_box;
+
+fn bench_im(c: &mut Criterion) {
+    let params = TimingParams {
+        curve_epochs: 2,
+        convergence_epochs: 2,
+        batches_per_epoch: 5,
+        batch: 8,
+    };
+    let mut group = c.benchmark_group("lazy_epochs");
+    group.sample_size(10);
+    for w in [
+        Workload {
+            name: "alex_89440".into(),
+            m: 89_440,
+        },
+        Workload {
+            name: "resnet_270896".into(),
+            m: 270_896,
+        },
+    ] {
+        for im in [1u64, 50] {
+            group.bench_with_input(
+                BenchmarkId::new(w.name.clone(), im),
+                &im,
+                |b, &im| {
+                    b.iter(|| black_box(im_sweep(&w, &[im], params, 1)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_im);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Per-step cost of every regularizer at the paper's weight
+//! dimensionalities: the fixed-norm baselines vs. the GM regularizer in
+//! eager and lazy modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmreg_core::gm::{GmConfig, GmRegularizer, LazySchedule};
+use gmreg_core::{ElasticNetReg, HuberReg, L1Reg, L2Reg, Regularizer, StepCtx};
+use gmreg_tensor::SampleExt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn weights(m: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..m).map(|_| rng.normal(0.0, 0.1) as f32).collect()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let m = 89_440;
+    let w = weights(m);
+    let mut grad = vec![0.0f32; m];
+    let mut group = c.benchmark_group("baseline_step_89440");
+    let mut regs: Vec<(&str, Box<dyn Regularizer>)> = vec![
+        ("l1", Box::new(L1Reg::new(0.01).expect("valid"))),
+        ("l2", Box::new(L2Reg::new(0.01).expect("valid"))),
+        ("elastic_net", Box::new(ElasticNetReg::new(0.01, 0.5).expect("valid"))),
+        ("huber", Box::new(HuberReg::new(0.01, 0.1).expect("valid"))),
+    ];
+    for (name, reg) in regs.iter_mut() {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), name, |b, _| {
+            let mut it = 0u64;
+            b.iter(|| {
+                grad.fill(0.0);
+                reg.accumulate_grad(black_box(&w), &mut grad, StepCtx::new(it, 0));
+                it += 1;
+                black_box(&grad);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gm_modes(c: &mut Criterion) {
+    let m = 89_440;
+    let w = weights(m);
+    let mut grad = vec![0.0f32; m];
+    let mut group = c.benchmark_group("gm_step_89440");
+    for (name, lazy) in [
+        ("eager", LazySchedule::eager()),
+        ("lazy_im50", LazySchedule::new(0, 50, 50).expect("valid")),
+    ] {
+        let mut reg = GmRegularizer::new(
+            m,
+            0.1,
+            GmConfig {
+                lazy,
+                ..GmConfig::default()
+            },
+        )
+        .expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let mut it = 1u64; // avoid it=0 always triggering the E-step
+            b.iter(|| {
+                grad.fill(0.0);
+                reg.accumulate_grad(black_box(&w), &mut grad, StepCtx::new(it, 1));
+                it += 1;
+                black_box(&grad);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_gm_modes);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the tensor substrate: blocked matmul vs. the naive
+//! reference, the implicit-transpose variants, and reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmreg_tensor::{matmul_naive, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&mut rng, [n, n], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, [n, n], 0.0, 1.0);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b).expect("shapes match")))
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+                bch.iter(|| black_box(matmul_naive(&a, &b).expect("shapes match")))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_transposed_variants(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Tensor::randn(&mut rng, [128, 256], 0.0, 1.0);
+    let b = Tensor::randn(&mut rng, [128, 64], 0.0, 1.0);
+    c.bench_function("matmul_tn_128x256x64", |bch| {
+        bch.iter(|| black_box(a.matmul_tn(&b).expect("shapes match")))
+    });
+    let bt = Tensor::randn(&mut rng, [64, 256], 0.0, 1.0);
+    c.bench_function("matmul_nt_128x256x64", |bch| {
+        bch.iter(|| black_box(a.matmul_nt(&bt).expect("shapes match")))
+    });
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let t = Tensor::randn(&mut rng, [1024, 512], 0.0, 1.0);
+    c.bench_function("sum_axis0_1024x512", |b| {
+        b.iter(|| black_box(t.sum_axis0().expect("rank 2")))
+    });
+    c.bench_function("argmax_rows_1024x512", |b| {
+        b.iter(|| black_box(t.argmax_rows().expect("rank 2")))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_transposed_variants, bench_reductions);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 7**: lazy-update timing for warm-up lengths
+//! `E ∈ {1, 2, 5, 10, 20, 50}` (epochs before laziness kicks in, with
+//! `Im = Ig = 50`) plus the baseline.
+//!
+//! Shape to check against the paper: during the first `E` epochs a curve
+//! climbs at the eager (expensive) slope, then bends to the lazy slope;
+//! total time decreases roughly proportionally as `E` shrinks, with
+//! `E = 1` around 70 % of `E = 50`'s time at the paper's epoch budget.
+
+use gmreg_bench::report::{write_json, Table};
+use gmreg_bench::scale::Scale;
+use gmreg_bench::timing::{e_sweep, paper_workloads};
+use serde::Serialize;
+
+const ES: [u64; 6] = [50, 20, 10, 5, 2, 1];
+
+#[derive(Serialize)]
+struct Fig7 {
+    workload: String,
+    curves: Vec<gmreg_bench::timing::TimeCurve>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut params = scale.timing_params();
+    // Fig. 7 sweeps E up to 50 epochs; make sure the curves extend past the
+    // largest warm-up so the bend is visible.
+    params.curve_epochs = params.curve_epochs.max(12);
+    println!("Fig. 7 reproduction — scale {scale:?}, {params:?}\n");
+
+    let mut out = Vec::new();
+    for w in paper_workloads() {
+        println!("timing workload {} (M = {})...", w.name, w.m);
+        let curves = e_sweep(&w, &ES, params, 7);
+        let mut t = Table::new(&[
+            "epoch", "E=50", "E=20", "E=10", "E=5", "E=2", "E=1", "baseline",
+        ]);
+        for e in 0..params.curve_epochs {
+            let mut cells = vec![(e + 1).to_string()];
+            for c in &curves {
+                cells.push(format!("{:.2}", c.cumulative_seconds[e]));
+            }
+            t.row(&cells);
+        }
+        println!("{}", t.render());
+        let t_e50 = curves[0].total();
+        let t_e1 = curves[5].total();
+        println!(
+            "E=1 takes {:.0}% of E=50's time over {} epochs (paper: ~70% at 70 epochs)\n",
+            100.0 * t_e1 / t_e50,
+            params.curve_epochs
+        );
+        out.push(Fig7 {
+            workload: w.name.clone(),
+            curves,
+        });
+    }
+    match write_json("fig7", &out) {
+        Ok(p) => println!("Series written to {}", p.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+}

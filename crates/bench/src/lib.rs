@@ -1,0 +1,15 @@
+//! # gmreg-bench
+//!
+//! Experiment drivers and reporting utilities shared by the reproduction
+//! binaries (`repro_table4` … `repro_fig7`) and the Criterion benches.
+//! Each driver regenerates one of the paper's tables or figures; see
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod dl;
+pub mod report;
+pub mod scale;
+pub mod small;
+pub mod timing;

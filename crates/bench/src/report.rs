@@ -1,0 +1,140 @@
+//! Plain-text table rendering and JSON series output for the reproduction
+//! binaries.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", c, width = widths[i] + 2);
+                let _ = if i == ncols - 1 { writeln!(out) } else { Ok(()) };
+            }
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats `mean ± stderr` the way Table VII prints it.
+pub fn pm(mean: f64, stderr: f64) -> String {
+    format!("{mean:.3} ± {stderr:.3}")
+}
+
+/// Formats a float vector compactly, e.g. `[0.216, 0.784]`.
+pub fn vec_fmt(v: &[f64]) -> String {
+    let cells: Vec<String> = v.iter().map(|x| format!("{x:.3}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// Writes any serializable experiment record as pretty JSON under
+/// `results/<name>.json`, creating the directory if needed. Returns the
+/// path written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22222".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_enforced() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pm(0.8481, 0.0214), "0.848 ± 0.021");
+        assert_eq!(vec_fmt(&[0.2161, 0.7839]), "[0.216, 0.784]");
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: f64,
+        }
+        let dir = std::env::temp_dir().join("gmreg-report-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_json("unit-test", &R { x: 1.5 }).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert!(body.contains("1.5"));
+    }
+}

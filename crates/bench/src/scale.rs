@@ -1,0 +1,180 @@
+//! Experiment scale control.
+//!
+//! The paper trained on a 3-GPU server for hundreds of epochs; the
+//! reproduction runs on one CPU. Every experiment driver therefore takes a
+//! [`Scale`] that shrinks data sizes and epoch counts while preserving the
+//! comparisons each table/figure makes. `GMREG_SCALE=paper` selects the
+//! larger setting for overnight runs.
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale runs: small synthetic datasets, short training.
+    Smoke,
+    /// Closer to the paper's sizes (hours on one CPU).
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the `GMREG_SCALE` environment variable
+    /// (`smoke`, default, or `paper`).
+    pub fn from_env() -> Scale {
+        match std::env::var("GMREG_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") => Scale::Paper,
+            _ => Scale::Smoke,
+        }
+    }
+
+    /// Image-experiment settings: (train samples, test samples, image side,
+    /// epochs, batch size, resnet blocks n).
+    pub fn image_params(&self) -> ImageParams {
+        match self {
+            Scale::Smoke => ImageParams {
+                n_train: 150,
+                n_test: 300,
+                size: 16,
+                epochs: 40,
+                batch: 25,
+                resnet_n: 1,
+                noise_std: 1.2,
+                alex_lr: 0.02,
+                resnet_lr: 0.1,
+                l2_grid: [0.2, 1.0, 4.0],
+                gm_grid: [0.2, 0.3, 0.6, 1.5],
+            },
+            Scale::Paper => ImageParams {
+                n_train: 5_000,
+                n_test: 2_000,
+                size: 32,
+                epochs: 60,
+                batch: 100,
+                resnet_n: 3,
+                noise_std: 1.0,
+                alex_lr: 0.01,
+                resnet_lr: 0.1,
+                // Effective per-step decay is lr * strength / N; larger N
+                // wants proportionally stronger caps (smaller gamma).
+                l2_grid: [2.0, 10.0, 50.0],
+                gm_grid: [0.005, 0.01, 0.02, 0.05],
+            },
+        }
+    }
+
+    /// Small-dataset (Table VII) settings: (subsamples, CV folds, epochs).
+    pub fn small_params(&self) -> SmallParams {
+        match self {
+            Scale::Smoke => SmallParams {
+                subsamples: 5,
+                folds: 5,
+                epochs: 30,
+            },
+            Scale::Paper => SmallParams {
+                subsamples: 5,
+                folds: 5,
+                epochs: 60,
+            },
+        }
+    }
+
+    /// Lazy-update timing settings: (epochs for growth curves, epochs to
+    /// "convergence", batches per epoch).
+    pub fn timing_params(&self) -> TimingParams {
+        match self {
+            Scale::Smoke => TimingParams {
+                curve_epochs: 8,
+                convergence_epochs: 16,
+                batches_per_epoch: 20,
+                batch: 16,
+            },
+            Scale::Paper => TimingParams {
+                curve_epochs: 40,
+                convergence_epochs: 80,
+                batches_per_epoch: 50,
+                batch: 32,
+            },
+        }
+    }
+}
+
+/// Image-experiment sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageParams {
+    /// Training images.
+    pub n_train: usize,
+    /// Test images.
+    pub n_test: usize,
+    /// Square image side length.
+    pub size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// ResNet depth parameter `n` (blocks per stack; 3 = ResNet-20).
+    pub resnet_n: usize,
+    /// Pixel-noise std of the synthetic images (controls task hardness).
+    pub noise_std: f32,
+    /// Learning rate for Alex-CIFAR-10. The paper's 0.001 assumes tens of
+    /// thousands of SGD steps; reproduction scales run far fewer, so the
+    /// rate is raised proportionally.
+    pub alex_lr: f32,
+    /// Learning rate for ResNet (the paper's 0.1).
+    pub resnet_lr: f32,
+    /// L2 strength grid standing in for the paper's expert tuning.
+    pub l2_grid: [f64; 3],
+    /// GM gamma grid for the DL experiments (the paper tunes gamma over a
+    /// grid as well, Section V-B1); values are scale-adjusted because the
+    /// effective strength cap 1/(2*gamma) acts through lr/N.
+    pub gm_grid: [f64; 4],
+}
+
+/// Table VII protocol sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallParams {
+    /// Stratified 80/20 subsamples per dataset.
+    pub subsamples: usize,
+    /// Cross-validation folds for hyper-parameter tuning.
+    pub folds: usize,
+    /// LR training epochs.
+    pub epochs: usize,
+}
+
+/// Lazy-update timing sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingParams {
+    /// Epochs plotted on the time-growth curves (Figs. 5a/b, 7a/b).
+    pub curve_epochs: usize,
+    /// Epochs treated as "convergence" for the bar charts (Figs. 5c, 7c).
+    pub convergence_epochs: usize,
+    /// Mini-batches per epoch (`B`).
+    pub batches_per_epoch: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_is_smaller_than_paper() {
+        let s = Scale::Smoke.image_params();
+        let p = Scale::Paper.image_params();
+        assert!(s.n_train < p.n_train);
+        assert!(s.epochs < p.epochs);
+        assert!(s.resnet_n < p.resnet_n);
+        assert!(Scale::Smoke.small_params().epochs <= Scale::Paper.small_params().epochs);
+        assert!(
+            Scale::Smoke.timing_params().curve_epochs
+                < Scale::Paper.timing_params().curve_epochs
+        );
+    }
+
+    #[test]
+    fn from_env_defaults_to_smoke() {
+        // Note: we do not set the env var here to keep tests hermetic; the
+        // default path must be Smoke.
+        if std::env::var("GMREG_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Smoke);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Small-dataset experiment driver (Table VII and Fig. 3): the 12-dataset
+//! × 5-method logistic-regression comparison under the paper's protocol.
+
+use gmreg_core::gm::{GmConfig, GmRegularizer};
+
+use gmreg_data::{stratified_split, Dataset};
+use gmreg_linear::{
+    default_grid, evaluate_method, grid_search_cv, LinearError, LogisticRegression, LrConfig,
+    Method, MethodResult, RegChoice,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::scale::SmallParams;
+
+/// One dataset's row of Table VII.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-method mean accuracy.
+    pub mean: Vec<f64>,
+    /// Per-method standard error.
+    pub stderr: Vec<f64>,
+    /// Method names, aligned with `mean`/`stderr`.
+    pub methods: Vec<String>,
+}
+
+/// The LR training configuration used by the protocol at a given scale.
+pub fn lr_config(params: SmallParams) -> LrConfig {
+    LrConfig {
+        epochs: params.epochs,
+        batch_size: 32,
+        lr: 0.1,
+        lr_decay: 0.92,
+        momentum: 0.9,
+        init_std: 0.1, // the paper's precision-100 initialization
+        seed: 1234,
+        reg_scale: 1.0,
+        scale_reg_by_n: true, // MAP convention: g_reg scaled by 1/N
+    }
+}
+
+/// Runs the full Table VII protocol on one encoded dataset.
+pub fn run_dataset(
+    name: &str,
+    ds: &Dataset,
+    params: SmallParams,
+    seed: u64,
+) -> Result<DatasetRow, LinearError> {
+    let mut mean = Vec::new();
+    let mut stderr = Vec::new();
+    let mut methods = Vec::new();
+    for m in Method::TABLE_VII {
+        let res: MethodResult =
+            evaluate_method(ds, m, params.subsamples, params.folds, lr_config(params), seed)?;
+        mean.push(res.mean);
+        stderr.push(res.stderr);
+        methods.push(m.name().to_string());
+    }
+    Ok(DatasetRow {
+        dataset: name.to_string(),
+        mean,
+        stderr,
+        methods,
+    })
+}
+
+/// Fig. 3 output: the learned mixture for one dataset plus a density curve
+/// and the A/B crossover points.
+#[derive(Debug, Clone, Serialize)]
+pub struct DensityCurve {
+    /// Dataset name.
+    pub dataset: String,
+    /// Learned mixing coefficients.
+    pub pi: Vec<f64>,
+    /// Learned precisions.
+    pub lambda: Vec<f64>,
+    /// The positive crossover point B (A = −B), if the two components
+    /// cross.
+    pub crossover: Option<f64>,
+    /// Sample points on the weight axis.
+    pub xs: Vec<f64>,
+    /// Mixture probability density at each sample point.
+    pub density: Vec<f64>,
+}
+
+/// Trains GM-regularized LR on one dataset and extracts the learned
+/// mixture density (Fig. 3). `x_range` is the half-width of the plotted
+/// weight axis.
+pub fn density_curve(
+    name: &str,
+    ds: &Dataset,
+    params: SmallParams,
+    x_range: f64,
+    n_points: usize,
+    seed: u64,
+) -> Result<DensityCurve, LinearError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = stratified_split(ds, 0.2, &mut rng)?;
+    let cfg = lr_config(params);
+    let m = ds.n_features();
+    // Pick gamma by cross-validation exactly as the Table VII protocol does
+    // (the paper's Fig. 3 mixtures come from the tuned models).
+    let grid = default_grid(Method::Gm);
+    let (best, _) = grid_search_cv(&split.train, &grid, params.folds, cfg, seed ^ 0x315)?;
+    let gm_config = match &grid[best] {
+        RegChoice::Gm { config } => config.clone(),
+        _ => GmConfig::default(),
+    };
+    let mut lr = LogisticRegression::new(m, cfg)?;
+    lr.set_regularizer(Some(Box::new(GmRegularizer::new(
+        m,
+        cfg.init_std,
+        gm_config,
+    )?)));
+    lr.fit(&split.train)?;
+
+    let gm = lr
+        .regularizer()
+        .and_then(|r| r.as_gm())
+        .expect("GM regularizer attached above");
+    let eff = gm.learned_mixture()?;
+    let crossover = if eff.k() >= 2 {
+        eff.crossover(0, eff.k() - 1)
+    } else {
+        None
+    };
+    let mut xs = Vec::with_capacity(n_points);
+    let mut density = Vec::with_capacity(n_points);
+    for i in 0..n_points {
+        let x = -x_range + 2.0 * x_range * i as f64 / (n_points - 1) as f64;
+        xs.push(x);
+        density.push(eff.density(x));
+    }
+    Ok(DensityCurve {
+        dataset: name.to_string(),
+        pi: eff.pi().to_vec(),
+        lambda: eff.lambda().to_vec(),
+        crossover,
+        xs,
+        density,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use gmreg_linear::blobs;
+
+    fn tiny_params() -> SmallParams {
+        SmallParams {
+            subsamples: 2,
+            folds: 2,
+            epochs: 8,
+        }
+    }
+
+    #[test]
+    fn run_dataset_covers_all_methods() {
+        let ds = blobs(80, 6, 1.2, 3).unwrap();
+        let row = run_dataset("blobs", &ds, tiny_params(), 5).unwrap();
+        assert_eq!(row.methods.len(), 5);
+        assert_eq!(row.mean.len(), 5);
+        assert!(row.mean.iter().all(|a| (0.0..=1.0).contains(a)));
+        assert_eq!(row.methods[4], "GM Reg");
+    }
+
+    #[test]
+    fn density_curve_has_valid_mixture() {
+        let ds = blobs(120, 10, 1.0, 4).unwrap();
+        let c = density_curve("blobs", &ds, tiny_params(), 2.0, 51, 6).unwrap();
+        assert_eq!(c.xs.len(), 51);
+        assert_eq!(c.density.len(), 51);
+        assert!((c.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(c.density.iter().all(|d| *d >= 0.0 && d.is_finite()));
+        // symmetric axis
+        assert!((c.xs[0] + 2.0).abs() < 1e-9);
+        assert!((c.xs[50] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lr_config_follows_paper_settings() {
+        let cfg = lr_config(Scale::Smoke.small_params());
+        assert_eq!(cfg.init_std, 0.1);
+        assert_eq!(cfg.reg_scale, 1.0);
+        assert!(cfg.scale_reg_by_n);
+        cfg.validate().unwrap();
+    }
+}

@@ -1,0 +1,329 @@
+//! Lazy-update timing driver (Figs. 5, 6, 7).
+//!
+//! The paper measured wall-clock on a GPU server where the network step
+//! ran on GPUs and the EM sweep on the CPU, making regularization the
+//! bottleneck ("This is the bottleneck of the algorithm", Section III-D).
+//! On this all-CPU substrate we preserve that regime by timing a
+//! dense-parameter workload whose weight dimensionality `M` matches the
+//! paper's two models exactly (89,440 and 270,896) and whose data-gradient
+//! step is cheap relative to the EM sweep — the same cost split the
+//! figures characterize. See DESIGN.md §3.
+
+use gmreg_core::gm::{GmConfig, GmRegularizer, LazySchedule};
+use gmreg_core::{L2Reg, Regularizer, StepCtx};
+use gmreg_tensor::SampleExt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+use crate::scale::TimingParams;
+
+/// A timing workload: a logistic model over `m` weight dimensions.
+#[derive(Debug, Clone, Serialize)]
+pub struct Workload {
+    /// Display name (the model whose `M` this workload matches).
+    pub name: String,
+    /// Weight dimensionality.
+    pub m: usize,
+}
+
+/// The two workloads of Figs. 5–7, matching the paper's models' weight
+/// dimensionalities.
+pub fn paper_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "Alex-CIFAR-10".into(),
+            m: 89_440,
+        },
+        Workload {
+            name: "ResNet".into(),
+            m: 270_896,
+        },
+    ]
+}
+
+/// A cumulative-time curve: elapsed seconds after each epoch.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeCurve {
+    /// Curve label (e.g. `"Im = 50"` or `"baseline"`).
+    pub label: String,
+    /// Cumulative elapsed seconds after epoch `i+1`.
+    pub cumulative_seconds: Vec<f64>,
+}
+
+impl TimeCurve {
+    /// Total time at the end of the run.
+    pub fn total(&self) -> f64 {
+        self.cumulative_seconds.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// The regularizer driven by a timing run.
+enum TimedReg {
+    Gm(GmRegularizer),
+    L2(L2Reg),
+}
+
+/// Runs Algorithm 2's per-iteration work (data gradient + regularizer +
+/// SGD update) for `epochs × batches_per_epoch` iterations against a fixed
+/// batch, recording cumulative time per epoch.
+fn run_timed(workload: &Workload, mut reg: TimedReg, params: TimingParams, seed: u64) -> TimeCurve {
+    let m = workload.m;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One fixed batch, reused every iteration: the figures measure per-step
+    // compute, not convergence.
+    let batch: Vec<f32> = (0..params.batch * m)
+        .map(|_| rng.normal(0.0, 1.0) as f32)
+        .collect();
+    let labels: Vec<f32> = (0..params.batch).map(|i| (i % 2) as f32).collect();
+    let mut w: Vec<f32> = (0..m).map(|_| rng.normal(0.0, 0.1) as f32).collect();
+    let mut grad = vec![0.0f32; m];
+    let lr = 0.01f32;
+
+    let label = match &reg {
+        TimedReg::Gm(g) => {
+            if g.config().lazy.im == 1 && g.config().lazy.ig == 1 {
+                "Im = 1".to_string()
+            } else {
+                format!(
+                    "E = {}, Im = {}, Ig = {}",
+                    g.config().lazy.warmup_epochs,
+                    g.config().lazy.im,
+                    g.config().lazy.ig
+                )
+            }
+        }
+        TimedReg::L2(_) => "baseline".to_string(),
+    };
+
+    let mut cumulative = Vec::with_capacity(params.curve_epochs);
+    let start = Instant::now();
+    let mut it: u64 = 0;
+    for epoch in 0..params.curve_epochs {
+        for _ in 0..params.batches_per_epoch {
+            // Data gradient: mean logistic loss over the fixed batch.
+            grad.fill(0.0);
+            for (bi, &t) in labels.iter().enumerate() {
+                let row = &batch[bi * m..(bi + 1) * m];
+                let z: f32 = row.iter().zip(&w).map(|(x, wv)| x * wv).sum();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let err = (p - t) / params.batch as f32;
+                for (g, &x) in grad.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+            }
+            // Regularizer (Algorithm 2 lines 4-11).
+            let ctx = StepCtx::new(it, epoch as u64);
+            match &mut reg {
+                TimedReg::Gm(r) => r.accumulate_grad(&w, &mut grad, ctx),
+                TimedReg::L2(r) => r.accumulate_grad(&w, &mut grad, ctx),
+            }
+            // SGD step (line 12).
+            for (wv, &g) in w.iter_mut().zip(&grad) {
+                *wv -= lr * g;
+            }
+            it += 1;
+        }
+        cumulative.push(start.elapsed().as_secs_f64());
+    }
+    TimeCurve {
+        label,
+        cumulative_seconds: cumulative,
+    }
+}
+
+fn gm_with_schedule(m: usize, lazy: LazySchedule) -> TimedReg {
+    TimedReg::Gm(
+        GmRegularizer::new(
+            m,
+            0.1,
+            GmConfig {
+                lazy,
+                ..GmConfig::default()
+            },
+        )
+        .expect("valid config"),
+    )
+}
+
+/// Fig. 5(a)(b): cumulative time vs. epoch for each `Im` (with `Ig = Im`,
+/// `E = 2`) plus the L2 baseline.
+pub fn im_sweep(workload: &Workload, ims: &[u64], params: TimingParams, seed: u64) -> Vec<TimeCurve> {
+    let mut out = Vec::with_capacity(ims.len() + 1);
+    for &im in ims {
+        let lazy = LazySchedule::new(2, im, im).expect("im >= 1");
+        let mut curve = run_timed(workload, gm_with_schedule(workload.m, lazy), params, seed);
+        curve.label = format!("Im = {im}");
+        out.push(curve);
+    }
+    let baseline = run_timed(
+        workload,
+        TimedReg::L2(L2Reg::new(0.01).expect("beta > 0")),
+        params,
+        seed,
+    );
+    out.push(baseline);
+    out
+}
+
+/// Fig. 6: total time for `(Ig, Im = 50)` combinations.
+pub fn ig_sweep(workload: &Workload, igs: &[u64], params: TimingParams, seed: u64) -> Vec<(String, f64)> {
+    igs.iter()
+        .map(|&ig| {
+            let lazy = LazySchedule::new(2, 50, ig).expect("ig >= 1");
+            let curve = run_timed(workload, gm_with_schedule(workload.m, lazy), params, seed);
+            (format!("{ig}&50"), curve.total())
+        })
+        .collect()
+}
+
+/// Fig. 7: cumulative time vs. epoch for each warm-up length `E` (with
+/// `Im = Ig = 50`) plus the baseline.
+pub fn e_sweep(workload: &Workload, es: &[u64], params: TimingParams, seed: u64) -> Vec<TimeCurve> {
+    let mut out = Vec::with_capacity(es.len() + 1);
+    for &e in es {
+        let lazy = LazySchedule::new(e, 50, 50).expect("intervals >= 1");
+        let mut curve = run_timed(workload, gm_with_schedule(workload.m, lazy), params, seed);
+        curve.label = format!("E = {e}");
+        out.push(curve);
+    }
+    let baseline = run_timed(
+        workload,
+        TimedReg::L2(L2Reg::new(0.01).expect("beta > 0")),
+        params,
+        seed,
+    );
+    out.push(baseline);
+    out
+}
+
+/// The accuracy side of Fig. 5's claim ("without drop in model accuracy"):
+/// trains GM-regularized LR on a real synthetic dataset at each `Im` and
+/// returns `(Im, test accuracy)`.
+pub fn lazy_accuracy_check(
+    ims: &[u64],
+    epochs: usize,
+    seed: u64,
+) -> gmreg_linear::Result<Vec<(u64, f64)>> {
+    use gmreg_data::stratified_split;
+    use gmreg_linear::{blobs, LogisticRegression, LrConfig};
+
+    let ds = blobs(600, 40, 0.6, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xACC);
+    let split = stratified_split(&ds, 0.2, &mut rng)?;
+    let mut out = Vec::with_capacity(ims.len());
+    for &im in ims {
+        let cfg = LrConfig {
+            epochs,
+            ..LrConfig::default()
+        };
+        let mut lr = LogisticRegression::new(40, cfg)?;
+        lr.set_regularizer(Some(Box::new(GmRegularizer::new(
+            40,
+            cfg.init_std,
+            GmConfig {
+                lazy: LazySchedule::new(2, im, im).expect("im >= 1"),
+                ..GmConfig::default()
+            },
+        )?)));
+        lr.fit(&split.train)?;
+        out.push((im, lr.accuracy(&split.test)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> TimingParams {
+        TimingParams {
+            curve_epochs: 3,
+            convergence_epochs: 3,
+            batches_per_epoch: 4,
+            batch: 4,
+        }
+    }
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            name: "tiny".into(),
+            m: 3_000,
+        }
+    }
+
+    #[test]
+    fn curves_are_monotone_and_labeled() {
+        let curves = im_sweep(&tiny_workload(), &[1, 10], tiny_params(), 1);
+        assert_eq!(curves.len(), 3);
+        assert_eq!(curves[0].label, "Im = 1");
+        assert_eq!(curves[2].label, "baseline");
+        for c in &curves {
+            assert_eq!(c.cumulative_seconds.len(), 3);
+            assert!(c
+                .cumulative_seconds
+                .windows(2)
+                .all(|w| w[1] >= w[0]));
+            assert!(c.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn lazier_is_never_slower() {
+        // With a bigger M the ordering is reliable even on noisy CI boxes.
+        let w = Workload {
+            name: "t".into(),
+            m: 60_000,
+        };
+        let p = TimingParams {
+            curve_epochs: 4,
+            convergence_epochs: 4,
+            batches_per_epoch: 6,
+            batch: 4,
+        };
+        let curves = im_sweep(&w, &[1, 50], p, 2);
+        let t_eager = curves[0].total();
+        let t_lazy = curves[1].total();
+        let t_base = curves[2].total();
+        assert!(
+            t_lazy < t_eager,
+            "lazy ({t_lazy:.3}s) must beat eager ({t_eager:.3}s)"
+        );
+        assert!(t_base <= t_eager);
+    }
+
+    #[test]
+    fn ig_sweep_returns_labels() {
+        let res = ig_sweep(&tiny_workload(), &[50, 100], tiny_params(), 3);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].0, "50&50");
+        assert!(res.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn e_sweep_includes_baseline() {
+        let curves = e_sweep(&tiny_workload(), &[1, 2], tiny_params(), 4);
+        assert_eq!(curves.len(), 3);
+        assert_eq!(curves[0].label, "E = 1");
+        assert_eq!(curves[2].label, "baseline");
+    }
+
+    #[test]
+    fn lazy_accuracy_is_stable_across_im() {
+        let accs = lazy_accuracy_check(&[1, 50], 12, 5).unwrap();
+        assert_eq!(accs.len(), 2);
+        let (a1, a50) = (accs[0].1, accs[1].1);
+        assert!(
+            (a1 - a50).abs() < 0.08,
+            "accuracy should not drop with lazy updates: {a1} vs {a50}"
+        );
+    }
+
+    #[test]
+    fn paper_workloads_match_model_dims() {
+        let w = paper_workloads();
+        assert_eq!(w[0].m, 89_440);
+        assert_eq!(w[1].m, 270_896);
+    }
+}

@@ -1,0 +1,353 @@
+//! The four fixed-norm baseline regularizers the paper compares against:
+//! L1, L2, elastic-net, and Huber-norm (Section V, Table VII).
+//!
+//! Each corresponds to a fixed prior on the weights (Section II-A): L1 to a
+//! Laplacian, L2 to a Gaussian, elastic-net to a compromise of the two, and
+//! Huber to a piecewise Gaussian-center / Laplacian-tail prior.
+
+use crate::error::{CoreError, Result};
+use crate::regularizer::{Regularizer, StepCtx};
+
+fn check_positive(field: &'static str, v: f64) -> Result<()> {
+    if !(v.is_finite() && v > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            field,
+            reason: format!("must be a positive finite number, got {v}"),
+        });
+    }
+    Ok(())
+}
+
+fn check_len(w: &[f32], grad: &[f32]) {
+    assert_eq!(
+        w.len(),
+        grad.len(),
+        "weight and gradient buffers must have equal length"
+    );
+}
+
+/// L1-norm (lasso) regularization: `β · Σ|w_m|`, Laplacian prior.
+///
+/// The gradient uses the subgradient `β · sign(w)` with `sign(0) = 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct L1Reg {
+    beta: f64,
+}
+
+impl L1Reg {
+    /// Creates an L1 penalty with strength `beta > 0`.
+    pub fn new(beta: f64) -> Result<Self> {
+        check_positive("beta", beta)?;
+        Ok(L1Reg { beta })
+    }
+
+    /// The strength parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Regularizer for L1Reg {
+    fn name(&self) -> &str {
+        "L1"
+    }
+
+    fn penalty(&self, w: &[f32]) -> f64 {
+        self.beta * w.iter().map(|&v| v.abs() as f64).sum::<f64>()
+    }
+
+    fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], _ctx: StepCtx) {
+        check_len(w, grad);
+        let b = self.beta as f32;
+        for (g, &v) in grad.iter_mut().zip(w) {
+            *g += b * v.signum() * (v != 0.0) as u8 as f32;
+        }
+    }
+}
+
+/// L2-norm (weight decay / ridge) regularization: `β/2 · Σ w_m²`,
+/// Gaussian prior. A GM prior restricted to one component (Section VI-A).
+#[derive(Debug, Clone, Copy)]
+pub struct L2Reg {
+    beta: f64,
+}
+
+impl L2Reg {
+    /// Creates an L2 penalty with strength `beta > 0`.
+    pub fn new(beta: f64) -> Result<Self> {
+        check_positive("beta", beta)?;
+        Ok(L2Reg { beta })
+    }
+
+    /// The strength parameter β — in the Gaussian-prior view, the precision
+    /// λ of the single component (Tables IV/V report it this way).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Regularizer for L2Reg {
+    fn name(&self) -> &str {
+        "L2"
+    }
+
+    fn penalty(&self, w: &[f32]) -> f64 {
+        0.5 * self.beta * w.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+    }
+
+    fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], _ctx: StepCtx) {
+        check_len(w, grad);
+        let b = self.beta as f32;
+        for (g, &v) in grad.iter_mut().zip(w) {
+            *g += b * v;
+        }
+    }
+}
+
+/// Elastic-net regularization: `β · (ρ·Σ|w| + (1-ρ)/2 · Σw²)`.
+///
+/// `l1_ratio` (ρ) interpolates between pure L2 (ρ=0) and pure L1 (ρ=1),
+/// matching the paper's description of the `l1_ratio` knob.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticNetReg {
+    beta: f64,
+    l1_ratio: f64,
+}
+
+impl ElasticNetReg {
+    /// Creates an elastic-net penalty with strength `beta > 0` and mixing
+    /// ratio `l1_ratio ∈ [0, 1]`.
+    pub fn new(beta: f64, l1_ratio: f64) -> Result<Self> {
+        check_positive("beta", beta)?;
+        if !(0.0..=1.0).contains(&l1_ratio) {
+            return Err(CoreError::InvalidConfig {
+                field: "l1_ratio",
+                reason: format!("must lie in [0, 1], got {l1_ratio}"),
+            });
+        }
+        Ok(ElasticNetReg { beta, l1_ratio })
+    }
+
+    /// The strength parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The L1 proportion ρ.
+    pub fn l1_ratio(&self) -> f64 {
+        self.l1_ratio
+    }
+}
+
+impl Regularizer for ElasticNetReg {
+    fn name(&self) -> &str {
+        "elastic-net"
+    }
+
+    fn penalty(&self, w: &[f32]) -> f64 {
+        let l1: f64 = w.iter().map(|&v| v.abs() as f64).sum();
+        let l2: f64 = w.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        self.beta * (self.l1_ratio * l1 + 0.5 * (1.0 - self.l1_ratio) * l2)
+    }
+
+    fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], _ctx: StepCtx) {
+        check_len(w, grad);
+        let b1 = (self.beta * self.l1_ratio) as f32;
+        let b2 = (self.beta * (1.0 - self.l1_ratio)) as f32;
+        for (g, &v) in grad.iter_mut().zip(w) {
+            *g += b1 * v.signum() * (v != 0.0) as u8 as f32 + b2 * v;
+        }
+    }
+}
+
+/// Huber-norm regularization: quadratic inside `|w| ≤ mu`, linear outside.
+///
+/// `f(w) = β · Σ h(w_m)` with `h(v) = v²/(2μ)` for `|v| ≤ μ` and
+/// `h(v) = |v| − μ/2` otherwise — L2 behaviour on small weights, L1 on
+/// large ones, and differentiable everywhere (Section VI-A).
+#[derive(Debug, Clone, Copy)]
+pub struct HuberReg {
+    beta: f64,
+    mu: f64,
+}
+
+impl HuberReg {
+    /// Creates a Huber penalty with strength `beta > 0` and transition
+    /// threshold `mu > 0`.
+    pub fn new(beta: f64, mu: f64) -> Result<Self> {
+        check_positive("beta", beta)?;
+        check_positive("mu", mu)?;
+        Ok(HuberReg { beta, mu })
+    }
+
+    /// The strength parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The L2→L1 transition threshold μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+}
+
+impl Regularizer for HuberReg {
+    fn name(&self) -> &str {
+        "huber"
+    }
+
+    fn penalty(&self, w: &[f32]) -> f64 {
+        let mu = self.mu;
+        self.beta
+            * w.iter()
+                .map(|&v| {
+                    let v = v.abs() as f64;
+                    if v <= mu {
+                        v * v / (2.0 * mu)
+                    } else {
+                        v - mu / 2.0
+                    }
+                })
+                .sum::<f64>()
+    }
+
+    fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], _ctx: StepCtx) {
+        check_len(w, grad);
+        let b = self.beta as f32;
+        let mu = self.mu as f32;
+        for (g, &v) in grad.iter_mut().zip(w) {
+            *g += if v.abs() <= mu {
+                b * v / mu
+            } else {
+                b * v.signum()
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> StepCtx {
+        StepCtx::new(0, 0)
+    }
+
+    /// Finite-difference check of `accumulate_grad` against `penalty`.
+    fn grad_check(mut reg: impl Regularizer, w: &[f32], skip_kink: bool) {
+        let mut grad = vec![0.0f32; w.len()];
+        reg.accumulate_grad(w, &mut grad, ctx());
+        let eps = 1e-3f32;
+        for i in 0..w.len() {
+            if skip_kink && w[i].abs() < 10.0 * eps {
+                continue; // subgradient point
+            }
+            let mut wp = w.to_vec();
+            let mut wm = w.to_vec();
+            wp[i] += eps;
+            wm[i] -= eps;
+            let num = (reg.penalty(&wp) - reg.penalty(&wm)) / (2.0 * eps as f64);
+            assert!(
+                (num - grad[i] as f64).abs() < 1e-2 * (1.0 + num.abs()),
+                "dim {i}: numeric {num} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    const W: [f32; 6] = [0.5, -1.5, 0.0, 2.0, -0.3, 0.05];
+
+    #[test]
+    fn l2_matches_closed_form() {
+        let mut r = L2Reg::new(2.0).unwrap();
+        assert_eq!(r.name(), "L2");
+        assert_eq!(r.beta(), 2.0);
+        let w = [1.0f32, -2.0];
+        assert!((r.penalty(&w) - 5.0).abs() < 1e-9); // 0.5*2*(1+4)
+        let mut g = [0.0f32; 2];
+        r.accumulate_grad(&w, &mut g, ctx());
+        assert_eq!(g, [2.0, -4.0]);
+        grad_check(r, &W, false);
+    }
+
+    #[test]
+    fn l1_matches_closed_form() {
+        let mut r = L1Reg::new(0.5).unwrap();
+        assert_eq!(r.name(), "L1");
+        assert_eq!(r.beta(), 0.5);
+        let w = [1.0f32, -2.0, 0.0];
+        assert!((r.penalty(&w) - 1.5).abs() < 1e-9);
+        let mut g = [0.0f32; 3];
+        r.accumulate_grad(&w, &mut g, ctx());
+        assert_eq!(g, [0.5, -0.5, 0.0]); // sign(0) treated as 0
+        grad_check(r, &W, true);
+    }
+
+    #[test]
+    fn elastic_net_interpolates() {
+        let l1 = L1Reg::new(1.0).unwrap();
+        let l2 = L2Reg::new(1.0).unwrap();
+        let en_l1 = ElasticNetReg::new(1.0, 1.0).unwrap();
+        let en_l2 = ElasticNetReg::new(1.0, 0.0).unwrap();
+        let w = [0.7f32, -1.2, 2.0];
+        assert!((en_l1.penalty(&w) - l1.penalty(&w)).abs() < 1e-9);
+        assert!((en_l2.penalty(&w) - l2.penalty(&w)).abs() < 1e-9);
+        let r = ElasticNetReg::new(2.0, 0.3).unwrap();
+        assert_eq!(r.beta(), 2.0);
+        assert_eq!(r.l1_ratio(), 0.3);
+        assert_eq!(r.name(), "elastic-net");
+        grad_check(r, &W, true);
+    }
+
+    #[test]
+    fn huber_is_l2_inside_l1_outside() {
+        let r = HuberReg::new(1.0, 1.0).unwrap();
+        assert_eq!(r.name(), "huber");
+        assert_eq!(r.mu(), 1.0);
+        assert_eq!(r.beta(), 1.0);
+        // inside: v^2/2; outside: |v| - 1/2
+        assert!((r.penalty(&[0.5]) - 0.125).abs() < 1e-9);
+        assert!((r.penalty(&[3.0]) - 2.5).abs() < 1e-9);
+        // continuity at the threshold
+        assert!((r.penalty(&[1.0 - 1e-6]) - r.penalty(&[1.0 + 1e-6])).abs() < 1e-5);
+        grad_check(r, &W, false);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(L1Reg::new(0.0).is_err());
+        assert!(L2Reg::new(-1.0).is_err());
+        assert!(L2Reg::new(f64::NAN).is_err());
+        assert!(ElasticNetReg::new(1.0, 1.5).is_err());
+        assert!(ElasticNetReg::new(0.0, 0.5).is_err());
+        assert!(HuberReg::new(1.0, 0.0).is_err());
+        assert!(HuberReg::new(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_buffers_panic() {
+        let mut r = L2Reg::new(1.0).unwrap();
+        let mut g = [0.0f32; 2];
+        r.accumulate_grad(&[1.0, 2.0, 3.0], &mut g, ctx());
+    }
+
+    #[test]
+    fn gradient_shrinks_weights() {
+        // One SGD step with each penalty must move weights toward zero.
+        let w = [0.8f32, -0.6];
+        let regs: Vec<Box<dyn Regularizer>> = vec![
+            Box::new(L1Reg::new(0.1).unwrap()),
+            Box::new(L2Reg::new(0.1).unwrap()),
+            Box::new(ElasticNetReg::new(0.1, 0.5).unwrap()),
+            Box::new(HuberReg::new(0.1, 0.5).unwrap()),
+        ];
+        for mut r in regs {
+            let mut g = [0.0f32; 2];
+            r.accumulate_grad(&w, &mut g, ctx());
+            for (wi, gi) in w.iter().zip(g) {
+                assert!(wi * gi > 0.0, "{} must shrink weights", r.name());
+            }
+        }
+    }
+}

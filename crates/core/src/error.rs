@@ -1,0 +1,73 @@
+//! Error type for regularizer configuration and state validation.
+
+use std::fmt;
+
+/// Errors raised when configuring or driving a regularizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration field has a value outside its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A weight vector of unexpected length was supplied to a regularizer
+    /// that was initialized for a fixed dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the regularizer was initialized with.
+        expected: usize,
+        /// Dimensionality of the vector supplied.
+        actual: usize,
+    },
+    /// The mixture state became numerically degenerate (NaN or non-finite
+    /// parameters) and could not be repaired.
+    DegenerateMixture {
+        /// Description of what became degenerate.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "weight vector has {actual} dimensions, expected {expected}")
+            }
+            CoreError::DegenerateMixture { detail } => {
+                write!(f, "degenerate mixture state: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used across the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fields() {
+        let e = CoreError::InvalidConfig {
+            field: "k",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains('k'));
+        let e = CoreError::DimensionMismatch {
+            expected: 3,
+            actual: 4,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('4'));
+        let e = CoreError::DegenerateMixture {
+            detail: "lambda is NaN".into(),
+        };
+        assert!(e.to_string().contains("NaN"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Checkpointing: serializable snapshots of a GM regularizer's adaptive
+//! state, so long training runs can pause and resume without re-learning
+//! the mixture (a requirement for the GEMINI-style pipeline deployments
+//! the paper targets).
+
+use crate::error::{CoreError, Result};
+use crate::gm::config::GmConfig;
+use crate::gm::init::InitMethod;
+use crate::gm::lazy::LazySchedule;
+use crate::gm::mixture::GaussianMixture;
+use crate::gm::regularizer::GmRegularizer;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a [`GmRegularizer`]'s learned state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GmSnapshot {
+    /// Mixing coefficients π.
+    pub pi: Vec<f64>,
+    /// Precisions λ.
+    pub lambda: Vec<f64>,
+    /// Weight dimensionality the regularizer was built for.
+    pub m: usize,
+    /// The configuration, flattened to serializable primitives.
+    pub config: GmConfigSnapshot,
+}
+
+/// Serializable form of [`GmConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GmConfigSnapshot {
+    /// Component count K.
+    pub k: usize,
+    /// γ of `b = γ·M`.
+    pub gamma: f64,
+    /// `c` of `a = 1 + c·b`.
+    pub a_factor: f64,
+    /// Exponent of `α = M^e`.
+    pub alpha_exponent: f64,
+    /// Initialization method name (`identical` / `linear` / `proportional`).
+    pub init: String,
+    /// Explicit min precision, if set.
+    pub min_precision: Option<f64>,
+    /// Lazy schedule: warm-up epochs, Im, Ig.
+    pub lazy: (u64, u64, u64),
+}
+
+impl From<&GmConfig> for GmConfigSnapshot {
+    fn from(c: &GmConfig) -> Self {
+        GmConfigSnapshot {
+            k: c.k,
+            gamma: c.gamma,
+            a_factor: c.a_factor,
+            alpha_exponent: c.alpha_exponent,
+            init: c.init.name().to_string(),
+            min_precision: c.min_precision,
+            lazy: (c.lazy.warmup_epochs, c.lazy.im, c.lazy.ig),
+        }
+    }
+}
+
+impl GmConfigSnapshot {
+    /// Rebuilds the configuration, validating every field.
+    pub fn restore(&self) -> Result<GmConfig> {
+        let init = match self.init.as_str() {
+            "identical" => InitMethod::Identical,
+            "linear" => InitMethod::Linear,
+            "proportional" => InitMethod::Proportional,
+            other => {
+                return Err(CoreError::InvalidConfig {
+                    field: "init",
+                    reason: format!("unknown init method `{other}`"),
+                })
+            }
+        };
+        let cfg = GmConfig {
+            k: self.k,
+            gamma: self.gamma,
+            a_factor: self.a_factor,
+            alpha_exponent: self.alpha_exponent,
+            init,
+            min_precision: self.min_precision,
+            lazy: LazySchedule::new(self.lazy.0, self.lazy.1, self.lazy.2)?,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+impl GmRegularizer {
+    /// Captures the learned mixture and configuration.
+    pub fn snapshot(&self) -> GmSnapshot {
+        GmSnapshot {
+            pi: self.mixture().pi().to_vec(),
+            lambda: self.mixture().lambda().to_vec(),
+            m: self.dims(),
+            config: GmConfigSnapshot::from(self.config()),
+        }
+    }
+
+    /// Rebuilds a regularizer from a snapshot. The weight vector itself is
+    /// owned by the model; only the adaptive mixture state is restored (the
+    /// next scheduled E-step refreshes the cached `g_reg`).
+    pub fn from_snapshot(snap: &GmSnapshot) -> Result<GmRegularizer> {
+        let config = snap.config.restore()?;
+        if snap.pi.len() != config.k || snap.lambda.len() != config.k {
+            return Err(CoreError::InvalidConfig {
+                field: "snapshot",
+                reason: format!(
+                    "component count mismatch: config K = {}, snapshot has {}/{}",
+                    config.k,
+                    snap.pi.len(),
+                    snap.lambda.len()
+                ),
+            });
+        }
+        // Validate the mixture parameters before installing them.
+        let gm = GaussianMixture::new(snap.pi.clone(), snap.lambda.clone())?;
+        let mut reg = GmRegularizer::new(snap.m, 0.1, config)?;
+        reg.install_mixture(gm)?;
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regularizer::{Regularizer, StepCtx};
+
+    fn trained_reg() -> GmRegularizer {
+        let w: Vec<f32> = (0..200)
+            .map(|i| if i % 5 == 0 { 0.8 } else { 0.02 } * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let mut reg = GmRegularizer::new(
+            w.len(),
+            0.1,
+            GmConfig {
+                min_precision: Some(5.0),
+                ..GmConfig::default()
+            },
+        )
+        .expect("valid");
+        let mut grad = vec![0.0f32; w.len()];
+        for it in 0..50 {
+            grad.fill(0.0);
+            reg.accumulate_grad(&w, &mut grad, StepCtx::new(it, 0));
+        }
+        reg
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = trained_reg();
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let back: GmSnapshot = serde_json::from_str(&json).expect("deserializes");
+        // JSON float formatting can drift by 1 ULP; compare with tolerance.
+        assert_eq!(back.m, snap.m);
+        assert_eq!(back.config, snap.config);
+        for (a, b) in snap.pi.iter().zip(&back.pi) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in snap.lambda.iter().zip(&back.lambda) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+        let restored = GmRegularizer::from_snapshot(&back).expect("restores");
+        assert!(restored
+            .mixture()
+            .pi()
+            .iter()
+            .zip(reg.mixture().pi())
+            .all(|(a, b)| (a - b).abs() < 1e-12));
+        assert_eq!(restored.dims(), reg.dims());
+        assert_eq!(restored.config(), reg.config());
+    }
+
+    #[test]
+    fn restored_regularizer_produces_same_gradients() {
+        let reg = trained_reg();
+        // direct snapshot (no JSON) restores bit-exactly
+        let mut restored = GmRegularizer::from_snapshot(&reg.snapshot()).expect("restores");
+        let w: Vec<f32> = (0..200).map(|i| (i as f32 - 100.0) / 150.0).collect();
+        let mut g1 = vec![0.0f32; 200];
+        let mut g2 = vec![0.0f32; 200];
+        let mut orig = reg;
+        orig.accumulate_grad(&w, &mut g1, StepCtx::new(1_000, 50));
+        restored.accumulate_grad(&w, &mut g2, StepCtx::new(1_000, 50));
+        // Same mixture + same weights => identical E-step output.
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_corruption() {
+        let reg = trained_reg();
+        let mut snap = reg.snapshot();
+        snap.lambda[0] = -1.0;
+        assert!(GmRegularizer::from_snapshot(&snap).is_err());
+
+        let mut snap = reg.snapshot();
+        snap.pi.pop();
+        assert!(GmRegularizer::from_snapshot(&snap).is_err());
+
+        let mut snap = reg.snapshot();
+        snap.config.init = "nonsense".into();
+        assert!(GmRegularizer::from_snapshot(&snap).is_err());
+
+        let mut snap = reg.snapshot();
+        snap.config.lazy = (0, 0, 1);
+        assert!(GmRegularizer::from_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn config_snapshot_round_trips_all_init_methods() {
+        for init in InitMethod::ALL {
+            let cfg = GmConfig {
+                init,
+                ..GmConfig::default()
+            };
+            let snap = GmConfigSnapshot::from(&cfg);
+            assert_eq!(snap.restore().expect("valid"), cfg);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Hyper-parameter configuration for the GM regularizer, encoding the
+//! paper's guidance for "easy setting of GM hyper-parameters"
+//! (Section V-B1).
+
+use crate::error::{CoreError, Result};
+use crate::gm::init::InitMethod;
+use crate::gm::lazy::LazySchedule;
+
+/// Hyper-parameters of the GM regularizer.
+///
+/// The defaults follow the paper's recipe so that, given only the layer's
+/// dimensionality `M`, a usable configuration exists out of the box:
+///
+/// * `K = 4` initial components (Section V-B1 found 4 best; extra
+///   components merge away during training);
+/// * `b = γ·M` with γ from a small grid (default 0.005, the grid midpoint);
+/// * `a = 1 + 0.01·b` (the paper: `a` is "not so significant", set to
+///   `1 + 10⁻²·b` or `1 + 10⁻¹·b`);
+/// * `α_k = M^0.5` for all components (`alpha_exponent = 0.5` won Fig. 4);
+/// * linear precision initialization (the best method in Table VIII);
+/// * `min` precision = one tenth of the weight-initialization precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmConfig {
+    /// Initial number of Gaussian components `K`.
+    pub k: usize,
+    /// γ in `b = γ·M` — scale of the Gamma prior's rate parameter.
+    pub gamma: f64,
+    /// Factor `c` in `a = 1 + c·b` — shape of the Gamma prior.
+    pub a_factor: f64,
+    /// Exponent `e` in `α_k = M^e` — the Dirichlet concentration.
+    pub alpha_exponent: f64,
+    /// How the component precisions are initialized.
+    pub init: InitMethod,
+    /// Smallest initial component precision (`min` in Section V-E). When
+    /// `None` it is derived as one tenth of the weight-init precision via
+    /// [`GmConfig::min_precision_from_weight_std`].
+    pub min_precision: Option<f64>,
+    /// Lazy-update schedule (Algorithm 2). `LazySchedule::eager()` disables
+    /// laziness (Algorithm 1 behaviour).
+    pub lazy: LazySchedule,
+}
+
+/// The paper's γ grid for tuning `b = γ·M` (Section V-B1).
+pub const GAMMA_GRID: [f64; 8] = [0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05];
+
+impl Default for GmConfig {
+    fn default() -> Self {
+        GmConfig {
+            k: 4,
+            gamma: 0.005,
+            a_factor: 0.01,
+            alpha_exponent: 0.5,
+            init: InitMethod::Linear,
+            min_precision: None,
+            lazy: LazySchedule::eager(),
+        }
+    }
+}
+
+impl GmConfig {
+    /// Validates every field.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "k",
+                reason: "need at least one component".into(),
+            });
+        }
+        if !(self.gamma.is_finite() && self.gamma > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "gamma",
+                reason: format!("must be positive and finite, got {}", self.gamma),
+            });
+        }
+        if !(self.a_factor.is_finite() && self.a_factor >= 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "a_factor",
+                reason: format!("must be non-negative and finite, got {}", self.a_factor),
+            });
+        }
+        if !self.alpha_exponent.is_finite() || self.alpha_exponent < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                field: "alpha_exponent",
+                reason: format!("must be non-negative and finite, got {}", self.alpha_exponent),
+            });
+        }
+        if let Some(mp) = self.min_precision {
+            if !(mp.is_finite() && mp > 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    field: "min_precision",
+                    reason: format!("must be positive and finite, got {mp}"),
+                });
+            }
+        }
+        self.lazy.validate()
+    }
+
+    /// The Gamma rate `b = γ·M` for a layer with `m` weight dimensions
+    /// (Section III-C3: "`b` is set as a proportional function to M").
+    pub fn b(&self, m: usize) -> f64 {
+        self.gamma * m as f64
+    }
+
+    /// The Gamma shape `a = 1 + a_factor·b` (Section V-B1).
+    pub fn a(&self, m: usize) -> f64 {
+        1.0 + self.a_factor * self.b(m)
+    }
+
+    /// The Dirichlet concentration `α_k = M^alpha_exponent`, shared by all
+    /// components (Section III-C3: "α is set to the power of M").
+    pub fn alpha(&self, m: usize) -> f64 {
+        (m as f64).powf(self.alpha_exponent)
+    }
+
+    /// Derives the `min` initial precision from the standard deviation used
+    /// to initialize the layer's weights: one tenth of the weight-init
+    /// precision `1/std²` (Section V-E).
+    pub fn min_precision_from_weight_std(weight_std: f64) -> f64 {
+        1.0 / (weight_std * weight_std) / 10.0
+    }
+
+    /// The `min` precision this config will use for a layer whose weights
+    /// were initialized with `weight_std`.
+    pub fn resolve_min_precision(&self, weight_std: f64) -> f64 {
+        self.min_precision
+            .unwrap_or_else(|| Self::min_precision_from_weight_std(weight_std))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_recipe() {
+        let c = GmConfig::default();
+        assert_eq!(c.k, 4);
+        assert_eq!(c.alpha_exponent, 0.5);
+        assert_eq!(c.init, InitMethod::Linear);
+        c.validate().unwrap();
+        // b = gamma*M, a = 1 + 0.01*b, alpha = sqrt(M)
+        let m = 10_000;
+        assert!((c.b(m) - 50.0).abs() < 1e-12);
+        assert!((c.a(m) - 1.5).abs() < 1e-12);
+        assert!((c.alpha(m) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_grid_matches_paper() {
+        assert_eq!(GAMMA_GRID.len(), 8);
+        assert_eq!(GAMMA_GRID[0], 0.0002);
+        assert_eq!(GAMMA_GRID[7], 0.05);
+    }
+
+    #[test]
+    fn min_precision_derivation() {
+        // paper: weight init precision 100 (std = 0.1) -> min = 10
+        let min = GmConfig::min_precision_from_weight_std(0.1);
+        assert!((min - 10.0).abs() < 1e-9);
+        let mut c = GmConfig::default();
+        assert!((c.resolve_min_precision(0.1) - 10.0).abs() < 1e-9);
+        c.min_precision = Some(3.0);
+        assert_eq!(c.resolve_min_precision(0.1), 3.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut c = GmConfig::default();
+        c.k = 0;
+        assert!(c.validate().is_err());
+        let mut c = GmConfig::default();
+        c.gamma = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = GmConfig::default();
+        c.a_factor = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = GmConfig::default();
+        c.alpha_exponent = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = GmConfig::default();
+        c.min_precision = Some(0.0);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! The lightweight EM machinery: one-pass E-step sweep over the weight
+//! vector and the closed-form, prior-smoothed M-step (Eq. 13 and Eq. 17).
+
+use crate::gm::mixture::GaussianMixture;
+
+/// Per-component sufficient statistics gathered by an E-step sweep:
+/// `resp_sum[k] = Σ_m r_k(w_m)` and `resp_wsq_sum[k] = Σ_m r_k(w_m)·w_m²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmAccumulators {
+    /// `Σ_m r_k(w_m)` per component.
+    pub resp_sum: Vec<f64>,
+    /// `Σ_m r_k(w_m)·w_m²` per component.
+    pub resp_wsq_sum: Vec<f64>,
+    /// Number of weight dimensions `M` the sweep covered.
+    pub m: usize,
+}
+
+impl EmAccumulators {
+    /// Zeroed accumulators for `k` components.
+    pub fn zeros(k: usize) -> Self {
+        EmAccumulators {
+            resp_sum: vec![0.0; k],
+            resp_wsq_sum: vec![0.0; k],
+            m: 0,
+        }
+    }
+}
+
+/// One E-step sweep over the weight vector (Eq. 9 applied to every
+/// dimension).
+///
+/// In a single pass this computes the sufficient statistics for the M-step
+/// and, when `greg_out` is given, the cached regularization gradient
+/// `g_reg[m] = (Σ_k r_k(w_m)·λ_k) · w_m` of Eq. 10 — the quantity
+/// Algorithm 2 computes in its E-step and reuses until the next one.
+pub fn e_step(gm: &GaussianMixture, w: &[f32], mut greg_out: Option<&mut [f32]>) -> EmAccumulators {
+    let k = gm.k();
+    let mut acc = EmAccumulators::zeros(k);
+    acc.m = w.len();
+    if let Some(out) = greg_out.as_deref() {
+        assert_eq!(out.len(), w.len(), "greg buffer must match weight length");
+    }
+
+    // Pre-compute per-component log weights: ln π_k + 0.5 ln λ_k (the
+    // -0.5 ln 2π constant cancels in the softmax).
+    let mut log_base = vec![f64::NEG_INFINITY; k];
+    for i in 0..k {
+        if gm.pi()[i] > 0.0 {
+            log_base[i] = gm.pi()[i].ln() + 0.5 * gm.lambda()[i].ln();
+        }
+    }
+    let lambda = gm.lambda();
+    let mut logs = vec![0.0f64; k];
+    for (m_idx, &wv) in w.iter().enumerate() {
+        let x = wv as f64;
+        let xsq = x * x;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..k {
+            let t = log_base[i] - 0.5 * lambda[i] * xsq;
+            logs[i] = t;
+            if t > max {
+                max = t;
+            }
+        }
+        let mut z = 0.0;
+        for t in logs.iter_mut() {
+            *t = (*t - max).exp();
+            z += *t;
+        }
+        let mut coeff = 0.0;
+        for i in 0..k {
+            let r = logs[i] / z;
+            acc.resp_sum[i] += r;
+            acc.resp_wsq_sum[i] += r * xsq;
+            coeff += r * lambda[i];
+        }
+        if let Some(out) = greg_out.as_deref_mut() {
+            out[m_idx] = (coeff * x) as f32;
+        }
+    }
+    acc
+}
+
+/// Bounds that keep the M-step's precisions physical even on adversarial
+/// inputs (all-zero weights drive λ toward `a/b`-dominated values; the
+/// clamp is a safety net, not part of the paper's formulas).
+pub const LAMBDA_MIN: f64 = 1e-10;
+/// Upper clamp for precisions; see [`LAMBDA_MIN`].
+pub const LAMBDA_MAX: f64 = 1e12;
+/// Mixing coefficients are floored at this value before renormalization so
+/// no component's log weight becomes `-inf` mid-training.
+pub const PI_FLOOR: f64 = 1e-12;
+
+/// The M-step: closed-form minimizers for λ (Eq. 13) and π (Eq. 17) given
+/// fixed responsibilities.
+///
+/// * `λ_k = (2(a−1) + Σ_m r_k) / (2b + Σ_m r_k·w_m²)` — the Gamma prior's
+///   `2(a−1)` and `2b` act as pseudo-counts that smooth the estimate;
+/// * `π_k = (Σ_m r_k + α_k − 1) / (M + Σ_j (α_j − 1))` — the Dirichlet
+///   prior biases the mixture toward keeping components alive.
+///
+/// Returns `(pi, lambda)`.
+pub fn m_step(acc: &EmAccumulators, a: f64, b: f64, alpha: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let k = acc.resp_sum.len();
+    assert_eq!(alpha.len(), k, "alpha must have one entry per component");
+
+    let mut lambda = Vec::with_capacity(k);
+    for i in 0..k {
+        let num = 2.0 * (a - 1.0) + acc.resp_sum[i];
+        let den = 2.0 * b + acc.resp_wsq_sum[i];
+        let l = if den > 0.0 { num / den } else { LAMBDA_MAX };
+        lambda.push(l.clamp(LAMBDA_MIN, LAMBDA_MAX));
+    }
+
+    let alpha_excess: f64 = alpha.iter().map(|&av| av - 1.0).sum();
+    let den = acc.m as f64 + alpha_excess;
+    let mut pi: Vec<f64> = (0..k)
+        .map(|i| ((acc.resp_sum[i] + alpha[i] - 1.0) / den).max(PI_FLOOR))
+        .collect();
+    let z: f64 = pi.iter().sum();
+    for p in pi.iter_mut() {
+        *p /= z;
+    }
+    (pi, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Result;
+    use proptest::prelude::*;
+
+    fn gm2() -> GaussianMixture {
+        GaussianMixture::new(vec![0.4, 0.6], vec![1.0, 64.0]).unwrap()
+    }
+
+    #[test]
+    fn e_step_statistics_match_per_element_responsibilities() {
+        let gm = gm2();
+        let w = [0.02f32, -0.5, 1.3, 0.0, -0.01, 0.7];
+        let mut greg = vec![0.0f32; w.len()];
+        let acc = e_step(&gm, &w, Some(&mut greg));
+        assert_eq!(acc.m, w.len());
+
+        let mut want_sum = vec![0.0f64; 2];
+        let mut want_wsq = vec![0.0f64; 2];
+        let mut r = Vec::new();
+        for (i, &wv) in w.iter().enumerate() {
+            gm.responsibilities(wv as f64, &mut r);
+            for k in 0..2 {
+                want_sum[k] += r[k];
+                want_wsq[k] += r[k] * (wv as f64) * (wv as f64);
+            }
+            let coeff = gm.reg_coefficient(wv as f64);
+            assert!(
+                (greg[i] as f64 - coeff * wv as f64).abs() < 1e-6,
+                "greg[{i}]"
+            );
+        }
+        for k in 0..2 {
+            assert!((acc.resp_sum[k] - want_sum[k]).abs() < 1e-9);
+            assert!((acc.resp_wsq_sum[k] - want_wsq[k]).abs() < 1e-9);
+        }
+        // responsibilities per element sum to 1 => totals sum to M
+        assert!((acc.resp_sum.iter().sum::<f64>() - w.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e_step_without_greg_buffer() {
+        let gm = gm2();
+        let acc = e_step(&gm, &[0.1, 0.2], None);
+        assert_eq!(acc.m, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "greg buffer")]
+    fn e_step_rejects_mismatched_buffer() {
+        let gm = gm2();
+        let mut greg = vec![0.0f32; 3];
+        e_step(&gm, &[0.1, 0.2], Some(&mut greg));
+    }
+
+    #[test]
+    fn m_step_matches_paper_formulas_by_hand() {
+        // Hand-computed example: K=2, M=4.
+        let acc = EmAccumulators {
+            resp_sum: vec![1.5, 2.5],
+            resp_wsq_sum: vec![0.3, 0.02],
+            m: 4,
+        };
+        let (a, b) = (1.1, 0.5);
+        let alpha = [2.0, 2.0];
+        let (pi, lambda) = m_step(&acc, a, b, &alpha);
+        // lambda_0 = (2*0.1 + 1.5) / (1.0 + 0.3) = 1.7/1.3
+        assert!((lambda[0] - 1.7 / 1.3).abs() < 1e-12);
+        // lambda_1 = (0.2 + 2.5) / (1.0 + 0.02) = 2.7/1.02
+        assert!((lambda[1] - 2.7 / 1.02).abs() < 1e-12);
+        // pi_0 = (1.5 + 1) / (4 + 2) = 2.5/6 ; pi_1 = 3.5/6
+        assert!((pi[0] - 2.5 / 6.0).abs() < 1e-12);
+        assert!((pi[1] - 3.5 / 6.0).abs() < 1e-12);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m_step_recovers_two_population_precisions() -> Result<()> {
+        // Weights drawn (deterministically spaced) from two populations:
+        // "noisy" near zero (std 0.05) and "useful" wide (std 1.0).
+        let mut w = Vec::new();
+        for i in 0..400 {
+            let u = (i as f64 + 0.5) / 400.0; // (0,1)
+            let q = inv_norm_cdf(u);
+            w.push((q * 0.05) as f32); // tight population
+            w.push((q * 1.0) as f32); // wide population
+        }
+        let mut gm = GaussianMixture::new(vec![0.5, 0.5], vec![10.0, 100.0])?;
+        let m = w.len();
+        let (a, b) = (1.0 + 0.01 * 0.001 * m as f64, 0.001 * m as f64);
+        let alpha = vec![(m as f64).sqrt(); 2];
+        for _ in 0..200 {
+            let acc = e_step(&gm, &w, None);
+            let (pi, lambda) = m_step(&acc, a, b, &alpha);
+            gm.set_params(pi, lambda)?;
+        }
+        // Expect one precision near 1/0.05^2 = 400 and one near 1.
+        let (lo, hi) = (
+            gm.lambda()[0].min(gm.lambda()[1]),
+            gm.lambda()[0].max(gm.lambda()[1]),
+        );
+        assert!(
+            (0.5..4.0).contains(&lo),
+            "wide-component precision {lo} should be near 1"
+        );
+        assert!(
+            (100.0..1200.0).contains(&hi),
+            "tight-component precision {hi} should be near 400"
+        );
+        // Mixing weights near 0.5 each.
+        assert!((gm.pi()[0] - 0.5).abs() < 0.2, "pi {:?}", gm.pi());
+        Ok(())
+    }
+
+    /// Acklam-style rational approximation of the standard normal inverse
+    /// CDF — test-only helper for deterministic "samples".
+    fn inv_norm_cdf(p: f64) -> f64 {
+        // Beasley-Springer-Moro
+        let a = [
+            -3.969683028665376e+01,
+            2.209460984245205e+02,
+            -2.759285104469687e+02,
+            1.383577518672690e+02,
+            -3.066479806614716e+01,
+            2.506628277459239e+00,
+        ];
+        let b = [
+            -5.447609879822406e+01,
+            1.615858368580409e+02,
+            -1.556989798598866e+02,
+            6.680131188771972e+01,
+            -1.328068155288572e+01,
+        ];
+        let c = [
+            -7.784894002430293e-03,
+            -3.223964580411365e-01,
+            -2.400758277161838e+00,
+            -2.549732539343734e+00,
+            4.374664141464968e+00,
+            2.938163982698783e+00,
+        ];
+        let d = [
+            7.784695709041462e-03,
+            3.224671290700398e-01,
+            2.445134137142996e+00,
+            3.754408661907416e+00,
+        ];
+        let plow = 0.02425;
+        if p < plow {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+                / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+        } else if p <= 1.0 - plow {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+                / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+        } else {
+            -inv_norm_cdf(1.0 - p)
+        }
+    }
+
+    #[test]
+    fn m_step_handles_all_zero_weights() {
+        let gm = gm2();
+        let w = vec![0.0f32; 100];
+        let acc = e_step(&gm, &w, None);
+        let (pi, lambda) = m_step(&acc, 1.5, 0.1, &[10.0, 10.0]);
+        assert!(pi.iter().all(|p| p.is_finite() && *p > 0.0));
+        assert!(lambda.iter().all(|l| l.is_finite() && *l > 0.0));
+        assert!(lambda.iter().all(|l| *l <= LAMBDA_MAX));
+    }
+
+    #[test]
+    fn gamma_prior_caps_lambda_blowup() {
+        // Without the 2b term, near-zero weights would drive lambda to
+        // enormous values; b = gamma*M keeps it at ~M/(2*gamma*M).
+        let gm = GaussianMixture::new(vec![1.0], vec![100.0]).unwrap();
+        let w = vec![1e-6f32; 1000];
+        let acc = e_step(&gm, &w, None);
+        let b = 0.005 * 1000.0; // gamma = 0.005
+        let (_, lambda) = m_step(&acc, 1.0 + 0.01 * b, b, &[1000f64.sqrt()]);
+        // bounded by roughly (2(a-1) + M) / 2b
+        let bound = (2.0 * (0.01 * b) + 1000.0) / (2.0 * b);
+        assert!(lambda[0] <= bound * 1.001, "{} vs {bound}", lambda[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn m_step_rejects_wrong_alpha_len() {
+        let acc = EmAccumulators::zeros(2);
+        m_step(&acc, 1.0, 1.0, &[1.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn m_step_outputs_are_valid_mixture_params(
+            r0 in 0.0f64..1000.0,
+            r1 in 0.0f64..1000.0,
+            s0 in 0.0f64..100.0,
+            s1 in 0.0f64..100.0,
+            gamma in 0.0001f64..0.1,
+            alpha in 1.0f64..100.0,
+        ) {
+            let m = (r0 + r1).ceil() as usize + 1;
+            let acc = EmAccumulators {
+                resp_sum: vec![r0, r1],
+                resp_wsq_sum: vec![s0, s1],
+                m,
+            };
+            let b = gamma * m as f64;
+            let (pi, lambda) = m_step(&acc, 1.0 + 0.01 * b, b, &[alpha, alpha]);
+            prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(pi.iter().all(|p| *p > 0.0));
+            prop_assert!(lambda.iter().all(|l| l.is_finite() && *l >= LAMBDA_MIN && *l <= LAMBDA_MAX));
+        }
+
+        #[test]
+        fn e_step_resp_totals_equal_m(seed in 0u64..30) {
+            use rand::{SeedableRng, rngs::StdRng};
+            use rand::RngExt as _;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w: Vec<f32> = (0..200).map(|_| (rng.random::<f64>() * 2.0 - 1.0) as f32).collect();
+            let gm = gm2();
+            let acc = e_step(&gm, &w, None);
+            prop_assert!((acc.resp_sum.iter().sum::<f64>() - 200.0).abs() < 1e-6);
+        }
+    }
+}

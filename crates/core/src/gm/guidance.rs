@@ -1,0 +1,179 @@
+//! Hyper-parameter guidance (the paper's fourth contribution: "we provide
+//! guidance on setting the appropriate hyper-parameters for different
+//! kinds of models"), extended with the scale-awareness this reproduction
+//! had to work out empirically.
+//!
+//! The knob that actually moves across setups is γ. The Gamma prior caps
+//! learnable precisions at ≈ `1/(2γ)`; under the MAP convention the noisy
+//! weights therefore shrink by `lr · λ_cap / ((1 − momentum) · N)` per
+//! step, and what matters for the final model is the *cumulative* decay
+//! over the whole run:
+//!
+//! ```text
+//! D ≈ total_steps · lr · λ_cap / ((1 − momentum) · N)
+//! ```
+//!
+//! Solving for γ with a model-kind-dependent target `D` reproduces both
+//! the paper's published grid at CIFAR scale (γ ≈ 0.016 for
+//! Alex-CIFAR-10 at 80k steps over 50k images) and the values this
+//! repository's own tuning found at reproduction scale (γ ≈ 0.3 at 240
+//! steps over 150 images).
+
+use crate::error::{CoreError, Result};
+use crate::gm::config::GmConfig;
+use crate::gm::lazy::LazySchedule;
+
+/// The kind of model a GM regularizer will be attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Deep network without batch normalization (e.g. Alex-CIFAR-10):
+    /// wants relatively strong shrinkage of its noisy weights.
+    DeepNoBatchNorm,
+    /// Deep network with batch normalization (e.g. ResNet): BN already
+    /// regularizes, so the prior should stay weaker.
+    DeepBatchNorm,
+    /// Linear model on tabular data (the Table VII setting): small-n,
+    /// high-dimension runs tolerate — and benefit from — stronger
+    /// cumulative shrinkage of the noisy features.
+    Linear,
+}
+
+impl ModelKind {
+    /// Target cumulative decay `D` of the noisy-weight population.
+    fn target_cumulative_decay(&self) -> f64 {
+        match self {
+            ModelKind::DeepNoBatchNorm => 0.5,
+            ModelKind::DeepBatchNorm => 0.2,
+            ModelKind::Linear => 2.0,
+        }
+    }
+}
+
+/// A [`GmConfig`] following the paper's recipe with γ chosen from the
+/// training run's shape (training-set size, total SGD steps, learning
+/// rate, momentum) and the paper's default lazy schedule enabled.
+///
+/// ```
+/// use gmreg_core::gm::{recommended_config, ModelKind};
+/// // 60 epochs of batch-32 SGD over 1,400 samples ≈ 2,640 steps.
+/// let cfg = recommended_config(ModelKind::Linear, 1_400, 2_640, 0.1, 0.9).unwrap();
+/// assert_eq!(cfg.k, 4);
+/// assert!(cfg.gamma > 0.0);
+/// ```
+pub fn recommended_config(
+    kind: ModelKind,
+    n_train: usize,
+    total_steps: usize,
+    lr: f64,
+    momentum: f64,
+) -> Result<GmConfig> {
+    if n_train == 0 || total_steps == 0 {
+        return Err(CoreError::InvalidConfig {
+            field: "n_train/total_steps",
+            reason: "need at least one sample and one step".into(),
+        });
+    }
+    if !(lr.is_finite() && lr > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            field: "lr",
+            reason: format!("must be positive and finite, got {lr}"),
+        });
+    }
+    if !(0.0..1.0).contains(&momentum) {
+        return Err(CoreError::InvalidConfig {
+            field: "momentum",
+            reason: format!("must lie in [0, 1), got {momentum}"),
+        });
+    }
+    // D = steps · lr · cap / ((1−μ) · N), cap = 1/(2γ)
+    //   ⇒ γ = steps · lr / (2 · D · (1−μ) · N)
+    let d = kind.target_cumulative_decay();
+    let gamma = total_steps as f64 * lr / (2.0 * d * (1.0 - momentum) * n_train as f64);
+    // Stay within two decades of the paper's published grid so the Gamma
+    // prior still smooths meaningfully.
+    let gamma = gamma.clamp(2e-5, 2.0);
+    let cfg = GmConfig {
+        gamma,
+        lazy: LazySchedule::paper_default(),
+        ..GmConfig::default()
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_lands_inside_the_published_grid() {
+        // Alex-CIFAR-10 in the paper: 160 epochs × 500 batches over 50k
+        // images at lr 0.001, momentum 0.9.
+        let cfg = recommended_config(ModelKind::DeepNoBatchNorm, 50_000, 80_000, 0.001, 0.9)
+            .expect("valid inputs");
+        assert!(
+            (0.0002..=0.05).contains(&cfg.gamma),
+            "γ = {} should fall in the paper's grid",
+            cfg.gamma
+        );
+    }
+
+    #[test]
+    fn reproduction_scale_matches_what_tuning_found() {
+        // Smoke-scale Alex: 40 epochs × 6 batches over 150 images at lr
+        // 0.02; Table VI's grid selected γ = 0.3.
+        let cfg = recommended_config(ModelKind::DeepNoBatchNorm, 150, 240, 0.02, 0.9)
+            .expect("valid inputs");
+        assert!(
+            (0.15..=0.65).contains(&cfg.gamma),
+            "γ = {} should match the empirically tuned 0.3",
+            cfg.gamma
+        );
+    }
+
+    #[test]
+    fn linear_scale_matches_the_extended_grid_winners() {
+        // hepatitis: 30 epochs × 4 batches over 124 training samples at lr
+        // 0.1; the probe found γ ≈ 0.1–0.2 best.
+        let cfg = recommended_config(ModelKind::Linear, 124, 120, 0.1, 0.9).expect("ok");
+        assert!(
+            (0.05..=0.6).contains(&cfg.gamma),
+            "γ = {} should land near the tuned range",
+            cfg.gamma
+        );
+    }
+
+    #[test]
+    fn batch_norm_models_get_weaker_regularization() {
+        let no_bn =
+            recommended_config(ModelKind::DeepNoBatchNorm, 1_000, 2_000, 0.01, 0.9).expect("ok");
+        let bn =
+            recommended_config(ModelKind::DeepBatchNorm, 1_000, 2_000, 0.01, 0.9).expect("ok");
+        // larger γ = lower precision cap = weaker regularization
+        assert!(bn.gamma > no_bn.gamma);
+    }
+
+    #[test]
+    fn lazy_schedule_is_on_by_default() {
+        let cfg = recommended_config(ModelKind::Linear, 300, 300, 0.1, 0.9).expect("ok");
+        assert_eq!(cfg.lazy, LazySchedule::paper_default());
+        assert_eq!(cfg.k, 4);
+        assert_eq!(cfg.alpha_exponent, 0.5);
+    }
+
+    #[test]
+    fn validation_and_clamping() {
+        assert!(recommended_config(ModelKind::Linear, 0, 10, 0.1, 0.9).is_err());
+        assert!(recommended_config(ModelKind::Linear, 10, 0, 0.1, 0.9).is_err());
+        assert!(recommended_config(ModelKind::Linear, 10, 10, 0.0, 0.9).is_err());
+        assert!(recommended_config(ModelKind::Linear, 10, 10, 0.1, 1.0).is_err());
+        assert!(recommended_config(ModelKind::Linear, 10, 10, f64::NAN, 0.9).is_err());
+        // extreme inputs clamp instead of producing an invalid config
+        let tiny =
+            recommended_config(ModelKind::Linear, usize::MAX / 2, 1, 1e-9, 0.0).expect("ok");
+        tiny.validate().expect("clamped γ is valid");
+        let huge =
+            recommended_config(ModelKind::DeepNoBatchNorm, 1, 1_000_000, 10.0, 0.99).expect("ok");
+        huge.validate().expect("clamped γ is valid");
+    }
+}

@@ -1,0 +1,130 @@
+//! GM initialization methods (Section V-E, Table VIII, Fig. 4).
+
+use crate::error::{CoreError, Result};
+use crate::gm::mixture::GaussianMixture;
+
+/// How the `K` initial component precisions are spread out from the base
+/// precision `min`.
+///
+/// The paper compares three methods and finds that methods giving the
+/// components *different* initial precisions (linear, proportional)
+/// converge to the final one-or-two-component state much faster than
+/// `identical`, and that `linear` is best because its components are most
+/// scattered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InitMethod {
+    /// All precisions set to `min`.
+    Identical,
+    /// Precisions linearly spaced over `[min, K·min]`.
+    Linear,
+    /// Precision of component `k` is `min · 2^k` (each component twice the
+    /// precision of the previous one).
+    Proportional,
+}
+
+impl InitMethod {
+    /// All three methods, in the order Table VIII reports them.
+    pub const ALL: [InitMethod; 3] = [
+        InitMethod::Linear,
+        InitMethod::Identical,
+        InitMethod::Proportional,
+    ];
+
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InitMethod::Identical => "identical",
+            InitMethod::Linear => "linear",
+            InitMethod::Proportional => "proportional",
+        }
+    }
+
+    /// The initial precision vector for `k` components with base precision
+    /// `min`.
+    pub fn precisions(&self, k: usize, min: f64) -> Result<Vec<f64>> {
+        if k == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "k",
+                reason: "need at least one component".into(),
+            });
+        }
+        if !(min.is_finite() && min > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "min_precision",
+                reason: format!("must be positive and finite, got {min}"),
+            });
+        }
+        Ok(match self {
+            InitMethod::Identical => vec![min; k],
+            InitMethod::Linear => {
+                if k == 1 {
+                    vec![min]
+                } else {
+                    // linearly spaced over [min, k*min]
+                    let hi = k as f64 * min;
+                    (0..k)
+                        .map(|i| min + (hi - min) * i as f64 / (k - 1) as f64)
+                        .collect()
+                }
+            }
+            InitMethod::Proportional => (0..k).map(|i| min * 2f64.powi(i as i32)).collect(),
+        })
+    }
+
+    /// Builds the full initial mixture: the method's precisions plus uniform
+    /// mixing coefficients.
+    pub fn mixture(&self, k: usize, min: f64) -> Result<GaussianMixture> {
+        let lambda = self.precisions(k, min)?;
+        let pi = vec![1.0 / k as f64; k];
+        GaussianMixture::new(pi, lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_precisions() {
+        let l = InitMethod::Identical.precisions(4, 10.0).unwrap();
+        assert_eq!(l, vec![10.0; 4]);
+    }
+
+    #[test]
+    fn linear_precisions_span_min_to_k_min() {
+        let l = InitMethod::Linear.precisions(4, 10.0).unwrap();
+        assert_eq!(l, vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(InitMethod::Linear.precisions(1, 5.0).unwrap(), vec![5.0]);
+    }
+
+    #[test]
+    fn proportional_precisions_double() {
+        let l = InitMethod::Proportional.precisions(4, 10.0).unwrap();
+        assert_eq!(l, vec![10.0, 20.0, 40.0, 80.0]);
+    }
+
+    #[test]
+    fn mixture_is_uniform_simplex() {
+        for m in InitMethod::ALL {
+            let gm = m.mixture(4, 10.0).unwrap();
+            assert_eq!(gm.k(), 4);
+            assert!(gm.pi().iter().all(|&p| (p - 0.25).abs() < 1e-12));
+            // every lambda >= min
+            assert!(gm.lambda().iter().all(|&l| l >= 10.0));
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(InitMethod::Linear.precisions(0, 10.0).is_err());
+        assert!(InitMethod::Linear.precisions(4, 0.0).is_err());
+        assert!(InitMethod::Linear.precisions(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(InitMethod::Identical.name(), "identical");
+        assert_eq!(InitMethod::Linear.name(), "linear");
+        assert_eq!(InitMethod::Proportional.name(), "proportional");
+    }
+}

@@ -1,0 +1,156 @@
+//! The lazy-update schedule of Algorithm 2.
+//!
+//! Recomputing responsibilities / `g_reg` (the E-step) and the GM
+//! parameters (the M-step) every SGD iteration is the bottleneck of GM
+//! regularization. Algorithm 2 runs both every iteration only for the first
+//! `E` epochs; afterwards the E-step runs every `Im` iterations and the
+//! M-step every `Ig` iterations, with stale values reused in between.
+
+use crate::error::{CoreError, Result};
+
+/// When to recompute the E-step (`g_reg`) and M-step (π, λ) during
+/// training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazySchedule {
+    /// Number of initial epochs during which every iteration updates
+    /// everything (`E` in Algorithm 2).
+    pub warmup_epochs: u64,
+    /// E-step (model-parameter regularization gradient) update interval
+    /// (`Im`).
+    pub im: u64,
+    /// M-step (GM parameter) update interval (`Ig`). The paper sets
+    /// `Ig ≥ Im` because GM parameters converge faster than the model.
+    pub ig: u64,
+}
+
+impl LazySchedule {
+    /// The non-lazy schedule: every step updates everything (Algorithm 1).
+    pub fn eager() -> Self {
+        LazySchedule {
+            warmup_epochs: u64::MAX,
+            im: 1,
+            ig: 1,
+        }
+    }
+
+    /// The paper's default experimental setting: `E = 2`, `Im = Ig = 50`.
+    pub fn paper_default() -> Self {
+        LazySchedule {
+            warmup_epochs: 2,
+            im: 50,
+            ig: 50,
+        }
+    }
+
+    /// A custom schedule.
+    pub fn new(warmup_epochs: u64, im: u64, ig: u64) -> Result<Self> {
+        let s = LazySchedule {
+            warmup_epochs,
+            im,
+            ig,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Validates the intervals.
+    pub fn validate(&self) -> Result<()> {
+        if self.im == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "im",
+                reason: "update interval must be at least 1".into(),
+            });
+        }
+        if self.ig == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "ig",
+                reason: "update interval must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Should this iteration recompute responsibilities and `g_reg`?
+    /// (Algorithm 2 line 4: `epoch_it < E or it mod Im = 0`.)
+    #[inline]
+    pub fn run_e_step(&self, iteration: u64, epoch: u64) -> bool {
+        epoch < self.warmup_epochs || iteration % self.im == 0
+    }
+
+    /// Should this iteration recompute the GM parameters π, λ?
+    /// (Algorithm 2 line 9: `epoch_it < E or it mod Ig = 0`.)
+    #[inline]
+    pub fn run_m_step(&self, iteration: u64, epoch: u64) -> bool {
+        epoch < self.warmup_epochs || iteration % self.ig == 0
+    }
+
+    /// Fraction of iterations that run the E-step once warmup is over —
+    /// the asymptotic cost model behind Fig. 5's ×4 speedup.
+    pub fn steady_state_e_rate(&self) -> f64 {
+        1.0 / self.im as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_always_updates() {
+        let s = LazySchedule::eager();
+        for it in 0..100 {
+            assert!(s.run_e_step(it, 0));
+            assert!(s.run_m_step(it, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn warmup_epochs_always_update() {
+        let s = LazySchedule::new(2, 50, 100).unwrap();
+        assert!(s.run_e_step(7, 0));
+        assert!(s.run_e_step(7, 1));
+        assert!(!s.run_e_step(7, 2));
+        assert!(s.run_e_step(50, 2));
+        assert!(s.run_m_step(100, 5));
+        assert!(!s.run_m_step(150, 5)); // 150 % 100 != 0
+        assert!(s.run_e_step(150, 5)); // 150 % 50 == 0
+    }
+
+    #[test]
+    fn intervals_validated() {
+        assert!(LazySchedule::new(0, 0, 1).is_err());
+        assert!(LazySchedule::new(0, 1, 0).is_err());
+        assert!(LazySchedule::new(0, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn paper_default_matches_section_vf() {
+        let s = LazySchedule::paper_default();
+        assert_eq!(s.warmup_epochs, 2);
+        assert_eq!(s.im, 50);
+        assert_eq!(s.ig, 50);
+        assert!((s.steady_state_e_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn e_step_count_over_run_matches_rate() {
+        let s = LazySchedule::new(2, 10, 20).unwrap();
+        let batches_per_epoch = 100u64;
+        let mut e_steps = 0;
+        let mut m_steps = 0;
+        for epoch in 0..10u64 {
+            for b in 0..batches_per_epoch {
+                let it = epoch * batches_per_epoch + b;
+                if s.run_e_step(it, epoch) {
+                    e_steps += 1;
+                }
+                if s.run_m_step(it, epoch) {
+                    m_steps += 1;
+                }
+            }
+        }
+        // 2 warmup epochs (200 every-step) + 8 epochs at 1/10 and 1/20.
+        assert_eq!(e_steps, 200 + 80);
+        assert_eq!(m_steps, 200 + 40);
+    }
+}

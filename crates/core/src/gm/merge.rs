@@ -1,0 +1,134 @@
+//! Collapsing near-duplicate mixture components for reporting.
+//!
+//! During training, EM drives redundant components toward identical
+//! precisions (the paper: "some of the Gaussian components are gradually
+//! merged to one during the GM learning process", leaving one or two).
+//! Numerically they remain distinct entries with near-equal λ, so reports
+//! like Tables IV/V collapse them with [`effective_mixture`].
+
+use crate::error::Result;
+use crate::gm::mixture::GaussianMixture;
+
+/// Components whose precisions differ by less than this ratio are treated
+/// as one component when reporting.
+pub const MERGE_RATIO: f64 = 1.5;
+
+/// Components with mixing weight below this are dropped when reporting.
+pub const PI_DROP: f64 = 1e-3;
+
+/// Returns the mixture with near-identical components merged and
+/// negligible-weight components dropped, sorted by ascending precision.
+///
+/// Merging preserves the mixture's second moment: the merged component's
+/// variance is the π-weighted mean of the merged variances.
+pub fn effective_mixture(gm: &GaussianMixture) -> Result<GaussianMixture> {
+    effective_mixture_with(gm, MERGE_RATIO, PI_DROP)
+}
+
+/// [`effective_mixture`] with explicit merge ratio and drop threshold.
+pub fn effective_mixture_with(
+    gm: &GaussianMixture,
+    merge_ratio: f64,
+    pi_drop: f64,
+) -> Result<GaussianMixture> {
+    // Sort surviving components by precision.
+    let mut comps: Vec<(f64, f64)> = gm
+        .pi()
+        .iter()
+        .zip(gm.lambda())
+        .map(|(&p, &l)| (p, l))
+        .filter(|&(p, _)| p >= pi_drop)
+        .collect();
+    if comps.is_empty() {
+        // Everything fell below the drop threshold; keep the heaviest
+        // original component so the result is still a valid mixture.
+        let (idx, _) = gm
+            .pi()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("mixture has at least one component");
+        comps.push((1.0, gm.lambda()[idx]));
+    }
+    comps.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    // Greedily merge runs of components whose precision ratio stays below
+    // merge_ratio, pooling their variance π-weighted.
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(comps.len());
+    for (p, l) in comps {
+        match merged.last_mut() {
+            Some((mp, ml)) if l / *ml < merge_ratio => {
+                let pooled_var = (*mp / *ml + p / l) / (*mp + p);
+                *mp += p;
+                *ml = 1.0 / pooled_var;
+            }
+            _ => merged.push((p, l)),
+        }
+    }
+
+    let z: f64 = merged.iter().map(|(p, _)| p).sum();
+    let pi = merged.iter().map(|(p, _)| p / z).collect();
+    let lambda = merged.iter().map(|&(_, l)| l).collect();
+    GaussianMixture::new(pi, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_components_collapse_to_one() {
+        let gm = GaussianMixture::new(vec![0.25; 4], vec![10.0, 10.1, 10.2, 9.9]).unwrap();
+        let eff = effective_mixture(&gm).unwrap();
+        assert_eq!(eff.k(), 1);
+        assert!((eff.pi()[0] - 1.0).abs() < 1e-12);
+        assert!((eff.lambda()[0] - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn two_populations_stay_two() {
+        let gm =
+            GaussianMixture::new(vec![0.25; 4], vec![1.0, 1.2, 800.0, 810.0]).unwrap();
+        let eff = effective_mixture(&gm).unwrap();
+        assert_eq!(eff.k(), 2);
+        assert!(eff.lambda()[0] < 2.0);
+        assert!(eff.lambda()[1] > 700.0);
+        assert!((eff.pi()[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_weight_components_are_dropped() {
+        let gm =
+            GaussianMixture::new(vec![0.9995, 0.0005], vec![100.0, 1.0]).unwrap();
+        let eff = effective_mixture(&gm).unwrap();
+        assert_eq!(eff.k(), 1);
+        assert!((eff.lambda()[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_preserves_variance() {
+        let gm = GaussianMixture::new(vec![0.5, 0.5], vec![10.0, 12.0]).unwrap();
+        let eff = effective_mixture(&gm).unwrap();
+        assert_eq!(eff.k(), 1);
+        assert!((eff.variance() - gm.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_below_drop_threshold_keeps_heaviest() {
+        let gm = GaussianMixture::new(vec![0.5, 0.5], vec![1.0, 2.0]).unwrap();
+        // absurd drop threshold: everything below 0.9
+        let eff = effective_mixture_with(&gm, 1.5, 0.9).unwrap();
+        assert_eq!(eff.k(), 1);
+        assert!((eff.pi()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_ascending_precision() {
+        let gm =
+            GaussianMixture::new(vec![0.3, 0.3, 0.4], vec![500.0, 1.0, 30.0]).unwrap();
+        let eff = effective_mixture(&gm).unwrap();
+        let l = eff.lambda();
+        assert!(l.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(eff.k(), 3);
+    }
+}

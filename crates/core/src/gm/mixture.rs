@@ -1,0 +1,370 @@
+//! The zero-mean Gaussian Mixture over weight values (Eq. 4).
+
+use crate::error::{CoreError, Result};
+
+/// Natural log of 2π, used by the Gaussian log-density.
+const LN_TAU: f64 = 1.837_877_066_409_345_5;
+
+/// A one-dimensional Gaussian Mixture whose components are all centered at
+/// zero but carry individual precisions (Eq. 4 with μ_k = 0).
+///
+/// `pi[k]` are the mixing coefficients (a probability simplex) and
+/// `lambda[k]` the precisions (inverse variances). All GM bookkeeping is in
+/// `f64`: the EM accumulators sum over hundreds of thousands of weights and
+/// single precision would lose the small-component tails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture {
+    pi: Vec<f64>,
+    lambda: Vec<f64>,
+}
+
+impl GaussianMixture {
+    /// Builds a mixture, validating that `pi` is a simplex and `lambda`
+    /// holds positive finite precisions.
+    pub fn new(pi: Vec<f64>, lambda: Vec<f64>) -> Result<Self> {
+        if pi.is_empty() || pi.len() != lambda.len() {
+            return Err(CoreError::InvalidConfig {
+                field: "pi/lambda",
+                reason: format!(
+                    "need equal, non-zero component counts, got {} and {}",
+                    pi.len(),
+                    lambda.len()
+                ),
+            });
+        }
+        let sum: f64 = pi.iter().sum();
+        if pi.iter().any(|&p| !(p.is_finite() && p >= 0.0)) || (sum - 1.0).abs() > 1e-6 {
+            return Err(CoreError::InvalidConfig {
+                field: "pi",
+                reason: format!("must be a probability simplex, got {pi:?} (sum {sum})"),
+            });
+        }
+        if lambda.iter().any(|&l| !(l.is_finite() && l > 0.0)) {
+            return Err(CoreError::InvalidConfig {
+                field: "lambda",
+                reason: format!("precisions must be positive and finite, got {lambda:?}"),
+            });
+        }
+        Ok(GaussianMixture { pi, lambda })
+    }
+
+    /// Number of components `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Mixing coefficients π.
+    #[inline]
+    pub fn pi(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Precisions λ.
+    #[inline]
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Replaces the parameters, re-validating the invariants.
+    pub fn set_params(&mut self, pi: Vec<f64>, lambda: Vec<f64>) -> Result<()> {
+        *self = GaussianMixture::new(pi, lambda)?;
+        Ok(())
+    }
+
+    /// Log-density of component `k` at `x`: `ln N(x | 0, λ_k)`.
+    #[inline]
+    pub fn component_log_density(&self, k: usize, x: f64) -> f64 {
+        let l = self.lambda[k];
+        0.5 * (l.ln() - LN_TAU) - 0.5 * l * x * x
+    }
+
+    /// Density of component `k` at `x`.
+    #[inline]
+    pub fn component_density(&self, k: usize, x: f64) -> f64 {
+        self.component_log_density(k, x).exp()
+    }
+
+    /// Mixture density `p(x) = Σ_k π_k N(x | 0, λ_k)` (Eq. 4).
+    pub fn density(&self, x: f64) -> f64 {
+        self.log_density(x).exp()
+    }
+
+    /// Log of the mixture density, computed with the log-sum-exp trick so
+    /// very concentrated components do not underflow.
+    pub fn log_density(&self, x: f64) -> f64 {
+        let mut max = f64::NEG_INFINITY;
+        let mut terms = [0.0f64; 16];
+        let mut heap;
+        let buf: &mut [f64] = if self.k() <= 16 {
+            &mut terms[..self.k()]
+        } else {
+            heap = vec![0.0; self.k()];
+            &mut heap
+        };
+        for (k, t) in buf.iter_mut().enumerate() {
+            // A component with π_k = 0 contributes nothing; ln(0) = -inf is
+            // the correct sentinel for log-sum-exp.
+            *t = if self.pi[k] > 0.0 {
+                self.pi[k].ln() + self.component_log_density(k, x)
+            } else {
+                f64::NEG_INFINITY
+            };
+            if *t > max {
+                max = *t;
+            }
+        }
+        if max == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        max + buf.iter().map(|t| (t - max).exp()).sum::<f64>().ln()
+    }
+
+    /// Responsibilities `r_k(x)` of every component for the value `x`
+    /// (Eq. 9), computed in log space.
+    ///
+    /// The result always sums to 1 (up to rounding); if every component
+    /// underflows, responsibility collapses onto the numerically dominant
+    /// component.
+    pub fn responsibilities(&self, x: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.k());
+        let mut max = f64::NEG_INFINITY;
+        for k in 0..self.k() {
+            let t = if self.pi[k] > 0.0 {
+                self.pi[k].ln() + self.component_log_density(k, x)
+            } else {
+                f64::NEG_INFINITY
+            };
+            out.push(t);
+            if t > max {
+                max = t;
+            }
+        }
+        let mut z = 0.0;
+        for t in out.iter_mut() {
+            *t = (*t - max).exp();
+            z += *t;
+        }
+        for t in out.iter_mut() {
+            *t /= z;
+        }
+    }
+
+    /// The coefficient `Σ_k r_k(x) · λ_k` multiplying `w_m` in the
+    /// regularization gradient (Eq. 10).
+    pub fn reg_coefficient(&self, x: f64) -> f64 {
+        // Inlined responsibilities to avoid the Vec in the hot path.
+        let mut max = f64::NEG_INFINITY;
+        let mut logs = [0.0f64; 16];
+        let mut heap;
+        let buf: &mut [f64] = if self.k() <= 16 {
+            &mut logs[..self.k()]
+        } else {
+            heap = vec![0.0; self.k()];
+            &mut heap
+        };
+        for (k, t) in buf.iter_mut().enumerate() {
+            *t = if self.pi[k] > 0.0 {
+                self.pi[k].ln() + self.component_log_density(k, x)
+            } else {
+                f64::NEG_INFINITY
+            };
+            if *t > max {
+                max = *t;
+            }
+        }
+        let mut z = 0.0;
+        let mut acc = 0.0;
+        for (k, t) in buf.iter().enumerate() {
+            let r = (t - max).exp();
+            z += r;
+            acc += r * self.lambda[k];
+        }
+        acc / z
+    }
+
+    /// Negative log prior `−Σ_m ln p(w_m)` of a weight vector under this
+    /// mixture — the data-independent part of Eq. 8 contributed by `w`.
+    pub fn neg_log_prior(&self, w: &[f32]) -> f64 {
+        -w.iter().map(|&v| self.log_density(v as f64)).sum::<f64>()
+    }
+
+    /// Points where two components' weighted densities cross (the A/B points
+    /// of Fig. 3).
+    ///
+    /// For zero-mean components `i`, `j` with `λ_i < λ_j`, solving
+    /// `π_i N(x|0,λ_i) = π_j N(x|0,λ_j)` gives
+    /// `x² = (2·ln(π_j/π_i) + ln(λ_j/λ_i)) / (λ_j − λ_i)`; the crossing
+    /// exists when the right-hand side is positive. Returns the positive
+    /// root (point B); point A is its negation by symmetry.
+    pub fn crossover(&self, i: usize, j: usize) -> Option<f64> {
+        let (li, lj) = (self.lambda[i], self.lambda[j]);
+        let (pi, pj) = (self.pi[i], self.pi[j]);
+        if (li - lj).abs() < 1e-12 || pi <= 0.0 || pj <= 0.0 {
+            return None;
+        }
+        let x2 = (2.0 * (pj / pi).ln() + (lj / li).ln()) / (lj - li);
+        if x2 > 0.0 {
+            Some(x2.sqrt())
+        } else {
+            None
+        }
+    }
+
+    /// The variance of the mixture: `Σ_k π_k / λ_k` (zero mean).
+    pub fn variance(&self) -> f64 {
+        self.pi
+            .iter()
+            .zip(&self.lambda)
+            .map(|(&p, &l)| p / l)
+            .sum()
+    }
+
+    /// True if any parameter is NaN or non-finite.
+    pub fn is_degenerate(&self) -> bool {
+        self.pi.iter().any(|p| !p.is_finite())
+            || self.lambda.iter().any(|l| !(l.is_finite() && *l > 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn gm2() -> GaussianMixture {
+        GaussianMixture::new(vec![0.3, 0.7], vec![1.0, 100.0]).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GaussianMixture::new(vec![], vec![]).is_err());
+        assert!(GaussianMixture::new(vec![0.5], vec![1.0, 2.0]).is_err());
+        assert!(GaussianMixture::new(vec![0.5, 0.6], vec![1.0, 2.0]).is_err());
+        assert!(GaussianMixture::new(vec![0.5, 0.5], vec![1.0, -2.0]).is_err());
+        assert!(GaussianMixture::new(vec![0.5, 0.5], vec![1.0, f64::NAN]).is_err());
+        assert!(GaussianMixture::new(vec![1.0], vec![4.0]).is_ok());
+    }
+
+    #[test]
+    fn single_component_density_matches_gaussian() {
+        let gm = GaussianMixture::new(vec![1.0], vec![4.0]).unwrap();
+        // N(0.5 | 0, var=1/4): 1/sqrt(2*pi*0.25) * exp(-0.5*0.25/0.25)
+        let expect = (4.0 / LN_TAU.exp()).sqrt() * (-0.5f64).exp();
+        assert!((gm.density(0.5) - expect).abs() < 1e-12);
+        assert!((gm.log_density(0.5) - expect.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let gm = gm2();
+        let (mut acc, h) = (0.0, 1e-3);
+        let mut x = -10.0;
+        while x < 10.0 {
+            acc += gm.density(x) * h;
+            x += h;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral {acc}");
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one_and_favor_tight_component_near_zero() {
+        let gm = gm2();
+        let mut r = Vec::new();
+        gm.responsibilities(0.01, &mut r);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(r[1] > 0.9, "tight component should dominate at 0: {r:?}");
+        gm.responsibilities(2.0, &mut r);
+        assert!(r[0] > 0.9, "wide component should dominate at 2: {r:?}");
+    }
+
+    #[test]
+    fn reg_coefficient_matches_manual_sum() {
+        let gm = gm2();
+        let mut r = Vec::new();
+        for &x in &[0.0, 0.05, 0.3, 1.5, -2.0] {
+            gm.responsibilities(x, &mut r);
+            let manual: f64 = r
+                .iter()
+                .zip(gm.lambda())
+                .map(|(ri, li)| ri * li)
+                .sum();
+            assert!((gm.reg_coefficient(x) - manual).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_produce_nan() {
+        let gm = GaussianMixture::new(vec![0.5, 0.5], vec![1e-6, 1e9]).unwrap();
+        for &x in &[0.0, 1e-12, 1e6, -1e6] {
+            assert!(gm.reg_coefficient(x).is_finite(), "x = {x}");
+            let mut r = Vec::new();
+            gm.responsibilities(x, &mut r);
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn crossover_matches_density_equality() {
+        let gm = gm2();
+        let b = gm.crossover(0, 1).expect("components must cross");
+        let d0 = gm.pi()[0] * gm.component_density(0, b);
+        let d1 = gm.pi()[1] * gm.component_density(1, b);
+        assert!((d0 - d1).abs() < 1e-9, "{d0} vs {d1}");
+        // identical precisions -> no crossover
+        let same = GaussianMixture::new(vec![0.5, 0.5], vec![2.0, 2.0]).unwrap();
+        assert!(same.crossover(0, 1).is_none());
+    }
+
+    #[test]
+    fn variance_is_mixture_of_inverses() {
+        let gm = gm2();
+        assert!((gm.variance() - (0.3 / 1.0 + 0.7 / 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pi_component_is_ignored() {
+        let gm = GaussianMixture::new(vec![0.0, 1.0], vec![1.0, 50.0]).unwrap();
+        let only = GaussianMixture::new(vec![1.0], vec![50.0]).unwrap();
+        assert!((gm.density(0.2) - only.density(0.2)).abs() < 1e-12);
+        assert!(gm.reg_coefficient(0.2).is_finite());
+    }
+
+    #[test]
+    fn set_params_revalidates() {
+        let mut gm = gm2();
+        assert!(gm.set_params(vec![0.4, 0.6], vec![2.0, 3.0]).is_ok());
+        assert!(gm.set_params(vec![0.4, 0.7], vec![2.0, 3.0]).is_err());
+        assert!(!gm.is_degenerate());
+    }
+
+    #[test]
+    fn many_component_heap_path() {
+        let k = 20;
+        let pi = vec![1.0 / k as f64; k];
+        let lambda: Vec<f64> = (1..=k).map(|i| i as f64).collect();
+        let gm = GaussianMixture::new(pi, lambda).unwrap();
+        assert!(gm.log_density(0.3).is_finite());
+        assert!(gm.reg_coefficient(0.3).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn responsibilities_always_simplex(
+            x in -50.0f64..50.0,
+            l1 in 0.01f64..1e4,
+            ratio in 1.0f64..1e4,
+            p in 0.01f64..0.99,
+        ) {
+            let gm = GaussianMixture::new(vec![p, 1.0 - p], vec![l1, l1 * ratio]).unwrap();
+            let mut r = Vec::new();
+            gm.responsibilities(x, &mut r);
+            prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(r.iter().all(|v| (0.0..=1.0 + 1e-12).contains(v)));
+            let c = gm.reg_coefficient(x);
+            prop_assert!(c >= l1.min(l1 * ratio) - 1e-6);
+            prop_assert!(c <= l1.max(l1 * ratio) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Adaptive Gaussian-Mixture regularization — the paper's contribution.
+//!
+//! * [`GaussianMixture`] — the zero-mean mixture prior (Eq. 4);
+//! * [`GmConfig`] — the "easy setting" hyper-parameter recipe (Sec. V-B1);
+//! * [`InitMethod`] — identical / linear / proportional precision
+//!   initialization (Sec. V-E);
+//! * [`LazySchedule`] — Algorithm 2's E/M update cadence;
+//! * [`e_step`] / [`m_step`] — the lightweight EM (Eqs. 9, 13, 17);
+//! * [`GmRegularizer`] — the schedule-driven [`Regularizer`]
+//!   implementation (Algorithms 1 and 2);
+//! * [`GmRegTool`] — the paper's three-function tool API (Sec. IV);
+//! * [`effective_mixture`] — collapses merged components for reporting;
+//! * [`GmSnapshot`] — serializable checkpoints of the learned state;
+//! * [`SoftSharingRegularizer`] — the learnable-means extension (classic
+//!   soft weight-sharing; the paper's zero-mean GM is its centered case).
+//!
+//! [`Regularizer`]: crate::Regularizer
+
+mod checkpoint;
+mod config;
+mod em;
+mod guidance;
+mod init;
+mod lazy;
+mod merge;
+mod mixture;
+mod regularizer;
+mod soft_sharing;
+mod tool;
+
+pub use checkpoint::{GmConfigSnapshot, GmSnapshot};
+pub use config::{GmConfig, GAMMA_GRID};
+pub use em::{e_step, m_step, EmAccumulators, LAMBDA_MAX, LAMBDA_MIN, PI_FLOOR};
+pub use guidance::{recommended_config, ModelKind};
+pub use init::InitMethod;
+pub use lazy::LazySchedule;
+pub use merge::{effective_mixture, effective_mixture_with, MERGE_RATIO, PI_DROP};
+pub use mixture::GaussianMixture;
+pub use regularizer::GmRegularizer;
+pub use soft_sharing::{SoftSharingConfig, SoftSharingRegularizer};
+pub use tool::GmRegTool;

@@ -1,0 +1,415 @@
+//! Extension: adaptive regularization with *learnable component means* —
+//! classic soft weight-sharing (Nowlan & Hinton, 1992), of which the
+//! paper's zero-mean GM regularization is the centered special case.
+//!
+//! The paper fixes every component's mean at zero because its goal is
+//! shrinkage with adaptive per-weight strength. Letting the means move
+//! turns the prior into a clustering penalty: weights are attracted to a
+//! small set of learned centers, which is the natural "future work"
+//! extension for weight quantization / sharing use cases. The machinery is
+//! the same interleaved EM + SGD; the M-step gains a responsibility-
+//! weighted mean update with a Normal prior (strength `mean_pseudo`)
+//! keeping centers near zero on non-stationary early weights.
+
+use crate::error::{CoreError, Result};
+use crate::regularizer::{Regularizer, StepCtx};
+
+/// Configuration for [`SoftSharingRegularizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftSharingConfig {
+    /// Number of mixture components.
+    pub k: usize,
+    /// γ in `b = γ·M` — Gamma-prior rate scale for the precisions, exactly
+    /// as in the zero-mean GM.
+    pub gamma: f64,
+    /// Factor `c` in `a = 1 + c·b`.
+    pub a_factor: f64,
+    /// Dirichlet exponent: `α = M^e`.
+    pub alpha_exponent: f64,
+    /// Pseudo-count of the zero-centered Normal prior on each component
+    /// mean; larger values keep means closer to zero.
+    pub mean_pseudo: f64,
+    /// Half-width of the initial mean spread: means start linearly spaced
+    /// over `[-spread, +spread]` (a spread of 0 reduces to all-zero means).
+    pub init_mean_spread: f64,
+    /// Initial precision of every component.
+    pub init_precision: f64,
+}
+
+impl Default for SoftSharingConfig {
+    fn default() -> Self {
+        SoftSharingConfig {
+            k: 4,
+            gamma: 0.005,
+            a_factor: 0.01,
+            alpha_exponent: 0.5,
+            mean_pseudo: 10.0,
+            init_mean_spread: 0.5,
+            init_precision: 10.0,
+        }
+    }
+}
+
+impl SoftSharingConfig {
+    /// Validates every field.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "k",
+                reason: "need at least one component".into(),
+            });
+        }
+        for (field, v) in [
+            ("gamma", self.gamma),
+            ("init_precision", self.init_precision),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    field,
+                    reason: format!("must be positive and finite, got {v}"),
+                });
+            }
+        }
+        for (field, v) in [
+            ("a_factor", self.a_factor),
+            ("alpha_exponent", self.alpha_exponent),
+            ("mean_pseudo", self.mean_pseudo),
+            ("init_mean_spread", self.init_mean_spread),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    field,
+                    reason: format!("must be non-negative and finite, got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A Gaussian-Mixture penalty whose component means are learned alongside
+/// the mixing coefficients and precisions.
+pub struct SoftSharingRegularizer {
+    config: SoftSharingConfig,
+    pi: Vec<f64>,
+    mu: Vec<f64>,
+    lambda: Vec<f64>,
+    m: usize,
+    a: f64,
+    b: f64,
+    alpha: f64,
+    em_steps: u64,
+}
+
+impl SoftSharingRegularizer {
+    /// Creates a regularizer for a parameter group of `m` dimensions.
+    pub fn new(m: usize, config: SoftSharingConfig) -> Result<Self> {
+        config.validate()?;
+        if m == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "m",
+                reason: "parameter group must have at least one dimension".into(),
+            });
+        }
+        let k = config.k;
+        let mu: Vec<f64> = if k == 1 {
+            vec![0.0]
+        } else {
+            (0..k)
+                .map(|i| {
+                    -config.init_mean_spread
+                        + 2.0 * config.init_mean_spread * i as f64 / (k - 1) as f64
+                })
+                .collect()
+        };
+        let b = config.gamma * m as f64;
+        let a = 1.0 + config.a_factor * b;
+        let alpha = (m as f64).powf(config.alpha_exponent);
+        Ok(SoftSharingRegularizer {
+            pi: vec![1.0 / k as f64; k],
+            lambda: vec![config.init_precision; k],
+            mu,
+            m,
+            a,
+            b,
+            alpha,
+            config,
+            em_steps: 0,
+        })
+    }
+
+    /// Mixing coefficients π.
+    pub fn pi(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Component means μ.
+    pub fn mu(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// Component precisions λ.
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// EM steps performed so far.
+    pub fn em_step_count(&self) -> u64 {
+        self.em_steps
+    }
+
+    /// Responsibilities of every component for the value `x`, in log space.
+    fn responsibilities(&self, x: f64, out: &mut Vec<f64>) {
+        out.clear();
+        let mut max = f64::NEG_INFINITY;
+        for k in 0..self.config.k {
+            let d = x - self.mu[k];
+            let t = if self.pi[k] > 0.0 {
+                self.pi[k].ln() + 0.5 * self.lambda[k].ln() - 0.5 * self.lambda[k] * d * d
+            } else {
+                f64::NEG_INFINITY
+            };
+            out.push(t);
+            if t > max {
+                max = t;
+            }
+        }
+        let mut z = 0.0;
+        for t in out.iter_mut() {
+            *t = (*t - max).exp();
+            z += *t;
+        }
+        for t in out.iter_mut() {
+            *t /= z;
+        }
+    }
+
+    /// One full EM step against the weights.
+    pub fn em_step(&mut self, w: &[f32]) -> Result<()> {
+        if w.len() != self.m {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.m,
+                actual: w.len(),
+            });
+        }
+        let k = self.config.k;
+        let mut r_sum = vec![0.0f64; k];
+        let mut rw_sum = vec![0.0f64; k];
+        let mut rdd_sum = vec![0.0f64; k];
+        let mut buf = Vec::with_capacity(k);
+        for &wv in w {
+            let x = wv as f64;
+            self.responsibilities(x, &mut buf);
+            for i in 0..k {
+                r_sum[i] += buf[i];
+                rw_sum[i] += buf[i] * x;
+                let d = x - self.mu[i];
+                rdd_sum[i] += buf[i] * d * d;
+            }
+        }
+        // Means: responsibility-weighted average, shrunk toward zero by the
+        // Normal prior's pseudo-count.
+        for i in 0..k {
+            self.mu[i] = rw_sum[i] / (r_sum[i] + self.config.mean_pseudo);
+        }
+        // Precisions: Gamma-smoothed as in the zero-mean GM (distances are
+        // measured to the *old* means here; one-step EM tolerates the lag).
+        for i in 0..k {
+            let num = 2.0 * (self.a - 1.0) + r_sum[i];
+            let den = 2.0 * self.b + rdd_sum[i];
+            self.lambda[i] = (num / den).clamp(crate::gm::LAMBDA_MIN, crate::gm::LAMBDA_MAX);
+        }
+        // Mixing coefficients: Dirichlet-smoothed.
+        let excess = k as f64 * (self.alpha - 1.0);
+        let den = self.m as f64 + excess;
+        let mut z = 0.0;
+        for i in 0..k {
+            self.pi[i] = ((r_sum[i] + self.alpha - 1.0) / den).max(crate::gm::PI_FLOOR);
+            z += self.pi[i];
+        }
+        for p in self.pi.iter_mut() {
+            *p /= z;
+        }
+        self.em_steps += 1;
+        Ok(())
+    }
+}
+
+impl Regularizer for SoftSharingRegularizer {
+    fn name(&self) -> &str {
+        "soft-sharing"
+    }
+
+    fn penalty(&self, w: &[f32]) -> f64 {
+        const LN_TAU: f64 = 1.837_877_066_409_345_5;
+        -w.iter()
+            .map(|&wv| {
+                let x = wv as f64;
+                let mut max = f64::NEG_INFINITY;
+                let mut terms = Vec::with_capacity(self.config.k);
+                for i in 0..self.config.k {
+                    let d = x - self.mu[i];
+                    let t = self.pi[i].max(f64::MIN_POSITIVE).ln()
+                        + 0.5 * (self.lambda[i].ln() - LN_TAU)
+                        - 0.5 * self.lambda[i] * d * d;
+                    max = max.max(t);
+                    terms.push(t);
+                }
+                max + terms.iter().map(|t| (t - max).exp()).sum::<f64>().ln()
+            })
+            .sum::<f64>()
+    }
+
+    fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], _ctx: StepCtx) {
+        assert_eq!(w.len(), grad.len(), "weight and gradient buffers must match");
+        assert_eq!(w.len(), self.m, "weight vector length changed");
+        // g_reg[m] = Σ_k r_k(w_m) · λ_k · (w_m − μ_k): pulls each weight
+        // toward the centers responsible for it.
+        let mut buf = Vec::with_capacity(self.config.k);
+        for (g, &wv) in grad.iter_mut().zip(w) {
+            let x = wv as f64;
+            self.responsibilities(x, &mut buf);
+            let mut acc = 0.0;
+            for i in 0..self.config.k {
+                acc += buf[i] * self.lambda[i] * (x - self.mu[i]);
+            }
+            *g += acc as f32;
+        }
+        // One EM step per call (the lazy schedule could be layered on top
+        // exactly as for the zero-mean GM).
+        let _ = self.em_step(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_weights() -> Vec<f32> {
+        // Three clusters at -0.8, 0, +0.8.
+        let mut w = Vec::new();
+        for i in 0..300 {
+            let c = [-0.8f32, 0.0, 0.8][i % 3];
+            let jitter = ((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5;
+            w.push(c + 0.05 * jitter);
+        }
+        w
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        assert!(SoftSharingRegularizer::new(0, SoftSharingConfig::default()).is_err());
+        let mut bad = SoftSharingConfig::default();
+        bad.k = 0;
+        assert!(SoftSharingRegularizer::new(4, bad).is_err());
+        let mut bad = SoftSharingConfig::default();
+        bad.gamma = -1.0;
+        assert!(SoftSharingRegularizer::new(4, bad).is_err());
+        let mut bad = SoftSharingConfig::default();
+        bad.mean_pseudo = f64::NAN;
+        assert!(SoftSharingRegularizer::new(4, bad).is_err());
+
+        let r = SoftSharingRegularizer::new(10, SoftSharingConfig::default()).unwrap();
+        assert_eq!(r.name(), "soft-sharing");
+        assert_eq!(r.pi().len(), 4);
+        // linear mean spread covers [-0.5, 0.5]
+        assert!((r.mu()[0] + 0.5).abs() < 1e-12);
+        assert!((r.mu()[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_finds_the_clusters() {
+        let w = clustered_weights();
+        let cfg = SoftSharingConfig {
+            k: 3,
+            init_mean_spread: 0.4,
+            gamma: 0.001,
+            mean_pseudo: 1.0,
+            ..SoftSharingConfig::default()
+        };
+        let mut reg = SoftSharingRegularizer::new(w.len(), cfg).unwrap();
+        for _ in 0..100 {
+            reg.em_step(&w).unwrap();
+        }
+        let mut mu = reg.mu().to_vec();
+        mu.sort_by(f64::total_cmp);
+        assert!((mu[0] + 0.8).abs() < 0.1, "{mu:?}");
+        assert!(mu[1].abs() < 0.1, "{mu:?}");
+        assert!((mu[2] - 0.8).abs() < 0.1, "{mu:?}");
+        assert!((reg.pi().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(reg.em_step_count(), 100);
+    }
+
+    #[test]
+    fn gradient_pulls_weights_toward_their_cluster() {
+        let w = clustered_weights();
+        let cfg = SoftSharingConfig {
+            k: 3,
+            init_mean_spread: 0.4,
+            gamma: 0.001,
+            mean_pseudo: 1.0,
+            ..SoftSharingConfig::default()
+        };
+        let mut reg = SoftSharingRegularizer::new(w.len(), cfg).unwrap();
+        for _ in 0..100 {
+            reg.em_step(&w).unwrap();
+        }
+        // A weight slightly right of the +0.8 center is pulled left
+        // (positive gradient), slightly left is pulled right.
+        let mut probe = w.clone();
+        probe[0] = 0.9;
+        probe[1] = 0.7;
+        let mut grad = vec![0.0f32; w.len()];
+        reg.accumulate_grad(&probe, &mut grad, StepCtx::new(0, 0));
+        assert!(grad[0] > 0.0, "w=0.9 should be pulled down: {}", grad[0]);
+        assert!(grad[1] < 0.0, "w=0.7 should be pulled up: {}", grad[1]);
+    }
+
+    #[test]
+    fn penalty_is_lower_for_clustered_weights() {
+        let cfg = SoftSharingConfig {
+            k: 3,
+            init_mean_spread: 0.4,
+            gamma: 0.001,
+            mean_pseudo: 1.0,
+            ..SoftSharingConfig::default()
+        };
+        let w = clustered_weights();
+        let mut reg = SoftSharingRegularizer::new(w.len(), cfg).unwrap();
+        for _ in 0..100 {
+            reg.em_step(&w).unwrap();
+        }
+        let on_cluster = reg.penalty(&w);
+        let off: Vec<f32> = w.iter().map(|v| v + 0.4).collect();
+        let off_cluster = reg.penalty(&off);
+        assert!(
+            on_cluster < off_cluster,
+            "clustered weights should be more probable: {on_cluster} vs {off_cluster}"
+        );
+    }
+
+    #[test]
+    fn zero_spread_reduces_to_centered_mixture() {
+        let cfg = SoftSharingConfig {
+            init_mean_spread: 0.0,
+            mean_pseudo: 1e12, // pin the means
+            ..SoftSharingConfig::default()
+        };
+        let w: Vec<f32> = (0..100).map(|i| ((i as f32) - 50.0) / 100.0).collect();
+        let mut reg = SoftSharingRegularizer::new(w.len(), cfg).unwrap();
+        reg.em_step(&w).unwrap();
+        assert!(reg.mu().iter().all(|m| m.abs() < 1e-6), "{:?}", reg.mu());
+        // and the gradient then shrinks toward zero like the paper's GM
+        let mut grad = vec![0.0f32; w.len()];
+        reg.accumulate_grad(&w, &mut grad, StepCtx::new(0, 0));
+        for (g, &wv) in grad.iter().zip(&w) {
+            assert!(g * wv >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut reg = SoftSharingRegularizer::new(8, SoftSharingConfig::default()).unwrap();
+        assert!(reg.em_step(&[0.0; 4]).is_err());
+    }
+}

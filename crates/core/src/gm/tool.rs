@@ -1,0 +1,159 @@
+//! The paper's tool-facing API (Section IV, "Key Functions").
+//!
+//! The GM regularization tool exposes exactly three operations to a host
+//! deep-learning platform: `calResponsibility()`, `calcRegGrad()` and
+//! `uptGMParam()`. [`GmRegTool`] mirrors that surface over
+//! [`GmRegularizer`] so a training framework that wants manual control of
+//! the E/M cadence (instead of the built-in lazy schedule) can drive the
+//! steps itself.
+
+use crate::error::Result;
+use crate::gm::mixture::GaussianMixture;
+use crate::gm::regularizer::GmRegularizer;
+use crate::gm::GmConfig;
+
+/// Manual-cadence façade over the GM regularizer, mirroring the paper's
+/// `calResponsibility` / `calcRegGrad` / `uptGMParam` functions.
+///
+/// ```
+/// use gmreg_core::gm::{GmConfig, GmRegTool};
+///
+/// let mut tool = GmRegTool::new(4, 0.5, GmConfig::default()).unwrap();
+/// let w = [0.1_f32, -0.7, 0.02, 0.4];
+/// let resp = tool.cal_responsibility(&w).unwrap();
+/// assert_eq!(resp.len(), 4); // one row per weight dimension
+/// let greg = tool.calc_reg_grad(&w).unwrap();
+/// assert_eq!(greg.len(), 4);
+/// tool.upt_gm_param(&w).unwrap(); // one EM step on the mixture
+/// ```
+pub struct GmRegTool {
+    inner: GmRegularizer,
+}
+
+impl GmRegTool {
+    /// Creates a tool for a parameter group of `m` dimensions whose weights
+    /// were initialized with standard deviation `weight_std`.
+    pub fn new(m: usize, weight_std: f64, config: GmConfig) -> Result<Self> {
+        Ok(GmRegTool {
+            inner: GmRegularizer::new(m, weight_std, config)?,
+        })
+    }
+
+    /// `calResponsibility()`: the responsibility of every component for
+    /// every weight dimension (Eq. 9) — an `M × K` row-major matrix.
+    pub fn cal_responsibility(&self, w: &[f32]) -> Result<Vec<Vec<f64>>> {
+        self.check(w)?;
+        let gm = self.inner.mixture();
+        let mut rows = Vec::with_capacity(w.len());
+        let mut buf = Vec::new();
+        for &wv in w {
+            gm.responsibilities(wv as f64, &mut buf);
+            rows.push(buf.clone());
+        }
+        Ok(rows)
+    }
+
+    /// `calcRegGrad()`: the regularization gradient `g_reg` (Eq. 10) under
+    /// the current mixture, freshly computed (no lazy cache).
+    pub fn calc_reg_grad(&mut self, w: &[f32]) -> Result<Vec<f32>> {
+        self.check(w)?;
+        let gm = self.inner.mixture();
+        Ok(w.iter()
+            .map(|&wv| (gm.reg_coefficient(wv as f64) * wv as f64) as f32)
+            .collect())
+    }
+
+    /// `uptGMParam()`: one full EM step (E-step sweep + M-step refresh) of
+    /// the mixture parameters against the supplied weights.
+    pub fn upt_gm_param(&mut self, w: &[f32]) -> Result<()> {
+        self.inner.force_e_step(w)?;
+        self.inner.force_m_step()
+    }
+
+    /// The current mixture.
+    pub fn mixture(&self) -> &GaussianMixture {
+        self.inner.mixture()
+    }
+
+    /// The mixture with merged components collapsed, as reported in the
+    /// paper's tables.
+    pub fn learned_mixture(&self) -> Result<GaussianMixture> {
+        self.inner.learned_mixture()
+    }
+
+    /// Grants access to the underlying schedule-driven regularizer.
+    pub fn into_regularizer(self) -> GmRegularizer {
+        self.inner
+    }
+
+    fn check(&self, w: &[f32]) -> Result<()> {
+        if w.len() != self.inner.dims() {
+            return Err(crate::error::CoreError::DimensionMismatch {
+                expected: self.inner.dims(),
+                actual: w.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GmConfig {
+        GmConfig {
+            min_precision: Some(1.0),
+            ..GmConfig::default()
+        }
+    }
+
+    #[test]
+    fn responsibilities_rows_are_simplexes() {
+        let tool = GmRegTool::new(3, 0.5, cfg()).unwrap();
+        let rows = tool.cal_responsibility(&[0.0, 0.5, -2.0]).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            assert_eq!(row.len(), 4);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reg_grad_matches_coefficient_times_weight() {
+        let mut tool = GmRegTool::new(2, 0.5, cfg()).unwrap();
+        let w = [0.3f32, -0.1];
+        let g = tool.calc_reg_grad(&w).unwrap();
+        for (gi, wi) in g.iter().zip(&w) {
+            let c = tool.mixture().reg_coefficient(*wi as f64);
+            assert!((*gi as f64 - c * *wi as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn upt_gm_param_changes_mixture() {
+        let mut tool = GmRegTool::new(64, 0.5, cfg()).unwrap();
+        let before = tool.mixture().clone();
+        let w: Vec<f32> = (0..64).map(|i| ((i as f32) - 32.0) / 40.0).collect();
+        tool.upt_gm_param(&w).unwrap();
+        assert_ne!(tool.mixture(), &before);
+        tool.learned_mixture().unwrap();
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let mut tool = GmRegTool::new(3, 0.5, cfg()).unwrap();
+        assert!(tool.cal_responsibility(&[0.0; 2]).is_err());
+        assert!(tool.calc_reg_grad(&[0.0; 4]).is_err());
+        assert!(tool.upt_gm_param(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn into_regularizer_preserves_state() {
+        let mut tool = GmRegTool::new(8, 0.5, cfg()).unwrap();
+        tool.upt_gm_param(&[0.1; 8]).unwrap();
+        let reg = tool.into_regularizer();
+        assert_eq!(reg.e_step_count(), 1);
+        assert_eq!(reg.m_step_count(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! The [`Regularizer`] trait shared by every penalty in the workspace, plus
+//! the trivial "no regularization" implementation.
+
+/// Position of the current SGD step within training.
+///
+/// Adaptive regularizers (the GM regularizer's lazy-update schedule,
+/// Algorithm 2 of the paper) need to know both the global iteration counter
+/// and the current epoch; fixed-norm penalties ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepCtx {
+    /// Zero-based global SGD iteration (`it` in Algorithm 2).
+    pub iteration: u64,
+    /// Zero-based epoch (`epoch_it` in Algorithm 2).
+    pub epoch: u64,
+}
+
+impl StepCtx {
+    /// A context for the given iteration and epoch.
+    pub fn new(iteration: u64, epoch: u64) -> Self {
+        StepCtx { iteration, epoch }
+    }
+}
+
+/// A penalty on model parameters, in the paper's framing the
+/// `f(β, w)` term of `Loss(w) = data-misfit + f(β, w)` (Eq. 1).
+///
+/// Implementations add their gradient contribution `g_reg` to an existing
+/// gradient buffer so the optimizer accumulates `g_ll + g_reg` (Eq. 10)
+/// without extra allocations. Adaptive implementations may also mutate
+/// internal state (the GM regularizer runs an EM step here).
+pub trait Regularizer: Send {
+    /// Short, stable name used in experiment reports (e.g. `"L2"`, `"GM"`).
+    fn name(&self) -> &str;
+
+    /// The penalty's value for monitoring; the `f(β, w)` of Eq. 1 (for the
+    /// GM regularizer, the negative log prior of Eq. 8, up to constants).
+    fn penalty(&self, w: &[f32]) -> f64;
+
+    /// Adds `g_reg` to `grad` and advances any internal adaptive state.
+    ///
+    /// `w` and `grad` must have equal length; implementations may panic on a
+    /// mismatch (it is a programming error, not a data error).
+    fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], ctx: StepCtx);
+
+    /// Signals that an epoch finished, letting schedule-aware regularizers
+    /// advance their epoch counters independently of the step counter.
+    fn end_epoch(&mut self) {}
+
+    /// Downcast hook for reporting: the GM regularizer returns itself so
+    /// callers can read the learned mixture (Tables IV/V); every other
+    /// implementation returns `None`.
+    fn as_gm(&self) -> Option<&crate::gm::GmRegularizer> {
+        None
+    }
+}
+
+/// The absence of regularization — the "no regularization" rows of
+/// Table VI.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoReg;
+
+impl Regularizer for NoReg {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn penalty(&self, _w: &[f32]) -> f64 {
+        0.0
+    }
+
+    fn accumulate_grad(&mut self, _w: &[f32], _grad: &mut [f32], _ctx: StepCtx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noreg_is_inert() {
+        let mut r = NoReg;
+        let w = [1.0, -2.0, 3.0];
+        let mut g = [0.5, 0.5, 0.5];
+        r.accumulate_grad(&w, &mut g, StepCtx::new(0, 0));
+        assert_eq!(g, [0.5, 0.5, 0.5]);
+        assert_eq!(r.penalty(&w), 0.0);
+        assert_eq!(r.name(), "none");
+        r.end_epoch();
+    }
+
+    #[test]
+    fn step_ctx_constructor() {
+        let c = StepCtx::new(7, 2);
+        assert_eq!(c.iteration, 7);
+        assert_eq!(c.epoch, 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Image data augmentation: zero-pad + random crop and horizontal flip —
+//! the standard CIFAR recipe the paper applies to ResNet (Section V-A:
+//! "Data augmentation is performed for ResNet but not for
+//! Alex-CIFAR-10").
+
+use crate::error::{DataError, Result};
+use gmreg_tensor::Tensor;
+use rand::RngExt;
+
+/// Configuration of the augmentation pipeline applied per training batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Augment {
+    /// Zero padding added to each side before cropping back to the original
+    /// size (4 in the ResNet paper's CIFAR recipe).
+    pub pad: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment {
+            pad: 4,
+            flip_prob: 0.5,
+        }
+    }
+}
+
+impl Augment {
+    /// Applies the pipeline in place to a batch of images `[N, C, H, W]`.
+    pub fn apply_batch(&self, batch: &mut Tensor, rng: &mut impl RngExt) -> Result<()> {
+        let dims = batch.dims().to_vec();
+        if dims.len() != 4 {
+            return Err(DataError::InvalidConfig {
+                field: "batch",
+                reason: format!("expected [N, C, H, W] images, got {dims:?}"),
+            });
+        }
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let img_len = c * h * w;
+        let data = batch.as_mut_slice();
+        let mut scratch = vec![0.0f32; img_len];
+        for i in 0..n {
+            let img = &mut data[i * img_len..(i + 1) * img_len];
+            if self.pad > 0 {
+                // Random translation within ±pad, implemented as pad+crop:
+                // offsets in [0, 2*pad] relative to the padded frame, i.e.
+                // shifts in [-pad, +pad] of the original image.
+                let dy = rng.random_range(0..=2 * self.pad) as isize - self.pad as isize;
+                let dx = rng.random_range(0..=2 * self.pad) as isize - self.pad as isize;
+                shift_image(img, &mut scratch, c, h, w, dy, dx);
+            }
+            if self.flip_prob > 0.0 && rng.random::<f64>() < self.flip_prob {
+                flip_horizontal(img, c, h, w);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shifts an image by (dy, dx), filling exposed pixels with zero.
+fn shift_image(img: &mut [f32], scratch: &mut [f32], c: usize, h: usize, w: usize, dy: isize, dx: isize) {
+    scratch.fill(0.0);
+    for ch in 0..c {
+        let plane = ch * h * w;
+        for y in 0..h {
+            let sy = y as isize + dy;
+            if sy < 0 || sy >= h as isize {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as isize + dx;
+                if sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                scratch[plane + y * w + x] = img[plane + sy as usize * w + sx as usize];
+            }
+        }
+    }
+    img.copy_from_slice(scratch);
+}
+
+/// Mirrors an image left-to-right in place.
+fn flip_horizontal(img: &mut [f32], c: usize, h: usize, w: usize) {
+    for ch in 0..c {
+        let plane = ch * h * w;
+        for y in 0..h {
+            let row = plane + y * w;
+            img[row..row + w].reverse();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn img_batch() -> Tensor {
+        // one 1-channel 4x4 image: values 0..16
+        Tensor::from_vec((0..16).map(|v| v as f32).collect(), [1, 1, 4, 4]).unwrap()
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let mut t = img_batch();
+        let aug = Augment {
+            pad: 0,
+            flip_prob: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        aug.apply_batch(&mut t, &mut rng).unwrap();
+        assert_eq!(&t.as_slice()[..4], &[3.0, 2.0, 1.0, 0.0]);
+        // flipping twice restores the image
+        aug.apply_batch(&mut t, &mut rng).unwrap();
+        assert_eq!(&t.as_slice()[..4], &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn shift_moves_pixels_and_zero_fills() {
+        let mut img: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut scratch = vec![0.0; 16];
+        shift_image(&mut img, &mut scratch, 1, 4, 4, 1, 0);
+        // Row y now reads from source row y+1; last row becomes zero.
+        assert_eq!(&img[0..4], &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(&img[12..16], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let mut img: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut scratch = vec![0.0; 16];
+        shift_image(&mut img, &mut scratch, 1, 4, 4, 0, 0);
+        assert_eq!(img, (0..16).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn augment_preserves_shape_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Tensor::rand_uniform(&mut rng, [8, 3, 8, 8], 0.0, 1.0);
+        let aug = Augment::default();
+        aug.apply_batch(&mut t, &mut rng).unwrap();
+        assert_eq!(t.dims(), &[8, 3, 8, 8]);
+        assert!(t.min().unwrap() >= 0.0);
+        assert!(t.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn rejects_non_image_batches() {
+        let aug = Augment::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = Tensor::zeros([4, 4]);
+        assert!(aug.apply_batch(&mut t, &mut rng).is_err());
+    }
+}

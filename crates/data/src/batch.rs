@@ -1,0 +1,165 @@
+//! Mini-batch iteration with per-epoch shuffling.
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+use gmreg_tensor::{shuffled_indices, Tensor};
+use rand::Rng;
+
+/// One mini-batch: a dense feature tensor and its labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Features, shape `[B, ...]`.
+    pub x: Tensor,
+    /// Labels, length `B`.
+    pub y: Vec<usize>,
+}
+
+/// Plans one epoch of mini-batches over a dataset.
+///
+/// The sampler reshuffles at construction; build a new one (or call
+/// [`Batcher::reshuffle`]) each epoch. The final batch may be smaller than
+/// `batch_size` (no samples are dropped).
+#[derive(Debug)]
+pub struct Batcher {
+    order: Vec<usize>,
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// Creates a shuffled batch plan.
+    pub fn new(ds: &Dataset, batch_size: usize, rng: &mut impl Rng) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "batch_size",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if ds.is_empty() {
+            return Err(DataError::NotEnoughSamples {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(Batcher {
+            order: shuffled_indices(rng, ds.len()),
+            batch_size,
+        })
+    }
+
+    /// Creates a deterministic, unshuffled plan (useful for evaluation).
+    pub fn sequential(ds: &Dataset, batch_size: usize) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "batch_size",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if ds.is_empty() {
+            return Err(DataError::NotEnoughSamples {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(Batcher {
+            order: (0..ds.len()).collect(),
+            batch_size,
+        })
+    }
+
+    /// Number of batches in the epoch (`B` in Algorithm 2).
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Re-shuffles the plan for a new epoch.
+    pub fn reshuffle(&mut self, rng: &mut impl Rng) {
+        let perm = shuffled_indices(rng, self.order.len());
+        self.order = perm.into_iter().map(|p| self.order[p]).collect();
+    }
+
+    /// Materializes batch `i` from the dataset.
+    pub fn batch(&self, ds: &Dataset, i: usize) -> Result<Batch> {
+        let lo = i * self.batch_size;
+        if lo >= self.order.len() {
+            return Err(DataError::NotEnoughSamples {
+                needed: lo + 1,
+                available: self.order.len(),
+            });
+        }
+        let hi = (lo + self.batch_size).min(self.order.len());
+        let sub = ds.subset(&self.order[lo..hi])?;
+        Ok(Batch {
+            y: sub.y().to_vec(),
+            x: sub.x().clone(),
+        })
+    }
+
+    /// Iterates all batches of the epoch.
+    pub fn iter<'a>(&'a self, ds: &'a Dataset) -> impl Iterator<Item = Result<Batch>> + 'a {
+        (0..self.n_batches()).map(move |i| self.batch(ds, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds(n: usize) -> Dataset {
+        let x = Tensor::from_vec((0..n).map(|v| v as f32).collect(), [n, 1]).unwrap();
+        Dataset::new(x, vec![0; n], 1).unwrap()
+    }
+
+    #[test]
+    fn covers_every_sample_once() {
+        let d = ds(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = Batcher::new(&d, 3, &mut rng).unwrap();
+        assert_eq!(b.n_batches(), 4);
+        let mut seen: Vec<f32> = b
+            .iter(&d)
+            .flat_map(|batch| batch.unwrap().x.into_vec())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn last_batch_is_short() {
+        let d = ds(10);
+        let b = Batcher::sequential(&d, 4).unwrap();
+        assert_eq!(b.batch(&d, 2).unwrap().y.len(), 2);
+        assert!(b.batch(&d, 3).is_err());
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let d = ds(5);
+        let b = Batcher::sequential(&d, 2).unwrap();
+        assert_eq!(b.batch(&d, 0).unwrap().x.as_slice(), &[0.0, 1.0]);
+        assert_eq!(b.batch(&d, 2).unwrap().x.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn reshuffle_changes_order() {
+        let d = ds(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = Batcher::new(&d, 64, &mut rng).unwrap();
+        let before = b.batch(&d, 0).unwrap().x.into_vec();
+        b.reshuffle(&mut rng);
+        let after = b.batch(&d, 0).unwrap().x.into_vec();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn validation() {
+        let d = ds(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Batcher::new(&d, 0, &mut rng).is_err());
+        assert!(Batcher::sequential(&d, 0).is_err());
+        let empty = Dataset::new(Tensor::zeros([0, 1]), vec![], 1).unwrap();
+        assert!(Batcher::new(&empty, 1, &mut rng).is_err());
+        assert!(Batcher::sequential(&empty, 1).is_err());
+    }
+}

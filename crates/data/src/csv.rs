@@ -1,0 +1,309 @@
+//! CSV import/export for tabular datasets.
+//!
+//! Lets the pipeline run on *real* UCI files when the user has them,
+//! complementing the synthetic substitutes. The parser is self-contained
+//! (RFC-4180-style quoting, configurable missing-value markers) and infers
+//! a schema: a column whose non-missing values all parse as numbers is
+//! continuous; anything else is categorical with categories indexed by
+//! first appearance.
+
+use crate::encode::{Column, RawDataset};
+use crate::error::{DataError, Result};
+use std::collections::HashMap;
+
+/// CSV parsing options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter.
+    pub delimiter: char,
+    /// Whether the first record is a header row (skipped).
+    pub has_header: bool,
+    /// Strings treated as missing values (after trimming).
+    pub missing_markers: Vec<String>,
+    /// Zero-based index of the label column.
+    pub label_column: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            missing_markers: vec!["?".into(), "".into(), "NA".into(), "na".into()],
+            label_column: 0,
+        }
+    }
+}
+
+/// Splits one CSV record, honoring double-quoted fields with `""` escapes.
+fn split_record(line: &str, delim: char) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            if cur.is_empty() {
+                in_quotes = true;
+            } else {
+                return Err(DataError::InvalidConfig {
+                    field: "csv",
+                    reason: format!("stray quote mid-field in record: {line:?}"),
+                });
+            }
+        } else if c == delim {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(DataError::InvalidConfig {
+            field: "csv",
+            reason: format!("unterminated quoted field in record: {line:?}"),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Parses CSV text into a [`RawDataset`] with inferred column types.
+///
+/// Labels are read from `options.label_column`; distinct label strings are
+/// mapped to class indices by first appearance.
+pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<RawDataset> {
+    let mut lines = text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.trim().is_empty());
+    if options.has_header {
+        lines.next();
+    }
+    let records: Vec<Vec<String>> = lines
+        .map(|l| split_record(l, options.delimiter))
+        .collect::<Result<_>>()?;
+    let first = records.first().ok_or(DataError::NotEnoughSamples {
+        needed: 1,
+        available: 0,
+    })?;
+    let width = first.len();
+    if options.label_column >= width {
+        return Err(DataError::InvalidConfig {
+            field: "label_column",
+            reason: format!("index {} out of range for {width} columns", options.label_column),
+        });
+    }
+    for (i, r) in records.iter().enumerate() {
+        if r.len() != width {
+            return Err(DataError::InvalidConfig {
+                field: "csv",
+                reason: format!("record {i} has {} fields, expected {width}", r.len()),
+            });
+        }
+    }
+
+    // Labels.
+    let mut label_ids: HashMap<String, usize> = HashMap::new();
+    let mut y = Vec::with_capacity(records.len());
+    for r in &records {
+        let raw = r[options.label_column].trim().to_string();
+        let next = label_ids.len();
+        y.push(*label_ids.entry(raw).or_insert(next));
+    }
+    let n_classes = label_ids.len().max(1);
+
+    let is_missing =
+        |s: &str| -> bool { options.missing_markers.iter().any(|m| m == s.trim()) };
+
+    // Feature columns, with type inference.
+    let mut columns = Vec::with_capacity(width - 1);
+    for ci in 0..width {
+        if ci == options.label_column {
+            continue;
+        }
+        let cells: Vec<&str> = records.iter().map(|r| r[ci].trim()).collect();
+        let numeric = cells
+            .iter()
+            .filter(|c| !is_missing(c))
+            .all(|c| c.parse::<f64>().is_ok());
+        let any_present = cells.iter().any(|c| !is_missing(c));
+        if numeric && any_present {
+            let values = cells
+                .iter()
+                .map(|c| {
+                    if is_missing(c) {
+                        None
+                    } else {
+                        Some(c.parse::<f64>().expect("checked above"))
+                    }
+                })
+                .collect();
+            columns.push(Column::Continuous { values });
+        } else {
+            let mut ids: HashMap<String, u32> = HashMap::new();
+            let values: Vec<Option<u32>> = cells
+                .iter()
+                .map(|c| {
+                    if is_missing(c) {
+                        None
+                    } else {
+                        let next = ids.len() as u32;
+                        Some(*ids.entry((*c).to_string()).or_insert(next))
+                    }
+                })
+                .collect();
+            // A column with zero observed categories (all missing) still
+            // needs arity >= 1 for the encoder.
+            let arity = ids.len().max(1);
+            columns.push(Column::Categorical { arity, values });
+        }
+    }
+    RawDataset::new(columns, y, n_classes)
+}
+
+/// Renders a [`RawDataset`] back to CSV (features then label, `?` for
+/// missing, categorical values as `c<INDEX>`).
+pub fn to_csv(ds: &RawDataset) -> String {
+    let mut out = String::new();
+    // header
+    for (i, col) in ds.columns().iter().enumerate() {
+        let kind = match col {
+            Column::Continuous { .. } => "num",
+            Column::Categorical { .. } => "cat",
+        };
+        out.push_str(&format!("{kind}{i},"));
+    }
+    out.push_str("label\n");
+    for row in 0..ds.len() {
+        for col in ds.columns() {
+            match col {
+                Column::Continuous { values } => match values[row] {
+                    Some(v) => out.push_str(&format!("{v},")),
+                    None => out.push_str("?,"),
+                },
+                Column::Categorical { values, .. } => match values[row] {
+                    Some(v) => out.push_str(&format!("c{v},")),
+                    None => out.push_str("?,"),
+                },
+            }
+        }
+        out.push_str(&format!("{}\n", ds.y()[row]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+label,age,color,score
+yes,34,red,0.5
+no,?,blue,1.25
+yes,51,red,?
+no,28,\"green, dark\",2.0
+";
+
+    #[test]
+    fn parses_types_and_missing() {
+        let ds = parse_csv(SAMPLE, &CsvOptions::default()).expect("parses");
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.y(), &[0, 1, 0, 1]);
+        let cols = ds.columns();
+        assert_eq!(cols.len(), 3);
+        match &cols[0] {
+            Column::Continuous { values } => {
+                assert_eq!(values[0], Some(34.0));
+                assert_eq!(values[1], None);
+            }
+            _ => panic!("age should be continuous"),
+        }
+        match &cols[1] {
+            Column::Categorical { arity, values } => {
+                assert_eq!(*arity, 3); // red, blue, "green, dark"
+                assert_eq!(values[0], Some(0));
+                assert_eq!(values[1], Some(1));
+                assert_eq!(values[3], Some(2));
+            }
+            _ => panic!("color should be categorical"),
+        }
+        // encodes end-to-end
+        let enc = ds.encode().expect("encodes");
+        assert_eq!(enc.len(), 4);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let fields = split_record(r#"a,"b,c","d""e",f"#, ',').expect("parses");
+        assert_eq!(fields, vec!["a", "b,c", "d\"e", "f"]);
+        assert!(split_record(r#"a,"unterminated"#, ',').is_err());
+        assert!(split_record(r#"a,b"mid",c"#, ',').is_err());
+    }
+
+    #[test]
+    fn record_width_is_enforced() {
+        let bad = "label,x\nyes,1\nno,2,3\n";
+        assert!(parse_csv(bad, &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn label_column_selection() {
+        let text = "x,label\n1,a\n2,b\n";
+        let opts = CsvOptions {
+            label_column: 1,
+            ..CsvOptions::default()
+        };
+        let ds = parse_csv(text, &opts).expect("parses");
+        assert_eq!(ds.y(), &[0, 1]);
+        let bad = CsvOptions {
+            label_column: 5,
+            ..CsvOptions::default()
+        };
+        assert!(parse_csv(text, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(parse_csv("", &CsvOptions::default()).is_err());
+        assert!(parse_csv("header,only\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_to_csv() {
+        let ds = parse_csv(SAMPLE, &CsvOptions::default()).expect("parses");
+        let text = to_csv(&ds);
+        // label column is last in the rendered form
+        let opts = CsvOptions {
+            label_column: 3,
+            missing_markers: vec!["?".into()],
+            ..CsvOptions::default()
+        };
+        let back = parse_csv(&text, &opts).expect("round trip");
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.y(), ds.y());
+        assert_eq!(back.encoded_features(), ds.encoded_features());
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let ds = parse_csv("a;1\nb;2\n", &opts).expect("parses");
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.y(), &[0, 1]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Labeled datasets: a dense feature tensor plus integer class labels.
+
+use crate::error::{DataError, Result};
+use gmreg_tensor::Tensor;
+
+/// A labeled dataset.
+///
+/// `x` has shape `[N, ...]` — `[N, M]` for tabular data, `[N, C, H, W]`
+/// for images — and `y` holds one class index per sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    x: Tensor,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating sample counts and label ranges.
+    pub fn new(x: Tensor, y: Vec<usize>, n_classes: usize) -> Result<Self> {
+        let n = x.dims().first().copied().unwrap_or(0);
+        if n != y.len() {
+            return Err(DataError::SampleCountMismatch {
+                features: n,
+                labels: y.len(),
+            });
+        }
+        if n_classes == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "n_classes",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= n_classes) {
+            return Err(DataError::LabelOutOfRange {
+                label: bad,
+                n_classes,
+            });
+        }
+        Ok(Dataset { x, y, n_classes })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// The feature tensor (`[N, ...]`).
+    pub fn x(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// The labels.
+    pub fn y(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Declared number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features per sample (product of all non-batch dims).
+    pub fn n_features(&self) -> usize {
+        self.x.dims().iter().skip(1).product()
+    }
+
+    /// The shape of one sample (dims without the batch axis).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.x.dims()[1..]
+    }
+
+    /// Builds a new dataset holding the given sample indices, in order.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let feat: usize = self.n_features();
+        let mut data = Vec::with_capacity(indices.len() * feat);
+        let src = self.x.as_slice();
+        let mut y = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::NotEnoughSamples {
+                    needed: i + 1,
+                    available: self.len(),
+                });
+            }
+            data.extend_from_slice(&src[i * feat..(i + 1) * feat]);
+            y.push(self.y[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(self.sample_dims());
+        let x = Tensor::from_vec(data, dims)?;
+        Dataset::new(x, y, self.n_classes)
+    }
+
+    /// Zero-copy view of sample `i`'s features.
+    pub fn sample(&self, i: usize) -> Result<&[f32]> {
+        if i >= self.len() {
+            return Err(DataError::NotEnoughSamples {
+                needed: i + 1,
+                available: self.len(),
+            });
+        }
+        let feat = self.n_features();
+        Ok(&self.x.as_slice()[i * feat..(i + 1) * feat])
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.n_classes];
+        for &l in &self.y {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), [4, 3]).unwrap();
+        Dataset::new(x, vec![0, 1, 0, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let x = Tensor::zeros([3, 2]);
+        assert!(matches!(
+            Dataset::new(x.clone(), vec![0, 1], 2),
+            Err(DataError::SampleCountMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(x.clone(), vec![0, 1, 2], 2),
+            Err(DataError::LabelOutOfRange { .. })
+        ));
+        assert!(Dataset::new(x, vec![0, 1, 1], 0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = ds();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.sample_dims(), &[3]);
+        assert_eq!(d.sample(2).unwrap(), &[6.0, 7.0, 8.0]);
+        assert!(d.sample(4).is_err());
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn subset_reorders() {
+        let d = ds();
+        let s = d.subset(&[3, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y(), &[1, 0]);
+        assert_eq!(s.sample(0).unwrap(), &[9.0, 10.0, 11.0]);
+        assert!(d.subset(&[7]).is_err());
+    }
+
+    #[test]
+    fn image_shaped_dataset() {
+        let x = Tensor::zeros([2, 3, 4, 4]);
+        let d = Dataset::new(x, vec![0, 1], 2).unwrap();
+        assert_eq!(d.n_features(), 48);
+        assert_eq!(d.sample_dims(), &[3, 4, 4]);
+        let s = d.subset(&[1]).unwrap();
+        assert_eq!(s.x().dims(), &[1, 3, 4, 4]);
+    }
+}

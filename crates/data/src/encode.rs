@@ -1,0 +1,309 @@
+//! Raw tabular data and the paper's preprocessing pipeline:
+//! one-hot encoding of categorical features (missing values get their own
+//! class), mean imputation plus zero-mean/unit-variance standardization of
+//! continuous features (Section V-A).
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+use gmreg_tensor::Tensor;
+
+/// One raw feature column, before encoding. Missing values are `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Categorical values in `0..arity`.
+    Categorical {
+        /// Number of distinct categories (excluding "missing").
+        arity: usize,
+        /// Per-sample values; `None` marks a missing observation.
+        values: Vec<Option<u32>>,
+    },
+    /// Real-valued measurements.
+    Continuous {
+        /// Per-sample values; `None` marks a missing observation.
+        values: Vec<Option<f64>>,
+    },
+}
+
+impl Column {
+    /// Number of samples in this column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Categorical { values, .. } => values.len(),
+            Column::Continuous { values } => values.len(),
+        }
+    }
+
+    /// True when the column holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of encoded features this column expands to: `arity + 1` for
+    /// categorical columns that contain missing values, `arity` otherwise,
+    /// and 1 for continuous columns.
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            Column::Categorical { arity, values } => {
+                arity + usize::from(values.iter().any(|v| v.is_none()))
+            }
+            Column::Continuous { .. } => 1,
+        }
+    }
+}
+
+/// A raw tabular dataset: typed columns plus binary/multiclass labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawDataset {
+    columns: Vec<Column>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl RawDataset {
+    /// Builds a raw dataset, validating that every column has one value per
+    /// label and that categorical values are within their declared arity.
+    pub fn new(columns: Vec<Column>, y: Vec<usize>, n_classes: usize) -> Result<Self> {
+        for (ci, col) in columns.iter().enumerate() {
+            if col.len() != y.len() {
+                return Err(DataError::SampleCountMismatch {
+                    features: col.len(),
+                    labels: y.len(),
+                });
+            }
+            if let Column::Categorical { arity, values } = col {
+                if *arity == 0 {
+                    return Err(DataError::InvalidConfig {
+                        field: "arity",
+                        reason: format!("column {ci} declares zero categories"),
+                    });
+                }
+                if let Some(v) = values.iter().flatten().find(|&&v| v as usize >= *arity) {
+                    return Err(DataError::InvalidConfig {
+                        field: "values",
+                        reason: format!("column {ci}: category {v} out of arity {arity}"),
+                    });
+                }
+            }
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= n_classes) {
+            return Err(DataError::LabelOutOfRange {
+                label: bad,
+                n_classes,
+            });
+        }
+        Ok(RawDataset {
+            columns,
+            y,
+            n_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// The raw columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The labels.
+    pub fn y(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Total encoded feature count (the "# Features" of Table II).
+    pub fn encoded_features(&self) -> usize {
+        self.columns.iter().map(Column::encoded_width).sum()
+    }
+
+    /// Runs the full preprocessing pipeline and returns a dense dataset:
+    ///
+    /// * categorical → one-hot; a missing value activates a dedicated
+    ///   "missing" indicator column;
+    /// * continuous → missing values imputed with the column mean, then the
+    ///   column standardized to zero mean and unit variance.
+    pub fn encode(&self) -> Result<Dataset> {
+        let n = self.len();
+        let m = self.encoded_features();
+        let mut data = vec![0.0f32; n * m];
+        let mut base = 0usize;
+
+        for col in &self.columns {
+            match col {
+                Column::Categorical { arity, values } => {
+                    let has_missing = values.iter().any(|v| v.is_none());
+                    let width = arity + usize::from(has_missing);
+                    for (i, v) in values.iter().enumerate() {
+                        let slot = match v {
+                            Some(c) => *c as usize,
+                            None => *arity, // dedicated missing class
+                        };
+                        data[i * m + base + slot] = 1.0;
+                    }
+                    base += width;
+                }
+                Column::Continuous { values } => {
+                    let present: Vec<f64> = values.iter().flatten().copied().collect();
+                    let mean = if present.is_empty() {
+                        0.0
+                    } else {
+                        present.iter().sum::<f64>() / present.len() as f64
+                    };
+                    let var = if present.len() > 1 {
+                        present.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                            / present.len() as f64
+                    } else {
+                        0.0
+                    };
+                    let std = var.sqrt();
+                    for (i, v) in values.iter().enumerate() {
+                        let raw = v.unwrap_or(mean);
+                        let z = if std > 1e-12 { (raw - mean) / std } else { 0.0 };
+                        data[i * m + base] = z as f32;
+                    }
+                    base += 1;
+                }
+            }
+        }
+        debug_assert_eq!(base, m);
+        let x = Tensor::from_vec(data, [n, m])?;
+        Dataset::new(x, self.y.clone(), self.n_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw() -> RawDataset {
+        RawDataset::new(
+            vec![
+                Column::Categorical {
+                    arity: 3,
+                    values: vec![Some(0), Some(2), None, Some(1)],
+                },
+                Column::Continuous {
+                    values: vec![Some(1.0), Some(3.0), None, Some(5.0)],
+                },
+            ],
+            vec![0, 1, 0, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encoded_width_accounts_for_missing() {
+        let r = raw();
+        // categorical: 3 + missing indicator = 4; continuous: 1
+        assert_eq!(r.encoded_features(), 5);
+        assert_eq!(r.columns()[0].encoded_width(), 4);
+        assert_eq!(r.columns()[1].encoded_width(), 1);
+        assert!(!r.columns()[0].is_empty());
+        let no_missing = Column::Categorical {
+            arity: 3,
+            values: vec![Some(0), Some(1)],
+        };
+        assert_eq!(no_missing.encoded_width(), 3);
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let d = raw().encode().unwrap();
+        assert_eq!(d.x().dims(), &[4, 5]);
+        // sample 0: category 0 -> [1,0,0,0]
+        assert_eq!(&d.sample(0).unwrap()[..4], &[1.0, 0.0, 0.0, 0.0]);
+        // sample 2: missing -> missing indicator
+        assert_eq!(&d.sample(2).unwrap()[..4], &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn continuous_standardized_with_mean_imputation() {
+        let d = raw().encode().unwrap();
+        // present values {1, 3, 5}: mean 3, the missing entry imputes to 3
+        // -> standardized column has mean 0, and the imputed entry is 0.
+        let col: Vec<f32> = (0..4).map(|i| d.sample(i).unwrap()[4]).collect();
+        let mean: f32 = col.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert_eq!(col[2], 0.0);
+        assert!(col[0] < 0.0 && col[3] > 0.0);
+    }
+
+    #[test]
+    fn constant_column_encodes_to_zero() {
+        let r = RawDataset::new(
+            vec![Column::Continuous {
+                values: vec![Some(2.0), Some(2.0)],
+            }],
+            vec![0, 1],
+            2,
+        )
+        .unwrap();
+        let d = r.encode().unwrap();
+        assert_eq!(d.sample(0).unwrap(), &[0.0]);
+        assert_eq!(d.sample(1).unwrap(), &[0.0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        // value out of arity
+        assert!(RawDataset::new(
+            vec![Column::Categorical {
+                arity: 2,
+                values: vec![Some(2)],
+            }],
+            vec![0],
+            2
+        )
+        .is_err());
+        // zero arity
+        assert!(RawDataset::new(
+            vec![Column::Categorical {
+                arity: 0,
+                values: vec![None],
+            }],
+            vec![0],
+            2
+        )
+        .is_err());
+        // mismatched lengths
+        assert!(RawDataset::new(
+            vec![Column::Continuous {
+                values: vec![Some(1.0)],
+            }],
+            vec![0, 1],
+            2
+        )
+        .is_err());
+        // label out of range
+        assert!(RawDataset::new(
+            vec![Column::Continuous {
+                values: vec![Some(1.0)],
+            }],
+            vec![3],
+            2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn all_missing_continuous_column() {
+        let r = RawDataset::new(
+            vec![Column::Continuous {
+                values: vec![None, None],
+            }],
+            vec![0, 1],
+            2,
+        )
+        .unwrap();
+        let d = r.encode().unwrap();
+        assert_eq!(d.sample(0).unwrap(), &[0.0]);
+    }
+}

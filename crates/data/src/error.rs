@@ -1,0 +1,110 @@
+//! Error type for dataset construction and preprocessing.
+
+use std::fmt;
+
+/// Errors raised while building or transforming datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// Feature matrix and label vector disagree on the number of samples.
+    SampleCountMismatch {
+        /// Rows in the feature matrix.
+        features: usize,
+        /// Entries in the label vector.
+        labels: usize,
+    },
+    /// A label value is outside `0..n_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared class count.
+        n_classes: usize,
+    },
+    /// A configuration field has an invalid value.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Why the value is invalid.
+        reason: String,
+    },
+    /// An operation needs more samples than the dataset has.
+    NotEnoughSamples {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(gmreg_tensor::TensorError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::SampleCountMismatch { features, labels } => write!(
+                f,
+                "feature matrix has {features} samples but label vector has {labels}"
+            ),
+            DataError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            DataError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            DataError::NotEnoughSamples { needed, available } => {
+                write!(f, "need at least {needed} samples, have {available}")
+            }
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gmreg_tensor::TensorError> for DataError {
+    fn from(e: gmreg_tensor::TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+/// Convenience alias used across the data crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::SampleCountMismatch {
+            features: 3,
+            labels: 4,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = DataError::LabelOutOfRange {
+            label: 5,
+            n_classes: 2,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = DataError::InvalidConfig {
+            field: "n",
+            reason: "zero".into(),
+        };
+        assert!(e.to_string().contains('n'));
+        let e = DataError::NotEnoughSamples {
+            needed: 10,
+            available: 2,
+        };
+        assert!(e.to_string().contains("10"));
+        let e: DataError = gmreg_tensor::TensorError::Empty { op: "x" }.into();
+        assert!(e.to_string().contains("tensor"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,36 @@
+//! # gmreg-data
+//!
+//! Datasets and preprocessing for the `gmreg` reproduction of the ICDE'18
+//! adaptive-regularization paper:
+//!
+//! * [`Dataset`] — dense feature tensor + labels;
+//! * [`RawDataset`]/[`Column`] — typed tabular data with missing values,
+//!   and the paper's preprocessing pipeline (one-hot, imputation,
+//!   standardization);
+//! * [`stratified_split`] / [`stratified_kfold`] — the Table VII
+//!   evaluation protocol;
+//! * [`Batcher`] — shuffled mini-batch iteration;
+//! * [`Augment`] — pad-crop-flip image augmentation (ResNet recipe);
+//! * [`synthetic`] — deterministic generators standing in for CIFAR-10,
+//!   Hosp-FA and the 11 UCI benchmarks (DESIGN.md §3);
+//! * [`csv`] — schema-inferring CSV import/export for real tabular data;
+//! * [`metrics`] — confusion matrices, precision/recall/F1 and ROC-AUC.
+
+#![warn(missing_docs)]
+
+mod augment;
+mod batch;
+pub mod csv;
+mod dataset;
+mod encode;
+mod error;
+pub mod metrics;
+mod split;
+pub mod synthetic;
+
+pub use augment::Augment;
+pub use batch::{Batch, Batcher};
+pub use dataset::Dataset;
+pub use encode::{Column, RawDataset};
+pub use error::{DataError, Result};
+pub use split::{stratified_kfold, stratified_split, stratified_subsamples, Split};

@@ -1,0 +1,245 @@
+//! Classification metrics beyond plain accuracy: confusion matrices,
+//! precision/recall/F1 and ROC-AUC — what a healthcare analytics pipeline
+//! (the paper's GEMINI setting) actually reports for readmission models.
+
+use crate::error::{DataError, Result};
+
+/// A `C × C` confusion matrix; `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from aligned actual/predicted label slices.
+    pub fn new(actual: &[usize], predicted: &[usize], n_classes: usize) -> Result<Self> {
+        if actual.len() != predicted.len() {
+            return Err(DataError::SampleCountMismatch {
+                features: predicted.len(),
+                labels: actual.len(),
+            });
+        }
+        if n_classes == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "n_classes",
+                reason: "must be at least 1".into(),
+            });
+        }
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            if a >= n_classes || p >= n_classes {
+                return Err(DataError::LabelOutOfRange {
+                    label: a.max(p),
+                    n_classes,
+                });
+            }
+            counts[a][p] += 1;
+        }
+        Ok(ConfusionMatrix { counts })
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of samples with the given actual and predicted classes.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Precision of class `c`: TP / (TP + FP). `None` when nothing was
+    /// predicted as `c`.
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let tp = self.counts[c][c];
+        let predicted: usize = (0..self.n_classes()).map(|a| self.counts[a][c]).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of class `c`: TP / (TP + FN). `None` when class `c` has no
+    /// actual samples.
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let tp = self.counts[c][c];
+        let actual: usize = self.counts[c].iter().sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 score of class `c` (harmonic mean of precision and recall).
+    pub fn f1(&self, c: usize) -> Option<f64> {
+        let p = self.precision(c)?;
+        let r = self.recall(c)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-averaged F1 over classes that have at least one actual sample
+    /// and one prediction.
+    pub fn macro_f1(&self) -> f64 {
+        let scores: Vec<f64> = (0..self.n_classes()).filter_map(|c| self.f1(c)).collect();
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        }
+    }
+}
+
+/// Area under the ROC curve for binary classification from positive-class
+/// scores, computed via the rank statistic (Mann–Whitney U) with proper
+/// tie handling.
+pub fn roc_auc(labels: &[usize], scores: &[f64]) -> Result<f64> {
+    if labels.len() != scores.len() {
+        return Err(DataError::SampleCountMismatch {
+            features: scores.len(),
+            labels: labels.len(),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l > 1) {
+        return Err(DataError::LabelOutOfRange {
+            label: bad,
+            n_classes: 2,
+        });
+    }
+    if scores.iter().any(|s| !s.is_finite()) {
+        return Err(DataError::InvalidConfig {
+            field: "scores",
+            reason: "scores must be finite".into(),
+        });
+    }
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(DataError::InvalidConfig {
+            field: "labels",
+            reason: "need at least one sample of each class".into(),
+        });
+    }
+    // Rank the scores (average ranks over ties), then
+    // AUC = (R_pos − n_pos(n_pos+1)/2) / (n_pos · n_neg).
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let r_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    Ok((r_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_basics() {
+        let actual = [0, 0, 1, 1, 1, 2];
+        let predicted = [0, 1, 1, 1, 0, 2];
+        let cm = ConfusionMatrix::new(&actual, &predicted, 3).expect("builds");
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.count(0, 1), 1);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        // class 1: TP=2, FP=1 (one actual-0 predicted 1), FN=1
+        assert!((cm.precision(1).expect("has preds") - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1).expect("has actuals") - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(1).expect("defined") - 2.0 / 3.0).abs() < 1e-12);
+        assert!(cm.macro_f1() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_classes_return_none() {
+        let cm = ConfusionMatrix::new(&[0, 0], &[0, 0], 2).expect("builds");
+        assert!(cm.precision(1).is_none(), "no predictions for class 1");
+        assert!(cm.recall(1).is_none(), "no actuals for class 1");
+        assert_eq!(cm.f1(0), Some(1.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ConfusionMatrix::new(&[0], &[0, 1], 2).is_err());
+        assert!(ConfusionMatrix::new(&[2], &[0], 2).is_err());
+        assert!(ConfusionMatrix::new(&[0], &[0], 0).is_err());
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let labels = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&labels, &[0.1, 0.2, 0.8, 0.9]).expect("ok"), 1.0);
+        assert_eq!(roc_auc(&labels, &[0.9, 0.8, 0.2, 0.1]).expect("ok"), 0.0);
+        // all-equal scores = coin flip
+        assert!((roc_auc(&labels, &[0.5; 4]).expect("ok") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_ties_correctly() {
+        // pos scores {0.5, 0.9}, neg scores {0.5, 0.1}:
+        // pairs: (0.5 vs 0.5) = 0.5, (0.5 vs 0.1) = 1, (0.9 vs 0.5) = 1,
+        // (0.9 vs 0.1) = 1 -> AUC = 3.5/4
+        let auc = roc_auc(&[1, 0, 1, 0], &[0.5, 0.5, 0.9, 0.1]).expect("ok");
+        assert!((auc - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_validation() {
+        assert!(roc_auc(&[0, 1], &[0.5]).is_err());
+        assert!(roc_auc(&[0, 2], &[0.5, 0.5]).is_err());
+        assert!(roc_auc(&[0, 0], &[0.5, 0.5]).is_err());
+        assert!(roc_auc(&[0, 1], &[f64::NAN, 0.5]).is_err());
+    }
+
+    #[test]
+    fn auc_matches_brute_force_on_random_data() {
+        use gmreg_tensor::SampleExt;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels: Vec<usize> = (0..60).map(|i| usize::from(i % 3 == 0)).collect();
+        let scores: Vec<f64> = labels
+            .iter()
+            .map(|&l| rng.normal(l as f64 * 0.5, 1.0))
+            .collect();
+        let fast = roc_auc(&labels, &scores).expect("ok");
+        // brute force over all (pos, neg) pairs
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..labels.len() {
+            for j in 0..labels.len() {
+                if labels[i] == 1 && labels[j] == 0 {
+                    den += 1.0;
+                    num += match scores[i].total_cmp(&scores[j]) {
+                        std::cmp::Ordering::Greater => 1.0,
+                        std::cmp::Ordering::Equal => 0.5,
+                        std::cmp::Ordering::Less => 0.0,
+                    };
+                }
+            }
+        }
+        assert!((fast - num / den).abs() < 1e-12);
+    }
+}

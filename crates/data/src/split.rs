@@ -1,0 +1,258 @@
+//! Stratified train/test splitting and k-fold cross-validation.
+//!
+//! The paper's small-dataset protocol (Section V-C): 5 subsamples via
+//! stratified sampling with an 80/20 train/test split, hyper-parameters
+//! chosen by cross-validation on the training portion.
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+use gmreg_tensor::shuffled_indices;
+use rand::Rng;
+
+/// A train/test pair produced by a split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// The training portion.
+    pub train: Dataset,
+    /// The held-out test portion.
+    pub test: Dataset,
+}
+
+/// Groups sample indices by class, each group shuffled.
+fn class_groups(ds: &Dataset, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); ds.n_classes()];
+    for (i, &l) in ds.y().iter().enumerate() {
+        groups[l].push(i);
+    }
+    for g in groups.iter_mut() {
+        let perm = shuffled_indices(rng, g.len());
+        let shuffled: Vec<usize> = perm.into_iter().map(|p| g[p]).collect();
+        *g = shuffled;
+    }
+    groups
+}
+
+/// Splits a dataset into train/test with per-class proportions preserved.
+///
+/// `test_fraction` must be in `(0, 1)`. Every class must have at least one
+/// sample in each side; tiny classes are split so the test side gets at
+/// least one sample when the class has two or more.
+pub fn stratified_split(
+    ds: &Dataset,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> Result<Split> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DataError::InvalidConfig {
+            field: "test_fraction",
+            reason: format!("must lie in (0, 1), got {test_fraction}"),
+        });
+    }
+    if ds.len() < 2 {
+        return Err(DataError::NotEnoughSamples {
+            needed: 2,
+            available: ds.len(),
+        });
+    }
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for g in class_groups(ds, rng) {
+        if g.is_empty() {
+            continue;
+        }
+        let n_test = ((g.len() as f64 * test_fraction).round() as usize)
+            .clamp(usize::from(g.len() > 1), g.len().saturating_sub(1));
+        test_idx.extend_from_slice(&g[..n_test]);
+        train_idx.extend_from_slice(&g[n_test..]);
+    }
+    // Shuffle the merged index lists so classes are interleaved.
+    let perm = shuffled_indices(rng, train_idx.len());
+    let train_idx: Vec<usize> = perm.into_iter().map(|p| train_idx[p]).collect();
+    let perm = shuffled_indices(rng, test_idx.len());
+    let test_idx: Vec<usize> = perm.into_iter().map(|p| test_idx[p]).collect();
+    Ok(Split {
+        train: ds.subset(&train_idx)?,
+        test: ds.subset(&test_idx)?,
+    })
+}
+
+/// Produces `n_subsamples` independent stratified 80/20 splits — the
+/// paper's evaluation protocol for Table VII.
+pub fn stratified_subsamples(
+    ds: &Dataset,
+    n_subsamples: usize,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> Result<Vec<Split>> {
+    (0..n_subsamples)
+        .map(|_| stratified_split(ds, test_fraction, rng))
+        .collect()
+}
+
+/// Stratified k-fold cross-validation: yields `k` (train, validation)
+/// pairs whose validation parts partition the dataset.
+pub fn stratified_kfold(ds: &Dataset, k: usize, rng: &mut impl Rng) -> Result<Vec<Split>> {
+    if k < 2 {
+        return Err(DataError::InvalidConfig {
+            field: "k",
+            reason: format!("need at least 2 folds, got {k}"),
+        });
+    }
+    if ds.len() < k {
+        return Err(DataError::NotEnoughSamples {
+            needed: k,
+            available: ds.len(),
+        });
+    }
+    // Deal each class's shuffled samples round-robin into folds.
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut next = 0usize;
+    for g in class_groups(ds, rng) {
+        for i in g {
+            folds[next % k].push(i);
+            next += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(k);
+    for test_fold in 0..k {
+        let test_idx = &folds[test_fold];
+        let mut train_idx = Vec::with_capacity(ds.len() - test_idx.len());
+        for (fi, f) in folds.iter().enumerate() {
+            if fi != test_fold {
+                train_idx.extend_from_slice(f);
+            }
+        }
+        out.push(Split {
+            train: ds.subset(&train_idx)?,
+            test: ds.subset(test_idx)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmreg_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds(n: usize) -> Dataset {
+        // 70% class 0, 30% class 1
+        let y: Vec<usize> = (0..n).map(|i| usize::from(i % 10 >= 7)).collect();
+        let x = Tensor::from_vec((0..n * 2).map(|v| v as f32).collect(), [n, 2]).unwrap();
+        Dataset::new(x, y, 2).unwrap()
+    }
+
+    #[test]
+    fn split_preserves_class_ratio() {
+        let d = ds(100);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = stratified_split(&d, 0.2, &mut rng).unwrap();
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.class_counts(), vec![56, 24]);
+        assert_eq!(s.test.class_counts(), vec![14, 6]);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let d = ds(50);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = stratified_split(&d, 0.2, &mut rng).unwrap();
+        // Feature 0 of every sample is unique (2*i), so we can recover ids.
+        let mut seen: Vec<f32> = s
+            .train
+            .x()
+            .as_slice()
+            .chunks(2)
+            .chain(s.test.x().as_slice().chunks(2))
+            .map(|c| c[0])
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let want: Vec<f32> = (0..50).map(|i| (2 * i) as f32).collect();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let d = ds(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(stratified_split(&d, 0.0, &mut rng).is_err());
+        assert!(stratified_split(&d, 1.0, &mut rng).is_err());
+        assert!(stratified_split(&ds(1), 0.2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn subsamples_differ() {
+        let d = ds(60);
+        let mut rng = StdRng::seed_from_u64(9);
+        let subs = stratified_subsamples(&d, 5, 0.2, &mut rng).unwrap();
+        assert_eq!(subs.len(), 5);
+        // At least two of the test sets should differ.
+        let sets: Vec<Vec<u32>> = subs
+            .iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s
+                    .test
+                    .x()
+                    .as_slice()
+                    .chunks(2)
+                    .map(|c| c[0] as u32)
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        assert!(sets.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn kfold_partitions_validation_sets() {
+        let d = ds(40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let folds = stratified_kfold(&d, 5, &mut rng).unwrap();
+        assert_eq!(folds.len(), 5);
+        let total: usize = folds.iter().map(|f| f.test.len()).sum();
+        assert_eq!(total, 40);
+        let mut ids: Vec<u32> = folds
+            .iter()
+            .flat_map(|f| {
+                f.test
+                    .x()
+                    .as_slice()
+                    .chunks(2)
+                    .map(|c| c[0] as u32)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 40, "validation folds must partition the data");
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 40);
+            // stratification: both classes present in every fold's train side
+            assert!(f.train.class_counts().iter().all(|&c| c > 0));
+        }
+    }
+
+    #[test]
+    fn kfold_validates_inputs() {
+        let d = ds(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(stratified_kfold(&d, 1, &mut rng).is_err());
+        assert!(stratified_kfold(&d, 11, &mut rng).is_err());
+    }
+
+    #[test]
+    fn tiny_class_keeps_one_test_sample() {
+        // 18 samples of class 0, 2 of class 1
+        let y: Vec<usize> = (0..20).map(|i| usize::from(i >= 18)).collect();
+        let x = Tensor::zeros([20, 1]);
+        let d = Dataset::new(x, y, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = stratified_split(&d, 0.2, &mut rng).unwrap();
+        assert_eq!(s.test.class_counts()[1], 1);
+        assert_eq!(s.train.class_counts()[1], 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Synthetic workload generators substituting for the paper's datasets
+//! (CIFAR-10, the private Hosp-FA hospital dataset, and the 11 UCI
+//! benchmarks) — see DESIGN.md §3 for the substitution rationale.
+
+mod images;
+mod tabular;
+mod uci;
+
+pub use images::ImageSpec;
+pub use tabular::{CatSpec, TabularSpec};
+pub use uci::{small_dataset, small_dataset_suite, FeatureType, SmallDataset};

@@ -1,0 +1,110 @@
+//! Error type for the linear-model crate.
+
+use std::fmt;
+
+/// Errors raised while configuring or training linear models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinearError {
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Why the value is invalid.
+        reason: String,
+    },
+    /// Feature dimensionality mismatch between model and data.
+    DimensionMismatch {
+        /// Features the model was built for.
+        expected: usize,
+        /// Features supplied.
+        actual: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(gmreg_tensor::TensorError),
+    /// A regularizer error bubbled up from `gmreg-core`.
+    Core(gmreg_core::CoreError),
+    /// A dataset error bubbled up from `gmreg-data`.
+    Data(gmreg_data::DataError),
+}
+
+impl fmt::Display for LinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            LinearError::DimensionMismatch { expected, actual } => {
+                write!(f, "model expects {expected} features, got {actual}")
+            }
+            LinearError::Tensor(e) => write!(f, "tensor error: {e}"),
+            LinearError::Core(e) => write!(f, "regularizer error: {e}"),
+            LinearError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinearError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LinearError::Tensor(e) => Some(e),
+            LinearError::Core(e) => Some(e),
+            LinearError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gmreg_tensor::TensorError> for LinearError {
+    fn from(e: gmreg_tensor::TensorError) -> Self {
+        LinearError::Tensor(e)
+    }
+}
+
+impl From<gmreg_core::CoreError> for LinearError {
+    fn from(e: gmreg_core::CoreError) -> Self {
+        LinearError::Core(e)
+    }
+}
+
+impl From<gmreg_data::DataError> for LinearError {
+    fn from(e: gmreg_data::DataError) -> Self {
+        LinearError::Data(e)
+    }
+}
+
+/// Convenience alias used across the linear crate.
+pub type Result<T> = std::result::Result<T, LinearError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LinearError::InvalidConfig {
+            field: "lr",
+            reason: "zero".into(),
+        };
+        assert!(e.to_string().contains("lr"));
+        let e = LinearError::DimensionMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('4'));
+        let e: LinearError = gmreg_data::DataError::NotEnoughSamples {
+            needed: 1,
+            available: 0,
+        }
+        .into();
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+        let e: LinearError = gmreg_tensor::TensorError::Empty { op: "x" }.into();
+        assert!(e.to_string().contains("tensor"));
+        let e: LinearError = gmreg_core::CoreError::DimensionMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("regularizer"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Regularizer hyper-parameter grids and the paper's cross-validated
+//! evaluation protocol (Section V-C): per subsample, pick each method's
+//! best setting by k-fold CV on the training side, retrain, and report
+//! test accuracy mean ± standard error over subsamples.
+
+use crate::error::{LinearError, Result};
+use crate::logistic::{LogisticRegression, LrConfig};
+use gmreg_core::gm::GmConfig;
+use gmreg_core::{ElasticNetReg, HuberReg, L1Reg, L2Reg, Regularizer};
+use gmreg_data::{stratified_kfold, stratified_split, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The regularization methods compared in Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// No penalty.
+    None,
+    /// L1-norm (lasso).
+    L1,
+    /// L2-norm (ridge / weight decay).
+    L2,
+    /// Elastic-net.
+    ElasticNet,
+    /// Huber-norm.
+    Huber,
+    /// The paper's adaptive GM regularization.
+    Gm,
+}
+
+impl Method {
+    /// The five compared methods, in Table VII column order.
+    pub const TABLE_VII: [Method; 5] = [
+        Method::L1,
+        Method::L2,
+        Method::ElasticNet,
+        Method::Huber,
+        Method::Gm,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::None => "none",
+            Method::L1 => "L1 Reg",
+            Method::L2 => "L2 Reg",
+            Method::ElasticNet => "Elastic-net Reg",
+            Method::Huber => "Huber Reg",
+            Method::Gm => "GM Reg",
+        }
+    }
+}
+
+/// One concrete regularizer setting inside a method's grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegChoice {
+    /// No penalty.
+    None,
+    /// L1 with strength β.
+    L1 {
+        /// Strength β.
+        beta: f64,
+    },
+    /// L2 with strength β.
+    L2 {
+        /// Strength β.
+        beta: f64,
+    },
+    /// Elastic-net with strength β and mixing ratio ρ.
+    ElasticNet {
+        /// Strength β.
+        beta: f64,
+        /// L1 proportion ρ.
+        l1_ratio: f64,
+    },
+    /// Huber with strength β and threshold μ.
+    Huber {
+        /// Strength β.
+        beta: f64,
+        /// L2→L1 threshold μ.
+        mu: f64,
+    },
+    /// GM regularization with a full [`GmConfig`].
+    Gm {
+        /// The GM hyper-parameters.
+        config: GmConfig,
+    },
+}
+
+impl RegChoice {
+    /// Builds the regularizer for a weight vector of `m` dimensions whose
+    /// initialization standard deviation is `init_std`.
+    pub fn build(&self, m: usize, init_std: f64) -> Result<Option<Box<dyn Regularizer>>> {
+        Ok(match self {
+            RegChoice::None => None,
+            RegChoice::L1 { beta } => Some(Box::new(L1Reg::new(*beta)?)),
+            RegChoice::L2 { beta } => Some(Box::new(L2Reg::new(*beta)?)),
+            RegChoice::ElasticNet { beta, l1_ratio } => {
+                Some(Box::new(ElasticNetReg::new(*beta, *l1_ratio)?))
+            }
+            RegChoice::Huber { beta, mu } => Some(Box::new(HuberReg::new(*beta, *mu)?)),
+            RegChoice::Gm { config } => Some(Box::new(gmreg_core::gm::GmRegularizer::new(
+                m,
+                init_std,
+                config.clone(),
+            )?)),
+        })
+    }
+
+    /// Which method this choice belongs to.
+    pub fn method(&self) -> Method {
+        match self {
+            RegChoice::None => Method::None,
+            RegChoice::L1 { .. } => Method::L1,
+            RegChoice::L2 { .. } => Method::L2,
+            RegChoice::ElasticNet { .. } => Method::ElasticNet,
+            RegChoice::Huber { .. } => Method::Huber,
+            RegChoice::Gm { .. } => Method::Gm,
+        }
+    }
+}
+
+/// Strength grid shared by the norm-based baselines. The values are in
+/// MAP units (the penalty is scaled by `1/N` at fit time, see
+/// [`LrConfig::scale_reg_by_n`]): an effective per-step weight decay of
+/// roughly `β/N`.
+pub const BETA_GRID: [f64; 6] = [0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
+
+/// The default hyper-parameter grid for each method.
+///
+/// The GM grid follows the paper's recipe: γ over (a subset of) the
+/// published γ grid, `a = 1 + 10⁻²·b`, `α = M^0.5`, K = 4, linear init —
+/// the dataset-independent "easy setting" of Section V-B1.
+pub fn default_grid(method: Method) -> Vec<RegChoice> {
+    match method {
+        Method::None => vec![RegChoice::None],
+        Method::L1 => BETA_GRID
+            .iter()
+            .map(|&beta| RegChoice::L1 { beta })
+            .collect(),
+        Method::L2 => BETA_GRID
+            .iter()
+            .map(|&beta| RegChoice::L2 { beta })
+            .collect(),
+        Method::ElasticNet => {
+            let mut out = Vec::new();
+            for &beta in &BETA_GRID {
+                for &l1_ratio in &[0.15, 0.5, 0.85] {
+                    out.push(RegChoice::ElasticNet { beta, l1_ratio });
+                }
+            }
+            out
+        }
+        Method::Huber => {
+            let mut out = Vec::new();
+            for &beta in &BETA_GRID {
+                for &mu in &[0.01, 0.1, 1.0] {
+                    out.push(RegChoice::Huber { beta, mu });
+                }
+            }
+            out
+        }
+        Method::Gm => {
+            // The paper's gamma grid targets DL-scale M (tens of thousands
+            // of weights); small tabular M needs the cap lambda_max ~ 1/(2*gamma)
+            // to reach lower values, so the grid extends one decade up.
+            let mut gammas = gmreg_core::gm::GAMMA_GRID.to_vec();
+            gammas.extend([0.1, 0.2]);
+            gammas
+                .into_iter()
+                .map(|gamma| RegChoice::Gm {
+                    config: GmConfig {
+                        gamma,
+                        ..GmConfig::default()
+                    },
+                })
+                .collect()
+        }
+    }
+}
+
+/// Trains one model with the given choice and returns its accuracy on
+/// `test`.
+fn fit_and_score(
+    train: &Dataset,
+    test: &Dataset,
+    choice: &RegChoice,
+    cfg: LrConfig,
+) -> Result<f64> {
+    let m = train.n_features();
+    let mut lr = LogisticRegression::new(m, cfg)?;
+    lr.set_regularizer(choice.build(m, cfg.init_std)?);
+    lr.fit(train)?;
+    lr.accuracy(test)
+}
+
+/// Picks the best choice from `grid` by `folds`-fold cross-validation on
+/// `train`. Returns `(best index, best mean CV accuracy)`.
+pub fn grid_search_cv(
+    train: &Dataset,
+    grid: &[RegChoice],
+    folds: usize,
+    cfg: LrConfig,
+    seed: u64,
+) -> Result<(usize, f64)> {
+    if grid.is_empty() {
+        return Err(LinearError::InvalidConfig {
+            field: "grid",
+            reason: "empty hyper-parameter grid".into(),
+        });
+    }
+    if grid.len() == 1 {
+        return Ok((0, f64::NAN)); // nothing to tune
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let splits = stratified_kfold(train, folds, &mut rng)?;
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (gi, choice) in grid.iter().enumerate() {
+        let mut acc = 0.0;
+        for s in &splits {
+            acc += fit_and_score(&s.train, &s.test, choice, cfg)?;
+        }
+        acc /= splits.len() as f64;
+        if acc > best.1 {
+            best = (gi, acc);
+        }
+    }
+    Ok(best)
+}
+
+/// One method's Table VII cell: mean accuracy and standard error over the
+/// subsamples, plus the per-subsample accuracies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodResult {
+    /// Which method.
+    pub method: Method,
+    /// Mean test accuracy over subsamples.
+    pub mean: f64,
+    /// Standard error (sample std of the subsample accuracies).
+    pub stderr: f64,
+    /// Per-subsample test accuracies.
+    pub per_subsample: Vec<f64>,
+}
+
+/// Runs the paper's full small-dataset protocol for one method:
+/// `n_subsamples` stratified 80/20 splits; on each, tune by `folds`-fold CV
+/// on the training side, retrain on the full training side, score on test.
+pub fn evaluate_method(
+    ds: &Dataset,
+    method: Method,
+    n_subsamples: usize,
+    folds: usize,
+    cfg: LrConfig,
+    seed: u64,
+) -> Result<MethodResult> {
+    let grid = default_grid(method);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accs = Vec::with_capacity(n_subsamples);
+    for s in 0..n_subsamples {
+        let split = stratified_split(ds, 0.2, &mut rng)?;
+        let (best, _) = grid_search_cv(&split.train, &grid, folds, cfg, seed + s as u64)?;
+        accs.push(fit_and_score(&split.train, &split.test, &grid[best], cfg)?);
+    }
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
+        / (accs.len() as f64 - 1.0).max(1.0);
+    Ok(MethodResult {
+        method,
+        mean,
+        stderr: var.sqrt(),
+        per_subsample: accs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::blobs;
+
+    fn fast_cfg() -> LrConfig {
+        LrConfig {
+            epochs: 15,
+            batch_size: 32,
+            ..LrConfig::default()
+        }
+    }
+
+    #[test]
+    fn grids_have_expected_shapes() {
+        assert_eq!(default_grid(Method::None).len(), 1);
+        assert_eq!(default_grid(Method::L1).len(), 6);
+        assert_eq!(default_grid(Method::L2).len(), 6);
+        assert_eq!(default_grid(Method::ElasticNet).len(), 18);
+        assert_eq!(default_grid(Method::Huber).len(), 18);
+        assert_eq!(default_grid(Method::Gm).len(), 10);
+        for m in Method::TABLE_VII {
+            for c in default_grid(m) {
+                assert_eq!(c.method(), m);
+                assert!(c.build(10, 0.1).is_ok());
+            }
+        }
+        assert!(RegChoice::None.build(10, 0.1).unwrap().is_none());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::Gm.name(), "GM Reg");
+        assert_eq!(Method::L1.name(), "L1 Reg");
+        assert_eq!(Method::None.name(), "none");
+        assert_eq!(Method::TABLE_VII.len(), 5);
+    }
+
+    #[test]
+    fn grid_search_picks_a_valid_index() {
+        let ds = blobs(120, 6, 1.0, 2).unwrap();
+        let grid = default_grid(Method::L2);
+        let (best, acc) = grid_search_cv(&ds, &grid, 3, fast_cfg(), 5).unwrap();
+        assert!(best < grid.len());
+        assert!(acc > 0.5, "CV accuracy {acc}");
+    }
+
+    #[test]
+    fn single_entry_grid_skips_cv() {
+        let ds = blobs(40, 4, 1.0, 2).unwrap();
+        let grid = default_grid(Method::None);
+        let (best, acc) = grid_search_cv(&ds, &grid, 3, fast_cfg(), 5).unwrap();
+        assert_eq!(best, 0);
+        assert!(acc.is_nan());
+        assert!(grid_search_cv(&ds, &[], 3, fast_cfg(), 5).is_err());
+    }
+
+    #[test]
+    fn evaluate_method_produces_sane_statistics() {
+        let ds = blobs(150, 8, 1.2, 3).unwrap();
+        let res = evaluate_method(&ds, Method::L2, 3, 3, fast_cfg(), 7).unwrap();
+        assert_eq!(res.per_subsample.len(), 3);
+        assert!(res.mean > 0.7, "{res:?}");
+        assert!(res.stderr >= 0.0 && res.stderr < 0.3);
+        assert_eq!(res.method, Method::L2);
+    }
+}

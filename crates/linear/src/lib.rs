@@ -1,0 +1,27 @@
+//! # gmreg-linear
+//!
+//! Binary logistic regression with pluggable regularizers and the paper's
+//! small-dataset evaluation protocol (Section V-C / Table VII):
+//!
+//! * [`LogisticRegression`] — mini-batch SGD + momentum, driving any
+//!   [`gmreg_core::Regularizer`] (including the adaptive GM) once per step;
+//! * [`default_grid`] / [`grid_search_cv`] — per-method hyper-parameter
+//!   grids and stratified k-fold cross-validation;
+//! * [`evaluate_method`] — the full protocol: 5 stratified 80/20
+//!   subsamples, CV-tuned hyper-parameters, mean ± standard error;
+//! * [`SoftmaxRegression`] — the multiclass extension with the same
+//!   pluggable-regularizer design.
+
+#![warn(missing_docs)]
+
+mod error;
+mod gridsearch;
+mod logistic;
+mod softmax;
+
+pub use error::{LinearError, Result};
+pub use gridsearch::{
+    default_grid, evaluate_method, grid_search_cv, Method, MethodResult, RegChoice, BETA_GRID,
+};
+pub use logistic::{blobs, FitStats, LogisticRegression, LrConfig};
+pub use softmax::SoftmaxRegression;

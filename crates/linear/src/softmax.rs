@@ -1,0 +1,359 @@
+//! Multinomial (softmax) regression — the multiclass generalization of the
+//! binary logistic model, with the same pluggable-regularizer design so
+//! GM regularization extends beyond binary tasks.
+
+use crate::error::{LinearError, Result};
+use crate::logistic::LrConfig;
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_data::{Batcher, Dataset};
+use gmreg_tensor::SampleExt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A `C`-class linear softmax classifier with an optional regularizer over
+/// the full `[M × C]` weight matrix (biases unregularized).
+pub struct SoftmaxRegression {
+    /// Row-major `[m, c]` weight matrix.
+    w: Vec<f32>,
+    bias: Vec<f32>,
+    velocity: Vec<f32>,
+    bias_velocity: Vec<f32>,
+    grad: Vec<f32>,
+    reg_scratch: Vec<f32>,
+    current_lr: f32,
+    m: usize,
+    c: usize,
+    config: LrConfig,
+    regularizer: Option<Box<dyn Regularizer>>,
+}
+
+impl SoftmaxRegression {
+    /// Creates an untrained model for `m` features and `c` classes.
+    pub fn new(m: usize, c: usize, config: LrConfig) -> Result<Self> {
+        config.validate()?;
+        if m == 0 || c < 2 {
+            return Err(LinearError::InvalidConfig {
+                field: "m/c",
+                reason: "need at least one feature and two classes".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let w = (0..m * c)
+            .map(|_| rng.normal(0.0, config.init_std) as f32)
+            .collect();
+        Ok(SoftmaxRegression {
+            velocity: vec![0.0; m * c],
+            bias_velocity: vec![0.0; c],
+            grad: vec![0.0; m * c],
+            reg_scratch: vec![0.0; m * c],
+            current_lr: config.lr,
+            w,
+            bias: vec![0.0; c],
+            m,
+            c,
+            config,
+            regularizer: None,
+        })
+    }
+
+    /// Attaches (or clears) the weight regularizer. Its dimensionality must
+    /// match `m × c`.
+    pub fn set_regularizer(&mut self, reg: Option<Box<dyn Regularizer>>) {
+        self.regularizer = reg;
+    }
+
+    /// The flattened `[m × c]` weight matrix.
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// The attached regularizer, if any.
+    pub fn regularizer(&self) -> Option<&dyn Regularizer> {
+        self.regularizer.as_deref()
+    }
+
+    /// Class probabilities for one sample.
+    pub fn predict_proba(&self, x: &[f32]) -> Result<Vec<f64>> {
+        if x.len() != self.m {
+            return Err(LinearError::DimensionMismatch {
+                expected: self.m,
+                actual: x.len(),
+            });
+        }
+        let mut logits = vec![0.0f64; self.c];
+        for (j, &xv) in x.iter().enumerate() {
+            let row = &self.w[j * self.c..(j + 1) * self.c];
+            for (l, &wv) in logits.iter_mut().zip(row) {
+                *l += (wv * xv) as f64;
+            }
+        }
+        for (l, &b) in logits.iter_mut().zip(&self.bias) {
+            *l += b as f64;
+        }
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut z = 0.0;
+        for l in logits.iter_mut() {
+            *l = (*l - max).exp();
+            z += *l;
+        }
+        for l in logits.iter_mut() {
+            *l /= z;
+        }
+        Ok(logits)
+    }
+
+    /// Hard prediction for one sample.
+    pub fn predict(&self, x: &[f32]) -> Result<usize> {
+        let p = self.predict_proba(x)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, ds: &Dataset) -> Result<f64> {
+        let mut hits = 0usize;
+        for i in 0..ds.len() {
+            if self.predict(ds.sample(i)?)? == ds.y()[i] {
+                hits += 1;
+            }
+        }
+        Ok(hits as f64 / ds.len().max(1) as f64)
+    }
+
+    /// Trains with mini-batch SGD + momentum.
+    pub fn fit(&mut self, ds: &Dataset) -> Result<f64> {
+        if ds.n_classes() != self.c {
+            return Err(LinearError::InvalidConfig {
+                field: "dataset",
+                reason: format!("model has {} classes, dataset {}", self.c, ds.n_classes()),
+            });
+        }
+        if ds.n_features() != self.m {
+            return Err(LinearError::DimensionMismatch {
+                expected: self.m,
+                actual: ds.n_features(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let eff_scale = if self.config.scale_reg_by_n {
+            self.config.reg_scale / ds.len() as f32
+        } else {
+            self.config.reg_scale
+        };
+        self.current_lr = self.config.lr;
+        let mut it = 0u64;
+        let mut final_loss = f64::INFINITY;
+        for epoch in 0..self.config.epochs {
+            let batcher = Batcher::new(ds, self.config.batch_size, &mut rng)?;
+            let mut epoch_loss = 0.0;
+            for b in batcher.iter(ds) {
+                let batch = b?;
+                epoch_loss += self.step(batch.x.as_slice(), &batch.y, it, epoch as u64, eff_scale);
+                it += 1;
+            }
+            if let Some(r) = self.regularizer.as_mut() {
+                r.end_epoch();
+            }
+            self.current_lr *= self.config.lr_decay;
+            final_loss = epoch_loss / batcher.n_batches() as f64;
+        }
+        Ok(final_loss)
+    }
+
+    fn step(&mut self, xs: &[f32], y: &[usize], it: u64, epoch: u64, eff_scale: f32) -> f64 {
+        let n = y.len();
+        let (m, c) = (self.m, self.c);
+        self.grad.fill(0.0);
+        let mut bias_grad = vec![0.0f32; c];
+        let mut loss = 0.0f64;
+        let mut probs = vec![0.0f64; c];
+        for (i, &label) in y.iter().enumerate() {
+            let row = &xs[i * m..(i + 1) * m];
+            // logits
+            probs.iter_mut().for_each(|p| *p = 0.0);
+            for (j, &xv) in row.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wrow = &self.w[j * c..(j + 1) * c];
+                for (p, &wv) in probs.iter_mut().zip(wrow) {
+                    *p += (wv * xv) as f64;
+                }
+            }
+            for (p, &b) in probs.iter_mut().zip(&self.bias) {
+                *p += b as f64;
+            }
+            let max = probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for p in probs.iter_mut() {
+                *p = (*p - max).exp();
+                z += *p;
+            }
+            for p in probs.iter_mut() {
+                *p /= z;
+            }
+            loss -= probs[label].max(1e-15).ln();
+            // gradient: (p - onehot)/n outer x
+            for k in 0..c {
+                let err = ((probs[k] - f64::from(k == label)) / n as f64) as f32;
+                if err == 0.0 {
+                    continue;
+                }
+                bias_grad[k] += err;
+                for (j, &xv) in row.iter().enumerate() {
+                    self.grad[j * c + k] += err * xv;
+                }
+            }
+        }
+        if let Some(reg) = self.regularizer.as_mut() {
+            if eff_scale == 1.0 {
+                reg.accumulate_grad(&self.w, &mut self.grad, StepCtx::new(it, epoch));
+            } else {
+                self.reg_scratch.fill(0.0);
+                reg.accumulate_grad(&self.w, &mut self.reg_scratch, StepCtx::new(it, epoch));
+                for (g, &r) in self.grad.iter_mut().zip(&self.reg_scratch) {
+                    *g += eff_scale * r;
+                }
+            }
+        }
+        let (lr, mu) = (self.current_lr, self.config.momentum);
+        for i in 0..m * c {
+            self.velocity[i] = mu * self.velocity[i] - lr * self.grad[i];
+            self.w[i] += self.velocity[i];
+        }
+        for k in 0..c {
+            self.bias_velocity[k] = mu * self.bias_velocity[k] - lr * bias_grad[k];
+            self.bias[k] += self.bias_velocity[k];
+        }
+        loss / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmreg_core::gm::{GmConfig, GmRegularizer};
+    use gmreg_tensor::Tensor;
+
+    /// A 3-class linearly separable dataset.
+    fn three_blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [(-2.0, 0.0), (2.0, 0.0), (0.0, 2.5)];
+        let mut data = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 3;
+            let (cx, cy) = centers[label];
+            data.push((cx + rng.normal(0.0, 0.5)) as f32);
+            data.push((cy + rng.normal(0.0, 0.5)) as f32);
+            y.push(label);
+        }
+        Dataset::new(Tensor::from_vec(data, [n, 2]).expect("tensor"), y, 3).expect("dataset")
+    }
+
+    fn cfg() -> LrConfig {
+        LrConfig {
+            epochs: 40,
+            ..LrConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_three_classes() {
+        let ds = three_blobs(300, 5);
+        let mut model = SoftmaxRegression::new(2, 3, cfg()).expect("config");
+        let loss = model.fit(&ds).expect("training");
+        assert!(loss < 0.3, "final loss {loss}");
+        assert!(model.accuracy(&ds).expect("eval") > 0.95);
+        let test = three_blobs(150, 77);
+        assert!(model.accuracy(&test).expect("eval") > 0.95);
+    }
+
+    #[test]
+    fn probabilities_are_a_simplex() {
+        let ds = three_blobs(60, 2);
+        let mut model = SoftmaxRegression::new(2, 3, cfg()).expect("config");
+        model.fit(&ds).expect("training");
+        for i in 0..10 {
+            let p = model.predict_proba(ds.sample(i).expect("row")).expect("proba");
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+            let pred = model.predict(ds.sample(i).expect("row")).expect("pred");
+            let argmax = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            assert_eq!(pred, argmax);
+        }
+    }
+
+    #[test]
+    fn gm_regularizer_spans_the_weight_matrix() {
+        let ds = three_blobs(120, 3);
+        let mut model = SoftmaxRegression::new(2, 3, cfg()).expect("config");
+        model.set_regularizer(Some(Box::new(
+            GmRegularizer::new(2 * 3, 0.1, GmConfig::default()).expect("valid"),
+        )));
+        model.fit(&ds).expect("training");
+        assert!(model.accuracy(&ds).expect("eval") > 0.9);
+        let gm = model
+            .regularizer()
+            .and_then(|r| r.as_gm())
+            .expect("attached");
+        assert!(gm.e_step_count() > 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SoftmaxRegression::new(0, 3, cfg()).is_err());
+        assert!(SoftmaxRegression::new(2, 1, cfg()).is_err());
+        let model = SoftmaxRegression::new(2, 3, cfg()).expect("config");
+        assert!(model.predict_proba(&[1.0]).is_err());
+        let ds2 = three_blobs(9, 1);
+        let mut wrong_c = SoftmaxRegression::new(2, 4, cfg()).expect("config");
+        assert!(wrong_c.fit(&ds2).is_err());
+        let mut wrong_m = SoftmaxRegression::new(5, 3, cfg()).expect("config");
+        assert!(wrong_m.fit(&ds2).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let ds = three_blobs(12, 9);
+        let fd_cfg = LrConfig {
+            epochs: 1,
+            batch_size: 12,
+            lr: 1e-7,
+            lr_decay: 1.0,
+            momentum: 0.0,
+            ..LrConfig::default()
+        };
+        let mut model = SoftmaxRegression::new(2, 3, fd_cfg).expect("config");
+        let w0 = model.w.clone();
+        let loss_at = |w: &[f32]| -> f64 {
+            let mut probe = SoftmaxRegression::new(2, 3, fd_cfg).expect("config");
+            probe.w.copy_from_slice(w);
+            let mut acc = 0.0;
+            for i in 0..ds.len() {
+                let p = probe.predict_proba(ds.sample(i).expect("row")).expect("proba");
+                acc -= p[ds.y()[i]].max(1e-15).ln();
+            }
+            acc / ds.len() as f64
+        };
+        model.fit(&ds).expect("training");
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut wp = w0.clone();
+            wp[i] += eps;
+            let mut wm = w0.clone();
+            wm[i] -= eps;
+            let num = (loss_at(&wp) - loss_at(&wm)) / (2.0 * eps as f64);
+            let got = model.grad[i] as f64;
+            assert!((num - got).abs() < 1e-3, "dim {i}: {num} vs {got}");
+        }
+    }
+}

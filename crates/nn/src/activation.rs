@@ -1,0 +1,177 @@
+//! Activation and reshaping layers: ReLU and Flatten.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+
+/// Rectified linear unit, applied elementwise.
+pub struct ReLU {
+    name: String,
+    /// Mask of active elements from the last forward pass.
+    mask: Option<Vec<bool>>,
+    out_dims: Vec<usize>,
+}
+
+impl ReLU {
+    /// Builds a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReLU {
+            name: name.into(),
+            mask: None,
+            out_dims: Vec::new(),
+        }
+    }
+}
+
+impl VisitParams for ReLU {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let mut out = x.clone();
+        let mut mask = vec![false; x.len()];
+        for (v, m) in out.as_mut_slice().iter_mut().zip(mask.iter_mut()) {
+            if *v > 0.0 {
+                *m = true;
+            } else {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        self.out_dims = x.dims().to_vec();
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        if grad_out.dims() != self.out_dims {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("{:?}", self.out_dims),
+            });
+        }
+        let mut dx = grad_out.clone();
+        for (v, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(dx)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        Ok(input_dims.to_vec())
+    }
+}
+
+/// Flattens `[N, ...]` to `[N, features]`.
+pub struct Flatten {
+    name: String,
+    in_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Builds a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten {
+            name: name.into(),
+            in_dims: None,
+        }
+    }
+}
+
+impl VisitParams for Flatten {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let d = x.dims();
+        if d.is_empty() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: d.to_vec(),
+                expected: "[N, ...]".into(),
+            });
+        }
+        let n = d[0];
+        let feat: usize = d[1..].iter().product();
+        self.in_dims = Some(d.to_vec());
+        Ok(x.reshape([n, feat])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let in_dims = self.in_dims.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        Ok(grad_out.reshape(in_dims.clone())?)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        Ok(vec![input_dims.iter().product()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::check_input_grad;
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let mut r = ReLU::new("relu");
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]).reshape([1, 3]).unwrap();
+        let y = r.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let g = r
+            .backward(&Tensor::from_slice(&[5.0, 5.0, 5.0]).reshape([1, 3]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_grad_check() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // offset so no element sits exactly at the kink
+        let x = Tensor::randn(&mut rng, [3, 7], 0.5, 1.0);
+        check_input_grad(&mut ReLU::new("r"), &x, 1e-2);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new("fl");
+        let x = Tensor::ones([2, 3, 4]);
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&Tensor::ones([2, 12])).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4]);
+        assert_eq!(f.output_dims(&[3, 4]).unwrap(), vec![12]);
+    }
+
+    #[test]
+    fn cache_discipline() {
+        let mut r = ReLU::new("r");
+        assert!(r.backward(&Tensor::zeros([1])).is_err());
+        r.forward(&Tensor::zeros([2, 2]), true).unwrap();
+        assert!(r.backward(&Tensor::zeros([2, 3])).is_err());
+        let mut f = Flatten::new("f");
+        assert!(f.backward(&Tensor::zeros([1])).is_err());
+        assert_eq!(ReLU::new("r").n_params() + Flatten::new("f").n_params(), 0);
+    }
+}

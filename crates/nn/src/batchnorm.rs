@@ -1,0 +1,271 @@
+//! 2-D batch normalization — the regularizing ingredient the paper credits
+//! for ResNet needing weaker GM regularization than AlexNet (Section V-B2).
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+
+/// Per-channel batch normalization over `[N, C, H, W]` inputs with
+/// learnable scale (γ) and shift (β), plus running statistics for
+/// evaluation mode.
+pub struct BatchNorm2d {
+    name: String,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Builds a batch-norm layer for `channels` feature maps.
+    pub fn new(name: impl Into<String>, channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "channels",
+                reason: "must be positive".into(),
+            });
+        }
+        let name = name.into();
+        Ok(BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.9,
+            gamma: Param::new(format!("{name}/gamma"), Tensor::ones([channels]), 0.0),
+            beta: Param::new(format!("{name}/beta"), Tensor::zeros([channels]), 0.0),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            name,
+            cache: None,
+        })
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<[usize; 4]> {
+        let d = x.dims();
+        if d.len() != 4 || d[1] != self.channels {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: d.to_vec(),
+                expected: format!("[N, {}, H, W]", self.channels),
+            });
+        }
+        Ok([d[0], d[1], d[2], d[3]])
+    }
+}
+
+impl VisitParams for BatchNorm2d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let [n, c, h, w] = self.check_input(x)?;
+        let hw = h * w;
+        let m = (n * hw) as f32;
+        let xs = x.as_slice();
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let mut out = vec![0.0f32; xs.len()];
+
+        if train {
+            let mut x_hat = vec![0.0f32; xs.len()];
+            let mut inv_std = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut mean = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * hw;
+                    mean += xs[base..base + hw].iter().map(|&v| v as f64).sum::<f64>();
+                }
+                let mean = (mean / m as f64) as f32;
+                let mut var = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * hw;
+                    var += xs[base..base + hw]
+                        .iter()
+                        .map(|&v| ((v - mean) as f64).powi(2))
+                        .sum::<f64>();
+                }
+                let var = (var / m as f64) as f32;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[ci] = istd;
+                self.running_mean[ci] =
+                    self.momentum * self.running_mean[ci] + (1.0 - self.momentum) * mean;
+                self.running_var[ci] =
+                    self.momentum * self.running_var[ci] + (1.0 - self.momentum) * var;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * hw;
+                    for p in 0..hw {
+                        let xh = (xs[base + p] - mean) * istd;
+                        x_hat[base + p] = xh;
+                        out[base + p] = g[ci] * xh + b[ci];
+                    }
+                }
+            }
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(x_hat, x.dims().to_vec())?,
+                inv_std,
+            });
+        } else {
+            for ci in 0..c {
+                let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let mean = self.running_mean[ci];
+                for ni in 0..n {
+                    let base = (ni * c + ci) * hw;
+                    for p in 0..hw {
+                        out[base + p] = g[ci] * (xs[base + p] - mean) * istd + b[ci];
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, x.dims().to_vec())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let d = cache.x_hat.dims();
+        if grad_out.dims() != d {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("{d:?}"),
+            });
+        }
+        let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+        let hw = h * w;
+        let m = (n * hw) as f32;
+        let go = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let g = self.gamma.value.as_slice();
+        let mut dx = vec![0.0f32; go.len()];
+
+        for ci in 0..c {
+            // Per-channel sums needed by the closed-form backward pass.
+            let mut sum_go = 0.0f64;
+            let mut sum_go_xh = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                for p in 0..hw {
+                    sum_go += go[base + p] as f64;
+                    sum_go_xh += (go[base + p] * xh[base + p]) as f64;
+                }
+            }
+            self.gamma.grad.as_mut_slice()[ci] += sum_go_xh as f32;
+            self.beta.grad.as_mut_slice()[ci] += sum_go as f32;
+
+            let istd = cache.inv_std[ci];
+            let k1 = (sum_go as f32) / m;
+            let k2 = (sum_go_xh as f32) / m;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                for p in 0..hw {
+                    let i = base + p;
+                    dx[i] = g[ci] * istd * (go[i] - k1 - xh[i] * k2);
+                }
+            }
+        }
+        Ok(Tensor::from_vec(dx, d.to_vec())?)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        if input_dims.len() != 3 || input_dims[0] != self.channels {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: input_dims.to_vec(),
+                expected: format!("[{}, H, W]", self.channels),
+            });
+        }
+        Ok(input_dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::{check_input_grad, check_param_grads};
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new("bn", 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&mut rng, [8, 2, 4, 4], 3.0, 2.0);
+        let y = bn.forward(&x, true).unwrap();
+        // per-channel mean ~0, var ~1
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..8 {
+                for h in 0..4 {
+                    for w in 0..4 {
+                        vals.push(y.get(&[n, c, h, w]).unwrap() as f64);
+                    }
+                }
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len() as f64;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Train on many batches so running stats converge to (3, 4).
+        for _ in 0..200 {
+            let x = Tensor::randn(&mut rng, [16, 1, 2, 2], 3.0, 2.0);
+            bn.forward(&x, true).unwrap();
+        }
+        assert!((bn.running_mean[0] - 3.0).abs() < 0.2);
+        assert!((bn.running_var[0] - 4.0).abs() < 0.5);
+        // In eval mode a constant input x = 3 maps near 0.
+        let y = bn.forward(&Tensor::full([1, 1, 2, 2], 3.0), false).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.abs() < 0.1));
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(&mut rng, [4, 3, 3, 3], 0.0, 1.0);
+        let mut bn = BatchNorm2d::new("bn", 3).unwrap();
+        // Non-trivial gamma/beta so parameter grads are exercised.
+        bn.gamma.value = Tensor::from_slice(&[1.5, 0.5, 2.0]);
+        bn.beta.value = Tensor::from_slice(&[0.1, -0.2, 0.3]);
+        check_input_grad(&mut bn, &x, 3e-2);
+        check_param_grads(&mut bn, &x, 3e-2);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BatchNorm2d::new("bn", 0).is_err());
+        let mut bn = BatchNorm2d::new("bn", 2).unwrap();
+        assert!(bn.forward(&Tensor::zeros([1, 3, 2, 2]), true).is_err());
+        assert!(bn.backward(&Tensor::zeros([1, 2, 2, 2])).is_err());
+        bn.forward(&Tensor::zeros([1, 2, 2, 2]), true).unwrap();
+        assert!(bn.backward(&Tensor::zeros([1, 2, 2, 3])).is_err());
+        assert!(bn.output_dims(&[3, 2, 2]).is_err());
+        assert_eq!(bn.output_dims(&[2, 5, 5]).unwrap(), vec![2, 5, 5]);
+        assert_eq!(bn.n_params(), 4);
+    }
+}

@@ -1,0 +1,363 @@
+//! 2-D convolution via im2col + matmul.
+
+use crate::error::{NnError, Result};
+use crate::init::WeightInit;
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+use rand::Rng;
+
+/// A 2-D convolution layer.
+///
+/// Input `[N, C, H, W]`, weight `[C·kh·kw, F]` (im2col layout), output
+/// `[N, F, OH, OW]` with `OH = (H + 2·pad − kh)/stride + 1`.
+pub struct Conv2d {
+    name: String,
+    in_c: usize,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    w: Param,
+    b: Param,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    cols: Tensor,
+    in_dims: [usize; 4],
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Builds a convolution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        init: WeightInit,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if in_c == 0 || out_c == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "conv2d",
+                reason: "channels, kernel and stride must be positive".into(),
+            });
+        }
+        let name = name.into();
+        let k = in_c * kernel * kernel;
+        let std = init.std(k);
+        let data: Vec<f32> = (0..k * out_c).map(|_| init.sample(k, rng)).collect();
+        let w = Param::new(format!("{name}/weight"), Tensor::from_vec(data, [k, out_c])?, std);
+        let b = Param::new(format!("{name}/bias"), Tensor::zeros([out_c]), 0.0);
+        Ok(Conv2d {
+            name,
+            in_c,
+            out_c,
+            kh: kernel,
+            kw: kernel,
+            stride,
+            pad,
+            w,
+            b,
+            cache: None,
+        })
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let h_eff = h + 2 * self.pad;
+        let w_eff = w + 2 * self.pad;
+        if h_eff < self.kh || w_eff < self.kw {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: vec![h, w],
+                expected: format!("spatial size >= kernel {}x{}", self.kh, self.kw),
+            });
+        }
+        Ok(((h_eff - self.kh) / self.stride + 1, (w_eff - self.kw) / self.stride + 1))
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<[usize; 4]> {
+        let d = x.dims();
+        if d.len() != 4 || d[1] != self.in_c {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: d.to_vec(),
+                expected: format!("[N, {}, H, W]", self.in_c),
+            });
+        }
+        Ok([d[0], d[1], d[2], d[3]])
+    }
+
+    fn im2col(&self, x: &Tensor, dims: [usize; 4], oh: usize, ow: usize) -> Tensor {
+        let [n, c, h, w] = dims;
+        let k = c * self.kh * self.kw;
+        let mut cols = vec![0.0f32; n * oh * ow * k];
+        let xs = x.as_slice();
+        let (s, p) = (self.stride as isize, self.pad as isize);
+        for ni in 0..n {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let row = ((ni * oh + ohi) * ow + owi) * k;
+                    let base_y = ohi as isize * s - p;
+                    let base_x = owi as isize * s - p;
+                    for ci in 0..c {
+                        let plane = (ni * c + ci) * h * w;
+                        for ky in 0..self.kh {
+                            let sy = base_y + ky as isize;
+                            let col0 = row + (ci * self.kh + ky) * self.kw;
+                            if sy < 0 || sy >= h as isize {
+                                continue; // stays zero
+                            }
+                            let src_row = plane + sy as usize * w;
+                            for kx in 0..self.kw {
+                                let sx = base_x + kx as isize;
+                                if sx < 0 || sx >= w as isize {
+                                    continue;
+                                }
+                                cols[col0 + kx] = xs[src_row + sx as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(cols, [n * oh * ow, k]).expect("im2col volume")
+    }
+
+    fn col2im(&self, dcols: &Tensor, dims: [usize; 4], oh: usize, ow: usize) -> Tensor {
+        let [n, c, h, w] = dims;
+        let k = c * self.kh * self.kw;
+        let mut dx = vec![0.0f32; n * c * h * w];
+        let dc = dcols.as_slice();
+        let (s, p) = (self.stride as isize, self.pad as isize);
+        for ni in 0..n {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let row = ((ni * oh + ohi) * ow + owi) * k;
+                    let base_y = ohi as isize * s - p;
+                    let base_x = owi as isize * s - p;
+                    for ci in 0..c {
+                        let plane = (ni * c + ci) * h * w;
+                        for ky in 0..self.kh {
+                            let sy = base_y + ky as isize;
+                            if sy < 0 || sy >= h as isize {
+                                continue;
+                            }
+                            let col0 = row + (ci * self.kh + ky) * self.kw;
+                            let dst_row = plane + sy as usize * w;
+                            for kx in 0..self.kw {
+                                let sx = base_x + kx as isize;
+                                if sx < 0 || sx >= w as isize {
+                                    continue;
+                                }
+                                dx[dst_row + sx as usize] += dc[col0 + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, [n, c, h, w]).expect("col2im volume")
+    }
+}
+
+impl VisitParams for Conv2d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let dims = self.check_input(x)?;
+        let [n, _, h, w] = dims;
+        let (oh, ow) = self.out_hw(h, w)?;
+        let cols = self.im2col(x, dims, oh, ow);
+        let out_mat = cols.matmul(&self.w.value)?; // [N*OH*OW, F]
+
+        // Permute to [N, F, OH, OW] while adding bias.
+        let f = self.out_c;
+        let mut out = vec![0.0f32; n * f * oh * ow];
+        let om = out_mat.as_slice();
+        let bias = self.b.value.as_slice();
+        for ni in 0..n {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let src = ((ni * oh + ohi) * ow + owi) * f;
+                    for fi in 0..f {
+                        out[((ni * f + fi) * oh + ohi) * ow + owi] = om[src + fi] + bias[fi];
+                    }
+                }
+            }
+        }
+        self.cache = Some(ConvCache {
+            cols,
+            in_dims: dims,
+            out_hw: (oh, ow),
+        });
+        Ok(Tensor::from_vec(out, [n, f, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let [n, _, _, _] = cache.in_dims;
+        let (oh, ow) = cache.out_hw;
+        let f = self.out_c;
+        if grad_out.dims() != [n, f, oh, ow] {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("[{n}, {f}, {oh}, {ow}]"),
+            });
+        }
+        // Un-permute grad to matmul layout [N*OH*OW, F].
+        let go = grad_out.as_slice();
+        let mut gmat = vec![0.0f32; n * oh * ow * f];
+        for ni in 0..n {
+            for fi in 0..f {
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        gmat[((ni * oh + ohi) * ow + owi) * f + fi] =
+                            go[((ni * f + fi) * oh + ohi) * ow + owi];
+                    }
+                }
+            }
+        }
+        let gmat = Tensor::from_vec(gmat, [n * oh * ow, f])?;
+
+        let dw = cache.cols.matmul_tn(&gmat)?;
+        self.w.grad.add_assign(&dw)?;
+        let db = gmat.sum_axis0()?;
+        self.b.grad.add_assign(&db)?;
+
+        let dcols = gmat.matmul_nt(&self.w.value)?;
+        Ok(self.col2im(&dcols, cache.in_dims, oh, ow))
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        if input_dims.len() != 3 || input_dims[0] != self.in_c {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: input_dims.to_vec(),
+                expected: format!("[{}, H, W]", self.in_c),
+            });
+        }
+        let (oh, ow) = self.out_hw(input_dims[1], input_dims[2])?;
+        Ok(vec![self.out_c, oh, ow])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::{check_input_grad, check_param_grads};
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv =
+            Conv2d::new("c", 2, 3, 3, 1, 1, WeightInit::Gaussian { std: 0.4 }, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [2, 2, 5, 5], 0.0, 1.0);
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 5, 5]);
+
+        // Direct convolution reference.
+        let ws = conv.w.value.as_slice();
+        let bs = conv.b.value.as_slice();
+        let xs = x.as_slice();
+        for n in 0..2 {
+            for f in 0..3 {
+                for oy in 0..5usize {
+                    for ox in 0..5usize {
+                        let mut acc = bs[f];
+                        for c in 0..2 {
+                            for ky in 0..3usize {
+                                for kx in 0..3usize {
+                                    let sy = oy as isize + ky as isize - 1;
+                                    let sx = ox as isize + kx as isize - 1;
+                                    if !(0..5).contains(&sy) || !(0..5).contains(&sx) {
+                                        continue;
+                                    }
+                                    let xv = xs[((n * 2 + c) * 5 + sy as usize) * 5 + sx as usize];
+                                    let wv = ws[((c * 3 + ky) * 3 + kx) * 3 + f];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        let got = y.get(&[n, f, oy, ox]).unwrap();
+                        assert!((got - acc).abs() < 1e-4, "({n},{f},{oy},{ox})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_output_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new("c", 1, 2, 3, 2, 1, WeightInit::He, &mut rng).unwrap();
+        let y = conv.forward(&Tensor::zeros([1, 1, 8, 8]), true).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
+        assert_eq!(conv.output_dims(&[1, 8, 8]).unwrap(), vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv =
+            Conv2d::new("c", 2, 2, 3, 1, 1, WeightInit::Gaussian { std: 0.4 }, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [2, 2, 4, 4], 0.0, 1.0);
+        check_input_grad(&mut conv, &x, 2e-2);
+        check_param_grads(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn gradients_check_out_with_stride() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv =
+            Conv2d::new("c", 1, 2, 3, 2, 1, WeightInit::Gaussian { std: 0.4 }, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [1, 1, 6, 6], 0.0, 1.0);
+        check_input_grad(&mut conv, &x, 2e-2);
+        check_param_grads(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Conv2d::new("c", 0, 1, 3, 1, 1, WeightInit::He, &mut rng).is_err());
+        assert!(Conv2d::new("c", 1, 1, 0, 1, 1, WeightInit::He, &mut rng).is_err());
+        let mut conv = Conv2d::new("c", 2, 2, 3, 1, 0, WeightInit::He, &mut rng).unwrap();
+        assert!(conv.forward(&Tensor::zeros([1, 3, 5, 5]), true).is_err());
+        assert!(conv.forward(&Tensor::zeros([1, 2, 2, 2]), true).is_err());
+        assert!(conv.backward(&Tensor::zeros([1, 2, 3, 3])).is_err());
+        conv.forward(&Tensor::zeros([1, 2, 5, 5]), true).unwrap();
+        assert!(conv.backward(&Tensor::zeros([1, 2, 5, 5])).is_err());
+        assert!(conv.output_dims(&[3, 5, 5]).is_err());
+    }
+
+    #[test]
+    fn param_names_and_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new("conv1", 3, 32, 5, 1, 2, WeightInit::He, &mut rng).unwrap();
+        let mut sizes = Vec::new();
+        conv.visit_params(&mut |p| sizes.push((p.name.clone(), p.len())));
+        assert_eq!(sizes[0], ("conv1/weight".into(), 3 * 5 * 5 * 32));
+        assert_eq!(sizes[1], ("conv1/bias".into(), 32));
+    }
+}

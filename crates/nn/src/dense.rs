@@ -1,0 +1,227 @@
+//! Fully-connected (dense) layer.
+
+use crate::error::{NnError, Result};
+use crate::init::WeightInit;
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+use rand::Rng;
+
+/// A dense layer: `y = x·W + b` with `W` of shape `[in, out]`.
+///
+/// Accepts inputs of shape `[N, in]`, or any `[N, ...]` whose trailing
+/// dimensions multiply to `in` (they are flattened internally), so a dense
+/// head can sit directly on a convolutional stack.
+pub struct Dense {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    w: Param,
+    b: Param,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Builds a dense layer with the given initialization.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        init: WeightInit,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "in_features/out_features",
+                reason: "must be positive".into(),
+            });
+        }
+        let name = name.into();
+        let std = init.std(in_features);
+        let data: Vec<f32> = (0..in_features * out_features)
+            .map(|_| init.sample(in_features, rng))
+            .collect();
+        let w = Param::new(
+            format!("{name}/weight"),
+            Tensor::from_vec(data, [in_features, out_features])?,
+            std,
+        );
+        let b = Param::new(format!("{name}/bias"), Tensor::zeros([out_features]), 0.0);
+        Ok(Dense {
+            name,
+            in_features,
+            out_features,
+            w,
+            b,
+            cache_x: None,
+        })
+    }
+
+    fn flatten_input(&self, x: &Tensor) -> Result<Tensor> {
+        let dims = x.dims();
+        if dims.is_empty() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: dims.to_vec(),
+                expected: format!("[N, {}]", self.in_features),
+            });
+        }
+        let n = dims[0];
+        let feat: usize = dims[1..].iter().product();
+        if feat != self.in_features {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: dims.to_vec(),
+                expected: format!("[N, {}]", self.in_features),
+            });
+        }
+        Ok(x.reshape([n, self.in_features])?)
+    }
+}
+
+impl VisitParams for Dense {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let x2 = self.flatten_input(x)?;
+        let mut out = x2.matmul(&self.w.value)?;
+        // broadcast bias over rows
+        let (n, f) = (out.dims()[0], out.dims()[1]);
+        let bias = self.b.value.as_slice();
+        let o = out.as_mut_slice();
+        for r in 0..n {
+            for (v, &bv) in o[r * f..(r + 1) * f].iter_mut().zip(bias) {
+                *v += bv;
+            }
+        }
+        self.cache_x = Some(x2);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self.cache_x.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        if grad_out.dims() != [x.dims()[0], self.out_features] {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("[{}, {}]", x.dims()[0], self.out_features),
+            });
+        }
+        // dW = x^T * dY ; db = column sums of dY ; dX = dY * W^T
+        let dw = x.matmul_tn(grad_out)?;
+        self.w.grad.add_assign(&dw)?;
+        let db = grad_out.sum_axis0()?;
+        self.b.grad.add_assign(&db)?;
+        Ok(grad_out.matmul_nt(&self.w.value)?)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        let feat: usize = input_dims.iter().product();
+        if feat != self.in_features {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: input_dims.to_vec(),
+                expected: format!("features = {}", self.in_features),
+            });
+        }
+        Ok(vec![self.out_features])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::{check_input_grad, check_param_grads};
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        let mut rng = StdRng::seed_from_u64(3);
+        Dense::new("fc", 5, 3, WeightInit::Gaussian { std: 0.3 }, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_manual_matmul() {
+        let mut l = layer();
+        // overwrite with known values
+        l.w.value = Tensor::from_vec((0..15).map(|v| v as f32 * 0.1).collect(), [5, 3]).unwrap();
+        l.b.value = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0], [2, 5])
+            .unwrap();
+        let y = l.forward(&x, true).unwrap();
+        // row 0 = w row 0 + b; row 1 = w row 1 + b
+        assert!(y
+            .approx_eq(&Tensor::from_vec(vec![1.0, 2.1, 3.2, 1.3, 2.4, 3.5], [2, 3]).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::randn(&mut rng, [4, 5], 0.0, 1.0);
+        let mut l = layer();
+        check_input_grad(&mut l, &x, 1e-2);
+        check_param_grads(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn accepts_flattenable_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Dense::new("fc", 12, 2, WeightInit::He, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [3, 3, 2, 2], 0.0, 1.0);
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        let g = l.backward(&Tensor::ones([3, 2])).unwrap();
+        assert_eq!(g.dims(), &[3, 12]);
+        assert_eq!(l.output_dims(&[3, 2, 2]).unwrap(), vec![2]);
+        assert!(l.output_dims(&[5]).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(Dense::new("fc", 0, 2, WeightInit::He, &mut rng).is_err());
+        let mut l = layer();
+        assert!(l.forward(&Tensor::zeros([2, 4]), true).is_err());
+        assert!(matches!(
+            l.backward(&Tensor::zeros([2, 3])),
+            Err(NnError::NoForwardCache { .. })
+        ));
+        l.forward(&Tensor::zeros([2, 5]), true).unwrap();
+        assert!(l.backward(&Tensor::zeros([2, 4])).is_err());
+    }
+
+    #[test]
+    fn param_names_and_count() {
+        let mut l = layer();
+        let mut names = Vec::new();
+        l.visit_params(&mut |p| names.push(p.name.clone()));
+        assert_eq!(names, vec!["fc/weight", "fc/bias"]);
+        assert_eq!(l.n_params(), 5 * 3 + 3);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backwards() {
+        let mut l = layer();
+        let x = Tensor::ones([1, 5]);
+        l.forward(&x, true).unwrap();
+        l.backward(&Tensor::ones([1, 3])).unwrap();
+        let g1 = l.b.grad.clone();
+        l.forward(&x, true).unwrap();
+        l.backward(&Tensor::ones([1, 3])).unwrap();
+        let mut doubled = g1.clone();
+        doubled.scale(2.0);
+        assert!(l.b.grad.approx_eq(&doubled, 1e-6));
+    }
+}

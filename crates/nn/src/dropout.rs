@@ -1,0 +1,169 @@
+//! Inverted dropout — the other standard regularization device in the
+//! AlexNet lineage, provided so ablations can compare GM regularization
+//! against (and combine it with) stochastic regularization.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation
+/// mode is the identity.
+pub struct Dropout {
+    name: String,
+    p: f64,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+    out_dims: Vec<usize>,
+}
+
+impl Dropout {
+    /// Builds a dropout layer with drop probability `p ∈ [0, 1)` and its
+    /// own seeded RNG (keeps whole-network training reproducible).
+    pub fn new(name: impl Into<String>, p: f64, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                field: "p",
+                reason: format!("drop probability must lie in [0, 1), got {p}"),
+            });
+        }
+        Ok(Dropout {
+            name: name.into(),
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+            out_dims: Vec::new(),
+        })
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl VisitParams for Dropout {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        self.out_dims = x.dims().to_vec();
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = (1.0 / keep) as f32;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| {
+                if self.rng.random::<f64>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut out = x.clone();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if grad_out.dims() != self.out_dims {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("{:?}", self.out_dims),
+            });
+        }
+        match &self.mask {
+            None if self.out_dims.is_empty() => Err(NnError::NoForwardCache {
+                layer: self.name.clone(),
+            }),
+            None => Ok(grad_out.clone()), // eval-mode or p = 0 forward
+            Some(mask) => {
+                let mut dx = grad_out.clone();
+                for (v, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+                    *v *= m;
+                }
+                Ok(dx)
+            }
+        }
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        Ok(input_dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new("do", 0.5, 1).expect("valid");
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]).reshape([1, 3]).expect("shape");
+        let y = d.forward(&x, false).expect("forward");
+        assert_eq!(y.as_slice(), x.as_slice());
+        let g = d.backward(&Tensor::ones([1, 3])).expect("backward");
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn training_mode_preserves_expectation() {
+        let mut d = Dropout::new("do", 0.3, 2).expect("valid");
+        let x = Tensor::ones([100, 100]);
+        let y = d.forward(&x, true).expect("forward");
+        let mean = y.mean().expect("non-empty");
+        assert!((mean - 1.0).abs() < 0.05, "inverted scaling keeps E[x]: {mean}");
+        // roughly 30% of entries zeroed
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let rate = zeros as f64 / y.len() as f64;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new("do", 0.5, 3).expect("valid");
+        let x = Tensor::ones([4, 8]);
+        let y = d.forward(&x, true).expect("forward");
+        let g = d.backward(&Tensor::ones([4, 8])).expect("backward");
+        // gradient passes exactly where the activation passed
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv, gv);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new("do", 0.0, 4).expect("valid");
+        let x = Tensor::from_slice(&[5.0, -2.0]).reshape([1, 2]).expect("shape");
+        let y = d.forward(&x, true).expect("forward");
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Dropout::new("do", 1.0, 0).is_err());
+        assert!(Dropout::new("do", -0.1, 0).is_err());
+        let mut d = Dropout::new("do", 0.5, 5).expect("valid");
+        assert!(d.backward(&Tensor::ones([2, 2])).is_err(), "no forward yet");
+        d.forward(&Tensor::ones([2, 2]), true).expect("forward");
+        assert!(d.backward(&Tensor::ones([2, 3])).is_err(), "shape mismatch");
+        assert_eq!(d.output_dims(&[7]).expect("any dims"), vec![7]);
+        assert_eq!(d.n_params(), 0);
+        assert_eq!(d.p(), 0.5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for network construction and training.
+
+use std::fmt;
+
+/// Errors raised while building or training networks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer received an input of unexpected shape.
+    BadInput {
+        /// Which layer rejected the input.
+        layer: String,
+        /// Shape received.
+        got: Vec<usize>,
+        /// Human-readable description of the expected shape.
+        expected: String,
+    },
+    /// `backward` was called before `forward` cached activations.
+    NoForwardCache {
+        /// Which layer was driven out of order.
+        layer: String,
+    },
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Why the value is invalid.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(gmreg_tensor::TensorError),
+    /// A regularizer error bubbled up from `gmreg-core`.
+    Core(gmreg_core::CoreError),
+    /// A dataset error bubbled up from `gmreg-data`.
+    Data(gmreg_data::DataError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BadInput {
+                layer,
+                got,
+                expected,
+            } => write!(f, "layer `{layer}`: bad input shape {got:?}, expected {expected}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "layer `{layer}`: backward called before forward")
+            }
+            NnError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Core(e) => write!(f, "regularizer error: {e}"),
+            NnError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Core(e) => Some(e),
+            NnError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gmreg_tensor::TensorError> for NnError {
+    fn from(e: gmreg_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<gmreg_core::CoreError> for NnError {
+    fn from(e: gmreg_core::CoreError) -> Self {
+        NnError::Core(e)
+    }
+}
+
+impl From<gmreg_data::DataError> for NnError {
+    fn from(e: gmreg_data::DataError) -> Self {
+        NnError::Data(e)
+    }
+}
+
+/// Convenience alias used across the nn crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = NnError::BadInput {
+            layer: "conv1".into(),
+            got: vec![2, 3],
+            expected: "[N, C, H, W]".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        let e = NnError::NoForwardCache {
+            layer: "dense".into(),
+        };
+        assert!(e.to_string().contains("dense"));
+        let e: NnError = gmreg_tensor::TensorError::Empty { op: "x" }.into();
+        assert!(e.to_string().contains("tensor"));
+        let e: NnError = gmreg_core::CoreError::DimensionMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("regularizer"));
+        let e: NnError = gmreg_data::DataError::NotEnoughSamples {
+            needed: 1,
+            available: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("data"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`Layer`] trait: explicit forward / backward passes.
+
+use crate::error::Result;
+use crate::param::VisitParams;
+use gmreg_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during `forward` and consume that cache
+/// in the matching `backward` call. Parameter gradients accumulate into
+/// each [`Param`](crate::Param)'s `grad` buffer; `backward` returns the
+/// gradient with respect to the layer's input so containers can chain.
+pub trait Layer: VisitParams {
+    /// Human-readable layer name (used to qualify parameter names).
+    fn name(&self) -> &str;
+
+    /// Computes the layer output. `train` switches training-only behaviour
+    /// (batch-norm batch statistics vs. running statistics).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Backpropagates `grad_out` (gradient w.r.t. the layer's output),
+    /// accumulating parameter gradients and returning the gradient w.r.t.
+    /// the input.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// The output shape for a given input shape (no batch dimension), used
+    /// for construction-time validation.
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>>;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared finite-difference gradient checking for layer tests.
+
+    use super::*;
+    use crate::param::Param;
+    use gmreg_tensor::Tensor;
+
+    /// Scalar objective used by the checks: sum of `c[i] * out[i]` with
+    /// fixed pseudo-random coefficients, so the output gradient is `c`.
+    fn coeffs(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0)
+            .collect()
+    }
+
+    /// Verifies `backward`'s input gradient against finite differences.
+    pub fn check_input_grad(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
+        let out = layer.forward(x, true).unwrap();
+        let c = coeffs(out.len());
+        let grad_out = Tensor::from_vec(c.clone(), out.shape().clone()).unwrap();
+        let gin = layer.backward(&grad_out).unwrap();
+        assert!(gin.shape().same_dims(x.shape()));
+
+        let eps = 1e-2f32;
+        for i in (0..x.len()).step_by((x.len() / 24).max(1)) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let op = layer.forward(&xp, true).unwrap();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let om = layer.forward(&xm, true).unwrap();
+            let mut num = 0.0f64;
+            for j in 0..op.len() {
+                num += c[j] as f64 * (op.as_slice()[j] - om.as_slice()[j]) as f64;
+            }
+            num /= 2.0 * eps as f64;
+            let got = gin.as_slice()[i] as f64;
+            assert!(
+                (num - got).abs() <= tol as f64 * (1.0 + num.abs()),
+                "input grad dim {i}: numeric {num} vs analytic {got}"
+            );
+        }
+    }
+
+    /// Verifies parameter gradients against finite differences.
+    pub fn check_param_grads(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
+        let out = layer.forward(x, true).unwrap();
+        let c = coeffs(out.len());
+        let grad_out = Tensor::from_vec(c.clone(), out.shape().clone()).unwrap();
+        layer.visit_params(&mut |p: &mut Param| p.zero_grad());
+        layer.backward(&grad_out).unwrap();
+
+        // Snapshot analytic gradients.
+        let mut grads: Vec<(String, Vec<f32>)> = Vec::new();
+        layer.visit_params(&mut |p: &mut Param| {
+            grads.push((p.name.clone(), p.grad.as_slice().to_vec()));
+        });
+
+        fn perturb(layer: &mut dyn Layer, pi: usize, i: usize, delta: f32) {
+            let mut idx = 0;
+            layer.visit_params(&mut |p: &mut Param| {
+                if idx == pi {
+                    p.value.as_mut_slice()[i] += delta;
+                }
+                idx += 1;
+            });
+        }
+
+        let fd = |layer: &mut dyn Layer, pi: usize, i: usize, eps: f32| -> f64 {
+            perturb(layer, pi, i, eps);
+            let op = layer.forward(x, true).unwrap();
+            perturb(layer, pi, i, -2.0 * eps);
+            let om = layer.forward(x, true).unwrap();
+            perturb(layer, pi, i, eps); // restore
+            let mut num = 0.0f64;
+            for j in 0..op.len() {
+                num += c[j] as f64 * (op.as_slice()[j] - om.as_slice()[j]) as f64;
+            }
+            num / (2.0 * eps as f64)
+        };
+
+        for (pi, (pname, analytic)) in grads.iter().enumerate() {
+            let n = analytic.len();
+            for i in (0..n).step_by((n / 12).max(1)) {
+                // Two step sizes: when they disagree the objective is not
+                // smooth at this point (a ReLU kink sits inside the
+                // perturbation window) and finite differences are not a
+                // valid reference — skip the dim.
+                let num_a = fd(layer, pi, i, 1e-2);
+                let num_b = fd(layer, pi, i, 2.5e-3);
+                if (num_a - num_b).abs() > 0.05 * (1.0 + num_a.abs().max(num_b.abs())) {
+                    continue;
+                }
+                let got = analytic[i] as f64;
+                assert!(
+                    (num_b - got).abs() <= tol as f64 * (1.0 + num_b.abs()),
+                    "{pname} grad dim {i}: numeric {num_b} vs analytic {got}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # gmreg-nn
+//!
+//! A from-scratch neural-network training stack — the workspace's
+//! substitute for the Apache SINGA platform the paper integrates with:
+//!
+//! * layers with explicit forward/backward passes: [`Dense`], [`Conv2d`]
+//!   (im2col), [`Pool2d`]/[`GlobalAvgPool`], [`ReLU`], [`Flatten`],
+//!   [`Lrn`], [`BatchNorm2d`], [`BasicBlock`] (residual), [`Sequential`];
+//! * [`SoftmaxCrossEntropy`] loss and [`Sgd`] with momentum;
+//! * per-parameter-group regularizer attachment through
+//!   [`gmreg_core::Regularizer`] — each layer's weights can carry its own
+//!   adaptively-learned GM, exactly the paper's per-layer setup;
+//! * the paper's two evaluation models ([`models::alex_cifar10`],
+//!   [`models::resnet20`]) with weight dimensionalities matching the
+//!   published 89,440 and 270,896;
+//! * a [`Network`] driver with epoch training, augmentation hooks and
+//!   learned-mixture reporting.
+
+#![warn(missing_docs)]
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dense;
+mod dropout;
+mod error;
+mod init;
+mod layer;
+mod loss;
+mod lrn;
+mod model;
+pub mod models;
+mod optimizer;
+mod param;
+mod pool;
+mod residual;
+mod sequential;
+mod serialize;
+
+pub use activation::{Flatten, ReLU};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use error::{NnError, Result};
+pub use init::WeightInit;
+pub use layer::Layer;
+pub use loss::{accuracy, SoftmaxCrossEntropy};
+pub use lrn::Lrn;
+pub use model::{EpochStats, LayerMixture, Network};
+pub use optimizer::Sgd;
+pub use param::{Param, VisitParams};
+pub use pool::{GlobalAvgPool, Pool2d};
+pub use residual::BasicBlock;
+pub use sequential::Sequential;
+pub use serialize::{load_weights, save_weights, WeightsSnapshot};

@@ -1,0 +1,193 @@
+//! Softmax cross-entropy loss — the negative log-likelihood term
+//! (`g_ll` producer) of Eq. 8/10.
+
+use crate::error::{NnError, Result};
+use gmreg_tensor::Tensor;
+
+/// Combined softmax + cross-entropy over logits `[N, C]`.
+///
+/// Fusing the two yields the numerically stable gradient
+/// `(softmax(z) − one_hot(y)) / N`.
+#[derive(Debug, Default)]
+pub struct SoftmaxCrossEntropy {
+    cache: Option<(Tensor, Vec<usize>)>,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy::default()
+    }
+
+    /// Computes the mean cross-entropy of `logits` against `labels` and
+    /// caches the softmax for [`SoftmaxCrossEntropy::backward`].
+    pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> Result<f64> {
+        let d = logits.dims();
+        if d.len() != 2 || d[0] != labels.len() {
+            return Err(NnError::BadInput {
+                layer: "softmax-ce".into(),
+                got: d.to_vec(),
+                expected: format!("[{}, C]", labels.len()),
+            });
+        }
+        let (n, c) = (d[0], d[1]);
+        if n == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "logits",
+                reason: "empty batch".into(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+            return Err(NnError::InvalidConfig {
+                field: "labels",
+                reason: format!("label {bad} out of range for {c} classes"),
+            });
+        }
+        let mut probs = logits.clone();
+        let mut loss = 0.0f64;
+        for r in 0..n {
+            let row = &mut probs.as_mut_slice()[r * c..(r + 1) * c];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f64;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                z += *v as f64;
+            }
+            for v in row.iter_mut() {
+                *v = (*v as f64 / z) as f32;
+            }
+            loss -= (row[labels[r]] as f64).max(1e-30).ln();
+        }
+        self.cache = Some((probs, labels.to_vec()));
+        Ok(loss / n as f64)
+    }
+
+    /// Gradient of the mean loss with respect to the logits.
+    pub fn backward(&mut self) -> Result<Tensor> {
+        let (probs, labels) = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "softmax-ce".into(),
+        })?;
+        let (n, c) = (probs.dims()[0], probs.dims()[1]);
+        let mut grad = probs.clone();
+        let gs = grad.as_mut_slice();
+        for (r, &l) in labels.iter().enumerate() {
+            gs[r * c + l] -= 1.0;
+        }
+        grad.scale(1.0 / n as f32);
+        Ok(grad)
+    }
+
+    /// Accuracy of the cached softmax probabilities against their labels.
+    pub fn cached_accuracy(&self) -> Result<f64> {
+        let (probs, labels) = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "softmax-ce".into(),
+        })?;
+        let preds = probs.argmax_rows()?;
+        let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(hits as f64 / labels.len() as f64)
+    }
+}
+
+/// Accuracy of raw logits `[N, C]` against labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64> {
+    let preds = logits.argmax_rows()?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BadInput {
+            layer: "accuracy".into(),
+            got: logits.dims().to_vec(),
+            expected: format!("[{}, C]", labels.len()),
+        });
+    }
+    let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(hits as f64 / labels.len().max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_of_uniform_logits_is_ln_c() {
+        let mut ce = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros([4, 3]);
+        let loss = ce.forward(&logits, &[0, 1, 2, 0]).unwrap();
+        assert!((loss - (3.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_logits_have_near_zero_loss() {
+        let mut ce = SoftmaxCrossEntropy::new();
+        let mut logits = Tensor::zeros([2, 2]);
+        logits.set2(0, 0, 50.0);
+        logits.set2(1, 1, 50.0);
+        let loss = ce.forward(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-6);
+        assert_eq!(ce.cached_accuracy().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut ce = SoftmaxCrossEntropy::new();
+        let logits =
+            Tensor::from_vec(vec![0.2, -0.5, 1.0, 0.3, 0.1, -0.2], [2, 3]).unwrap();
+        let labels = [2usize, 0];
+        ce.forward(&logits, &labels).unwrap();
+        let grad = ce.backward().unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let mut ce2 = SoftmaxCrossEntropy::new();
+            let fp = ce2.forward(&lp, &labels).unwrap();
+            let fm = ce2.forward(&lm, &labels).unwrap();
+            let num = (fp - fm) / (2.0 * eps as f64);
+            assert!(
+                (num - grad.as_slice()[i] as f64).abs() < 1e-4,
+                "dim {i}: {num} vs {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut ce = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![3.0, -1.0, 0.5, 0.0], [2, 2]).unwrap();
+        ce.forward(&logits, &[0, 1]).unwrap();
+        let g = ce.backward().unwrap();
+        for r in 0..2 {
+            let s: f32 = g.row_slice(r).unwrap().iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let mut ce = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![1e4, -1e4, 0.0, 1e4], [2, 2]).unwrap();
+        let loss = ce.forward(&logits, &[1, 0]).unwrap();
+        assert!(loss.is_finite());
+        assert!(ce.backward().unwrap().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn validation() {
+        let mut ce = SoftmaxCrossEntropy::new();
+        assert!(ce.backward().is_err());
+        assert!(ce.cached_accuracy().is_err());
+        assert!(ce.forward(&Tensor::zeros([2, 2]), &[0]).is_err());
+        assert!(ce.forward(&Tensor::zeros([1, 2]), &[2]).is_err());
+        assert!(ce.forward(&Tensor::zeros([0, 2]), &[]).is_err());
+        assert!(ce.forward(&Tensor::zeros([4]), &[0]).is_err());
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1]).unwrap(), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]).unwrap(), 0.5);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+}

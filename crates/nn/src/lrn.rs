@@ -1,0 +1,219 @@
+//! Local Response Normalization across channels (AlexNet-style), used by
+//! the paper's Alex-CIFAR-10 model.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+
+/// Cross-channel LRN:
+/// `b_i = a_i / (k + (α/n)·Σ_{j∈window(i)} a_j²)^β`, with the window of
+/// size `n` centered on channel `i` and clipped at the channel range.
+pub struct Lrn {
+    name: String,
+    /// Window size `n` (number of adjacent channels, 5 in AlexNet).
+    size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    cache: Option<LrnCache>,
+}
+
+struct LrnCache {
+    input: Tensor,
+    /// The denominator base `d_i = k + (α/n)·Σ a_j²` per element.
+    denom: Vec<f32>,
+}
+
+impl Lrn {
+    /// Builds an LRN layer; AlexNet's published constants are
+    /// `size = 5, alpha = 1e-4, beta = 0.75, k = 2.0`.
+    pub fn new(name: impl Into<String>, size: usize, alpha: f32, beta: f32, k: f32) -> Result<Self> {
+        if size == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "size",
+                reason: "window must cover at least one channel".into(),
+            });
+        }
+        if !(alpha.is_finite() && beta.is_finite() && k.is_finite()) || k <= 0.0 {
+            return Err(NnError::InvalidConfig {
+                field: "alpha/beta/k",
+                reason: "must be finite with k > 0".into(),
+            });
+        }
+        Ok(Lrn {
+            name: name.into(),
+            size,
+            alpha,
+            beta,
+            k,
+            cache: None,
+        })
+    }
+
+    /// AlexNet defaults.
+    pub fn alexnet(name: impl Into<String>) -> Self {
+        Lrn::new(name, 5, 1e-4, 0.75, 2.0).expect("constants are valid")
+    }
+
+    fn window(&self, i: usize, c: usize) -> (usize, usize) {
+        let half = self.size / 2;
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(c);
+        (lo, hi)
+    }
+}
+
+impl VisitParams for Lrn {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Layer for Lrn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let d = x.dims();
+        if d.len() != 4 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: d.to_vec(),
+                expected: "[N, C, H, W]".into(),
+            });
+        }
+        let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+        let hw = h * w;
+        let xs = x.as_slice();
+        let mut denom = vec![0.0f32; xs.len()];
+        let mut out = vec![0.0f32; xs.len()];
+        let scale = self.alpha / self.size as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                let (lo, hi) = self.window(ci, c);
+                for p in 0..hw {
+                    let mut acc = 0.0f32;
+                    for cj in lo..hi {
+                        let v = xs[(ni * c + cj) * hw + p];
+                        acc += v * v;
+                    }
+                    let idx = (ni * c + ci) * hw + p;
+                    let dval = self.k + scale * acc;
+                    denom[idx] = dval;
+                    out[idx] = xs[idx] / dval.powf(self.beta);
+                }
+            }
+        }
+        self.cache = Some(LrnCache {
+            input: x.clone(),
+            denom,
+        });
+        Ok(Tensor::from_vec(out, d.to_vec())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let d = cache.input.dims();
+        if grad_out.dims() != d {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("{d:?}"),
+            });
+        }
+        let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+        let hw = h * w;
+        let xs = cache.input.as_slice();
+        let go = grad_out.as_slice();
+        let denom = &cache.denom;
+        let scale = self.alpha / self.size as f32;
+        let mut dx = vec![0.0f32; xs.len()];
+        // dL/da_x = go_x / d_x^β − 2·scale·β·a_x · Σ_{i: x∈win(i)} go_i·a_i/d_i^{β+1}
+        for ni in 0..n {
+            for cx in 0..c {
+                // channels i whose window includes cx are exactly the window
+                // around cx (symmetric windows).
+                let (lo, hi) = self.window(cx, c);
+                for p in 0..hw {
+                    let xidx = (ni * c + cx) * hw + p;
+                    let mut acc = 0.0f32;
+                    for ci in lo..hi {
+                        let i = (ni * c + ci) * hw + p;
+                        acc += go[i] * xs[i] / denom[i].powf(self.beta + 1.0);
+                    }
+                    dx[xidx] = go[xidx] / denom[xidx].powf(self.beta)
+                        - 2.0 * scale * self.beta * xs[xidx] * acc;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(dx, d.to_vec())?)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        Ok(input_dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::check_input_grad;
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_formula() {
+        // 1 sample, 3 channels, 1x1 spatial; window size 3 covers all.
+        let mut lrn = Lrn::new("lrn", 3, 0.3, 0.5, 1.0).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3, 1, 1]).unwrap();
+        let y = lrn.forward(&x, true).unwrap();
+        // channel 0 window = {0,1}: d = 1 + 0.1*(1+4) = 1.5
+        let d0 = 1.0f32 + 0.1 * 5.0;
+        assert!((y.as_slice()[0] - 1.0 / d0.sqrt()).abs() < 1e-6);
+        // channel 1 window = {0,1,2}: d = 1 + 0.1*14
+        let d1 = 1.0f32 + 0.1 * 14.0;
+        assert!((y.as_slice()[1] - 2.0 / d1.sqrt()).abs() < 1e-6);
+        // channel 2 window = {1,2}: d = 1 + 0.1*13
+        let d2 = 1.0f32 + 0.1 * 13.0;
+        assert!((y.as_slice()[2] - 3.0 / d2.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_checks_out() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::randn(&mut rng, [2, 6, 3, 3], 0.0, 1.0);
+        // Large alpha so normalization meaningfully affects gradients.
+        let mut lrn = Lrn::new("lrn", 5, 0.5, 0.75, 2.0).unwrap();
+        check_input_grad(&mut lrn, &x, 2e-2);
+    }
+
+    #[test]
+    fn alexnet_defaults_are_mild() {
+        let mut lrn = Lrn::alexnet("lrn");
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&mut rng, [1, 8, 2, 2], 0.0, 1.0);
+        let y = lrn.forward(&x, true).unwrap();
+        // With alpha=1e-4 the normalization is a gentle shrink by k^beta.
+        let shrink = 2.0f32.powf(0.75);
+        for (yv, xv) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((yv * shrink - xv).abs() < 0.01 * (1.0 + xv.abs()));
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Lrn::new("l", 0, 0.1, 0.5, 1.0).is_err());
+        assert!(Lrn::new("l", 3, 0.1, 0.5, 0.0).is_err());
+        assert!(Lrn::new("l", 3, f32::NAN, 0.5, 1.0).is_err());
+        let mut l = Lrn::alexnet("l");
+        assert!(l.forward(&Tensor::zeros([2, 2]), true).is_err());
+        assert!(l.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+        l.forward(&Tensor::zeros([1, 2, 2, 2]), true).unwrap();
+        assert!(l.backward(&Tensor::zeros([1, 2, 2, 3])).is_err());
+        assert_eq!(l.output_dims(&[2, 2, 2]).unwrap(), vec![2, 2, 2]);
+        assert_eq!(l.n_params(), 0);
+    }
+}

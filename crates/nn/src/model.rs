@@ -1,0 +1,325 @@
+//! The training driver: a network + loss with epoch loops, evaluation, and
+//! per-layer regularizer attachment.
+
+use crate::error::Result;
+use crate::layer::Layer;
+use crate::loss::{accuracy, SoftmaxCrossEntropy};
+use crate::optimizer::Sgd;
+use crate::param::{Param, VisitParams};
+use gmreg_core::Regularizer;
+use gmreg_data::{Augment, Batcher, Dataset};
+use gmreg_tensor::Tensor;
+use rand::Rng;
+
+/// A classifier: any [`Layer`] producing logits, trained with softmax
+/// cross-entropy.
+pub struct Network {
+    net: Box<dyn Layer>,
+    loss: SoftmaxCrossEntropy,
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean data-misfit loss over the epoch's batches.
+    pub loss: f64,
+    /// Training accuracy over the epoch's batches.
+    pub accuracy: f64,
+    /// Number of mini-batches processed (`B` of Algorithm 2).
+    pub batches: usize,
+}
+
+/// A snapshot of one parameter group's learned GM, for Tables IV/V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerMixture {
+    /// Parameter-group name (e.g. `"conv1/weight"`).
+    pub name: String,
+    /// Mixing coefficients of the merged (reported) mixture.
+    pub pi: Vec<f64>,
+    /// Precisions of the merged mixture, ascending.
+    pub lambda: Vec<f64>,
+    /// Dimensions in the group.
+    pub dims: usize,
+}
+
+impl Network {
+    /// Wraps a layer stack into a trainable classifier.
+    pub fn new(net: impl Layer + 'static) -> Self {
+        Network {
+            net: Box::new(net),
+            loss: SoftmaxCrossEntropy::new(),
+        }
+    }
+
+    /// The underlying layer stack.
+    pub fn layer_mut(&mut self) -> &mut dyn Layer {
+        self.net.as_mut()
+    }
+
+    /// Attaches a regularizer to each parameter group for which `f`
+    /// returns one. The closure sees the group's name, dimensionality and
+    /// initialization std — everything the paper's per-layer GM recipe
+    /// needs. Existing regularizers on groups where `f` returns `None` are
+    /// removed.
+    pub fn attach_regularizers(
+        &mut self,
+        mut f: impl FnMut(&str, usize, f64) -> Option<Box<dyn Regularizer>>,
+    ) {
+        self.net.visit_params(&mut |p: &mut Param| {
+            p.regularizer = f(&p.name, p.len(), p.init_std);
+        });
+    }
+
+    /// Sets every parameter group's regularization-gradient scale. Use
+    /// `1.0 / n_train` to keep Eq. 10's sum-loss proportions when training
+    /// on mean batch losses (see [`Param::reg_scale`]).
+    pub fn set_reg_scale(&mut self, scale: f32) {
+        self.net.visit_params(&mut |p: &mut Param| p.reg_scale = scale);
+    }
+
+    /// Runs one forward/backward/step cycle on a batch; returns the batch's
+    /// data-misfit loss.
+    pub fn train_batch(&mut self, x: &Tensor, y: &[usize], opt: &mut Sgd) -> Result<f64> {
+        let logits = self.net.forward(x, true)?;
+        let loss = self.loss.forward(&logits, y)?;
+        let dlogits = self.loss.backward()?;
+        self.net.backward(&dlogits)?;
+        opt.step(&mut *self.net);
+        Ok(loss)
+    }
+
+    /// Trains one epoch over a dataset; reshuffles batches, optionally
+    /// augments them, advances the optimizer's epoch counter at the end.
+    pub fn train_epoch(
+        &mut self,
+        ds: &Dataset,
+        batch_size: usize,
+        opt: &mut Sgd,
+        augment: Option<&Augment>,
+        rng: &mut impl Rng,
+    ) -> Result<EpochStats> {
+        let batcher = Batcher::new(ds, batch_size, rng)?;
+        let mut total_loss = 0.0;
+        let mut total_acc = 0.0;
+        let n_batches = batcher.n_batches();
+        for i in 0..n_batches {
+            let mut batch = batcher.batch(ds, i)?;
+            if let Some(aug) = augment {
+                aug.apply_batch(&mut batch.x, rng)?;
+            }
+            total_loss += self.train_batch(&batch.x, &batch.y, opt)?;
+            total_acc += self.loss.cached_accuracy()?;
+        }
+        opt.end_epoch(&mut *self.net);
+        Ok(EpochStats {
+            loss: total_loss / n_batches as f64,
+            accuracy: total_acc / n_batches as f64,
+            batches: n_batches,
+        })
+    }
+
+    /// Classification accuracy on a dataset (evaluation mode, batched).
+    pub fn evaluate(&mut self, ds: &Dataset, batch_size: usize) -> Result<f64> {
+        let batcher = Batcher::sequential(ds, batch_size)?;
+        let mut hits = 0.0;
+        let mut total = 0usize;
+        for batch in batcher.iter(ds) {
+            let batch = batch?;
+            let logits = self.net.forward(&batch.x, false)?;
+            hits += accuracy(&logits, &batch.y)? * batch.y.len() as f64;
+            total += batch.y.len();
+        }
+        Ok(hits / total as f64)
+    }
+
+    /// Total regularization penalty over all parameter groups.
+    pub fn total_penalty(&mut self) -> f64 {
+        let mut acc = 0.0;
+        self.net.visit_params(&mut |p: &mut Param| acc += p.penalty());
+        acc
+    }
+
+    /// Snapshots the learned GM of every group that carries a GM
+    /// regularizer — the per-layer (π, λ) of Tables IV and V.
+    pub fn learned_mixtures(&mut self) -> Vec<LayerMixture> {
+        let mut out = Vec::new();
+        self.net.visit_params(&mut |p: &mut Param| {
+            if let Some(gm) = p.regularizer.as_ref().and_then(|r| r.as_gm()) {
+                if let Ok(eff) = gm.learned_mixture() {
+                    out.push(LayerMixture {
+                        name: p.name.clone(),
+                        pi: eff.pi().to_vec(),
+                        lambda: eff.lambda().to_vec(),
+                        dims: p.len(),
+                    });
+                }
+            }
+        });
+        out
+    }
+
+    /// Total scalar parameter count.
+    pub fn n_params(&mut self) -> usize {
+        self.net.n_params()
+    }
+
+    /// Scalar count of *weight* parameters (groups named `*/weight`) —
+    /// the "number of dimensions for model parameter" the paper reports.
+    pub fn n_weight_params(&mut self) -> usize {
+        let mut n = 0;
+        self.net.visit_params(&mut |p: &mut Param| {
+            if p.name.ends_with("/weight") {
+                n += p.len();
+            }
+        });
+        n
+    }
+}
+
+impl VisitParams for Network {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+    use crate::dense::Dense;
+    use crate::init::WeightInit;
+    use crate::sequential::Sequential;
+    use gmreg_core::gm::{GmConfig, GmRegularizer};
+    use gmreg_core::L2Reg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A linearly separable 2-D two-class dataset.
+    fn toy_dataset(n: usize, seed: u64) -> Dataset {
+        use gmreg_tensor::SampleExt as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let cx = if label == 0 { -1.0 } else { 1.0 };
+            data.push((cx + rng.normal(0.0, 0.4)) as f32);
+            data.push((cx + rng.normal(0.0, 0.4)) as f32);
+            y.push(label);
+        }
+        Dataset::new(Tensor::from_vec(data, [n, 2]).unwrap(), y, 2).unwrap()
+    }
+
+    fn mlp(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(
+            Sequential::new("mlp")
+                .push(Dense::new("fc1", 2, 8, WeightInit::He, &mut rng).unwrap())
+                .push(ReLU::new("relu"))
+                .push(Dense::new("fc2", 8, 2, WeightInit::He, &mut rng).unwrap()),
+        )
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let ds = toy_dataset(200, 1);
+        let mut net = mlp(2);
+        let mut opt = Sgd::new(0.1, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut last = EpochStats {
+            loss: f64::INFINITY,
+            accuracy: 0.0,
+            batches: 0,
+        };
+        for _ in 0..20 {
+            last = net.train_epoch(&ds, 32, &mut opt, None, &mut rng).unwrap();
+        }
+        assert!(last.loss < 0.2, "loss {}", last.loss);
+        assert!(last.accuracy > 0.95, "train acc {}", last.accuracy);
+        let test = toy_dataset(100, 9);
+        let acc = net.evaluate(&test, 32).unwrap();
+        assert!(acc > 0.95, "test acc {acc}");
+        assert_eq!(opt.epoch(), 20);
+    }
+
+    #[test]
+    fn attach_and_report_regularizers() {
+        let mut net = mlp(4);
+        net.attach_regularizers(|name, dims, init_std| {
+            if name.ends_with("/weight") {
+                let cfg = GmConfig {
+                    min_precision: Some(1.0),
+                    ..GmConfig::default()
+                };
+                Some(Box::new(
+                    GmRegularizer::new(dims, init_std.max(0.1), cfg).unwrap(),
+                ))
+            } else {
+                None
+            }
+        });
+        // run a few steps so the mixtures are fitted
+        let ds = toy_dataset(64, 5);
+        let mut opt = Sgd::new(0.05, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..3 {
+            net.train_epoch(&ds, 16, &mut opt, None, &mut rng).unwrap();
+        }
+        let mixtures = net.learned_mixtures();
+        assert_eq!(mixtures.len(), 2);
+        assert_eq!(mixtures[0].name, "fc1/weight");
+        assert_eq!(mixtures[0].dims, 16);
+        for m in &mixtures {
+            assert!((m.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(m.lambda.iter().all(|l| *l > 0.0));
+        }
+        // The GM penalty is a negative log prior: it can legitimately be
+        // negative when the learned components are concentrated.
+        assert!(net.total_penalty().is_finite());
+        assert_eq!(net.n_weight_params(), 2 * 8 + 8 * 2);
+        assert_eq!(net.n_params(), 16 + 8 + 16 + 2);
+    }
+
+    #[test]
+    fn l2_has_no_gm_report() {
+        let mut net = mlp(7);
+        net.attach_regularizers(|name, _, _| {
+            name.ends_with("/weight")
+                .then(|| Box::new(L2Reg::new(0.01).unwrap()) as Box<dyn Regularizer>)
+        });
+        assert!(net.learned_mixtures().is_empty());
+        assert!(net.total_penalty() >= 0.0);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights_vs_unregularized() {
+        let ds = toy_dataset(100, 8);
+        let train = |reg: bool| -> f32 {
+            let mut net = mlp(11);
+            if reg {
+                net.attach_regularizers(|name, _, _| {
+                    name.ends_with("/weight")
+                        .then(|| Box::new(L2Reg::new(1.0).unwrap()) as Box<dyn Regularizer>)
+                });
+            }
+            let mut opt = Sgd::new(0.05, 0.9).unwrap();
+            let mut rng = StdRng::seed_from_u64(12);
+            for _ in 0..10 {
+                net.train_epoch(&ds, 25, &mut opt, None, &mut rng).unwrap();
+            }
+            let mut norm = 0.0f32;
+            net.visit_params(&mut |p| {
+                if p.name.ends_with("/weight") {
+                    norm += p.value.norm_sq();
+                }
+            });
+            norm
+        };
+        let with = train(true);
+        let without = train(false);
+        assert!(
+            with < 0.5 * without,
+            "L2 should shrink weights: {with} vs {without}"
+        );
+    }
+}

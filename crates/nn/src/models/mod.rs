@@ -1,0 +1,8 @@
+//! The two deep models the paper evaluates (Table III): Alex-CIFAR-10 and
+//! the 20-layer CIFAR ResNet.
+
+mod alexnet;
+mod resnet;
+
+pub use alexnet::alex_cifar10;
+pub use resnet::{resnet, resnet20};

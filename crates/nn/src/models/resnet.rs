@@ -1,0 +1,138 @@
+//! The paper's 20-layer CIFAR ResNet (Table III, right column).
+//!
+//! `conv 3×3×16 + BN + ReLU`, then three stacks of `n = 3` basic blocks
+//! with 16, 32 and 64 filters (stride-2 projection at stack boundaries),
+//! global average pooling and a 10-way dense head named `ip5` as in
+//! Table V. At 32×32×3 input the weight dimensionality is exactly the
+//! paper's 270,896.
+
+use crate::activation::ReLU;
+use crate::batchnorm::BatchNorm2d;
+use crate::conv::Conv2d;
+use crate::dense::Dense;
+use crate::error::Result;
+use crate::init::WeightInit;
+use crate::pool::GlobalAvgPool;
+use crate::residual::BasicBlock;
+use crate::sequential::Sequential;
+use rand::Rng;
+
+/// Builds a CIFAR ResNet with `6n + 2` weighted layers (`n` blocks per
+/// stack); `n = 3` gives the paper's ResNet-20.
+pub fn resnet(
+    channels: usize,
+    n_classes: usize,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<Sequential> {
+    let mut net = Sequential::new(format!("resnet-{}", 6 * n + 2))
+        .push(Conv2d::new("conv1", channels, 16, 3, 1, 1, WeightInit::He, rng)?)
+        .push(BatchNorm2d::new("bn1", 16)?)
+        .push(ReLU::new("relu1"));
+
+    // Stacks are numbered 2, 3, 4 and blocks lettered a, b, c… to match the
+    // paper's Table V layer names (2a-br1-conv1, 3a-br2-conv, …).
+    let widths = [16usize, 32, 64];
+    let mut in_c = 16;
+    for (si, &w) in widths.iter().enumerate() {
+        for b in 0..n {
+            let letter = (b'a' + b as u8) as char;
+            let name = format!("{}{}", si + 2, letter);
+            let stride = if si > 0 && b == 0 { 2 } else { 1 };
+            net.push_boxed(Box::new(BasicBlock::new(name, in_c, w, stride, rng)?));
+            in_c = w;
+        }
+    }
+    Ok(net
+        .push(GlobalAvgPool::new("gap"))
+        .push(Dense::new("ip5", 64, n_classes, WeightInit::He, rng)?))
+}
+
+/// The paper's exact configuration: ResNet-20 (`n = 3`).
+pub fn resnet20(channels: usize, n_classes: usize, rng: &mut impl Rng) -> Result<Sequential> {
+    resnet(channels, n_classes, 3, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::param::VisitParams;
+    use gmreg_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weight_dimensionality_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = resnet20(3, 10, &mut rng).unwrap();
+        let mut weights = 0usize;
+        net.visit_params(&mut |p| {
+            if p.name.ends_with("/weight") {
+                weights += p.len();
+            }
+        });
+        assert_eq!(weights, 270_896, "paper Section V-A: 270896 dimensions");
+    }
+
+    #[test]
+    fn has_twenty_weighted_conv_dense_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = resnet20(3, 10, &mut rng).unwrap();
+        let mut conv_dense = 0;
+        net.visit_params(&mut |p| {
+            // Count main-path weighted layers the way He et al. do: the
+            // stem conv, two convs per block, and the dense head.
+            // Projection (br2) convs are not counted in "20".
+            if p.name.ends_with("/weight") && !p.name.contains("br2") {
+                conv_dense += 1;
+            }
+        });
+        assert_eq!(conv_dense, 20);
+    }
+
+    #[test]
+    fn layer_names_match_table_v() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = resnet20(3, 10, &mut rng).unwrap();
+        let mut names = Vec::new();
+        net.visit_params(&mut |p| {
+            if p.name.ends_with("/weight") {
+                names.push(p.name.clone());
+            }
+        });
+        for expect in [
+            "conv1/weight",
+            "2a-br1-conv1/weight",
+            "2a-br1-conv2/weight",
+            "3a-br2-conv/weight",
+            "3a-br1-conv1/weight",
+            "4a-br2-conv/weight",
+            "4a-br1-conv1/weight",
+            "ip5/weight",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = resnet20(3, 10, &mut rng).unwrap();
+        let x = Tensor::zeros([2, 3, 32, 32]);
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        let g = net.backward(&Tensor::ones([2, 10])).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 32, 32]);
+        assert_eq!(net.output_dims(&[3, 32, 32]).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn smaller_n_builds_shallower_nets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = resnet(3, 10, 1, &mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros([1, 3, 16, 16]), true).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+        assert_eq!(net.name(), "resnet-8");
+    }
+}

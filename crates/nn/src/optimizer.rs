@@ -1,0 +1,167 @@
+//! Stochastic gradient descent with momentum — the model-parameter side of
+//! the paper's interleaved SGD+EM update (Fig. 2).
+
+use crate::error::{NnError, Result};
+use crate::param::VisitParams;
+use gmreg_core::StepCtx;
+
+/// SGD with classical momentum.
+///
+/// On each [`Sgd::step`], for every parameter group:
+/// 1. the group's regularizer (if any) adds `g_reg` to the gradient and
+///    advances its own EM / lazy-update state (Algorithm 2 lines 4–11);
+/// 2. `v ← momentum·v − lr·(g_ll + g_reg)`, `w ← w + v` (line 12);
+/// 3. the gradient buffer is zeroed for the next batch.
+///
+/// The optimizer owns the iteration / epoch counters that drive the GM
+/// regularizer's lazy schedule.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    iteration: u64,
+    epoch: u64,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given learning rate and momentum.
+    pub fn new(lr: f32, momentum: f32) -> Result<Self> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(NnError::InvalidConfig {
+                field: "lr",
+                reason: format!("must be positive and finite, got {lr}"),
+            });
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::InvalidConfig {
+                field: "momentum",
+                reason: format!("must lie in [0, 1), got {momentum}"),
+            });
+        }
+        Ok(Sgd {
+            lr,
+            momentum,
+            iteration: 0,
+            epoch: 0,
+        })
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for step-decay schedules).
+    pub fn set_lr(&mut self, lr: f32) -> Result<()> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(NnError::InvalidConfig {
+                field: "lr",
+                reason: format!("must be positive and finite, got {lr}"),
+            });
+        }
+        self.lr = lr;
+        Ok(())
+    }
+
+    /// Global iteration counter (`it` of Algorithm 2).
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Epoch counter (`epoch_it` of Algorithm 2).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies one SGD step to every parameter of `model`.
+    pub fn step(&mut self, model: &mut dyn VisitParams) {
+        let ctx = StepCtx::new(self.iteration, self.epoch);
+        let (lr, mu) = (self.lr, self.momentum);
+        model.visit_params(&mut |p| {
+            p.apply_regularizer(ctx);
+            let g = p.grad.as_slice();
+            let v = p.velocity.as_mut_slice();
+            let w = p.value.as_mut_slice();
+            for i in 0..w.len() {
+                v[i] = mu * v[i] - lr * g[i];
+                w[i] += v[i];
+            }
+            p.zero_grad();
+        });
+        self.iteration += 1;
+    }
+
+    /// Marks the end of an epoch, advancing the epoch counter and
+    /// notifying every attached regularizer.
+    pub fn end_epoch(&mut self, model: &mut dyn VisitParams) {
+        self.epoch += 1;
+        model.visit_params(&mut |p| {
+            if let Some(r) = p.regularizer.as_mut() {
+                r.end_epoch();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use gmreg_core::L2Reg;
+    use gmreg_tensor::Tensor;
+
+    struct OneParam(Param);
+    impl VisitParams for OneParam {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.0);
+        }
+    }
+
+    #[test]
+    fn plain_sgd_descends() {
+        let mut p = OneParam(Param::new("w", Tensor::from_slice(&[1.0, -1.0]), 0.1));
+        p.0.grad = Tensor::from_slice(&[0.5, -0.5]);
+        let mut opt = Sgd::new(0.1, 0.0).unwrap();
+        opt.step(&mut p);
+        assert_eq!(p.0.value.as_slice(), &[0.95, -0.95]);
+        assert_eq!(p.0.grad.as_slice(), &[0.0, 0.0], "grad zeroed after step");
+        assert_eq!(opt.iteration(), 1);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = OneParam(Param::new("w", Tensor::from_slice(&[0.0]), 0.1));
+        let mut opt = Sgd::new(1.0, 0.5).unwrap();
+        // constant unit gradient for three steps
+        for _ in 0..3 {
+            p.0.grad = Tensor::from_slice(&[1.0]);
+            opt.step(&mut p);
+        }
+        // v: -1, -1.5, -1.75 -> w = -(1 + 1.5 + 1.75)
+        assert!((p.0.value.as_slice()[0] + 4.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regularizer_contributes() {
+        let mut p = OneParam(Param::new("w", Tensor::from_slice(&[1.0]), 0.1));
+        p.0.regularizer = Some(Box::new(L2Reg::new(1.0).unwrap()));
+        let mut opt = Sgd::new(0.1, 0.0).unwrap();
+        opt.step(&mut p); // g_ll = 0, g_reg = w = 1 -> w = 1 - 0.1
+        assert!((p.0.value.as_slice()[0] - 0.9).abs() < 1e-6);
+        opt.end_epoch(&mut p);
+        assert_eq!(opt.epoch(), 1);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Sgd::new(0.0, 0.9).is_err());
+        assert!(Sgd::new(f32::NAN, 0.9).is_err());
+        assert!(Sgd::new(0.1, 1.0).is_err());
+        assert!(Sgd::new(0.1, -0.1).is_err());
+        let mut opt = Sgd::new(0.1, 0.9).unwrap();
+        assert_eq!(opt.lr(), 0.1);
+        assert!(opt.set_lr(0.01).is_ok());
+        assert_eq!(opt.lr(), 0.01);
+        assert!(opt.set_lr(-1.0).is_err());
+    }
+}

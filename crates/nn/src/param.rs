@@ -1,0 +1,165 @@
+//! Trainable parameters: value, gradient, momentum buffer and an optional
+//! per-parameter-group regularizer.
+
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_tensor::Tensor;
+
+/// One trainable parameter group (a layer's weight or bias tensor).
+///
+/// The paper regularizes each layer's weights with its own adaptively
+/// learned GM; attaching the [`Regularizer`] directly to the parameter
+/// group makes that per-layer assignment the natural unit. Biases follow
+/// the usual convention of carrying no regularizer.
+pub struct Param {
+    /// Qualified name, e.g. `"conv1/weight"` — the names Tables IV/V use.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the backward pass (zeroed by the optimizer
+    /// after each step).
+    pub grad: Tensor,
+    /// Momentum buffer owned by SGD.
+    pub velocity: Tensor,
+    /// Standard deviation the value was initialized with — the GM
+    /// regularizer derives its initial `min` precision from it (Sec. V-E).
+    pub init_std: f64,
+    /// Optional penalty applied to this group at every optimizer step.
+    pub regularizer: Option<Box<dyn Regularizer>>,
+    /// Factor applied to `g_reg` before it joins the gradient. Eq. 10's
+    /// `g_ll` is a *sum* over the training set while SGD implementations
+    /// typically step on the *mean* batch loss; setting this to `1/N_train`
+    /// keeps the two terms in the paper's proportion.
+    pub reg_scale: f32,
+    scratch: Vec<f32>,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient and momentum buffers.
+    pub fn new(name: impl Into<String>, value: Tensor, init_std: f64) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        let velocity = Tensor::zeros(value.shape().clone());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            velocity,
+            init_std,
+            regularizer: None,
+            reg_scale: 1.0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of scalar dimensions in the group.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Applies the attached regularizer's gradient for this step, if any,
+    /// scaled by [`Param::reg_scale`].
+    pub fn apply_regularizer(&mut self, ctx: StepCtx) {
+        let Some(reg) = self.regularizer.as_mut() else {
+            return;
+        };
+        if self.reg_scale == 1.0 {
+            reg.accumulate_grad(self.value.as_slice(), self.grad.as_mut_slice(), ctx);
+        } else {
+            if self.scratch.len() != self.value.len() {
+                self.scratch = vec![0.0; self.value.len()];
+            } else {
+                self.scratch.fill(0.0);
+            }
+            reg.accumulate_grad(self.value.as_slice(), &mut self.scratch, ctx);
+            let s = self.reg_scale;
+            for (g, &r) in self.grad.as_mut_slice().iter_mut().zip(&self.scratch) {
+                *g += s * r;
+            }
+        }
+    }
+
+    /// The regularizer's penalty value on the current weights (0 if none).
+    pub fn penalty(&self) -> f64 {
+        self.regularizer
+            .as_ref()
+            .map_or(0.0, |r| r.penalty(self.value.as_slice()))
+    }
+
+    /// Zeroes the gradient buffer.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Param")
+            .field("name", &self.name)
+            .field("dims", &self.value.dims())
+            .field("init_std", &self.init_std)
+            .field(
+                "regularizer",
+                &self.regularizer.as_ref().map(|r| r.name().to_owned()),
+            )
+            .finish()
+    }
+}
+
+/// Visitor over a model's parameters, used by optimizers, regularizer
+/// attachment, and reporting.
+pub trait VisitParams {
+    /// Calls `f` once for every parameter group, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total scalar parameter count.
+    fn n_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmreg_core::L2Reg;
+
+    #[test]
+    fn buffers_are_zeroed() {
+        let p = Param::new("w", Tensor::ones([2, 3]), 0.1);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+        assert!(p.velocity.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(p.penalty(), 0.0);
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("\"w\""));
+    }
+
+    #[test]
+    fn reg_scale_scales_the_penalty_gradient() {
+        let mut p = Param::new("w", Tensor::from_slice(&[2.0, -1.0]), 0.1);
+        p.regularizer = Some(Box::new(L2Reg::new(0.5).unwrap()));
+        p.reg_scale = 0.1;
+        p.apply_regularizer(StepCtx::new(0, 0));
+        assert!(p.grad.approx_eq(&Tensor::from_slice(&[0.1, -0.05]), 1e-7));
+        // A second application accumulates on top.
+        p.apply_regularizer(StepCtx::new(1, 0));
+        assert!(p.grad.approx_eq(&Tensor::from_slice(&[0.2, -0.1]), 1e-7));
+    }
+
+    #[test]
+    fn regularizer_is_applied() {
+        let mut p = Param::new("w", Tensor::from_slice(&[2.0, -1.0]), 0.1);
+        p.regularizer = Some(Box::new(L2Reg::new(0.5).unwrap()));
+        p.apply_regularizer(StepCtx::new(0, 0));
+        assert_eq!(p.grad.as_slice(), &[1.0, -0.5]);
+        assert!(p.penalty() > 0.0);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+}

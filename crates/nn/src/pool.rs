@@ -1,0 +1,392 @@
+//! Max and average pooling layers.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+
+/// Pooling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Max,
+    Avg,
+}
+
+/// A 2-D pooling layer (max or average) over `[N, C, H, W]` inputs.
+///
+/// Ceil-mode windowing: partial windows at the right/bottom edges are
+/// included (average pooling divides by the *actual* window size), matching
+/// the behaviour of the Caffe-style stacks the paper's models use.
+pub struct Pool2d {
+    name: String,
+    mode: Mode,
+    kernel: usize,
+    stride: usize,
+    cache: Option<PoolCache>,
+}
+
+struct PoolCache {
+    in_dims: [usize; 4],
+    out_hw: (usize, usize),
+    /// For max pooling: flat input index chosen per output element.
+    argmax: Vec<usize>,
+}
+
+impl Pool2d {
+    /// Max pooling with the given square kernel and stride.
+    pub fn max(name: impl Into<String>, kernel: usize, stride: usize) -> Result<Self> {
+        Self::new(name, Mode::Max, kernel, stride)
+    }
+
+    /// Average pooling with the given square kernel and stride.
+    pub fn avg(name: impl Into<String>, kernel: usize, stride: usize) -> Result<Self> {
+        Self::new(name, Mode::Avg, kernel, stride)
+    }
+
+    fn new(name: impl Into<String>, mode: Mode, kernel: usize, stride: usize) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "pool2d",
+                reason: "kernel and stride must be positive".into(),
+            });
+        }
+        Ok(Pool2d {
+            name: name.into(),
+            mode,
+            kernel,
+            stride,
+            cache: None,
+        })
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        // ceil mode
+        let oh = (h.saturating_sub(self.kernel)).div_ceil(self.stride) + 1;
+        let ow = (w.saturating_sub(self.kernel)).div_ceil(self.stride) + 1;
+        (oh, ow)
+    }
+}
+
+impl VisitParams for Pool2d {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Layer for Pool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let d = x.dims();
+        if d.len() != 4 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: d.to_vec(),
+                expected: "[N, C, H, W]".into(),
+            });
+        }
+        let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+        if h < self.kernel.min(h.max(1)) || h == 0 || w == 0 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: d.to_vec(),
+                expected: "non-empty spatial dimensions".into(),
+            });
+        }
+        let (oh, ow) = self.out_hw(h, w);
+        let xs = x.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; if self.mode == Mode::Max { out.len() } else { 0 }];
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    let y0 = oy * self.stride;
+                    let y1 = (y0 + self.kernel).min(h);
+                    for ox in 0..ow {
+                        let x0 = ox * self.stride;
+                        let x1 = (x0 + self.kernel).min(w);
+                        let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                        match self.mode {
+                            Mode::Max => {
+                                let mut best = f32::NEG_INFINITY;
+                                let mut best_idx = plane + y0 * w + x0;
+                                for yy in y0..y1 {
+                                    for xx in x0..x1 {
+                                        let idx = plane + yy * w + xx;
+                                        if xs[idx] > best {
+                                            best = xs[idx];
+                                            best_idx = idx;
+                                        }
+                                    }
+                                }
+                                out[oidx] = best;
+                                argmax[oidx] = best_idx;
+                            }
+                            Mode::Avg => {
+                                let mut acc = 0.0f32;
+                                for yy in y0..y1 {
+                                    for xx in x0..x1 {
+                                        acc += xs[plane + yy * w + xx];
+                                    }
+                                }
+                                out[oidx] = acc / ((y1 - y0) * (x1 - x0)) as f32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = Some(PoolCache {
+            in_dims: [n, c, h, w],
+            out_hw: (oh, ow),
+            argmax,
+        });
+        Ok(Tensor::from_vec(out, [n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let [n, c, h, w] = cache.in_dims;
+        let (oh, ow) = cache.out_hw;
+        if grad_out.dims() != [n, c, oh, ow] {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("[{n}, {c}, {oh}, {ow}]"),
+            });
+        }
+        let go = grad_out.as_slice();
+        let mut dx = vec![0.0f32; n * c * h * w];
+        match self.mode {
+            Mode::Max => {
+                for (oidx, &src) in cache.argmax.iter().enumerate() {
+                    dx[src] += go[oidx];
+                }
+            }
+            Mode::Avg => {
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let plane = (ni * c + ci) * h * w;
+                        for oy in 0..oh {
+                            let y0 = oy * self.stride;
+                            let y1 = (y0 + self.kernel).min(h);
+                            for ox in 0..ow {
+                                let x0 = ox * self.stride;
+                                let x1 = (x0 + self.kernel).min(w);
+                                let g = go[((ni * c + ci) * oh + oy) * ow + ox]
+                                    / ((y1 - y0) * (x1 - x0)) as f32;
+                                for yy in y0..y1 {
+                                    for xx in x0..x1 {
+                                        dx[plane + yy * w + xx] += g;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(dx, [n, c, h, w])?)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        if input_dims.len() != 3 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: input_dims.to_vec(),
+                expected: "[C, H, W]".into(),
+            });
+        }
+        let (oh, ow) = self.out_hw(input_dims[1], input_dims[2]);
+        Ok(vec![input_dims[0], oh, ow])
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+pub struct GlobalAvgPool {
+    name: String,
+    in_dims: Option<[usize; 4]>,
+}
+
+impl GlobalAvgPool {
+    /// Builds a global average pooling layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPool {
+            name: name.into(),
+            in_dims: None,
+        }
+    }
+}
+
+impl VisitParams for GlobalAvgPool {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let d = x.dims();
+        if d.len() != 4 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: d.to_vec(),
+                expected: "[N, C, H, W]".into(),
+            });
+        }
+        let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+        let hw = (h * w) as f32;
+        let xs = x.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = xs[i * h * w..(i + 1) * h * w].iter().sum::<f32>() / hw;
+        }
+        self.in_dims = Some([n, c, h, w]);
+        Ok(Tensor::from_vec(out, [n, c])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let [n, c, h, w] = self.in_dims.ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        if grad_out.dims() != [n, c] {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("[{n}, {c}]"),
+            });
+        }
+        let hw = (h * w) as f32;
+        let go = grad_out.as_slice();
+        let mut dx = vec![0.0f32; n * c * h * w];
+        for (i, &g) in go.iter().enumerate() {
+            let v = g / hw;
+            dx[i * h * w..(i + 1) * h * w].fill(v);
+        }
+        Ok(Tensor::from_vec(dx, [n, c, h, w])?)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        if input_dims.len() != 3 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: input_dims.to_vec(),
+                expected: "[C, H, W]".into(),
+            });
+        }
+        Ok(vec![input_dims[0]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::check_input_grad;
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 3.0, //
+                4.0, 0.0, 1.0, 2.0, //
+                7.0, 1.0, 0.0, 0.0, //
+                2.0, 3.0, 4.0, 9.0,
+            ],
+            [1, 1, 4, 4],
+        )
+        .unwrap();
+        let mut p = Pool2d::max("mp", 2, 2).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 5.0, 7.0, 9.0]);
+        // backward routes gradient to the argmax positions
+        let g = p
+            .backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap())
+            .unwrap();
+        assert_eq!(g.get(&[0, 0, 1, 0]).unwrap(), 1.0);
+        assert_eq!(g.get(&[0, 0, 0, 2]).unwrap(), 2.0);
+        assert_eq!(g.get(&[0, 0, 2, 0]).unwrap(), 3.0);
+        assert_eq!(g.get(&[0, 0, 3, 3]).unwrap(), 4.0);
+        assert_eq!(g.sum(), 10.0);
+    }
+
+    #[test]
+    fn avg_pool_averages_and_distributes() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), [1, 1, 4, 4]).unwrap();
+        let mut p = Pool2d::avg("ap", 2, 2).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+        let g = p.backward(&Tensor::ones([1, 1, 2, 2])).unwrap();
+        assert!(g.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-7));
+    }
+
+    #[test]
+    fn ceil_mode_handles_odd_sizes() {
+        // AlexNet-CIFAR uses 3x3 stride-2 pooling on 32x32 -> 16x16.
+        let p = Pool2d::max("mp", 3, 2).unwrap();
+        assert_eq!(p.out_hw(32, 32), (16, 16));
+        // and 5x5 -> 2x2: ceil((5-3)/2)+1 = 2, windows at 0 and 2.
+        assert_eq!(p.out_hw(5, 5), (2, 2));
+        // 7x7 -> 3x3 with a partial final window: ceil(4/2)+1 = 3.
+        assert_eq!(p.out_hw(7, 7), (3, 3));
+    }
+
+    #[test]
+    fn avg_pool_partial_window_divides_by_actual_size() {
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let mut p = Pool2d::avg("ap", 2, 2).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        // all windows of ones average to 1 regardless of partial windows
+        assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-7));
+        let g = p.backward(&Tensor::ones([1, 1, 2, 2])).unwrap();
+        assert!((g.sum() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&mut rng, [2, 2, 6, 6], 0.0, 1.0);
+        let mut mp = Pool2d::max("mp", 2, 2).unwrap();
+        check_input_grad(&mut mp, &x, 2e-2);
+        let mut ap = Pool2d::avg("ap", 2, 2).unwrap();
+        check_input_grad(&mut ap, &x, 2e-2);
+        let mut gp = GlobalAvgPool::new("gap");
+        check_input_grad(&mut gp, &x, 2e-2);
+    }
+
+    #[test]
+    fn global_avg_pool_shapes() {
+        let mut g = GlobalAvgPool::new("gap");
+        let x = Tensor::ones([2, 3, 4, 4]);
+        let y = g.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-7));
+        assert_eq!(g.output_dims(&[3, 4, 4]).unwrap(), vec![3]);
+        assert!(g.output_dims(&[3, 4]).is_err());
+        assert!(g.backward(&Tensor::zeros([2, 4])).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Pool2d::max("p", 0, 1).is_err());
+        assert!(Pool2d::avg("p", 2, 0).is_err());
+        let mut p = Pool2d::max("p", 2, 2).unwrap();
+        assert!(p.forward(&Tensor::zeros([2, 2]), true).is_err());
+        assert!(p.backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+        assert!(p.output_dims(&[4, 4]).is_err());
+        let mut gp = GlobalAvgPool::new("g");
+        assert!(gp.forward(&Tensor::zeros([2, 2]), true).is_err());
+        assert!(gp.backward(&Tensor::zeros([2, 2])).is_err());
+        // no params
+        assert_eq!(p.n_params(), 0);
+        assert_eq!(gp.n_params(), 0);
+    }
+}

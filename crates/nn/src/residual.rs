@@ -1,0 +1,216 @@
+//! Residual basic block (He et al.), the building unit of the paper's
+//! 20-layer ResNet.
+
+use crate::activation::ReLU;
+use crate::batchnorm::BatchNorm2d;
+use crate::conv::Conv2d;
+use crate::error::{NnError, Result};
+use crate::init::WeightInit;
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use crate::sequential::Sequential;
+use gmreg_tensor::Tensor;
+use rand::Rng;
+
+/// A basic residual block:
+/// `y = relu( bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x) )`.
+///
+/// The shortcut is the identity when shape is preserved, or a strided 1×1
+/// projection convolution (+BN) when the block downsamples / widens —
+/// the `*-br2-conv` layers of Table V.
+pub struct BasicBlock {
+    name: String,
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Option<Vec<bool>>,
+    out_dims: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Builds a block mapping `in_c` channels to `out_c` with the given
+    /// stride on the first convolution.
+    pub fn new(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let name = name.into();
+        let main = Sequential::new(format!("{name}-br1"))
+            .push(Conv2d::new(
+                format!("{name}-br1-conv1"),
+                in_c,
+                out_c,
+                3,
+                stride,
+                1,
+                WeightInit::He,
+                rng,
+            )?)
+            .push(BatchNorm2d::new(format!("{name}-br1-bn1"), out_c)?)
+            .push(ReLU::new(format!("{name}-br1-relu1")))
+            .push(Conv2d::new(
+                format!("{name}-br1-conv2"),
+                out_c,
+                out_c,
+                3,
+                1,
+                1,
+                WeightInit::He,
+                rng,
+            )?)
+            .push(BatchNorm2d::new(format!("{name}-br1-bn2"), out_c)?);
+        let shortcut = if stride != 1 || in_c != out_c {
+            Some(
+                Sequential::new(format!("{name}-br2"))
+                    .push(Conv2d::new(
+                        format!("{name}-br2-conv"),
+                        in_c,
+                        out_c,
+                        1,
+                        stride,
+                        0,
+                        WeightInit::He,
+                        rng,
+                    )?)
+                    .push(BatchNorm2d::new(format!("{name}-br2-bn"), out_c)?),
+            )
+        } else {
+            None
+        };
+        Ok(BasicBlock {
+            name,
+            main,
+            shortcut,
+            relu_mask: None,
+            out_dims: Vec::new(),
+        })
+    }
+}
+
+impl VisitParams for BasicBlock {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        if let Some(s) = self.shortcut.as_mut() {
+            s.visit_params(f);
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let f = self.main.forward(x, train)?;
+        let s = match self.shortcut.as_mut() {
+            Some(sc) => sc.forward(x, train)?,
+            None => x.clone(),
+        };
+        let mut out = f.add(&s)?;
+        let mut mask = vec![false; out.len()];
+        for (v, m) in out.as_mut_slice().iter_mut().zip(mask.iter_mut()) {
+            if *v > 0.0 {
+                *m = true;
+            } else {
+                *v = 0.0;
+            }
+        }
+        self.relu_mask = Some(mask);
+        self.out_dims = out.dims().to_vec();
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.relu_mask.as_ref().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        if grad_out.dims() != self.out_dims {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                got: grad_out.dims().to_vec(),
+                expected: format!("{:?}", self.out_dims),
+            });
+        }
+        let mut d = grad_out.clone();
+        for (v, &m) in d.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        let mut dx = self.main.backward(&d)?;
+        match self.shortcut.as_mut() {
+            Some(sc) => dx.add_assign(&sc.backward(&d)?)?,
+            None => dx.add_assign(&d)?,
+        }
+        Ok(dx)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        self.main.output_dims(input_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::{check_input_grad, check_param_grads};
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_block_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = BasicBlock::new("2a", 4, 4, 1, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [2, 4, 6, 6], 0.0, 1.0);
+        let y = b.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 6, 6]);
+        assert_eq!(b.output_dims(&[4, 6, 6]).unwrap(), vec![4, 6, 6]);
+        // identity shortcut has no projection params
+        let mut names = Vec::new();
+        b.visit_params(&mut |p| names.push(p.name.clone()));
+        assert!(names.iter().all(|n| !n.contains("br2")));
+    }
+
+    #[test]
+    fn downsampling_block_projects() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = BasicBlock::new("3a", 4, 8, 2, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [2, 4, 6, 6], 0.0, 1.0);
+        let y = b.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 3, 3]);
+        let mut names = Vec::new();
+        b.visit_params(&mut |p| names.push(p.name.clone()));
+        assert!(names.iter().any(|n| n == "3a-br2-conv/weight"));
+    }
+
+    #[test]
+    fn gradients_check_out_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = BasicBlock::new("blk", 3, 3, 1, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [2, 3, 4, 4], 0.0, 1.0);
+        check_input_grad(&mut b, &x, 5e-2);
+        check_param_grads(&mut b, &x, 5e-2);
+    }
+
+    #[test]
+    fn gradients_check_out_projection() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut b = BasicBlock::new("blk", 2, 4, 2, &mut rng).unwrap();
+        let x = Tensor::randn(&mut rng, [2, 2, 4, 4], 0.0, 1.0);
+        check_input_grad(&mut b, &x, 5e-2);
+        check_param_grads(&mut b, &x, 5e-2);
+    }
+
+    #[test]
+    fn cache_discipline() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = BasicBlock::new("blk", 2, 2, 1, &mut rng).unwrap();
+        assert!(b.backward(&Tensor::zeros([1, 2, 2, 2])).is_err());
+        b.forward(&Tensor::zeros([1, 2, 4, 4]), true).unwrap();
+        assert!(b.backward(&Tensor::zeros([1, 2, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Sequential layer container.
+
+use crate::error::Result;
+use crate::layer::Layer;
+use crate::param::{Param, VisitParams};
+use gmreg_tensor::Tensor;
+
+/// A chain of layers applied in order; itself a [`Layer`], so blocks nest.
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty container.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl VisitParams for Sequential {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in self.layers.iter_mut() {
+            l.visit_params(f);
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for l in self.layers.iter_mut() {
+            cur = l.forward(&cur, train)?;
+        }
+        Ok(cur)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut cur = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        let mut dims = input_dims.to_vec();
+        for l in &self.layers {
+            dims = l.output_dims(&dims)?;
+        }
+        Ok(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+    use crate::dense::Dense;
+    use crate::init::WeightInit;
+    use crate::layer::testutil::{check_input_grad, check_param_grads};
+    use gmreg_tensor::SampleExt as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(5);
+        Sequential::new("mlp")
+            .push(Dense::new("fc1", 4, 6, WeightInit::Gaussian { std: 0.5 }, &mut rng).unwrap())
+            .push(ReLU::new("relu1"))
+            .push(Dense::new("fc2", 6, 2, WeightInit::Gaussian { std: 0.5 }, &mut rng).unwrap())
+    }
+
+    #[test]
+    fn chains_forward_and_backward() {
+        let mut m = mlp();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&mut rng, [3, 4], 0.3, 1.0);
+        let y = m.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        check_input_grad(&mut m, &x, 2e-2);
+        check_param_grads(&mut m, &x, 2e-2);
+    }
+
+    #[test]
+    fn output_dims_chains() {
+        let m = mlp();
+        assert_eq!(m.output_dims(&[4]).unwrap(), vec![2]);
+        assert!(m.output_dims(&[5]).is_err());
+    }
+
+    #[test]
+    fn visits_all_params() {
+        let mut m = mlp();
+        let mut names = Vec::new();
+        m.visit_params(&mut |p| names.push(p.name.clone()));
+        assert_eq!(names, vec!["fc1/weight", "fc1/bias", "fc2/weight", "fc2/bias"]);
+        assert_eq!(m.n_params(), 4 * 6 + 6 + 6 * 2 + 2);
+    }
+
+    #[test]
+    fn push_boxed_works() {
+        let mut m = Sequential::new("s");
+        m.push_boxed(Box::new(ReLU::new("r")));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.name(), "s");
+    }
+}

@@ -1,0 +1,149 @@
+//! Model weight checkpointing: save and restore every parameter group of a
+//! network by name, so trained models survive process restarts.
+
+use crate::error::{NnError, Result};
+use crate::param::VisitParams;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A serializable snapshot of a model's parameters (values and momentum
+/// buffers), keyed by the qualified parameter names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightsSnapshot {
+    /// Parameter values by name.
+    pub values: BTreeMap<String, Vec<f32>>,
+    /// Momentum buffers by name (same keys as `values`).
+    pub velocities: BTreeMap<String, Vec<f32>>,
+}
+
+/// Captures every parameter group of `model`.
+pub fn save_weights(model: &mut dyn VisitParams) -> WeightsSnapshot {
+    let mut snap = WeightsSnapshot {
+        values: BTreeMap::new(),
+        velocities: BTreeMap::new(),
+    };
+    model.visit_params(&mut |p| {
+        snap.values
+            .insert(p.name.clone(), p.value.as_slice().to_vec());
+        snap.velocities
+            .insert(p.name.clone(), p.velocity.as_slice().to_vec());
+    });
+    snap
+}
+
+/// Restores a snapshot into `model`. Every parameter group in the model
+/// must be present in the snapshot with a matching length; extra snapshot
+/// entries are reported as errors too (they indicate an architecture
+/// mismatch).
+pub fn load_weights(model: &mut dyn VisitParams, snap: &WeightsSnapshot) -> Result<()> {
+    let mut seen = 0usize;
+    let mut error: Option<NnError> = None;
+    model.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        seen += 1;
+        match snap.values.get(&p.name) {
+            Some(v) if v.len() == p.value.len() => {
+                p.value.as_mut_slice().copy_from_slice(v);
+                if let Some(vel) = snap.velocities.get(&p.name) {
+                    if vel.len() == p.velocity.len() {
+                        p.velocity.as_mut_slice().copy_from_slice(vel);
+                    }
+                }
+            }
+            Some(v) => {
+                error = Some(NnError::InvalidConfig {
+                    field: "snapshot",
+                    reason: format!(
+                        "parameter `{}` has {} values in the snapshot but {} in the model",
+                        p.name,
+                        v.len(),
+                        p.value.len()
+                    ),
+                });
+            }
+            None => {
+                error = Some(NnError::InvalidConfig {
+                    field: "snapshot",
+                    reason: format!("parameter `{}` missing from snapshot", p.name),
+                });
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if seen != snap.values.len() {
+        return Err(NnError::InvalidConfig {
+            field: "snapshot",
+            reason: format!(
+                "snapshot has {} parameter groups, model has {seen}",
+                snap.values.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+    use crate::dense::Dense;
+    use crate::init::WeightInit;
+    use crate::sequential::Sequential;
+    use gmreg_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new("mlp")
+            .push(Dense::new("fc1", 3, 5, WeightInit::He, &mut rng).expect("valid"))
+            .push(ReLU::new("r"))
+            .push(Dense::new("fc2", 5, 2, WeightInit::He, &mut rng).expect("valid"))
+    }
+
+    #[test]
+    fn save_load_round_trip_restores_outputs() {
+        use crate::layer::Layer as _;
+        let mut a = mlp(1);
+        let mut b = mlp(2); // different init
+        let x = Tensor::ones([2, 3]);
+        let ya = a.forward(&x, false).expect("forward");
+        let yb = b.forward(&x, false).expect("forward");
+        assert!(!ya.approx_eq(&yb, 1e-6), "different inits differ");
+
+        let snap = save_weights(&mut a);
+        load_weights(&mut b, &snap).expect("loads");
+        let yb2 = b.forward(&x, false).expect("forward");
+        assert!(ya.approx_eq(&yb2, 1e-7), "restored model matches source");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut m = mlp(3);
+        let snap = save_weights(&mut m);
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let back: WeightsSnapshot = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn mismatches_are_rejected() {
+        let mut m = mlp(4);
+        let mut snap = save_weights(&mut m);
+        // wrong length
+        snap.values.get_mut("fc1/weight").expect("present").pop();
+        assert!(load_weights(&mut m, &snap).is_err());
+        // missing key
+        let mut snap = save_weights(&mut m);
+        snap.values.remove("fc2/bias");
+        assert!(load_weights(&mut m, &snap).is_err());
+        // extra key
+        let mut snap = save_weights(&mut m);
+        snap.values.insert("ghost/weight".into(), vec![0.0]);
+        assert!(load_weights(&mut m, &snap).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+///
+/// Every fallible tensor operation returns [`TensorError`] rather than
+/// panicking so that callers building training loops can surface shape
+/// problems as recoverable configuration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// buffer supplied.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        lhs: Vec<usize>,
+        /// Shape of the right operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An operation that requires a particular rank was invoked on a tensor
+    /// of a different rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An axis argument is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// An index is out of range for the dimension it addresses.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Extent of the dimension addressed.
+        extent: usize,
+        /// Which dimension was addressed.
+        axis: usize,
+    },
+    /// A reshape was requested whose element count differs from the source.
+    ReshapeMismatch {
+        /// Source element count.
+        from: usize,
+        /// Requested element count.
+        to: usize,
+    },
+    /// An operation that requires a non-empty tensor received an empty one.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfRange {
+                index,
+                extent,
+                axis,
+            } => write!(f, "index {index} out of range for axis {axis} of extent {extent}"),
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::Empty { op } => write!(f, "{op}: tensor is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used across the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+
+        let e = TensorError::RankMismatch {
+            expected: 2,
+            actual: 3,
+            op: "matmul",
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::AxisOutOfRange { axis: 4, rank: 2 };
+        assert!(e.to_string().contains('4'));
+
+        let e = TensorError::IndexOutOfRange {
+            index: 9,
+            extent: 3,
+            axis: 0,
+        };
+        assert!(e.to_string().contains('9'));
+
+        let e = TensorError::ReshapeMismatch { from: 6, to: 7 };
+        assert!(e.to_string().contains('7'));
+
+        let e = TensorError::Empty { op: "argmax" };
+        assert!(e.to_string().contains("argmax"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TensorError::Empty { op: "x" });
+    }
+}

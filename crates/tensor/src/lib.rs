@@ -1,0 +1,33 @@
+//! # gmreg-tensor
+//!
+//! Dense, contiguous, row-major `f32` tensors and the numeric kernels the
+//! `gmreg` training stack is built on: elementwise arithmetic, cache-blocked
+//! matrix multiplication (with implicit-transpose variants for backprop),
+//! reductions, and seeded random constructors.
+//!
+//! This crate substitutes for the BLAS/NumPy layer of the paper's original
+//! Python/SINGA implementation; see `DESIGN.md` at the workspace root.
+//!
+//! ```
+//! use gmreg_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+//! let b = Tensor::ones([2, 2]);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.as_slice(), &[3.0, 3.0, 7.0, 7.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod matmul;
+mod ops;
+mod random;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use matmul::matmul_naive;
+pub use random::{shuffled_indices, SampleExt};
+pub use shape::Shape;
+pub use tensor::Tensor;

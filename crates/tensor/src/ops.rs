@@ -1,0 +1,231 @@
+//! Elementwise arithmetic kernels.
+//!
+//! Kernels are written over raw slices where profitable so the optimizer can
+//! vectorize them; the tensor wrappers do the shape checking once up front.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise sum, returning a new tensor.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference, returning a new tensor.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product, returning a new tensor.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient, returning a new tensor.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "div", |a, b| a / b)
+    }
+
+    /// `self += other`, in place.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_assign(other, "add_assign", |a, b| *a += b)
+    }
+
+    /// `self -= other`, in place.
+    pub fn sub_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_assign(other, "sub_assign", |a, b| *a -= b)
+    }
+
+    /// `self *= other`, elementwise, in place.
+    pub fn mul_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_assign(other, "mul_assign", |a, b| *a *= b)
+    }
+
+    /// `self += alpha * other` — the SGD workhorse.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.zip_assign(other, "axpy", |a, b| *a += alpha * b)
+    }
+
+    /// Multiplies every element by `s`, in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in self.as_mut_slice() {
+            *v *= s;
+        }
+    }
+
+    /// Adds `s` to every element, in place.
+    pub fn add_scalar(&mut self, s: f32) {
+        for v in self.as_mut_slice() {
+            *v += s;
+        }
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = self.clone();
+        out.map_in_place(f);
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Sets every element to zero without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.as_mut_slice().fill(0.0);
+    }
+
+    /// Sets every element to `value` without reallocating.
+    pub fn fill(&mut self, value: f32) {
+        self.as_mut_slice().fill(value);
+    }
+
+    /// Squared Euclidean norm of the flattened tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Dot product of two tensors flattened to vectors.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// True when every pair of elements differs by at most `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape().same_dims(other.shape())
+            && self
+                .as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    fn zip_with(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        self.check_same_shape(other, op)?;
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor::from_vec(data, self.shape().clone()).expect("shape preserved"))
+    }
+
+    fn zip_assign(
+        &mut self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(&mut f32, f32),
+    ) -> Result<()> {
+        self.check_same_shape(other, op)?;
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            f(a, b);
+        }
+        Ok(())
+    }
+
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {
+        if !self.shape().same_dims(other.shape()) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn elementwise_binary_ops() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0, 2.0, 3.0]);
+        assert!(a.add(&b).is_err());
+        assert!(a.clone().add_assign(&b).is_err());
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = t(&[1.0, 2.0]);
+        a.add_assign(&t(&[1.0, 1.0])).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+        a.sub_assign(&t(&[1.0, 1.0])).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        a.mul_assign(&t(&[3.0, 3.0])).unwrap();
+        assert_eq!(a.as_slice(), &[3.0, 6.0]);
+        a.axpy(0.5, &t(&[2.0, 2.0])).unwrap();
+        assert_eq!(a.as_slice(), &[4.0, 7.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[8.0, 14.0]);
+        a.add_scalar(1.0);
+        assert_eq!(a.as_slice(), &[9.0, 15.0]);
+        a.fill(2.0);
+        assert_eq!(a.as_slice(), &[2.0, 2.0]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn map_and_norms() {
+        let a = t(&[3.0, 4.0]);
+        assert_eq!(a.map(|v| v * v).as_slice(), &[9.0, 16.0]);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.dot(&t(&[1.0, 1.0])).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0005, 2.0]);
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+        assert!(!a.approx_eq(&t(&[1.0, 2.0, 3.0]), 1.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Random tensor constructors and scalar sampling helpers.
+//!
+//! Gaussian sampling is a local Box–Muller implementation so the workspace
+//! does not need `rand_distr`; every consumer seeds a [`rand::rngs::StdRng`]
+//! explicitly, which makes all experiments reproducible.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Scalar sampling helpers layered on any [`Rng`].
+pub trait SampleExt: RngExt {
+    /// One standard-normal draw via Box–Muller.
+    fn standard_normal(&mut self) -> f64 {
+        // Reject u1 == 0 to keep ln() finite.
+        let mut u1: f64 = self.random::<f64>();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.random::<f64>();
+        }
+        let u2: f64 = self.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard_normal()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.random::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn bernoulli(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngExt + ?Sized> SampleExt for R {}
+
+impl Tensor {
+    /// A tensor of i.i.d. normal draws.
+    pub fn randn(rng: &mut impl Rng, shape: impl Into<Shape>, mean: f32, std: f32) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.volume())
+            .map(|_| rng.normal(mean as f64, std as f64) as f32)
+            .collect();
+        Tensor::from_vec(data, shape).expect("volume matches by construction")
+    }
+
+    /// A tensor of i.i.d. uniform draws in `[lo, hi)`.
+    pub fn rand_uniform(rng: &mut impl Rng, shape: impl Into<Shape>, lo: f32, hi: f32) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.volume())
+            .map(|_| rng.uniform(lo as f64, hi as f64) as f32)
+            .collect();
+        Tensor::from_vec(data, shape).expect("volume matches by construction")
+    }
+}
+
+/// Fisher–Yates shuffle of indices `0..n` — used for epoch shuffling.
+pub fn shuffled_indices(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::randn(&mut rng, [50_000], 2.0, 3.0);
+        let mean = t.mean().unwrap();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean().unwrap();
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform(&mut rng, [10_000], -1.0, 2.0);
+        assert!(t.min().unwrap() >= -1.0);
+        assert!(t.max().unwrap() < 2.0);
+        assert!((t.mean().unwrap() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = Tensor::randn(&mut StdRng::seed_from_u64(5), [16], 0.0, 1.0);
+        let b = Tensor::randn(&mut StdRng::seed_from_u64(5), [16], 0.0, 1.0);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut idx = shuffled_indices(&mut rng, 100);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..100).collect::<Vec<_>>());
+        assert!(shuffled_indices(&mut rng, 0).is_empty());
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+}

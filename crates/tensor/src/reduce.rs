@@ -1,0 +1,174 @@
+//! Reductions: full-tensor and per-axis for rank-2 tensors.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // Pairwise-ish accumulation in f64 keeps long reductions accurate
+        // enough for loss bookkeeping without a full Kahan pass.
+        self.as_slice().iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements; errors on an empty tensor.
+    pub fn mean(&self) -> Result<f32> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "mean" });
+        }
+        Ok(self.sum() / self.len() as f32)
+    }
+
+    /// Maximum element; errors on an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .ok_or(TensorError::Empty { op: "max" })
+    }
+
+    /// Minimum element; errors on an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .ok_or(TensorError::Empty { op: "min" })
+    }
+
+    /// Index of the maximum element of a flattened tensor (first on ties).
+    pub fn argmax(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "argmax" });
+        }
+        let mut best = 0;
+        let s = self.as_slice();
+        for (i, &v) in s.iter().enumerate() {
+            if v > s[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax of a rank-2 tensor — the prediction step of a
+    /// classifier head.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape().rank(),
+                op: "argmax_rows",
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if cols == 0 {
+            return Err(TensorError::Empty { op: "argmax_rows" });
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Column sums of a rank-2 tensor (shape `[cols]`).
+    pub fn sum_axis0(&self) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape().rank(),
+                op: "sum_axis0",
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, [cols])
+    }
+
+    /// Row sums of a rank-2 tensor (shape `[rows]`).
+    pub fn sum_axis1(&self) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape().rank(),
+                op: "sum_axis1",
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.as_slice()[r * cols..(r + 1) * cols].iter().sum();
+        }
+        Tensor::from_vec(out, [rows])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> Tensor {
+        Tensor::from_vec(vec![1.0, 5.0, 3.0, 4.0, 2.0, 6.0], [2, 3]).unwrap()
+    }
+
+    #[test]
+    fn full_reductions() {
+        let t = m23();
+        assert_eq!(t.sum(), 21.0);
+        assert_eq!(t.mean().unwrap(), 3.5);
+        assert_eq!(t.max().unwrap(), 6.0);
+        assert_eq!(t.min().unwrap(), 1.0);
+        assert_eq!(t.argmax().unwrap(), 5);
+    }
+
+    #[test]
+    fn empty_tensor_errors() {
+        let e = Tensor::zeros([0]);
+        assert!(e.mean().is_err());
+        assert!(e.max().is_err());
+        assert!(e.min().is_err());
+        assert!(e.argmax().is_err());
+        assert!(Tensor::zeros([2, 0]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = m23();
+        assert_eq!(t.sum_axis0().unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_axis1().unwrap().as_slice(), &[9.0, 12.0]);
+        assert!(Tensor::zeros([3]).sum_axis0().is_err());
+        assert!(Tensor::zeros([3]).sum_axis1().is_err());
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_tie() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 0.0, 2.0, 3.0, 3.0], [2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![0, 1]);
+        assert!(Tensor::zeros([3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn sum_is_accurate_for_long_vectors() {
+        let t = Tensor::full([1_000_000], 0.1);
+        assert!((t.sum() - 100_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Shape arithmetic: dimensions, row-major strides and flat indexing.
+
+use crate::error::{Result, TensorError};
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` owns its dimension list and pre-computes row-major strides so
+/// flat-index arithmetic in hot kernels is a dot product, not a loop with
+/// divisions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Builds a shape from a dimension list, computing row-major strides.
+    ///
+    /// A zero-length dimension list denotes a scalar shape with volume 1.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        let dims = dims.into();
+        let strides = row_major_strides(&dims);
+        Shape { dims, strides }
+    }
+
+    /// The dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides matching [`Shape::dims`].
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Converts a multi-dimensional index to a flat offset, bounds-checked.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: index.len(),
+                op: "offset",
+            });
+        }
+        let mut off = 0;
+        for (axis, (&i, (&d, &s))) in index
+            .iter()
+            .zip(self.dims.iter().zip(self.strides.iter()))
+            .enumerate()
+        {
+            if i >= d {
+                return Err(TensorError::IndexOutOfRange {
+                    index: i,
+                    extent: d,
+                    axis,
+                });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Converts a flat offset back to a multi-dimensional index.
+    ///
+    /// The inverse of [`Shape::offset`] for in-range offsets.
+    pub fn unravel(&self, mut offset: usize) -> Result<Vec<usize>> {
+        let vol = self.volume();
+        if vol == 0 || (offset >= vol && self.rank() != 0) || (self.rank() == 0 && offset > 0) {
+            return Err(TensorError::IndexOutOfRange {
+                index: offset,
+                extent: self.volume(),
+                axis: 0,
+            });
+        }
+        let mut idx = vec![0; self.rank()];
+        for (i, &s) in self.strides.iter().enumerate() {
+            idx[i] = offset / s;
+            offset %= s;
+        }
+        Ok(idx)
+    }
+
+    /// True when two shapes have identical extents.
+    #[inline]
+    pub fn same_dims(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1].max(1);
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(Vec::new());
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new([3, 4]);
+        assert_eq!(s.offset(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 6);
+        assert_eq!(s.offset(&[2, 3]).unwrap(), 11);
+        assert_eq!(s.unravel(6).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_range() {
+        let s = Shape::new([3, 4]);
+        assert!(matches!(
+            s.offset(&[3, 0]),
+            Err(TensorError::IndexOutOfRange { axis: 0, .. })
+        ));
+        assert!(matches!(
+            s.offset(&[0, 0, 0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+        assert!(s.unravel(12).is_err());
+    }
+
+    #[test]
+    fn dim_accessor() {
+        let s = Shape::new([5, 7]);
+        assert_eq!(s.dim(1).unwrap(), 7);
+        assert!(s.dim(2).is_err());
+    }
+
+    #[test]
+    fn zero_extent_dimension_yields_zero_volume() {
+        let s = Shape::new([2, 0, 3]);
+        assert_eq!(s.volume(), 0);
+        // Any unravel on a zero-volume shape is out of range.
+        assert!(s.unravel(0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn unravel_inverts_offset(dims in proptest::collection::vec(1usize..6, 1..4),
+                                  seed in 0usize..1000) {
+            let shape = Shape::new(dims.clone());
+            let flat = seed % shape.volume();
+            let idx = shape.unravel(flat).unwrap();
+            prop_assert_eq!(shape.offset(&idx).unwrap(), flat);
+        }
+
+        #[test]
+        fn volume_matches_product(dims in proptest::collection::vec(0usize..6, 0..4)) {
+            let shape = Shape::new(dims.clone());
+            prop_assert_eq!(shape.volume(), dims.iter().product::<usize>());
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The dense `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// The whole training stack works in single precision, matching the paper's
+/// GPU experiments; GM parameter bookkeeping in `gmreg-core` uses `f64`
+/// internally where EM accumulation demands it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Wraps an existing buffer in a tensor of the given shape.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.volume()],
+            shape,
+        }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
+    }
+
+    /// A rank-1 tensor from a slice.
+    pub fn from_slice(values: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new([values.len()]),
+            data: values.to_vec(),
+        }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing buffer in row-major order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer in row-major order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Bounds-checked element read.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        let off = self.shape.offset(index)?;
+        Ok(self.data[off])
+    }
+
+    /// Bounds-checked element write.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Unchecked 2-D read for hot loops. Debug-asserted.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let cols = self.shape.dims()[1];
+        debug_assert!(r < self.shape.dims()[0] && c < cols);
+        self.data[r * cols + c]
+    }
+
+    /// Unchecked 2-D write for hot loops. Debug-asserted.
+    #[inline]
+    pub fn set2(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let cols = self.shape.dims()[1];
+        debug_assert!(r < self.shape.dims()[0] && c < cols);
+        self.data[r * cols + c] = v;
+    }
+
+    /// Reinterprets the buffer under a new shape with the same volume.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.volume() != self.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.len(),
+                to: shape.volume(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// In-place reshape (no data copy).
+    pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) -> Result<()> {
+        let shape = shape.into();
+        if shape.volume() != self.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.len(),
+                to: shape.volume(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Copies row `r` of a rank-2 tensor.
+    pub fn row(&self, r: usize) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "row",
+            });
+        }
+        let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
+        if r >= rows {
+            return Err(TensorError::IndexOutOfRange {
+                index: r,
+                extent: rows,
+                axis: 0,
+            });
+        }
+        Ok(Tensor {
+            data: self.data[r * cols..(r + 1) * cols].to_vec(),
+            shape: Shape::new([cols]),
+        })
+    }
+
+    /// Borrow of row `r` of a rank-2 tensor, zero-copy.
+    pub fn row_slice(&self, r: usize) -> Result<&[f32]> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "row_slice",
+            });
+        }
+        let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
+        if r >= rows {
+            return Err(TensorError::IndexOutOfRange {
+                index: r,
+                extent: rows,
+                axis: 0,
+            });
+        }
+        Ok(&self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Transposes a rank-2 tensor.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "transpose",
+            });
+        }
+        let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let mut out = vec![0.0; self.data.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, [cols, rows])
+    }
+
+    /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
+    pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor> {
+        let first = rows.first().ok_or(TensorError::Empty { op: "stack_rows" })?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: r.dims().to_vec(),
+                    op: "stack_rows",
+                });
+            }
+            data.extend_from_slice(r.as_slice());
+        }
+        Tensor::from_vec(data, [rows.len(), cols])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 6.0);
+        assert_eq!(t.at2(0, 1), 2.0);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], [2, 3]),
+            Err(TensorError::LengthMismatch { expected: 6, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn fills() {
+        assert!(Tensor::zeros([3]).as_slice().iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones([3]).as_slice().iter().all(|&v| v == 1.0));
+        assert!(Tensor::full([3], 7.5).as_slice().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut t = Tensor::zeros([2, 2]);
+        t.set(&[1, 0], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 0]).unwrap(), 9.0);
+        assert!(t.set(&[2, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape([2, 2]).unwrap();
+        assert_eq!(r.get(&[1, 1]).unwrap(), 4.0);
+        assert!(t.reshape([3, 2]).is_err());
+
+        let mut t2 = t.clone();
+        t2.reshape_in_place([4, 1]).unwrap();
+        assert_eq!(t2.dims(), &[4, 1]);
+        assert!(t2.reshape_in_place([5]).is_err());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        assert_eq!(t.row(1).unwrap().as_slice(), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.row_slice(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert!(t.row(2).is_err());
+        assert!(Tensor::from_slice(&[1.0]).row(0).is_err());
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 1]).unwrap(), 6.0);
+        assert!(Tensor::from_slice(&[1.0]).transpose().is_err());
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let rows = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[3.0, 4.0])];
+        let m = Tensor::stack_rows(&rows).unwrap();
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.at2(1, 0), 3.0);
+
+        let bad = vec![Tensor::from_slice(&[1.0]), Tensor::from_slice(&[1.0, 2.0])];
+        assert!(Tensor::stack_rows(&bad).is_err());
+        assert!(Tensor::stack_rows(&[]).is_err());
+    }
+}

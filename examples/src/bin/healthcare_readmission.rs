@@ -1,0 +1,81 @@
+//! The paper's motivating scenario: predicting 30-day hospital readmission
+//! (the Hosp-FA dataset) with logistic regression, comparing all five
+//! regularization methods under cross-validated hyper-parameters, then
+//! inspecting the Gaussian components GM learned for the predictive vs.
+//! noisy features.
+//!
+//! ```text
+//! cargo run -p gmreg-examples --release --bin healthcare_readmission
+//! ```
+
+use gmreg_core::gm::{GmConfig, GmRegularizer};
+use gmreg_data::stratified_split;
+use gmreg_data::synthetic::small_dataset;
+use gmreg_linear::{evaluate_method, LogisticRegression, LrConfig, Method};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The synthetic Hosp-FA substitute: 1755 patients x 375 features, a
+    // minority of strongly predictive features among mostly-noise ones
+    // (the structure the paper describes for the real hospital data).
+    let spec = small_dataset("Hosp-FA").expect("dataset in suite");
+    let ds = spec
+        .generate()
+        .expect("generator spec is valid")
+        .encode()
+        .expect("encoding synthetic data cannot fail");
+    println!(
+        "Hosp-FA substitute: {} patients, {} encoded features\n",
+        ds.len(),
+        ds.n_features()
+    );
+
+    // The paper's protocol, shortened: 3 stratified subsamples, 3-fold CV.
+    let cfg = LrConfig {
+        epochs: 30,
+        ..LrConfig::default()
+    };
+    println!("method comparison (3 subsamples, CV-tuned):");
+    for method in Method::TABLE_VII {
+        let res = evaluate_method(&ds, method, 3, 3, cfg, 99).expect("protocol run");
+        println!(
+            "  {:16} {:.3} ± {:.3}",
+            method.name(),
+            res.mean,
+            res.stderr
+        );
+    }
+
+    // Train one GM-regularized model and inspect what it learned.
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = stratified_split(&ds, 0.2, &mut rng).expect("dataset is large enough");
+    let m = ds.n_features();
+    let mut lr = LogisticRegression::new(m, cfg).expect("config is valid");
+    lr.set_regularizer(Some(Box::new(
+        GmRegularizer::new(m, cfg.init_std, GmConfig::default()).expect("valid config"),
+    )));
+    lr.fit(&split.train).expect("training");
+    let acc = lr.accuracy(&split.test).expect("evaluation");
+
+    let gm = lr
+        .regularizer()
+        .and_then(|r| r.as_gm())
+        .expect("GM regularizer attached above");
+    let learned = gm.learned_mixture().expect("valid mixture");
+    println!("\nGM-regularized model: test accuracy {acc:.3}");
+    println!("learned weight prior ({} components):", learned.k());
+    for (p, l) in learned.pi().iter().zip(learned.lambda()) {
+        println!(
+            "  pi {:.3}  lambda {:>9.3}  (std {:.4}) — {}",
+            p,
+            l,
+            (1.0 / l).sqrt(),
+            if *l > learned.variance().recip() {
+                "tight: noisy features, strongly regularized"
+            } else {
+                "wide: predictive features, weakly regularized"
+            }
+        );
+    }
+}

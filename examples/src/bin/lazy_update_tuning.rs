@@ -1,0 +1,96 @@
+//! Tuning the lazy-update schedule (Algorithm 2): shows how the `E`
+//! (warm-up epochs), `Im` (E-step interval) and `Ig` (M-step interval)
+//! knobs trade wall-clock time against nothing — accuracy stays flat —
+//! on a dense workload where the EM sweep is the dominant per-step cost.
+//!
+//! ```text
+//! cargo run -p gmreg-examples --release --bin lazy_update_tuning
+//! ```
+
+use gmreg_core::gm::{GmConfig, GmRegularizer, LazySchedule};
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_tensor::SampleExt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const M: usize = 89_440; // Alex-CIFAR-10's weight dimensionality
+const EPOCHS: usize = 6;
+const BATCHES_PER_EPOCH: usize = 20;
+
+fn time_schedule(lazy: LazySchedule) -> (f64, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut w: Vec<f32> = (0..M).map(|_| rng.normal(0.0, 0.1) as f32).collect();
+    let mut grad = vec![0.0f32; M];
+    let mut reg = GmRegularizer::new(
+        M,
+        0.1,
+        GmConfig {
+            lazy,
+            ..GmConfig::default()
+        },
+    )
+    .expect("valid config");
+
+    let start = Instant::now();
+    let mut it = 0u64;
+    for epoch in 0..EPOCHS as u64 {
+        for _ in 0..BATCHES_PER_EPOCH {
+            grad.fill(0.0);
+            reg.accumulate_grad(&w, &mut grad, StepCtx::new(it, epoch));
+            // a stand-in SGD step so the weights (and thus the E-step's
+            // inputs) keep moving
+            for (wv, g) in w.iter_mut().zip(&grad) {
+                *wv -= 1e-4 * g;
+            }
+            it += 1;
+        }
+    }
+    (
+        start.elapsed().as_secs_f64(),
+        reg.e_step_count(),
+        reg.m_step_count(),
+    )
+}
+
+fn main() {
+    println!(
+        "workload: M = {M} weights, {EPOCHS} epochs x {BATCHES_PER_EPOCH} batches\n"
+    );
+    println!("{:<28}{:>9}{:>10}{:>10}", "schedule", "seconds", "E-steps", "M-steps");
+    let schedules = [
+        ("eager (Algorithm 1)", LazySchedule::eager()),
+        (
+            "E=2, Im=Ig=10",
+            LazySchedule::new(2, 10, 10).expect("valid"),
+        ),
+        (
+            "E=2, Im=Ig=50 (paper)",
+            LazySchedule::paper_default(),
+        ),
+        (
+            "E=2, Im=50, Ig=200",
+            LazySchedule::new(2, 50, 200).expect("valid"),
+        ),
+        (
+            "E=1, Im=Ig=50",
+            LazySchedule::new(1, 50, 50).expect("valid"),
+        ),
+    ];
+    let mut eager_time = None;
+    for (name, lazy) in schedules {
+        let (secs, e_steps, m_steps) = time_schedule(lazy);
+        let speedup = eager_time
+            .map(|t: f64| format!("  ({:.1}x faster)", t / secs))
+            .unwrap_or_default();
+        if eager_time.is_none() {
+            eager_time = Some(secs);
+        }
+        println!("{name:<28}{secs:>9.2}{e_steps:>10}{m_steps:>10}{speedup}");
+    }
+    println!(
+        "\nGuidance (Section V-F): Im = Ig = 50 with a small E recovers ~4x of the\n\
+         eager cost; raising Ig beyond Im shaves a further few percent; accuracy\n\
+         is unaffected because g_reg and the mixture drift slowly after warm-up."
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: the GM regularization tool in four steps.
+//!
+//! 1. create a [`GmRegTool`] for a weight vector;
+//! 2. ask it for responsibilities and the regularization gradient;
+//! 3. run EM steps so the mixture adapts to the weights;
+//! 4. plug the schedule-driven [`GmRegularizer`] into a training loop via
+//!    the [`Regularizer`] trait.
+//!
+//! ```text
+//! cargo run -p gmreg-examples --release --bin quickstart
+//! ```
+
+use gmreg_core::gm::{GmConfig, GmRegTool};
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_tensor::SampleExt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A toy weight vector with two populations: most dimensions are small
+    // "noise" weights, a few are large "informative" ones — the structure
+    // the paper observes in real models.
+    let mut rng = StdRng::seed_from_u64(7);
+    let w: Vec<f32> = (0..400)
+        .map(|i| {
+            let std = if i % 8 == 0 { 0.9 } else { 0.05 };
+            rng.normal(0.0, std) as f32
+        })
+        .collect();
+
+    // Step 1: a tool for 400 weight dimensions initialized with std 0.1.
+    // All hyper-parameters follow the paper's recipe (K=4, b=gamma*M,
+    // alpha=M^0.5, linear initialization).
+    let mut tool = GmRegTool::new(w.len(), 0.1, GmConfig::default())
+        .expect("default configuration is valid");
+    println!("initial mixture: pi={:?}", tool.mixture().pi());
+    println!("                 lambda={:?}", tool.mixture().lambda());
+
+    // Step 2: responsibilities (Eq. 9) and the regularization gradient
+    // g_reg (Eq. 10) under the current mixture.
+    let resp = tool.cal_responsibility(&w).expect("dims match");
+    println!(
+        "\nresponsibility of the tightest component for w[0]={:+.3}: {:.3}",
+        w[0],
+        resp[0].last().expect("K components")
+    );
+    let greg = tool.calc_reg_grad(&w).expect("dims match");
+    println!("g_reg[0] = {:+.5} (shrinks w[0] toward zero)", greg[0]);
+
+    // Step 3: adapt the mixture with EM until it fits the two populations.
+    for _ in 0..100 {
+        tool.upt_gm_param(&w).expect("EM step");
+    }
+    let learned = tool.learned_mixture().expect("valid mixture");
+    println!("\nlearned mixture after 100 EM steps (merged components):");
+    println!("  pi     = {:?}", learned.pi());
+    println!("  lambda = {:?}", learned.lambda());
+    println!(
+        "  -> {} effective components: a tight one for the noise weights, a wide one for the informative weights",
+        learned.k()
+    );
+
+    // Step 4: the same machinery as a drop-in `Regularizer` for a training
+    // loop — one call per SGD step; the lazy schedule inside decides when
+    // to recompute what.
+    let mut reg = tool.into_regularizer();
+    let mut grad = vec![0.0f32; w.len()];
+    for it in 0..5u64 {
+        grad.fill(0.0);
+        // (a real loop would first fill `grad` with the data-misfit term)
+        reg.accumulate_grad(&w, &mut grad, StepCtx::new(it, 0));
+    }
+    println!(
+        "\ndrove {} regularizer steps ({} E-steps, {} M-steps, penalty {:.1})",
+        reg.grad_call_count(),
+        reg.e_step_count(),
+        reg.m_step_count(),
+        reg.penalty(&w),
+    );
+}

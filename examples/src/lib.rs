@@ -1,0 +1,3 @@
+//! Shared helpers for the gmreg examples (the runnable binaries live in
+//! `src/bin/`). Run them with e.g. `cargo run -p gmreg-examples --release
+//! --bin quickstart`.

@@ -1,0 +1,140 @@
+//! End-to-end integration tests: logistic regression with every
+//! regularizer on synthetic data, the full Table VII protocol machinery,
+//! and the GM mixture-recovery story the paper's Fig. 3 relies on.
+
+use gmreg_core::gm::{GmConfig, GmRegularizer};
+use gmreg_core::{ElasticNetReg, HuberReg, L1Reg, L2Reg, Regularizer};
+use gmreg_data::synthetic::{small_dataset, small_dataset_suite};
+use gmreg_data::stratified_split;
+use gmreg_linear::{
+    blobs, default_grid, evaluate_method, grid_search_cv, LogisticRegression, LrConfig, Method,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_cfg() -> LrConfig {
+    LrConfig {
+        epochs: 20,
+        ..LrConfig::default()
+    }
+}
+
+#[test]
+fn every_regularizer_trains_blobs_to_high_accuracy() {
+    let ds = blobs(300, 8, 1.5, 11).expect("generator");
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = stratified_split(&ds, 0.2, &mut rng).expect("split");
+    let regs: Vec<Option<Box<dyn Regularizer>>> = vec![
+        None,
+        Some(Box::new(L1Reg::new(1.0).expect("valid")) as Box<dyn Regularizer>),
+        Some(Box::new(L2Reg::new(1.0).expect("valid"))),
+        Some(Box::new(ElasticNetReg::new(1.0, 0.5).expect("valid"))),
+        Some(Box::new(HuberReg::new(1.0, 0.1).expect("valid"))),
+        Some(Box::new(
+            GmRegularizer::new(8, 0.1, GmConfig::default()).expect("valid"),
+        )),
+    ];
+    for reg in regs {
+        let name = reg.as_ref().map_or("none", |r| r.name()).to_string();
+        let mut lr = LogisticRegression::new(8, fast_cfg()).expect("config");
+        lr.set_regularizer(reg);
+        lr.fit(&split.train).expect("training");
+        let acc = lr.accuracy(&split.test).expect("evaluation");
+        assert!(acc > 0.85, "{name}: test accuracy {acc}");
+    }
+}
+
+#[test]
+fn gm_recovers_two_weight_populations_during_training() {
+    // Hosp-FA-like structure: strong informative + weak noise features.
+    let ds = small_dataset("Hosp-FA")
+        .expect("in suite")
+        .generate()
+        .expect("generator")
+        .encode()
+        .expect("encode");
+    let mut rng = StdRng::seed_from_u64(2);
+    let split = stratified_split(&ds, 0.2, &mut rng).expect("split");
+    let m = ds.n_features();
+    let cfg = fast_cfg();
+    let mut lr = LogisticRegression::new(m, cfg).expect("config");
+    lr.set_regularizer(Some(Box::new(
+        GmRegularizer::new(m, cfg.init_std, GmConfig::default()).expect("valid"),
+    )));
+    lr.fit(&split.train).expect("training");
+    let gm = lr
+        .regularizer()
+        .and_then(|r| r.as_gm())
+        .expect("GM attached");
+    let eff = gm.learned_mixture().expect("valid mixture");
+    assert!(
+        eff.k() >= 2,
+        "two weight populations should produce >= 2 components, got {:?}",
+        eff.lambda()
+    );
+    // The tight component must be meaningfully tighter than the wide one.
+    let tight = eff.lambda().last().expect("non-empty");
+    let wide = eff.lambda().first().expect("non-empty");
+    assert!(
+        tight / wide > 3.0,
+        "components should separate: {:?}",
+        eff.lambda()
+    );
+}
+
+#[test]
+fn full_protocol_runs_on_smallest_suite_entry() {
+    // hepatitis is the smallest dataset (155 samples) — the protocol must
+    // survive its tiny CV folds.
+    let ds = small_dataset("hepatitis")
+        .expect("in suite")
+        .generate()
+        .expect("generator")
+        .encode()
+        .expect("encode");
+    let res = evaluate_method(&ds, Method::Gm, 2, 3, fast_cfg(), 3).expect("protocol");
+    assert_eq!(res.per_subsample.len(), 2);
+    assert!(res.mean > 0.5, "better than chance: {res:?}");
+}
+
+#[test]
+fn cv_selects_sane_strength_on_noisy_data() {
+    // With many noise dimensions, CV must not pick the weakest penalty.
+    let ds = blobs(200, 40, 0.5, 7).expect("generator");
+    let grid = default_grid(Method::L2);
+    let (best, acc) = grid_search_cv(&ds, &grid, 4, fast_cfg(), 9).expect("cv");
+    assert!(acc > 0.6, "CV accuracy {acc}");
+    assert!(best < grid.len());
+}
+
+#[test]
+fn suite_datasets_are_deterministic_across_calls() {
+    let a = small_dataset_suite()[3].generate().expect("generator");
+    let b = small_dataset_suite()[3].generate().expect("generator");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gm_handles_every_suite_dataset_without_degenerating() {
+    for entry in small_dataset_suite() {
+        let ds = entry.generate().expect("generator").encode().expect("encode");
+        let m = ds.n_features();
+        let cfg = LrConfig {
+            epochs: 5,
+            ..LrConfig::default()
+        };
+        let mut lr = LogisticRegression::new(m, cfg).expect("config");
+        lr.set_regularizer(Some(Box::new(
+            GmRegularizer::new(m, cfg.init_std, GmConfig::default()).expect("valid"),
+        )));
+        lr.fit(&ds).expect("training");
+        let gm = lr.regularizer().and_then(|r| r.as_gm()).expect("attached");
+        assert_eq!(
+            gm.degenerate_skip_count(),
+            0,
+            "{}: EM should stay healthy",
+            entry.name
+        );
+        assert!(!gm.mixture().is_degenerate(), "{}", entry.name);
+    }
+}

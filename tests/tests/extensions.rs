@@ -1,0 +1,195 @@
+//! Integration tests for the extension features: checkpoint/resume of the
+//! GM state, model-weight serialization, the CSV→protocol pipeline,
+//! soft weight-sharing inside a trainer, dropout in a network, and the
+//! metrics module on real model output.
+
+use gmreg_core::gm::{GmConfig, GmRegularizer, GmSnapshot, SoftSharingConfig, SoftSharingRegularizer};
+use gmreg_core::Regularizer;
+use gmreg_data::csv::{parse_csv, to_csv, CsvOptions};
+use gmreg_data::metrics::{roc_auc, ConfusionMatrix};
+use gmreg_data::stratified_split;
+use gmreg_data::synthetic::small_dataset;
+use gmreg_linear::{blobs, LogisticRegression, LrConfig, SoftmaxRegression};
+use gmreg_nn::{
+    load_weights, save_weights, Dense, Dropout, Network, ReLU, Sequential, Sgd, WeightInit,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn gm_checkpoint_survives_training_pause() {
+    let ds = blobs(200, 12, 1.0, 3).expect("generator");
+    let cfg = LrConfig {
+        epochs: 10,
+        ..LrConfig::default()
+    };
+    // Train half-way, snapshot the GM, resume in a fresh regularizer.
+    let mut lr = LogisticRegression::new(12, cfg).expect("config");
+    lr.set_regularizer(Some(Box::new(
+        GmRegularizer::new(12, cfg.init_std, GmConfig::default()).expect("valid"),
+    )));
+    lr.fit(&ds).expect("first phase");
+    let snap: GmSnapshot = lr
+        .regularizer()
+        .and_then(|r| r.as_gm())
+        .expect("attached")
+        .snapshot();
+
+    // Serialize through JSON as a real checkpoint file would.
+    let json = serde_json::to_string(&snap).expect("serializes");
+    let back: GmSnapshot = serde_json::from_str(&json).expect("deserializes");
+    let restored = GmRegularizer::from_snapshot(&back).expect("restores");
+    for (a, b) in restored.mixture().pi().iter().zip(snap.pi.iter()) {
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    // The restored regularizer keeps training without degenerating.
+    let mut lr2 = LogisticRegression::new(12, cfg).expect("config");
+    lr2.set_regularizer(Some(Box::new(restored)));
+    lr2.fit(&ds).expect("second phase");
+    assert!(lr2.accuracy(&ds).expect("eval") > 0.8);
+}
+
+#[test]
+fn csv_export_import_feeds_the_protocol() {
+    // Synthetic dataset -> CSV text -> re-imported -> encoded -> trained.
+    let raw = small_dataset("hepatitis")
+        .expect("in suite")
+        .generate()
+        .expect("generator");
+    let text = to_csv(&raw);
+    let opts = CsvOptions {
+        label_column: raw.columns().len(), // label rendered last
+        missing_markers: vec!["?".into()],
+        ..CsvOptions::default()
+    };
+    let back = parse_csv(&text, &opts).expect("imports");
+    assert_eq!(back.len(), raw.len());
+    assert_eq!(back.y(), raw.y());
+    let enc = back.encode().expect("encodes");
+    let mut rng = StdRng::seed_from_u64(4);
+    let split = stratified_split(&enc, 0.2, &mut rng).expect("split");
+    let cfg = LrConfig {
+        epochs: 15,
+        ..LrConfig::default()
+    };
+    let mut lr = LogisticRegression::new(enc.n_features(), cfg).expect("config");
+    lr.fit(&split.train).expect("training");
+    assert!(lr.accuracy(&split.test).expect("eval") > 0.6);
+}
+
+#[test]
+fn soft_sharing_regularizer_trains_logistic_regression() {
+    let ds = blobs(200, 10, 1.2, 9).expect("generator");
+    let cfg = LrConfig {
+        epochs: 15,
+        ..LrConfig::default()
+    };
+    let mut lr = LogisticRegression::new(10, cfg).expect("config");
+    lr.set_regularizer(Some(Box::new(
+        SoftSharingRegularizer::new(10, SoftSharingConfig::default()).expect("valid"),
+    )));
+    lr.fit(&ds).expect("training");
+    assert!(lr.accuracy(&ds).expect("eval") > 0.85);
+}
+
+#[test]
+fn dropout_network_trains_and_saves() {
+    let ds = blobs(240, 6, 1.5, 5).expect("generator");
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = Network::new(
+        Sequential::new("mlp")
+            .push(Dense::new("fc1", 6, 16, WeightInit::He, &mut rng).expect("valid"))
+            .push(ReLU::new("r1"))
+            .push(Dropout::new("do", 0.2, 7).expect("valid"))
+            .push(Dense::new("fc2", 16, 2, WeightInit::He, &mut rng).expect("valid")),
+    );
+    let mut opt = Sgd::new(0.1, 0.9).expect("valid");
+    for _ in 0..15 {
+        net.train_epoch(&ds, 32, &mut opt, None, &mut rng).expect("epoch");
+    }
+    let acc = net.evaluate(&ds, 32).expect("eval");
+    assert!(acc > 0.9, "dropout net accuracy {acc}");
+
+    // Save, perturb, restore: accuracy must return exactly.
+    let snap = save_weights(&mut net);
+    net.visit_params_perturb();
+    let perturbed = net.evaluate(&ds, 32).expect("eval");
+    assert!(perturbed < acc, "perturbation should hurt");
+    load_weights(&mut net, &snap).expect("restores");
+    let restored = net.evaluate(&ds, 32).expect("eval");
+    assert!((restored - acc).abs() < 1e-12);
+}
+
+/// Helper extension used by the save/load test.
+trait Perturb {
+    fn visit_params_perturb(&mut self);
+}
+impl Perturb for Network {
+    fn visit_params_perturb(&mut self) {
+        use gmreg_nn::VisitParams;
+        self.visit_params(&mut |p| {
+            for v in p.value.as_mut_slice() {
+                *v += 0.5;
+            }
+        });
+    }
+}
+
+#[test]
+fn metrics_on_a_trained_model() {
+    let ds = blobs(300, 8, 0.9, 13).expect("generator");
+    let mut rng = StdRng::seed_from_u64(6);
+    let split = stratified_split(&ds, 0.3, &mut rng).expect("split");
+    let cfg = LrConfig {
+        epochs: 20,
+        ..LrConfig::default()
+    };
+    let mut lr = LogisticRegression::new(8, cfg).expect("config");
+    lr.fit(&split.train).expect("training");
+
+    let mut predicted = Vec::new();
+    let mut scores = Vec::new();
+    for i in 0..split.test.len() {
+        let x = split.test.sample(i).expect("row");
+        predicted.push(lr.predict(x).expect("pred"));
+        scores.push(lr.predict_proba(x).expect("proba"));
+    }
+    let cm = ConfusionMatrix::new(split.test.y(), &predicted, 2).expect("builds");
+    assert!(cm.accuracy() > 0.8, "confusion accuracy {}", cm.accuracy());
+    assert!(cm.macro_f1() > 0.8);
+    let auc = roc_auc(split.test.y(), &scores).expect("auc");
+    assert!(auc > 0.9, "AUC {auc}");
+    // AUC must dominate raw accuracy for a well-calibrated model on
+    // balanced data.
+    assert!(auc >= cm.accuracy() - 0.05);
+}
+
+#[test]
+fn softmax_regression_handles_multiclass_images_flattened() {
+    use gmreg_data::synthetic::ImageSpec;
+    let (train, test) = ImageSpec {
+        n_classes: 3,
+        n_train: 120,
+        n_test: 60,
+        channels: 1,
+        height: 6,
+        width: 6,
+        noise_std: 0.3,
+        max_shift: 0,
+        seed: 8,
+    }
+    .generate()
+    .expect("spec");
+    let m = train.n_features();
+    let cfg = LrConfig {
+        epochs: 30,
+        ..LrConfig::default()
+    };
+    let mut model = SoftmaxRegression::new(m, 3, cfg).expect("config");
+    model.set_regularizer(Some(Box::new(
+        GmRegularizer::new(m * 3, 0.1, GmConfig::default()).expect("valid"),
+    )));
+    model.fit(&train).expect("training");
+    assert!(model.accuracy(&test).expect("eval") > 0.8);
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property tests: invariants that must hold across the data
+//! pipeline, the GM machinery and the training stack for arbitrary inputs.
+
+use gmreg_core::gm::{e_step, GmConfig, GmRegularizer, InitMethod};
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_data::synthetic::{CatSpec, TabularSpec};
+use gmreg_data::{stratified_kfold, stratified_split, Dataset};
+use gmreg_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_spec() -> impl Strategy<Value = (TabularSpec, u64)> {
+    (
+        20usize..120,
+        1usize..5,
+        0usize..8,
+        0usize..4,
+        0.0f64..1.0,
+        0.0f64..0.2,
+        0.0f64..0.3,
+        0u64..1000,
+    )
+        .prop_map(
+            |(n, inf, noise, cats, bn, ln, miss, seed)| {
+                (
+                    TabularSpec {
+                        n_samples: n,
+                        n_informative_cont: inf,
+                        n_noise_cont: noise,
+                        categorical: (0..cats)
+                            .map(|i| CatSpec {
+                                arity: 2 + i,
+                                informative: i % 2 == 0,
+                            })
+                            .collect(),
+                        boundary_noise: bn,
+                        label_noise: ln,
+                        missing_rate: miss,
+                        weak_signal: 0.1,
+                    },
+                    seed,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generate -> encode never panics, and the encoded matrix is finite
+    /// with the predicted width bound.
+    #[test]
+    fn generator_encode_pipeline_is_total((spec, seed) in arb_spec()) {
+        let raw = spec.generate(seed).expect("valid spec");
+        let ds = raw.encode().expect("encoding");
+        prop_assert_eq!(ds.len(), spec.n_samples);
+        prop_assert!(ds.n_features() <= spec.encoded_features());
+        prop_assert!(ds.x().as_slice().iter().all(|v| v.is_finite()));
+        // one-hot / standardized values are bounded
+        prop_assert!(ds.x().as_slice().iter().all(|v| v.abs() < 100.0));
+    }
+
+    /// Stratified split + kfold partition the sample set exactly.
+    #[test]
+    fn split_partitions((spec, seed) in arb_spec()) {
+        let ds = spec.generate(seed).expect("valid spec").encode().expect("encoding");
+        // need both classes with >= 4 samples for 2-fold CV
+        let counts = ds.class_counts();
+        prop_assume!(counts.iter().all(|&c| c >= 4));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = stratified_split(&ds, 0.25, &mut rng).expect("split");
+        prop_assert_eq!(split.train.len() + split.test.len(), ds.len());
+        let folds = stratified_kfold(&ds, 2, &mut rng).expect("kfold");
+        let total: usize = folds.iter().map(|f| f.test.len()).sum();
+        prop_assert_eq!(total, ds.len());
+    }
+
+    /// A GM regularizer driven with arbitrary finite weights keeps its
+    /// mixture valid and its gradient finite, whatever the schedule.
+    #[test]
+    fn gm_regularizer_stays_valid(
+        seed in 0u64..500,
+        m in 4usize..200,
+        im in 1u64..20,
+        scale in 0.001f32..10.0,
+    ) {
+        use gmreg_tensor::SampleExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Vec<f32> = (0..m).map(|_| rng.normal(0.0, scale as f64) as f32).collect();
+        let cfg = GmConfig {
+            lazy: gmreg_core::gm::LazySchedule::new(1, im, im).expect("valid"),
+            ..GmConfig::default()
+        };
+        let mut reg = GmRegularizer::new(m, 0.1, cfg).expect("valid");
+        let mut grad = vec![0.0f32; m];
+        for it in 0..30u64 {
+            grad.fill(0.0);
+            reg.accumulate_grad(&w, &mut grad, StepCtx::new(it, it / 10));
+            prop_assert!(grad.iter().all(|g| g.is_finite()));
+            // simulated SGD drift
+            for (wv, g) in w.iter_mut().zip(&grad) {
+                *wv -= 1e-3 * g;
+            }
+        }
+        prop_assert!(!reg.mixture().is_degenerate());
+        prop_assert_eq!(reg.degenerate_skip_count(), 0);
+        let eff = reg.learned_mixture().expect("valid");
+        prop_assert!((eff.pi().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// E-step responsibilities always sum to M, for any init method.
+    #[test]
+    fn e_step_mass_conservation(
+        seed in 0u64..200,
+        m in 1usize..300,
+        k in 1usize..6,
+        min in 0.1f64..100.0,
+    ) {
+        use gmreg_tensor::SampleExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..m).map(|_| rng.normal(0.0, 0.5) as f32).collect();
+        for init in InitMethod::ALL {
+            let gm = init.mixture(k, min).expect("valid");
+            let acc = e_step(&gm, &w, None);
+            prop_assert!((acc.resp_sum.iter().sum::<f64>() - m as f64).abs() < 1e-6 * m as f64);
+            prop_assert!(acc.resp_wsq_sum.iter().all(|v| *v >= 0.0));
+        }
+    }
+
+    /// Dataset subsetting preserves content for any index selection.
+    #[test]
+    fn subset_is_faithful(n in 1usize..50, picks in proptest::collection::vec(0usize..50, 0..30)) {
+        let x = Tensor::from_vec((0..n * 2).map(|v| v as f32).collect(), [n, 2]).expect("tensor");
+        let ds = Dataset::new(x, (0..n).map(|i| i % 2).collect(), 2).expect("dataset");
+        let valid: Vec<usize> = picks.into_iter().filter(|&i| i < n).collect();
+        let sub = ds.subset(&valid).expect("in-range indices");
+        for (si, &oi) in valid.iter().enumerate() {
+            prop_assert_eq!(sub.sample(si).expect("row"), ds.sample(oi).expect("row"));
+            prop_assert_eq!(sub.y()[si], ds.y()[oi]);
+        }
+    }
+}
