@@ -73,11 +73,9 @@ fn bench_init_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("e_step_by_init");
     for init in InitMethod::ALL {
         let gm = init.mixture(4, 10.0).expect("valid mixture");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(init.name()),
-            &init,
-            |b, _| b.iter(|| black_box(e_step(black_box(&gm), black_box(&w), None))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(init.name()), &init, |b, _| {
+            b.iter(|| black_box(e_step(black_box(&gm), black_box(&w), None)))
+        });
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 //! function itself — the costs Algorithm 2's lazy schedule amortizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gmreg_core::gm::{e_step, m_step, GaussianMixture};
+use gmreg_core::gm::{e_step, e_step_serial, m_step, GaussianMixture};
 use gmreg_tensor::SampleExt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,13 +27,22 @@ fn mixture(k: usize) -> GaussianMixture {
 
 fn bench_e_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("e_step");
-    // The paper's two models' weight dimensionalities, plus a small case.
-    for &m in &[10_000usize, 89_440, 270_896] {
+    // The paper's two models' weight dimensionalities, a small case, and a
+    // production-scale vector (the parallel layer's target shape). The
+    // "serial" rows pin the single-thread kernel; "auto" goes through the
+    // production dispatcher (parallel when the feature and shape allow).
+    for &m in &[10_000usize, 89_440, 270_896, 1_000_000] {
         let w = weights(m);
         let gm = mixture(4);
         let mut greg = vec![0.0f32; m];
         group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+        group.bench_with_input(BenchmarkId::new("serial", m), &m, |b, _| {
+            b.iter(|| {
+                let acc = e_step_serial(black_box(&gm), black_box(&w), Some(&mut greg));
+                black_box(acc);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("auto", m), &m, |b, _| {
             b.iter(|| {
                 let acc = e_step(black_box(&gm), black_box(&w), Some(&mut greg));
                 black_box(acc);

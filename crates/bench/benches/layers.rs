@@ -11,8 +11,8 @@ use std::hint::black_box;
 fn bench_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     // conv2 of Alex-CIFAR-10 at 16x16: the stack's dominant cost.
-    let mut conv = Conv2d::new("conv2", 32, 32, 5, 1, 2, WeightInit::He, &mut rng)
-        .expect("valid layer");
+    let mut conv =
+        Conv2d::new("conv2", 32, 32, 5, 1, 2, WeightInit::He, &mut rng).expect("valid layer");
     let x = Tensor::randn(&mut rng, [8, 32, 16, 16], 0.0, 1.0);
     let y = conv.forward(&x, true).expect("forward");
     c.bench_function("conv2d_fwd_8x32x16x16", |b| {
@@ -25,8 +25,7 @@ fn bench_conv(c: &mut Criterion) {
 
 fn bench_dense(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let mut dense =
-        Dense::new("fc", 1024, 10, WeightInit::He, &mut rng).expect("valid layer");
+    let mut dense = Dense::new("fc", 1024, 10, WeightInit::He, &mut rng).expect("valid layer");
     let x = Tensor::randn(&mut rng, [64, 1024], 0.0, 1.0);
     let y = dense.forward(&x, true).expect("forward");
     c.bench_function("dense_fwd_64x1024x10", |b| {

@@ -27,13 +27,9 @@ fn bench_im(c: &mut Criterion) {
         },
     ] {
         for im in [1u64, 50] {
-            group.bench_with_input(
-                BenchmarkId::new(w.name.clone(), im),
-                &im,
-                |b, &im| {
-                    b.iter(|| black_box(im_sweep(&w, &[im], params, 1)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(w.name.clone(), im), &im, |b, &im| {
+                b.iter(|| black_box(im_sweep(&w, &[im], params, 1)));
+            });
         }
     }
     group.finish();

@@ -23,7 +23,10 @@ fn bench_baselines(c: &mut Criterion) {
     let mut regs: Vec<(&str, Box<dyn Regularizer>)> = vec![
         ("l1", Box::new(L1Reg::new(0.01).expect("valid"))),
         ("l2", Box::new(L2Reg::new(0.01).expect("valid"))),
-        ("elastic_net", Box::new(ElasticNetReg::new(0.01, 0.5).expect("valid"))),
+        (
+            "elastic_net",
+            Box::new(ElasticNetReg::new(0.01, 0.5).expect("valid")),
+        ),
         ("huber", Box::new(HuberReg::new(0.01, 0.1).expect("valid"))),
     ];
     for (name, reg) in regs.iter_mut() {

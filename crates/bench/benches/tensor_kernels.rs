@@ -9,12 +9,18 @@ use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    for &n in &[32usize, 128, 256] {
+    // "serial" pins the single-band blocked kernel; "auto" goes through
+    // the production dispatcher (row-banded parallel when the feature and
+    // shape allow). 512 is the parallel layer's acceptance shape.
+    for &n in &[32usize, 128, 256, 512] {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Tensor::randn(&mut rng, [n, n], 0.0, 1.0);
         let b = Tensor::randn(&mut rng, [n, n], 0.0, 1.0);
         group.throughput(Throughput::Elements((n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_serial(&b).expect("shapes match")))
+        });
+        group.bench_with_input(BenchmarkId::new("auto", n), &n, |bch, _| {
             bch.iter(|| black_box(a.matmul(&b).expect("shapes match")))
         });
         if n <= 128 {
@@ -50,5 +56,10 @@ fn bench_reductions(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_transposed_variants, bench_reductions);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_transposed_variants,
+    bench_reductions
+);
 criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Serial-vs-parallel kernel timings for the perf trajectory file
+//! (`BENCH_PR1.json`): the Eq. 9/10 E-step sweep and the blocked matrix
+//! products at the shapes the parallel layer targets.
+//!
+//! Run from the repository root with the `parallel` feature (default):
+//!
+//! ```text
+//! cargo run --release -p gmreg-bench --bin bench_pr1
+//! ```
+//!
+//! Each kernel is timed best-of-N after a warm-up, serial path pinned via
+//! the `*_serial` entry points and parallel path via the production
+//! dispatchers, with the pool size reported alongside (so a 1-core box
+//! honestly records speedup ≈ 1).
+
+use gmreg_bench::report::{write_bench_pr1, KernelBench, Table};
+use gmreg_core::gm::{e_step, e_step_serial, GaussianMixture};
+use gmreg_tensor::{SampleExt, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best wall time of `iters` runs of `f`, in nanoseconds, after one
+/// warm-up call.
+fn best_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn weights(m: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m).map(|_| rng.normal(0.0, 0.3) as f32).collect()
+}
+
+fn bench_e_step(m: usize, k: usize, iters: usize, threads: usize) -> KernelBench {
+    let w = weights(m, 1);
+    let pi = vec![1.0 / k as f64; k];
+    let lambda: Vec<f64> = (0..k).map(|i| 10.0 * 2f64.powi(i as i32)).collect();
+    let gm = GaussianMixture::new(pi, lambda).expect("valid mixture");
+    let mut greg = vec![0.0f32; m];
+    let serial = best_ns(iters, || {
+        black_box(e_step_serial(black_box(&gm), &w, Some(&mut greg)));
+    });
+    let parallel = best_ns(iters, || {
+        black_box(e_step(black_box(&gm), &w, Some(&mut greg)));
+    });
+    KernelBench::new("e_step", format!("m={m} k={k}"), serial, parallel, threads)
+}
+
+fn bench_matmul(kernel: &str, n: usize, iters: usize, threads: usize) -> KernelBench {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Tensor::randn(&mut rng, [n, n], 0.0, 1.0);
+    let b = Tensor::randn(&mut rng, [n, n], 0.0, 1.0);
+    let (serial, parallel) = match kernel {
+        "matmul" => (
+            best_ns(iters, || {
+                black_box(a.matmul_serial(&b).expect("shapes match"));
+            }),
+            best_ns(iters, || {
+                black_box(a.matmul(&b).expect("shapes match"));
+            }),
+        ),
+        "matmul_tn" => (
+            best_ns(iters, || {
+                black_box(a.matmul_tn_serial(&b).expect("shapes match"));
+            }),
+            best_ns(iters, || {
+                black_box(a.matmul_tn(&b).expect("shapes match"));
+            }),
+        ),
+        "matmul_nt" => (
+            best_ns(iters, || {
+                black_box(a.matmul_nt_serial(&b).expect("shapes match"));
+            }),
+            best_ns(iters, || {
+                black_box(a.matmul_nt(&b).expect("shapes match"));
+            }),
+        ),
+        other => unreachable!("unknown kernel {other}"),
+    };
+    KernelBench::new(kernel, format!("{n}x{n}x{n}"), serial, parallel, threads)
+}
+
+fn main() {
+    let threads = gmreg_parallel::max_threads();
+    println!("pool size: {threads} worker(s)\n");
+
+    let mut records = Vec::new();
+    // The paper's largest model (ResNet, M = 270,896) and the acceptance
+    // shape (M >= 1e6 weights).
+    for &m in &[270_896usize, 1_000_000] {
+        records.push(bench_e_step(m, 4, 7, threads));
+    }
+    // 256 sits near the serial/parallel dispatch edge; 512 is the
+    // acceptance shape.
+    for &n in &[256usize, 512] {
+        records.push(bench_matmul("matmul", n, 5, threads));
+    }
+    records.push(bench_matmul("matmul_tn", 512, 5, threads));
+    records.push(bench_matmul("matmul_nt", 512, 5, threads));
+
+    let mut table = Table::new(&["kernel", "size", "serial ms", "parallel ms", "speedup"]);
+    for r in &records {
+        table.row(&[
+            r.kernel.clone(),
+            r.size.clone(),
+            format!("{:.3}", r.serial_ns / 1e6),
+            format!("{:.3}", r.parallel_ns / 1e6),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+
+    match write_bench_pr1(&records) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_PR1.json: {e}"),
+    }
+}

@@ -22,8 +22,7 @@ fn main() {
             .expect("generator specs are valid")
             .encode()
             .expect("encoding synthetic data cannot fail");
-        let curve =
-            density_curve(name, &enc, params, 2.0, 101, 7).expect("density extraction");
+        let curve = density_curve(name, &enc, params, 2.0, 101, 7).expect("density extraction");
         let (a, b) = match curve.crossover {
             Some(x) => (format!("{:.3}", -x), format!("{x:.3}")),
             None => ("-".into(), "-".into()),

@@ -33,7 +33,9 @@ fn main() {
         let curves = im_sweep(&w, &IMS, params, 5);
 
         println!("\nFig. 5 ({}): cumulative seconds per epoch", w.name);
-        let mut t = Table::new(&["epoch", "Im=1", "Im=2", "Im=5", "Im=10", "Im=20", "Im=50", "baseline"]);
+        let mut t = Table::new(&[
+            "epoch", "Im=1", "Im=2", "Im=5", "Im=10", "Im=20", "Im=50", "baseline",
+        ]);
         for e in 0..params.curve_epochs {
             let mut cells = vec![(e + 1).to_string()];
             for c in &curves {

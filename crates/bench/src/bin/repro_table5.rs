@@ -20,8 +20,8 @@ fn main() {
         6 * params.resnet_n + 2
     );
 
-    let (gamma, gm) = run_gm_tuned(DlModel::ResNet, params, 13, &GmConfig::default())
-        .expect("ResNet GM grid");
+    let (gamma, gm) =
+        run_gm_tuned(DlModel::ResNet, params, 13, &GmConfig::default()).expect("ResNet GM grid");
     println!("best gamma from the paper-style grid: {gamma}\n");
 
     let mut table = Table::new(&["Layer Name", "pi", "lambda", "dims"]);

@@ -35,7 +35,11 @@ fn main() {
     // regime over a couple of data/init seeds.
     const SEEDS: [u64; 2] = [21, 22];
     for model in [DlModel::Alex, DlModel::ResNet] {
-        println!("training {} (3 regimes x {} seeds)...", model.name(), SEEDS.len());
+        println!(
+            "training {} (3 regimes x {} seeds)...",
+            model.name(),
+            SEEDS.len()
+        );
         let mut none_acc = 0.0;
         let mut l2_acc = 0.0;
         let mut gm_acc = 0.0;
@@ -48,8 +52,7 @@ fn main() {
             let (b, l2) = run_l2_tuned(model, params, seed).expect("L2 grid");
             l2_acc += l2.test_accuracy;
             beta = b;
-            let (g, gm) =
-                run_gm_tuned(model, params, seed, &GmConfig::default()).expect("GM grid");
+            let (g, gm) = run_gm_tuned(model, params, seed, &GmConfig::default()).expect("GM grid");
             gm_acc += gm.test_accuracy;
             gamma = g;
         }

@@ -16,7 +16,12 @@ fn main() {
     println!("Table VII reproduction — scale {scale:?}, {params:?}\n");
 
     let mut table = Table::new(&[
-        "Method", "L1 Reg", "L2 Reg", "Elastic-net Reg", "Huber Reg", "GM Reg",
+        "Method",
+        "L1 Reg",
+        "L2 Reg",
+        "Elastic-net Reg",
+        "Huber Reg",
+        "GM Reg",
     ]);
     let mut rows = Vec::new();
     let mut gm_wins = 0usize;

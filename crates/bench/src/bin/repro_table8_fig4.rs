@@ -43,8 +43,7 @@ fn main() {
                     gamma,
                     ..GmConfig::default()
                 };
-                let res =
-                    run_dl(model, &Regime::Gm { config: cfg }, params, 31).expect("GM run");
+                let res = run_dl(model, &Regime::Gm { config: cfg }, params, 31).expect("GM run");
                 println!(
                     "{} init={} alpha={alpha}: accuracy {:.3}",
                     model.name(),
@@ -71,9 +70,7 @@ fn main() {
                 let p = points
                     .iter()
                     .find(|p| {
-                        p.model == model
-                            && p.init == init.name()
-                            && p.alpha_exponent == alpha
+                        p.model == model && p.init == init.name() && p.alpha_exponent == alpha
                     })
                     .expect("point recorded above");
                 cells.push(format!("{:.3}", p.accuracy));

@@ -224,7 +224,7 @@ pub fn run_l2_tuned(
         let res = run_dl(model, &Regime::L2 { beta }, params, seed)?;
         if best
             .as_ref()
-            .is_none_or(|(_, b)| res.test_accuracy > b.test_accuracy)
+            .map_or(true, |(_, b)| res.test_accuracy > b.test_accuracy)
         {
             best = Some((beta, res));
         }
@@ -250,7 +250,7 @@ pub fn run_gm_tuned(
         let res = run_dl(model, &Regime::Gm { config: cfg }, params, seed)?;
         if best
             .as_ref()
-            .is_none_or(|(_, b)| res.test_accuracy > b.test_accuracy)
+            .map_or(true, |(_, b)| res.test_accuracy > b.test_accuracy)
         {
             best = Some((gamma, res));
         }

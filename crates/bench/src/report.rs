@@ -44,7 +44,11 @@ impl Table {
         let line = |out: &mut String, cells: &[String]| {
             for (i, c) in cells.iter().enumerate() {
                 let _ = write!(out, "{:<width$}", c, width = widths[i] + 2);
-                let _ = if i == ncols - 1 { writeln!(out) } else { Ok(()) };
+                let _ = if i == ncols - 1 {
+                    writeln!(out)
+                } else {
+                    Ok(())
+                };
             }
         };
         line(&mut out, &self.header);
@@ -91,9 +95,65 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::p
     Ok(path)
 }
 
+/// One serial-vs-parallel kernel measurement for the performance
+/// trajectory file ([`write_bench_pr1`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBench {
+    /// Kernel name, e.g. `"e_step"` or `"matmul"`.
+    pub kernel: String,
+    /// Problem size, e.g. `"m=1000000 k=4"` or `"512x512x512"`.
+    pub size: String,
+    /// Best serial wall time in nanoseconds.
+    pub serial_ns: f64,
+    /// Best parallel wall time in nanoseconds (same work, pool enabled).
+    pub parallel_ns: f64,
+    /// `serial_ns / parallel_ns`.
+    pub speedup: f64,
+    /// Worker threads the parallel run was allowed to use.
+    pub threads: usize,
+}
+
+impl KernelBench {
+    /// Builds a record, deriving the speedup from the two timings.
+    pub fn new(
+        kernel: impl Into<String>,
+        size: impl Into<String>,
+        serial_ns: f64,
+        parallel_ns: f64,
+        threads: usize,
+    ) -> Self {
+        KernelBench {
+            kernel: kernel.into(),
+            size: size.into(),
+            serial_ns,
+            parallel_ns,
+            speedup: if parallel_ns > 0.0 {
+                serial_ns / parallel_ns
+            } else {
+                0.0
+            },
+            threads,
+        }
+    }
+}
+
+/// Writes the serial-vs-parallel kernel timings to `BENCH_PR1.json` in the
+/// current directory, so the perf trajectory is tracked PR over PR.
+/// Returns the path written.
+pub fn write_bench_pr1(records: &[KernelBench]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from("BENCH_PR1.json");
+    let json = serde_json::to_string_pretty(records)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that temporarily change the process cwd.
+    static CWD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn table_renders_aligned() {
@@ -123,11 +183,43 @@ mod tests {
     }
 
     #[test]
+    fn kernel_bench_derives_speedup() {
+        let r = KernelBench::new("matmul", "512x512x512", 4000.0, 1000.0, 4);
+        assert_eq!(r.speedup, 4.0);
+        let degenerate = KernelBench::new("matmul", "0x0x0", 1.0, 0.0, 4);
+        assert_eq!(degenerate.speedup, 0.0);
+    }
+
+    #[test]
+    fn bench_pr1_json_is_machine_readable() {
+        let _cwd = CWD_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("gmreg-bench-pr1-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let recs = vec![KernelBench::new("e_step", "m=1000000 k=4", 2e6, 5e5, 4)];
+        let path = write_bench_pr1(&recs).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        for field in [
+            "kernel",
+            "size",
+            "serial_ns",
+            "parallel_ns",
+            "speedup",
+            "threads",
+        ] {
+            assert!(body.contains(field), "missing field {field}");
+        }
+    }
+
+    #[test]
     fn write_json_round_trips() {
         #[derive(serde::Serialize)]
         struct R {
             x: f64,
         }
+        let _cwd = CWD_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("gmreg-report-test");
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();

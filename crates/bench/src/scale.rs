@@ -164,8 +164,7 @@ mod tests {
         assert!(s.resnet_n < p.resnet_n);
         assert!(Scale::Smoke.small_params().epochs <= Scale::Paper.small_params().epochs);
         assert!(
-            Scale::Smoke.timing_params().curve_epochs
-                < Scale::Paper.timing_params().curve_epochs
+            Scale::Smoke.timing_params().curve_epochs < Scale::Paper.timing_params().curve_epochs
         );
     }
 

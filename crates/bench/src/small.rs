@@ -53,8 +53,14 @@ pub fn run_dataset(
     let mut stderr = Vec::new();
     let mut methods = Vec::new();
     for m in Method::TABLE_VII {
-        let res: MethodResult =
-            evaluate_method(ds, m, params.subsamples, params.folds, lr_config(params), seed)?;
+        let res: MethodResult = evaluate_method(
+            ds,
+            m,
+            params.subsamples,
+            params.folds,
+            lr_config(params),
+            seed,
+        )?;
         mean.push(res.mean);
         stderr.push(res.stderr);
         methods.push(m.name().to_string());

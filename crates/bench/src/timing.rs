@@ -59,9 +59,11 @@ impl TimeCurve {
     }
 }
 
-/// The regularizer driven by a timing run.
+/// The regularizer driven by a timing run. The GM arm is boxed — the
+/// regularizer owns K-sized mixture state and M-sized caches, dwarfing
+/// `L2Reg`.
 enum TimedReg {
-    Gm(GmRegularizer),
+    Gm(Box<GmRegularizer>),
     L2(L2Reg),
 }
 
@@ -134,7 +136,7 @@ fn run_timed(workload: &Workload, mut reg: TimedReg, params: TimingParams, seed:
 }
 
 fn gm_with_schedule(m: usize, lazy: LazySchedule) -> TimedReg {
-    TimedReg::Gm(
+    TimedReg::Gm(Box::new(
         GmRegularizer::new(
             m,
             0.1,
@@ -144,12 +146,17 @@ fn gm_with_schedule(m: usize, lazy: LazySchedule) -> TimedReg {
             },
         )
         .expect("valid config"),
-    )
+    ))
 }
 
 /// Fig. 5(a)(b): cumulative time vs. epoch for each `Im` (with `Ig = Im`,
 /// `E = 2`) plus the L2 baseline.
-pub fn im_sweep(workload: &Workload, ims: &[u64], params: TimingParams, seed: u64) -> Vec<TimeCurve> {
+pub fn im_sweep(
+    workload: &Workload,
+    ims: &[u64],
+    params: TimingParams,
+    seed: u64,
+) -> Vec<TimeCurve> {
     let mut out = Vec::with_capacity(ims.len() + 1);
     for &im in ims {
         let lazy = LazySchedule::new(2, im, im).expect("im >= 1");
@@ -168,7 +175,12 @@ pub fn im_sweep(workload: &Workload, ims: &[u64], params: TimingParams, seed: u6
 }
 
 /// Fig. 6: total time for `(Ig, Im = 50)` combinations.
-pub fn ig_sweep(workload: &Workload, igs: &[u64], params: TimingParams, seed: u64) -> Vec<(String, f64)> {
+pub fn ig_sweep(
+    workload: &Workload,
+    igs: &[u64],
+    params: TimingParams,
+    seed: u64,
+) -> Vec<(String, f64)> {
     igs.iter()
         .map(|&ig| {
             let lazy = LazySchedule::new(2, 50, ig).expect("ig >= 1");
@@ -261,10 +273,7 @@ mod tests {
         assert_eq!(curves[2].label, "baseline");
         for c in &curves {
             assert_eq!(c.cumulative_seconds.len(), 3);
-            assert!(c
-                .cumulative_seconds
-                .windows(2)
-                .all(|w| w[1] >= w[0]));
+            assert!(c.cumulative_seconds.windows(2).all(|w| w[1] >= w[0]));
             assert!(c.total() > 0.0);
         }
     }

@@ -35,7 +35,10 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid configuration for `{field}`: {reason}")
             }
             CoreError::DimensionMismatch { expected, actual } => {
-                write!(f, "weight vector has {actual} dimensions, expected {expected}")
+                write!(
+                    f,
+                    "weight vector has {actual} dimensions, expected {expected}"
+                )
             }
             CoreError::DegenerateMixture { detail } => {
                 write!(f, "degenerate mixture state: {detail}")

@@ -81,7 +81,10 @@ impl GmConfig {
         if !self.alpha_exponent.is_finite() || self.alpha_exponent < 0.0 {
             return Err(CoreError::InvalidConfig {
                 field: "alpha_exponent",
-                reason: format!("must be non-negative and finite, got {}", self.alpha_exponent),
+                reason: format!(
+                    "must be non-negative and finite, got {}",
+                    self.alpha_exponent
+                ),
             });
         }
         if let Some(mp) = self.min_precision {
@@ -165,20 +168,30 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fields() {
-        let mut c = GmConfig::default();
-        c.k = 0;
+        let c = GmConfig {
+            k: 0,
+            ..GmConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = GmConfig::default();
-        c.gamma = 0.0;
+        let c = GmConfig {
+            gamma: 0.0,
+            ..GmConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = GmConfig::default();
-        c.a_factor = -0.1;
+        let c = GmConfig {
+            a_factor: -0.1,
+            ..GmConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = GmConfig::default();
-        c.alpha_exponent = f64::NAN;
+        let c = GmConfig {
+            alpha_exponent: f64::NAN,
+            ..GmConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = GmConfig::default();
-        c.min_precision = Some(0.0);
+        let c = GmConfig {
+            min_precision: Some(0.0),
+            ..GmConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

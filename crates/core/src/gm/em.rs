@@ -26,6 +26,30 @@ impl EmAccumulators {
     }
 }
 
+/// Fixed E-step chunk size, independent of thread count. Both the serial
+/// and the parallel sweep accumulate per-chunk partials and fold them in
+/// chunk-index order, so the f64 sums are bit-identical for every thread
+/// count (including the `--no-default-features` build).
+pub const E_STEP_CHUNK: usize = 4096;
+
+/// Minimum chunks a worker must receive before the sweep forks; below
+/// `MIN_CHUNKS_PER_THREAD * E_STEP_CHUNK` weights per thread the spawn
+/// overhead dominates and the sweep stays on the calling thread.
+#[cfg(feature = "parallel")]
+const MIN_CHUNKS_PER_THREAD: usize = 4;
+
+/// Reusable per-call buffers for [`e_step_with_scratch`]: the per-component
+/// log weights and the per-element log-responsibility workspace. Owning one
+/// of these across calls (as [`GmRegularizer`] does) removes the two heap
+/// allocations the sweep would otherwise make on every invocation.
+///
+/// [`GmRegularizer`]: crate::gm::GmRegularizer
+#[derive(Debug, Clone, Default)]
+pub struct EStepScratch {
+    log_base: Vec<f64>,
+    logs: Vec<f64>,
+}
+
 /// One E-step sweep over the weight vector (Eq. 9 applied to every
 /// dimension).
 ///
@@ -33,24 +57,125 @@ impl EmAccumulators {
 /// and, when `greg_out` is given, the cached regularization gradient
 /// `g_reg[m] = (Σ_k r_k(w_m)·λ_k) · w_m` of Eq. 10 — the quantity
 /// Algorithm 2 computes in its E-step and reuses until the next one.
-pub fn e_step(gm: &GaussianMixture, w: &[f32], mut greg_out: Option<&mut [f32]>) -> EmAccumulators {
-    let k = gm.k();
-    let mut acc = EmAccumulators::zeros(k);
-    acc.m = w.len();
+///
+/// With the `parallel` feature enabled, large sweeps fork across
+/// [`gmreg_parallel::max_threads`] workers; the chunked reduction keeps the
+/// result bit-identical to the serial sweep.
+pub fn e_step(gm: &GaussianMixture, w: &[f32], greg_out: Option<&mut [f32]>) -> EmAccumulators {
+    let mut scratch = EStepScratch::default();
+    e_step_with_scratch(gm, w, greg_out, &mut scratch)
+}
+
+/// [`e_step`] with caller-owned scratch buffers (no per-call allocations
+/// beyond what the parallel fork itself needs).
+pub fn e_step_with_scratch(
+    gm: &GaussianMixture,
+    w: &[f32],
+    greg_out: Option<&mut [f32]>,
+    scratch: &mut EStepScratch,
+) -> EmAccumulators {
     if let Some(out) = greg_out.as_deref() {
         assert_eq!(out.len(), w.len(), "greg buffer must match weight length");
     }
+    let k = gm.k();
+    prepare_log_base(gm, &mut scratch.log_base);
 
-    // Pre-compute per-component log weights: ln π_k + 0.5 ln λ_k (the
-    // -0.5 ln 2π constant cancels in the softmax).
-    let mut log_base = vec![f64::NEG_INFINITY; k];
-    for i in 0..k {
-        if gm.pi()[i] > 0.0 {
-            log_base[i] = gm.pi()[i].ln() + 0.5 * gm.lambda()[i].ln();
+    #[cfg(feature = "parallel")]
+    {
+        let n_chunks = w.len().div_ceil(E_STEP_CHUNK);
+        let threads = gmreg_parallel::effective_threads(n_chunks, MIN_CHUNKS_PER_THREAD);
+        if threads > 1 {
+            return e_step_parallel(gm.lambda(), &scratch.log_base, w, greg_out, threads);
         }
     }
-    let lambda = gm.lambda();
-    let mut logs = vec![0.0f64; k];
+
+    scratch.logs.clear();
+    scratch.logs.resize(k, 0.0);
+    e_step_serial_chunked(
+        gm.lambda(),
+        &scratch.log_base,
+        w,
+        greg_out,
+        &mut scratch.logs,
+    )
+}
+
+/// The serial sweep, always compiled. Property tests compare the parallel
+/// sweep against this for bit-identity.
+pub fn e_step_serial(
+    gm: &GaussianMixture,
+    w: &[f32],
+    greg_out: Option<&mut [f32]>,
+) -> EmAccumulators {
+    if let Some(out) = greg_out.as_deref() {
+        assert_eq!(out.len(), w.len(), "greg buffer must match weight length");
+    }
+    let mut scratch = EStepScratch::default();
+    prepare_log_base(gm, &mut scratch.log_base);
+    scratch.logs.resize(gm.k(), 0.0);
+    e_step_serial_chunked(
+        gm.lambda(),
+        &scratch.log_base,
+        w,
+        greg_out,
+        &mut scratch.logs,
+    )
+}
+
+/// The parallel sweep with an explicit worker count, for equivalence tests
+/// and benches; production code goes through [`e_step`] /
+/// [`e_step_with_scratch`], which pick the count from the pool policy.
+#[cfg(feature = "parallel")]
+pub fn e_step_with_threads(
+    gm: &GaussianMixture,
+    w: &[f32],
+    greg_out: Option<&mut [f32]>,
+    threads: usize,
+) -> EmAccumulators {
+    if let Some(out) = greg_out.as_deref() {
+        assert_eq!(out.len(), w.len(), "greg buffer must match weight length");
+    }
+    let mut scratch = EStepScratch::default();
+    prepare_log_base(gm, &mut scratch.log_base);
+    if threads <= 1 {
+        scratch.logs.resize(gm.k(), 0.0);
+        return e_step_serial_chunked(
+            gm.lambda(),
+            &scratch.log_base,
+            w,
+            greg_out,
+            &mut scratch.logs,
+        );
+    }
+    e_step_parallel(gm.lambda(), &scratch.log_base, w, greg_out, threads)
+}
+
+/// Per-component log weights: ln π_k + 0.5 ln λ_k (the -0.5 ln 2π constant
+/// cancels in the softmax).
+fn prepare_log_base(gm: &GaussianMixture, log_base: &mut Vec<f64>) {
+    log_base.clear();
+    log_base.extend(gm.pi().iter().zip(gm.lambda()).map(|(&pi, &lambda)| {
+        if pi > 0.0 {
+            pi.ln() + 0.5 * lambda.ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }));
+}
+
+/// The fused per-chunk kernel: responsibilities, sufficient statistics and
+/// (optionally) `g_reg` for one contiguous run of weights. `logs` is a
+/// `k`-sized workspace owned by the caller.
+fn e_step_chunk(
+    lambda: &[f64],
+    log_base: &[f64],
+    w: &[f32],
+    mut greg: Option<&mut [f32]>,
+    logs: &mut [f64],
+) -> EmAccumulators {
+    let k = lambda.len();
+    let mut acc = EmAccumulators::zeros(k);
+    acc.m = w.len();
     for (m_idx, &wv) in w.iter().enumerate() {
         let x = wv as f64;
         let xsq = x * x;
@@ -74,11 +199,108 @@ pub fn e_step(gm: &GaussianMixture, w: &[f32], mut greg_out: Option<&mut [f32]>)
             acc.resp_wsq_sum[i] += r * xsq;
             coeff += r * lambda[i];
         }
-        if let Some(out) = greg_out.as_deref_mut() {
+        if let Some(out) = greg.as_deref_mut() {
             out[m_idx] = (coeff * x) as f32;
         }
     }
     acc
+}
+
+/// Fold `partial` into `total` (component-wise f64 adds). Both sweeps call
+/// this in ascending chunk order, which is what makes them bit-identical.
+fn fold_partial(total: &mut EmAccumulators, partial: &EmAccumulators) {
+    for (t, p) in total.resp_sum.iter_mut().zip(partial.resp_sum.iter()) {
+        *t += p;
+    }
+    for (t, p) in total
+        .resp_wsq_sum
+        .iter_mut()
+        .zip(partial.resp_wsq_sum.iter())
+    {
+        *t += p;
+    }
+}
+
+fn e_step_serial_chunked(
+    lambda: &[f64],
+    log_base: &[f64],
+    w: &[f32],
+    mut greg_out: Option<&mut [f32]>,
+    logs: &mut [f64],
+) -> EmAccumulators {
+    let k = lambda.len();
+    let mut total = EmAccumulators::zeros(k);
+    total.m = w.len();
+    let mut start = 0usize;
+    for wc in w.chunks(E_STEP_CHUNK) {
+        let gc = greg_out
+            .as_deref_mut()
+            .map(|g| &mut g[start..start + wc.len()]);
+        let partial = e_step_chunk(lambda, log_base, wc, gc, logs);
+        fold_partial(&mut total, &partial);
+        start += wc.len();
+    }
+    total
+}
+
+#[cfg(feature = "parallel")]
+fn e_step_parallel(
+    lambda: &[f64],
+    log_base: &[f64],
+    w: &[f32],
+    greg_out: Option<&mut [f32]>,
+    threads: usize,
+) -> EmAccumulators {
+    let k = lambda.len();
+
+    /// One fixed-size chunk of the sweep: borrowed inputs/outputs plus the
+    /// slot its partial statistics are returned in.
+    struct ChunkTask<'a> {
+        w: &'a [f32],
+        greg: Option<&'a mut [f32]>,
+        partial: EmAccumulators,
+    }
+
+    let n_chunks = w.len().div_ceil(E_STEP_CHUNK);
+    let mut tasks: Vec<ChunkTask<'_>> = Vec::with_capacity(n_chunks);
+    match greg_out {
+        Some(greg) => {
+            for (wc, gc) in w.chunks(E_STEP_CHUNK).zip(greg.chunks_mut(E_STEP_CHUNK)) {
+                tasks.push(ChunkTask {
+                    w: wc,
+                    greg: Some(gc),
+                    partial: EmAccumulators::zeros(k),
+                });
+            }
+        }
+        None => {
+            for wc in w.chunks(E_STEP_CHUNK) {
+                tasks.push(ChunkTask {
+                    w: wc,
+                    greg: None,
+                    partial: EmAccumulators::zeros(k),
+                });
+            }
+        }
+    }
+
+    gmreg_parallel::for_each_part(&mut tasks, threads, |_, task| {
+        let mut logs = vec![0.0f64; k];
+        task.partial = e_step_chunk(
+            lambda,
+            log_base,
+            task.w,
+            task.greg.as_deref_mut(),
+            &mut logs,
+        );
+    });
+
+    let mut total = EmAccumulators::zeros(k);
+    total.m = w.len();
+    for task in &tasks {
+        fold_partial(&mut total, &task.partial);
+    }
+    total
 }
 
 /// Bounds that keep the M-step's precisions physical even on adversarial
@@ -142,8 +364,8 @@ mod tests {
         let acc = e_step(&gm, &w, Some(&mut greg));
         assert_eq!(acc.m, w.len());
 
-        let mut want_sum = vec![0.0f64; 2];
-        let mut want_wsq = vec![0.0f64; 2];
+        let mut want_sum = [0.0f64; 2];
+        let mut want_wsq = [0.0f64; 2];
         let mut r = Vec::new();
         for (i, &wv) in w.iter().enumerate() {
             gm.responsibilities(wv as f64, &mut r);
@@ -247,7 +469,7 @@ mod tests {
             -3.969683028665376e+01,
             2.209460984245205e+02,
             -2.759285104469687e+02,
-            1.383577518672690e+02,
+            1.38357751867269e+02,
             -3.066479806614716e+01,
             2.506628277459239e+00,
         ];

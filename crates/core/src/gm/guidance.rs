@@ -147,8 +147,7 @@ mod tests {
     fn batch_norm_models_get_weaker_regularization() {
         let no_bn =
             recommended_config(ModelKind::DeepNoBatchNorm, 1_000, 2_000, 0.01, 0.9).expect("ok");
-        let bn =
-            recommended_config(ModelKind::DeepBatchNorm, 1_000, 2_000, 0.01, 0.9).expect("ok");
+        let bn = recommended_config(ModelKind::DeepBatchNorm, 1_000, 2_000, 0.01, 0.9).expect("ok");
         // larger γ = lower precision cap = weaker regularization
         assert!(bn.gamma > no_bn.gamma);
     }
@@ -169,8 +168,7 @@ mod tests {
         assert!(recommended_config(ModelKind::Linear, 10, 10, 0.1, 1.0).is_err());
         assert!(recommended_config(ModelKind::Linear, 10, 10, f64::NAN, 0.9).is_err());
         // extreme inputs clamp instead of producing an invalid config
-        let tiny =
-            recommended_config(ModelKind::Linear, usize::MAX / 2, 1, 1e-9, 0.0).expect("ok");
+        let tiny = recommended_config(ModelKind::Linear, usize::MAX / 2, 1, 1e-9, 0.0).expect("ok");
         tiny.validate().expect("clamped γ is valid");
         let huge =
             recommended_config(ModelKind::DeepNoBatchNorm, 1, 1_000_000, 10.0, 0.99).expect("ok");

@@ -87,8 +87,7 @@ mod tests {
 
     #[test]
     fn two_populations_stay_two() {
-        let gm =
-            GaussianMixture::new(vec![0.25; 4], vec![1.0, 1.2, 800.0, 810.0]).unwrap();
+        let gm = GaussianMixture::new(vec![0.25; 4], vec![1.0, 1.2, 800.0, 810.0]).unwrap();
         let eff = effective_mixture(&gm).unwrap();
         assert_eq!(eff.k(), 2);
         assert!(eff.lambda()[0] < 2.0);
@@ -98,8 +97,7 @@ mod tests {
 
     #[test]
     fn tiny_weight_components_are_dropped() {
-        let gm =
-            GaussianMixture::new(vec![0.9995, 0.0005], vec![100.0, 1.0]).unwrap();
+        let gm = GaussianMixture::new(vec![0.9995, 0.0005], vec![100.0, 1.0]).unwrap();
         let eff = effective_mixture(&gm).unwrap();
         assert_eq!(eff.k(), 1);
         assert!((eff.lambda()[0] - 100.0).abs() < 1e-9);
@@ -124,8 +122,7 @@ mod tests {
 
     #[test]
     fn ordering_is_ascending_precision() {
-        let gm =
-            GaussianMixture::new(vec![0.3, 0.3, 0.4], vec![500.0, 1.0, 30.0]).unwrap();
+        let gm = GaussianMixture::new(vec![0.3, 0.3, 0.4], vec![500.0, 1.0, 30.0]).unwrap();
         let eff = effective_mixture(&gm).unwrap();
         let l = eff.lambda();
         assert!(l.windows(2).all(|w| w[0] <= w[1]));

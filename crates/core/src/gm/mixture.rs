@@ -214,11 +214,7 @@ impl GaussianMixture {
 
     /// The variance of the mixture: `Σ_k π_k / λ_k` (zero mean).
     pub fn variance(&self) -> f64 {
-        self.pi
-            .iter()
-            .zip(&self.lambda)
-            .map(|(&p, &l)| p / l)
-            .sum()
+        self.pi.iter().zip(&self.lambda).map(|(&p, &l)| p / l).sum()
     }
 
     /// True if any parameter is NaN or non-finite.
@@ -285,11 +281,7 @@ mod tests {
         let mut r = Vec::new();
         for &x in &[0.0, 0.05, 0.3, 1.5, -2.0] {
             gm.responsibilities(x, &mut r);
-            let manual: f64 = r
-                .iter()
-                .zip(gm.lambda())
-                .map(|(ri, li)| ri * li)
-                .sum();
+            let manual: f64 = r.iter().zip(gm.lambda()).map(|(ri, li)| ri * li).sum();
             assert!((gm.reg_coefficient(x) - manual).abs() < 1e-9);
         }
     }

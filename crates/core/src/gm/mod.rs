@@ -30,7 +30,12 @@ mod tool;
 
 pub use checkpoint::{GmConfigSnapshot, GmSnapshot};
 pub use config::{GmConfig, GAMMA_GRID};
-pub use em::{e_step, m_step, EmAccumulators, LAMBDA_MAX, LAMBDA_MIN, PI_FLOOR};
+#[cfg(feature = "parallel")]
+pub use em::e_step_with_threads;
+pub use em::{
+    e_step, e_step_serial, e_step_with_scratch, m_step, EStepScratch, EmAccumulators, E_STEP_CHUNK,
+    LAMBDA_MAX, LAMBDA_MIN, PI_FLOOR,
+};
 pub use guidance::{recommended_config, ModelKind};
 pub use init::InitMethod;
 pub use lazy::LazySchedule;

@@ -3,7 +3,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::gm::config::GmConfig;
-use crate::gm::em::{e_step, m_step, EmAccumulators};
+use crate::gm::em::{e_step_with_scratch, m_step, EStepScratch, EmAccumulators};
 use crate::gm::merge::effective_mixture;
 use crate::gm::mixture::GaussianMixture;
 use crate::regularizer::{Regularizer, StepCtx};
@@ -39,6 +39,8 @@ pub struct GmRegularizer {
     m_steps: u64,
     grad_calls: u64,
     degenerate_skips: u64,
+    /// Reusable E-step buffers; sweeps make no per-call allocations.
+    scratch: EStepScratch,
 }
 
 impl GmRegularizer {
@@ -85,6 +87,7 @@ impl GmRegularizer {
             m_steps: 0,
             grad_calls: 0,
             degenerate_skips: 0,
+            scratch: EStepScratch::default(),
         })
     }
 
@@ -168,7 +171,7 @@ impl GmRegularizer {
     /// and by tests).
     pub fn force_e_step(&mut self, w: &[f32]) -> Result<()> {
         self.check_dims(w)?;
-        self.acc = e_step(&self.gm, w, Some(&mut self.greg));
+        self.acc = e_step_with_scratch(&self.gm, w, Some(&mut self.greg), &mut self.scratch);
         self.e_steps += 1;
         Ok(())
     }
@@ -232,7 +235,7 @@ impl Regularizer for GmRegularizer {
         // E-step (Algorithm 2 lines 4-7). The very first call always runs it
         // because iteration 0 satisfies `it mod Im == 0`.
         if self.config.lazy.run_e_step(ctx.iteration, ctx.epoch) {
-            self.acc = e_step(&self.gm, w, Some(&mut self.greg));
+            self.acc = e_step_with_scratch(&self.gm, w, Some(&mut self.greg), &mut self.scratch);
             self.e_steps += 1;
         }
 
@@ -338,7 +341,11 @@ mod tests {
         // λ_tight ≈ Σr / (2b + Σr·w²) ≈ 500/10.8 ≈ 46 with γ = 0.005,
         // while the wide component lands near its sample precision ~1.5.
         assert!(eff.lambda()[0] < 5.0, "{:?}", eff.lambda());
-        assert!(eff.lambda()[1] > 10.0 * eff.lambda()[0], "{:?}", eff.lambda());
+        assert!(
+            eff.lambda()[1] > 10.0 * eff.lambda()[0],
+            "{:?}",
+            eff.lambda()
+        );
     }
 
     #[test]

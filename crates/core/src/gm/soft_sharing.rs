@@ -223,9 +223,9 @@ impl SoftSharingRegularizer {
         let excess = k as f64 * (self.alpha - 1.0);
         let den = self.m as f64 + excess;
         let mut z = 0.0;
-        for i in 0..k {
-            self.pi[i] = ((r_sum[i] + self.alpha - 1.0) / den).max(crate::gm::PI_FLOOR);
-            z += self.pi[i];
+        for (p, &r) in self.pi.iter_mut().zip(&r_sum) {
+            *p = ((r + self.alpha - 1.0) / den).max(crate::gm::PI_FLOOR);
+            z += *p;
         }
         for p in self.pi.iter_mut() {
             *p /= z;
@@ -261,7 +261,11 @@ impl Regularizer for SoftSharingRegularizer {
     }
 
     fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], _ctx: StepCtx) {
-        assert_eq!(w.len(), grad.len(), "weight and gradient buffers must match");
+        assert_eq!(
+            w.len(),
+            grad.len(),
+            "weight and gradient buffers must match"
+        );
         assert_eq!(w.len(), self.m, "weight vector length changed");
         // g_reg[m] = Σ_k r_k(w_m) · λ_k · (w_m − μ_k): pulls each weight
         // toward the centers responsible for it.
@@ -270,8 +274,8 @@ impl Regularizer for SoftSharingRegularizer {
             let x = wv as f64;
             self.responsibilities(x, &mut buf);
             let mut acc = 0.0;
-            for i in 0..self.config.k {
-                acc += buf[i] * self.lambda[i] * (x - self.mu[i]);
+            for ((&r, &lambda), &mu) in buf.iter().zip(&self.lambda).zip(&self.mu) {
+                acc += r * lambda * (x - mu);
             }
             *g += acc as f32;
         }
@@ -299,14 +303,20 @@ mod tests {
     #[test]
     fn construction_and_validation() {
         assert!(SoftSharingRegularizer::new(0, SoftSharingConfig::default()).is_err());
-        let mut bad = SoftSharingConfig::default();
-        bad.k = 0;
+        let bad = SoftSharingConfig {
+            k: 0,
+            ..SoftSharingConfig::default()
+        };
         assert!(SoftSharingRegularizer::new(4, bad).is_err());
-        let mut bad = SoftSharingConfig::default();
-        bad.gamma = -1.0;
+        let bad = SoftSharingConfig {
+            gamma: -1.0,
+            ..SoftSharingConfig::default()
+        };
         assert!(SoftSharingRegularizer::new(4, bad).is_err());
-        let mut bad = SoftSharingConfig::default();
-        bad.mean_pseudo = f64::NAN;
+        let bad = SoftSharingConfig {
+            mean_pseudo: f64::NAN,
+            ..SoftSharingConfig::default()
+        };
         assert!(SoftSharingRegularizer::new(4, bad).is_err());
 
         let r = SoftSharingRegularizer::new(10, SoftSharingConfig::default()).unwrap();

@@ -59,7 +59,15 @@ impl Augment {
 }
 
 /// Shifts an image by (dy, dx), filling exposed pixels with zero.
-fn shift_image(img: &mut [f32], scratch: &mut [f32], c: usize, h: usize, w: usize, dy: isize, dx: isize) {
+fn shift_image(
+    img: &mut [f32],
+    scratch: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    dy: isize,
+    dx: isize,
+) {
     scratch.fill(0.0);
     for ch in 0..c {
         let plane = ch * h * w;

@@ -101,7 +101,10 @@ pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<RawDataset> {
     if options.label_column >= width {
         return Err(DataError::InvalidConfig {
             field: "label_column",
-            reason: format!("index {} out of range for {width} columns", options.label_column),
+            reason: format!(
+                "index {} out of range for {width} columns",
+                options.label_column
+            ),
         });
     }
     for (i, r) in records.iter().enumerate() {
@@ -123,8 +126,7 @@ pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<RawDataset> {
     }
     let n_classes = label_ids.len().max(1);
 
-    let is_missing =
-        |s: &str| -> bool { options.missing_markers.iter().any(|m| m == s.trim()) };
+    let is_missing = |s: &str| -> bool { options.missing_markers.iter().any(|m| m == s.trim()) };
 
     // Feature columns, with type inference.
     let mut columns = Vec::with_capacity(width - 1);

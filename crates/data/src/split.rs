@@ -37,11 +37,7 @@ fn class_groups(ds: &Dataset, rng: &mut impl Rng) -> Vec<Vec<usize>> {
 /// `test_fraction` must be in `(0, 1)`. Every class must have at least one
 /// sample in each side; tiny classes are split so the test side gets at
 /// least one sample when the class has two or more.
-pub fn stratified_split(
-    ds: &Dataset,
-    test_fraction: f64,
-    rng: &mut impl Rng,
-) -> Result<Split> {
+pub fn stratified_split(ds: &Dataset, test_fraction: f64, rng: &mut impl Rng) -> Result<Split> {
     if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
         return Err(DataError::InvalidConfig {
             field: "test_fraction",

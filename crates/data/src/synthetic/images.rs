@@ -138,18 +138,14 @@ impl ImageSpec {
                 let mut t = vec![0.0f32; feat];
                 for c in 0..self.channels {
                     for _ in 0..4 {
-                        let fx = rng.uniform(0.5, 3.0) * std::f64::consts::TAU
-                            / self.width as f64;
-                        let fy = rng.uniform(0.5, 3.0) * std::f64::consts::TAU
-                            / self.height as f64;
+                        let fx = rng.uniform(0.5, 3.0) * std::f64::consts::TAU / self.width as f64;
+                        let fy = rng.uniform(0.5, 3.0) * std::f64::consts::TAU / self.height as f64;
                         let phase = rng.uniform(0.0, std::f64::consts::TAU);
                         let amp = rng.uniform(0.25, 0.6);
                         for y in 0..self.height {
                             for x in 0..self.width {
-                                let v = amp
-                                    * (fx * x as f64 + fy * y as f64 + phase).sin();
-                                t[c * self.height * self.width + y * self.width + x] +=
-                                    v as f32;
+                                let v = amp * (fx * x as f64 + fy * y as f64 + phase).sin();
+                                t[c * self.height * self.width + y * self.width + x] += v as f32;
                             }
                         }
                     }
@@ -184,9 +180,7 @@ impl ImageSpec {
                         let base = if (0..self.height as isize).contains(&sy)
                             && (0..self.width as isize).contains(&sx)
                         {
-                            t[c * self.height * self.width
-                                + sy as usize * self.width
-                                + sx as usize]
+                            t[c * self.height * self.width + sy as usize * self.width + sx as usize]
                         } else {
                             0.0
                         };

@@ -71,9 +71,7 @@ impl TabularSpec {
                 reason: "need at least 4 samples".into(),
             });
         }
-        if self.n_informative_cont == 0
-            && !self.categorical.iter().any(|c| c.informative)
-        {
+        if self.n_informative_cont == 0 && !self.categorical.iter().any(|c| c.informative) {
             return Err(DataError::InvalidConfig {
                 field: "n_informative_cont",
                 reason: "need at least one informative feature".into(),
@@ -153,7 +151,11 @@ impl TabularSpec {
         let mut cat_vals: Vec<Vec<u32>> = self
             .categorical
             .iter()
-            .map(|c| (0..n).map(|_| rng.random_range(0..c.arity as u32)).collect())
+            .map(|c| {
+                (0..n)
+                    .map(|_| rng.random_range(0..c.arity as u32))
+                    .collect()
+            })
             .collect();
         let mut scores = vec![0.0f64; n];
         for (j, col) in cont_vals.iter_mut().enumerate() {
@@ -172,8 +174,7 @@ impl TabularSpec {
         // then draw labels from a logistic model and apply label flips.
         let scale = {
             let mean = scores.iter().sum::<f64>() / n as f64;
-            let var =
-                scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+            let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
             var.sqrt().max(1e-9)
         };
         let mut y = Vec::with_capacity(n);

@@ -236,8 +236,7 @@ impl LogisticRegression {
             let mut epoch_hits = 0usize;
             for b in batcher.iter(ds) {
                 let batch = b?;
-                let (loss, hits) =
-                    self.step(&batch.x, &batch.y, it, epoch as u64, eff_scale)?;
+                let (loss, hits) = self.step(&batch.x, &batch.y, it, epoch as u64, eff_scale)?;
                 epoch_loss += loss;
                 epoch_hits += hits;
                 it += 1;

@@ -224,9 +224,14 @@ impl SoftmaxRegression {
             self.velocity[i] = mu * self.velocity[i] - lr * self.grad[i];
             self.w[i] += self.velocity[i];
         }
-        for k in 0..c {
-            self.bias_velocity[k] = mu * self.bias_velocity[k] - lr * bias_grad[k];
-            self.bias[k] += self.bias_velocity[k];
+        for ((bv, b), &bg) in self
+            .bias_velocity
+            .iter_mut()
+            .zip(self.bias.iter_mut())
+            .zip(&bias_grad)
+        {
+            *bv = mu * *bv - lr * bg;
+            *b += *bv;
         }
         loss / n as f64
     }
@@ -278,7 +283,9 @@ mod tests {
         let mut model = SoftmaxRegression::new(2, 3, cfg()).expect("config");
         model.fit(&ds).expect("training");
         for i in 0..10 {
-            let p = model.predict_proba(ds.sample(i).expect("row")).expect("proba");
+            let p = model
+                .predict_proba(ds.sample(i).expect("row"))
+                .expect("proba");
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
             let pred = model.predict(ds.sample(i).expect("row")).expect("pred");
@@ -339,7 +346,9 @@ mod tests {
             probe.w.copy_from_slice(w);
             let mut acc = 0.0;
             for i in 0..ds.len() {
-                let p = probe.predict_proba(ds.sample(i).expect("row")).expect("proba");
+                let p = probe
+                    .predict_proba(ds.sample(i).expect("row"))
+                    .expect("proba");
                 acc -= p[ds.y()[i]].max(1e-15).ln();
             }
             acc / ds.len() as f64

@@ -26,6 +26,10 @@ impl ReLU {
 
 impl VisitParams for ReLU {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
 }
 
 impl Layer for ReLU {
@@ -91,6 +95,10 @@ impl Flatten {
 
 impl VisitParams for Flatten {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
 }
 
 impl Layer for Flatten {
@@ -114,9 +122,12 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let in_dims = self.in_dims.as_ref().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name.clone(),
-        })?;
+        let in_dims = self
+            .in_dims
+            .as_ref()
+            .ok_or_else(|| NnError::NoForwardCache {
+                layer: self.name.clone(),
+            })?;
         Ok(grad_out.reshape(in_dims.clone())?)
     }
 
@@ -129,18 +140,23 @@ impl Layer for Flatten {
 mod tests {
     use super::*;
     use crate::layer::testutil::check_input_grad;
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
     fn relu_clamps_and_masks() {
         let mut r = ReLU::new("relu");
-        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]).reshape([1, 3]).unwrap();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0])
+            .reshape([1, 3])
+            .unwrap();
         let y = r.forward(&x, true).unwrap();
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
         let g = r
-            .backward(&Tensor::from_slice(&[5.0, 5.0, 5.0]).reshape([1, 3]).unwrap())
+            .backward(
+                &Tensor::from_slice(&[5.0, 5.0, 5.0])
+                    .reshape([1, 3])
+                    .unwrap(),
+            )
             .unwrap();
         assert_eq!(g.as_slice(), &[0.0, 0.0, 5.0]);
     }

@@ -67,6 +67,10 @@ impl VisitParams for BatchNorm2d {
         f(&mut self.gamma);
         f(&mut self.beta);
     }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -156,6 +160,8 @@ impl Layer for BatchNorm2d {
         let g = self.gamma.value.as_slice();
         let mut dx = vec![0.0f32; go.len()];
 
+        // The NCHW stride pattern needs explicit channel indexing.
+        #[allow(clippy::needless_range_loop)]
         for ci in 0..c {
             // Per-channel sums needed by the closed-form backward pass.
             let mut sum_go = 0.0f64;
@@ -200,7 +206,6 @@ impl Layer for BatchNorm2d {
 mod tests {
     use super::*;
     use crate::layer::testutil::{check_input_grad, check_param_grads};
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -221,8 +226,7 @@ mod tests {
                 }
             }
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

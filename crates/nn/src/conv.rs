@@ -53,7 +53,11 @@ impl Conv2d {
         let k = in_c * kernel * kernel;
         let std = init.std(k);
         let data: Vec<f32> = (0..k * out_c).map(|_| init.sample(k, rng)).collect();
-        let w = Param::new(format!("{name}/weight"), Tensor::from_vec(data, [k, out_c])?, std);
+        let w = Param::new(
+            format!("{name}/weight"),
+            Tensor::from_vec(data, [k, out_c])?,
+            std,
+        );
         let b = Param::new(format!("{name}/bias"), Tensor::zeros([out_c]), 0.0);
         Ok(Conv2d {
             name,
@@ -79,7 +83,10 @@ impl Conv2d {
                 expected: format!("spatial size >= kernel {}x{}", self.kh, self.kw),
             });
         }
-        Ok(((h_eff - self.kh) / self.stride + 1, (w_eff - self.kw) / self.stride + 1))
+        Ok((
+            (h_eff - self.kh) / self.stride + 1,
+            (w_eff - self.kw) / self.stride + 1,
+        ))
     }
 
     fn check_input(&self, x: &Tensor) -> Result<[usize; 4]> {
@@ -171,6 +178,10 @@ impl VisitParams for Conv2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
     }
 }
 
@@ -264,15 +275,23 @@ impl Layer for Conv2d {
 mod tests {
     use super::*;
     use crate::layer::testutil::{check_input_grad, check_param_grads};
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
     fn forward_matches_direct_convolution() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut conv =
-            Conv2d::new("c", 2, 3, 3, 1, 1, WeightInit::Gaussian { std: 0.4 }, &mut rng).unwrap();
+        let mut conv = Conv2d::new(
+            "c",
+            2,
+            3,
+            3,
+            1,
+            1,
+            WeightInit::Gaussian { std: 0.4 },
+            &mut rng,
+        )
+        .unwrap();
         let x = Tensor::randn(&mut rng, [2, 2, 5, 5], 0.0, 1.0);
         let y = conv.forward(&x, true).unwrap();
         assert_eq!(y.dims(), &[2, 3, 5, 5]);
@@ -320,8 +339,17 @@ mod tests {
     #[test]
     fn gradients_check_out() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mut conv =
-            Conv2d::new("c", 2, 2, 3, 1, 1, WeightInit::Gaussian { std: 0.4 }, &mut rng).unwrap();
+        let mut conv = Conv2d::new(
+            "c",
+            2,
+            2,
+            3,
+            1,
+            1,
+            WeightInit::Gaussian { std: 0.4 },
+            &mut rng,
+        )
+        .unwrap();
         let x = Tensor::randn(&mut rng, [2, 2, 4, 4], 0.0, 1.0);
         check_input_grad(&mut conv, &x, 2e-2);
         check_param_grads(&mut conv, &x, 2e-2);
@@ -330,8 +358,17 @@ mod tests {
     #[test]
     fn gradients_check_out_with_stride() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mut conv =
-            Conv2d::new("c", 1, 2, 3, 2, 1, WeightInit::Gaussian { std: 0.4 }, &mut rng).unwrap();
+        let mut conv = Conv2d::new(
+            "c",
+            1,
+            2,
+            3,
+            2,
+            1,
+            WeightInit::Gaussian { std: 0.4 },
+            &mut rng,
+        )
+        .unwrap();
         let x = Tensor::randn(&mut rng, [1, 1, 6, 6], 0.0, 1.0);
         check_input_grad(&mut conv, &x, 2e-2);
         check_param_grads(&mut conv, &x, 2e-2);

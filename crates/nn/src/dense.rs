@@ -84,6 +84,10 @@ impl VisitParams for Dense {
         f(&mut self.w);
         f(&mut self.b);
     }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
 }
 
 impl Layer for Dense {
@@ -108,9 +112,12 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self.cache_x.as_ref().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name.clone(),
-        })?;
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| NnError::NoForwardCache {
+                layer: self.name.clone(),
+            })?;
         if grad_out.dims() != [x.dims()[0], self.out_features] {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
@@ -143,7 +150,6 @@ impl Layer for Dense {
 mod tests {
     use super::*;
     use crate::layer::testutil::{check_input_grad, check_param_grads};
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -158,12 +164,17 @@ mod tests {
         // overwrite with known values
         l.w.value = Tensor::from_vec((0..15).map(|v| v as f32 * 0.1).collect(), [5, 3]).unwrap();
         l.b.value = Tensor::from_slice(&[1.0, 2.0, 3.0]);
-        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0], [2, 5])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [2, 5],
+        )
+        .unwrap();
         let y = l.forward(&x, true).unwrap();
         // row 0 = w row 0 + b; row 1 = w row 1 + b
-        assert!(y
-            .approx_eq(&Tensor::from_vec(vec![1.0, 2.1, 3.2, 1.3, 2.4, 3.5], [2, 3]).unwrap(), 1e-6));
+        assert!(y.approx_eq(
+            &Tensor::from_vec(vec![1.0, 2.1, 3.2, 1.3, 2.4, 3.5], [2, 3]).unwrap(),
+            1e-6
+        ));
     }
 
     #[test]

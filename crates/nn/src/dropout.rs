@@ -47,6 +47,10 @@ impl Dropout {
 
 impl VisitParams for Dropout {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
 }
 
 impl Layer for Dropout {
@@ -114,7 +118,9 @@ mod tests {
     #[test]
     fn eval_mode_is_identity() {
         let mut d = Dropout::new("do", 0.5, 1).expect("valid");
-        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]).reshape([1, 3]).expect("shape");
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0])
+            .reshape([1, 3])
+            .expect("shape");
         let y = d.forward(&x, false).expect("forward");
         assert_eq!(y.as_slice(), x.as_slice());
         let g = d.backward(&Tensor::ones([1, 3])).expect("backward");
@@ -127,7 +133,10 @@ mod tests {
         let x = Tensor::ones([100, 100]);
         let y = d.forward(&x, true).expect("forward");
         let mean = y.mean().expect("non-empty");
-        assert!((mean - 1.0).abs() < 0.05, "inverted scaling keeps E[x]: {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "inverted scaling keeps E[x]: {mean}"
+        );
         // roughly 30% of entries zeroed
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
         let rate = zeros as f64 / y.len() as f64;
@@ -149,7 +158,9 @@ mod tests {
     #[test]
     fn zero_probability_is_identity_even_in_training() {
         let mut d = Dropout::new("do", 0.0, 4).expect("valid");
-        let x = Tensor::from_slice(&[5.0, -2.0]).reshape([1, 2]).expect("shape");
+        let x = Tensor::from_slice(&[5.0, -2.0])
+            .reshape([1, 2])
+            .expect("shape");
         let y = d.forward(&x, true).expect("forward");
         assert_eq!(y.as_slice(), x.as_slice());
     }

@@ -41,7 +41,10 @@ impl fmt::Display for NnError {
                 layer,
                 got,
                 expected,
-            } => write!(f, "layer `{layer}`: bad input shape {got:?}, expected {expected}"),
+            } => write!(
+                f,
+                "layer `{layer}`: bad input shape {got:?}, expected {expected}"
+            ),
             NnError::NoForwardCache { layer } => {
                 write!(f, "layer `{layer}`: backward called before forward")
             }

@@ -61,8 +61,8 @@ pub(crate) mod testutil {
             xm.as_mut_slice()[i] -= eps;
             let om = layer.forward(&xm, true).unwrap();
             let mut num = 0.0f64;
-            for j in 0..op.len() {
-                num += c[j] as f64 * (op.as_slice()[j] - om.as_slice()[j]) as f64;
+            for ((&cj, &opj), &omj) in c.iter().zip(op.as_slice()).zip(om.as_slice()) {
+                num += cj as f64 * (opj - omj) as f64;
             }
             num /= 2.0 * eps as f64;
             let got = gin.as_slice()[i] as f64;
@@ -104,8 +104,8 @@ pub(crate) mod testutil {
             let om = layer.forward(x, true).unwrap();
             perturb(layer, pi, i, eps); // restore
             let mut num = 0.0f64;
-            for j in 0..op.len() {
-                num += c[j] as f64 * (op.as_slice()[j] - om.as_slice()[j]) as f64;
+            for ((&cj, &opj), &omj) in c.iter().zip(op.as_slice()).zip(om.as_slice()) {
+                num += cj as f64 * (opj - omj) as f64;
             }
             num / (2.0 * eps as f64)
         };

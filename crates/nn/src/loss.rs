@@ -128,8 +128,7 @@ mod tests {
     #[test]
     fn gradient_matches_finite_differences() {
         let mut ce = SoftmaxCrossEntropy::new();
-        let logits =
-            Tensor::from_vec(vec![0.2, -0.5, 1.0, 0.3, 0.1, -0.2], [2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.2, -0.5, 1.0, 0.3, 0.1, -0.2], [2, 3]).unwrap();
         let labels = [2usize, 0];
         ce.forward(&logits, &labels).unwrap();
         let grad = ce.backward().unwrap();
@@ -169,7 +168,12 @@ mod tests {
         let logits = Tensor::from_vec(vec![1e4, -1e4, 0.0, 1e4], [2, 2]).unwrap();
         let loss = ce.forward(&logits, &[1, 0]).unwrap();
         assert!(loss.is_finite());
-        assert!(ce.backward().unwrap().as_slice().iter().all(|v| v.is_finite()));
+        assert!(ce
+            .backward()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]

@@ -28,7 +28,13 @@ struct LrnCache {
 impl Lrn {
     /// Builds an LRN layer; AlexNet's published constants are
     /// `size = 5, alpha = 1e-4, beta = 0.75, k = 2.0`.
-    pub fn new(name: impl Into<String>, size: usize, alpha: f32, beta: f32, k: f32) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        size: usize,
+        alpha: f32,
+        beta: f32,
+        k: f32,
+    ) -> Result<Self> {
         if size == 0 {
             return Err(NnError::InvalidConfig {
                 field: "size",
@@ -66,6 +72,10 @@ impl Lrn {
 
 impl VisitParams for Lrn {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
 }
 
 impl Layer for Lrn {
@@ -160,7 +170,6 @@ impl Layer for Lrn {
 mod tests {
     use super::*;
     use crate::layer::testutil::check_input_grad;
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

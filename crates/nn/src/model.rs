@@ -74,7 +74,8 @@ impl Network {
     /// `1.0 / n_train` to keep Eq. 10's sum-loss proportions when training
     /// on mean batch losses (see [`Param::reg_scale`]).
     pub fn set_reg_scale(&mut self, scale: f32) {
-        self.net.visit_params(&mut |p: &mut Param| p.reg_scale = scale);
+        self.net
+            .visit_params(&mut |p: &mut Param| p.reg_scale = scale);
     }
 
     /// Runs one forward/backward/step cycle on a batch; returns the batch's
@@ -135,7 +136,8 @@ impl Network {
     /// Total regularization penalty over all parameter groups.
     pub fn total_penalty(&mut self) -> f64 {
         let mut acc = 0.0;
-        self.net.visit_params(&mut |p: &mut Param| acc += p.penalty());
+        self.net
+            .visit_params(&mut |p: &mut Param| acc += p.penalty());
         acc
     }
 
@@ -179,6 +181,10 @@ impl Network {
 impl VisitParams for Network {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.net.visit_params(f);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.net.params_mut()
     }
 }
 

@@ -46,29 +46,11 @@ pub fn alex_cifar10(
         .push(Pool2d::max("pool1", 3, 2)?)
         .push(ReLU::new("relu1"))
         .push(Lrn::alexnet("norm1"))
-        .push(Conv2d::new(
-            "conv2",
-            32,
-            32,
-            5,
-            1,
-            2,
-            WeightInit::He,
-            rng,
-        )?)
+        .push(Conv2d::new("conv2", 32, 32, 5, 1, 2, WeightInit::He, rng)?)
         .push(ReLU::new("relu2"))
         .push(Pool2d::avg("pool2", 3, 2)?)
         .push(Lrn::alexnet("norm2"))
-        .push(Conv2d::new(
-            "conv3",
-            32,
-            64,
-            5,
-            1,
-            2,
-            WeightInit::He,
-            rng,
-        )?)
+        .push(Conv2d::new("conv3", 32, 64, 5, 1, 2, WeightInit::He, rng)?)
         .push(ReLU::new("relu3"))
         .push(Pool2d::avg("pool3", 3, 2)?)
         .push(Flatten::new("flatten"));
@@ -130,7 +112,12 @@ mod tests {
         });
         assert_eq!(
             names,
-            vec!["conv1/weight", "conv2/weight", "conv3/weight", "dense/weight"]
+            vec![
+                "conv1/weight",
+                "conv2/weight",
+                "conv3/weight",
+                "dense/weight"
+            ]
         );
     }
 

@@ -26,7 +26,16 @@ pub fn resnet(
     rng: &mut impl Rng,
 ) -> Result<Sequential> {
     let mut net = Sequential::new(format!("resnet-{}", 6 * n + 2))
-        .push(Conv2d::new("conv1", channels, 16, 3, 1, 1, WeightInit::He, rng)?)
+        .push(Conv2d::new(
+            "conv1",
+            channels,
+            16,
+            3,
+            1,
+            1,
+            WeightInit::He,
+            rng,
+        )?)
         .push(BatchNorm2d::new("bn1", 16)?)
         .push(ReLU::new("relu1"));
 
@@ -43,9 +52,13 @@ pub fn resnet(
             in_c = w;
         }
     }
-    Ok(net
-        .push(GlobalAvgPool::new("gap"))
-        .push(Dense::new("ip5", 64, n_classes, WeightInit::He, rng)?))
+    Ok(net.push(GlobalAvgPool::new("gap")).push(Dense::new(
+        "ip5",
+        64,
+        n_classes,
+        WeightInit::He,
+        rng,
+    )?))
 }
 
 /// The paper's exact configuration: ResNet-20 (`n = 3`).

@@ -2,8 +2,27 @@
 //! the paper's interleaved SGD+EM update (Fig. 2).
 
 use crate::error::{NnError, Result};
-use crate::param::VisitParams;
+use crate::param::{Param, VisitParams};
 use gmreg_core::StepCtx;
+
+/// Below this many scalar parameters (totalled across groups) a step stays
+/// serial: the per-group work is too small to amortize the fork.
+#[cfg(feature = "parallel")]
+const MIN_PARALLEL_STEP_PARAMS: usize = 1 << 15;
+
+/// The per-group SGD-with-momentum update (Algorithm 2 lines 4–12 for the
+/// group): regularize, advance velocity, apply, zero the gradient.
+fn step_param(p: &mut Param, ctx: StepCtx, lr: f32, mu: f32) {
+    p.apply_regularizer(ctx);
+    let g = p.grad.as_slice();
+    let v = p.velocity.as_mut_slice();
+    let w = p.value.as_mut_slice();
+    for i in 0..w.len() {
+        v[i] = mu * v[i] - lr * g[i];
+        w[i] += v[i];
+    }
+    p.zero_grad();
+}
 
 /// SGD with classical momentum.
 ///
@@ -74,19 +93,41 @@ impl Sgd {
     }
 
     /// Applies one SGD step to every parameter of `model`.
+    ///
+    /// With the `parallel` feature, models with several parameter groups
+    /// step them on different threads (one worker per group at most).
+    /// Groups are independent — each owns its weights, buffers and
+    /// regularizer state — so the result is identical to the serial order.
     pub fn step(&mut self, model: &mut dyn VisitParams) {
         let ctx = StepCtx::new(self.iteration, self.epoch);
         let (lr, mu) = (self.lr, self.momentum);
-        model.visit_params(&mut |p| {
-            p.apply_regularizer(ctx);
-            let g = p.grad.as_slice();
-            let v = p.velocity.as_mut_slice();
-            let w = p.value.as_mut_slice();
-            for i in 0..w.len() {
-                v[i] = mu * v[i] - lr * g[i];
-                w[i] += v[i];
+        #[cfg(feature = "parallel")]
+        {
+            let mut params = model.params_mut();
+            let total: usize = params.iter().map(|p| p.len()).sum();
+            let threads = gmreg_parallel::effective_threads(params.len(), 1);
+            if params.len() >= 2 && total >= MIN_PARALLEL_STEP_PARAMS && threads > 1 {
+                gmreg_parallel::for_each_part(&mut params, threads, |_, p| {
+                    step_param(p, ctx, lr, mu);
+                });
+                self.iteration += 1;
+                return;
             }
-            p.zero_grad();
+        }
+        model.visit_params(&mut |p| step_param(p, ctx, lr, mu));
+        self.iteration += 1;
+    }
+
+    /// [`Sgd::step`] with an explicit worker count, for equivalence tests;
+    /// production code uses [`Sgd::step`], which sizes the pool from the
+    /// model and the pool policy.
+    #[cfg(feature = "parallel")]
+    pub fn step_with_threads(&mut self, model: &mut dyn VisitParams, threads: usize) {
+        let ctx = StepCtx::new(self.iteration, self.epoch);
+        let (lr, mu) = (self.lr, self.momentum);
+        let mut params = model.params_mut();
+        gmreg_parallel::for_each_part(&mut params, threads, |_, p| {
+            step_param(p, ctx, lr, mu);
         });
         self.iteration += 1;
     }
@@ -114,6 +155,10 @@ mod tests {
     impl VisitParams for OneParam {
         fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
             f(&mut self.0);
+        }
+
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.0]
         }
     }
 
@@ -150,6 +195,50 @@ mod tests {
         assert!((p.0.value.as_slice()[0] - 0.9).abs() < 1e-6);
         opt.end_epoch(&mut p);
         assert_eq!(opt.epoch(), 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_step_is_bit_identical_to_serial() {
+        use crate::dense::Dense;
+        use crate::init::WeightInit;
+        use crate::sequential::Sequential;
+        use gmreg_core::gm::{GmConfig, GmRegularizer};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Two identically-built two-layer models with GM regularizers on
+        // the weights, identical gradients, stepped with 1 vs 4 workers.
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut net = Sequential::new("mlp")
+                .push(Dense::new("fc1", 20, 30, WeightInit::He, &mut rng).unwrap())
+                .push(Dense::new("fc2", 30, 10, WeightInit::He, &mut rng).unwrap());
+            for (gi, p) in net.params_mut().into_iter().enumerate() {
+                let m = p.len();
+                p.regularizer = Some(Box::new(
+                    GmRegularizer::new(m, 0.1, GmConfig::default()).unwrap(),
+                ));
+                for (i, g) in p.grad.as_mut_slice().iter_mut().enumerate() {
+                    *g = ((i + gi) % 13) as f32 * 0.01 - 0.06;
+                }
+            }
+            net
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        let mut opt_s = Sgd::new(0.05, 0.9).unwrap();
+        let mut opt_p = Sgd::new(0.05, 0.9).unwrap();
+        for _ in 0..3 {
+            opt_s.step_with_threads(&mut serial, 1);
+            opt_p.step_with_threads(&mut parallel, 4);
+        }
+        let ws: Vec<&mut Param> = serial.params_mut();
+        let wp: Vec<&mut Param> = parallel.params_mut();
+        for (a, b) in ws.iter().zip(wp.iter()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice(), "group {}", a.name);
+            assert_eq!(a.velocity.as_slice(), b.velocity.as_slice());
+        }
     }
 
     #[test]

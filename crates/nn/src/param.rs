@@ -115,6 +115,11 @@ pub trait VisitParams {
     /// Calls `f` once for every parameter group, in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
 
+    /// Borrows every parameter group at once, in the same stable order as
+    /// [`VisitParams::visit_params`]. The groups are disjoint borrows, so an
+    /// optimizer can update them from different threads.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
     /// Total scalar parameter count.
     fn n_params(&mut self) -> usize {
         let mut n = 0;

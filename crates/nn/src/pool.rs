@@ -69,6 +69,10 @@ impl Pool2d {
 
 impl VisitParams for Pool2d {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
 }
 
 impl Layer for Pool2d {
@@ -223,6 +227,10 @@ impl GlobalAvgPool {
 
 impl VisitParams for GlobalAvgPool {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
 }
 
 impl Layer for GlobalAvgPool {
@@ -287,7 +295,6 @@ impl Layer for GlobalAvgPool {
 mod tests {
     use super::*;
     use crate::layer::testutil::check_input_grad;
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

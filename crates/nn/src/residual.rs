@@ -96,6 +96,14 @@ impl VisitParams for BasicBlock {
             s.visit_params(f);
         }
     }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.main.params_mut();
+        if let Some(s) = self.shortcut.as_mut() {
+            ps.extend(s.params_mut());
+        }
+        ps
+    }
 }
 
 impl Layer for BasicBlock {
@@ -124,9 +132,12 @@ impl Layer for BasicBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let mask = self.relu_mask.as_ref().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name.clone(),
-        })?;
+        let mask = self
+            .relu_mask
+            .as_ref()
+            .ok_or_else(|| NnError::NoForwardCache {
+                layer: self.name.clone(),
+            })?;
         if grad_out.dims() != self.out_dims {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
@@ -157,7 +168,6 @@ impl Layer for BasicBlock {
 mod tests {
     use super::*;
     use crate::layer::testutil::{check_input_grad, check_param_grads};
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

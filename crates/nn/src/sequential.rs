@@ -48,6 +48,13 @@ impl VisitParams for Sequential {
             l.visit_params(f);
         }
     }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
 }
 
 impl Layer for Sequential {
@@ -87,7 +94,6 @@ mod tests {
     use crate::dense::Dense;
     use crate::init::WeightInit;
     use crate::layer::testutil::{check_input_grad, check_param_grads};
-    use gmreg_tensor::SampleExt as _;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -124,7 +130,10 @@ mod tests {
         let mut m = mlp();
         let mut names = Vec::new();
         m.visit_params(&mut |p| names.push(p.name.clone()));
-        assert_eq!(names, vec!["fc1/weight", "fc1/bias", "fc2/weight", "fc2/bias"]);
+        assert_eq!(
+            names,
+            vec!["fc1/weight", "fc1/bias", "fc2/weight", "fc2/bias"]
+        );
         assert_eq!(m.n_params(), 4 * 6 + 6 + 6 * 2 + 2);
     }
 

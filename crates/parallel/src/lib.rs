@@ -1,0 +1,277 @@
+//! Fork-join execution layer for the gmreg workspace.
+//!
+//! Every compute kernel in the workspace that wants parallelism goes through
+//! the two primitives in this crate:
+//!
+//! * [`map_chunks`] — evaluate a pure function over chunk indices
+//!   `0..n_chunks` on a small pool of scoped threads and return the partial
+//!   results **in chunk-index order**. Callers fold the returned partials
+//!   serially, so a floating-point reduction performed through `map_chunks`
+//!   is bit-identical for every thread count, including one.
+//! * [`for_each_part`] — apply a function to every element of a slice of
+//!   disjoint work items (mutable output bands, parameter groups) from a
+//!   small pool of scoped threads. Each item is touched exactly once; items
+//!   never alias, so no synchronisation beyond the fork/join is needed.
+//!
+//! Work is split into **contiguous** index ranges, one per worker, rather
+//! than work-stolen: gmreg kernels have uniform per-chunk cost, and static
+//! partitioning keeps the reduction order independent of scheduling.
+//!
+//! The crate has zero dependencies and is built directly on
+//! [`std::thread::scope`], so a `--no-default-features` build of the
+//! consuming crates drops it entirely.
+//!
+//! ## Thread-count policy
+//!
+//! [`max_threads`] resolves the pool ceiling once per process: the
+//! `GMREG_NUM_THREADS` environment variable when set to a positive integer,
+//! otherwise [`std::thread::available_parallelism`]. Kernels derive their
+//! actual worker count with [`effective_threads`], which caps the pool so
+//! that every worker receives at least a minimum amount of work — small
+//! problems stay on the calling thread with no spawn at all.
+
+use std::sync::OnceLock;
+
+/// Process-wide thread ceiling, resolved once.
+///
+/// Honours `GMREG_NUM_THREADS` (positive integer) and falls back to
+/// [`std::thread::available_parallelism`]. Never returns 0.
+pub fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| match std::env::var("GMREG_NUM_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(available),
+        Err(_) => available(),
+    })
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Worker count for a kernel with `n_units` units of work, ensuring every
+/// worker gets at least `min_units_per_thread` units. Returns a value in
+/// `1..=max_threads()`; `1` means "stay serial".
+pub fn effective_threads(n_units: usize, min_units_per_thread: usize) -> usize {
+    let ceil = max_threads();
+    if min_units_per_thread == 0 {
+        return ceil.max(1);
+    }
+    (n_units / min_units_per_thread).clamp(1, ceil.max(1))
+}
+
+/// The half-open range of unit indices owned by worker `idx` when `n` units
+/// are split into `parts` contiguous, near-equal ranges. The first
+/// `n % parts` workers receive one extra unit.
+pub fn split_range(n: usize, parts: usize, idx: usize) -> (usize, usize) {
+    debug_assert!(parts > 0 && idx < parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let start = idx * base + idx.min(rem);
+    let len = base + usize::from(idx < rem);
+    (start, start + len)
+}
+
+/// Evaluate `f(chunk_idx)` for every `chunk_idx` in `0..n_chunks` using up to
+/// `threads` workers, returning the results **in chunk-index order**.
+///
+/// Each worker owns a contiguous range of chunk indices and evaluates them in
+/// ascending order; the per-worker vectors are concatenated in worker order.
+/// The output is therefore identical — element for element — to
+/// `(0..n_chunks).map(f).collect()` regardless of `threads`.
+///
+/// `threads <= 1` (or fewer than two chunks) runs on the calling thread with
+/// no spawn. A panic in any worker propagates to the caller.
+pub fn map_chunks<T, F>(n_chunks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n_chunks.max(1));
+    if threads <= 1 {
+        return (0..n_chunks).map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (1..threads)
+            .map(|w| {
+                let (lo, hi) = split_range(n_chunks, threads, w);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        // The calling thread computes worker 0's range while the pool runs.
+        let (lo, hi) = split_range(n_chunks, threads, 0);
+        let mut out = Vec::with_capacity(n_chunks);
+        out.extend((lo..hi).map(f));
+        for h in handles {
+            out.extend(h.join().expect("gmreg-parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// Apply `f(part_idx, &mut part)` to every element of `parts` using up to
+/// `threads` workers. Parts are distributed as contiguous ranges; each part
+/// is visited exactly once and parts never alias, so `f` may mutate freely.
+///
+/// `threads <= 1` (or fewer than two parts) runs on the calling thread with
+/// no spawn. A panic in any worker propagates to the caller.
+pub fn for_each_part<T, F>(parts: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = parts.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        for (i, p) in parts.iter_mut().enumerate() {
+            f(i, p);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        // Peel contiguous ranges off the slice; the calling thread keeps
+        // range 0 and computes it while the pool runs the rest.
+        let (head, mut rest) = parts.split_at_mut(split_range(n, threads, 0).1);
+        for w in 1..threads {
+            let (lo, hi) = split_range(n, threads, w);
+            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+            rest = tail;
+            s.spawn(move || {
+                for (i, p) in mine.iter_mut().enumerate() {
+                    f(lo + i, p);
+                }
+            });
+        }
+        assert!(rest.is_empty(), "range partition must cover all parts");
+        for (i, p) in head.iter_mut().enumerate() {
+            f(i, p);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_range_covers_everything_once() {
+        for n in [0usize, 1, 2, 3, 7, 64, 65, 1000] {
+            for parts in 1..=9usize {
+                let mut next = 0usize;
+                for idx in 0..parts {
+                    let (lo, hi) = split_range(n, parts, idx);
+                    assert_eq!(lo, next, "gap at n={n} parts={parts} idx={idx}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, n, "n={n} parts={parts} does not cover");
+            }
+        }
+    }
+
+    #[test]
+    fn split_range_is_balanced() {
+        let (lo, hi) = split_range(10, 4, 0);
+        assert_eq!(hi - lo, 3);
+        let (lo, hi) = split_range(10, 4, 3);
+        assert_eq!(hi - lo, 2);
+    }
+
+    #[test]
+    fn map_chunks_preserves_order_for_every_thread_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 16, 97, 200] {
+            let got = map_chunks(97, threads, |i| i * i);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_handles_empty_and_single() {
+        assert_eq!(map_chunks(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(map_chunks(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn map_chunks_float_fold_is_bit_identical_across_threads() {
+        // A sum with wildly mixed magnitudes: any re-association changes
+        // the bits. Folding ordered partials must not.
+        let vals: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64 * 1e-3 + 1e12 * ((i % 7) as f64))
+            .collect();
+        let chunk = 128;
+        let n_chunks = vals.len().div_ceil(chunk);
+        let serial: f64 = map_chunks(n_chunks, 1, |c| {
+            vals[c * chunk..((c + 1) * chunk).min(vals.len())]
+                .iter()
+                .sum::<f64>()
+        })
+        .into_iter()
+        .sum();
+        for threads in [2, 3, 8] {
+            let par: f64 = map_chunks(n_chunks, threads, |c| {
+                vals[c * chunk..((c + 1) * chunk).min(vals.len())]
+                    .iter()
+                    .sum::<f64>()
+            })
+            .into_iter()
+            .sum();
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_part_visits_every_part_once_with_its_index() {
+        for threads in [1, 2, 3, 8, 40] {
+            let mut parts: Vec<(usize, u32)> = (0..33).map(|i| (i, 0u32)).collect();
+            for_each_part(&mut parts, threads, |idx, p| {
+                assert_eq!(idx, p.0, "index mismatch");
+                p.1 += 1;
+            });
+            assert!(
+                parts.iter().all(|&(_, c)| c == 1),
+                "threads={threads}: some part not visited exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_part_on_disjoint_bands() {
+        let mut buf = vec![0u64; 100];
+        let mut bands: Vec<&mut [u64]> = buf.chunks_mut(13).collect();
+        let n_bands = bands.len();
+        for_each_part(&mut bands, 4, |idx, band| {
+            for v in band.iter_mut() {
+                *v = idx as u64 + 1;
+            }
+        });
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, (i / 13) as u64 + 1);
+        }
+        assert_eq!(n_bands, 8);
+    }
+
+    #[test]
+    fn effective_threads_respects_min_work() {
+        // With a huge per-thread minimum only one thread qualifies.
+        assert_eq!(effective_threads(100, usize::MAX), 1);
+        // Zero minimum means "use the ceiling".
+        assert_eq!(effective_threads(100, 0), max_threads());
+        // The ratio bound: 10 units / 5 per thread = at most 2 workers.
+        assert!(effective_threads(10, 5) <= 2);
+        assert!(effective_threads(10, 5) >= 1);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

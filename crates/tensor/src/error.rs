@@ -88,7 +88,10 @@ impl fmt::Display for TensorError {
                 index,
                 extent,
                 axis,
-            } => write!(f, "index {index} out of range for axis {axis} of extent {extent}"),
+            } => write!(
+                f,
+                "index {index} out of range for axis {axis} of extent {extent}"
+            ),
             TensorError::ReshapeMismatch { from, to } => {
                 write!(f, "cannot reshape {from} elements into {to} elements")
             }

@@ -5,13 +5,28 @@
 //! row. The `_tn` / `_nt` variants multiply with one operand logically
 //! transposed without materializing the transpose, which is exactly what the
 //! dense-layer backward pass needs.
+//!
+//! Every kernel is written as a *band* kernel computing a contiguous range of
+//! output rows. The serial entry points run one band covering the whole
+//! matrix; with the `parallel` feature the dispatching entry points split the
+//! output into one band per worker. Because a band kernel accumulates each
+//! output element over `k` in exactly the same order no matter which band the
+//! element's row lands in, the parallel product is bit-identical to the
+//! serial one for every thread count.
 
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
+use core::ops::Range;
 
 /// Block edge for the cache-blocked kernel. 64 rows × 64 cols of f32 is
 /// 16 KiB per operand tile, comfortably inside L1/L2 on any target.
 const BLOCK: usize = 64;
+
+/// A worker must own at least this many multiply-adds before a product
+/// forks; below it the spawn overhead dominates. (~4M flops ≈ a 128³
+/// product.)
+#[cfg(feature = "parallel")]
+const MIN_FLOPS_PER_THREAD: usize = 1 << 22;
 
 fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.shape().rank() != 2 {
@@ -24,102 +39,240 @@ fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
-impl Tensor {
-    /// `C = A · B` for rank-2 tensors, cache-blocked.
-    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, ka) = check_rank2(self, "matmul")?;
-        let (kb, n) = check_rank2(other, "matmul")?;
-        if ka != kb {
-            return Err(TensorError::ShapeMismatch {
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-                op: "matmul",
-            });
-        }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut c = vec![0.0f32; m * n];
+fn check_inner(a: &Tensor, b: &Tensor, ka: usize, kb: usize, op: &'static str) -> Result<()> {
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
 
-        for i0 in (0..m).step_by(BLOCK) {
-            let i1 = (i0 + BLOCK).min(m);
-            for k0 in (0..ka).step_by(BLOCK) {
-                let k1 = (k0 + BLOCK).min(ka);
-                for i in i0..i1 {
-                    let c_row = &mut c[i * n..(i + 1) * n];
-                    for k in k0..k1 {
-                        let aik = a[i * ka + k];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[k * n..(k + 1) * n];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += aik * bv;
-                        }
+/// Rows `rows` of `C = A · B`, cache-blocked, written into `c_band`
+/// (`rows.len() * n` elements).
+fn matmul_band(a: &[f32], b: &[f32], ka: usize, n: usize, rows: Range<usize>, c_band: &mut [f32]) {
+    let lo = rows.start;
+    for i0 in (rows.start..rows.end).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(rows.end);
+        for k0 in (0..ka).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(ka);
+            for i in i0..i1 {
+                let c_row = &mut c_band[(i - lo) * n..(i - lo + 1) * n];
+                for k in k0..k1 {
+                    let aik = a[i * ka + k];
+                    let b_row = &b[k * n..(k + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
                     }
                 }
             }
         }
+    }
+}
+
+/// Rows `rows` of `C = Aᵀ · B` (A is (k, m), B is (k, n)). Accumulates
+/// rank-1 updates a-row at a time; both inner accesses are contiguous.
+fn matmul_tn_band(
+    a: &[f32],
+    b: &[f32],
+    ka: usize,
+    m: usize,
+    n: usize,
+    rows: Range<usize>,
+    c_band: &mut [f32],
+) {
+    for k in 0..ka {
+        let a_row = &a[k * m..(k + 1) * m];
+        let b_row = &b[k * n..(k + 1) * n];
+        for (bi, &av) in a_row[rows.clone()].iter().enumerate() {
+            let c_row = &mut c_band[bi * n..(bi + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Rows `rows` of `C = A · Bᵀ` (A is (m, k), B is (n, k)): row-dot products.
+fn matmul_nt_band(
+    a: &[f32],
+    b: &[f32],
+    ka: usize,
+    n: usize,
+    rows: Range<usize>,
+    c_band: &mut [f32],
+) {
+    for (bi, i) in rows.enumerate() {
+        let a_row = &a[i * ka..(i + 1) * ka];
+        let c_row = &mut c_band[bi * n..(bi + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * ka..(j + 1) * ka];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+}
+
+/// Worker count for an `m`-row product with `flops_per_row` multiply-adds
+/// per output row.
+#[cfg(feature = "parallel")]
+fn band_threads(m: usize, flops_per_row: usize) -> usize {
+    if m == 0 || flops_per_row == 0 {
+        return 1;
+    }
+    let min_rows = (MIN_FLOPS_PER_THREAD / flops_per_row).max(1);
+    gmreg_parallel::effective_threads(m, min_rows)
+}
+
+/// Split `c` into one contiguous row-band per worker and run `kernel` on
+/// each band. Any row partition yields bit-identical output, so bands are
+/// plain `chunks_mut` of `rows_per_band` rows.
+#[cfg(feature = "parallel")]
+fn run_banded<F>(c: &mut [f32], m: usize, n: usize, threads: usize, kernel: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    let rows_per_band = m.div_ceil(threads);
+    let mut bands: Vec<(usize, &mut [f32])> = c.chunks_mut(rows_per_band * n).enumerate().collect();
+    gmreg_parallel::for_each_part(&mut bands, threads, |_, (band_idx, band)| {
+        let lo = *band_idx * rows_per_band;
+        kernel(lo..lo + band.len() / n, band);
+    });
+}
+
+impl Tensor {
+    /// `C = A · B` for rank-2 tensors, cache-blocked. With the `parallel`
+    /// feature, large products fork across row bands (bit-identical to the
+    /// serial kernel).
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        #[cfg(feature = "parallel")]
+        {
+            let (m, ka) = check_rank2(self, "matmul")?;
+            let (kb, n) = check_rank2(other, "matmul")?;
+            check_inner(self, other, ka, kb, "matmul")?;
+            let threads = band_threads(m, 2 * ka * n);
+            if threads > 1 {
+                return self.matmul_with_threads(other, threads);
+            }
+        }
+        self.matmul_serial(other)
+    }
+
+    /// The serial `C = A · B`, always compiled; the baseline the parallel
+    /// path is property-tested against.
+    pub fn matmul_serial(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, ka) = check_rank2(self, "matmul")?;
+        let (kb, n) = check_rank2(other, "matmul")?;
+        check_inner(self, other, ka, kb, "matmul")?;
+        let mut c = vec![0.0f32; m * n];
+        matmul_band(self.as_slice(), other.as_slice(), ka, n, 0..m, &mut c);
+        Tensor::from_vec(c, [m, n])
+    }
+
+    /// `C = A · B` with an explicit worker count, for equivalence tests and
+    /// benches.
+    #[cfg(feature = "parallel")]
+    pub fn matmul_with_threads(&self, other: &Tensor, threads: usize) -> Result<Tensor> {
+        let (m, ka) = check_rank2(self, "matmul")?;
+        let (kb, n) = check_rank2(other, "matmul")?;
+        check_inner(self, other, ka, kb, "matmul")?;
+        if threads <= 1 || m == 0 || n == 0 {
+            return self.matmul_serial(other);
+        }
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut c = vec![0.0f32; m * n];
+        run_banded(&mut c, m, n, threads.min(m), |rows, band| {
+            matmul_band(a, b, ka, n, rows, band);
+        });
         Tensor::from_vec(c, [m, n])
     }
 
     /// `C = Aᵀ · B` without materializing `Aᵀ` (A is (k, m), B is (k, n)).
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
-        let (ka, m) = check_rank2(self, "matmul_tn")?;
-        let (kb, n) = check_rank2(other, "matmul_tn")?;
-        if ka != kb {
-            return Err(TensorError::ShapeMismatch {
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-                op: "matmul_tn",
-            });
-        }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut c = vec![0.0f32; m * n];
-        // Accumulate rank-1 updates row-of-A-transposed at a time; both inner
-        // accesses are contiguous.
-        for k in 0..ka {
-            let a_row = &a[k * m..(k + 1) * m];
-            let b_row = &b[k * n..(k + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
+        #[cfg(feature = "parallel")]
+        {
+            let (ka, m) = check_rank2(self, "matmul_tn")?;
+            let (kb, n) = check_rank2(other, "matmul_tn")?;
+            check_inner(self, other, ka, kb, "matmul_tn")?;
+            let threads = band_threads(m, 2 * ka * n);
+            if threads > 1 {
+                return self.matmul_tn_with_threads(other, threads);
             }
         }
+        self.matmul_tn_serial(other)
+    }
+
+    /// The serial `C = Aᵀ · B`, always compiled.
+    pub fn matmul_tn_serial(&self, other: &Tensor) -> Result<Tensor> {
+        let (ka, m) = check_rank2(self, "matmul_tn")?;
+        let (kb, n) = check_rank2(other, "matmul_tn")?;
+        check_inner(self, other, ka, kb, "matmul_tn")?;
+        let mut c = vec![0.0f32; m * n];
+        matmul_tn_band(self.as_slice(), other.as_slice(), ka, m, n, 0..m, &mut c);
+        Tensor::from_vec(c, [m, n])
+    }
+
+    /// `C = Aᵀ · B` with an explicit worker count.
+    #[cfg(feature = "parallel")]
+    pub fn matmul_tn_with_threads(&self, other: &Tensor, threads: usize) -> Result<Tensor> {
+        let (ka, m) = check_rank2(self, "matmul_tn")?;
+        let (kb, n) = check_rank2(other, "matmul_tn")?;
+        check_inner(self, other, ka, kb, "matmul_tn")?;
+        if threads <= 1 || m == 0 || n == 0 {
+            return self.matmul_tn_serial(other);
+        }
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut c = vec![0.0f32; m * n];
+        run_banded(&mut c, m, n, threads.min(m), |rows, band| {
+            matmul_tn_band(a, b, ka, m, n, rows, band);
+        });
         Tensor::from_vec(c, [m, n])
     }
 
     /// `C = A · Bᵀ` without materializing `Bᵀ` (A is (m, k), B is (n, k)).
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, ka) = check_rank2(self, "matmul_nt")?;
-        let (n, kb) = check_rank2(other, "matmul_nt")?;
-        if ka != kb {
-            return Err(TensorError::ShapeMismatch {
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-                op: "matmul_nt",
-            });
-        }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut c = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * ka..(i + 1) * ka];
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * ka..(j + 1) * ka];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *cv = acc;
+        #[cfg(feature = "parallel")]
+        {
+            let (m, ka) = check_rank2(self, "matmul_nt")?;
+            let (n, kb) = check_rank2(other, "matmul_nt")?;
+            check_inner(self, other, ka, kb, "matmul_nt")?;
+            let threads = band_threads(m, 2 * ka * n);
+            if threads > 1 {
+                return self.matmul_nt_with_threads(other, threads);
             }
         }
+        self.matmul_nt_serial(other)
+    }
+
+    /// The serial `C = A · Bᵀ`, always compiled.
+    pub fn matmul_nt_serial(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, ka) = check_rank2(self, "matmul_nt")?;
+        let (n, kb) = check_rank2(other, "matmul_nt")?;
+        check_inner(self, other, ka, kb, "matmul_nt")?;
+        let mut c = vec![0.0f32; m * n];
+        matmul_nt_band(self.as_slice(), other.as_slice(), ka, n, 0..m, &mut c);
+        Tensor::from_vec(c, [m, n])
+    }
+
+    /// `C = A · Bᵀ` with an explicit worker count.
+    #[cfg(feature = "parallel")]
+    pub fn matmul_nt_with_threads(&self, other: &Tensor, threads: usize) -> Result<Tensor> {
+        let (m, ka) = check_rank2(self, "matmul_nt")?;
+        let (n, kb) = check_rank2(other, "matmul_nt")?;
+        check_inner(self, other, ka, kb, "matmul_nt")?;
+        if threads <= 1 || m == 0 || n == 0 {
+            return self.matmul_nt_serial(other);
+        }
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut c = vec![0.0f32; m * n];
+        run_banded(&mut c, m, n, threads.min(m), |rows, band| {
+            matmul_nt_band(a, b, ka, n, rows, band);
+        });
         Tensor::from_vec(c, [m, n])
     }
 
@@ -149,13 +302,7 @@ impl Tensor {
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = check_rank2(a, "matmul_naive")?;
     let (kb, n) = check_rank2(b, "matmul_naive")?;
-    if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-            op: "matmul_naive",
-        });
-    }
+    check_inner(a, b, ka, kb, "matmul_naive")?;
     let mut c = Tensor::zeros([m, n]);
     for i in 0..m {
         for j in 0..n {
@@ -172,7 +319,6 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::random::SampleExt as _;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -243,6 +389,44 @@ mod tests {
         assert!(y.reshape([3, 1]).unwrap().approx_eq(&want, 1e-5));
         assert!(a.matvec(&Tensor::zeros([5])).is_err());
         assert!(a.matvec(&Tensor::zeros([2, 2])).is_err());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_products_are_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(97);
+        // Shapes straddling the BLOCK edge and non-divisible band splits.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (7, 5, 3),
+            (64, 64, 64),
+            (65, 33, 130),
+        ] {
+            let a = Tensor::randn(&mut rng, [m, k], 0.0, 1.0);
+            let b = Tensor::randn(&mut rng, [k, n], 0.0, 1.0);
+            let want = a.matmul_serial(&b).unwrap();
+            let at = Tensor::randn(&mut rng, [k, m], 0.0, 1.0);
+            let want_tn = at.matmul_tn_serial(&b).unwrap();
+            let bt = Tensor::randn(&mut rng, [n, k], 0.0, 1.0);
+            let want_nt = a.matmul_nt_serial(&bt).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    a.matmul_with_threads(&b, threads).unwrap().as_slice(),
+                    want.as_slice(),
+                    "matmul {m}x{k}x{n} threads={threads}"
+                );
+                assert_eq!(
+                    at.matmul_tn_with_threads(&b, threads).unwrap().as_slice(),
+                    want_tn.as_slice(),
+                    "matmul_tn {m}x{k}x{n} threads={threads}"
+                );
+                assert_eq!(
+                    a.matmul_nt_with_threads(&bt, threads).unwrap().as_slice(),
+                    want_nt.as_slice(),
+                    "matmul_nt {m}x{k}x{n} threads={threads}"
+                );
+            }
+        }
     }
 
     proptest! {

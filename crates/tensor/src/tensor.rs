@@ -222,7 +222,9 @@ impl Tensor {
 
     /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
     pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor> {
-        let first = rows.first().ok_or(TensorError::Empty { op: "stack_rows" })?;
+        let first = rows
+            .first()
+            .ok_or(TensorError::Empty { op: "stack_rows" })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
@@ -256,7 +258,10 @@ mod tests {
     fn from_vec_rejects_bad_length() {
         assert!(matches!(
             Tensor::from_vec(vec![1.0; 5], [2, 3]),
-            Err(TensorError::LengthMismatch { expected: 6, actual: 5 })
+            Err(TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            })
         ));
     }
 
@@ -308,7 +313,10 @@ mod tests {
 
     #[test]
     fn stack_rows_builds_matrix() {
-        let rows = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[3.0, 4.0])];
+        let rows = vec![
+            Tensor::from_slice(&[1.0, 2.0]),
+            Tensor::from_slice(&[3.0, 4.0]),
+        ];
         let m = Tensor::stack_rows(&rows).unwrap();
         assert_eq!(m.dims(), &[2, 2]);
         assert_eq!(m.at2(1, 0), 3.0);

@@ -39,12 +39,7 @@ fn main() {
     println!("method comparison (3 subsamples, CV-tuned):");
     for method in Method::TABLE_VII {
         let res = evaluate_method(&ds, method, 3, 3, cfg, 99).expect("protocol run");
-        println!(
-            "  {:16} {:.3} ± {:.3}",
-            method.name(),
-            res.mean,
-            res.stderr
-        );
+        println!("  {:16} {:.3} ± {:.3}", method.name(), res.mean, res.stderr);
     }
 
     // Train one GM-regularized model and inspect what it learned.

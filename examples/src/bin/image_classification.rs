@@ -34,9 +34,7 @@ fn train(with_gm: bool, seed: u64) -> (f64, Vec<String>) {
     let (train, test) = spec.generate().expect("spec is valid");
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
-    let mut net = Network::new(
-        alex_cifar10(3, SIZE, 10, &mut rng).expect("architecture builds"),
-    );
+    let mut net = Network::new(alex_cifar10(3, SIZE, 10, &mut rng).expect("architecture builds"));
     if with_gm {
         // One independently learned GM per layer's weights — the paper's
         // per-layer setup, with the same hyper-parameter recipe for all.
@@ -50,8 +48,7 @@ fn train(with_gm: bool, seed: u64) -> (f64, Vec<String>) {
                     ..GmConfig::default()
                 };
                 Some(Box::new(
-                    GmRegularizer::new(dims, init_std.max(1e-3), cfg)
-                        .expect("valid config"),
+                    GmRegularizer::new(dims, init_std.max(1e-3), cfg).expect("valid config"),
                 ) as Box<dyn Regularizer>)
             } else {
                 None
@@ -82,8 +79,13 @@ fn train(with_gm: bool, seed: u64) -> (f64, Vec<String>) {
             format!(
                 "  {:14} pi {:?} lambda {:?}",
                 m.name,
-                m.pi.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
-                m.lambda.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>()
+                m.pi.iter()
+                    .map(|v| (v * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>(),
+                m.lambda
+                    .iter()
+                    .map(|v| (v * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>()
             )
         })
         .collect();
@@ -105,7 +107,11 @@ fn main() {
     }
     println!(
         "\nGM {} the unregularized model by {:+.3} accuracy.",
-        if acc_gm >= acc_plain { "improves on" } else { "trails" },
+        if acc_gm >= acc_plain {
+            "improves on"
+        } else {
+            "trails"
+        },
         acc_gm - acc_plain
     );
 }

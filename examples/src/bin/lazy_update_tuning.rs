@@ -54,20 +54,18 @@ fn time_schedule(lazy: LazySchedule) -> (f64, u64, u64) {
 }
 
 fn main() {
+    println!("workload: M = {M} weights, {EPOCHS} epochs x {BATCHES_PER_EPOCH} batches\n");
     println!(
-        "workload: M = {M} weights, {EPOCHS} epochs x {BATCHES_PER_EPOCH} batches\n"
+        "{:<28}{:>9}{:>10}{:>10}",
+        "schedule", "seconds", "E-steps", "M-steps"
     );
-    println!("{:<28}{:>9}{:>10}{:>10}", "schedule", "seconds", "E-steps", "M-steps");
     let schedules = [
         ("eager (Algorithm 1)", LazySchedule::eager()),
         (
             "E=2, Im=Ig=10",
             LazySchedule::new(2, 10, 10).expect("valid"),
         ),
-        (
-            "E=2, Im=Ig=50 (paper)",
-            LazySchedule::paper_default(),
-        ),
+        ("E=2, Im=Ig=50 (paper)", LazySchedule::paper_default()),
         (
             "E=2, Im=50, Ig=200",
             LazySchedule::new(2, 50, 200).expect("valid"),

@@ -31,8 +31,8 @@ fn main() {
     // Step 1: a tool for 400 weight dimensions initialized with std 0.1.
     // All hyper-parameters follow the paper's recipe (K=4, b=gamma*M,
     // alpha=M^0.5, linear initialization).
-    let mut tool = GmRegTool::new(w.len(), 0.1, GmConfig::default())
-        .expect("default configuration is valid");
+    let mut tool =
+        GmRegTool::new(w.len(), 0.1, GmConfig::default()).expect("default configuration is valid");
     println!("initial mixture: pi={:?}", tool.mixture().pi());
     println!("                 lambda={:?}", tool.mixture().lambda());
 

@@ -4,8 +4,8 @@
 
 use gmreg_core::gm::{GmConfig, GmRegularizer};
 use gmreg_core::{ElasticNetReg, HuberReg, L1Reg, L2Reg, Regularizer};
-use gmreg_data::synthetic::{small_dataset, small_dataset_suite};
 use gmreg_data::stratified_split;
+use gmreg_data::synthetic::{small_dataset, small_dataset_suite};
 use gmreg_linear::{
     blobs, default_grid, evaluate_method, grid_search_cv, LogisticRegression, LrConfig, Method,
 };
@@ -117,7 +117,11 @@ fn suite_datasets_are_deterministic_across_calls() {
 #[test]
 fn gm_handles_every_suite_dataset_without_degenerating() {
     for entry in small_dataset_suite() {
-        let ds = entry.generate().expect("generator").encode().expect("encode");
+        let ds = entry
+            .generate()
+            .expect("generator")
+            .encode()
+            .expect("encode");
         let m = ds.n_features();
         let cfg = LrConfig {
             epochs: 5,

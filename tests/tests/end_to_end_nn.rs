@@ -12,7 +12,12 @@ use gmreg_nn::{Network, Sgd, VisitParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn tiny_images(n_train: usize, n_test: usize, noise: f32, seed: u64) -> (gmreg_data::Dataset, gmreg_data::Dataset) {
+fn tiny_images(
+    n_train: usize,
+    n_test: usize,
+    noise: f32,
+    seed: u64,
+) -> (gmreg_data::Dataset, gmreg_data::Dataset) {
     ImageSpec {
         n_classes: 4,
         n_train,
@@ -41,7 +46,10 @@ fn alex_stack_overfits_tiny_clean_set() {
             .expect("epoch")
             .accuracy;
     }
-    assert!(acc > 0.9, "a working backward pass memorizes 40 images: {acc}");
+    assert!(
+        acc > 0.9,
+        "a working backward pass memorizes 40 images: {acc}"
+    );
 }
 
 #[test]
@@ -77,9 +85,10 @@ fn gm_regularized_cnn_trains_and_reports_mixtures() {
                 gamma: 0.3,
                 ..GmConfig::default()
             };
-            Some(Box::new(
-                GmRegularizer::new(dims, init_std.max(1e-3), cfg).expect("valid"),
-            ) as Box<dyn Regularizer>)
+            Some(
+                Box::new(GmRegularizer::new(dims, init_std.max(1e-3), cfg).expect("valid"))
+                    as Box<dyn Regularizer>,
+            )
         } else {
             None
         }
@@ -97,7 +106,11 @@ fn gm_regularized_cnn_trains_and_reports_mixtures() {
     assert_eq!(mixtures.len(), 4, "one mixture per weight group");
     for m in &mixtures {
         assert!((m.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{}", m.name);
-        assert!(m.lambda.iter().all(|l| l.is_finite() && *l > 0.0), "{}", m.name);
+        assert!(
+            m.lambda.iter().all(|l| l.is_finite() && *l > 0.0),
+            "{}",
+            m.name
+        );
     }
     // No EM step may have been skipped for degeneracy.
     net.visit_params(&mut |p| {

@@ -3,8 +3,9 @@
 //! soft weight-sharing inside a trainer, dropout in a network, and the
 //! metrics module on real model output.
 
-use gmreg_core::gm::{GmConfig, GmRegularizer, GmSnapshot, SoftSharingConfig, SoftSharingRegularizer};
-use gmreg_core::Regularizer;
+use gmreg_core::gm::{
+    GmConfig, GmRegularizer, GmSnapshot, SoftSharingConfig, SoftSharingRegularizer,
+};
 use gmreg_data::csv::{parse_csv, to_csv, CsvOptions};
 use gmreg_data::metrics::{roc_auc, ConfusionMatrix};
 use gmreg_data::stratified_split;
@@ -106,7 +107,8 @@ fn dropout_network_trains_and_saves() {
     );
     let mut opt = Sgd::new(0.1, 0.9).expect("valid");
     for _ in 0..15 {
-        net.train_epoch(&ds, 32, &mut opt, None, &mut rng).expect("epoch");
+        net.train_epoch(&ds, 32, &mut opt, None, &mut rng)
+            .expect("epoch");
     }
     let acc = net.evaluate(&ds, 32).expect("eval");
     assert!(acc > 0.9, "dropout net accuracy {acc}");

@@ -21,28 +21,26 @@ fn arb_spec() -> impl Strategy<Value = (TabularSpec, u64)> {
         0.0f64..0.3,
         0u64..1000,
     )
-        .prop_map(
-            |(n, inf, noise, cats, bn, ln, miss, seed)| {
-                (
-                    TabularSpec {
-                        n_samples: n,
-                        n_informative_cont: inf,
-                        n_noise_cont: noise,
-                        categorical: (0..cats)
-                            .map(|i| CatSpec {
-                                arity: 2 + i,
-                                informative: i % 2 == 0,
-                            })
-                            .collect(),
-                        boundary_noise: bn,
-                        label_noise: ln,
-                        missing_rate: miss,
-                        weak_signal: 0.1,
-                    },
-                    seed,
-                )
-            },
-        )
+        .prop_map(|(n, inf, noise, cats, bn, ln, miss, seed)| {
+            (
+                TabularSpec {
+                    n_samples: n,
+                    n_informative_cont: inf,
+                    n_noise_cont: noise,
+                    categorical: (0..cats)
+                        .map(|i| CatSpec {
+                            arity: 2 + i,
+                            informative: i % 2 == 0,
+                        })
+                        .collect(),
+                    boundary_noise: bn,
+                    label_noise: ln,
+                    missing_rate: miss,
+                    weak_signal: 0.1,
+                },
+                seed,
+            )
+        })
 }
 
 proptest! {

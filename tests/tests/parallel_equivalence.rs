@@ -1,0 +1,127 @@
+//! Property tests pinning the parallel compute layer to the serial kernels:
+//! for every random shape and worker count, the parallel E-step and the
+//! parallel matrix products must be **bit-identical** to their serial
+//! counterparts — not approximately equal. The chunked, chunk-ordered
+//! reductions make this an exact invariant, so these tests compare raw bits.
+
+#![cfg(feature = "parallel")]
+
+use gmreg_core::gm::{e_step, e_step_serial, e_step_with_threads, GaussianMixture, E_STEP_CHUNK};
+use gmreg_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn random_weights(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| (rng.random::<f64>() * 4.0 - 2.0) as f32)
+        .collect()
+}
+
+fn random_mixture(seed: u64, k: usize) -> GaussianMixture {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    let mut pi: Vec<f64> = (0..k).map(|_| rng.random::<f64>() + 0.05).collect();
+    let z: f64 = pi.iter().sum();
+    for p in pi.iter_mut() {
+        *p /= z;
+    }
+    let lambda: Vec<f64> = (0..k)
+        .map(|_| 10f64.powf(rng.random::<f64>() * 4.0 - 1.0))
+        .collect();
+    GaussianMixture::new(pi, lambda).expect("valid mixture")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Parallel E-step accumulators and g_reg are bit-identical to the
+    /// serial sweep for every thread count, with lengths straddling the
+    /// fixed chunk size (so partial chunks and chunk boundaries are hit).
+    #[test]
+    fn e_step_parallel_matches_serial_bitwise(
+        seed in 0u64..1000,
+        k in 1usize..5,
+        len_off in 0usize..200,
+        chunks in 0usize..3,
+    ) {
+        let len = 1 + len_off + chunks * E_STEP_CHUNK;
+        let w = random_weights(seed, len);
+        let gm = random_mixture(seed, k);
+
+        let mut greg_serial = vec![0.0f32; len];
+        let want = e_step_serial(&gm, &w, Some(&mut greg_serial));
+
+        for threads in THREAD_COUNTS {
+            let mut greg_par = vec![0.0f32; len];
+            let got = e_step_with_threads(&gm, &w, Some(&mut greg_par), threads);
+            prop_assert_eq!(&got, &want, "accumulators differ at {} threads", threads);
+            prop_assert_eq!(&greg_par, &greg_serial, "g_reg differs at {} threads", threads);
+        }
+
+        // The dispatching entry point (whatever pool size it picks) must
+        // agree too.
+        let mut greg_auto = vec![0.0f32; len];
+        let got = e_step(&gm, &w, Some(&mut greg_auto));
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(&greg_auto, &greg_serial);
+    }
+
+    /// All three matrix-product kernels are bit-identical to their serial
+    /// bands for every thread count on random shapes (crossing the cache
+    /// block edge and odd band splits).
+    #[test]
+    fn matmul_parallel_matches_serial_bitwise(
+        seed in 0u64..1000,
+        m in 1usize..80,
+        k in 1usize..40,
+        n in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&mut rng, [m, k], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, [k, n], 0.0, 1.0);
+        let at = Tensor::randn(&mut rng, [k, m], 0.0, 1.0);
+        let bt = Tensor::randn(&mut rng, [n, k], 0.0, 1.0);
+
+        let want = a.matmul_serial(&b).unwrap();
+        let want_tn = at.matmul_tn_serial(&b).unwrap();
+        let want_nt = a.matmul_nt_serial(&bt).unwrap();
+
+        prop_assert_eq!(a.matmul(&b).unwrap().as_slice(), want.as_slice());
+
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(
+                a.matmul_with_threads(&b, threads).unwrap().as_slice(),
+                want.as_slice(),
+                "matmul {}x{}x{} at {} threads", m, k, n, threads
+            );
+            prop_assert_eq!(
+                at.matmul_tn_with_threads(&b, threads).unwrap().as_slice(),
+                want_tn.as_slice(),
+                "matmul_tn {}x{}x{} at {} threads", m, k, n, threads
+            );
+            prop_assert_eq!(
+                a.matmul_nt_with_threads(&bt, threads).unwrap().as_slice(),
+                want_nt.as_slice(),
+                "matmul_nt {}x{}x{} at {} threads", m, k, n, threads
+            );
+        }
+    }
+
+    /// End to end: a GM-regularized sweep driven through the public e_step
+    /// on a weight vector far larger than one chunk stays deterministic
+    /// when the thread count varies.
+    #[test]
+    fn large_sweep_is_thread_count_invariant(seed in 0u64..100) {
+        let len = 3 * E_STEP_CHUNK + 1234;
+        let w = random_weights(seed, len);
+        let gm = random_mixture(seed, 3);
+        let base = e_step_with_threads(&gm, &w, None, 1);
+        for threads in [2usize, 5, 16, 64] {
+            let acc = e_step_with_threads(&gm, &w, None, threads);
+            prop_assert_eq!(&acc, &base, "threads={}", threads);
+        }
+    }
+}
