@@ -89,6 +89,7 @@ fn bench_matmul(kernel: &str, n: usize, iters: usize, threads: usize) -> KernelB
 }
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let threads = gmreg_parallel::max_threads();
     println!("pool size: {threads} worker(s)\n");
 

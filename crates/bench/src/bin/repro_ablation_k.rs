@@ -30,6 +30,7 @@ struct Point {
 }
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.small_params();
     println!("K ablation — scale {scale:?}, {params:?}\n");

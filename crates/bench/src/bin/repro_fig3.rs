@@ -9,6 +9,7 @@ use gmreg_bench::small::density_curve;
 use gmreg_data::synthetic::small_dataset;
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.small_params();
     println!("Fig. 3 reproduction — scale {scale:?}\n");

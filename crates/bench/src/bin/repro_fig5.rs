@@ -23,6 +23,7 @@ struct Fig5 {
 }
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.timing_params();
     println!("Fig. 5 reproduction — scale {scale:?}, {params:?}\n");

@@ -19,6 +19,7 @@ struct Fig6 {
 }
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.timing_params();
     println!("Fig. 6 reproduction — scale {scale:?}, {params:?}\n");

@@ -21,6 +21,7 @@ struct Fig7 {
 }
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let mut params = scale.timing_params();
     // Fig. 7 sweeps E up to 50 epochs; make sure the curves extend past the

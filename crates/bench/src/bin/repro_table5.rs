@@ -13,6 +13,7 @@ use gmreg_bench::scale::Scale;
 use gmreg_core::gm::GmConfig;
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.image_params();
     println!(

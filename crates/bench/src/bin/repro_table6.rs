@@ -22,6 +22,7 @@ struct Row {
 }
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.image_params();
     println!("Table VI reproduction — scale {scale:?}, {params:?}\n");

@@ -11,6 +11,7 @@ use gmreg_bench::small::run_dataset;
 use gmreg_data::synthetic::small_dataset_suite;
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.small_params();
     println!("Table VII reproduction — scale {scale:?}, {params:?}\n");

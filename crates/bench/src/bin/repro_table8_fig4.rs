@@ -23,6 +23,7 @@ struct Point {
 const ALPHAS: [f64; 4] = [0.3, 0.5, 0.7, 0.9];
 
 fn main() {
+    let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let scale = Scale::from_env();
     let params = scale.image_params();
     println!("Table VIII / Fig. 4 reproduction — scale {scale:?}, {params:?}\n");

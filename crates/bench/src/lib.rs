@@ -12,4 +12,5 @@ pub mod dl;
 pub mod report;
 pub mod scale;
 pub mod small;
+pub mod telemetry;
 pub mod timing;

@@ -1,0 +1,133 @@
+//! `--telemetry-out <path>` support for the reproduction binaries.
+//!
+//! Every `repro_*` binary (and `bench_pr1`) installs a [`TelemetryOut`]
+//! guard at the top of `main`. When the workspace `telemetry` feature is
+//! on (the default) and the flag was passed, the guard dumps the merged
+//! [`gmreg_telemetry::Report`] as JSON to the given path when the binary
+//! finishes. With `--no-default-features` the flag is still accepted —
+//! so scripts don't have to care how the binary was built — but a note
+//! is printed and no file is written.
+
+use std::path::PathBuf;
+
+/// Drop guard that writes the process-wide telemetry report on exit.
+///
+/// Construct it first thing in `main` via [`TelemetryOut::from_args`];
+/// the report is written when the guard is dropped (or earlier, via
+/// [`TelemetryOut::write_now`] — subsequent drops are then no-ops).
+#[derive(Debug)]
+pub struct TelemetryOut {
+    path: Option<PathBuf>,
+    written: bool,
+}
+
+impl TelemetryOut {
+    /// Parses `--telemetry-out <path>` / `--telemetry-out=<path>` from the
+    /// process arguments. Without the flag the guard does nothing.
+    pub fn from_args() -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--telemetry-out" {
+                path = args.next().map(PathBuf::from);
+                if path.is_none() {
+                    eprintln!("--telemetry-out requires a path argument; ignoring");
+                }
+            } else if let Some(p) = a.strip_prefix("--telemetry-out=") {
+                path = Some(PathBuf::from(p));
+            }
+        }
+        TelemetryOut {
+            path,
+            written: false,
+        }
+    }
+
+    /// A guard that writes to an explicit path (used by tests).
+    pub fn to_path(path: PathBuf) -> Self {
+        TelemetryOut {
+            path: Some(path),
+            written: false,
+        }
+    }
+
+    /// Whether a report will be written on drop.
+    pub fn is_active(&self) -> bool {
+        !self.written && self.path.is_some()
+    }
+
+    /// Writes the report immediately. Errors are reported on stderr rather
+    /// than panicking — telemetry must never fail an experiment run.
+    pub fn write_now(&mut self) {
+        if self.written {
+            return;
+        }
+        self.written = true;
+        let Some(path) = self.path.as_ref() else {
+            return;
+        };
+        self.emit(path);
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn emit(&self, path: &std::path::Path) {
+        let report = gmreg_telemetry::snapshot();
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("telemetry report written to {}", path.display()),
+            Err(e) => eprintln!("failed to write telemetry report {}: {e}", path.display()),
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    fn emit(&self, path: &std::path::Path) {
+        eprintln!(
+            "--telemetry-out {} ignored: built without the `telemetry` feature",
+            path.display()
+        );
+    }
+}
+
+impl Drop for TelemetryOut {
+    fn drop(&mut self) {
+        self.write_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_without_flag() {
+        // Test binaries receive harness args, never --telemetry-out.
+        let t = TelemetryOut::from_args();
+        assert!(!t.is_active());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn writes_json_report_on_drop() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gmreg_telemetry_out_test.json");
+        let _ = std::fs::remove_file(&path);
+        gmreg_telemetry::counter_inc("bench.test.marker");
+        {
+            let _t = TelemetryOut::to_path(path.clone());
+        }
+        let body = std::fs::read_to_string(&path).expect("report file written");
+        assert!(body.contains("\"counters\""));
+        assert!(body.contains("bench.test.marker"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_now_is_idempotent() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gmreg_telemetry_out_idem.json");
+        let mut t = TelemetryOut::to_path(path.clone());
+        t.write_now();
+        assert!(!t.is_active());
+        t.write_now(); // second call must be a no-op
+        let _ = std::fs::remove_file(&path);
+    }
+}

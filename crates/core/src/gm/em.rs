@@ -2,6 +2,7 @@
 //! vector and the closed-form, prior-smoothed M-step (Eq. 13 and Eq. 17).
 
 use crate::gm::mixture::GaussianMixture;
+use crate::tele;
 
 /// Per-component sufficient statistics gathered by an E-step sweep:
 /// `resp_sum[k] = Σ_m r_k(w_m)` and `resp_wsq_sum[k] = Σ_m r_k(w_m)·w_m²`.
@@ -23,6 +24,26 @@ impl EmAccumulators {
             resp_wsq_sum: vec![0.0; k],
             m: 0,
         }
+    }
+
+    /// Shannon entropy (nats) of the aggregate responsibility mass
+    /// `resp_sum / M` — 0 when one component claims every weight, `ln K`
+    /// when the mass is uniform. Telemetry tracks this per E-step as a
+    /// cheap collapse indicator; returns 0 for empty accumulators.
+    pub fn mixing_entropy(&self) -> f64 {
+        let total: f64 = self.resp_sum.iter().sum();
+        if total.is_nan() || total <= 0.0 {
+            return 0.0;
+        }
+        -self
+            .resp_sum
+            .iter()
+            .filter(|&&r| r > 0.0)
+            .map(|&r| {
+                let p = r / total;
+                p * p.ln()
+            })
+            .sum::<f64>()
     }
 }
 
@@ -77,6 +98,8 @@ pub fn e_step_with_scratch(
     if let Some(out) = greg_out.as_deref() {
         assert_eq!(out.len(), w.len(), "greg buffer must match weight length");
     }
+    let _t = tele::span("gm.em.sweep.ns");
+    tele::counter_add("gm.em.sweep.weights", w.len() as u64);
     let k = gm.k();
     prepare_log_base(gm, &mut scratch.log_base);
 
@@ -532,6 +555,19 @@ mod tests {
         // bounded by roughly (2(a-1) + M) / 2b
         let bound = (2.0 * (0.01 * b) + 1000.0) / (2.0 * b);
         assert!(lambda[0] <= bound * 1.001, "{} vs {bound}", lambda[0]);
+    }
+
+    #[test]
+    fn mixing_entropy_bounds() {
+        let mut acc = EmAccumulators::zeros(2);
+        assert_eq!(acc.mixing_entropy(), 0.0, "empty accumulators");
+        acc.resp_sum = vec![5.0, 5.0];
+        assert!((acc.mixing_entropy() - 2f64.ln()).abs() < 1e-12, "uniform");
+        acc.resp_sum = vec![10.0, 0.0];
+        assert_eq!(acc.mixing_entropy(), 0.0, "collapsed");
+        acc.resp_sum = vec![9.0, 1.0];
+        let h = acc.mixing_entropy();
+        assert!(h > 0.0 && h < 2f64.ln(), "skewed mass in (0, ln 2): {h}");
     }
 
     #[test]

@@ -89,6 +89,49 @@ impl LazySchedule {
     pub fn steady_state_e_rate(&self) -> f64 {
         1.0 / self.im as f64
     }
+
+    /// Fraction of iterations that run the M-step once warmup is over.
+    pub fn steady_state_m_rate(&self) -> f64 {
+        1.0 / self.ig as f64
+    }
+
+    /// Exact number of E-steps Algorithm 2 fires over iterations
+    /// `0..total_iterations` with `batches_per_epoch` iterations per epoch
+    /// (`epoch = it / batches_per_epoch`, matching the training loops).
+    ///
+    /// Warmup iterations (`epoch < E`) all fire; outside warmup exactly the
+    /// multiples of `Im` fire, and the two sets overlap on the multiples
+    /// that fall inside warmup:
+    /// `warm + ⌈total/Im⌉ − ⌈warm/Im⌉` with
+    /// `warm = min(E·batches_per_epoch, total)`.
+    ///
+    /// This is the prediction the telemetry-measured
+    /// `gm.e_step.runs / gm.e_step.decisions` ratio is pinned against.
+    pub fn predicted_e_steps(&self, total_iterations: u64, batches_per_epoch: u64) -> u64 {
+        Self::predicted_fires(
+            self.warmup_epochs,
+            self.im,
+            total_iterations,
+            batches_per_epoch,
+        )
+    }
+
+    /// Exact number of M-steps over `0..total_iterations`; see
+    /// [`Self::predicted_e_steps`].
+    pub fn predicted_m_steps(&self, total_iterations: u64, batches_per_epoch: u64) -> u64 {
+        Self::predicted_fires(
+            self.warmup_epochs,
+            self.ig,
+            total_iterations,
+            batches_per_epoch,
+        )
+    }
+
+    fn predicted_fires(warmup_epochs: u64, interval: u64, total: u64, bpe: u64) -> u64 {
+        debug_assert!(bpe > 0, "batches_per_epoch must be positive");
+        let warm = warmup_epochs.saturating_mul(bpe).min(total);
+        warm + total.div_ceil(interval) - warm.div_ceil(interval)
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +195,86 @@ mod tests {
         // 2 warmup epochs (200 every-step) + 8 epochs at 1/10 and 1/20.
         assert_eq!(e_steps, 200 + 80);
         assert_eq!(m_steps, 200 + 40);
+    }
+
+    /// Explicitly simulates the Algorithm 2 decision sequence and counts
+    /// fires — the ground truth the closed forms are pinned against.
+    fn simulate(s: &LazySchedule, total: u64, bpe: u64) -> (u64, u64) {
+        let mut e = 0;
+        let mut m = 0;
+        for it in 0..total {
+            let epoch = it / bpe;
+            if s.run_e_step(it, epoch) {
+                e += 1;
+            }
+            if s.run_m_step(it, epoch) {
+                m += 1;
+            }
+        }
+        (e, m)
+    }
+
+    #[test]
+    fn predicted_counts_match_simulated_schedule() {
+        // Sweep warmup/interval/run-length combinations, including the
+        // off-by-one traps: total not a multiple of bpe or the intervals,
+        // warmup longer than the run, interval 1, and interval > total.
+        for &(warmup, im, ig) in &[
+            (0u64, 1u64, 1u64),
+            (0, 7, 13),
+            (1, 10, 20),
+            (2, 50, 50),
+            (3, 50, 100),
+            (5, 3, 9),
+            (100, 10, 10),   // warmup never ends
+            (1, 1000, 1000), // interval longer than the run
+        ] {
+            let s = LazySchedule::new(warmup, im, ig).unwrap();
+            for &(total, bpe) in &[
+                (1u64, 1u64),
+                (50, 10),
+                (99, 10),
+                (100, 10),
+                (101, 10),
+                (997, 31),
+                (1000, 50),
+            ] {
+                let (e, m) = simulate(&s, total, bpe);
+                assert_eq!(
+                    s.predicted_e_steps(total, bpe),
+                    e,
+                    "E mismatch: warmup={warmup} im={im} total={total} bpe={bpe}"
+                );
+                assert_eq!(
+                    s.predicted_m_steps(total, bpe),
+                    m,
+                    "M mismatch: warmup={warmup} ig={ig} total={total} bpe={bpe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eager_prediction_is_every_iteration() {
+        let s = LazySchedule::eager();
+        // warmup_epochs = u64::MAX must not overflow the closed form.
+        assert_eq!(s.predicted_e_steps(12_345, 100), 12_345);
+        assert_eq!(s.predicted_m_steps(12_345, 100), 12_345);
+    }
+
+    #[test]
+    fn steady_state_rates_match_long_run_frequency() {
+        // Past warmup the measured fire frequency converges to the
+        // steady-state rates — the agreement the telemetry report asserts
+        // end-to-end (satellite: lazy overhead ratio vs. prediction).
+        let s = LazySchedule::new(2, 50, 100).unwrap();
+        let bpe = 100u64;
+        let warm = 2 * bpe;
+        let total = warm + 100_000;
+        let (e, m) = simulate(&s, total, bpe);
+        let e_rate = (e - warm) as f64 / (total - warm) as f64;
+        let m_rate = (m - warm) as f64 / (total - warm) as f64;
+        assert!((e_rate - s.steady_state_e_rate()).abs() < 1e-3, "{e_rate}");
+        assert!((m_rate - s.steady_state_m_rate()).abs() < 1e-3, "{m_rate}");
     }
 }

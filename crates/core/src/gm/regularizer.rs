@@ -7,6 +7,7 @@ use crate::gm::em::{e_step_with_scratch, m_step, EStepScratch, EmAccumulators};
 use crate::gm::merge::effective_mixture;
 use crate::gm::mixture::GaussianMixture;
 use crate::regularizer::{Regularizer, StepCtx};
+use crate::tele;
 
 /// Adaptive Gaussian-Mixture regularization for one parameter group
 /// (typically one layer's weights).
@@ -216,6 +217,8 @@ impl Regularizer for GmRegularizer {
     }
 
     fn penalty(&self, w: &[f32]) -> f64 {
+        tele::counter_inc("gm.penalty.calls");
+        let _t = tele::span("gm.penalty.ns");
         self.gm.neg_log_prior(w)
     }
 
@@ -231,12 +234,23 @@ impl Regularizer for GmRegularizer {
             "weight vector length changed under a GM regularizer"
         );
         self.grad_calls += 1;
+        tele::counter_inc("gm.grad.calls");
 
         // E-step (Algorithm 2 lines 4-7). The very first call always runs it
         // because iteration 0 satisfies `it mod Im == 0`.
+        tele::counter_inc("gm.e_step.decisions");
         if self.config.lazy.run_e_step(ctx.iteration, ctx.epoch) {
-            self.acc = e_step_with_scratch(&self.gm, w, Some(&mut self.greg), &mut self.scratch);
+            tele::counter_inc("gm.e_step.runs");
+            {
+                let _t = tele::span("gm.e_step.ns");
+                self.acc =
+                    e_step_with_scratch(&self.gm, w, Some(&mut self.greg), &mut self.scratch);
+            }
             self.e_steps += 1;
+            #[cfg(feature = "telemetry")]
+            tele::histogram_record("gm.resp.entropy", self.acc.mixing_entropy());
+        } else {
+            tele::counter_inc("gm.e_step.skips");
         }
 
         // Gradient uses the cached g_reg (line 8).
@@ -245,17 +259,47 @@ impl Regularizer for GmRegularizer {
         }
 
         // M-step (lines 9-11) reuses the most recent responsibilities.
-        if self.config.lazy.run_m_step(ctx.iteration, ctx.epoch) && self.acc.m > 0 {
-            let (pi, lambda) = m_step(&self.acc, self.a, self.b, &self.alpha);
-            // The clamps in m_step keep the update valid for finite inputs;
-            // if the *weights* have gone non-finite (a diverging host model)
-            // the statistics poison the update. Freeze the mixture instead
-            // of propagating the corruption.
-            if self.gm.set_params(pi, lambda).is_ok() {
-                self.m_steps += 1;
-            } else {
-                self.degenerate_skips += 1;
+        if self.config.lazy.run_m_step(ctx.iteration, ctx.epoch) {
+            tele::counter_inc("gm.m_step.scheduled");
+            if self.acc.m > 0 {
+                tele::counter_inc("gm.m_step.runs");
+                let _t = tele::span("gm.m_step.ns");
+                let (pi, lambda) = m_step(&self.acc, self.a, self.b, &self.alpha);
+                // π drift (L1) and λ drift (max |log ratio|) per update feed
+                // the convergence histograms; computed only when the metric
+                // sink exists.
+                #[cfg(feature = "telemetry")]
+                {
+                    let pi_drift: f64 = self
+                        .gm
+                        .pi()
+                        .iter()
+                        .zip(&pi)
+                        .map(|(old, new)| (old - new).abs())
+                        .sum();
+                    let lambda_drift = self
+                        .gm
+                        .lambda()
+                        .iter()
+                        .zip(&lambda)
+                        .map(|(old, new)| (new / old).ln().abs())
+                        .fold(0.0f64, f64::max);
+                    tele::histogram_record("gm.pi.drift.l1", pi_drift);
+                    tele::histogram_record("gm.lambda.drift.log", lambda_drift);
+                }
+                // The clamps in m_step keep the update valid for finite
+                // inputs; if the *weights* have gone non-finite (a diverging
+                // host model) the statistics poison the update. Freeze the
+                // mixture instead of propagating the corruption.
+                if self.gm.set_params(pi, lambda).is_ok() {
+                    self.m_steps += 1;
+                } else {
+                    self.degenerate_skips += 1;
+                    tele::counter_inc("gm.m_step.degenerate_skips");
+                }
             }
+        } else {
+            tele::counter_inc("gm.m_step.skips");
         }
     }
 }

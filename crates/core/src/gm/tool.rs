@@ -11,6 +11,7 @@ use crate::error::Result;
 use crate::gm::mixture::GaussianMixture;
 use crate::gm::regularizer::GmRegularizer;
 use crate::gm::GmConfig;
+use crate::tele;
 
 /// Manual-cadence façade over the GM regularizer, mirroring the paper's
 /// `calResponsibility` / `calcRegGrad` / `uptGMParam` functions.
@@ -43,6 +44,8 @@ impl GmRegTool {
     /// every weight dimension (Eq. 9) — an `M × K` row-major matrix.
     pub fn cal_responsibility(&self, w: &[f32]) -> Result<Vec<Vec<f64>>> {
         self.check(w)?;
+        tele::counter_inc("gm.tool.cal_responsibility.calls");
+        let _t = tele::span("gm.tool.cal_responsibility.ns");
         let gm = self.inner.mixture();
         let mut rows = Vec::with_capacity(w.len());
         let mut buf = Vec::new();
@@ -57,6 +60,8 @@ impl GmRegTool {
     /// the current mixture, freshly computed (no lazy cache).
     pub fn calc_reg_grad(&mut self, w: &[f32]) -> Result<Vec<f32>> {
         self.check(w)?;
+        tele::counter_inc("gm.tool.calc_reg_grad.calls");
+        let _t = tele::span("gm.tool.calc_reg_grad.ns");
         let gm = self.inner.mixture();
         Ok(w.iter()
             .map(|&wv| (gm.reg_coefficient(wv as f64) * wv as f64) as f32)
@@ -66,6 +71,8 @@ impl GmRegTool {
     /// `uptGMParam()`: one full EM step (E-step sweep + M-step refresh) of
     /// the mixture parameters against the supplied weights.
     pub fn upt_gm_param(&mut self, w: &[f32]) -> Result<()> {
+        tele::counter_inc("gm.tool.upt_gm_param.calls");
+        let _t = tele::span("gm.tool.upt_gm_param.ns");
         self.inner.force_e_step(w)?;
         self.inner.force_m_step()
     }

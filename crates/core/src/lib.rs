@@ -35,6 +35,7 @@ mod baselines;
 mod error;
 pub mod gm;
 mod regularizer;
+mod tele;
 
 pub use baselines::{ElasticNetReg, HuberReg, L1Reg, L2Reg};
 pub use error::{CoreError, Result};

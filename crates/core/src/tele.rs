@@ -1,0 +1,48 @@
+//! Feature-gated telemetry facade: re-exports `gmreg-telemetry` when the
+//! `telemetry` feature is enabled and compiles to inlined no-ops otherwise,
+//! so instrumented call sites need no `cfg` of their own. Computations that
+//! exist only to feed a metric (entropy, drift) must still sit inside a
+//! `#[cfg(feature = "telemetry")]` block — a no-op function does not stop
+//! its arguments from being evaluated.
+
+#![allow(unused_imports, dead_code)]
+
+#[cfg(feature = "telemetry")]
+pub(crate) use gmreg_telemetry::{
+    counter_add, counter_inc, gauge_set, histogram_record, span, Span,
+};
+
+#[cfg(not(feature = "telemetry"))]
+mod noop {
+    /// Zero-cost stand-in for the telemetry span guard.
+    #[must_use = "a span measures the scope it is bound to"]
+    pub struct Span;
+
+    impl Span {
+        /// Always 0 without the `telemetry` feature.
+        #[inline(always)]
+        pub fn elapsed_ns(&self) -> u64 {
+            0
+        }
+    }
+
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    pub fn counter_inc(_name: &'static str) {}
+
+    #[inline(always)]
+    pub fn gauge_set(_name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    pub fn histogram_record(_name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+pub(crate) use noop::*;

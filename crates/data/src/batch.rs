@@ -2,6 +2,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::{DataError, Result};
+use crate::tele;
 use gmreg_tensor::{shuffled_indices, Tensor};
 use rand::Rng;
 
@@ -87,6 +88,8 @@ impl Batcher {
             });
         }
         let hi = (lo + self.batch_size).min(self.order.len());
+        tele::counter_inc("data.batches.materialized");
+        tele::counter_add("data.samples.materialized", (hi - lo) as u64);
         let sub = ds.subset(&self.order[lo..hi])?;
         Ok(Batch {
             y: sub.y().to_vec(),

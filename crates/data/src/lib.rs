@@ -27,6 +27,7 @@ mod error;
 pub mod metrics;
 mod split;
 pub mod synthetic;
+mod tele;
 
 pub use augment::Augment;
 pub use batch::{Batch, Batcher};

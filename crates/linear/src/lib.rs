@@ -18,6 +18,7 @@ mod error;
 mod gridsearch;
 mod logistic;
 mod softmax;
+mod tele;
 
 pub use error::{LinearError, Result};
 pub use gridsearch::{

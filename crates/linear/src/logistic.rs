@@ -2,6 +2,7 @@
 //! the paper's small-dataset comparison (Table VII).
 
 use crate::error::{LinearError, Result};
+use crate::tele;
 use gmreg_core::{Regularizer, StepCtx};
 use gmreg_data::{Batcher, Dataset};
 use gmreg_tensor::{SampleExt, Tensor};
@@ -213,6 +214,8 @@ impl LogisticRegression {
     /// regularizer once per step with the iteration/epoch counters that
     /// feed the GM lazy schedule.
     pub fn fit(&mut self, ds: &Dataset) -> Result<FitStats> {
+        tele::counter_inc("linear.logistic.fit.calls");
+        let _t = tele::span("linear.logistic.fit.ns");
         check_binary(ds)?;
         if ds.n_features() != self.w.len() {
             return Err(LinearError::DimensionMismatch {
@@ -240,6 +243,7 @@ impl LogisticRegression {
                 epoch_loss += loss;
                 epoch_hits += hits;
                 it += 1;
+                tele::counter_inc("linear.logistic.iterations");
             }
             if let Some(r) = self.regularizer.as_mut() {
                 r.end_epoch();

@@ -4,6 +4,7 @@
 
 use crate::error::{LinearError, Result};
 use crate::logistic::LrConfig;
+use crate::tele;
 use gmreg_core::{Regularizer, StepCtx};
 use gmreg_data::{Batcher, Dataset};
 use gmreg_tensor::SampleExt;
@@ -125,6 +126,8 @@ impl SoftmaxRegression {
 
     /// Trains with mini-batch SGD + momentum.
     pub fn fit(&mut self, ds: &Dataset) -> Result<f64> {
+        tele::counter_inc("linear.softmax.fit.calls");
+        let _t = tele::span("linear.softmax.fit.ns");
         if ds.n_classes() != self.c {
             return Err(LinearError::InvalidConfig {
                 field: "dataset",
@@ -153,6 +156,7 @@ impl SoftmaxRegression {
                 let batch = b?;
                 epoch_loss += self.step(batch.x.as_slice(), &batch.y, it, epoch as u64, eff_scale);
                 it += 1;
+                tele::counter_inc("linear.softmax.iterations");
             }
             if let Some(r) = self.regularizer.as_mut() {
                 r.end_epoch();

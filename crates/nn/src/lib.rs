@@ -36,6 +36,7 @@ mod pool;
 mod residual;
 mod sequential;
 mod serialize;
+mod tele;
 
 pub use activation::{Flatten, ReLU};
 pub use batchnorm::BatchNorm2d;

@@ -6,6 +6,7 @@ use crate::layer::Layer;
 use crate::loss::{accuracy, SoftmaxCrossEntropy};
 use crate::optimizer::Sgd;
 use crate::param::{Param, VisitParams};
+use crate::tele;
 use gmreg_core::Regularizer;
 use gmreg_data::{Augment, Batcher, Dataset};
 use gmreg_tensor::Tensor;
@@ -81,6 +82,8 @@ impl Network {
     /// Runs one forward/backward/step cycle on a batch; returns the batch's
     /// data-misfit loss.
     pub fn train_batch(&mut self, x: &Tensor, y: &[usize], opt: &mut Sgd) -> Result<f64> {
+        tele::counter_inc("nn.train_batch.calls");
+        let _t = tele::span("nn.train_batch.ns");
         let logits = self.net.forward(x, true)?;
         let loss = self.loss.forward(&logits, y)?;
         let dlogits = self.loss.backward()?;
@@ -99,6 +102,7 @@ impl Network {
         augment: Option<&Augment>,
         rng: &mut impl Rng,
     ) -> Result<EpochStats> {
+        let _t = tele::span("nn.train_epoch.ns");
         let batcher = Batcher::new(ds, batch_size, rng)?;
         let mut total_loss = 0.0;
         let mut total_acc = 0.0;
@@ -112,11 +116,15 @@ impl Network {
             total_acc += self.loss.cached_accuracy()?;
         }
         opt.end_epoch(&mut *self.net);
-        Ok(EpochStats {
+        tele::counter_inc("nn.epochs");
+        let stats = EpochStats {
             loss: total_loss / n_batches as f64,
             accuracy: total_acc / n_batches as f64,
             batches: n_batches,
-        })
+        };
+        tele::gauge_set("nn.epoch.loss", stats.loss);
+        tele::gauge_set("nn.epoch.accuracy", stats.accuracy);
+        Ok(stats)
     }
 
     /// Classification accuracy on a dataset (evaluation mode, batched).

@@ -3,6 +3,7 @@
 
 use crate::error::{NnError, Result};
 use crate::param::{Param, VisitParams};
+use crate::tele;
 use gmreg_core::StepCtx;
 
 /// Below this many scalar parameters (totalled across groups) a step stays
@@ -92,6 +93,14 @@ impl Sgd {
         self.epoch
     }
 
+    /// Restores the iteration / epoch counters when resuming from a
+    /// checkpoint, so the lazy schedule continues exactly where the
+    /// interrupted run stopped.
+    pub fn resume_at(&mut self, iteration: u64, epoch: u64) {
+        self.iteration = iteration;
+        self.epoch = epoch;
+    }
+
     /// Applies one SGD step to every parameter of `model`.
     ///
     /// With the `parallel` feature, models with several parameter groups
@@ -99,6 +108,8 @@ impl Sgd {
     /// Groups are independent — each owns its weights, buffers and
     /// regularizer state — so the result is identical to the serial order.
     pub fn step(&mut self, model: &mut dyn VisitParams) {
+        tele::counter_inc("sgd.steps");
+        let _t = tele::span("sgd.step.ns");
         let ctx = StepCtx::new(self.iteration, self.epoch);
         let (lr, mu) = (self.lr, self.momentum);
         #[cfg(feature = "parallel")]

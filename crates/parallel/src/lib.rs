@@ -30,6 +30,8 @@
 //! that every worker receives at least a minimum amount of work — small
 //! problems stay on the calling thread with no spawn at all.
 
+mod tele;
+
 use std::sync::OnceLock;
 
 /// Process-wide thread ceiling, resolved once.
@@ -97,16 +99,25 @@ where
     if threads <= 1 {
         return (0..n_chunks).map(f).collect();
     }
+    tele::counter_inc("pool.forks");
+    tele::gauge_set("pool.threads", threads as f64);
+    let _fork = tele::span("pool.fork.ns");
     std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = (1..threads)
             .map(|w| {
                 let (lo, hi) = split_range(n_chunks, threads, w);
-                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                s.spawn(move || {
+                    let _t = tele::span("pool.worker.ns");
+                    tele::counter_add("pool.tasks", (hi - lo) as u64);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
             })
             .collect();
         // The calling thread computes worker 0's range while the pool runs.
         let (lo, hi) = split_range(n_chunks, threads, 0);
+        let _t = tele::span("pool.worker.ns");
+        tele::counter_add("pool.tasks", (hi - lo) as u64);
         let mut out = Vec::with_capacity(n_chunks);
         out.extend((lo..hi).map(f));
         for h in handles {
@@ -135,6 +146,9 @@ where
         }
         return;
     }
+    tele::counter_inc("pool.forks");
+    tele::gauge_set("pool.threads", threads as f64);
+    let _fork = tele::span("pool.fork.ns");
     std::thread::scope(|s| {
         let f = &f;
         // Peel contiguous ranges off the slice; the calling thread keeps
@@ -145,12 +159,16 @@ where
             let (mine, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
             rest = tail;
             s.spawn(move || {
+                let _t = tele::span("pool.worker.ns");
+                tele::counter_add("pool.tasks", mine.len() as u64);
                 for (i, p) in mine.iter_mut().enumerate() {
                     f(lo + i, p);
                 }
             });
         }
         assert!(rest.is_empty(), "range partition must cover all parts");
+        let _t = tele::span("pool.worker.ns");
+        tele::counter_add("pool.tasks", head.len() as u64);
         for (i, p) in head.iter_mut().enumerate() {
             f(i, p);
         }

@@ -1,0 +1,659 @@
+//! # gmreg-telemetry
+//!
+//! Zero-dependency metrics and tracing for the gmreg workspace: counters,
+//! gauges, histograms with a fixed logarithmic bucket layout, and monotonic
+//! span timers.
+//!
+//! ## Design
+//!
+//! The hot path never takes a lock. Every thread records into its own
+//! [`thread_local!`] sink — plain maps and a fixed-capacity ring buffer of
+//! span events — so recording costs one TLS access plus a hash insert.
+//! Sinks drain into the process-wide registry in exactly two situations:
+//!
+//! 1. the owning thread exits (the TLS destructor flushes — this is what
+//!    makes short-lived `gmreg-parallel` scope workers observable), or
+//! 2. the thread calls [`flush`] / [`snapshot`] explicitly.
+//!
+//! Draining is **deterministic**: metrics are merged name-sorted
+//! (counters add, histograms add bucket-wise, gauges last-flush-wins) and
+//! span events are ordered by `(thread id, per-thread sequence number)`,
+//! so the same sequence of recordings always produces the same report
+//! layout regardless of interleaving.
+//!
+//! [`snapshot`] folds the calling thread's sink plus everything already
+//! flushed into a [`Report`], which renders itself as JSON
+//! ([`Report::to_json`]) or an aligned human-readable table
+//! ([`Report::render`]).
+//!
+//! ## Overhead budget
+//!
+//! A counter bump is a TLS lookup and a `u64` add (single-digit
+//! nanoseconds); a span is two `Instant::now()` calls plus a histogram
+//! insert. Consumers compile the whole crate out behind their `telemetry`
+//! feature, so the `--no-default-features` build pays nothing at all.
+//! Recording can also be suppressed at runtime with [`set_enabled`] to
+//! measure the instrumentation's own cost.
+//!
+//! ```
+//! gmreg_telemetry::reset();
+//! gmreg_telemetry::counter_add("demo.calls", 2);
+//! {
+//!     let _t = gmreg_telemetry::span("demo.work.ns");
+//! }
+//! let report = gmreg_telemetry::snapshot();
+//! assert_eq!(report.counter("demo.calls"), 2);
+//! assert_eq!(report.histogram("demo.work.ns").unwrap().count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod report;
+
+pub use report::{Bucket, HistogramSummary, Report, SpanEvent};
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of histogram buckets: one underflow bucket plus one bucket per
+/// power-of-two in `2^-30 ..= 2^40`. The layout is fixed so histograms from
+/// different threads (and different runs) merge bucket-for-bucket.
+pub const HIST_BUCKETS: usize = 72;
+
+/// Smallest bucketed exponent: values below `2^-30` (and non-positive
+/// values) land in the underflow bucket 0.
+const HIST_MIN_EXP: i32 = -30;
+/// Largest bucketed exponent: values at or above `2^40` land in the last
+/// bucket.
+const HIST_MAX_EXP: i32 = 40;
+
+/// Per-thread span ring capacity; the oldest events are overwritten and
+/// counted in [`Report::dropped_spans`].
+pub const SPAN_RING_CAP: usize = 1024;
+
+/// Upper bound on span events retained in the global registry.
+const GLOBAL_SPAN_CAP: usize = 16 * SPAN_RING_CAP;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+/// Globally enables or disables recording. Disabled recording is a single
+/// relaxed atomic load; spans become empty guards. Used by overhead-budget
+/// measurements; defaults to enabled.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotonic epoch shared by every span so event timestamps are mutually
+/// comparable within a process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One histogram: exact count/sum/min/max plus the fixed bucket layout.
+#[derive(Debug, Clone)]
+pub(crate) struct Hist {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub buckets: Box<[u64; HIST_BUCKETS]>,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Box::new([0; HIST_BUCKETS]),
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Bucket index for a value under the fixed layout: bucket 0 holds
+/// everything below `2^-30` (including zero and negatives); bucket `i`
+/// (1 ≤ i < [`HIST_BUCKETS`]) holds `2^(i-31) ≤ v < 2^(i-30)`, with the
+/// last bucket absorbing the overflow.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 2f64.powi(HIST_MIN_EXP) {
+        return 0;
+    }
+    let e = (v.log2().floor() as i32).clamp(HIST_MIN_EXP, HIST_MAX_EXP);
+    (e - HIST_MIN_EXP) as usize + 1
+}
+
+/// Inclusive upper edge of bucket `i` (the `le` field of the emitted
+/// layout). Bucket 0's edge is `2^-30`; the last bucket's edge is
+/// `+inf`-like and reported as `2^41`.
+pub fn bucket_upper_edge(i: usize) -> f64 {
+    2f64.powi(HIST_MIN_EXP + i as i32)
+}
+
+/// The per-thread sink: aggregated metrics plus the span event ring.
+struct Sink {
+    thread: u32,
+    seq: u64,
+    counters: HashMap<&'static str, u64>,
+    gauges: HashMap<&'static str, f64>,
+    hists: HashMap<&'static str, Hist>,
+    ring: Vec<SpanEvent>,
+    ring_head: usize,
+    dropped: u64,
+}
+
+impl Sink {
+    fn new() -> Self {
+        Sink {
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            seq: 0,
+            counters: HashMap::new(),
+            gauges: HashMap::new(),
+            hists: HashMap::new(),
+            ring: Vec::new(),
+            ring_head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push_event(&mut self, name: &'static str, start_ns: u64, dur_ns: u64) {
+        let ev = SpanEvent {
+            name,
+            thread: self.thread,
+            seq: self.seq,
+            start_ns,
+            dur_ns,
+        };
+        self.seq += 1;
+        if self.ring.len() < SPAN_RING_CAP {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.ring_head] = ev;
+            self.ring_head = (self.ring_head + 1) % SPAN_RING_CAP;
+            self.dropped += 1;
+        }
+    }
+
+    /// Moves everything recorded so far into the global registry, leaving
+    /// the sink empty (thread id and sequence counter persist).
+    fn drain_into(&mut self, reg: &mut Registry) {
+        for (name, v) in self.counters.drain() {
+            *reg.counters.entry(name).or_insert(0) += v;
+        }
+        reg.flush_seq += 1;
+        let fs = reg.flush_seq;
+        for (name, v) in self.gauges.drain() {
+            reg.gauges.insert(name, (fs, v));
+        }
+        for (name, h) in self.hists.drain() {
+            reg.hists.entry(name).or_insert_with(Hist::new).merge(&h);
+        }
+        reg.dropped_spans += self.dropped;
+        self.dropped = 0;
+        // Chronological per-thread order: oldest ring entry first.
+        let head = self.ring_head;
+        let n = self.ring.len();
+        for i in 0..n {
+            let ev = self.ring[(head + i) % n];
+            if reg.spans.len() < GLOBAL_SPAN_CAP {
+                reg.spans.push(ev);
+            } else {
+                reg.dropped_spans += 1;
+            }
+        }
+        self.ring.clear();
+        self.ring_head = 0;
+    }
+}
+
+/// Wrapper whose TLS destructor flushes the sink when the thread exits —
+/// scoped pool workers die right after their fork-join, and this is what
+/// carries their measurements back.
+struct SinkHolder(Sink);
+
+impl Drop for SinkHolder {
+    fn drop(&mut self) {
+        if let Ok(mut reg) = registry().lock() {
+            self.0.drain_into(&mut reg);
+        }
+    }
+}
+
+thread_local! {
+    static SINK: RefCell<SinkHolder> = RefCell::new(SinkHolder(Sink::new()));
+}
+
+/// Runs `f` against this thread's sink; a no-op if recording is disabled
+/// or the TLS slot is already being destroyed.
+fn with_sink(f: impl FnOnce(&mut Sink)) {
+    if !is_enabled() {
+        return;
+    }
+    let _ = SINK.try_with(|s| {
+        if let Ok(mut holder) = s.try_borrow_mut() {
+            f(&mut holder.0);
+        }
+    });
+}
+
+/// The process-wide merged state. Only touched on flush and drain, never
+/// on the recording path.
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, (u64, f64)>,
+    hists: BTreeMap<&'static str, Hist>,
+    spans: Vec<SpanEvent>,
+    dropped_spans: u64,
+    flush_seq: u64,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            spans: Vec::new(),
+            dropped_spans: 0,
+            flush_seq: 0,
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+/// Adds `delta` to the named counter.
+pub fn counter_add(name: &'static str, delta: u64) {
+    with_sink(|s| *s.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Adds 1 to the named counter.
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Sets the named gauge to `value` (last write wins; gauges are intended
+/// for single-writer use such as "current thread count").
+pub fn gauge_set(name: &'static str, value: f64) {
+    with_sink(|s| {
+        s.gauges.insert(name, value);
+    });
+}
+
+/// Records one observation into the named histogram. Non-finite values are
+/// dropped.
+pub fn histogram_record(name: &'static str, value: f64) {
+    with_sink(|s| s.hists.entry(name).or_insert_with(Hist::new).record(value));
+}
+
+/// A monotonic span timer. Records its elapsed nanoseconds into the
+/// histogram it was opened under when dropped, and appends a [`SpanEvent`]
+/// to the thread's ring buffer.
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Elapsed nanoseconds so far (0 when recording is disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start
+            .map(|s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let start_ns = start
+            .duration_since(epoch())
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let name = self.name;
+        with_sink(|s| {
+            s.hists
+                .entry(name)
+                .or_insert_with(Hist::new)
+                .record(dur_ns as f64);
+            s.push_event(name, start_ns, dur_ns);
+        });
+    }
+}
+
+/// Opens a span timer; by convention the name ends in `.ns` since the
+/// recorded histogram holds nanoseconds.
+pub fn span(name: &'static str) -> Span {
+    let start = if is_enabled() {
+        epoch(); // pin the epoch before the span's own start
+        Some(Instant::now())
+    } else {
+        None
+    };
+    Span { name, start }
+}
+
+/// Flushes the calling thread's sink into the global registry. Other live
+/// threads flush when they exit or call this themselves.
+pub fn flush() {
+    let _ = SINK.try_with(|s| {
+        if let Ok(mut holder) = s.try_borrow_mut() {
+            if let Ok(mut reg) = registry().lock() {
+                holder.0.drain_into(&mut reg);
+            }
+        }
+    });
+}
+
+/// Flushes the calling thread and returns the merged state as a
+/// [`Report`], in deterministic drain order: metrics sorted by name, span
+/// events by `(thread, sequence)`.
+pub fn snapshot() -> Report {
+    flush();
+    let reg = registry().lock().expect("telemetry registry poisoned");
+    let mut spans = reg.spans.clone();
+    spans.sort_by_key(|e| (e.thread, e.seq));
+    Report {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(k, (_, v))| (k.to_string(), *v))
+            .collect(),
+        histograms: reg
+            .hists
+            .iter()
+            .map(|(k, h)| (k.to_string(), report::summarize(h)))
+            .collect(),
+        spans,
+        dropped_spans: reg.dropped_spans,
+    }
+}
+
+/// Clears the global registry and the calling thread's sink. Intended for
+/// tests and for benchmarks that emit one report per run.
+pub fn reset() {
+    let _ = SINK.try_with(|s| {
+        if let Ok(mut holder) = s.try_borrow_mut() {
+            let sink = &mut holder.0;
+            sink.counters.clear();
+            sink.gauges.clear();
+            sink.hists.clear();
+            sink.ring.clear();
+            sink.ring_head = 0;
+            sink.dropped = 0;
+        }
+    });
+    if let Ok(mut reg) = registry().lock() {
+        *reg = Registry::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global registry is process-wide; tests serialize on this lock
+    /// and reset() around their bodies.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        g
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let _g = locked();
+        counter_add("t.a", 3);
+        counter_inc("t.a");
+        counter_inc("t.b");
+        let r = snapshot();
+        assert_eq!(r.counter("t.a"), 4);
+        assert_eq!(r.counter("t.b"), 1);
+        assert_eq!(r.counter("t.missing"), 0);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let _g = locked();
+        gauge_set("t.g", 1.5);
+        gauge_set("t.g", 2.5);
+        let r = snapshot();
+        assert_eq!(r.gauge("t.g"), Some(2.5));
+        assert_eq!(r.gauge("t.other"), None);
+    }
+
+    #[test]
+    fn histogram_summary_is_exact() {
+        let _g = locked();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            histogram_record("t.h", v);
+        }
+        histogram_record("t.h", f64::NAN); // dropped
+        let r = snapshot();
+        let h = r.histogram("t.h").expect("recorded");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 16.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 10.0);
+        assert_eq!(h.mean(), 4.0);
+        let total: u64 = h.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn bucket_layout_is_fixed_and_total() {
+        // Underflow, a mid-range value, and the overflow clamp.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::MAX), HIST_BUCKETS - 1);
+        // 1.5 lies in [2^0, 2^1): bucket 31 with HIST_MIN_EXP = -30.
+        assert_eq!(bucket_index(1.5), 31);
+        assert!(bucket_upper_edge(31) >= 1.5);
+        // Every finite positive value maps into range.
+        for e in -40..50 {
+            let v = 2f64.powi(e) * 1.01;
+            assert!(bucket_index(v) < HIST_BUCKETS, "exp {e}");
+        }
+    }
+
+    #[test]
+    fn span_records_duration_and_event() {
+        let _g = locked();
+        {
+            let t = span("t.span.ns");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(t.elapsed_ns() > 0);
+        }
+        let r = snapshot();
+        let h = r.histogram("t.span.ns").expect("span recorded");
+        assert_eq!(h.count, 1);
+        assert!(h.min >= 1_000_000.0, "slept 2ms, measured {} ns", h.min);
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].name, "t.span.ns");
+        assert_eq!(r.spans[0].dur_ns as f64, h.sum);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _g = locked();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    counter_inc("t.worker.calls");
+                    let _t = span("t.worker.ns");
+                });
+            }
+        });
+        let r = snapshot();
+        assert_eq!(r.counter("t.worker.calls"), 4);
+        assert_eq!(r.histogram("t.worker.ns").expect("flushed").count, 4);
+        assert_eq!(r.spans.len(), 4);
+    }
+
+    #[test]
+    fn drain_order_is_deterministic() {
+        let _g = locked();
+        counter_inc("t.z");
+        counter_inc("t.a");
+        counter_inc("t.m");
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["t.a", "t.m", "t.z"], "sorted by name");
+        // spans come back in (thread, seq) order
+        {
+            let _a = span("t.s1.ns");
+        }
+        {
+            let _b = span("t.s2.ns");
+        }
+        let r = snapshot();
+        let pairs: Vec<(u32, u64)> = r.spans.iter().map(|e| (e.thread, e.seq)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _g = locked();
+        for _ in 0..(SPAN_RING_CAP + 10) {
+            let _t = span("t.ring.ns");
+        }
+        let r = snapshot();
+        assert_eq!(r.spans.len(), SPAN_RING_CAP);
+        assert_eq!(r.dropped_spans, 10);
+        // histogram still saw every one
+        assert_eq!(
+            r.histogram("t.ring.ns").expect("hist").count,
+            (SPAN_RING_CAP + 10) as u64
+        );
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = locked();
+        set_enabled(false);
+        counter_inc("t.off");
+        gauge_set("t.off.g", 1.0);
+        histogram_record("t.off.h", 1.0);
+        {
+            let t = span("t.off.ns");
+            assert_eq!(t.elapsed_ns(), 0);
+        }
+        set_enabled(true);
+        let r = snapshot();
+        assert_eq!(r.counter("t.off"), 0);
+        assert_eq!(r.gauge("t.off.g"), None);
+        assert!(r.histogram("t.off.h").is_none());
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _g = locked();
+        counter_inc("t.r");
+        let _ = snapshot();
+        reset();
+        let r = snapshot();
+        assert_eq!(r.counter("t.r"), 0);
+        assert!(r.counters.is_empty());
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let _g = locked();
+        counter_add("t.json.calls", 7);
+        gauge_set("t.json.threads", 4.0);
+        histogram_record("t.json.h", 0.5);
+        let json = snapshot().to_json();
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"spans\"",
+            "\"t.json.calls\": 7",
+            "\"t.json.threads\": 4",
+            "\"count\": 1",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces/brackets (a cheap structural check without a
+        // JSON parser in a zero-dep crate).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn human_render_lists_all_sections() {
+        let _g = locked();
+        counter_inc("t.render.c");
+        gauge_set("t.render.g", 1.25);
+        histogram_record("t.render.h", 2.0);
+        let text = snapshot().render();
+        assert!(text.contains("counters"));
+        assert!(text.contains("t.render.c"));
+        assert!(text.contains("gauges"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("t.render.h"));
+    }
+
+    #[test]
+    fn ratio_helper() {
+        let _g = locked();
+        counter_add("t.ratio.num", 2);
+        counter_add("t.ratio.den", 100);
+        let r = snapshot();
+        assert_eq!(r.ratio("t.ratio.num", "t.ratio.den"), Some(0.02));
+        assert_eq!(r.ratio("t.ratio.num", "t.ratio.zero"), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Snapshot types and emitters: the immutable [`Report`] produced by
+//! [`crate::snapshot`], with a hand-rolled JSON serializer (the crate is
+//! zero-dependency) and a human-readable renderer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{bucket_upper_edge, Hist};
+
+/// One completed span occurrence, ordered by `(thread, seq)` in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (the histogram it was recorded under).
+    pub name: &'static str,
+    /// Process-unique id of the recording thread, in creation order.
+    pub thread: u32,
+    /// Per-thread monotonically increasing sequence number.
+    pub seq: u64,
+    /// Start time in nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A non-empty histogram bucket: `count` observations with value ≤ `le`
+/// (and greater than the previous bucket's edge).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive upper edge of the bucket.
+    pub le: f64,
+    /// Observations that fell into this bucket.
+    pub count: u64,
+}
+
+/// Exact summary of one histogram: totals plus the occupied buckets of the
+/// fixed power-of-two layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+    /// Occupied buckets, ascending by edge; empty buckets are elided.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean of the observations; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+pub(crate) fn summarize(h: &Hist) -> HistogramSummary {
+    HistogramSummary {
+        count: h.count,
+        sum: h.sum,
+        min: h.min,
+        max: h.max,
+        buckets: h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Bucket {
+                le: bucket_upper_edge(i),
+                count: c,
+            })
+            .collect(),
+    }
+}
+
+/// A merged, deterministic view of everything recorded so far. Metric maps
+/// are sorted by name; spans by `(thread, seq)`.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Counter totals across all flushed threads.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values (last flushed write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries (spans record into histograms named after them).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Individual span events, `(thread, seq)`-ordered.
+    pub spans: Vec<SpanEvent>,
+    /// Span events lost to ring-buffer overwrite or the global cap.
+    pub dropped_spans: u64,
+}
+
+impl Report {
+    /// Counter value, 0 when never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, `None` when never recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram summary, `None` when never recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// `counter(num) / counter(den)`, `None` when the denominator is 0.
+    /// This is what the lazy-update overhead checks consume:
+    /// `ratio("gm.e_step.runs", "gm.e_step.decisions")`.
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let d = self.counter(den);
+        if d == 0 {
+            None
+        } else {
+            Some(self.counter(num) as f64 / d as f64)
+        }
+    }
+
+    /// Serializes the full report as a JSON object with keys `counters`,
+    /// `gauges`, `histograms`, `spans` and `dropped_spans`. Non-finite
+    /// numbers become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(k), v);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(k), json_num(*v));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                json_str(k),
+                h.count,
+                json_num(h.sum),
+                json_num(h.min),
+                json_num(h.max)
+            );
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"le\": {}, \"count\": {}}}",
+                    json_num(b.le),
+                    b.count
+                );
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"thread\": {}, \"seq\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+                json_str(s.name),
+                s.thread,
+                s.seq,
+                s.start_ns,
+                s.dur_ns
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(out, "],\n  \"dropped_spans\": {}\n}}\n", self.dropped_spans);
+        out
+    }
+
+    /// Renders an aligned plain-text summary for terminal consumption.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        out.push_str("counters\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+        out.push_str("gauges\n");
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+        out.push_str("histograms\n");
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {k:<width$}  n={} mean={:.3} min={:.3} max={:.3}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+        let _ = writeln!(
+            out,
+            "spans: {} recorded, {} dropped",
+            self.spans.len(),
+            self.dropped_spans
+        );
+        out
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; non-finite values are not representable and become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}

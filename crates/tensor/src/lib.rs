@@ -24,6 +24,7 @@ mod ops;
 mod random;
 mod reduce;
 mod shape;
+mod tele;
 mod tensor;
 
 pub use error::{Result, TensorError};

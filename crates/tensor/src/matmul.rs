@@ -15,6 +15,7 @@
 //! serial one for every thread count.
 
 use crate::error::{Result, TensorError};
+use crate::tele;
 use crate::tensor::Tensor;
 use core::ops::Range;
 
@@ -150,6 +151,8 @@ impl Tensor {
     /// feature, large products fork across row bands (bit-identical to the
     /// serial kernel).
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        tele::counter_inc("tensor.matmul.calls");
+        let _t = tele::span("tensor.matmul.ns");
         #[cfg(feature = "parallel")]
         {
             let (m, ka) = check_rank2(self, "matmul")?;

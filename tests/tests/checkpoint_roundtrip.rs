@@ -1,0 +1,163 @@
+//! Checkpoint round-trip integration tests: snapshots must survive
+//! serialization bitwise (save → load → save is the identity on the JSON
+//! bytes), and a training run interrupted by a checkpoint/restore must
+//! finish in exactly the same state as one that never stopped.
+
+use std::collections::BTreeMap;
+
+use gmreg_core::gm::{GmConfig, GmRegularizer, GmSnapshot, LazySchedule};
+use gmreg_core::Regularizer;
+use gmreg_data::synthetic::TabularSpec;
+use gmreg_data::Dataset;
+use gmreg_nn::{
+    load_weights, save_weights, Dense, Network, ReLU, Sequential, Sgd, VisitParams, WeightInit,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_dataset() -> Dataset {
+    TabularSpec {
+        n_samples: 48,
+        n_informative_cont: 3,
+        n_noise_cont: 2,
+        categorical: vec![],
+        boundary_noise: 0.2,
+        label_noise: 0.0,
+        missing_rate: 0.0,
+        weak_signal: 0.1,
+    }
+    .generate(11)
+    .expect("valid spec")
+    .encode()
+    .expect("encoding")
+}
+
+/// A deterministic MLP (no dropout, no batch-norm state beyond params) so
+/// the only sources of randomness are the init and the batch shuffles.
+fn mlp(d: usize, init_seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(init_seed);
+    Network::new(
+        Sequential::new("mlp")
+            .push(Dense::new("fc1", d, 16, WeightInit::He, &mut rng).expect("valid"))
+            .push(ReLU::new("r1"))
+            .push(Dense::new("fc2", 16, 2, WeightInit::He, &mut rng).expect("valid")),
+    )
+}
+
+fn attach_gm(net: &mut Network, n_samples: usize) {
+    net.attach_regularizers(|name, dims, init_std| {
+        if name.ends_with("/weight") {
+            let cfg = GmConfig {
+                // Eager: E and M run every step, so the regularizer carries
+                // no schedule phase across the checkpoint boundary and the
+                // mixture snapshot is its complete adaptive state.
+                lazy: LazySchedule::eager(),
+                ..GmConfig::default()
+            };
+            Some(
+                Box::new(GmRegularizer::new(dims, init_std.max(1e-3), cfg).expect("valid"))
+                    as Box<dyn Regularizer>,
+            )
+        } else {
+            None
+        }
+    });
+    net.set_reg_scale(1.0 / n_samples as f32);
+}
+
+/// Trains epochs `[from, to)` with a per-epoch reseeded shuffle rng, so an
+/// interrupted run replays exactly the same batch order as a straight one.
+fn train_epochs(net: &mut Network, opt: &mut Sgd, ds: &Dataset, from: u64, to: u64) {
+    for epoch in from..to {
+        let mut rng = StdRng::seed_from_u64(1000 + epoch);
+        net.train_epoch(ds, 8, opt, None, &mut rng).expect("epoch");
+    }
+}
+
+fn gm_snapshots(net: &mut Network) -> BTreeMap<String, GmSnapshot> {
+    let mut snaps = BTreeMap::new();
+    net.visit_params(&mut |p| {
+        if let Some(gm) = p.regularizer.as_ref().and_then(|r| r.as_gm()) {
+            snaps.insert(p.name.clone(), gm.snapshot());
+        }
+    });
+    snaps
+}
+
+#[test]
+fn save_load_save_is_bitwise_identity() {
+    let ds = toy_dataset();
+    let mut net = mlp(ds.n_features(), 1);
+    attach_gm(&mut net, ds.len());
+    let mut opt = Sgd::new(0.05, 0.9).expect("valid");
+    train_epochs(&mut net, &mut opt, &ds, 0, 2);
+
+    // Weights: save → serialize → load into a differently-initialized
+    // model → save again must reproduce the same bytes.
+    let snap = save_weights(&mut net);
+    let json1 = serde_json::to_string(&snap).expect("serializes");
+    let back: gmreg_nn::WeightsSnapshot = serde_json::from_str(&json1).expect("deserializes");
+    let mut other = mlp(ds.n_features(), 99);
+    load_weights(&mut other, &back).expect("loads");
+    let json2 = serde_json::to_string(&save_weights(&mut other)).expect("serializes");
+    assert_eq!(json1, json2, "weights snapshot round-trip is bitwise exact");
+
+    // GM mixtures: snapshot → serialize → restore → snapshot likewise.
+    for (name, snap) in gm_snapshots(&mut net) {
+        let json1 = serde_json::to_string(&snap).expect("serializes");
+        let back: GmSnapshot = serde_json::from_str(&json1).expect("deserializes");
+        let restored = GmRegularizer::from_snapshot(&back).expect("restores");
+        let json2 = serde_json::to_string(&restored.snapshot()).expect("serializes");
+        assert_eq!(
+            json1, json2,
+            "{name}: GM snapshot round-trip is bitwise exact"
+        );
+    }
+}
+
+#[test]
+fn resumed_training_matches_uninterrupted_run() {
+    let ds = toy_dataset();
+    let d = ds.n_features();
+
+    // Reference: three epochs straight through.
+    let mut straight = mlp(d, 1);
+    attach_gm(&mut straight, ds.len());
+    let mut opt = Sgd::new(0.05, 0.9).expect("valid");
+    train_epochs(&mut straight, &mut opt, &ds, 0, 3);
+    let want = save_weights(&mut straight);
+
+    // Interrupted: one epoch, full checkpoint through JSON, then a fresh
+    // process-restart simulation (different init seed, restored state).
+    let mut first = mlp(d, 1);
+    attach_gm(&mut first, ds.len());
+    let mut opt1 = Sgd::new(0.05, 0.9).expect("valid");
+    train_epochs(&mut first, &mut opt1, &ds, 0, 1);
+    let weights_json = serde_json::to_string(&save_weights(&mut first)).expect("serializes");
+    let gm_json = serde_json::to_string(&gm_snapshots(&mut first)).expect("serializes");
+    let (saved_it, saved_epoch) = (opt1.iteration(), opt1.epoch());
+
+    let gm_back: BTreeMap<String, GmSnapshot> =
+        serde_json::from_str(&gm_json).expect("deserializes");
+    let mut resumed = mlp(d, 77); // the restart never sees the original init
+    resumed.attach_regularizers(|name, _dims, _init_std| {
+        gm_back.get(name).map(|snap| {
+            Box::new(GmRegularizer::from_snapshot(snap).expect("restores")) as Box<dyn Regularizer>
+        })
+    });
+    resumed.set_reg_scale(1.0 / ds.len() as f32);
+    let weights_back: gmreg_nn::WeightsSnapshot =
+        serde_json::from_str(&weights_json).expect("deserializes");
+    load_weights(&mut resumed, &weights_back).expect("loads");
+    let mut opt2 = Sgd::new(0.05, 0.9).expect("valid");
+    opt2.resume_at(saved_it, saved_epoch);
+    train_epochs(&mut resumed, &mut opt2, &ds, 1, 3);
+
+    let got = save_weights(&mut resumed);
+    assert_eq!(opt2.iteration(), opt.iteration(), "step counters agree");
+    assert_eq!(opt2.epoch(), opt.epoch(), "epoch counters agree");
+    assert_eq!(
+        want, got,
+        "resumed run must be bit-identical to the uninterrupted run"
+    );
+}

@@ -1,0 +1,224 @@
+//! Golden regression tests for the EM core: responsibilities (Eq. 9), the
+//! λ update (Eq. 13) and the π update (Eq. 17) pinned against fixtures
+//! computed independently (IEEE-754 double arithmetic, log-sum-exp in the
+//! same max-subtracted form). Any algorithmic drift in the E/M formulas —
+//! a changed clamp, a reordered reduction, a lost prior pseudo-count —
+//! breaks these at the 1e-12 level long before the end-to-end accuracy
+//! tables notice.
+
+// The fixtures carry 17 significant digits on purpose: that is the exact
+// shortest-round-trip form of the independently computed doubles.
+#![allow(clippy::excessive_precision)]
+
+use gmreg_core::gm::{e_step_serial, m_step, EmAccumulators, GaussianMixture};
+
+const TOL: f64 = 1e-12;
+
+fn assert_close(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= TOL,
+            "{what}[{i}]: got {g:.17e}, want {w:.17e}, diff {:.3e}",
+            (g - w).abs()
+        );
+    }
+}
+
+/// K = 2 fixture: π = [0.4, 0.6], λ = [1, 64], M = 4 weights spanning the
+/// near-zero, mid and tail regions of both components.
+fn gm2() -> (GaussianMixture, [f32; 4]) {
+    let gm = GaussianMixture::new(vec![0.4, 0.6], vec![1.0, 64.0]).expect("valid mixture");
+    (gm, [0.02, -0.5, 1.3, 0.25])
+}
+
+/// K = 3 fixture: π = [0.2, 0.3, 0.5], λ = [0.5, 4, 25].
+fn gm3() -> (GaussianMixture, [f32; 4]) {
+    let gm =
+        GaussianMixture::new(vec![0.2, 0.3, 0.5], vec![0.5, 4.0, 25.0]).expect("valid mixture");
+    (gm, [0.05, -0.3, 0.9, -1.5])
+}
+
+#[test]
+fn eq9_responsibilities_k2_match_hand_computed() {
+    let (gm, w) = gm2();
+    let want: [[f64; 2]; 4] = [
+        [7.78225343392097701e-2, 9.22177465660790174e-1],
+        [9.95459165736722662e-1, 4.54083426327727118e-3],
+        [1.0, 9.10995429228791918e-23],
+        [3.73751375789251550e-1, 6.26248624210748450e-1],
+    ];
+    let mut r = Vec::new();
+    for (wv, row) in w.iter().zip(&want) {
+        gm.responsibilities(*wv as f64, &mut r);
+        assert_close(&r, row, "responsibilities");
+        assert!((r.iter().sum::<f64>() - 1.0).abs() <= TOL, "sum to one");
+    }
+}
+
+#[test]
+fn eq9_responsibilities_k3_match_hand_computed() {
+    let (gm, w) = gm3();
+    let want: [[f64; 3]; 4] = [
+        [
+            4.47054918499433795e-2,
+            1.88841347829564882e-1,
+            7.66453160320491711e-1,
+        ],
+        [
+            9.52918086689576171e-2,
+            3.45374632882829047e-1,
+            5.59333558448213419e-1,
+        ],
+        [
+            4.92868194875152599e-1,
+            5.06704371153103739e-1,
+            4.27433971743706401e-4,
+        ],
+        [
+            9.23601251744713303e-1,
+            7.63987482378014338e-2,
+            1.74850897645047704e-11,
+        ],
+    ];
+    let mut r = Vec::new();
+    for (wv, row) in w.iter().zip(&want) {
+        gm.responsibilities(*wv as f64, &mut r);
+        assert_close(&r, row, "responsibilities");
+    }
+}
+
+#[test]
+fn e_step_sufficient_statistics_k2_match_hand_computed() {
+    let (gm, w) = gm2();
+    let mut greg = vec![0.0f32; w.len()];
+    let acc = e_step_serial(&gm, &w, Some(&mut greg));
+    assert_eq!(acc.m, 4);
+    assert_close(
+        &acc.resp_sum,
+        &[2.44703307586518415e0, 1.55296692413481585e0],
+        "resp_sum",
+    );
+    assert_close(
+        &acc.resp_wsq_sum,
+        &[1.96225525745569418e0, 4.06446185487655959e-2],
+        "resp_wsq_sum",
+    );
+    // g_reg = (Σ_k r_k λ_k)·w_m, rounded once to f32 (Eq. 10).
+    let want_greg: [f32; 4] = [
+        1.18194353580474854e0,
+        -6.43036305904388428e-1,
+        1.29999995231628418e0,
+        1.01134157180786133e1,
+    ];
+    for (i, (g, wg)) in greg.iter().zip(&want_greg).enumerate() {
+        let ulps = (g.to_bits() as i64 - wg.to_bits() as i64).abs();
+        assert!(ulps <= 4, "greg[{i}]: got {g:.9e}, want {wg:.9e}");
+    }
+}
+
+#[test]
+fn e_step_sufficient_statistics_k3_match_hand_computed() {
+    let (gm, w) = gm3();
+    let acc = e_step_serial(&gm, &w, None);
+    assert_close(
+        &acc.resp_sum,
+        &[
+            1.55646674713876676e0,
+            1.11731910010329916e0,
+            1.32621415275793386e0,
+        ],
+        "resp_sum",
+    );
+    assert_close(
+        &acc.resp_wsq_sum,
+        &[
+            2.48601406031761263e0,
+            6.13883525237085337e-1,
+            5.26023787570214785e-2,
+        ],
+        "resp_wsq_sum",
+    );
+}
+
+#[test]
+fn eq13_eq17_m_step_k2_matches_hand_computed() {
+    // Statistics from the K = 2 E-step above; a = 1.1, b = 0.5, α = [2, 2].
+    let acc = EmAccumulators {
+        resp_sum: vec![2.44703307586518415e0, 1.55296692413481585e0],
+        resp_wsq_sum: vec![1.96225525745569418e0, 4.06446185487655959e-2],
+        m: 4,
+    };
+    let (pi, lambda) = m_step(&acc, 1.1, 0.5, &[2.0, 2.0]);
+    // λ_k = (2(a−1) + Σr_k) / (2b + Σr_k w²)
+    assert_close(
+        &lambda,
+        &[8.93587096926530045e-1, 1.68450102262520884e0],
+        "lambda",
+    );
+    // π_k = (Σr_k + α_k − 1) / (M + Σ_j (α_j − 1))
+    assert_close(&pi, &[5.74505512644197358e-1, 4.25494487355802697e-1], "pi");
+    assert!((pi.iter().sum::<f64>() - 1.0).abs() <= TOL);
+}
+
+#[test]
+fn eq13_eq17_m_step_k3_matches_hand_computed() {
+    // Statistics from the K = 3 E-step; a = 1.2, b = 0.8, α = [1.5, 2, 2.5].
+    let acc = EmAccumulators {
+        resp_sum: vec![
+            1.55646674713876676e0,
+            1.11731910010329916e0,
+            1.32621415275793386e0,
+        ],
+        resp_wsq_sum: vec![
+            2.48601406031761263e0,
+            6.13883525237085337e-1,
+            5.26023787570214785e-2,
+        ],
+        m: 4,
+    };
+    let (pi, lambda) = m_step(&acc, 1.2, 0.8, &[1.5, 2.0, 2.5]);
+    assert_close(
+        &lambda,
+        &[
+            4.78820365827788474e-1,
+            6.85365369409309366e-1,
+            1.04454294326762254e0,
+        ],
+        "lambda",
+    );
+    assert_close(
+        &pi,
+        &[
+            2.93780963876966728e-1,
+            3.02474157157614221e-1,
+            4.03744878965419163e-1,
+        ],
+        "pi",
+    );
+}
+
+#[test]
+fn eq17_pi_floor_keeps_dead_component_alive() {
+    // One component claims all the mass and α = 1 (flat Dirichlet): the raw
+    // Eq. 17 numerator for the dead component is 0, so it is floored at
+    // PI_FLOOR = 1e-12 and renormalized rather than killed outright.
+    let acc = EmAccumulators {
+        resp_sum: vec![4.0, 0.0],
+        resp_wsq_sum: vec![0.25, 0.0],
+        m: 4,
+    };
+    let (pi, lambda) = m_step(&acc, 1.1, 0.5, &[1.0, 1.0]);
+    assert_close(
+        &pi,
+        &[9.99999999998999911e-1, 9.99999999998999931e-13],
+        "pi",
+    );
+    // Dead component: λ = 2(a−1)/2b = 0.1/0.5.
+    assert_close(
+        &lambda,
+        &[3.36000000000000032e0, 2.00000000000000178e-1],
+        "lambda",
+    );
+    assert!(pi[1] > 0.0, "floored component stays alive");
+}

@@ -138,4 +138,75 @@ proptest! {
             prop_assert_eq!(sub.y()[si], ds.y()[oi]);
         }
     }
+
+    /// After any sequence of `upt_gm_param` calls on arbitrary weight
+    /// vectors, π stays on the probability simplex and every λ stays
+    /// positive within the clamp bounds — the invariants Eq. 13 and Eq. 17
+    /// promise regardless of input.
+    #[test]
+    fn gm_params_stay_valid_after_any_update_sequence(
+        seed in 0u64..400,
+        m in 4usize..120,
+        k in 1usize..6,
+        n_updates in 1usize..10,
+        scale in 0.01f32..5.0,
+    ) {
+        use gmreg_core::gm::{GmRegTool, LAMBDA_MAX, LAMBDA_MIN};
+        use gmreg_tensor::SampleExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GmConfig { k, ..GmConfig::default() };
+        let mut tool = GmRegTool::new(m, 0.1, cfg).expect("valid");
+        for _ in 0..n_updates {
+            let w: Vec<f32> = (0..m).map(|_| rng.normal(0.0, scale as f64) as f32).collect();
+            tool.upt_gm_param(&w).expect("update succeeds on finite weights");
+            let gm = tool.mixture();
+            prop_assert!((gm.pi().iter().sum::<f64>() - 1.0).abs() < 1e-9, "pi sums to 1");
+            prop_assert!(gm.pi().iter().all(|&p| p > 0.0 && p <= 1.0), "pi in (0, 1]");
+            prop_assert!(
+                gm.lambda().iter().all(|&l| (LAMBDA_MIN..=LAMBDA_MAX).contains(&l)),
+                "lambda positive and clamped"
+            );
+        }
+    }
+
+    /// `Regularizer::penalty` (the negative log prior, Eq. 8) and the
+    /// Eq. 10 gradient are consistent: a central finite difference of the
+    /// penalty along each coordinate reproduces `g_reg`.
+    #[test]
+    fn eq10_gradient_matches_penalty_finite_difference(
+        seed in 0u64..300,
+        m in 2usize..16,
+        k in 1usize..5,
+        min in 0.5f64..50.0,
+    ) {
+        use gmreg_core::gm::LazySchedule;
+        use gmreg_tensor::SampleExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..m).map(|_| rng.normal(0.0, 0.5) as f32).collect();
+        let cfg = GmConfig {
+            k,
+            min_precision: Some(min),
+            // E-step fires at iteration 1 (1 mod 1 = 0) but the M-step
+            // (1 mod 1000 ≠ 0) does not, so the mixture `penalty` sees is
+            // exactly the one `g_reg` was computed under.
+            lazy: LazySchedule::new(0, 1, 1000).expect("valid"),
+            ..GmConfig::default()
+        };
+        let mut reg = GmRegularizer::new(m, 0.1, cfg).expect("valid");
+        let mut grad = vec![0.0f32; m];
+        reg.accumulate_grad(&w, &mut grad, StepCtx::new(1, 0));
+        let h = 2.0f32.powi(-10);
+        for j in 0..m {
+            let mut wp = w.clone();
+            let mut wm = w.clone();
+            wp[j] += h;
+            wm[j] -= h;
+            let fd = (reg.penalty(&wp) - reg.penalty(&wm)) / ((wp[j] - wm[j]) as f64);
+            let g = grad[j] as f64;
+            prop_assert!(
+                (fd - g).abs() < 2e-3 * (1.0 + g.abs()),
+                "coordinate {}: finite difference {} vs g_reg {}", j, fd, g
+            );
+        }
+    }
 }

@@ -1,0 +1,100 @@
+//! End-to-end telemetry test: drives GM training under a lazy schedule,
+//! snapshots the process-wide metrics and asserts the *measured*
+//! lazy-update overhead ratio (E-steps actually run per scheduling
+//! decision) agrees with [`LazySchedule::steady_state_e_rate`]'s
+//! prediction — the Fig. 5 cost model — within 20%. Also exercises the
+//! `--telemetry-out` JSON emission path the repro binaries use.
+//!
+//! This file holds a single test on purpose: the telemetry registry is
+//! process-wide and integration-test files run as separate binaries, so
+//! nothing else can race the counters.
+
+#![cfg(feature = "telemetry")]
+
+use gmreg_core::gm::{GmConfig, GmRegularizer, LazySchedule};
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_telemetry as tele;
+
+#[test]
+fn measured_lazy_overhead_matches_schedule_prediction() {
+    tele::reset();
+    tele::set_enabled(true);
+
+    // Warmup 0 so the steady-state rate governs the whole run.
+    let schedule = LazySchedule::new(0, 50, 50).expect("valid");
+    let cfg = GmConfig {
+        lazy: schedule,
+        ..GmConfig::default()
+    };
+    let m = 64usize;
+    let mut reg = GmRegularizer::new(m, 0.1, cfg).expect("valid");
+    let w: Vec<f32> = (0..m).map(|i| (i as f32 / m as f32 - 0.5) * 0.2).collect();
+    let mut grad = vec![0.0f32; m];
+    let total = 2000u64;
+    let bpe = 100u64;
+    for it in 0..total {
+        grad.fill(0.0);
+        reg.accumulate_grad(&w, &mut grad, StepCtx::new(it, it / bpe));
+    }
+
+    let report = tele::snapshot();
+    let decisions = report.counter("gm.e_step.decisions");
+    let runs = report.counter("gm.e_step.runs");
+    let skips = report.counter("gm.e_step.skips");
+    assert_eq!(decisions, total, "one decision per accumulate_grad call");
+    assert_eq!(runs + skips, decisions, "every decision runs or skips");
+    assert_eq!(
+        runs,
+        schedule.predicted_e_steps(total, bpe),
+        "telemetry agrees with the closed-form Algorithm 2 count"
+    );
+    assert_eq!(
+        runs,
+        reg.e_step_count(),
+        "telemetry agrees with the regularizer"
+    );
+
+    let measured = report
+        .ratio("gm.e_step.runs", "gm.e_step.decisions")
+        .expect("decisions were recorded");
+    let predicted = schedule.steady_state_e_rate();
+    assert!(
+        ((measured - predicted) / predicted).abs() <= 0.20,
+        "measured E-step rate {measured} deviates more than 20% from the \
+         schedule's prediction {predicted}"
+    );
+
+    // The E-step span histogram must count exactly the runs, and the sweep
+    // must have touched every weight each time.
+    let h = report.histogram("gm.e_step.ns").expect("span recorded");
+    assert_eq!(h.count, runs);
+    assert!(h.sum >= 0.0 && h.min <= h.max);
+    assert_eq!(
+        report.counter("gm.em.sweep.weights"),
+        runs * m as u64,
+        "each E-step sweeps all M weights"
+    );
+
+    // Emit through the same path `repro_table7 --telemetry-out` uses and
+    // check the file is valid JSON carrying the counters.
+    let path = std::env::temp_dir().join("gmreg_telemetry_report_e2e.json");
+    let _ = std::fs::remove_file(&path);
+    {
+        let _guard = gmreg_bench::telemetry::TelemetryOut::to_path(path.clone());
+    }
+    let body = std::fs::read_to_string(&path).expect("report written");
+    assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+    for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
+        assert!(body.contains(key), "report JSON has a {key} section");
+    }
+    assert!(
+        body.contains(&format!("\"gm.e_step.runs\": {runs}")),
+        "JSON report carries the measured counters"
+    );
+    assert!(body.contains(&format!("\"gm.e_step.decisions\": {decisions}")));
+    assert!(
+        body.contains(&format!("\"gm.e_step.ns\": {{\"count\": {runs},")),
+        "E-step span histogram serialized with its count"
+    );
+    let _ = std::fs::remove_file(&path);
+}
