@@ -90,6 +90,7 @@ fn bench_matmul(kernel: &str, n: usize, iters: usize, threads: usize) -> KernelB
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let threads = gmreg_parallel::max_threads();
     println!("pool size: {threads} worker(s)\n");
 
@@ -107,6 +108,12 @@ fn main() {
     records.push(bench_matmul("matmul_tn", 512, 5, threads));
     records.push(bench_matmul("matmul_nt", 512, 5, threads));
 
+    for r in &records {
+        health.check(&format!("{} serial_ns", r.kernel), r.serial_ns);
+        health.check(&format!("{} parallel_ns", r.kernel), r.parallel_ns);
+        health.check(&format!("{} speedup", r.kernel), r.speedup);
+    }
+
     let mut table = Table::new(&["kernel", "size", "serial ms", "parallel ms", "speedup"]);
     for r in &records {
         table.row(&[
@@ -123,4 +130,5 @@ fn main() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\ncould not write BENCH_PR1.json: {e}"),
     }
+    health.exit_if_unhealthy();
 }

@@ -31,6 +31,7 @@ struct Point {
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.small_params();
     println!("K ablation — scale {scale:?}, {params:?}\n");
@@ -105,8 +106,12 @@ fn main() {
     println!("{}", t.render());
     println!("Paper's claims to check: K >= 2 beats K = 1 (a single Gaussian is just L2);");
     println!("K = 4 is a good default; extra components merge away (effective count 1-2).");
+    for p in &points {
+        health.check(&format!("{} K={} accuracy", p.dataset, p.k), p.accuracy);
+    }
     match write_json("ablation_k", &points) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

@@ -10,6 +10,7 @@ use gmreg_data::synthetic::small_dataset;
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.small_params();
     println!("Fig. 3 reproduction — scale {scale:?}\n");
@@ -53,8 +54,14 @@ fn main() {
             println!("{x:>6.2} | {bar}");
         }
     }
+    for c in &curves {
+        health.check_slice(&format!("{} pi", c.dataset), &c.pi);
+        health.check_slice(&format!("{} lambda", c.dataset), &c.lambda);
+        health.check_slice(&format!("{} density", c.dataset), &c.density);
+    }
     match write_json("fig3", &curves) {
         Ok(p) => println!("\nSeries written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

@@ -24,6 +24,7 @@ struct Fig5 {
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.timing_params();
     println!("Fig. 5 reproduction — scale {scale:?}, {params:?}\n");
@@ -77,8 +78,14 @@ fn main() {
             accuracy_by_im: accs,
         });
     }
+    for f in &out {
+        for (im, acc) in &f.accuracy_by_im {
+            health.check(&format!("{} Im={im} accuracy", f.workload), *acc);
+        }
+    }
     match write_json("fig5", &out) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

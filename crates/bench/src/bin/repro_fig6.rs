@@ -20,6 +20,7 @@ struct Fig6 {
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.timing_params();
     println!("Fig. 6 reproduction — scale {scale:?}, {params:?}\n");
@@ -44,8 +45,14 @@ fn main() {
             totals,
         });
     }
+    for f in &out {
+        for (label, secs) in &f.totals {
+            health.check(&format!("{} {label} seconds", f.workload), *secs);
+        }
+    }
     match write_json("fig6", &out) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

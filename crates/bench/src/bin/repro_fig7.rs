@@ -22,6 +22,7 @@ struct Fig7 {
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let mut params = scale.timing_params();
     // Fig. 7 sweeps E up to 50 epochs; make sure the curves extend past the
@@ -56,8 +57,14 @@ fn main() {
             curves,
         });
     }
+    for f in &out {
+        for (i, c) in f.curves.iter().enumerate() {
+            health.check(&format!("{} curve {i} total", f.workload), c.total());
+        }
+    }
     match write_json("fig7", &out) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

@@ -14,6 +14,7 @@ use gmreg_core::gm::GmConfig;
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.image_params();
     println!("Table IV reproduction — scale {scale:?}, {params:?}\n");
@@ -47,8 +48,11 @@ fn main() {
         "Weight dimensionality of this model: {} (paper: 89440 at 32x32).",
         gm.weight_dims
     );
+    health.check("gm test_accuracy", gm.test_accuracy);
+    health.check("l2 test_accuracy", l2.test_accuracy);
     match write_json("table4", &gm) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

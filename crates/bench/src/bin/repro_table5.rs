@@ -14,6 +14,7 @@ use gmreg_core::gm::GmConfig;
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.image_params();
     println!(
@@ -44,8 +45,14 @@ fn main() {
          2a-br1-conv1 pi=[0.066, 0.934] lambda=[0.149, 22.620]; \
          ip5 pi=[0.230, 0.770] lambda=[0.865, 6.979]."
     );
+    health.check("gm test_accuracy", gm.test_accuracy);
+    for m in &gm.mixtures {
+        health.check_slice(&format!("{} pi", m.layer), &m.pi);
+        health.check_slice(&format!("{} lambda", m.layer), &m.lambda);
+    }
     match write_json("table5", &gm) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

@@ -23,6 +23,7 @@ struct Row {
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.image_params();
     println!("Table VI reproduction — scale {scale:?}, {params:?}\n");
@@ -77,8 +78,14 @@ fn main() {
     println!("\n{}", table.render());
     println!("Paper: Alex-CIFAR-10 0.777 / 0.822 (expert-tuned) / 0.830;");
     println!("       ResNet        0.901 / 0.909 / 0.921.");
+    for r in &rows {
+        health.check(&format!("{} no_reg accuracy", r.model), r.no_reg);
+        health.check(&format!("{} l2 accuracy", r.model), r.l2);
+        health.check(&format!("{} gm accuracy", r.model), r.gm);
+    }
     match write_json("table6", &rows) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

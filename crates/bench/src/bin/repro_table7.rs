@@ -12,6 +12,7 @@ use gmreg_data::synthetic::small_dataset_suite;
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.small_params();
     println!("Table VII reproduction — scale {scale:?}, {params:?}\n");
@@ -60,8 +61,12 @@ fn main() {
         gm_ties
     );
     println!("Paper: GM outperforms on 9/12 and matches the best on 2/12.");
+    for r in &rows {
+        health.check_slice(&format!("{} mean accuracy", r.dataset), &r.mean);
+    }
     match write_json("table7", &rows) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

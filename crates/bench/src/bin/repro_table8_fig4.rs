@@ -24,6 +24,7 @@ const ALPHAS: [f64; 4] = [0.3, 0.5, 0.7, 0.9];
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.image_params();
     println!("Table VIII / Fig. 4 reproduction — scale {scale:?}, {params:?}\n");
@@ -100,8 +101,15 @@ fn main() {
     }
     println!("Table VIII (average over alpha):\n{}", t.render());
     println!("Paper: linear 0.819 / 0.918, identical 0.802 / 0.912, proportional 0.817 / 0.916.");
+    for p in &points {
+        health.check(
+            &format!("{} {} alpha={} accuracy", p.model, p.init, p.alpha_exponent),
+            p.accuracy,
+        );
+    }
     match write_json("table8_fig4", &points) {
         Ok(p) => println!("Series written to {}", p.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }
+    health.exit_if_unhealthy();
 }

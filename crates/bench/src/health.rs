@@ -1,0 +1,119 @@
+//! Run-health verdicts for the reproduction binaries.
+//!
+//! Every `repro_*` binary (and `bench_pr1`) builds a [`RunHealth`] at the
+//! top of `main`, feeds it the run's headline metrics, and calls
+//! [`RunHealth::exit_if_unhealthy`] last thing. A run is *unhealthy* when
+//!
+//! * any checked metric is non-finite (NaN or ±∞), or
+//! * the guard rails report that some regularizer ended the run degraded
+//!   to fixed L2 (`guard.degraded` > 0 in telemetry).
+//!
+//! Unhealthy runs print the guard counters and exit with status 1, so CI
+//! and scripts cannot mistake a numerically-broken reproduction for a
+//! successful one. With the `telemetry` feature off the guard counters
+//! are unavailable and only the explicit metric checks apply.
+
+/// Collects health evidence over a reproduction run; see the module docs.
+#[derive(Debug, Default)]
+pub struct RunHealth {
+    nonfinite: Vec<String>,
+}
+
+impl RunHealth {
+    /// A fresh, healthy verdict.
+    pub fn new() -> Self {
+        RunHealth::default()
+    }
+
+    /// Records `value` under `metric`; non-finite values mark the run
+    /// unhealthy. Returns `value`, so checks can wrap expressions inline.
+    pub fn check(&mut self, metric: &str, value: f64) -> f64 {
+        if !value.is_finite() {
+            self.nonfinite.push(format!("{metric} = {value}"));
+        }
+        value
+    }
+
+    /// [`RunHealth::check`] over a slice.
+    pub fn check_slice(&mut self, metric: &str, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                self.nonfinite.push(format!("{metric}[{i}] = {v}"));
+            }
+        }
+    }
+
+    /// Guard-rail counters `(trips, rollbacks, degraded)` from telemetry;
+    /// all zero when the `telemetry` feature is off.
+    pub fn guard_counters() -> (u64, u64, u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            let report = gmreg_telemetry::snapshot();
+            (
+                report.counter("guard.trips"),
+                report.counter("guard.rollbacks"),
+                report.counter("guard.degraded"),
+            )
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            (0, 0, 0)
+        }
+    }
+
+    /// `Err` with a printable diagnosis when the run is unhealthy.
+    pub fn verdict(&self) -> Result<(), String> {
+        let (trips, rollbacks, degraded) = Self::guard_counters();
+        if self.nonfinite.is_empty() && degraded == 0 {
+            return Ok(());
+        }
+        let mut msg = String::from("RUN HEALTH: FAILED\n");
+        for m in &self.nonfinite {
+            msg.push_str(&format!("  non-finite metric: {m}\n"));
+        }
+        if degraded > 0 {
+            msg.push_str("  a guarded regularizer ended the run degraded to fixed L2\n");
+        }
+        msg.push_str(&format!(
+            "  guard.trips = {trips}, guard.rollbacks = {rollbacks}, guard.degraded = {degraded}"
+        ));
+        Err(msg)
+    }
+
+    /// Prints the diagnosis and exits with status 1 when unhealthy;
+    /// otherwise returns normally.
+    pub fn exit_if_unhealthy(self) {
+        if let Err(msg) = self.verdict() {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_metrics_are_healthy() {
+        let mut h = RunHealth::new();
+        assert_eq!(h.check("loss", 0.25), 0.25);
+        h.check_slice("accs", &[0.9, 0.95]);
+        // Other tests in this binary may trip guards through telemetry, so
+        // only assert on the metric half of the verdict here.
+        assert!(h.nonfinite.is_empty());
+    }
+
+    #[test]
+    fn nonfinite_metrics_fail_with_guard_counters_printed() {
+        let mut h = RunHealth::new();
+        h.check("loss", f64::NAN);
+        h.check_slice("accs", &[0.5, f64::INFINITY]);
+        let msg = h.verdict().unwrap_err();
+        assert!(msg.contains("RUN HEALTH: FAILED"));
+        assert!(msg.contains("loss = NaN"));
+        assert!(msg.contains("accs[1] = inf"));
+        assert!(msg.contains("guard.trips"));
+        assert!(msg.contains("guard.degraded"));
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod dl;
+pub mod health;
 pub mod report;
 pub mod scale;
 pub mod small;

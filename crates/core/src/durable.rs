@@ -1,0 +1,403 @@
+//! Durable, corruption-detecting checkpoint persistence.
+//!
+//! Checkpoints are written as a small binary container:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"GMCK"
+//! 4       4     format version (u32 LE)
+//! 8       4     CRC32 (IEEE) of the payload bytes (u32 LE)
+//! 12      8     payload length in bytes (u64 LE)
+//! 20      n     payload (JSON-encoded state)
+//! ```
+//!
+//! Writes are atomic: the container is written to `<path>.tmp`, fsynced,
+//! then renamed over the final path, so a crash mid-write can never leave a
+//! half-written file under a live checkpoint name. [`CheckpointManager`]
+//! layers generation numbering, retention of the last N generations, and a
+//! corruption-detecting [`CheckpointManager::load_latest`] that falls back
+//! to the previous generation when the newest file fails validation.
+
+use crate::error::{CoreError, Result};
+use crate::tele;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every gmreg checkpoint container.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"GMCK";
+
+/// Newest checkpoint container version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Size in bytes of the fixed container header.
+pub const CHECKPOINT_HEADER_LEN: usize = 20;
+
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Wrap `payload` in the versioned CRC-protected container.
+pub fn encode_checkpoint(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CHECKPOINT_HEADER_LEN + payload.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate a container read from `path` and return its payload bytes.
+///
+/// Fails with [`CoreError::CheckpointCorrupt`] on bad magic, a short or
+/// length-mismatched body, or a CRC mismatch, and with
+/// [`CoreError::CheckpointVersion`] when the header names a format version
+/// newer than [`CHECKPOINT_VERSION`].
+pub fn decode_checkpoint(path: &Path, bytes: &[u8]) -> Result<Vec<u8>> {
+    let corrupt = |reason: String| CoreError::CheckpointCorrupt {
+        path: path.display().to_string(),
+        reason,
+    };
+    if bytes.len() < CHECKPOINT_HEADER_LEN {
+        return Err(corrupt(format!(
+            "file is {} bytes, shorter than the {CHECKPOINT_HEADER_LEN}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != CHECKPOINT_MAGIC {
+        return Err(corrupt(format!(
+            "bad magic {:02x?}, expected {:02x?}",
+            &bytes[0..4],
+            CHECKPOINT_MAGIC
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version > CHECKPOINT_VERSION {
+        return Err(CoreError::CheckpointVersion {
+            found: version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice")) as usize;
+    let payload = &bytes[CHECKPOINT_HEADER_LEN..];
+    if payload.len() != payload_len {
+        return Err(corrupt(format!(
+            "payload is {} bytes but header declares {payload_len} (truncated or padded file)",
+            payload.len()
+        )));
+    }
+    let actual_crc = crc32(payload);
+    if actual_crc != stored_crc {
+        return Err(corrupt(format!(
+            "CRC mismatch: header {stored_crc:#010x}, payload {actual_crc:#010x}"
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> CoreError {
+    CoreError::Io {
+        path: path.display().to_string(),
+        op,
+        detail: e.to_string(),
+    }
+}
+
+/// Atomically write `bytes` to `path` via a `.tmp` sibling plus rename.
+///
+/// The temp file is fsynced before the rename so the container is fully on
+/// disk before it becomes visible under the final name.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
+        f.write_all(bytes).map_err(|e| io_err(&tmp, "write", e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, "sync", e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", e))?;
+    Ok(())
+}
+
+/// Read and validate the container at `path`, returning the payload bytes.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<u8>> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, "read", e))?;
+    decode_checkpoint(path, &bytes)
+}
+
+/// Encode `bytes` into a container and atomically write it to `path`.
+pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<()> {
+    let container = encode_checkpoint(payload);
+
+    #[cfg(feature = "failpoints")]
+    let container = {
+        let mut container = container;
+        match gmreg_faults::fire("ckpt.bytes") {
+            Some(gmreg_faults::FaultKind::Truncate(keep)) => container.truncate(keep),
+            Some(gmreg_faults::FaultKind::BitFlip(bit)) if !container.is_empty() => {
+                let bit = bit % (container.len() as u64 * 8);
+                container[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+            _ => {}
+        }
+        container
+    };
+
+    atomic_write(path, &container)
+}
+
+/// Generation-numbered checkpoint directory with retention and fallback.
+///
+/// Files are named `<prefix>-<generation>.gmck` with a zero-padded,
+/// monotonically increasing generation number. [`CheckpointManager::save`]
+/// writes the next generation atomically and prunes generations beyond the
+/// retention window; [`CheckpointManager::load_latest`] walks generations
+/// newest-first and returns the first one that validates and parses,
+/// recording skipped corrupt generations in telemetry
+/// (`ckpt.load.fallbacks`).
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    prefix: String,
+    keep: usize,
+}
+
+impl CheckpointManager {
+    /// Manage checkpoints named `<prefix>-NNNNNNNNNN.gmck` under `dir`,
+    /// retaining the newest `keep` generations (minimum 1). Creates `dir`
+    /// if it does not exist.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>, keep: usize) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create_dir", e))?;
+        Ok(CheckpointManager {
+            dir,
+            prefix: prefix.into(),
+            keep: keep.max(1),
+        })
+    }
+
+    /// Directory the manager writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn gen_path(&self, generation: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}-{generation:010}.gmck", self.prefix))
+    }
+
+    /// Sorted (ascending) list of on-disk generation numbers for this prefix.
+    pub fn generations(&self) -> Result<Vec<u64>> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read_dir", e))?;
+        let mut gens = Vec::new();
+        let want_prefix = format!("{}-", self.prefix);
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, "read_dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&want_prefix) else {
+                continue;
+            };
+            let Some(digits) = rest.strip_suffix(".gmck") else {
+                continue;
+            };
+            if let Ok(g) = digits.parse::<u64>() {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Serialize `state` to JSON, wrap it in the container, and atomically
+    /// write it as the next generation; then prune generations beyond the
+    /// retention window. Returns the generation number written.
+    pub fn save<T: serde::Serialize>(&self, state: &T) -> Result<u64> {
+        let payload = serde_json::to_string(state).map_err(|e| CoreError::CheckpointCorrupt {
+            path: self.dir.display().to_string(),
+            reason: format!("serialize failed: {e}"),
+        })?;
+        let generation = self.generations()?.last().map_or(0, |g| g + 1);
+        let path = self.gen_path(generation);
+        write_checkpoint(&path, payload.as_bytes())?;
+        tele::counter_inc("ckpt.saves");
+        self.prune()?;
+        Ok(generation)
+    }
+
+    /// Load the newest generation that validates and parses, skipping (but
+    /// not deleting) corrupt or newer-versioned files. Returns `Ok(None)`
+    /// when no generation exists at all; errors only when every existing
+    /// generation fails.
+    pub fn load_latest<T: for<'de> serde::Deserialize<'de>>(&self) -> Result<Option<(u64, T)>> {
+        let gens = self.generations()?;
+        let mut last_err = None;
+        for &generation in gens.iter().rev() {
+            let path = self.gen_path(generation);
+            match Self::load_one(&path) {
+                Ok(state) => return Ok(Some((generation, state))),
+                Err(e) => {
+                    tele::counter_inc("ckpt.load.fallbacks");
+                    last_err = Some(e);
+                }
+            }
+        }
+        match last_err {
+            None => Ok(None),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn load_one<T: for<'de> serde::Deserialize<'de>>(path: &Path) -> Result<T> {
+        let payload = read_checkpoint(path)?;
+        let text = String::from_utf8(payload).map_err(|e| CoreError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason: format!("payload is not UTF-8: {e}"),
+        })?;
+        serde_json::from_str(&text).map_err(|e| CoreError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason: format!("payload parse failed: {e}"),
+        })
+    }
+
+    fn prune(&self) -> Result<()> {
+        let gens = self.generations()?;
+        if gens.len() <= self.keep {
+            return Ok(());
+        }
+        for &generation in &gens[..gens.len() - self.keep] {
+            let path = self.gen_path(generation);
+            fs::remove_file(&path).map_err(|e| io_err(&path, "remove", e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gmreg-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct Demo {
+        x: f64,
+        tag: String,
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" is the canonical IEEE CRC32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_roundtrip_and_corruption_detection() {
+        let path = Path::new("demo.gmck");
+        let payload = b"hello checkpoint";
+        let mut container = encode_checkpoint(payload);
+        assert_eq!(
+            decode_checkpoint(path, &container).unwrap(),
+            payload.to_vec()
+        );
+
+        // Bit flip in the payload is caught by the CRC.
+        container[CHECKPOINT_HEADER_LEN + 3] ^= 0x10;
+        assert!(matches!(
+            decode_checkpoint(path, &container),
+            Err(CoreError::CheckpointCorrupt { .. })
+        ));
+
+        // Truncation is caught by the declared length.
+        let short = &encode_checkpoint(payload)[..CHECKPOINT_HEADER_LEN + 4];
+        assert!(matches!(
+            decode_checkpoint(path, short),
+            Err(CoreError::CheckpointCorrupt { .. })
+        ));
+
+        // A newer version is refused with a dedicated error.
+        let mut newer = encode_checkpoint(payload);
+        newer[4..8].copy_from_slice(&(CHECKPOINT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            decode_checkpoint(path, &newer),
+            Err(CoreError::CheckpointVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn manager_saves_prunes_and_falls_back() {
+        let dir = tmp_dir("mgr");
+        let mgr = CheckpointManager::new(&dir, "demo", 2).unwrap();
+        assert_eq!(mgr.load_latest::<Demo>().unwrap(), None);
+
+        for i in 0..4u64 {
+            let state = Demo {
+                x: i as f64,
+                tag: format!("gen{i}"),
+            };
+            assert_eq!(mgr.save(&state).unwrap(), i);
+        }
+        // Retention kept only the last two generations.
+        assert_eq!(mgr.generations().unwrap(), vec![2, 3]);
+
+        let (generation, state) = mgr.load_latest::<Demo>().unwrap().unwrap();
+        assert_eq!(generation, 3);
+        assert_eq!(state.x, 3.0);
+
+        // Corrupt the newest generation on disk: load falls back to gen 2.
+        let newest = dir.join("demo-0000000003.gmck");
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&newest, &bytes).unwrap();
+        let (generation, state) = mgr.load_latest::<Demo>().unwrap().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(state.tag, "gen2");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_file() {
+        let dir = tmp_dir("atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.gmck");
+        atomic_write(&path, b"abc").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"abc");
+        assert!(!path.with_extension("tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

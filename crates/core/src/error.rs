@@ -26,6 +26,31 @@ pub enum CoreError {
         /// Description of what became degenerate.
         detail: String,
     },
+    /// A filesystem operation failed. The underlying `std::io::Error` is
+    /// flattened to a string so the error stays `Clone + PartialEq`.
+    Io {
+        /// Path the operation was acting on.
+        path: String,
+        /// The operation that failed (`"read"`, `"write"`, `"rename"`, ...).
+        op: &'static str,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// A checkpoint file failed integrity validation (bad magic, length
+    /// mismatch, CRC mismatch, or unparseable payload).
+    CheckpointCorrupt {
+        /// Path of the offending checkpoint.
+        path: String,
+        /// What specifically failed to validate.
+        reason: String,
+    },
+    /// A checkpoint was written by a newer, unsupported format version.
+    CheckpointVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +67,18 @@ impl fmt::Display for CoreError {
             }
             CoreError::DegenerateMixture { detail } => {
                 write!(f, "degenerate mixture state: {detail}")
+            }
+            CoreError::Io { path, op, detail } => {
+                write!(f, "io error during {op} of `{path}`: {detail}")
+            }
+            CoreError::CheckpointCorrupt { path, reason } => {
+                write!(f, "corrupt checkpoint `{path}`: {reason}")
+            }
+            CoreError::CheckpointVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} is newer than supported version {supported}"
+                )
             }
         }
     }

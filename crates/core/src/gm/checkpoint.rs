@@ -39,6 +39,8 @@ pub struct GmConfigSnapshot {
     pub init: String,
     /// Explicit min precision, if set.
     pub min_precision: Option<f64>,
+    /// Explicit max precision ceiling, if set.
+    pub max_precision: Option<f64>,
     /// Lazy schedule: warm-up epochs, Im, Ig.
     pub lazy: (u64, u64, u64),
 }
@@ -52,6 +54,7 @@ impl From<&GmConfig> for GmConfigSnapshot {
             alpha_exponent: c.alpha_exponent,
             init: c.init.name().to_string(),
             min_precision: c.min_precision,
+            max_precision: c.max_precision,
             lazy: (c.lazy.warmup_epochs, c.lazy.im, c.lazy.ig),
         }
     }
@@ -78,10 +81,39 @@ impl GmConfigSnapshot {
             alpha_exponent: self.alpha_exponent,
             init,
             min_precision: self.min_precision,
+            max_precision: self.max_precision,
             lazy: LazySchedule::new(self.lazy.0, self.lazy.1, self.lazy.2)?,
         };
         cfg.validate()?;
         Ok(cfg)
+    }
+}
+
+impl GmSnapshot {
+    /// Persist this snapshot to `path` inside the CRC-protected durable
+    /// container ([`crate::durable`]), written atomically.
+    pub fn save_file(&self, path: &std::path::Path) -> Result<()> {
+        let payload = serde_json::to_string(self).map_err(|e| CoreError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason: format!("serialize failed: {e}"),
+        })?;
+        crate::durable::write_checkpoint(path, payload.as_bytes())
+    }
+
+    /// Load and validate a snapshot previously written by
+    /// [`GmSnapshot::save_file`]. Corruption (truncation, bit flips, bad
+    /// magic) and newer format versions surface as dedicated
+    /// [`CoreError`] variants instead of panics.
+    pub fn load_file(path: &std::path::Path) -> Result<GmSnapshot> {
+        let payload = crate::durable::read_checkpoint(path)?;
+        let text = String::from_utf8(payload).map_err(|e| CoreError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason: format!("payload is not UTF-8: {e}"),
+        })?;
+        serde_json::from_str(&text).map_err(|e| CoreError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason: format!("payload parse failed: {e}"),
+        })
     }
 }
 
@@ -205,6 +237,29 @@ mod tests {
         let mut snap = reg.snapshot();
         snap.config.lazy = (0, 0, 1);
         assert!(GmRegularizer::from_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip_detects_truncation() {
+        let dir = std::env::temp_dir().join(format!("gmreg-snapfile-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gm.gmck");
+
+        let snap = trained_reg().snapshot();
+        snap.save_file(&path).expect("saves");
+        let back = GmSnapshot::load_file(&path).expect("loads");
+        assert_eq!(back.m, snap.m);
+        assert_eq!(back.config, snap.config);
+
+        // Truncate the container: load reports corruption, never panics.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            GmSnapshot::load_file(&path),
+            Err(CoreError::CheckpointCorrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

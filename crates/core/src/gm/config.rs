@@ -35,6 +35,11 @@ pub struct GmConfig {
     /// `None` it is derived as one tenth of the weight-init precision via
     /// [`GmConfig::min_precision_from_weight_std`].
     pub min_precision: Option<f64>,
+    /// Largest precision any component may reach during an M-step. A single
+    /// near-zero-variance weight cluster can otherwise push `λ_k → ∞`
+    /// (Eq. 13's denominator collapses); the ceiling keeps the mixture
+    /// finite. When `None` a global ceiling of `1e12` applies.
+    pub max_precision: Option<f64>,
     /// Lazy-update schedule (Algorithm 2). `LazySchedule::eager()` disables
     /// laziness (Algorithm 1 behaviour).
     pub lazy: LazySchedule,
@@ -52,6 +57,7 @@ impl Default for GmConfig {
             alpha_exponent: 0.5,
             init: InitMethod::Linear,
             min_precision: None,
+            max_precision: None,
             lazy: LazySchedule::eager(),
         }
     }
@@ -93,6 +99,22 @@ impl GmConfig {
                     field: "min_precision",
                     reason: format!("must be positive and finite, got {mp}"),
                 });
+            }
+        }
+        if let Some(mp) = self.max_precision {
+            if !(mp.is_finite() && mp > 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    field: "max_precision",
+                    reason: format!("must be positive and finite, got {mp}"),
+                });
+            }
+            if let Some(lo) = self.min_precision {
+                if mp <= lo {
+                    return Err(CoreError::InvalidConfig {
+                        field: "max_precision",
+                        reason: format!("ceiling {mp} must exceed min_precision {lo}"),
+                    });
+                }
             }
         }
         self.lazy.validate()
@@ -193,5 +215,23 @@ mod tests {
             ..GmConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = GmConfig {
+            max_precision: Some(f64::INFINITY),
+            ..GmConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Ceiling must sit strictly above the floor.
+        let c = GmConfig {
+            min_precision: Some(10.0),
+            max_precision: Some(10.0),
+            ..GmConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = GmConfig {
+            min_precision: Some(10.0),
+            max_precision: Some(1e6),
+            ..GmConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 }

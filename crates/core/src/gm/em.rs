@@ -346,15 +346,37 @@ pub const PI_FLOOR: f64 = 1e-12;
 ///
 /// Returns `(pi, lambda)`.
 pub fn m_step(acc: &EmAccumulators, a: f64, b: f64, alpha: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    m_step_bounded(acc, a, b, alpha, LAMBDA_MIN, LAMBDA_MAX)
+}
+
+/// [`m_step`] with explicit precision bounds `[floor, ceiling]`.
+///
+/// A component whose responsibility mass concentrates on near-zero weights
+/// drives Eq. 13's denominator `2b + Σ r·w²` toward `2b` while the numerator
+/// stays O(Σ r); with a tiny `b` the ratio can reach `inf` in one step. The
+/// ceiling turns that blow-up into a finite, configurable saturation
+/// ([`crate::gm::GmConfig::max_precision`]).
+pub fn m_step_bounded(
+    acc: &EmAccumulators,
+    a: f64,
+    b: f64,
+    alpha: &[f64],
+    floor: f64,
+    ceiling: f64,
+) -> (Vec<f64>, Vec<f64>) {
     let k = acc.resp_sum.len();
     assert_eq!(alpha.len(), k, "alpha must have one entry per component");
+    debug_assert!(floor > 0.0 && ceiling > floor, "invalid precision bounds");
 
     let mut lambda = Vec::with_capacity(k);
     for i in 0..k {
         let num = 2.0 * (a - 1.0) + acc.resp_sum[i];
         let den = 2.0 * b + acc.resp_wsq_sum[i];
-        let l = if den > 0.0 { num / den } else { LAMBDA_MAX };
-        lambda.push(l.clamp(LAMBDA_MIN, LAMBDA_MAX));
+        let l = if den > 0.0 { num / den } else { ceiling };
+        // NaN (0/0 with a = 1, b = 0) saturates at the ceiling rather than
+        // propagating: clamp() keeps NaN, so handle it explicitly.
+        let l = if l.is_nan() { ceiling } else { l };
+        lambda.push(l.clamp(floor, ceiling));
     }
 
     let alpha_excess: f64 = alpha.iter().map(|&av| av - 1.0).sum();
@@ -444,6 +466,36 @@ mod tests {
         assert!((pi[0] - 2.5 / 6.0).abs() < 1e-12);
         assert!((pi[1] - 3.5 / 6.0).abs() < 1e-12);
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m_step_bounded_caps_near_zero_variance_component() {
+        // A component whose responsibility mass sits on (essentially) zero
+        // weights: Σ r·w² ≈ 0. With a tiny Gamma rate b the unclamped Eq. 13
+        // ratio is ~1e14; the ceiling must cap it, and the other component
+        // must be unaffected.
+        let acc = EmAccumulators {
+            resp_sum: vec![100.0, 50.0],
+            resp_wsq_sum: vec![1e-16, 25.0],
+            m: 150,
+        };
+        let (a, b) = (1.0, 1e-12);
+        let alpha = [2.0, 2.0];
+        let ceiling = 1e6;
+        let (pi, lambda) = m_step_bounded(&acc, a, b, &alpha, 1e-3, ceiling);
+        assert!(lambda.iter().all(|l| l.is_finite()));
+        assert_eq!(lambda[0], ceiling, "blow-up must saturate at the ceiling");
+        assert!((lambda[1] - 50.0 / (2e-12 + 25.0)).abs() < 1e-9);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+
+        // b = 0 with all-zero weights: denominator exactly 0 -> ceiling.
+        let acc0 = EmAccumulators {
+            resp_sum: vec![10.0],
+            resp_wsq_sum: vec![0.0],
+            m: 10,
+        };
+        let (_, lambda) = m_step_bounded(&acc0, 1.0, 0.0, &[1.5], 1e-3, ceiling);
+        assert_eq!(lambda[0], ceiling);
     }
 
     #[test]

@@ -1,0 +1,640 @@
+//! Numerical guard rails for the GM regularizer: per-step validation,
+//! last-good rollback with prior-based re-smoothing, and graceful
+//! degradation to a fixed L2 penalty after the retry budget is spent.
+//!
+//! The inner [`GmRegularizer`] already clamps λ inside its own M-step, so in
+//! a healthy run the guard is a cheap no-op scan. Its job is defense in
+//! depth against everything the clamp cannot see: a host model whose
+//! weights diverge and poison the cached `g_reg`, a restored checkpoint
+//! with pathological parameters, or (in the chaos suite) an injected λ
+//! blow-up. The recovery ladder is:
+//!
+//! 1. **Trip** — the step's regularization gradient or the mixture fails
+//!    validation ([`GuardTrip`] names what went wrong; `guard.trips`).
+//! 2. **Rollback** — the mixture is rolled back to the last-good
+//!    [`GmSnapshot`], re-smoothed toward the Gamma/Dirichlet priors
+//!    (Eq. 13 / Eq. 17 pseudo-counts) so the same collapse does not
+//!    immediately recur, and the E-step re-runs (`guard.rollbacks`).
+//! 3. **Degradation** — after `max_retries` rollbacks the regularizer
+//!    becomes a fixed [`L2Reg`] whose strength matches the last-good
+//!    mixture's expected precision (the paper's own baseline), surfacing
+//!    [`CoreError::DegenerateMixture`] through
+//!    [`GuardedGmRegularizer::last_error`] (`guard.degraded`). Training
+//!    continues; the process never aborts.
+
+use crate::baselines::L2Reg;
+use crate::error::{CoreError, Result};
+use crate::gm::checkpoint::GmSnapshot;
+use crate::gm::em::PI_FLOOR;
+use crate::gm::mixture::GaussianMixture;
+use crate::gm::regularizer::GmRegularizer;
+use crate::regularizer::{Regularizer, StepCtx};
+use crate::tele;
+
+/// Tuning knobs for [`GuardedGmRegularizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// λ ceiling the guard trips on. `None` uses the inner regularizer's
+    /// own bound ([`GmRegularizer::lambda_bounds`]), so an explicit
+    /// `max_precision` doubles as the guard threshold.
+    pub lambda_ceiling: Option<f64>,
+    /// Rollbacks allowed before degrading to L2. 0 degrades on the first
+    /// trip.
+    pub max_retries: u32,
+    /// Refresh the last-good snapshot after this many consecutive healthy
+    /// steps (minimum 1).
+    pub snapshot_interval: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            lambda_ceiling: None,
+            max_retries: 3,
+            snapshot_interval: 50,
+        }
+    }
+}
+
+/// What a guard validation caught, in checking order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardTrip {
+    /// The step's `g_reg` contribution contains NaN or ±inf.
+    NonFiniteGrad,
+    /// Some λ is NaN or ±inf.
+    NonFiniteMixture,
+    /// Some λ exceeds the configured ceiling.
+    LambdaExplosion,
+    /// The π simplex is broken: non-finite, non-positive, or its sum has
+    /// drifted from 1.
+    PiCollapse,
+}
+
+impl GuardTrip {
+    /// Short stable label used in errors and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GuardTrip::NonFiniteGrad => "non-finite g_reg",
+            GuardTrip::NonFiniteMixture => "non-finite lambda",
+            GuardTrip::LambdaExplosion => "lambda explosion",
+            GuardTrip::PiCollapse => "pi simplex collapse",
+        }
+    }
+}
+
+/// A [`GmRegularizer`] wrapped in numerical guard rails. See the module
+/// docs for the trip → rollback → degrade ladder.
+pub struct GuardedGmRegularizer {
+    inner: GmRegularizer,
+    cfg: GuardConfig,
+    last_good: GmSnapshot,
+    /// Scratch the inner regularizer writes `g_reg` into, so a poisoned
+    /// step can be discarded without contaminating the caller's gradient.
+    scratch: Vec<f32>,
+    trips: u64,
+    rollbacks: u64,
+    retries_used: u32,
+    healthy_steps: u64,
+    degraded: Option<L2Reg>,
+    last_error: Option<CoreError>,
+}
+
+impl GuardedGmRegularizer {
+    /// Guard `inner`, snapshotting its current state as the first
+    /// rollback target.
+    pub fn new(inner: GmRegularizer, cfg: GuardConfig) -> Self {
+        let last_good = inner.snapshot();
+        GuardedGmRegularizer {
+            inner,
+            cfg,
+            last_good,
+            scratch: Vec::new(),
+            trips: 0,
+            rollbacks: 0,
+            retries_used: 0,
+            healthy_steps: 0,
+            degraded: None,
+            last_error: None,
+        }
+    }
+
+    /// Rebuild a guarded regularizer from a persisted snapshot (resume
+    /// path). The snapshot becomes the initial rollback target.
+    pub fn from_snapshot(snap: &GmSnapshot, cfg: GuardConfig) -> Result<Self> {
+        Ok(Self::new(GmRegularizer::from_snapshot(snap)?, cfg))
+    }
+
+    /// A guarded regularizer that starts out already degraded to L2 with
+    /// strength `beta` (resume path for a run that degraded before its
+    /// checkpoint).
+    pub fn degraded_from(snap: &GmSnapshot, beta: f64, cfg: GuardConfig) -> Result<Self> {
+        let mut g = Self::from_snapshot(snap, cfg)?;
+        g.degraded = Some(L2Reg::new(beta)?);
+        Ok(g)
+    }
+
+    /// Guard trips observed so far.
+    pub fn trip_count(&self) -> u64 {
+        self.trips
+    }
+
+    /// Rollbacks performed so far.
+    pub fn rollback_count(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Whether the regularizer has degraded to fixed L2.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// The L2 strength in effect after degradation.
+    pub fn degraded_beta(&self) -> Option<f64> {
+        self.degraded.as_ref().map(|l2| l2.beta())
+    }
+
+    /// The error recorded when the guard degraded (or `None` while the GM
+    /// regularizer is still active).
+    pub fn last_error(&self) -> Option<&CoreError> {
+        self.last_error.as_ref()
+    }
+
+    /// The guarded inner regularizer.
+    pub fn inner(&self) -> &GmRegularizer {
+        &self.inner
+    }
+
+    /// Snapshot for checkpointing: the live mixture while healthy, the
+    /// last-good state after degradation.
+    pub fn snapshot(&self) -> GmSnapshot {
+        if self.degraded.is_some() {
+            self.last_good.clone()
+        } else {
+            self.inner.snapshot()
+        }
+    }
+
+    /// Immediately degrade to fixed L2 (used by training runtimes whose
+    /// global retry budget is exhausted). Idempotent.
+    pub fn force_degrade(&mut self, detail: &str) {
+        if self.degraded.is_some() {
+            return;
+        }
+        let beta = degraded_beta_from(&self.last_good);
+        self.degraded = Some(L2Reg::new(beta).expect("clamped beta is valid"));
+        self.last_error = Some(CoreError::DegenerateMixture {
+            detail: format!("degraded to L2(beta = {beta:.3e}): {detail}"),
+        });
+        tele::counter_inc("guard.degraded");
+    }
+
+    fn lambda_ceiling(&self) -> f64 {
+        self.cfg
+            .lambda_ceiling
+            .unwrap_or_else(|| self.inner.lambda_bounds().1)
+    }
+
+    /// Validate the step's `g_reg` (in `self.scratch`) and the mixture.
+    fn validate(&self, w: &[f32]) -> Option<GuardTrip> {
+        if self.scratch.iter().any(|v| !v.is_finite()) {
+            return Some(GuardTrip::NonFiniteGrad);
+        }
+        let ceiling = self.lambda_ceiling();
+        // For a zero-mean mixture |g_reg| = coeff·|w| with coeff ≤ λ_max, so
+        // any healthy step satisfies |g| ≤ ceiling·|w|; exceeding that bound
+        // means an exploded λ fed the sweep even if a later M-step already
+        // re-clamped the mixture. The +1 term gives f32 rounding headroom.
+        if self
+            .scratch
+            .iter()
+            .zip(w)
+            .any(|(&g, &wv)| (g as f64).abs() > ceiling * ((wv as f64).abs() + 1.0))
+        {
+            return Some(GuardTrip::LambdaExplosion);
+        }
+        let gm = self.inner.mixture();
+        if gm.lambda().iter().any(|l| !l.is_finite()) {
+            return Some(GuardTrip::NonFiniteMixture);
+        }
+        if gm.lambda().iter().any(|&l| l > ceiling) {
+            return Some(GuardTrip::LambdaExplosion);
+        }
+        let pi = gm.pi();
+        if pi.iter().any(|p| !p.is_finite() || *p <= 0.0) {
+            return Some(GuardTrip::PiCollapse);
+        }
+        if (pi.iter().sum::<f64>() - 1.0).abs() > 1e-6 {
+            return Some(GuardTrip::PiCollapse);
+        }
+        None
+    }
+
+    /// Roll the mixture back to the last-good snapshot, re-smoothed toward
+    /// the Gamma/Dirichlet priors, and re-run the E-step on `w`.
+    fn rollback(&mut self, w: &[f32]) -> Result<()> {
+        let (floor, ceiling) = self.inner.lambda_bounds();
+        let a = self.inner.a();
+        let b = self.inner.b();
+        let alpha = self.inner.alpha().to_vec();
+        let m = self.inner.dims();
+        let (pi, lambda) = resmooth(
+            &self.last_good.pi,
+            &self.last_good.lambda,
+            a,
+            b,
+            &alpha,
+            m,
+            floor,
+            ceiling.min(self.lambda_ceiling()),
+        );
+        let gm = GaussianMixture::new(pi, lambda)?;
+        self.inner.install_mixture(gm)?;
+        // Rebuild the cached g_reg from the restored mixture; a host model
+        // with non-finite weights will poison it again, which the *next*
+        // validation pass reports (and the weights are the runtime's job).
+        if w.iter().all(|v| v.is_finite()) {
+            self.inner.force_e_step(w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Dirichlet/Gamma re-smoothing of a snapshot's mixture parameters.
+///
+/// λ entries that are non-finite or outside `[floor, ceiling]` are replaced
+/// by the Gamma prior's mean `a/b` (Eq. 13 with zero responsibility mass),
+/// clamped into bounds. π is pulled toward the Dirichlet prior's mean with
+/// the α − 1 pseudo-counts of Eq. 17 — `π'_k ∝ π_k·M + α_k − 1` — which
+/// lifts collapsed components off the floor; non-finite entries fall back
+/// to uniform before smoothing.
+#[allow(clippy::too_many_arguments)]
+fn resmooth(
+    pi: &[f64],
+    lambda: &[f64],
+    a: f64,
+    b: f64,
+    alpha: &[f64],
+    m: usize,
+    floor: f64,
+    ceiling: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let k = pi.len();
+    let prior_mean = if b > 0.0 { a / b } else { 1.0 };
+    let lambda: Vec<f64> = lambda
+        .iter()
+        .map(|&l| {
+            if l.is_finite() && l >= floor && l <= ceiling {
+                l
+            } else {
+                prior_mean.clamp(floor, ceiling)
+            }
+        })
+        .collect();
+
+    let uniform = 1.0 / k as f64;
+    let raw: Vec<f64> = pi
+        .iter()
+        .map(|&p| if p.is_finite() && p > 0.0 { p } else { uniform })
+        .collect();
+    let mf = m as f64;
+    let mut smoothed: Vec<f64> = raw
+        .iter()
+        .zip(alpha)
+        .map(|(&p, &av)| (p * mf + (av - 1.0).max(0.0)).max(PI_FLOOR))
+        .collect();
+    let z: f64 = smoothed.iter().sum();
+    smoothed.iter_mut().for_each(|p| *p /= z);
+    (smoothed, lambda)
+}
+
+fn degraded_beta_from(snap: &GmSnapshot) -> f64 {
+    // E[λ] under the mixture = the L2 strength that matches the prior's
+    // average pull toward zero; clamp so a saturated snapshot cannot turn
+    // the fallback into a sledgehammer.
+    let expected: f64 = snap
+        .pi
+        .iter()
+        .zip(&snap.lambda)
+        .filter(|(p, l)| p.is_finite() && l.is_finite())
+        .map(|(p, l)| p * l)
+        .sum();
+    if expected.is_finite() && expected > 0.0 {
+        expected.clamp(1e-8, 1e6)
+    } else {
+        1.0
+    }
+}
+
+impl Regularizer for GuardedGmRegularizer {
+    fn name(&self) -> &str {
+        if self.degraded.is_some() {
+            "L2(degraded)"
+        } else {
+            "GM"
+        }
+    }
+
+    fn penalty(&self, w: &[f32]) -> f64 {
+        match &self.degraded {
+            Some(l2) => l2.penalty(w),
+            None => self.inner.penalty(w),
+        }
+    }
+
+    fn accumulate_grad(&mut self, w: &[f32], grad: &mut [f32], ctx: StepCtx) {
+        if let Some(l2) = &mut self.degraded {
+            l2.accumulate_grad(w, grad, ctx);
+            return;
+        }
+
+        // Run the inner regularizer against a zeroed scratch buffer so a
+        // poisoned step can be discarded instead of reaching `grad`.
+        self.scratch.resize(w.len(), 0.0);
+        self.scratch.fill(0.0);
+        self.inner.accumulate_grad(w, &mut self.scratch, ctx);
+
+        if let Some(trip) = self.validate(w) {
+            self.trips += 1;
+            tele::counter_inc("guard.trips");
+            if self.retries_used < self.cfg.max_retries {
+                self.retries_used += 1;
+                let recovered = self
+                    .rollback(w)
+                    .is_ok()
+                    .then(|| {
+                        // Adopt the rebuilt cache only if it is clean; with
+                        // non-finite host weights nothing is added this step.
+                        let greg = self.inner.cached_reg_grad();
+                        if greg.iter().all(|v| v.is_finite()) {
+                            for (g, &r) in grad.iter_mut().zip(greg) {
+                                *g += r;
+                            }
+                        }
+                    })
+                    .is_some();
+                if recovered {
+                    self.rollbacks += 1;
+                    self.healthy_steps = 0;
+                    tele::counter_inc("guard.rollbacks");
+                    return;
+                }
+            }
+            // Budget spent (or the rollback itself failed): degrade.
+            self.force_degrade(trip.label());
+            if let Some(l2) = &mut self.degraded {
+                l2.accumulate_grad(w, grad, ctx);
+            }
+            return;
+        }
+
+        // Healthy step: publish the scratch gradient and maybe refresh the
+        // rollback target.
+        for (g, &r) in grad.iter_mut().zip(&self.scratch) {
+            *g += r;
+        }
+        self.healthy_steps += 1;
+        if self.healthy_steps >= self.cfg.snapshot_interval.max(1)
+            && !self.inner.mixture().is_degenerate()
+        {
+            self.last_good = self.inner.snapshot();
+            self.healthy_steps = 0;
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        match &mut self.degraded {
+            Some(l2) => l2.end_epoch(),
+            None => self.inner.end_epoch(),
+        }
+    }
+
+    fn as_gm(&self) -> Option<&GmRegularizer> {
+        if self.degraded.is_some() {
+            None
+        } else {
+            Some(&self.inner)
+        }
+    }
+
+    fn as_guard(&self) -> Option<&GuardedGmRegularizer> {
+        Some(self)
+    }
+
+    fn as_guard_mut(&mut self) -> Option<&mut GuardedGmRegularizer> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gm::config::GmConfig;
+
+    fn cfg() -> GmConfig {
+        GmConfig {
+            min_precision: Some(1.0),
+            ..GmConfig::default()
+        }
+    }
+
+    fn weights(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| if i % 4 == 0 { 0.6 } else { 0.03 } * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_run_matches_unguarded() {
+        let w = weights(120);
+        let inner = GmRegularizer::new(w.len(), 0.5, cfg()).unwrap();
+        let mut plain = GmRegularizer::new(w.len(), 0.5, cfg()).unwrap();
+        let mut guarded = GuardedGmRegularizer::new(inner, GuardConfig::default());
+        let mut ga = vec![0.0f32; w.len()];
+        let mut gb = vec![0.0f32; w.len()];
+        for it in 0..60u64 {
+            ga.fill(0.0);
+            gb.fill(0.0);
+            plain.accumulate_grad(&w, &mut ga, StepCtx::new(it, 0));
+            guarded.accumulate_grad(&w, &mut gb, StepCtx::new(it, 0));
+            assert_eq!(ga, gb, "guard must be transparent on healthy steps");
+        }
+        assert_eq!(guarded.trip_count(), 0);
+        assert!(!guarded.is_degraded());
+        assert_eq!(guarded.name(), "GM");
+        assert!(guarded.as_gm().is_some());
+        assert!((guarded.penalty(&w) - plain.penalty(&w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exploded_lambda_snapshot_trips_and_rolls_back() {
+        let w = weights(80);
+        let inner = GmRegularizer::new(w.len(), 0.5, cfg()).unwrap();
+        let mut guarded = GuardedGmRegularizer::new(
+            inner,
+            GuardConfig {
+                lambda_ceiling: Some(1e9),
+                ..GuardConfig::default()
+            },
+        );
+        // Warm up and snapshot a healthy state.
+        let mut g = vec![0.0f32; w.len()];
+        for it in 0..10u64 {
+            g.fill(0.0);
+            guarded.accumulate_grad(&w, &mut g, StepCtx::new(it, 0));
+        }
+        // Sabotage the live mixture with an exploded λ (bypasses the inner
+        // clamp, as the failpoint would).
+        let k = guarded.inner().mixture().k();
+        let pi = guarded.inner().mixture().pi().to_vec();
+        let lambda = vec![1e30; k];
+        guarded
+            .inner
+            .install_mixture(GaussianMixture::new(pi, lambda).unwrap())
+            .unwrap();
+        guarded.inner.force_e_step(&w).unwrap();
+
+        g.fill(0.0);
+        guarded.accumulate_grad(&w, &mut g, StepCtx::new(10, 0));
+        assert_eq!(guarded.trip_count(), 1);
+        assert_eq!(guarded.rollback_count(), 1);
+        assert!(!guarded.is_degraded());
+        // Restored mixture is sane and the produced gradient is finite.
+        assert!(guarded
+            .inner()
+            .mixture()
+            .lambda()
+            .iter()
+            .all(|&l| l.is_finite() && l <= 1e9));
+        assert!(g.iter().all(|v| v.is_finite()));
+        // It keeps training normally afterwards.
+        for it in 11..30u64 {
+            g.fill(0.0);
+            guarded.accumulate_grad(&w, &mut g, StepCtx::new(it, 0));
+        }
+        assert_eq!(guarded.trip_count(), 1);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_to_l2_and_never_panics() {
+        let w = weights(60);
+        let inner = GmRegularizer::new(w.len(), 0.5, cfg()).unwrap();
+        let mut guarded = GuardedGmRegularizer::new(
+            inner,
+            GuardConfig {
+                lambda_ceiling: Some(1e9),
+                max_retries: 2,
+                ..GuardConfig::default()
+            },
+        );
+        let mut g = vec![0.0f32; w.len()];
+        guarded.accumulate_grad(&w, &mut g, StepCtx::new(0, 0));
+
+        let sabotage = |guarded: &mut GuardedGmRegularizer| {
+            let k = guarded.inner().mixture().k();
+            let pi = guarded.inner().mixture().pi().to_vec();
+            guarded
+                .inner
+                .install_mixture(GaussianMixture::new(pi, vec![1e30; k]).unwrap())
+                .unwrap();
+            guarded.inner.force_e_step(&w).unwrap();
+        };
+
+        for it in 1..=3u64 {
+            sabotage(&mut guarded);
+            g.fill(0.0);
+            guarded.accumulate_grad(&w, &mut g, StepCtx::new(it, 0));
+            assert!(g.iter().all(|v| v.is_finite()));
+        }
+        assert!(guarded.is_degraded());
+        assert_eq!(guarded.name(), "L2(degraded)");
+        assert!(guarded.as_gm().is_none());
+        let beta = guarded.degraded_beta().unwrap();
+        assert!(beta.is_finite() && beta > 0.0);
+        assert!(matches!(
+            guarded.last_error(),
+            Some(CoreError::DegenerateMixture { .. })
+        ));
+        // Degraded mode behaves exactly like L2.
+        let mut l2 = L2Reg::new(beta).unwrap();
+        let mut gl = vec![0.0f32; w.len()];
+        g.fill(0.0);
+        guarded.accumulate_grad(&w, &mut g, StepCtx::new(4, 0));
+        l2.accumulate_grad(&w, &mut gl, StepCtx::new(4, 0));
+        assert_eq!(g, gl);
+    }
+
+    #[test]
+    fn nan_greg_is_discarded_not_propagated() {
+        let w = weights(40);
+        // A lazy schedule so the poisoned cache is actually *used* by the
+        // next step instead of being refreshed — the real staleness hazard.
+        let mut c = cfg();
+        c.lazy = crate::gm::lazy::LazySchedule::new(0, 10, 10).unwrap();
+        let inner = GmRegularizer::new(w.len(), 0.5, c).unwrap();
+        let mut guarded = GuardedGmRegularizer::new(inner, GuardConfig::default());
+        let mut g = vec![0.0f32; w.len()];
+        guarded.accumulate_grad(&w, &mut g, StepCtx::new(0, 0));
+
+        // Poison the cached greg directly (what the gm.greg.nan failpoint
+        // does) by E-stepping against NaN weights.
+        let bad = vec![f32::NAN; w.len()];
+        let _ = guarded.inner.force_e_step(&bad);
+
+        g.fill(0.0);
+        guarded.accumulate_grad(&w, &mut g, StepCtx::new(1, 0));
+        assert!(
+            g.iter().all(|v| v.is_finite()),
+            "NaN g_reg must never reach the caller's gradient"
+        );
+        assert_eq!(guarded.trip_count(), 1);
+        assert_eq!(guarded.rollback_count(), 1);
+    }
+
+    #[test]
+    fn resmooth_repairs_degenerate_parameters() {
+        let alpha = [3.0, 3.0, 3.0];
+        let (pi, lambda) = resmooth(
+            &[f64::NAN, 0.0, 1.0],
+            &[f64::INFINITY, 5.0, f64::NAN],
+            1.5,
+            0.5,
+            &alpha,
+            100,
+            1e-3,
+            1e6,
+        );
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|p| p.is_finite() && *p > 0.0));
+        assert!(lambda.iter().all(|l| l.is_finite()));
+        assert_eq!(lambda[1], 5.0, "in-bounds λ is preserved");
+        assert_eq!(lambda[0], 3.0, "broken λ gets the Gamma prior mean a/b");
+        assert_eq!(lambda[2], 3.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_guard() {
+        let w = weights(50);
+        let inner = GmRegularizer::new(w.len(), 0.5, cfg()).unwrap();
+        let mut guarded = GuardedGmRegularizer::new(inner, GuardConfig::default());
+        let mut g = vec![0.0f32; w.len()];
+        for it in 0..20u64 {
+            g.fill(0.0);
+            guarded.accumulate_grad(&w, &mut g, StepCtx::new(it, 0));
+        }
+        let snap = guarded.snapshot();
+        let restored = GuardedGmRegularizer::from_snapshot(&snap, GuardConfig::default()).unwrap();
+        assert_eq!(
+            restored.inner().mixture().pi(),
+            guarded.inner().mixture().pi()
+        );
+        assert_eq!(
+            restored.inner().mixture().lambda(),
+            guarded.inner().mixture().lambda()
+        );
+
+        let degraded =
+            GuardedGmRegularizer::degraded_from(&snap, 0.125, GuardConfig::default()).unwrap();
+        assert!(degraded.is_degraded());
+        assert_eq!(degraded.degraded_beta(), Some(0.125));
+    }
+}

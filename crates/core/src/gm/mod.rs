@@ -11,6 +11,8 @@
 //! * [`GmRegTool`] — the paper's three-function tool API (Sec. IV);
 //! * [`effective_mixture`] — collapses merged components for reporting;
 //! * [`GmSnapshot`] — serializable checkpoints of the learned state;
+//! * [`GuardedGmRegularizer`] — numerical guard rails with last-good
+//!   rollback and graceful L2 degradation;
 //! * [`SoftSharingRegularizer`] — the learnable-means extension (classic
 //!   soft weight-sharing; the paper's zero-mean GM is its centered case).
 //!
@@ -19,6 +21,7 @@
 mod checkpoint;
 mod config;
 mod em;
+mod guard;
 mod guidance;
 mod init;
 mod lazy;
@@ -33,9 +36,10 @@ pub use config::{GmConfig, GAMMA_GRID};
 #[cfg(feature = "parallel")]
 pub use em::e_step_with_threads;
 pub use em::{
-    e_step, e_step_serial, e_step_with_scratch, m_step, EStepScratch, EmAccumulators, E_STEP_CHUNK,
-    LAMBDA_MAX, LAMBDA_MIN, PI_FLOOR,
+    e_step, e_step_serial, e_step_with_scratch, m_step, m_step_bounded, EStepScratch,
+    EmAccumulators, E_STEP_CHUNK, LAMBDA_MAX, LAMBDA_MIN, PI_FLOOR,
 };
+pub use guard::{GuardConfig, GuardTrip, GuardedGmRegularizer};
 pub use guidance::{recommended_config, ModelKind};
 pub use init::InitMethod;
 pub use lazy::LazySchedule;

@@ -3,7 +3,9 @@
 
 use crate::error::{CoreError, Result};
 use crate::gm::config::GmConfig;
-use crate::gm::em::{e_step_with_scratch, m_step, EStepScratch, EmAccumulators};
+use crate::gm::em::{
+    e_step_with_scratch, m_step_bounded, EStepScratch, EmAccumulators, LAMBDA_MAX, LAMBDA_MIN,
+};
 use crate::gm::merge::effective_mixture;
 use crate::gm::mixture::GaussianMixture;
 use crate::regularizer::{Regularizer, StepCtx};
@@ -149,6 +151,26 @@ impl GmRegularizer {
         self.degenerate_skips
     }
 
+    /// The cached `g_reg` from the most recent E-step (what
+    /// [`Regularizer::accumulate_grad`] adds to the gradient between
+    /// E-steps). Exposed so guard rails can validate the cache without
+    /// re-running a sweep.
+    pub fn cached_reg_grad(&self) -> &[f32] {
+        &self.greg
+    }
+
+    /// The λ bounds every M-step clamps against: `min_precision` (when set)
+    /// up to `max_precision` (default global ceiling `1e12`).
+    pub fn lambda_bounds(&self) -> (f64, f64) {
+        let floor = self.config.min_precision.unwrap_or(LAMBDA_MIN);
+        let ceiling = self
+            .config
+            .max_precision
+            .unwrap_or(LAMBDA_MAX)
+            .max(floor * 2.0);
+        (floor, ceiling)
+    }
+
     /// Replaces the mixture state (checkpoint restore). The cached `g_reg`
     /// is cleared; the next scheduled E-step rebuilds it.
     pub(crate) fn install_mixture(&mut self, gm: GaussianMixture) -> Result<()> {
@@ -185,7 +207,8 @@ impl GmRegularizer {
                 reason: "no E-step statistics available yet".into(),
             });
         }
-        let (pi, lambda) = m_step(&self.acc, self.a, self.b, &self.alpha);
+        let (floor, ceiling) = self.lambda_bounds();
+        let (pi, lambda) = m_step_bounded(&self.acc, self.a, self.b, &self.alpha, floor, ceiling);
         self.gm.set_params(pi, lambda)?;
         self.m_steps += 1;
         if self.gm.is_degenerate() {
@@ -249,6 +272,13 @@ impl Regularizer for GmRegularizer {
             self.e_steps += 1;
             #[cfg(feature = "telemetry")]
             tele::histogram_record("gm.resp.entropy", self.acc.mixing_entropy());
+
+            // Failpoint: poison the freshly cached g_reg, modelling a
+            // numerically corrupted sweep (chaos suite only).
+            #[cfg(feature = "failpoints")]
+            if let Some(gmreg_faults::FaultKind::NanFill) = gmreg_faults::fire("gm.greg.nan") {
+                self.greg.iter_mut().for_each(|v| *v = f32::NAN);
+            }
         } else {
             tele::counter_inc("gm.e_step.skips");
         }
@@ -264,7 +294,21 @@ impl Regularizer for GmRegularizer {
             if self.acc.m > 0 {
                 tele::counter_inc("gm.m_step.runs");
                 let _t = tele::span("gm.m_step.ns");
-                let (pi, lambda) = m_step(&self.acc, self.a, self.b, &self.alpha);
+                let (floor, ceiling) = self.lambda_bounds();
+                #[allow(unused_mut)]
+                let (pi, mut lambda) =
+                    m_step_bounded(&self.acc, self.a, self.b, &self.alpha, floor, ceiling);
+
+                // Failpoint: scale λ past any sane ceiling, modelling the
+                // Eq. 13 blow-up the guard rail must catch (chaos suite
+                // only). The scale is applied *after* the clamp so the guard
+                // sees the explosion, not the clamp.
+                #[cfg(feature = "failpoints")]
+                if let Some(gmreg_faults::FaultKind::Scale(s)) =
+                    gmreg_faults::fire("gm.lambda.blowup")
+                {
+                    lambda.iter_mut().for_each(|l| *l *= s);
+                }
                 // π drift (L1) and λ drift (max |log ratio|) per update feed
                 // the convergence histograms; computed only when the metric
                 // sink exists.
@@ -487,6 +531,39 @@ mod tests {
             after < before,
             "adapting the prior should raise the likelihood of w: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn max_precision_caps_lambda_for_tiny_weights() {
+        // All weights essentially zero: without a ceiling the tight
+        // component's λ races toward the prior cap ~1/(2γ) per M-step and,
+        // with a pathologically small γ, toward inf. The configured ceiling
+        // must hold at every step.
+        let w = vec![1e-20f32; 64];
+        let mut c = GmConfig {
+            gamma: 1e-15, // b = γ·M ≈ 6.4e-14: denominator is effectively 0
+            min_precision: Some(1.0),
+            max_precision: Some(1e8),
+            ..GmConfig::default()
+        };
+        c.a_factor = 0.0; // a = 1: numerator reduces to Σ r
+        let mut reg = GmRegularizer::new(w.len(), 0.5, c).unwrap();
+        let mut grad = vec![0.0f32; w.len()];
+        for it in 0..20u64 {
+            grad.fill(0.0);
+            reg.accumulate_grad(&w, &mut grad, StepCtx::new(it, 0));
+            for &l in reg.mixture().lambda() {
+                assert!(l.is_finite() && l <= 1e8, "λ escaped the ceiling: {l}");
+            }
+        }
+        // The blow-up actually happened (we saturated, not just stayed low).
+        assert!(
+            reg.mixture().lambda().contains(&1e8),
+            "{:?}",
+            reg.mixture().lambda()
+        );
+        // And the gradients derived from the capped mixture stay finite.
+        assert!(grad.iter().all(|g| g.is_finite()));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod baselines;
+pub mod durable;
 mod error;
 pub mod gm;
 mod regularizer;

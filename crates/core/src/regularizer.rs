@@ -52,6 +52,19 @@ pub trait Regularizer: Send {
     fn as_gm(&self) -> Option<&crate::gm::GmRegularizer> {
         None
     }
+
+    /// Downcast hook for fault-tolerant runtimes: the guarded GM
+    /// regularizer returns itself so training loops can read trip/rollback
+    /// counters and drive degradation; every other implementation returns
+    /// `None`.
+    fn as_guard(&self) -> Option<&crate::gm::GuardedGmRegularizer> {
+        None
+    }
+
+    /// Mutable variant of [`Regularizer::as_guard`].
+    fn as_guard_mut(&mut self) -> Option<&mut crate::gm::GuardedGmRegularizer> {
+        None
+    }
 }
 
 /// The absence of regularization — the "no regularization" rows of

@@ -1,0 +1,271 @@
+//! Deterministic fault-injection registry for the gmreg robustness harness.
+//!
+//! This crate is compiled into the workspace only when the off-by-default
+//! `failpoints` feature is enabled on a consuming crate. Injection *sites*
+//! are named strings (e.g. `"gm.greg.nan"`, `"ckpt.bytes"`, `"pool.worker"`)
+//! scattered through the library crates behind `#[cfg(feature =
+//! "failpoints")]` blocks. A test (or a chaos CI job) *arms* a site with a
+//! [`FaultSpec`] that says which fault to deliver and on which hits of the
+//! site it should fire. Determinism comes from hit-count indexing: the n-th
+//! traversal of a site always observes the same decision for a given spec,
+//! independent of wall-clock time, thread scheduling, or process layout.
+//!
+//! Seeded schedules for chaos runs are derived with [`seeded_hits`], a
+//! splitmix64-based expansion of a single `u64` seed into a sorted hit list,
+//! so `GMREG_FAULT_SEED=7` reproduces the exact same fault pattern on every
+//! machine.
+//!
+//! The registry is a process-global `Mutex`; tests that arm sites should
+//! serialize themselves (the integration suite uses a shared lock) and call
+//! [`reset`] between scenarios.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The concrete corruption a site should apply when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Overwrite the value(s) at the site with NaN.
+    NanFill,
+    /// Multiply the value(s) at the site by the given factor
+    /// (used for λ blow-ups: large but finite).
+    Scale(f64),
+    /// Truncate a byte buffer to at most this many bytes.
+    Truncate(usize),
+    /// Flip the bit at this absolute bit index of a byte buffer
+    /// (index is taken modulo the buffer length in bits).
+    BitFlip(u64),
+    /// Panic at the site (worker-panic containment tests).
+    Panic,
+}
+
+/// Which fault to inject at a site and on which hits it fires.
+///
+/// `hits` holds 0-based per-site hit indices: the site fires the k-th time
+/// it is traversed iff `k ∈ hits`. An empty list never fires (but still
+/// counts hits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// The corruption to deliver when the site fires.
+    pub kind: FaultKind,
+    /// 0-based hit indices on which to fire (ignored when `always` is set).
+    pub hits: Vec<u64>,
+    /// Fire on every traversal regardless of `hits`.
+    pub always: bool,
+}
+
+impl FaultSpec {
+    /// Spec that fires exactly once, on the `hit`-th traversal of the site.
+    pub fn once_at(kind: FaultKind, hit: u64) -> Self {
+        FaultSpec {
+            kind,
+            hits: vec![hit],
+            always: false,
+        }
+    }
+
+    /// Spec that fires on the given 0-based hit indices.
+    pub fn at_hits(kind: FaultKind, hits: Vec<u64>) -> Self {
+        FaultSpec {
+            kind,
+            hits,
+            always: false,
+        }
+    }
+
+    /// Spec that fires on every traversal of the site.
+    pub fn always(kind: FaultKind) -> Self {
+        FaultSpec {
+            kind,
+            hits: Vec::new(),
+            always: true,
+        }
+    }
+
+    /// Whether this spec fires on the given 0-based hit index.
+    pub fn fires_on(&self, hit: u64) -> bool {
+        self.always || self.hits.contains(&hit)
+    }
+}
+
+/// Internal per-site state: the armed spec plus the traversal count.
+#[derive(Debug, Clone)]
+struct Site {
+    spec: Option<FaultSpec>,
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arm `site` with `spec`, resetting its hit counter to zero.
+pub fn arm(site: &str, spec: FaultSpec) {
+    let mut reg = registry().lock().unwrap();
+    reg.insert(
+        site.to_string(),
+        Site {
+            spec: Some(spec),
+            hits: 0,
+        },
+    );
+}
+
+/// Disarm `site` (it keeps counting hits if traversed again after re-arming).
+pub fn disarm(site: &str) {
+    let mut reg = registry().lock().unwrap();
+    reg.remove(site);
+}
+
+/// Disarm every site and zero all hit counters.
+pub fn reset() {
+    registry().lock().unwrap().clear();
+}
+
+/// Record a traversal of `site`; returns the fault to inject, if it fires.
+///
+/// Unarmed sites are not tracked: the call is a lock + map miss and returns
+/// `None` without allocating.
+pub fn fire(site: &str) -> Option<FaultKind> {
+    let mut reg = registry().lock().unwrap();
+    let entry = reg.get_mut(site)?;
+    let hit = entry.hits;
+    entry.hits += 1;
+    let spec = entry.spec.as_ref()?;
+    if spec.fires_on(hit) {
+        Some(spec.kind.clone())
+    } else {
+        None
+    }
+}
+
+/// Number of times `site` has been traversed since it was armed.
+pub fn hits(site: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .get(site)
+        .map(|s| s.hits)
+        .unwrap_or(0)
+}
+
+/// Names of all currently armed sites, sorted for determinism.
+pub fn armed() -> Vec<String> {
+    let reg = registry().lock().unwrap();
+    let mut names: Vec<String> = reg
+        .iter()
+        .filter(|(_, s)| s.spec.is_some())
+        .map(|(k, _)| k.clone())
+        .collect();
+    names.sort();
+    names
+}
+
+/// splitmix64: tiny, high-quality, seedable PRNG step (public-domain
+/// algorithm by Sebastiano Vigna). Used to expand chaos seeds into hit
+/// schedules without pulling in a RNG dependency.
+pub fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+}
+
+/// Next splitmix64 output for `state` (advances the state).
+pub fn splitmix64_next(state: &mut u64) -> u64 {
+    splitmix64(state);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive a deterministic, sorted, deduplicated list of `count` hit indices
+/// in `[0, max_hit]` from `seed`. Equal seeds yield equal schedules on every
+/// platform; distinct seeds decorrelate immediately thanks to splitmix64's
+/// avalanche.
+pub fn seeded_hits(seed: u64, count: usize, max_hit: u64) -> Vec<u64> {
+    let mut state = seed;
+    let span = max_hit.saturating_add(1);
+    let mut hits: Vec<u64> = (0..count.max(1) * 4)
+        .map(|_| splitmix64_next(&mut state) % span)
+        .collect();
+    hits.sort_unstable();
+    hits.dedup();
+    hits.truncate(count);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The registry is process-global; serialize the unit tests.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn fires_only_on_listed_hits() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        arm(
+            "t.site",
+            FaultSpec {
+                kind: FaultKind::NanFill,
+                hits: vec![1, 3],
+                always: false,
+            },
+        );
+        assert_eq!(fire("t.site"), None);
+        assert_eq!(fire("t.site"), Some(FaultKind::NanFill));
+        assert_eq!(fire("t.site"), None);
+        assert_eq!(fire("t.site"), Some(FaultKind::NanFill));
+        assert_eq!(fire("t.site"), None);
+        assert_eq!(hits("t.site"), 5);
+        reset();
+    }
+
+    #[test]
+    fn always_spec_fires_every_hit() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        arm("t.always", FaultSpec::always(FaultKind::Panic));
+        for _ in 0..3 {
+            assert_eq!(fire("t.always"), Some(FaultKind::Panic));
+        }
+        reset();
+    }
+
+    #[test]
+    fn unarmed_sites_are_untracked() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        assert_eq!(fire("t.unarmed"), None);
+        assert_eq!(hits("t.unarmed"), 0);
+        assert!(armed().is_empty());
+        reset();
+    }
+
+    #[test]
+    fn disarm_stops_firing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        arm("t.d", FaultSpec::always(FaultKind::NanFill));
+        assert!(fire("t.d").is_some());
+        disarm("t.d");
+        assert_eq!(fire("t.d"), None);
+        reset();
+    }
+
+    #[test]
+    fn seeded_hits_are_deterministic_and_bounded() {
+        let a = seeded_hits(7, 3, 100);
+        let b = seeded_hits(7, 3, 100);
+        assert_eq!(a, b);
+        assert!(a.len() <= 3 && !a.is_empty());
+        assert!(a.iter().all(|&h| h <= 100));
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let c = seeded_hits(8, 3, 100);
+        assert_ne!(a, c);
+    }
+}

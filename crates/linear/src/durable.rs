@@ -1,0 +1,343 @@
+//! Durable, fault-tolerant fitting for [`LogisticRegression`]: epoch
+//! checkpoints in the CRC-protected container of [`gmreg_core::durable`],
+//! rollback-and-retry when an epoch produces non-finite numbers, and
+//! graceful degradation of a guarded GM regularizer to fixed L2 once the
+//! retry budget is spent. The linear-model counterpart of the network
+//! runtime in `gmreg-nn`.
+//!
+//! Unlike [`LogisticRegression::fit`], whose shuffling RNG threads through
+//! all epochs, the durable fit keys each epoch's shuffle by
+//! `seed + 1 + epoch` — the property that makes a resumed run replay the
+//! exact batch sequence of an uninterrupted one.
+
+use crate::error::{LinearError, Result};
+use crate::logistic::{check_binary, FitStats, LogisticRegression};
+use crate::tele;
+use gmreg_core::durable::CheckpointManager;
+use gmreg_core::gm::{GmSnapshot, GuardConfig, GuardedGmRegularizer};
+use gmreg_data::Batcher;
+use gmreg_data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Tuning knobs for [`LogisticRegression::fit_durable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableFitConfig {
+    /// Write a checkpoint every this many completed epochs (minimum 1).
+    pub checkpoint_every: usize,
+    /// Checkpoint generations retained (minimum 1).
+    pub keep: usize,
+    /// Epoch retries allowed before the guarded regularizer (if any) is
+    /// forced down to fixed L2.
+    pub max_retries: u32,
+    /// Guard configuration used when rebuilding the regularizer from a
+    /// checkpoint.
+    pub guard: GuardConfig,
+}
+
+impl Default for DurableFitConfig {
+    fn default() -> Self {
+        DurableFitConfig {
+            checkpoint_every: 1,
+            keep: 3,
+            max_retries: 3,
+            guard: GuardConfig::default(),
+        }
+    }
+}
+
+/// Serializable state of an in-progress durable fit: model, momentum,
+/// learning-rate schedule position, counters, and the guarded GM
+/// regularizer's mixture (plus its degraded-L2 strength when applicable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearFitState {
+    /// The next epoch to run (completed epochs are `0..next_epoch`).
+    pub next_epoch: u64,
+    /// SGD iterations completed.
+    pub iterations: u64,
+    /// Learning rate after the completed epochs' decay.
+    pub current_lr: f64,
+    /// Weight vector.
+    pub w: Vec<f32>,
+    /// Bias term.
+    pub bias: f64,
+    /// Weight momentum buffer.
+    pub velocity: Vec<f32>,
+    /// Bias momentum.
+    pub bias_velocity: f64,
+    /// Guarded GM mixture state, if the model carries a guarded GM
+    /// regularizer.
+    pub gm: Option<GmSnapshot>,
+    /// Degraded-L2 strength, if the guard had already degraded.
+    pub degraded_beta: Option<f64>,
+}
+
+impl LogisticRegression {
+    fn capture_fit_state(&self, next_epoch: u64, iterations: u64) -> LinearFitState {
+        let guard = self.regularizer.as_deref().and_then(|r| r.as_guard());
+        LinearFitState {
+            next_epoch,
+            iterations,
+            current_lr: self.current_lr as f64,
+            w: self.w.clone(),
+            bias: self.bias as f64,
+            velocity: self.velocity.clone(),
+            bias_velocity: self.bias_velocity as f64,
+            gm: guard.map(|g| g.snapshot()),
+            degraded_beta: guard.and_then(|g| g.degraded_beta()),
+        }
+    }
+
+    fn restore_fit_state(&mut self, state: &LinearFitState, guard: &GuardConfig) -> Result<()> {
+        if state.w.len() != self.w.len() || state.velocity.len() != self.velocity.len() {
+            return Err(LinearError::DimensionMismatch {
+                expected: self.w.len(),
+                actual: state.w.len(),
+            });
+        }
+        self.w.copy_from_slice(&state.w);
+        self.velocity.copy_from_slice(&state.velocity);
+        self.bias = state.bias as f32;
+        self.bias_velocity = state.bias_velocity as f32;
+        self.current_lr = state.current_lr as f32;
+        if let Some(snap) = &state.gm {
+            let rebuilt = match state.degraded_beta {
+                Some(beta) => GuardedGmRegularizer::degraded_from(snap, beta, guard.clone())?,
+                None => GuardedGmRegularizer::from_snapshot(snap, guard.clone())?,
+            };
+            self.regularizer = Some(Box::new(rebuilt));
+        }
+        Ok(())
+    }
+
+    /// [`LogisticRegression::fit`] with durable checkpoints and recovery.
+    ///
+    /// Checkpoints are written to `dir` (created if missing) after every
+    /// [`DurableFitConfig::checkpoint_every`] epochs; if `dir` already
+    /// holds a valid generation, fitting *resumes* from it — weights,
+    /// momentum, learning-rate position and regularizer state are all
+    /// restored, so an interrupted fit completes with the same result as
+    /// an uninterrupted one (up to the documented JSON float round-trip
+    /// tolerance). An epoch that yields a non-finite loss or non-finite
+    /// weights is rolled back and retried; after
+    /// [`DurableFitConfig::max_retries`] failures a guarded GM regularizer
+    /// is degraded to fixed L2, and if epochs *still* fail the fit returns
+    /// an error value — it never aborts the process.
+    pub fn fit_durable(
+        &mut self,
+        ds: &Dataset,
+        dir: impl AsRef<Path>,
+        cfg: &DurableFitConfig,
+    ) -> Result<FitStats> {
+        tele::counter_inc("linear.logistic.fit_durable.calls");
+        check_binary(ds)?;
+        if ds.n_features() != self.w.len() {
+            return Err(LinearError::DimensionMismatch {
+                expected: self.w.len(),
+                actual: ds.n_features(),
+            });
+        }
+        if cfg.checkpoint_every == 0 {
+            return Err(LinearError::InvalidConfig {
+                field: "checkpoint_every",
+                reason: "must be at least 1".into(),
+            });
+        }
+        let ckpt = CheckpointManager::new(dir.as_ref(), "linfit", cfg.keep.max(1))?;
+
+        let mut epoch: u64 = 0;
+        let mut it: u64 = 0;
+        self.current_lr = self.config().lr;
+        match ckpt.load_latest::<LinearFitState>()? {
+            Some((_, state)) => {
+                self.restore_fit_state(&state, &cfg.guard)?;
+                epoch = state.next_epoch;
+                it = state.iterations;
+                tele::counter_inc("linear.logistic.fit_durable.resumes");
+            }
+            None => {
+                ckpt.save(&self.capture_fit_state(0, 0))?;
+            }
+        }
+
+        let epochs = self.config().epochs as u64;
+        let eff_scale = if self.config().scale_reg_by_n {
+            self.config().reg_scale / ds.len() as f32
+        } else {
+            self.config().reg_scale
+        };
+        let base_seed = self.config().seed.wrapping_add(1);
+        let lr_decay = self.config().lr_decay;
+        let batch_size = self.config().batch_size;
+
+        let mut final_loss = f64::INFINITY;
+        let mut final_acc = 0.0;
+        let mut retries = 0u32;
+        let mut exhausted = false;
+        while epoch < epochs {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(epoch));
+            let batcher = Batcher::new(ds, batch_size, &mut rng)?;
+            let mut epoch_loss = 0.0;
+            let mut epoch_hits = 0usize;
+            let mut epoch_it = it;
+            let mut poisoned = false;
+            for b in batcher.iter(ds) {
+                let batch = b?;
+                let (loss, hits) = self.step(&batch.x, &batch.y, epoch_it, epoch, eff_scale)?;
+                epoch_it += 1;
+                if !loss.is_finite() {
+                    poisoned = true;
+                    break;
+                }
+                epoch_loss += loss;
+                epoch_hits += hits;
+            }
+            let healthy = !poisoned && self.w.iter().all(|v| v.is_finite());
+            if healthy {
+                if let Some(r) = self.regularizer.as_mut() {
+                    r.end_epoch();
+                }
+                self.current_lr *= lr_decay;
+                final_loss = epoch_loss / batcher.n_batches() as f64;
+                final_acc = epoch_hits as f64 / ds.len() as f64;
+                it = epoch_it;
+                epoch += 1;
+                if epoch % cfg.checkpoint_every as u64 == 0 || epoch == epochs {
+                    ckpt.save(&self.capture_fit_state(epoch, it))?;
+                }
+                continue;
+            }
+
+            tele::counter_inc("linear.logistic.fit_durable.rollbacks");
+            if exhausted {
+                return Err(LinearError::InvalidConfig {
+                    field: "fit_durable",
+                    reason: format!(
+                        "epoch {epoch} still produces non-finite numbers after L2 degradation"
+                    ),
+                });
+            }
+            let Some((_, state)) = ckpt.load_latest::<LinearFitState>()? else {
+                return Err(LinearError::InvalidConfig {
+                    field: "fit_durable",
+                    reason: "no checkpoint to roll back to".into(),
+                });
+            };
+            self.restore_fit_state(&state, &cfg.guard)?;
+            epoch = state.next_epoch;
+            it = state.iterations;
+            retries += 1;
+            if retries > cfg.max_retries {
+                if let Some(g) = self.regularizer.as_mut().and_then(|r| r.as_guard_mut()) {
+                    g.force_degrade("durable fit retry budget exhausted");
+                }
+                exhausted = true;
+            }
+        }
+        Ok(FitStats {
+            final_loss,
+            final_accuracy: final_acc,
+            iterations: it,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::{blobs, LrConfig};
+    use gmreg_core::gm::{GmConfig, GmRegularizer};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gmreg-linfit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn guarded_model(m: usize, epochs: usize) -> LogisticRegression {
+        let cfg = LrConfig {
+            epochs,
+            batch_size: 16,
+            ..LrConfig::default()
+        };
+        let mut lr = LogisticRegression::new(m, cfg).unwrap();
+        let inner = GmRegularizer::new(
+            m,
+            0.1,
+            GmConfig {
+                min_precision: Some(10.0),
+                ..GmConfig::default()
+            },
+        )
+        .unwrap();
+        lr.set_regularizer(Some(Box::new(GuardedGmRegularizer::new(
+            inner,
+            GuardConfig::default(),
+        ))));
+        lr
+    }
+
+    #[test]
+    fn durable_fit_trains_and_checkpoints() {
+        let dir = temp_dir("train");
+        let ds = blobs(120, 6, 1.5, 3).unwrap();
+        let mut lr = guarded_model(6, 6);
+        let stats = lr
+            .fit_durable(&ds, &dir, &DurableFitConfig::default())
+            .unwrap();
+        assert!(stats.final_accuracy > 0.85, "{stats:?}");
+        assert!(stats.final_loss.is_finite());
+        // Retention keeps the newest three generations only.
+        let n = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(n, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_fit_matches_uninterrupted_fit() {
+        let ds = blobs(120, 6, 1.5, 3).unwrap();
+        let cfg = DurableFitConfig::default();
+
+        let dir_a = temp_dir("ref");
+        let mut full = guarded_model(6, 6);
+        let stats_a = full.fit_durable(&ds, &dir_a, &cfg).unwrap();
+
+        // Run 4 epochs, then a fresh model resumes the directory for the
+        // remaining 2.
+        let dir_b = temp_dir("resume");
+        let mut part = guarded_model(6, 4);
+        part.fit_durable(&ds, &dir_b, &cfg).unwrap();
+        let mut rest = guarded_model(6, 6);
+        let stats_b = rest.fit_durable(&ds, &dir_b, &cfg).unwrap();
+
+        assert_eq!(stats_a.iterations, stats_b.iterations);
+        // Documented resume tolerance: checkpoint floats travel through
+        // JSON, which may round by 1 ULP per value.
+        for (i, (a, b)) in full.weights().iter().zip(rest.weights()).enumerate() {
+            assert!((a - b).abs() < 1e-5, "weight {i}: {a} vs {b}");
+        }
+        assert!((full.bias() - rest.bias()).abs() < 1e-5);
+        assert!((stats_a.final_loss - stats_b.final_loss).abs() < 1e-6);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn dimension_mismatch_and_bad_config_are_errors() {
+        let dir = temp_dir("bad");
+        let ds = blobs(32, 4, 1.0, 5).unwrap();
+        let mut lr = guarded_model(6, 2);
+        assert!(lr
+            .fit_durable(&ds, &dir, &DurableFitConfig::default())
+            .is_err());
+        let bad = DurableFitConfig {
+            checkpoint_every: 0,
+            ..DurableFitConfig::default()
+        };
+        let ds6 = blobs(32, 6, 1.0, 5).unwrap();
+        assert!(lr.fit_durable(&ds6, &dir, &bad).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

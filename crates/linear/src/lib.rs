@@ -10,16 +10,20 @@
 //! * [`evaluate_method`] — the full protocol: 5 stratified 80/20
 //!   subsamples, CV-tuned hyper-parameters, mean ± standard error;
 //! * [`SoftmaxRegression`] — the multiclass extension with the same
-//!   pluggable-regularizer design.
+//!   pluggable-regularizer design;
+//! * [`LogisticRegression::fit_durable`] — fitting with durable
+//!   checkpoints, rollback-and-retry recovery and graceful L2 degradation.
 
 #![warn(missing_docs)]
 
+mod durable;
 mod error;
 mod gridsearch;
 mod logistic;
 mod softmax;
 mod tele;
 
+pub use durable::{DurableFitConfig, LinearFitState};
 pub use error::{LinearError, Result};
 pub use gridsearch::{
     default_grid, evaluate_method, grid_search_cv, Method, MethodResult, RegChoice, BETA_GRID,

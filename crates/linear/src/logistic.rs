@@ -101,15 +101,15 @@ impl LrConfig {
 /// A binary logistic-regression classifier with an optional regularizer on
 /// its weight vector (the bias is never regularized).
 pub struct LogisticRegression {
-    w: Vec<f32>,
-    bias: f32,
-    velocity: Vec<f32>,
-    bias_velocity: f32,
-    grad: Vec<f32>,
+    pub(crate) w: Vec<f32>,
+    pub(crate) bias: f32,
+    pub(crate) velocity: Vec<f32>,
+    pub(crate) bias_velocity: f32,
+    pub(crate) grad: Vec<f32>,
     reg_scratch: Vec<f32>,
-    current_lr: f32,
+    pub(crate) current_lr: f32,
     config: LrConfig,
-    regularizer: Option<Box<dyn Regularizer>>,
+    pub(crate) regularizer: Option<Box<dyn Regularizer>>,
 }
 
 /// Summary of a completed fit.
@@ -260,7 +260,7 @@ impl LogisticRegression {
     }
 
     /// One SGD step on a batch. Returns (mean loss, correct predictions).
-    fn step(
+    pub(crate) fn step(
         &mut self,
         x: &Tensor,
         y: &[usize],
@@ -328,7 +328,7 @@ fn sigmoid(z: f64) -> f64 {
     }
 }
 
-fn check_binary(ds: &Dataset) -> Result<()> {
+pub(crate) fn check_binary(ds: &Dataset) -> Result<()> {
     if ds.n_classes() != 2 {
         return Err(LinearError::InvalidConfig {
             field: "dataset",

@@ -26,6 +26,22 @@ pub enum NnError {
         /// Why the value is invalid.
         reason: String,
     },
+    /// A training step produced a non-finite data loss (NaN or ±∞).
+    NonFiniteLoss {
+        /// Zero-based batch index within the failing epoch.
+        batch: usize,
+        /// The offending loss value.
+        loss: f64,
+    },
+    /// The fault-tolerant runtime exhausted its retry budget even after
+    /// degrading every adaptive regularizer to fixed L2 — the failure is
+    /// not recoverable by regularizer rollback.
+    Stalled {
+        /// Epoch that kept failing.
+        epoch: u64,
+        /// Description of the last failure observed.
+        last_failure: String,
+    },
     /// An underlying tensor operation failed.
     Tensor(gmreg_tensor::TensorError),
     /// A regularizer error bubbled up from `gmreg-core`.
@@ -51,6 +67,17 @@ impl fmt::Display for NnError {
             NnError::InvalidConfig { field, reason } => {
                 write!(f, "invalid configuration for `{field}`: {reason}")
             }
+            NnError::NonFiniteLoss { batch, loss } => {
+                write!(f, "non-finite loss {loss} at batch {batch}")
+            }
+            NnError::Stalled {
+                epoch,
+                last_failure,
+            } => write!(
+                f,
+                "training stalled at epoch {epoch} after exhausting retries and L2 \
+                 degradation; last failure: {last_failure}"
+            ),
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Core(e) => write!(f, "regularizer error: {e}"),
             NnError::Data(e) => write!(f, "data error: {e}"),

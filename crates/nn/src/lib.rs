@@ -14,7 +14,10 @@
 //!   [`models::resnet20`]) with weight dimensionalities matching the
 //!   published 89,440 and 270,896;
 //! * a [`Network`] driver with epoch training, augmentation hooks and
-//!   learned-mixture reporting.
+//!   learned-mixture reporting;
+//! * a [`FaultTolerantTrainer`] runtime with durable epoch checkpoints,
+//!   rollback-and-retry on numerical failure, learning-rate backoff and
+//!   graceful degradation to fixed L2.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ mod optimizer;
 mod param;
 mod pool;
 mod residual;
+mod runtime;
 mod sequential;
 mod serialize;
 mod tele;
@@ -53,5 +57,10 @@ pub use optimizer::Sgd;
 pub use param::{Param, VisitParams};
 pub use pool::{GlobalAvgPool, Pool2d};
 pub use residual::BasicBlock;
+pub use runtime::{
+    capture_state, restore_state, FaultTolerantTrainer, RunReport, RuntimeConfig, TrainState,
+};
 pub use sequential::Sequential;
-pub use serialize::{load_weights, save_weights, WeightsSnapshot};
+pub use serialize::{
+    load_weights, load_weights_file, save_weights, save_weights_file, WeightsSnapshot,
+};

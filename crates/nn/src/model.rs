@@ -1,7 +1,7 @@
 //! The training driver: a network + loss with epoch loops, evaluation, and
 //! per-layer regularizer attachment.
 
-use crate::error::Result;
+use crate::error::{NnError, Result};
 use crate::layer::Layer;
 use crate::loss::{accuracy, SoftmaxCrossEntropy};
 use crate::optimizer::Sgd;
@@ -86,6 +86,15 @@ impl Network {
         let _t = tele::span("nn.train_batch.ns");
         let logits = self.net.forward(x, true)?;
         let loss = self.loss.forward(&logits, y)?;
+        // Fault-injection site: poison the reported batch loss so recovery
+        // paths (guard rails, checkpoint rollback) can be exercised
+        // deterministically. Compiled out without `failpoints`.
+        #[cfg(feature = "failpoints")]
+        let loss = match gmreg_faults::fire("nn.loss") {
+            Some(gmreg_faults::FaultKind::NanFill) => f64::NAN,
+            Some(gmreg_faults::FaultKind::Scale(s)) => loss * s,
+            _ => loss,
+        };
         let dlogits = self.loss.backward()?;
         self.net.backward(&dlogits)?;
         opt.step(&mut *self.net);
@@ -125,6 +134,47 @@ impl Network {
         tele::gauge_set("nn.epoch.loss", stats.loss);
         tele::gauge_set("nn.epoch.accuracy", stats.accuracy);
         Ok(stats)
+    }
+
+    /// [`Network::train_epoch`] with per-batch numerical validation: the
+    /// epoch aborts with [`NnError::NonFiniteLoss`] as soon as a batch's
+    /// data loss stops being finite, before the poisoned statistics are
+    /// folded into the epoch mean. The optimizer's epoch counter advances
+    /// only on success, so a fault-tolerant driver can roll back to its
+    /// last checkpoint and retry the same epoch.
+    pub fn train_epoch_checked(
+        &mut self,
+        ds: &Dataset,
+        batch_size: usize,
+        opt: &mut Sgd,
+        augment: Option<&Augment>,
+        rng: &mut impl Rng,
+    ) -> Result<EpochStats> {
+        let _t = tele::span("nn.train_epoch.ns");
+        let batcher = Batcher::new(ds, batch_size, rng)?;
+        let mut total_loss = 0.0;
+        let mut total_acc = 0.0;
+        let n_batches = batcher.n_batches();
+        for i in 0..n_batches {
+            let mut batch = batcher.batch(ds, i)?;
+            if let Some(aug) = augment {
+                aug.apply_batch(&mut batch.x, rng)?;
+            }
+            let loss = self.train_batch(&batch.x, &batch.y, opt)?;
+            if !loss.is_finite() {
+                tele::counter_inc("nn.guard.nonfinite_loss");
+                return Err(NnError::NonFiniteLoss { batch: i, loss });
+            }
+            total_loss += loss;
+            total_acc += self.loss.cached_accuracy()?;
+        }
+        opt.end_epoch(&mut *self.net);
+        tele::counter_inc("nn.epochs");
+        Ok(EpochStats {
+            loss: total_loss / n_batches as f64,
+            accuracy: total_acc / n_batches as f64,
+            batches: n_batches,
+        })
     }
 
     /// Classification accuracy on a dataset (evaluation mode, batched).

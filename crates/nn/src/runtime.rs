@@ -1,0 +1,551 @@
+//! Fault-tolerant training runtime: epoch-level checkpointing, rollback and
+//! retry on numerical failure, learning-rate backoff, and graceful
+//! degradation to fixed L2 — the training loop is allowed to *recover*, not
+//! just crash, when the adaptive regularizer or the loss goes non-finite.
+//!
+//! The ladder, from cheapest to most drastic:
+//!
+//! 1. **In-step guard rails** — a [`GuardedGmRegularizer`] attached to a
+//!    parameter group discards poisoned `g_reg` contributions and rolls the
+//!    mixture back on its own, invisibly to this runtime.
+//! 2. **Epoch rollback** — if a batch loss goes non-finite anyway
+//!    ([`NnError::NonFiniteLoss`]), the runtime restores weights, momentum,
+//!    optimizer counters and regularizer state from the newest durable
+//!    checkpoint and re-runs the failed epoch. Epoch shuffling is keyed by
+//!    `shuffle_seed + epoch`, so the retry (and any resumed run) replays
+//!    exactly the batch sequence of an uninterrupted run.
+//! 3. **Learning-rate backoff** — the second consecutive failure of the
+//!    same epoch multiplies the learning rate by
+//!    [`RuntimeConfig::lr_backoff`] before retrying, damping genuine
+//!    divergence rather than transient corruption.
+//! 4. **Degradation** — once [`RuntimeConfig::max_retries`] total retries
+//!    are exhausted, every guarded GM regularizer is forced down to fixed
+//!    L2 ([`GuardedGmRegularizer::force_degrade`]) and training continues.
+//! 5. **Stall detection** — if epochs keep failing *after* degradation,
+//!    the run ends with [`NnError::Stalled`]: an error value, never a
+//!    process abort.
+
+use crate::error::{NnError, Result};
+use crate::model::{EpochStats, Network};
+use crate::optimizer::Sgd;
+use crate::param::VisitParams as _;
+use crate::serialize::{load_weights, save_weights, WeightsSnapshot};
+use crate::tele;
+use gmreg_core::durable::CheckpointManager;
+use gmreg_core::gm::{GmSnapshot, GuardConfig, GuardedGmRegularizer};
+use gmreg_data::{Augment, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Tuning knobs for [`FaultTolerantTrainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Total epochs to train.
+    pub epochs: u64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Base seed for epoch shuffling; epoch `e` uses `shuffle_seed + e`, so
+    /// a resumed run replays the identical batch sequence.
+    pub shuffle_seed: u64,
+    /// Write a durable checkpoint every this many completed epochs
+    /// (minimum 1). The final epoch is always checkpointed.
+    pub checkpoint_every: u64,
+    /// Checkpoint generations retained on disk (minimum 1).
+    pub keep_checkpoints: usize,
+    /// Total epoch retries allowed before degrading every guarded GM
+    /// regularizer to fixed L2.
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied from the second consecutive
+    /// failure of the same epoch, in (0, 1].
+    pub lr_backoff: f32,
+    /// Guard configuration used when rebuilding [`GuardedGmRegularizer`]s
+    /// from checkpointed state.
+    pub guard: GuardConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            epochs: 10,
+            batch_size: 32,
+            shuffle_seed: 0,
+            checkpoint_every: 1,
+            keep_checkpoints: 3,
+            max_retries: 3,
+            lr_backoff: 0.5,
+            guard: GuardConfig::default(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    fn validate(&self) -> Result<()> {
+        if self.epochs == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "epochs",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "batch_size",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.checkpoint_every == 0 {
+            return Err(NnError::InvalidConfig {
+                field: "checkpoint_every",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if !(self.lr_backoff > 0.0 && self.lr_backoff <= 1.0) {
+            return Err(NnError::InvalidConfig {
+                field: "lr_backoff",
+                reason: format!("must lie in (0, 1], got {}", self.lr_backoff),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The serializable payload of one training checkpoint: everything needed
+/// to restart the run from an epoch boundary bit-for-bit — weights,
+/// momentum, optimizer counters, learning rate, and the adaptive state of
+/// every guarded GM regularizer (plus its degraded-L2 strength if the
+/// guard had already given up on the mixture).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainState {
+    /// The next epoch to run (completed epochs are `0..next_epoch`).
+    pub next_epoch: u64,
+    /// Optimizer iteration counter at the checkpoint.
+    pub iteration: u64,
+    /// Learning rate at the checkpoint (after any backoff).
+    pub lr: f64,
+    /// Weight and momentum buffers by parameter name.
+    pub weights: WeightsSnapshot,
+    /// Guarded-GM mixture state by parameter name.
+    pub gm: BTreeMap<String, GmSnapshot>,
+    /// Degraded-L2 strength by parameter name, for groups whose guard had
+    /// already degraded when the checkpoint was taken.
+    pub degraded: BTreeMap<String, f64>,
+}
+
+/// What a fault-tolerant run did, beyond the per-epoch statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Statistics of every *successfully completed* epoch, in order.
+    pub epochs: Vec<EpochStats>,
+    /// Epoch-level rollbacks performed (failures recovered by restoring a
+    /// checkpoint).
+    pub rollbacks: u32,
+    /// Parameter groups whose regularizer ended the run degraded to L2.
+    pub degraded_groups: Vec<String>,
+    /// Checkpoint generation the run resumed from, if any.
+    pub resumed_from: Option<u64>,
+    /// Learning rate when the run finished (after any backoff).
+    pub final_lr: f64,
+}
+
+/// Captures the full training state at an epoch boundary. `next_epoch` is
+/// the epoch the restored run should execute next.
+pub fn capture_state(net: &mut Network, opt: &Sgd, next_epoch: u64) -> TrainState {
+    let weights = save_weights(net);
+    let mut gm = BTreeMap::new();
+    let mut degraded = BTreeMap::new();
+    net.visit_params(&mut |p| {
+        if let Some(g) = p.regularizer.as_ref().and_then(|r| r.as_guard()) {
+            gm.insert(p.name.clone(), g.snapshot());
+            if let Some(beta) = g.degraded_beta() {
+                degraded.insert(p.name.clone(), beta);
+            }
+        }
+    });
+    TrainState {
+        next_epoch,
+        iteration: opt.iteration(),
+        lr: opt.lr() as f64,
+        weights,
+        gm,
+        degraded,
+    }
+}
+
+/// Restores a captured state: weights and momentum, optimizer counters and
+/// learning rate, and a fresh [`GuardedGmRegularizer`] (healthy or
+/// pre-degraded) for every parameter group the state has mixture state for.
+/// Groups without captured state keep their current regularizer.
+pub fn restore_state(
+    net: &mut Network,
+    opt: &mut Sgd,
+    state: &TrainState,
+    guard: &GuardConfig,
+) -> Result<()> {
+    load_weights(net, &state.weights)?;
+    let mut first_err: Option<NnError> = None;
+    net.visit_params(&mut |p| {
+        if first_err.is_some() {
+            return;
+        }
+        let Some(snap) = state.gm.get(&p.name) else {
+            return;
+        };
+        let rebuilt = match state.degraded.get(&p.name) {
+            Some(&beta) => GuardedGmRegularizer::degraded_from(snap, beta, guard.clone()),
+            None => GuardedGmRegularizer::from_snapshot(snap, guard.clone()),
+        };
+        match rebuilt {
+            Ok(g) => p.regularizer = Some(Box::new(g)),
+            Err(e) => first_err = Some(e.into()),
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    opt.resume_at(state.iteration, state.next_epoch);
+    opt.set_lr(state.lr as f32)
+}
+
+/// Forces every guarded regularizer that is still adaptive down to fixed
+/// L2; returns the names of the groups degraded by this call.
+fn force_degrade_all(net: &mut Network, detail: &str) -> Vec<String> {
+    let mut degraded = Vec::new();
+    net.visit_params(&mut |p| {
+        if let Some(g) = p.regularizer.as_mut().and_then(|r| r.as_guard_mut()) {
+            if !g.is_degraded() {
+                g.force_degrade(detail);
+                degraded.push(p.name.clone());
+            }
+        }
+    });
+    degraded
+}
+
+fn degraded_groups(net: &mut Network) -> Vec<String> {
+    let mut out = Vec::new();
+    net.visit_params(&mut |p| {
+        if let Some(g) = p.regularizer.as_ref().and_then(|r| r.as_guard()) {
+            if g.is_degraded() {
+                out.push(p.name.clone());
+            }
+        }
+    });
+    out
+}
+
+/// Epoch-checkpointing training driver with rollback-and-retry recovery.
+/// See the module docs for the recovery ladder.
+pub struct FaultTolerantTrainer {
+    cfg: RuntimeConfig,
+    ckpt: CheckpointManager,
+}
+
+impl FaultTolerantTrainer {
+    /// Creates a trainer whose checkpoints live under `dir` (created if
+    /// missing), retaining [`RuntimeConfig::keep_checkpoints`] generations.
+    pub fn new(cfg: RuntimeConfig, dir: impl AsRef<Path>) -> Result<Self> {
+        cfg.validate()?;
+        let ckpt = CheckpointManager::new(dir.as_ref(), "train", cfg.keep_checkpoints.max(1))
+            .map_err(NnError::Core)?;
+        Ok(FaultTolerantTrainer { cfg, ckpt })
+    }
+
+    /// The checkpoint manager (for inspection in tests and tools).
+    pub fn checkpoints(&self) -> &CheckpointManager {
+        &self.ckpt
+    }
+
+    /// Runs (or resumes) training to [`RuntimeConfig::epochs`] epochs.
+    ///
+    /// If the checkpoint directory already holds a valid generation, the
+    /// newest one is restored first — `net` and `opt` are overwritten —
+    /// and training continues from its epoch. Corrupt generations are
+    /// skipped in favour of older intact ones by the
+    /// [`CheckpointManager`].
+    pub fn train(
+        &self,
+        net: &mut Network,
+        opt: &mut Sgd,
+        ds: &Dataset,
+        augment: Option<&Augment>,
+    ) -> Result<RunReport> {
+        let mut report = RunReport {
+            epochs: Vec::new(),
+            rollbacks: 0,
+            degraded_groups: Vec::new(),
+            resumed_from: None,
+            final_lr: opt.lr() as f64,
+        };
+        let mut epoch = 0u64;
+        match self
+            .ckpt
+            .load_latest::<TrainState>()
+            .map_err(NnError::Core)?
+        {
+            Some((generation, state)) => {
+                restore_state(net, opt, &state, &self.cfg.guard)?;
+                epoch = state.next_epoch;
+                report.resumed_from = Some(generation);
+                tele::counter_inc("runtime.resumes");
+            }
+            None => {
+                // Generation 0 is the pristine pre-training state, so even
+                // an epoch-0 failure has a rollback target.
+                self.ckpt
+                    .save(&capture_state(net, opt, 0))
+                    .map_err(NnError::Core)?;
+            }
+        }
+
+        let mut retries = 0u32;
+        let mut consecutive = 0u32;
+        let mut exhausted = false;
+        while epoch < self.cfg.epochs {
+            let mut rng = StdRng::seed_from_u64(self.cfg.shuffle_seed.wrapping_add(epoch));
+            match net.train_epoch_checked(ds, self.cfg.batch_size, opt, augment, &mut rng) {
+                Ok(stats) => {
+                    report.epochs.push(stats);
+                    consecutive = 0;
+                    epoch += 1;
+                    if epoch % self.cfg.checkpoint_every == 0 || epoch == self.cfg.epochs {
+                        self.ckpt
+                            .save(&capture_state(net, opt, epoch))
+                            .map_err(NnError::Core)?;
+                    }
+                }
+                Err(e) => {
+                    tele::counter_inc("runtime.epoch.failures");
+                    let failure = e.to_string();
+                    if exhausted {
+                        // Even fixed-L2 training keeps failing: surface a
+                        // clean error instead of looping forever.
+                        return Err(NnError::Stalled {
+                            epoch,
+                            last_failure: failure,
+                        });
+                    }
+                    retries += 1;
+                    consecutive += 1;
+                    report.rollbacks += 1;
+                    tele::counter_inc("runtime.rollbacks");
+                    let Some((_, state)) = self
+                        .ckpt
+                        .load_latest::<TrainState>()
+                        .map_err(NnError::Core)?
+                    else {
+                        return Err(NnError::Stalled {
+                            epoch,
+                            last_failure: format!("{failure} (and no checkpoint to roll back to)"),
+                        });
+                    };
+                    restore_state(net, opt, &state, &self.cfg.guard)?;
+                    epoch = state.next_epoch;
+                    if retries > self.cfg.max_retries {
+                        let hit = force_degrade_all(net, &failure);
+                        tele::counter_inc("runtime.degradations");
+                        exhausted = true;
+                        consecutive = 0;
+                        report.degraded_groups.extend(hit);
+                    } else if consecutive >= 2 {
+                        let lr = (opt.lr() * self.cfg.lr_backoff).max(1e-8);
+                        opt.set_lr(lr)?;
+                        tele::counter_inc("runtime.lr_backoffs");
+                    }
+                }
+            }
+        }
+        report.final_lr = opt.lr() as f64;
+        report.degraded_groups = degraded_groups(net);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+    use crate::dense::Dense;
+    use crate::init::WeightInit;
+    use crate::sequential::Sequential;
+    use gmreg_core::gm::{GmConfig, GmRegularizer};
+    use gmreg_tensor::Tensor;
+
+    fn toy_dataset(n: usize, seed: u64) -> Dataset {
+        use gmreg_tensor::SampleExt as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let cx = if label == 0 { -1.0 } else { 1.0 };
+            data.push((cx + rng.normal(0.0, 0.4)) as f32);
+            data.push((cx + rng.normal(0.0, 0.4)) as f32);
+            y.push(label);
+        }
+        Dataset::new(Tensor::from_vec(data, [n, 2]).unwrap(), y, 2).unwrap()
+    }
+
+    /// An MLP with a guarded GM regularizer on every weight group.
+    fn guarded_mlp(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(
+            Sequential::new("mlp")
+                .push(Dense::new("fc1", 2, 8, WeightInit::He, &mut rng).unwrap())
+                .push(ReLU::new("relu"))
+                .push(Dense::new("fc2", 8, 2, WeightInit::He, &mut rng).unwrap()),
+        );
+        net.attach_regularizers(|name, dims, init_std| {
+            name.ends_with("/weight").then(|| {
+                let cfg = GmConfig {
+                    min_precision: Some(1.0),
+                    ..GmConfig::default()
+                };
+                let inner = GmRegularizer::new(dims, init_std.max(0.1), cfg).unwrap();
+                Box::new(GuardedGmRegularizer::new(inner, GuardConfig::default()))
+                    as Box<dyn gmreg_core::Regularizer>
+            })
+        });
+        net
+    }
+
+    fn weight_vec(net: &mut Network) -> Vec<f32> {
+        let mut out = Vec::new();
+        net.visit_params(&mut |p| out.extend_from_slice(p.value.as_slice()));
+        out
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gmreg-runtime-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(epochs: u64) -> RuntimeConfig {
+        RuntimeConfig {
+            epochs,
+            batch_size: 16,
+            shuffle_seed: 11,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_trains_and_checkpoints() {
+        let dir = temp_dir("clean");
+        let ds = toy_dataset(96, 1);
+        let mut net = guarded_mlp(2);
+        let mut opt = Sgd::new(0.1, 0.9).unwrap();
+        let trainer = FaultTolerantTrainer::new(cfg(3), &dir).unwrap();
+        let report = trainer.train(&mut net, &mut opt, &ds, None).unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        assert_eq!(report.rollbacks, 0);
+        assert!(report.degraded_groups.is_empty());
+        assert!(report.epochs[2].loss.is_finite());
+        // Pristine state + 3 epoch boundaries, pruned to the keep window.
+        let gens = trainer.checkpoints().generations().unwrap();
+        assert_eq!(gens, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_run_matches_uninterrupted_run() {
+        let ds = toy_dataset(96, 1);
+
+        // Uninterrupted reference: 3 epochs in one call.
+        let dir_a = temp_dir("ref");
+        let mut net_a = guarded_mlp(2);
+        let mut opt_a = Sgd::new(0.1, 0.9).unwrap();
+        FaultTolerantTrainer::new(cfg(3), &dir_a)
+            .unwrap()
+            .train(&mut net_a, &mut opt_a, &ds, None)
+            .unwrap();
+
+        // Interrupted run: 2 epochs, then a fresh process picks up the
+        // checkpoint directory and finishes epoch 3.
+        let dir_b = temp_dir("resume");
+        let mut net_b = guarded_mlp(2);
+        let mut opt_b = Sgd::new(0.1, 0.9).unwrap();
+        FaultTolerantTrainer::new(cfg(2), &dir_b)
+            .unwrap()
+            .train(&mut net_b, &mut opt_b, &ds, None)
+            .unwrap();
+        let mut net_c = guarded_mlp(999); // different init: must be overwritten
+        let mut opt_c = Sgd::new(0.05, 0.9).unwrap(); // different lr: restored
+        let report = FaultTolerantTrainer::new(cfg(3), &dir_b)
+            .unwrap()
+            .train(&mut net_c, &mut opt_c, &ds, None)
+            .unwrap();
+        assert_eq!(report.resumed_from, Some(2));
+        assert_eq!(report.epochs.len(), 1, "only epoch 2 remained");
+
+        // Checkpoint floats travel through JSON, which may round by 1 ULP;
+        // the documented resume tolerance is 1e-5 absolute per weight.
+        let wa = weight_vec(&mut net_a);
+        let wc = weight_vec(&mut net_c);
+        assert_eq!(wa.len(), wc.len());
+        for (i, (a, c)) in wa.iter().zip(&wc).enumerate() {
+            assert!((a - c).abs() < 1e-5, "weight {i}: {a} vs {c}");
+        }
+        assert_eq!(opt_a.iteration(), opt_c.iteration());
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    // Fault-injection coverage for this runtime (transient NaN loss →
+    // rollback matching the clean run; persistent faults → degrade, then
+    // `Stalled`) lives in the workspace integration suite
+    // (`tests/tests/fault_injection.rs`): the failpoint registry is
+    // process-global, so armed faults must not share a test binary with
+    // unrelated training tests.
+
+    #[test]
+    fn config_validation() {
+        let dir = temp_dir("cfg");
+        for bad in [
+            RuntimeConfig {
+                epochs: 0,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                batch_size: 0,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                checkpoint_every: 0,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                lr_backoff: 0.0,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                lr_backoff: 1.5,
+                ..RuntimeConfig::default()
+            },
+        ] {
+            assert!(FaultTolerantTrainer::new(bad, &dir).is_err());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capture_restore_round_trip_preserves_degraded_state() {
+        let mut net = guarded_mlp(6);
+        // Degrade one group before capturing.
+        let hit = force_degrade_all(&mut net, "test");
+        assert_eq!(hit.len(), 2);
+        let opt = Sgd::new(0.07, 0.9).unwrap();
+        let state = capture_state(&mut net, &opt, 5);
+        assert_eq!(state.degraded.len(), 2);
+
+        let mut fresh = guarded_mlp(7);
+        let mut opt2 = Sgd::new(0.5, 0.9).unwrap();
+        restore_state(&mut fresh, &mut opt2, &state, &GuardConfig::default()).unwrap();
+        assert_eq!(opt2.lr(), 0.07);
+        assert_eq!(opt2.epoch(), 5);
+        assert_eq!(degraded_groups(&mut fresh).len(), 2);
+        assert_eq!(weight_vec(&mut fresh), weight_vec(&mut net));
+    }
+}

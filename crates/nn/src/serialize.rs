@@ -86,6 +86,36 @@ pub fn load_weights(model: &mut dyn VisitParams, snap: &WeightsSnapshot) -> Resu
     Ok(())
 }
 
+/// Durably writes a model's weights to `path` inside the CRC-protected
+/// checkpoint container ([`gmreg_core::durable`]): atomic temp-file +
+/// rename, checksummed payload. I/O and serialization failures surface as
+/// [`NnError`] values, never panics.
+pub fn save_weights_file(model: &mut dyn VisitParams, path: &std::path::Path) -> Result<()> {
+    let snap = save_weights(model);
+    let payload = serde_json::to_string(&snap).map_err(|e| NnError::InvalidConfig {
+        field: "snapshot",
+        reason: format!("serialize failed: {e}"),
+    })?;
+    gmreg_core::durable::write_checkpoint(path, payload.as_bytes()).map_err(NnError::Core)
+}
+
+/// Loads a weights snapshot previously written by [`save_weights_file`],
+/// verifying the container checksum. Corruption (truncation, bit flips)
+/// and newer format versions come back as dedicated
+/// [`gmreg_core::CoreError`] variants wrapped in [`NnError::Core`].
+pub fn load_weights_file(path: &std::path::Path) -> Result<WeightsSnapshot> {
+    let corrupt = |reason: String| {
+        NnError::Core(gmreg_core::CoreError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason,
+        })
+    };
+    let payload = gmreg_core::durable::read_checkpoint(path).map_err(NnError::Core)?;
+    let text =
+        String::from_utf8(payload).map_err(|e| corrupt(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| corrupt(format!("payload parse failed: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +158,32 @@ mod tests {
         let json = serde_json::to_string(&snap).expect("serializes");
         let back: WeightsSnapshot = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn file_round_trip_and_corruption_are_results_not_panics() {
+        let dir = std::env::temp_dir().join(format!("gmreg-nn-weights-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("weights.gmck");
+
+        let mut m = mlp(5);
+        save_weights_file(&mut m, &path).expect("saves");
+        let back = load_weights_file(&path).expect("loads");
+        assert_eq!(back, save_weights(&mut m));
+
+        // Truncation is detected by the container CRC and surfaces as an
+        // error value rather than a panic.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate");
+        match load_weights_file(&path) {
+            Err(NnError::Core(gmreg_core::CoreError::CheckpointCorrupt { .. })) => {}
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+
+        // A missing file is an I/O error value, not a panic.
+        assert!(load_weights_file(&dir.join("absent.gmck")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

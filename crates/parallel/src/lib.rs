@@ -32,7 +32,54 @@
 
 mod tele;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
+
+/// A worker panic contained by one of the `try_*` primitives.
+///
+/// The panic payload is flattened to a string so the error stays
+/// `Clone + PartialEq` and can cross crate boundaries without carrying
+/// `Box<dyn Any>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Index of the worker (0 = the calling thread's range) that panicked.
+    pub worker: usize,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gmreg-parallel worker {} panicked: {}",
+            self.worker, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(feature = "failpoints")]
+fn worker_failpoint() {
+    if let Some(gmreg_faults::FaultKind::Panic) = gmreg_faults::fire("pool.worker") {
+        panic!("injected fault: pool.worker");
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn worker_failpoint() {}
 
 /// Process-wide thread ceiling, resolved once.
 ///
@@ -95,22 +142,45 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    match try_map_chunks(n_chunks, threads, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`map_chunks`] with worker-panic containment: a panic in any worker (or
+/// in the calling thread's own range) is caught, every other worker runs to
+/// completion and is joined, and the panic of the lowest-indexed failing
+/// worker is returned as a [`PoolError`] instead of unwinding through the
+/// fork-join.
+pub fn try_map_chunks<T, F>(n_chunks: usize, threads: usize, f: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.clamp(1, n_chunks.max(1));
+    let run_range = |lo: usize, hi: usize| -> Result<Vec<T>, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            worker_failpoint();
+            (lo..hi).map(&f).collect::<Vec<T>>()
+        }))
+        .map_err(|p| payload_message(p.as_ref()))
+    };
     if threads <= 1 {
-        return (0..n_chunks).map(f).collect();
+        return run_range(0, n_chunks).map_err(|message| PoolError { worker: 0, message });
     }
     tele::counter_inc("pool.forks");
     tele::gauge_set("pool.threads", threads as f64);
     let _fork = tele::span("pool.fork.ns");
     std::thread::scope(|s| {
-        let f = &f;
+        let run_range = &run_range;
         let handles: Vec<_> = (1..threads)
             .map(|w| {
                 let (lo, hi) = split_range(n_chunks, threads, w);
                 s.spawn(move || {
                     let _t = tele::span("pool.worker.ns");
                     tele::counter_add("pool.tasks", (hi - lo) as u64);
-                    (lo..hi).map(f).collect::<Vec<T>>()
+                    run_range(lo, hi)
                 })
             })
             .collect();
@@ -118,12 +188,25 @@ where
         let (lo, hi) = split_range(n_chunks, threads, 0);
         let _t = tele::span("pool.worker.ns");
         tele::counter_add("pool.tasks", (hi - lo) as u64);
-        let mut out = Vec::with_capacity(n_chunks);
-        out.extend((lo..hi).map(f));
+        let mine = run_range(lo, hi);
+
+        // Join every worker before reporting, so no thread outlives the
+        // error path; the lowest worker index wins for determinism.
+        let mut partials = vec![mine];
         for h in handles {
-            out.extend(h.join().expect("gmreg-parallel worker panicked"));
+            partials.push(h.join().expect("contained worker cannot unwind"));
         }
-        out
+        let mut out = Vec::with_capacity(n_chunks);
+        for (worker, partial) in partials.into_iter().enumerate() {
+            match partial {
+                Ok(items) => out.extend(items),
+                Err(message) => {
+                    tele::counter_inc("pool.worker.panics");
+                    return Err(PoolError { worker, message });
+                }
+            }
+        }
+        Ok(out)
     })
 }
 
@@ -138,41 +221,72 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    if let Err(e) = try_for_each_part(parts, threads, f) {
+        panic!("{e}");
+    }
+}
+
+/// [`for_each_part`] with worker-panic containment (see [`try_map_chunks`]).
+///
+/// On `Err` the parts owned by non-panicking workers have been fully
+/// processed and the panicking worker's parts may be partially mutated —
+/// callers that need transactional semantics must discard the buffer.
+pub fn try_for_each_part<T, F>(parts: &mut [T], threads: usize, f: F) -> Result<(), PoolError>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
     let n = parts.len();
     let threads = threads.clamp(1, n.max(1));
+    let run_range = |lo: usize, mine: &mut [T]| -> Result<(), String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            worker_failpoint();
+            for (i, p) in mine.iter_mut().enumerate() {
+                f(lo + i, p);
+            }
+        }))
+        .map_err(|p| payload_message(p.as_ref()))
+    };
     if threads <= 1 {
-        for (i, p) in parts.iter_mut().enumerate() {
-            f(i, p);
-        }
-        return;
+        return run_range(0, parts).map_err(|message| PoolError { worker: 0, message });
     }
     tele::counter_inc("pool.forks");
     tele::gauge_set("pool.threads", threads as f64);
     let _fork = tele::span("pool.fork.ns");
     std::thread::scope(|s| {
-        let f = &f;
+        let run_range = &run_range;
         // Peel contiguous ranges off the slice; the calling thread keeps
         // range 0 and computes it while the pool runs the rest.
         let (head, mut rest) = parts.split_at_mut(split_range(n, threads, 0).1);
-        for w in 1..threads {
-            let (lo, hi) = split_range(n, threads, w);
-            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
-            rest = tail;
-            s.spawn(move || {
-                let _t = tele::span("pool.worker.ns");
-                tele::counter_add("pool.tasks", mine.len() as u64);
-                for (i, p) in mine.iter_mut().enumerate() {
-                    f(lo + i, p);
-                }
-            });
-        }
+        let handles: Vec<_> = (1..threads)
+            .map(|w| {
+                let (lo, hi) = split_range(n, threads, w);
+                let (mine, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+                rest = tail;
+                s.spawn(move || {
+                    let _t = tele::span("pool.worker.ns");
+                    tele::counter_add("pool.tasks", mine.len() as u64);
+                    run_range(lo, mine)
+                })
+            })
+            .collect();
         assert!(rest.is_empty(), "range partition must cover all parts");
         let _t = tele::span("pool.worker.ns");
         tele::counter_add("pool.tasks", head.len() as u64);
-        for (i, p) in head.iter_mut().enumerate() {
-            f(i, p);
+        let mine = run_range(0, head);
+
+        let mut results = vec![mine];
+        for h in handles {
+            results.push(h.join().expect("contained worker cannot unwind"));
         }
-    });
+        for (worker, result) in results.into_iter().enumerate() {
+            if let Err(message) = result {
+                tele::counter_inc("pool.worker.panics");
+                return Err(PoolError { worker, message });
+            }
+        }
+        Ok(())
+    })
 }
 
 #[cfg(test)]
@@ -291,5 +405,90 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn try_map_chunks_contains_worker_panic() {
+        for threads in [1, 2, 4, 8] {
+            let err = try_map_chunks(64, threads, |i| {
+                if i == 40 {
+                    panic!("chunk {i} poisoned");
+                }
+                i * 2
+            })
+            .unwrap_err();
+            assert!(
+                err.message.contains("chunk 40 poisoned"),
+                "threads={threads}: {err}"
+            );
+            assert!(err.to_string().contains("gmreg-parallel worker"));
+        }
+        // Healthy runs are identical to the infallible primitive.
+        let ok = try_map_chunks(64, 4, |i| i * 2).unwrap();
+        assert_eq!(ok, map_chunks(64, 4, |i| i * 2));
+    }
+
+    #[test]
+    fn try_for_each_part_contains_worker_panic_and_joins_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 2, 4] {
+            let visited = AtomicUsize::new(0);
+            let mut parts: Vec<usize> = (0..32).collect();
+            let err = try_for_each_part(&mut parts, threads, |idx, p| {
+                if idx == 5 {
+                    panic!("part {idx} poisoned");
+                }
+                visited.fetch_add(1, Ordering::Relaxed);
+                *p += 100;
+            })
+            .unwrap_err();
+            assert!(err.message.contains("part 5 poisoned"), "threads={threads}");
+            // Parts before the faulting index in the same range are always
+            // processed, and the fork-join fully joined (nothing hung).
+            assert!(visited.load(Ordering::Relaxed) >= 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn infallible_wrappers_repanic_with_clean_message() {
+        let caught = std::panic::catch_unwind(|| {
+            map_chunks(16, 4, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        })
+        .unwrap_err();
+        let msg = payload_message(caught.as_ref());
+        assert!(msg.contains("gmreg-parallel worker") && msg.contains("boom"));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn pool_worker_failpoint_is_contained() {
+        gmreg_faults::reset();
+        gmreg_faults::arm(
+            "pool.worker",
+            gmreg_faults::FaultSpec::once_at(gmreg_faults::FaultKind::Panic, 0),
+        );
+        let err = try_map_chunks(8, 2, |i| i).unwrap_err();
+        assert!(err.message.contains("injected fault: pool.worker"));
+        gmreg_faults::reset();
+        // Once disarmed the same call succeeds.
+        assert_eq!(try_map_chunks(8, 2, |i| i).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn pool_error_display_and_payload_flattening() {
+        let e = PoolError {
+            worker: 3,
+            message: "x".into(),
+        };
+        assert_eq!(e.to_string(), "gmreg-parallel worker 3 panicked: x");
+        assert_eq!(
+            payload_message(&Box::new(17u32)),
+            "non-string panic payload"
+        );
     }
 }

@@ -1,0 +1,182 @@
+//! Corruption-handling tests for the durable checkpoint container: every
+//! damaged-file shape (truncation, bit flips, bad magic, newer version)
+//! must surface as a typed error — never a panic — and the generation
+//! manager must fall back to the newest intact generation.
+//!
+//! These tests run with default features: corruption is injected by
+//! rewriting files on disk, not through the fault harness.
+
+use gmreg_core::durable::{
+    atomic_write, encode_checkpoint, read_checkpoint, write_checkpoint, CheckpointManager,
+    CHECKPOINT_VERSION,
+};
+use gmreg_core::CoreError;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gmreg-ckpt-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Payload {
+    step: u64,
+    values: Vec<f64>,
+}
+
+fn payload(step: u64) -> Payload {
+    Payload {
+        step,
+        values: vec![1.5, -2.25, 0.125, step as f64],
+    }
+}
+
+#[test]
+fn truncated_checkpoint_is_detected_not_panicked() {
+    let dir = temp_dir("truncate");
+    let path = dir.join("state.gmck");
+    write_checkpoint(&path, b"some payload bytes").expect("writes");
+
+    let bytes = std::fs::read(&path).expect("read back");
+    // Every truncation point must fail cleanly, including cuts inside the
+    // header itself.
+    for cut in [0, 3, 7, 11, 19, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+        match read_checkpoint(&path) {
+            Err(CoreError::CheckpointCorrupt { reason, .. }) => {
+                assert!(!reason.is_empty(), "cut at {cut}");
+            }
+            other => panic!("cut at {cut}: expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flips_anywhere_fail_the_crc() {
+    let dir = temp_dir("bitflip");
+    let path = dir.join("state.gmck");
+    write_checkpoint(&path, b"crc-protected payload").expect("writes");
+    let clean = std::fs::read(&path).expect("read back");
+
+    // Flip one bit in the payload, in the stored CRC itself, and in the
+    // declared length.
+    for (label, byte) in [
+        ("payload", clean.len() - 2),
+        ("crc field", 9),
+        ("length field", 13),
+    ] {
+        let mut bad = clean.clone();
+        bad[byte] ^= 0x10;
+        std::fs::write(&path, &bad).expect("rewrite");
+        match read_checkpoint(&path) {
+            Err(CoreError::CheckpointCorrupt { .. }) => {}
+            other => panic!("{label}: expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    // Damage the magic: also corrupt, also not a panic.
+    let mut bad = clean.clone();
+    bad[0] = b'X';
+    std::fs::write(&path, &bad).expect("rewrite");
+    assert!(matches!(
+        read_checkpoint(&path),
+        Err(CoreError::CheckpointCorrupt { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn newer_format_version_is_reported_as_version_skew() {
+    let dir = temp_dir("version");
+    let path = dir.join("state.gmck");
+    let mut bytes = encode_checkpoint(b"future payload");
+    let future = CHECKPOINT_VERSION + 1;
+    bytes[4..8].copy_from_slice(&future.to_le_bytes());
+    atomic_write(&path, &bytes).expect("writes");
+
+    match read_checkpoint(&path) {
+        Err(CoreError::CheckpointVersion { found, supported }) => {
+            assert_eq!(found, future);
+            assert_eq!(supported, CHECKPOINT_VERSION);
+        }
+        other => panic!("expected CheckpointVersion, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manager_falls_back_to_newest_intact_generation() {
+    let dir = temp_dir("fallback");
+    let mgr = CheckpointManager::new(&dir, "state", 3).expect("manager");
+    for step in 0..3u64 {
+        mgr.save(&payload(step)).expect("saves");
+    }
+
+    // Corrupt the newest generation: load falls back to the middle one.
+    let gens = mgr.generations().expect("list");
+    assert_eq!(gens.len(), 3);
+    let newest = dir.join(format!("state-{:010}.gmck", gens[2]));
+    let bytes = std::fs::read(&newest).expect("read");
+    std::fs::write(&newest, &bytes[..bytes.len() / 3]).expect("truncate");
+
+    let (generation, state) = mgr
+        .load_latest::<Payload>()
+        .expect("fallback works")
+        .expect("something loads");
+    assert_eq!(generation, gens[1]);
+    assert_eq!(state, payload(1));
+
+    // Corrupt every generation: now loading errors (but still no panic).
+    for g in &gens {
+        let p = dir.join(format!("state-{g:010}.gmck"));
+        std::fs::write(&p, b"garbage").expect("overwrite");
+    }
+    assert!(mgr.load_latest::<Payload>().is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn nn_weights_file_detects_corruption() {
+    use gmreg_nn::{load_weights_file, save_weights_file, Dense, Sequential, WeightInit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let dir = temp_dir("weights");
+    let path = dir.join("model.gmck");
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut net = Sequential::new("m")
+        .push(Dense::new("fc1", 4, 3, WeightInit::He, &mut rng).expect("builds"));
+    save_weights_file(&mut net, &path).expect("saves");
+    let snap = load_weights_file(&path).expect("loads");
+    assert!(snap.values.contains_key("fc1/weight"));
+
+    let bytes = std::fs::read(&path).expect("read");
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x01;
+    std::fs::write(&path, &bad).expect("flip");
+    assert!(load_weights_file(&path).is_err(), "bit flip must be caught");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_write_leaves_previous_generation_usable() {
+    let dir = temp_dir("atomic");
+    let mgr = CheckpointManager::new(&dir, "state", 2).expect("manager");
+    mgr.save(&payload(0)).expect("saves");
+
+    // Simulate a crash mid-write: a stray temp file appears next to the
+    // real generation. Loading ignores it entirely.
+    std::fs::write(dir.join("state-0000000001.gmck.tmp"), b"partial junk").expect("stray tmp");
+    let (generation, state) = mgr
+        .load_latest::<Payload>()
+        .expect("loads")
+        .expect("generation 0 intact");
+    assert_eq!(generation, 0);
+    assert_eq!(state, payload(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,372 @@
+//! Deterministic fault-injection scenarios: every fault class the chaos
+//! harness can deliver (NaN gradients, λ blow-ups, corrupted checkpoint
+//! bytes, poisoned batch losses) must be detected and *recovered from* —
+//! the process never aborts and training state never silently corrupts.
+//!
+//! The whole file is compiled only under `--features failpoints`; the
+//! `gmreg-faults` registry is absent from the default dependency graph.
+//!
+//! The registry is process-global, so every test serializes on
+//! [`TEST_LOCK`] and calls `gmreg_faults::reset()` on entry and exit.
+//! These scenarios deliberately live in their own integration binary:
+//! sharing a binary with unrelated training tests would let an armed site
+//! fire in (or have its hits consumed by) a concurrent test thread.
+//!
+//! Chaos schedules are seeded: `GMREG_FAULT_SEED` (default 7) expands via
+//! `seeded_hits` into the exact same hit list on every machine.
+
+#![cfg(feature = "failpoints")]
+
+use gmreg_core::durable::CheckpointManager;
+use gmreg_core::gm::{GmConfig, GmRegularizer, GuardConfig, GuardedGmRegularizer};
+use gmreg_core::{Regularizer, StepCtx};
+use gmreg_data::Dataset;
+use gmreg_faults::{seeded_hits, FaultKind, FaultSpec};
+use gmreg_nn::{
+    Dense, FaultTolerantTrainer, Network, NnError, ReLU, RuntimeConfig, Sequential, Sgd,
+    VisitParams as _, WeightInit,
+};
+use gmreg_tensor::{SampleExt as _, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize the test and leave the registry clean even if a prior test
+/// panicked while holding the lock.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    gmreg_faults::reset();
+    guard
+}
+
+/// The chaos seed: `GMREG_FAULT_SEED` if set, else a fixed default, so CI
+/// can sweep schedules while local runs stay reproducible.
+fn fault_seed() -> u64 {
+    std::env::var("GMREG_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gmreg-faultinj-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// --- helpers mirrored from the nn runtime's own tests ------------------
+
+fn toy_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * 2);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let cx = if label == 0 { -1.0 } else { 1.0 };
+        data.push((cx + rng.normal(0.0, 0.4)) as f32);
+        data.push((cx + rng.normal(0.0, 0.4)) as f32);
+        y.push(label);
+    }
+    Dataset::new(Tensor::from_vec(data, [n, 2]).unwrap(), y, 2).unwrap()
+}
+
+fn guarded_mlp(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(
+        Sequential::new("mlp")
+            .push(Dense::new("fc1", 2, 8, WeightInit::He, &mut rng).unwrap())
+            .push(ReLU::new("relu"))
+            .push(Dense::new("fc2", 8, 2, WeightInit::He, &mut rng).unwrap()),
+    );
+    net.attach_regularizers(|name, dims, init_std| {
+        name.ends_with("/weight").then(|| {
+            let cfg = GmConfig {
+                min_precision: Some(1.0),
+                ..GmConfig::default()
+            };
+            let inner = GmRegularizer::new(dims, init_std.max(0.1), cfg).unwrap();
+            Box::new(GuardedGmRegularizer::new(inner, GuardConfig::default()))
+                as Box<dyn Regularizer>
+        })
+    });
+    net
+}
+
+fn weight_vec(net: &mut Network) -> Vec<f32> {
+    let mut out = Vec::new();
+    net.visit_params(&mut |p| out.extend_from_slice(p.value.as_slice()));
+    out
+}
+
+fn cfg(epochs: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        epochs,
+        batch_size: 16,
+        shuffle_seed: 11,
+        ..RuntimeConfig::default()
+    }
+}
+
+// --- guard rails under injected regularizer faults ---------------------
+
+#[test]
+fn guard_recovers_from_injected_nan_greg() {
+    let _g = lock();
+    let m = 32;
+    let w: Vec<f32> = (0..m).map(|i| ((i as f32) * 0.37).sin() * 0.5).collect();
+    let inner = GmRegularizer::new(m, 0.5, GmConfig::default()).unwrap();
+    let mut guard = GuardedGmRegularizer::new(inner, GuardConfig::default());
+
+    // Poison the very first cached g_reg sweep.
+    gmreg_faults::arm("gm.greg.nan", FaultSpec::once_at(FaultKind::NanFill, 0));
+    let mut grad = vec![0.0f32; m];
+    guard.accumulate_grad(&w, &mut grad, StepCtx::new(0, 0));
+
+    assert!(
+        grad.iter().all(|v| v.is_finite()),
+        "poisoned g_reg must never reach the caller's gradient"
+    );
+    assert!(guard.trip_count() >= 1, "the trip was detected");
+    assert!(guard.rollback_count() >= 1, "and recovered by rollback");
+    assert!(!guard.is_degraded(), "one transient fault must not degrade");
+
+    // Subsequent steps are healthy again.
+    for it in 1..10u64 {
+        guard.accumulate_grad(&w, &mut grad, StepCtx::new(it, 0));
+    }
+    assert!(grad.iter().all(|v| v.is_finite()));
+    assert_eq!(guard.trip_count(), 1);
+    gmreg_faults::reset();
+}
+
+#[test]
+fn guard_recovers_from_injected_lambda_blowup() {
+    let _g = lock();
+    let m = 32;
+    let w: Vec<f32> = (0..m).map(|i| ((i as f32) * 0.61).cos() * 0.4).collect();
+    let inner = GmRegularizer::new(m, 0.4, GmConfig::default()).unwrap();
+    let (_, ceiling) = inner.lambda_bounds();
+    let mut guard = GuardedGmRegularizer::new(inner, GuardConfig::default());
+
+    // Scale the first M-step's λ far past the ceiling (large but finite —
+    // the Eq. 13 blow-up shape, not an outright NaN).
+    gmreg_faults::arm(
+        "gm.lambda.blowup",
+        FaultSpec::once_at(FaultKind::Scale(1e15), 0),
+    );
+    let mut grad = vec![0.0f32; m];
+    guard.accumulate_grad(&w, &mut grad, StepCtx::new(0, 0));
+
+    assert!(guard.trip_count() >= 1, "the blow-up tripped the guard");
+    assert!(guard.rollback_count() >= 1);
+    assert!(!guard.is_degraded());
+    assert!(grad.iter().all(|v| v.is_finite()));
+    // The live mixture is back inside bounds after the rollback.
+    let snap = guard.snapshot();
+    assert!(
+        snap.lambda.iter().all(|l| l.is_finite() && *l <= ceiling),
+        "rolled-back lambda must be finite and bounded: {:?}",
+        snap.lambda
+    );
+    gmreg_faults::reset();
+}
+
+#[test]
+fn persistent_regularizer_fault_degrades_to_l2_without_aborting() {
+    let _g = lock();
+    let m = 16;
+    let w: Vec<f32> = (0..m).map(|i| ((i as f32) * 0.23).sin() * 0.3).collect();
+    let inner = GmRegularizer::new(m, 0.3, GmConfig::default()).unwrap();
+    let mut guard = GuardedGmRegularizer::new(inner, GuardConfig::default());
+
+    // Every E-step is poisoned: the retry budget must drain, then the
+    // regularizer degrades to fixed L2 and keeps serving finite gradients.
+    gmreg_faults::arm("gm.greg.nan", FaultSpec::always(FaultKind::NanFill));
+    let mut grad = vec![0.0f32; m];
+    for it in 0..20u64 {
+        guard.accumulate_grad(&w, &mut grad, StepCtx::new(it, 0));
+        assert!(
+            grad.iter().all(|v| v.is_finite()),
+            "iteration {it}: gradient stayed finite"
+        );
+    }
+    assert!(
+        guard.is_degraded(),
+        "budget exhausted => degrade, not abort"
+    );
+    assert_eq!(guard.name(), "L2(degraded)");
+    let beta = guard.degraded_beta().expect("degraded strength recorded");
+    assert!(beta.is_finite() && beta > 0.0);
+    assert!(guard.last_error().is_some(), "the cause is preserved");
+    gmreg_faults::reset();
+}
+
+// --- fault-tolerant trainer under injected loss faults -----------------
+
+#[test]
+fn transient_nan_loss_rolls_back_and_matches_clean_run() {
+    let _g = lock();
+    let ds = toy_dataset(96, 1);
+
+    // Clean reference run: 3 epochs, no faults armed.
+    let dir_a = temp_dir("nanloss-clean");
+    let mut net_a = guarded_mlp(2);
+    let mut opt_a = Sgd::new(0.1, 0.9).unwrap();
+    FaultTolerantTrainer::new(cfg(3), &dir_a)
+        .unwrap()
+        .train(&mut net_a, &mut opt_a, &ds, None)
+        .unwrap();
+
+    // Faulted run: identical seeds, but batch 8 (epoch 1) reports a NaN
+    // loss once. The runtime must roll back to the epoch-1 checkpoint,
+    // replay the epoch, and land on the clean run's weights.
+    gmreg_faults::arm("nn.loss", FaultSpec::once_at(FaultKind::NanFill, 8));
+    let dir_b = temp_dir("nanloss-faulted");
+    let mut net_b = guarded_mlp(2);
+    let mut opt_b = Sgd::new(0.1, 0.9).unwrap();
+    let report = FaultTolerantTrainer::new(cfg(3), &dir_b)
+        .unwrap()
+        .train(&mut net_b, &mut opt_b, &ds, None)
+        .unwrap();
+    gmreg_faults::reset();
+
+    assert!(report.rollbacks >= 1, "the fault forced a rollback");
+    assert!(
+        report.degraded_groups.is_empty(),
+        "one transient fault must not degrade any group"
+    );
+    // A single (non-consecutive) failure must not trigger LR backoff.
+    assert_eq!(report.final_lr, 0.1f32 as f64);
+    assert_eq!(report.epochs.len(), 3);
+
+    // Checkpoint floats travel through JSON (1 ULP drift); the documented
+    // resume tolerance is 1e-5 absolute per weight.
+    let wa = weight_vec(&mut net_a);
+    let wb = weight_vec(&mut net_b);
+    assert_eq!(wa.len(), wb.len());
+    for (i, (a, b)) in wa.iter().zip(&wb).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-5,
+            "weight {i}: clean {a} vs recovered {b}"
+        );
+    }
+    assert_eq!(opt_a.iteration(), opt_b.iteration());
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn persistent_nan_loss_degrades_then_stalls_as_error() {
+    let _g = lock();
+    let ds = toy_dataset(64, 3);
+    let dir = temp_dir("nanloss-persistent");
+    let mut net = guarded_mlp(4);
+    let mut opt = Sgd::new(0.1, 0.9).unwrap();
+
+    // Every batch loss is NaN: the runtime burns its retries, degrades the
+    // regularizers, and — since the fault is not the regularizer's — ends
+    // with a typed `Stalled` error instead of looping or aborting.
+    gmreg_faults::arm("nn.loss", FaultSpec::always(FaultKind::NanFill));
+    let result = FaultTolerantTrainer::new(cfg(2), &dir)
+        .unwrap()
+        .train(&mut net, &mut opt, &ds, None);
+    gmreg_faults::reset();
+
+    match result {
+        Err(NnError::Stalled { last_failure, .. }) => {
+            assert!(
+                last_failure.contains("non-finite loss"),
+                "stall names the cause: {last_failure}"
+            );
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    // The degradation rung was climbed before stalling.
+    let mut degraded = 0;
+    net.visit_params(&mut |p| {
+        if let Some(g) = p.regularizer.as_ref().and_then(|r| r.as_guard()) {
+            if g.is_degraded() {
+                degraded += 1;
+            }
+        }
+    });
+    assert!(degraded > 0, "guards were degraded before the stall");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_chaos_schedule_is_survived_and_reproducible() {
+    let _g = lock();
+    let seed = fault_seed();
+    // Two expansions of the same seed are identical — the CI chaos job
+    // relies on this to rerun a failing schedule verbatim.
+    let hits = seeded_hits(seed, 2, 15);
+    assert_eq!(hits, seeded_hits(seed, 2, 15));
+    assert!(!hits.is_empty());
+
+    // A 3-epoch run traverses `nn.loss` at least 18 times before any
+    // retry, so every scheduled hit (≤ 15) is reached.
+    let ds = toy_dataset(96, 1);
+    let dir = temp_dir(&format!("chaos-{seed}"));
+    let mut net = guarded_mlp(2);
+    let mut opt = Sgd::new(0.1, 0.9).unwrap();
+    gmreg_faults::arm(
+        "nn.loss",
+        FaultSpec::at_hits(FaultKind::NanFill, hits.clone()),
+    );
+    let report = FaultTolerantTrainer::new(cfg(3), &dir)
+        .unwrap()
+        .train(&mut net, &mut opt, &ds, None)
+        .unwrap_or_else(|e| panic!("seed {seed} (hits {hits:?}) must be survivable: {e}"));
+    gmreg_faults::reset();
+
+    assert_eq!(report.epochs.len(), 3, "all epochs completed");
+    assert!(report.rollbacks >= 1, "the schedule actually fired");
+    assert!(weight_vec(&mut net).iter().all(|v| v.is_finite()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --- checkpoint-byte faults --------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CkptPayload {
+    step: u64,
+}
+
+#[test]
+fn injected_checkpoint_corruption_falls_back_to_previous_generation() {
+    let _g = lock();
+    let dir = temp_dir("ckpt-bytes");
+    let mgr = CheckpointManager::new(&dir, "state", 4).expect("manager");
+    mgr.save(&CkptPayload { step: 0 }).expect("clean gen 0");
+
+    // Generation 1 is truncated mid-write; generation 2 takes a bit flip.
+    gmreg_faults::arm("ckpt.bytes", FaultSpec::once_at(FaultKind::Truncate(10), 0));
+    mgr.save(&CkptPayload { step: 1 })
+        .expect("write still returns Ok");
+    gmreg_faults::arm("ckpt.bytes", FaultSpec::once_at(FaultKind::BitFlip(137), 0));
+    mgr.save(&CkptPayload { step: 2 })
+        .expect("write still returns Ok");
+    gmreg_faults::reset();
+
+    // Both damaged generations are skipped in favour of the intact one.
+    let (generation, state) = mgr
+        .load_latest::<CkptPayload>()
+        .expect("fallback works")
+        .expect("generation 0 survives");
+    assert_eq!(generation, 0);
+    assert_eq!(state, CkptPayload { step: 0 });
+
+    // A healthy save after the faults becomes the new newest generation.
+    mgr.save(&CkptPayload { step: 3 }).expect("clean gen 3");
+    let (generation, state) = mgr
+        .load_latest::<CkptPayload>()
+        .expect("loads")
+        .expect("newest intact");
+    assert_eq!(generation, 3);
+    assert_eq!(state, CkptPayload { step: 3 });
+    let _ = std::fs::remove_dir_all(&dir);
+}
