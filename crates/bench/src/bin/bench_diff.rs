@@ -1,0 +1,107 @@
+//! Compare two JSON benchmark/telemetry reports and fail on regressions.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--threshold 10%]
+//!            [--only <prefix>]... [--allow-missing]
+//! ```
+//!
+//! Exit codes: 0 no regression, 1 regression detected, 2 usage/parse error.
+
+use gmreg_bench::diff::{compare, flatten, has_regression, render, DiffConfig, Json};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <candidate.json> \
+         [--threshold <pct>%] [--only <prefix>]... [--allow-missing]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_threshold(raw: &str) -> Result<f64, String> {
+    let trimmed = raw.trim().trim_end_matches('%').trim();
+    let pct: f64 = trimmed
+        .parse()
+        .map_err(|_| format!("--threshold: `{raw}` is not a percentage"))?;
+    if !pct.is_finite() || pct < 0.0 {
+        return Err(format!(
+            "--threshold: `{raw}` must be a non-negative percentage"
+        ));
+    }
+    Ok(pct)
+}
+
+fn load(path: &str) -> std::collections::BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: parse {path}: {e}");
+        std::process::exit(2);
+    });
+    flatten(&doc)
+}
+
+fn main() {
+    let mut cfg = DiffConfig::default();
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            match args.next() {
+                Some(v) if !v.is_empty() && !v.starts_with("--") => v,
+                _ => {
+                    eprintln!("bench_diff: {flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        if a == "--threshold" {
+            let v = value(&mut args, "--threshold");
+            cfg.threshold_pct = parse_threshold(&v).unwrap_or_else(|e| {
+                eprintln!("bench_diff: {e}");
+                std::process::exit(2);
+            });
+        } else if let Some(v) = a.strip_prefix("--threshold=") {
+            cfg.threshold_pct = parse_threshold(v).unwrap_or_else(|e| {
+                eprintln!("bench_diff: {e}");
+                std::process::exit(2);
+            });
+        } else if a == "--only" {
+            cfg.only.push(value(&mut args, "--only"));
+        } else if let Some(v) = a.strip_prefix("--only=") {
+            if v.is_empty() {
+                eprintln!("bench_diff: --only= requires a non-empty prefix");
+                std::process::exit(2);
+            }
+            cfg.only.push(v.to_string());
+        } else if a == "--allow-missing" {
+            cfg.allow_missing = true;
+        } else if a.starts_with("--") {
+            eprintln!("bench_diff: unknown flag `{a}`");
+            usage();
+        } else {
+            files.push(a);
+        }
+    }
+    if files.len() != 2 {
+        usage();
+    }
+
+    let old = load(&files[0]);
+    let new = load(&files[1]);
+    if old.is_empty() {
+        eprintln!("bench_diff: baseline {} has no numeric metrics", files[0]);
+        std::process::exit(2);
+    }
+
+    let entries = compare(&old, &new, &cfg);
+    print!("{}", render(&entries, &cfg));
+    if has_regression(&entries) {
+        eprintln!(
+            "bench_diff: regression vs {} (if intentional, regenerate the baseline)",
+            files[0]
+        );
+        std::process::exit(1);
+    }
+}

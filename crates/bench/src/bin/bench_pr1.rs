@@ -90,6 +90,7 @@ fn bench_matmul(kernel: &str, n: usize, iters: usize, threads: usize) -> KernelB
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let _obs = gmreg_bench::obs::ObsOut::from_args();
     let mut health = gmreg_bench::health::RunHealth::new();
     let threads = gmreg_parallel::max_threads();
     println!("pool size: {threads} worker(s)\n");

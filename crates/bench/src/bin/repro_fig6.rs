@@ -20,6 +20,7 @@ struct Fig6 {
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let _obs = gmreg_bench::obs::ObsOut::from_args();
     let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.timing_params();

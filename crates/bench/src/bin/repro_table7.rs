@@ -12,6 +12,7 @@ use gmreg_data::synthetic::small_dataset_suite;
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let _obs = gmreg_bench::obs::ObsOut::from_args();
     let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.small_params();

@@ -24,6 +24,7 @@ const ALPHAS: [f64; 4] = [0.3, 0.5, 0.7, 0.9];
 
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
+    let _obs = gmreg_bench::obs::ObsOut::from_args();
     let mut health = gmreg_bench::health::RunHealth::new();
     let scale = Scale::from_env();
     let params = scale.image_params();

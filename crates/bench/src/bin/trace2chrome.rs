@@ -1,0 +1,31 @@
+//! Convert a telemetry span journal (JSONL, from `--trace-out`) into a
+//! Chrome `trace_event` JSON file loadable in `chrome://tracing` or
+//! Perfetto.
+//!
+//! ```text
+//! trace2chrome <trace.jsonl> [out.json]
+//! ```
+//!
+//! Without an explicit output path the file is written next to the input
+//! with the extension replaced by `chrome.json`.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(input) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: trace2chrome <trace.jsonl> [out.json]");
+        std::process::exit(2);
+    };
+    let output = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| input.with_extension("chrome.json"));
+    match gmreg_bench::trace::convert_jsonl_file(&input, &output) {
+        Ok(n) => println!("{n} span events -> {}", output.display()),
+        Err(e) => {
+            eprintln!("trace2chrome: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! Report comparison for bench-regression CI: parses two JSON reports
+//! (telemetry `--telemetry-out` dumps, `BENCH_*.json` timing files, or any
+//! JSON document with numeric leaves), flattens them to dotted metric
+//! paths, and compares each metric against a relative threshold.
+//!
+//! The comparison is direction-aware, keyed on the metric's final path
+//! segment:
+//!
+//! * **lower is better** (`*_ns`, `*_ms`, `*time*`, `*dur*`, `*loss*`,
+//!   `*dropped*`, `*fail*`, `*panic*`, `*rollback*`): only increases past
+//!   the threshold regress;
+//! * **higher is better** (`*speedup*`, `*acc*`, `*throughput*`, `*rate*`,
+//!   `*ops*`, `*hit*`): only decreases past the threshold regress;
+//! * **neutral** (everything else — e.g. event counters): any relative
+//!   change past the threshold regresses. A drifted counter means the
+//!   run's behaviour changed, which a pinned baseline must flag.
+//!
+//! The JSON parser is hand-rolled on purpose: the tool must accept reports
+//! produced by any build of the workspace without caring which serde
+//! implementation wrote them.
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------- JSON --
+
+/// A parsed JSON value (numbers unified as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = P {
+            b: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.pos != p.b.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.b.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-' => self.pos += 1,
+                _ => break,
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.b.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.b[self.pos..])
+                        .map_err(|_| self.err("invalid utf8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- flattening --
+
+/// Label an array element: prefer a human-meaningful field over the index
+/// so `BENCH_PR1.json` entries diff by kernel, not position.
+fn element_label(v: &Json, index: usize) -> String {
+    let field = |k: &str| match v.get(k) {
+        Some(Json::Str(s)) if !s.is_empty() => Some(s.clone()),
+        _ => None,
+    };
+    let primary = field("kernel")
+        .or_else(|| field("name"))
+        .or_else(|| field("dataset"));
+    match (primary, field("size")) {
+        (Some(p), Some(s)) => format!("{p}[{s}]"),
+        (Some(p), None) => p,
+        _ => index.to_string(),
+    }
+}
+
+fn flatten_into(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Num(n) => {
+            if n.is_finite() {
+                out.insert(prefix.to_string(), *n);
+            }
+        }
+        Json::Obj(entries) => {
+            for (k, child) in entries {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(&path, child, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let label = element_label(child, i);
+                let path = if prefix.is_empty() {
+                    label
+                } else {
+                    format!("{prefix}.{label}")
+                };
+                // Duplicate labels (two entries for the same kernel) fall
+                // back to the index to keep paths unique.
+                let path =
+                    if out.contains_key(&path) || items.len() != 1 && label_collides(items, i) {
+                        format!("{path}#{i}")
+                    } else {
+                        path
+                    };
+                flatten_into(&path, child, out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+fn label_collides(items: &[Json], index: usize) -> bool {
+    let mine = element_label(&items[index], index);
+    items
+        .iter()
+        .enumerate()
+        .any(|(j, other)| j != index && element_label(other, j) == mine)
+}
+
+/// Flattens a JSON report into `dotted.path -> value` metrics. Only finite
+/// numeric leaves survive; strings, bools and nulls are dropped.
+pub fn flatten(doc: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    flatten_into("", doc, &mut out);
+    out
+}
+
+// ----------------------------------------------------------- comparison --
+
+/// Which direction of change regresses a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Increases regress (timings, losses, drop/failure counts).
+    LowerIsBetter,
+    /// Decreases regress (speedups, accuracies, throughputs).
+    HigherIsBetter,
+    /// Any change regresses (behavioural counters pinned by a baseline).
+    Pinned,
+}
+
+/// Classifies a metric path by its final segment.
+pub fn direction(path: &str) -> Direction {
+    let last = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    // Unit suffixes need a word boundary: plain `contains("ns")` would
+    // classify `runs` as a timing.
+    let unit_suffix =
+        last == "ns" || last == "ms" || last.ends_with("_ns") || last.ends_with("_ms");
+    const LOWER: &[&str] = &[
+        "time", "dur", "loss", "dropped", "fail", "panic", "rollback", "p50", "p95", "p99",
+    ];
+    const HIGHER: &[&str] = &["speedup", "acc", "throughput", "rate", "ops", "hit"];
+    if unit_suffix || LOWER.iter().any(|w| last.contains(w)) {
+        Direction::LowerIsBetter
+    } else if HIGHER.iter().any(|w| last.contains(w)) {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Pinned
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Dotted metric path.
+    pub path: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value (`None` when the metric disappeared).
+    pub new: Option<f64>,
+    /// Relative change in percent (0 for identical; `None` when missing).
+    pub change_pct: Option<f64>,
+    /// Whether this entry regresses under the given threshold.
+    pub regressed: bool,
+}
+
+/// Comparison options.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Relative threshold in percent (e.g. `10.0`).
+    pub threshold_pct: f64,
+    /// When non-empty, only metrics whose path starts with one of these
+    /// prefixes are compared.
+    pub only: Vec<String>,
+    /// Metrics present in the baseline but absent from the candidate are
+    /// tolerated instead of regressing.
+    pub allow_missing: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            threshold_pct: 10.0,
+            only: Vec::new(),
+            allow_missing: false,
+        }
+    }
+}
+
+fn selected(path: &str, only: &[String]) -> bool {
+    only.is_empty() || only.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// Relative change of `new` vs `old` in percent; exact zero when equal.
+/// A zero baseline with a non-zero candidate counts as a 100% change.
+fn change_pct(old: f64, new: f64) -> f64 {
+    if old == new {
+        0.0
+    } else if old == 0.0 {
+        100.0 * (new - old).signum()
+    } else {
+        100.0 * (new - old) / old.abs()
+    }
+}
+
+/// Compares two flattened reports. Entries come back in path order;
+/// metrics that appear only in the candidate are ignored (new metrics are
+/// not regressions).
+pub fn compare(
+    old: &BTreeMap<String, f64>,
+    new: &BTreeMap<String, f64>,
+    cfg: &DiffConfig,
+) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    for (path, &old_v) in old {
+        if !selected(path, &cfg.only) {
+            continue;
+        }
+        let Some(&new_v) = new.get(path) else {
+            out.push(DiffEntry {
+                path: path.clone(),
+                old: old_v,
+                new: None,
+                change_pct: None,
+                regressed: !cfg.allow_missing,
+            });
+            continue;
+        };
+        let pct = change_pct(old_v, new_v);
+        let regressed = match direction(path) {
+            Direction::LowerIsBetter => pct > cfg.threshold_pct,
+            Direction::HigherIsBetter => pct < -cfg.threshold_pct,
+            Direction::Pinned => pct.abs() > cfg.threshold_pct,
+        };
+        out.push(DiffEntry {
+            path: path.clone(),
+            old: old_v,
+            new: Some(new_v),
+            change_pct: Some(pct),
+            regressed,
+        });
+    }
+    out
+}
+
+/// Renders the comparison as a human-readable table; regressions are
+/// prefixed with `REGRESSION`, notable-but-passing changes with `~`.
+pub fn render(entries: &[DiffEntry], cfg: &DiffConfig) -> String {
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    for e in entries {
+        match (e.new, e.change_pct) {
+            (Some(new), Some(pct)) => {
+                let marker = if e.regressed {
+                    regressions += 1;
+                    "REGRESSION"
+                } else if pct != 0.0 {
+                    "~"
+                } else {
+                    continue; // identical: stay quiet
+                };
+                out.push_str(&format!(
+                    "{marker:>10}  {}  {} -> {} ({:+.2}%)\n",
+                    e.path, e.old, new, pct
+                ));
+            }
+            _ => {
+                let marker = if e.regressed {
+                    regressions += 1;
+                    "REGRESSION"
+                } else {
+                    "~"
+                };
+                out.push_str(&format!(
+                    "{marker:>10}  {}  {} -> (missing)\n",
+                    e.path, e.old
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{} metrics compared, {} regressed (threshold {}%)\n",
+        entries.len(),
+        regressions,
+        cfg.threshold_pct
+    ));
+    out
+}
+
+/// True when any entry regressed.
+pub fn has_regression(entries: &[DiffEntry]) -> bool {
+    entries.iter().any(|e| e.regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(doc: &str) -> BTreeMap<String, f64> {
+        flatten(&Json::parse(doc).unwrap())
+    }
+
+    #[test]
+    fn flatten_handles_nested_objects_and_labelled_arrays() {
+        let m = metrics(
+            r#"{"counters": {"a.b": 3}, "gauges": {"g": 1.5},
+                "bench": [{"kernel": "e_step", "size": "m=1e6", "serial_ns": 100.0},
+                          {"kernel": "matmul", "serial_ns": 50.0}]}"#,
+        );
+        assert_eq!(m["counters.a.b"], 3.0);
+        assert_eq!(m["gauges.g"], 1.5);
+        assert_eq!(m["bench.e_step[m=1e6].serial_ns"], 100.0);
+        assert_eq!(m["bench.matmul.serial_ns"], 50.0);
+    }
+
+    #[test]
+    fn duplicate_array_labels_fall_back_to_indices() {
+        let m = metrics(r#"[{"kernel": "k", "x": 1}, {"kernel": "k", "x": 2}]"#);
+        assert_eq!(m["k#0.x"], 1.0);
+        assert_eq!(m["k#1.x"], 2.0);
+    }
+
+    #[test]
+    fn direction_heuristics() {
+        assert_eq!(
+            direction("bench.e_step.serial_ns"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction("gauges.runtime.loss"), Direction::LowerIsBetter);
+        assert_eq!(direction("bench.e_step.speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction("final_accuracy"), Direction::HigherIsBetter);
+        assert_eq!(direction("counters.gm.e_step.runs"), Direction::Pinned);
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let a = metrics(r#"{"counters": {"x": 10}, "t_ns": 100.0}"#);
+        let entries = compare(&a, &a, &DiffConfig::default());
+        assert!(!has_regression(&entries));
+        assert!(entries.iter().all(|e| e.change_pct == Some(0.0)));
+    }
+
+    #[test]
+    fn regressions_are_direction_aware() {
+        let old = metrics(r#"{"t_ns": 100.0, "speedup": 4.0, "runs": 10}"#);
+        let cfg = DiffConfig::default();
+
+        // 15% slower: regression. 15% faster: fine.
+        let slow = metrics(r#"{"t_ns": 115.0, "speedup": 4.0, "runs": 10}"#);
+        assert!(has_regression(&compare(&old, &slow, &cfg)));
+        let fast = metrics(r#"{"t_ns": 85.0, "speedup": 4.0, "runs": 10}"#);
+        assert!(!has_regression(&compare(&old, &fast, &cfg)));
+
+        // Speedup drop: regression. Speedup gain: fine.
+        let worse = metrics(r#"{"t_ns": 100.0, "speedup": 3.0, "runs": 10}"#);
+        assert!(has_regression(&compare(&old, &worse, &cfg)));
+        let better = metrics(r#"{"t_ns": 100.0, "speedup": 6.0, "runs": 10}"#);
+        assert!(!has_regression(&compare(&old, &better, &cfg)));
+
+        // Pinned counter: drift in either direction regresses.
+        let drifted = metrics(r#"{"t_ns": 100.0, "speedup": 4.0, "runs": 5}"#);
+        assert!(has_regression(&compare(&old, &drifted, &cfg)));
+    }
+
+    #[test]
+    fn threshold_and_only_filters_apply() {
+        let old = metrics(r#"{"a": {"t_ns": 100.0}, "b": {"t_ns": 100.0}}"#);
+        let new = metrics(r#"{"a": {"t_ns": 108.0}, "b": {"t_ns": 200.0}}"#);
+        let lax = DiffConfig {
+            threshold_pct: 150.0,
+            ..DiffConfig::default()
+        };
+        assert!(!has_regression(&compare(&old, &new, &lax)));
+        let scoped = DiffConfig {
+            only: vec!["a.".to_string()],
+            ..DiffConfig::default()
+        };
+        let entries = compare(&old, &new, &scoped);
+        assert_eq!(entries.len(), 1);
+        assert!(!has_regression(&entries), "8% is under the 10% threshold");
+    }
+
+    #[test]
+    fn missing_metrics_regress_unless_allowed() {
+        let old = metrics(r#"{"x": 1.0, "y": 2.0}"#);
+        let new = metrics(r#"{"x": 1.0}"#);
+        assert!(has_regression(&compare(&old, &new, &DiffConfig::default())));
+        let allow = DiffConfig {
+            allow_missing: true,
+            ..DiffConfig::default()
+        };
+        assert!(!has_regression(&compare(&old, &new, &allow)));
+        // Extra metrics in the candidate are never regressions.
+        assert!(!has_regression(&compare(
+            &new,
+            &old,
+            &DiffConfig::default()
+        )));
+    }
+
+    #[test]
+    fn zero_baseline_counts_as_full_change() {
+        let old = metrics(r#"{"dropped": 0.0}"#);
+        let new = metrics(r#"{"dropped": 3.0}"#);
+        let entries = compare(&old, &new, &DiffConfig::default());
+        assert!(has_regression(&entries));
+        assert_eq!(entries[0].change_pct, Some(100.0));
+    }
+
+    #[test]
+    fn render_reports_counts() {
+        let old = metrics(r#"{"t_ns": 100.0}"#);
+        let new = metrics(r#"{"t_ns": 150.0}"#);
+        let cfg = DiffConfig::default();
+        let entries = compare(&old, &new, &cfg);
+        let text = render(&entries, &cfg);
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("1 metrics compared, 1 regressed"), "{text}");
+    }
+}

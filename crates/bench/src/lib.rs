@@ -8,10 +8,14 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod dl;
 pub mod health;
+pub mod obs;
 pub mod report;
 pub mod scale;
 pub mod small;
 pub mod telemetry;
 pub mod timing;
+#[cfg(feature = "telemetry")]
+pub mod trace;

@@ -1,0 +1,275 @@
+//! `--serve <addr>` and `--trace-out <path>` support for the reproduction
+//! binaries.
+//!
+//! Every `repro_*` binary (and `bench_pr1`) installs an [`ObsOut`] guard at
+//! the top of `main`, right after [`TelemetryOut`](crate::telemetry::TelemetryOut):
+//!
+//! * `--serve <addr>` starts the `gmreg-obs` HTTP endpoint (`/metrics`,
+//!   `/status`) for the lifetime of the run. Port 0 picks an ephemeral
+//!   port; the bound address is printed so a scraper can find it.
+//! * `--trace-out <path>` streams every drained span event to a JSONL
+//!   journal at `path` while the run executes, and on exit converts it to
+//!   Chrome `trace_event` JSON next to it (`path` with its extension
+//!   replaced by `chrome.json`), loadable in `chrome://tracing` or
+//!   Perfetto.
+//!
+//! Both flags are accepted (and reported as unsupported) in builds without
+//! the corresponding features so scripts don't need to care how the binary
+//! was compiled. Malformed flags terminate the process with exit code 2.
+//!
+//! Declare the guard **after** `TelemetryOut` so it drops **first**: the
+//! journal is sealed and converted, and the server stopped, before the
+//! final telemetry report is written.
+
+/// Drop guard for the live-observability flags.
+#[derive(Debug, Default)]
+pub struct ObsOut {
+    trace_path: Option<std::path::PathBuf>,
+    #[cfg(feature = "obs")]
+    server: Option<gmreg_obs::ObsServer>,
+}
+
+/// Parsed observability flags (separated from process-exit handling so the
+/// error paths are testable).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsArgs {
+    /// `--serve` listen address, when given.
+    pub serve: Option<String>,
+    /// `--trace-out` journal path, when given.
+    pub trace_out: Option<std::path::PathBuf>,
+}
+
+impl ObsArgs {
+    /// Scans `args` for `--serve`/`--trace-out` in both `--flag value` and
+    /// `--flag=value` forms. Unrelated arguments are ignored.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<ObsArgs, String> {
+        let mut out = ObsArgs::default();
+        let mut args = args;
+        while let Some(a) = args.next() {
+            if a == "--serve" {
+                match args.next() {
+                    Some(v) if !v.is_empty() && !v.starts_with("--") => out.serve = Some(v),
+                    _ => {
+                        return Err(
+                            "--serve requires a listen address (e.g. 127.0.0.1:9184)".to_string()
+                        )
+                    }
+                }
+            } else if let Some(v) = a.strip_prefix("--serve=") {
+                if v.is_empty() {
+                    return Err("--serve= requires a non-empty listen address".to_string());
+                }
+                out.serve = Some(v.to_string());
+            } else if a == "--trace-out" {
+                match args.next() {
+                    Some(v) if !v.is_empty() && !v.starts_with("--") => {
+                        out.trace_out = Some(std::path::PathBuf::from(v));
+                    }
+                    _ => return Err("--trace-out requires a path argument".to_string()),
+                }
+            } else if let Some(v) = a.strip_prefix("--trace-out=") {
+                if v.is_empty() {
+                    return Err("--trace-out= requires a non-empty path".to_string());
+                }
+                out.trace_out = Some(std::path::PathBuf::from(v));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl ObsOut {
+    /// Parses the process arguments and activates whatever was requested.
+    /// Malformed flags exit with code 2; activation failures (unbindable
+    /// address, unwritable journal path) exit with code 2 as well — a run
+    /// asked to be observable must not silently run blind.
+    pub fn from_args() -> Self {
+        let args = match ObsArgs::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        match Self::activate(args) {
+            Ok(guard) => guard,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Activates parsed flags: installs the journal and binds the server.
+    pub fn activate(args: ObsArgs) -> Result<Self, String> {
+        #[allow(unused_mut)]
+        let mut guard = ObsOut {
+            trace_path: None,
+            #[cfg(feature = "obs")]
+            server: None,
+        };
+
+        if let Some(path) = args.trace_out {
+            #[cfg(feature = "telemetry")]
+            {
+                gmreg_telemetry::journal::install(
+                    &path,
+                    gmreg_telemetry::journal::DEFAULT_JOURNAL_CAP,
+                )
+                .map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+                println!("trace journal streaming to {}", path.display());
+                guard.trace_path = Some(path);
+            }
+            #[cfg(not(feature = "telemetry"))]
+            eprintln!(
+                "--trace-out {} ignored: built without the `telemetry` feature",
+                path.display()
+            );
+        }
+
+        if let Some(addr) = args.serve {
+            #[cfg(feature = "obs")]
+            {
+                let server = gmreg_obs::ObsServer::bind(addr.as_str())
+                    .map_err(|e| format!("--serve {addr}: {e}"))?;
+                println!(
+                    "obs endpoint listening on http://{} (/metrics, /status)",
+                    server.local_addr()
+                );
+                guard.server = Some(server);
+            }
+            #[cfg(not(feature = "obs"))]
+            eprintln!("--serve {addr} ignored: built without the `obs` feature");
+        }
+
+        Ok(guard)
+    }
+
+    /// Whether a trace journal is being written.
+    pub fn tracing(&self) -> bool {
+        self.trace_path.is_some()
+    }
+}
+
+impl Drop for ObsOut {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(path) = self.trace_path.take() {
+            // Seal the journal, then convert it to Chrome trace JSON.
+            gmreg_telemetry::flush();
+            if let Some(stats) = gmreg_telemetry::journal::uninstall() {
+                if stats.dropped > 0 {
+                    eprintln!(
+                        "trace journal dropped {} events past the {}-event cap",
+                        stats.dropped, stats.written
+                    );
+                }
+                let dropped = gmreg_telemetry::snapshot().dropped_spans;
+                if dropped > 0 {
+                    eprintln!(
+                        "trace: telemetry dropped {dropped} spans (per-thread ring wrap \
+                         between flushes misses the journal too; registry-cap drops are \
+                         journaled — raise GMREG_SPAN_CAP or flush more often)"
+                    );
+                }
+                let chrome_path = path.with_extension("chrome.json");
+                match crate::trace::convert_jsonl_file(&path, &chrome_path) {
+                    Ok(n) => println!(
+                        "trace: {n} events -> {} (chrome://tracing, Perfetto)",
+                        chrome_path.display()
+                    ),
+                    Err(e) => eprintln!("trace conversion failed: {e}"),
+                }
+            }
+        }
+        // The server (when present) shuts down via its own Drop.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> std::vec::IntoIter<String> {
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parse_accepts_both_forms_and_ignores_other_args() {
+        let a = ObsArgs::parse(strings(&[
+            "--epochs",
+            "3",
+            "--serve",
+            "127.0.0.1:0",
+            "--trace-out=t.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(a.serve.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.trace_out, Some(std::path::PathBuf::from("t.jsonl")));
+        assert_eq!(ObsArgs::parse(strings(&["x"])).unwrap(), ObsArgs::default());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_flags() {
+        assert!(ObsArgs::parse(strings(&["--serve"])).is_err());
+        assert!(ObsArgs::parse(strings(&["--serve="])).is_err());
+        assert!(ObsArgs::parse(strings(&["--serve", "--trace-out"])).is_err());
+        assert!(ObsArgs::parse(strings(&["--trace-out"])).is_err());
+        assert!(ObsArgs::parse(strings(&["--trace-out="])).is_err());
+    }
+
+    #[cfg(all(feature = "telemetry", feature = "obs"))]
+    #[test]
+    fn activate_serves_and_journals_then_converts_on_drop() {
+        use std::io::{Read as _, Write as _};
+        let dir = std::env::temp_dir().join(format!("gmreg-obsout-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run.jsonl");
+
+        let guard = ObsOut::activate(ObsArgs {
+            serve: Some("127.0.0.1:0".to_string()),
+            trace_out: Some(trace.clone()),
+        })
+        .unwrap();
+        assert!(guard.tracing());
+        let addr = guard.server.as_ref().unwrap().local_addr();
+
+        // Record a span while the journal is live, then scrape /metrics.
+        {
+            let _s = gmreg_telemetry::span("obsout.test.ns");
+        }
+        gmreg_telemetry::flush();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+        drop(guard);
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.contains("obsout.test.ns"), "{jsonl}");
+        let chrome = std::fs::read_to_string(trace.with_extension("chrome.json")).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("obsout.test.ns"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn activate_reports_unbindable_address() {
+        #[cfg(feature = "obs")]
+        {
+            let err = ObsOut::activate(ObsArgs {
+                serve: Some("256.0.0.1:99999".to_string()),
+                trace_out: None,
+            })
+            .unwrap_err();
+            assert!(err.contains("--serve"), "{err}");
+        }
+    }
+}

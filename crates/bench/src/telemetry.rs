@@ -23,24 +23,45 @@ pub struct TelemetryOut {
 
 impl TelemetryOut {
     /// Parses `--telemetry-out <path>` / `--telemetry-out=<path>` from the
-    /// process arguments. Without the flag the guard does nothing.
+    /// process arguments. Without the flag the guard does nothing. A
+    /// malformed flag (missing or empty path) terminates the process with
+    /// exit code 2 — a CI job must fail loudly, not silently collect
+    /// nothing.
     pub fn from_args() -> Self {
-        let mut args = std::env::args().skip(1);
-        let mut path = None;
-        while let Some(a) = args.next() {
-            if a == "--telemetry-out" {
-                path = args.next().map(PathBuf::from);
-                if path.is_none() {
-                    eprintln!("--telemetry-out requires a path argument; ignoring");
-                }
-            } else if let Some(p) = a.strip_prefix("--telemetry-out=") {
-                path = Some(PathBuf::from(p));
+        let path = match Self::parse(std::env::args().skip(1)) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
             }
-        }
+        };
         TelemetryOut {
             path,
             written: false,
         }
+    }
+
+    /// The argument scan behind [`TelemetryOut::from_args`], separated so
+    /// the error paths are testable without spawning a process.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Option<PathBuf>, String> {
+        let mut args = args.peekable();
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--telemetry-out" {
+                match args.next() {
+                    Some(p) if !p.is_empty() && !p.starts_with("--") => {
+                        path = Some(PathBuf::from(p));
+                    }
+                    _ => return Err("--telemetry-out requires a path argument".to_string()),
+                }
+            } else if let Some(p) = a.strip_prefix("--telemetry-out=") {
+                if p.is_empty() {
+                    return Err("--telemetry-out= requires a non-empty path".to_string());
+                }
+                path = Some(PathBuf::from(p));
+            }
+        }
+        Ok(path)
     }
 
     /// A guard that writes to an explicit path (used by tests).
@@ -118,6 +139,30 @@ mod tests {
         assert!(body.contains("\"counters\""));
         assert!(body.contains("bench.test.marker"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn strings(v: &[&str]) -> std::vec::IntoIter<String> {
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parse_accepts_both_flag_forms() {
+        let p = TelemetryOut::parse(strings(&["--telemetry-out", "a.json"])).unwrap();
+        assert_eq!(p, Some(PathBuf::from("a.json")));
+        let p = TelemetryOut::parse(strings(&["--telemetry-out=b.json"])).unwrap();
+        assert_eq!(p, Some(PathBuf::from("b.json")));
+        assert_eq!(TelemetryOut::parse(strings(&["positional"])).unwrap(), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_flags() {
+        assert!(TelemetryOut::parse(strings(&["--telemetry-out"])).is_err());
+        assert!(TelemetryOut::parse(strings(&["--telemetry-out="])).is_err());
+        assert!(TelemetryOut::parse(strings(&["--telemetry-out", "--serve"])).is_err());
+        assert!(TelemetryOut::parse(strings(&["--telemetry-out", ""])).is_err());
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! JSONL span-journal parsing and Chrome trace conversion.
+//!
+//! The telemetry journal ([`gmreg_telemetry::journal`]) streams one JSON
+//! object per line with the fixed shape
+//!
+//! ```json
+//! {"name": "...", "id": 1, "parent": 0, "thread": 0, "seq": 0,
+//!  "start_ns": 10, "dur_ns": 5, "attrs": {"epoch": 2}}
+//! ```
+//!
+//! This module parses those lines back into
+//! [`TraceEvent`](gmreg_telemetry::chrome::TraceEvent)s — with a
+//! hand-rolled scanner, so the parser accepts exactly the journal's JSON
+//! regardless of which serde implementation built the binary — and renders
+//! them through [`gmreg_telemetry::chrome::chrome_trace`]. It backs both
+//! the `trace2chrome` binary and the automatic conversion `ObsOut`
+//! performs when a `--trace-out` run exits.
+
+use gmreg_telemetry::chrome::{chrome_trace, TraceEvent};
+use std::path::Path;
+
+struct Scan<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.b.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.pos).copied()
+    }
+
+    /// Parses a JSON string literal, resolving escapes.
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.b.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.b[self.pos..])
+                        .map_err(|_| self.err("invalid utf8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consumes one JSON value of any kind and returns its raw text.
+    fn raw_value(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut escaped = false;
+        while let Some(&c) = self.b.get(self.pos) {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == b'\\' {
+                    escaped = true;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        if in_str || depth > 0 {
+            return Err(self.err("unbalanced value"));
+        }
+        let raw = std::str::from_utf8(&self.b[start..self.pos])
+            .map_err(|_| self.err("invalid utf8"))?
+            .trim();
+        if raw.is_empty() {
+            return Err(self.err("empty value"));
+        }
+        Ok(raw)
+    }
+
+    fn u64_value(&mut self, key: &str) -> Result<u64, String> {
+        let raw = self.raw_value()?;
+        raw.parse::<u64>()
+            .map_err(|_| format!("field `{key}`: expected an unsigned integer, got `{raw}`"))
+    }
+}
+
+/// Parses one journal line into a [`TraceEvent`]. Attribute values are
+/// kept as raw JSON (that is what the Chrome renderer re-emits).
+pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
+    let mut s = Scan {
+        b: line.as_bytes(),
+        pos: 0,
+    };
+    let mut ev = TraceEvent {
+        name: String::new(),
+        id: 0,
+        parent: 0,
+        thread: 0,
+        start_ns: 0,
+        dur_ns: 0,
+        args: Vec::new(),
+    };
+    let mut saw_name = false;
+    let mut saw_id = false;
+
+    s.eat(b'{')?;
+    if s.peek() == Some(b'}') {
+        return Err("empty span object".to_string());
+    }
+    loop {
+        let key = s.string()?;
+        s.eat(b':')?;
+        match key.as_str() {
+            "name" => {
+                ev.name = s.string()?;
+                saw_name = true;
+            }
+            "id" => {
+                ev.id = s.u64_value("id")?;
+                saw_id = true;
+            }
+            "parent" => ev.parent = s.u64_value("parent")?,
+            "thread" => {
+                ev.thread = u32::try_from(s.u64_value("thread")?)
+                    .map_err(|_| "field `thread`: does not fit u32".to_string())?;
+            }
+            "start_ns" => ev.start_ns = s.u64_value("start_ns")?,
+            "dur_ns" => ev.dur_ns = s.u64_value("dur_ns")?,
+            "attrs" => {
+                s.eat(b'{')?;
+                if s.peek() == Some(b'}') {
+                    s.eat(b'}')?;
+                } else {
+                    loop {
+                        let k = s.string()?;
+                        s.eat(b':')?;
+                        let v = s.raw_value()?.to_string();
+                        ev.args.push((k, v));
+                        match s.peek() {
+                            Some(b',') => s.eat(b',')?,
+                            _ => {
+                                s.eat(b'}')?;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // "seq" and anything a future journal adds: skip the value.
+            _ => {
+                s.raw_value()?;
+            }
+        }
+        match s.peek() {
+            Some(b',') => s.eat(b',')?,
+            _ => {
+                s.eat(b'}')?;
+                break;
+            }
+        }
+    }
+    if !saw_name || !saw_id {
+        return Err("span object missing `name` or `id`".to_string());
+    }
+    Ok(ev)
+}
+
+/// Parses a whole JSONL document (one span per line; blank lines allowed).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// Converts a journal file to a Chrome `trace_event` JSON file. Returns
+/// the number of span events converted.
+pub fn convert_jsonl_file(input: &Path, output: &Path) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("read {}: {e}", input.display()))?;
+    let events = parse_jsonl(&text).map_err(|e| format!("{}: {e}", input.display()))?;
+    std::fs::write(output, chrome_trace(&events))
+        .map_err(|e| format!("write {}: {e}", output.display()))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "{\"name\": \"gm.e_step.ns\", \"id\": 4294967297, \"parent\": 12, \
+        \"thread\": 1, \"seq\": 0, \"start_ns\": 123, \"dur_ns\": 456, \
+        \"attrs\": {\"epoch\": 2, \"trip\": \"pi simplex collapse\", \"ok\": true, \"f\": 2.5}}";
+
+    #[test]
+    fn parses_a_journal_line_with_all_attr_types() {
+        let ev = parse_jsonl_line(LINE).unwrap();
+        assert_eq!(ev.name, "gm.e_step.ns");
+        assert_eq!(ev.id, 4294967297);
+        assert_eq!(ev.parent, 12);
+        assert_eq!(ev.thread, 1);
+        assert_eq!(ev.start_ns, 123);
+        assert_eq!(ev.dur_ns, 456);
+        assert_eq!(ev.args.len(), 4);
+        assert_eq!(ev.args[0], ("epoch".to_string(), "2".to_string()));
+        assert_eq!(
+            ev.args[1],
+            ("trip".to_string(), "\"pi simplex collapse\"".to_string())
+        );
+        assert_eq!(ev.args[2], ("ok".to_string(), "true".to_string()));
+        assert_eq!(ev.args[3], ("f".to_string(), "2.5".to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_positions() {
+        assert!(parse_jsonl_line("{}").is_err());
+        assert!(parse_jsonl_line("{\"name\": \"x\"}").is_err(), "missing id");
+        assert!(parse_jsonl_line("not json").is_err());
+        assert!(parse_jsonl_line("{\"name\": \"x\", \"id\": -3}").is_err());
+        let err = parse_jsonl("{\"name\"\n\nbroken").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn roundtrips_the_real_journal_format() {
+        // Record a real span, drain it, and parse its journal line.
+        let ev = gmreg_telemetry::SpanEvent {
+            name: "pool.worker.ns",
+            id: (7u64 << 32) | 3,
+            parent: (1u64 << 32) | 9,
+            thread: 7,
+            seq: 3,
+            start_ns: 1_000,
+            dur_ns: 2_500,
+            attrs: vec![
+                ("worker", gmreg_telemetry::AttrValue::U64(2)),
+                ("note", gmreg_telemetry::AttrValue::Str("a\"b")),
+            ],
+        };
+        let parsed = parse_jsonl_line(&ev.to_jsonl()).unwrap();
+        assert_eq!(parsed.name, "pool.worker.ns");
+        assert_eq!(parsed.id, ev.id);
+        assert_eq!(parsed.parent, ev.parent);
+        assert_eq!(parsed.args[0], ("worker".to_string(), "2".to_string()));
+        assert_eq!(parsed.args[1].0, "note");
+        assert_eq!(parsed.args[1].1, "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn jsonl_document_converts_to_chrome_trace() {
+        let doc = format!("{LINE}\n\n{LINE}\n");
+        let events = parse_jsonl(&doc).unwrap();
+        assert_eq!(events.len(), 2);
+        let chrome = chrome_trace(&events);
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"ph\": \"X\""));
+        assert!(chrome.contains("gm.e_step.ns"));
+    }
+}

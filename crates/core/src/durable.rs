@@ -241,14 +241,18 @@ impl CheckpointManager {
     /// write it as the next generation; then prune generations beyond the
     /// retention window. Returns the generation number written.
     pub fn save<T: serde::Serialize>(&self, state: &T) -> Result<u64> {
+        let mut _t = tele::span("ckpt.save.ns");
         let payload = serde_json::to_string(state).map_err(|e| CoreError::CheckpointCorrupt {
             path: self.dir.display().to_string(),
             reason: format!("serialize failed: {e}"),
         })?;
         let generation = self.generations()?.last().map_or(0, |g| g + 1);
+        _t.set_u64("generation", generation);
+        _t.set_u64("bytes", payload.len() as u64);
         let path = self.gen_path(generation);
         write_checkpoint(&path, payload.as_bytes())?;
         tele::counter_inc("ckpt.saves");
+        tele::gauge_set("ckpt.generation", generation as f64);
         self.prune()?;
         Ok(generation)
     }

@@ -186,6 +186,11 @@ impl GuardedGmRegularizer {
             detail: format!("degraded to L2(beta = {beta:.3e}): {detail}"),
         });
         tele::counter_inc("guard.degraded");
+        tele::gauge_set("guard.degraded.beta", beta);
+        let _t = tele::span("guard.degrade.ns")
+            .with_f64("beta", beta)
+            .with_u64("trips", self.trips)
+            .with_u64("rollbacks", self.rollbacks);
     }
 
     fn lambda_ceiling(&self) -> f64 {
@@ -356,6 +361,11 @@ impl Regularizer for GuardedGmRegularizer {
         if let Some(trip) = self.validate(w) {
             self.trips += 1;
             tele::counter_inc("guard.trips");
+            let mut _trip_span = tele::span("guard.trip.ns")
+                .with_str("trip", trip.label())
+                .with_u64("iter", ctx.iteration)
+                .with_u64("epoch", ctx.epoch)
+                .with_u64("retries_used", self.retries_used as u64);
             if self.retries_used < self.cfg.max_retries {
                 self.retries_used += 1;
                 let recovered = self
@@ -376,10 +386,12 @@ impl Regularizer for GuardedGmRegularizer {
                     self.rollbacks += 1;
                     self.healthy_steps = 0;
                     tele::counter_inc("guard.rollbacks");
+                    _trip_span.set_u64("rolled_back", 1);
                     return;
                 }
             }
             // Budget spent (or the rollback itself failed): degrade.
+            _trip_span.set_u64("degraded", 1);
             self.force_degrade(trip.label());
             if let Some(l2) = &mut self.degraded {
                 l2.accumulate_grad(w, grad, ctx);

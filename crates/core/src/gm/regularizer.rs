@@ -42,6 +42,10 @@ pub struct GmRegularizer {
     m_steps: u64,
     grad_calls: u64,
     degenerate_skips: u64,
+    /// Consecutive lazy-schedule skips since the last E-step actually ran;
+    /// reported as a `skipped` attribute on the next E-step's span so
+    /// Algorithm 2's staleness is visible in a trace.
+    skips_since_e: u64,
     /// Reusable E-step buffers; sweeps make no per-call allocations.
     scratch: EStepScratch,
 }
@@ -90,6 +94,7 @@ impl GmRegularizer {
             m_steps: 0,
             grad_calls: 0,
             degenerate_skips: 0,
+            skips_since_e: 0,
             scratch: EStepScratch::default(),
         })
     }
@@ -265,11 +270,17 @@ impl Regularizer for GmRegularizer {
         if self.config.lazy.run_e_step(ctx.iteration, ctx.epoch) {
             tele::counter_inc("gm.e_step.runs");
             {
-                let _t = tele::span("gm.e_step.ns");
+                let _t = tele::span("gm.e_step.ns")
+                    .with_u64("iter", ctx.iteration)
+                    .with_u64("epoch", ctx.epoch)
+                    .with_u64("k", self.config.k as u64)
+                    .with_u64("m", self.m as u64)
+                    .with_u64("skipped", self.skips_since_e);
                 self.acc =
                     e_step_with_scratch(&self.gm, w, Some(&mut self.greg), &mut self.scratch);
             }
             self.e_steps += 1;
+            self.skips_since_e = 0;
             #[cfg(feature = "telemetry")]
             tele::histogram_record("gm.resp.entropy", self.acc.mixing_entropy());
 
@@ -281,6 +292,7 @@ impl Regularizer for GmRegularizer {
             }
         } else {
             tele::counter_inc("gm.e_step.skips");
+            self.skips_since_e += 1;
         }
 
         // Gradient uses the cached g_reg (line 8).
@@ -293,7 +305,10 @@ impl Regularizer for GmRegularizer {
             tele::counter_inc("gm.m_step.scheduled");
             if self.acc.m > 0 {
                 tele::counter_inc("gm.m_step.runs");
-                let _t = tele::span("gm.m_step.ns");
+                let mut _t = tele::span("gm.m_step.ns")
+                    .with_u64("iter", ctx.iteration)
+                    .with_u64("epoch", ctx.epoch)
+                    .with_u64("k", self.config.k as u64);
                 let (floor, ceiling) = self.lambda_bounds();
                 #[allow(unused_mut)]
                 let (pi, mut lambda) =
@@ -337,9 +352,28 @@ impl Regularizer for GmRegularizer {
                 // mixture instead of propagating the corruption.
                 if self.gm.set_params(pi, lambda).is_ok() {
                     self.m_steps += 1;
+                    #[cfg(feature = "telemetry")]
+                    {
+                        let (mut pi_min, mut pi_max) = (f64::MAX, f64::MIN);
+                        for &p in self.gm.pi() {
+                            pi_min = pi_min.min(p);
+                            pi_max = pi_max.max(p);
+                        }
+                        let (mut l_min, mut l_max) = (f64::MAX, f64::MIN);
+                        for &l in self.gm.lambda() {
+                            l_min = l_min.min(l);
+                            l_max = l_max.max(l);
+                        }
+                        tele::gauge_set("gm.pi.min", pi_min);
+                        tele::gauge_set("gm.pi.max", pi_max);
+                        tele::gauge_set("gm.lambda.min", l_min);
+                        tele::gauge_set("gm.lambda.max", l_max);
+                        _t.set_f64("lambda_max", l_max);
+                    }
                 } else {
                     self.degenerate_skips += 1;
                     tele::counter_inc("gm.m_step.degenerate_skips");
+                    _t.set_u64("degenerate", 1);
                 }
             }
         } else {

@@ -177,6 +177,8 @@ impl LogisticRegression {
         let mut retries = 0u32;
         let mut exhausted = false;
         while epoch < epochs {
+            let mut _epoch_span =
+                tele::span("linear.fit_durable.epoch.ns").with_u64("epoch", epoch);
             let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(epoch));
             let batcher = Batcher::new(ds, batch_size, &mut rng)?;
             let mut epoch_loss = 0.0;
@@ -204,12 +206,19 @@ impl LogisticRegression {
                 final_acc = epoch_hits as f64 / ds.len() as f64;
                 it = epoch_it;
                 epoch += 1;
+                tele::gauge_set("runtime.epoch", epoch as f64);
+                tele::gauge_set("runtime.loss", final_loss);
                 if epoch % cfg.checkpoint_every as u64 == 0 || epoch == epochs {
                     ckpt.save(&self.capture_fit_state(epoch, it))?;
                 }
+                drop(_epoch_span);
+                // Per-epoch drain keeps a live /metrics scrape and the trace
+                // journal current while the fit is still running.
+                tele::flush();
                 continue;
             }
 
+            _epoch_span.set_u64("failed", 1);
             tele::counter_inc("linear.logistic.fit_durable.rollbacks");
             if exhausted {
                 return Err(LinearError::InvalidConfig {

@@ -251,6 +251,11 @@ impl LogisticRegression {
             self.current_lr *= self.config.lr_decay;
             final_loss = epoch_loss / batcher.n_batches() as f64;
             final_acc = epoch_hits as f64 / ds.len() as f64;
+            // Publish per-epoch progress so a live /metrics or /status
+            // scrape sees the current epoch, not the last finished fit.
+            tele::gauge_set("runtime.epoch", (epoch + 1) as f64);
+            tele::gauge_set("runtime.loss", final_loss);
+            tele::flush();
         }
         Ok(FitStats {
             final_loss,

@@ -133,6 +133,9 @@ impl Network {
         };
         tele::gauge_set("nn.epoch.loss", stats.loss);
         tele::gauge_set("nn.epoch.accuracy", stats.accuracy);
+        // Per-epoch publish for live scrapes (the checked variant is
+        // flushed by the fault-tolerant runtime after checkpointing).
+        tele::flush();
         Ok(stats)
     }
 

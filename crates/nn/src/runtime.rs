@@ -304,8 +304,12 @@ impl FaultTolerantTrainer {
         let mut exhausted = false;
         while epoch < self.cfg.epochs {
             let mut rng = StdRng::seed_from_u64(self.cfg.shuffle_seed.wrapping_add(epoch));
-            match net.train_epoch_checked(ds, self.cfg.batch_size, opt, augment, &mut rng) {
+            let mut _epoch_span = tele::span("runtime.epoch.ns").with_u64("epoch", epoch);
+            let outcome = net.train_epoch_checked(ds, self.cfg.batch_size, opt, augment, &mut rng);
+            match outcome {
                 Ok(stats) => {
+                    tele::gauge_set("runtime.epoch", (epoch + 1) as f64);
+                    tele::gauge_set("runtime.loss", stats.loss);
                     report.epochs.push(stats);
                     consecutive = 0;
                     epoch += 1;
@@ -314,8 +318,13 @@ impl FaultTolerantTrainer {
                             .save(&capture_state(net, opt, epoch))
                             .map_err(NnError::Core)?;
                     }
+                    drop(_epoch_span);
+                    // Publish per-epoch deltas so a live /metrics scrape (and
+                    // the trace journal) sees fresh data mid-run.
+                    tele::flush();
                 }
                 Err(e) => {
+                    _epoch_span.set_u64("failed", 1);
                     tele::counter_inc("runtime.epoch.failures");
                     let failure = e.to_string();
                     if exhausted {
@@ -330,7 +339,10 @@ impl FaultTolerantTrainer {
                     consecutive += 1;
                     report.rollbacks += 1;
                     tele::counter_inc("runtime.rollbacks");
-                    let Some((_, state)) = self
+                    let mut _rb = tele::span("runtime.rollback.ns")
+                        .with_u64("epoch", epoch)
+                        .with_u64("retries", retries as u64);
+                    let Some((generation, state)) = self
                         .ckpt
                         .load_latest::<TrainState>()
                         .map_err(NnError::Core)?
@@ -342,6 +354,7 @@ impl FaultTolerantTrainer {
                     };
                     restore_state(net, opt, &state, &self.cfg.guard)?;
                     epoch = state.next_epoch;
+                    _rb.set_u64("generation", generation);
                     if retries > self.cfg.max_retries {
                         let hit = force_degrade_all(net, &failure);
                         tele::counter_inc("runtime.degradations");

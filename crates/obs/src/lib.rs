@@ -1,0 +1,33 @@
+//! Live observability for long-running gmreg training: renderers that turn a
+//! telemetry [`Report`](gmreg_telemetry::Report) into Prometheus text
+//! exposition ([`prometheus_text`]) and a compact `/status` JSON document
+//! ([`status_json`]), plus — behind the `serve` feature — a zero-dependency
+//! blocking HTTP server ([`ObsServer`]) that snapshots the telemetry
+//! registry on every request.
+//!
+//! The crate sits strictly *beside* the training path: nothing here is
+//! called from a kernel or an optimizer step. A binary opts in with
+//! `--serve <addr>` (see `gmreg-bench`'s `ObsOut`), the server thread wakes
+//! every ~25 ms to poll its listener, and each scrape pays one registry
+//! snapshot — the hot loops never block on a socket.
+//!
+//! ## Endpoints
+//!
+//! * `GET /metrics` — Prometheus text format v0.0.4. Counters and gauges
+//!   map 1:1; pow2 telemetry histograms become cumulative `_bucket{le=...}`
+//!   series with exact `_sum`/`_count`.
+//! * `GET /status` — one JSON object summarizing training progress: current
+//!   epoch and loss, π/λ ranges of the GM mixture, guard-rail counters, and
+//!   the newest durable checkpoint generation.
+
+mod prom;
+mod status;
+
+pub use prom::prometheus_text;
+pub use status::status_json;
+
+#[cfg(feature = "serve")]
+mod server;
+
+#[cfg(feature = "serve")]
+pub use server::ObsServer;

@@ -1,0 +1,141 @@
+//! Prometheus text exposition (format v0.0.4) over a telemetry report.
+
+use gmreg_telemetry::Report;
+
+/// Prefix applied to every exported metric family.
+const PREFIX: &str = "gmreg_";
+
+/// Maps a telemetry metric name (dotted, e.g. `gm.e_step.runs`) onto a
+/// Prometheus-legal name: every character outside `[a-zA-Z0-9_:]` becomes
+/// `_`, and the `gmreg_` prefix is prepended.
+pub(crate) fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN`
+/// spellings included).
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `report` as Prometheus text exposition.
+///
+/// * counters → `counter` families;
+/// * gauges → `gauge` families;
+/// * pow2 histograms → `histogram` families with **cumulative**
+///   `_bucket{le="..."}` series, a closing `le="+Inf"` bucket, and exact
+///   `_sum` / `_count` samples;
+/// * `dropped_spans` → the `gmreg_telemetry_dropped_spans` counter, so a
+///   scraper can alert on trace loss.
+///
+/// Families are emitted in sorted-name order (the report's maps are
+/// `BTreeMap`s), so the output is deterministic for a given report.
+pub fn prometheus_text(report: &Report) -> String {
+    let mut out = String::new();
+
+    for (name, &value) in &report.counters {
+        let m = metric_name(name);
+        out.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+    }
+
+    for (name, &value) in &report.gauges {
+        let m = metric_name(name);
+        out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", num(value)));
+    }
+
+    for (name, hist) in &report.histograms {
+        let m = metric_name(name);
+        out.push_str(&format!("# TYPE {m} histogram\n"));
+        let mut cumulative = 0u64;
+        for b in &hist.buckets {
+            cumulative += b.count;
+            out.push_str(&format!(
+                "{m}_bucket{{le=\"{}\"}} {cumulative}\n",
+                num(b.le)
+            ));
+        }
+        out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+        out.push_str(&format!("{m}_sum {}\n", num(hist.sum)));
+        out.push_str(&format!("{m}_count {}\n", hist.count));
+    }
+
+    let dropped = metric_name("telemetry.dropped_spans");
+    out.push_str(&format!(
+        "# TYPE {dropped} counter\n{dropped} {}\n",
+        report.dropped_spans
+    ));
+    out
+}
+
+/// The telemetry registry is process-global; unit tests that reset and
+/// repopulate it serialize on this lock.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_lock as locked;
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        assert_eq!(metric_name("gm.e_step.runs"), "gmreg_gm_e_step_runs");
+        assert_eq!(metric_name("pool.fork.ns"), "gmreg_pool_fork_ns");
+        assert_eq!(metric_name("a-b c:d"), "gmreg_a_b_c:d");
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_closed_with_inf() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::histogram_record("t.h", 1.5);
+        gmreg_telemetry::histogram_record("t.h", 3.0);
+        gmreg_telemetry::histogram_record("t.h", 1000.0);
+        let text = prometheus_text(&gmreg_telemetry::snapshot());
+        assert!(text.contains("# TYPE gmreg_t_h histogram\n"));
+        assert!(text.contains("gmreg_t_h_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("gmreg_t_h_count 3\n"));
+        assert!(text.contains("gmreg_t_h_sum 1004.5\n"));
+        // Cumulative counts never decrease across the family's buckets.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("gmreg_t_h_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket line: {line}");
+            last = v;
+        }
+        gmreg_telemetry::reset();
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_types() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::counter_add("t.c", 7);
+        gmreg_telemetry::gauge_set("t.g", 2.5);
+        let text = prometheus_text(&gmreg_telemetry::snapshot());
+        assert!(text.contains("# TYPE gmreg_t_c counter\ngmreg_t_c 7\n"));
+        assert!(text.contains("# TYPE gmreg_t_g gauge\ngmreg_t_g 2.5\n"));
+        assert!(text.contains("gmreg_telemetry_dropped_spans 0\n"));
+        gmreg_telemetry::reset();
+    }
+}

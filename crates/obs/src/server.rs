@@ -1,0 +1,193 @@
+//! Minimal blocking HTTP server (std::net only) for `/metrics` and
+//! `/status`. Compiled only with the `serve` feature.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop wakes to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Per-connection socket timeouts; a stalled scraper cannot wedge the
+/// single accept thread for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A background HTTP endpoint over the process-global telemetry registry.
+///
+/// `bind` spawns one thread that polls a non-blocking listener every
+/// ~25 ms; each accepted request gets a fresh
+/// [`snapshot`](gmreg_telemetry::snapshot) of the registry, so scrapes see
+/// everything flushed up to that instant and never block a training loop.
+/// Dropping the server stops the thread and closes the listener.
+///
+/// Routes: `/metrics` (Prometheus text), `/status` (JSON), `/` (plain-text
+/// index). Anything else is a 404.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and starts serving. The bound address — with the real port —
+    /// is available via [`ObsServer::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gmreg-obs".to_string())
+            .spawn(move || accept_loop(listener, &stop_flag))?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrape traffic is one client every few
+                // seconds, not a web workload.
+                let _ = handle_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the end of the request head (or the buffer fills); the
+    // request line is all we route on.
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    // Strip any query string before routing.
+    let path = path.split('?').next().unwrap_or("/");
+
+    let (code, content_type, body) = route(path);
+    let response = format!(
+        "HTTP/1.1 {code}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn route(path: &str) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::prometheus_text(&gmreg_telemetry::snapshot()),
+        ),
+        "/status" => (
+            "200 OK",
+            "application/json",
+            crate::status_json(&gmreg_telemetry::snapshot()),
+        ),
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "gmreg-obs\n\n/metrics  Prometheus text exposition\n/status   training status JSON\n"
+                .to_string(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_status_index_and_404() {
+        let _g = crate::prom::test_lock();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::counter_add("t.srv", 5);
+        gmreg_telemetry::flush();
+        let server = ObsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("gmreg_t_srv 5\n"), "{body}");
+
+        let (head, body) = get(addr, "/status?verbose=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+
+        let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        drop(server);
+        // The port is released after drop: a new bind to it succeeds.
+        assert!(TcpListener::bind(addr).is_ok());
+        gmreg_telemetry::reset();
+    }
+}

@@ -1,0 +1,132 @@
+//! The `/status` JSON document: a fixed-shape summary of training progress
+//! assembled from well-known telemetry metric names.
+
+use gmreg_telemetry::Report;
+
+fn json_num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{:.1}", v));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // JSON has no Inf/NaN literals; null keeps the document parseable.
+        out.push_str("null");
+    }
+}
+
+fn field_u64(out: &mut String, key: &str, value: u64) {
+    out.push_str(&format!("\"{key}\": {value}"));
+}
+
+fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
+    out.push_str(&format!("\"{key}\": "));
+    match value {
+        Some(v) => json_num(v, out),
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders `report` as the `/status` JSON object.
+///
+/// The document has a fixed shape; metrics a run never recorded appear as
+/// `null` (gauges) or `0` (counters):
+///
+/// ```json
+/// {
+///   "epoch": 12, "loss": 0.31,
+///   "gm": {"pi_min": ..., "pi_max": ..., "lambda_min": ..., "lambda_max": ...},
+///   "guard": {"trips": 0, "rollbacks": 0, "degraded": 0},
+///   "checkpoint": {"generation": 3, "saves": 3},
+///   "telemetry": {"spans": 140, "dropped_spans": 0}
+/// }
+/// ```
+///
+/// `epoch` counts *completed* epochs (the `runtime.epoch` gauge both the NN
+/// and linear durable runtimes publish once per epoch); it is `null` until
+/// the first epoch finishes.
+pub fn status_json(report: &Report) -> String {
+    let gauge = |name: &str| report.gauges.get(name).copied();
+    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    field_f64(&mut out, "epoch", gauge("runtime.epoch"));
+    out.push_str(", ");
+    field_f64(&mut out, "loss", gauge("runtime.loss"));
+    out.push_str(", \"gm\": {");
+    field_f64(&mut out, "pi_min", gauge("gm.pi.min"));
+    out.push_str(", ");
+    field_f64(&mut out, "pi_max", gauge("gm.pi.max"));
+    out.push_str(", ");
+    field_f64(&mut out, "lambda_min", gauge("gm.lambda.min"));
+    out.push_str(", ");
+    field_f64(&mut out, "lambda_max", gauge("gm.lambda.max"));
+    out.push_str(", ");
+    field_u64(&mut out, "e_steps", counter("gm.e_step.runs"));
+    out.push_str(", ");
+    field_u64(&mut out, "e_step_skips", counter("gm.e_step.skips"));
+    out.push_str(", ");
+    field_u64(&mut out, "m_steps", counter("gm.m_step.runs"));
+    out.push_str("}, \"guard\": {");
+    field_u64(&mut out, "trips", counter("guard.trips"));
+    out.push_str(", ");
+    field_u64(&mut out, "rollbacks", counter("guard.rollbacks"));
+    out.push_str(", ");
+    field_u64(&mut out, "degraded", counter("guard.degraded"));
+    out.push_str("}, \"checkpoint\": {");
+    field_f64(&mut out, "generation", gauge("ckpt.generation"));
+    out.push_str(", ");
+    field_u64(&mut out, "saves", counter("ckpt.saves"));
+    out.push_str("}, \"telemetry\": {");
+    field_u64(&mut out, "spans", report.spans.len() as u64);
+    out.push_str(", ");
+    field_u64(&mut out, "dropped_spans", report.dropped_spans);
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::test_lock as locked;
+
+    #[test]
+    fn empty_report_yields_nulls_and_zeros() {
+        let s = status_json(&Report::default());
+        assert!(s.contains("\"epoch\": null"));
+        assert!(s.contains("\"loss\": null"));
+        assert!(s.contains("\"trips\": 0"));
+        assert!(s.contains("\"generation\": null"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn live_metrics_flow_through() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::gauge_set("runtime.epoch", 4.0);
+        gmreg_telemetry::gauge_set("runtime.loss", 0.625);
+        gmreg_telemetry::gauge_set("gm.lambda.max", 40.0);
+        gmreg_telemetry::counter_add("guard.trips", 2);
+        gmreg_telemetry::counter_inc("ckpt.saves");
+        let s = status_json(&gmreg_telemetry::snapshot());
+        assert!(s.contains("\"epoch\": 4.0"), "{s}");
+        assert!(s.contains("\"loss\": 0.625"), "{s}");
+        assert!(s.contains("\"lambda_max\": 40.0"), "{s}");
+        assert!(s.contains("\"trips\": 2"), "{s}");
+        assert!(s.contains("\"saves\": 1"), "{s}");
+        gmreg_telemetry::reset();
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_null() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::gauge_set("runtime.loss", f64::NAN);
+        let s = status_json(&gmreg_telemetry::snapshot());
+        assert!(s.contains("\"loss\": null"), "{s}");
+        gmreg_telemetry::reset();
+    }
+}

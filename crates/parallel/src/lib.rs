@@ -171,14 +171,23 @@ where
     }
     tele::counter_inc("pool.forks");
     tele::gauge_set("pool.threads", threads as f64);
-    let _fork = tele::span("pool.fork.ns");
+    let _fork = tele::span("pool.fork.ns")
+        .with_u64("threads", threads as u64)
+        .with_u64("chunks", n_chunks as u64);
+    // Spawned workers live on fresh threads with empty span stacks; handing
+    // them the fork span's id keeps the trace tree connected across the join.
+    let fork_id = _fork.id();
     std::thread::scope(|s| {
         let run_range = &run_range;
         let handles: Vec<_> = (1..threads)
             .map(|w| {
                 let (lo, hi) = split_range(n_chunks, threads, w);
                 s.spawn(move || {
-                    let _t = tele::span("pool.worker.ns");
+                    tele::adopt_parent(fork_id);
+                    let _t = tele::span("pool.worker.ns")
+                        .with_u64("worker", w as u64)
+                        .with_u64("lo", lo as u64)
+                        .with_u64("hi", hi as u64);
                     tele::counter_add("pool.tasks", (hi - lo) as u64);
                     run_range(lo, hi)
                 })
@@ -186,7 +195,10 @@ where
             .collect();
         // The calling thread computes worker 0's range while the pool runs.
         let (lo, hi) = split_range(n_chunks, threads, 0);
-        let _t = tele::span("pool.worker.ns");
+        let _t = tele::span("pool.worker.ns")
+            .with_u64("worker", 0)
+            .with_u64("lo", lo as u64)
+            .with_u64("hi", hi as u64);
         tele::counter_add("pool.tasks", (hi - lo) as u64);
         let mine = run_range(lo, hi);
 
@@ -252,7 +264,10 @@ where
     }
     tele::counter_inc("pool.forks");
     tele::gauge_set("pool.threads", threads as f64);
-    let _fork = tele::span("pool.fork.ns");
+    let _fork = tele::span("pool.fork.ns")
+        .with_u64("threads", threads as u64)
+        .with_u64("parts", n as u64);
+    let fork_id = _fork.id();
     std::thread::scope(|s| {
         let run_range = &run_range;
         // Peel contiguous ranges off the slice; the calling thread keeps
@@ -264,14 +279,21 @@ where
                 let (mine, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
                 rest = tail;
                 s.spawn(move || {
-                    let _t = tele::span("pool.worker.ns");
+                    tele::adopt_parent(fork_id);
+                    let _t = tele::span("pool.worker.ns")
+                        .with_u64("worker", w as u64)
+                        .with_u64("lo", lo as u64)
+                        .with_u64("hi", hi as u64);
                     tele::counter_add("pool.tasks", mine.len() as u64);
                     run_range(lo, mine)
                 })
             })
             .collect();
         assert!(rest.is_empty(), "range partition must cover all parts");
-        let _t = tele::span("pool.worker.ns");
+        let _t = tele::span("pool.worker.ns")
+            .with_u64("worker", 0)
+            .with_u64("lo", 0)
+            .with_u64("hi", head.len() as u64);
         tele::counter_add("pool.tasks", head.len() as u64);
         let mine = run_range(0, head);
 

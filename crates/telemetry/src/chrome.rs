@@ -1,0 +1,206 @@
+//! Chrome/Perfetto `trace_event` JSON converter.
+//!
+//! Turns recorded span events into the [Trace Event Format] consumed by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: each span becomes a
+//! complete (`"ph": "X"`) event on its recording thread's track, with the
+//! span id, parent id, and typed attributes carried in `args`. Parent
+//! links that cross threads — a `gmreg-parallel` worker adopted under a
+//! fork span — additionally emit a flow-event pair (`"ph": "s"` at the
+//! parent, `"ph": "f"` at the child) so the viewer draws an arrow from
+//! fork to worker.
+//!
+//! Timestamps and durations are converted from nanoseconds (as recorded)
+//! to the format's microseconds; sub-microsecond spans keep fractional
+//! precision.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::report::json_str;
+use crate::{Report, SpanEvent};
+
+/// An owned, renderer-agnostic span record: what [`chrome_trace`] needs,
+/// decoupled from the in-process [`SpanEvent`] so external JSONL readers
+/// (e.g. the `trace2chrome` binary) can rebuild events from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (becomes the slice label).
+    pub name: String,
+    /// Span id (unique per process run; 0 is reserved for "no span").
+    pub id: u64,
+    /// Parent span id, or 0 for a root span.
+    pub parent: u64,
+    /// Recording thread (becomes the `tid` track).
+    pub thread: u32,
+    /// Start offset from the process telemetry epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Attributes as (key, pre-rendered JSON value) pairs.
+    pub args: Vec<(String, String)>,
+}
+
+impl From<&SpanEvent> for TraceEvent {
+    fn from(ev: &SpanEvent) -> Self {
+        TraceEvent {
+            name: ev.name.to_string(),
+            id: ev.id,
+            parent: ev.parent,
+            thread: ev.thread,
+            start_ns: ev.start_ns,
+            dur_ns: ev.dur_ns,
+            args: ev
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        }
+    }
+}
+
+fn micros(ns: u64) -> String {
+    // Keep integer math exact; only emit a fractional part when needed.
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        whole.to_string()
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+fn push_args(out: &mut String, ev: &TraceEvent) {
+    out.push_str(&format!(
+        "\"args\": {{\"span_id\": {}, \"parent_id\": {}",
+        ev.id, ev.parent
+    ));
+    for (k, v) in &ev.args {
+        out.push_str(", ");
+        out.push_str(&json_str(k));
+        out.push_str(": ");
+        out.push_str(v);
+    }
+    out.push('}');
+}
+
+/// Renders events as a Chrome `trace_event` JSON document.
+///
+/// Events may be in any order; cross-thread parent links are detected by
+/// joining child `parent` ids against all event ids.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    use std::collections::HashMap;
+    // id -> thread, for cross-thread link detection. Span ids are unique
+    // per run (thread id in the high bits, per-thread counter low).
+    let threads: HashMap<u64, u32> = events.iter().map(|e| (e.id, e.thread)).collect();
+
+    let mut lines: Vec<String> = Vec::with_capacity(events.len());
+    for ev in events {
+        let mut line = format!(
+            "{{\"name\": {}, \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, ",
+            json_str(&ev.name),
+            ev.thread,
+            micros(ev.start_ns),
+            micros(ev.dur_ns.max(1)),
+        );
+        push_args(&mut line, ev);
+        line.push('}');
+        lines.push(line);
+
+        // Flow arrow for a parent on another thread (fork -> worker).
+        if ev.parent != 0 {
+            if let Some(&pt) = threads.get(&ev.parent) {
+                if pt != ev.thread {
+                    lines.push(format!(
+                        "{{\"name\": \"fork\", \"ph\": \"s\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"id\": {}, \"cat\": \"flow\"}}",
+                        pt,
+                        micros(ev.start_ns),
+                        ev.parent,
+                    ));
+                    lines.push(format!(
+                        "{{\"name\": \"fork\", \"ph\": \"f\", \"bp\": \"e\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"id\": {}, \"cat\": \"flow\"}}",
+                        ev.thread,
+                        micros(ev.start_ns),
+                        ev.parent,
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"source\": ");
+    out.push_str(&json_str("gmreg-telemetry"));
+    out.push_str(", \"time_unit_note\": ");
+    out.push_str(&json_str(
+        "ts/dur are microseconds since the telemetry epoch",
+    ));
+    out.push_str("}}\n");
+    out
+}
+
+impl Report {
+    /// Converts this report's recorded spans to Chrome `trace_event`
+    /// JSON. For long runs prefer streaming spans to a JSONL journal
+    /// ([`crate::journal::install`]) and converting that instead — the
+    /// in-memory report is truncated at [`crate::global_span_cap`].
+    pub fn to_chrome_trace(&self) -> String {
+        let events: Vec<TraceEvent> = self.spans.iter().map(TraceEvent::from).collect();
+        chrome_trace(&events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, id: u64, parent: u64, thread: u32, start_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            id,
+            parent,
+            thread,
+            start_ns,
+            dur_ns: 1_500,
+            args: vec![("epoch".to_string(), "2".to_string())],
+        }
+    }
+
+    #[test]
+    fn complete_events_have_x_phase_and_micro_ts() {
+        let out = chrome_trace(&[ev("em.sweep", 1, 0, 0, 2_000)]);
+        assert!(out.contains("\"ph\": \"X\""));
+        assert!(out.contains("\"ts\": 2"));
+        assert!(out.contains("\"dur\": 1.500"));
+        assert!(out.contains("\"span_id\": 1"));
+        assert!(out.contains("\"parent_id\": 0"));
+        assert!(out.contains("\"epoch\": 2"));
+        assert!(out.contains("\"displayTimeUnit\": \"ms\""));
+    }
+
+    #[test]
+    fn cross_thread_parent_emits_flow_pair() {
+        let fork = ev("pool.fork.ns", (1u64 << 32) | 1, 0, 1, 0);
+        let worker = ev("pool.worker.ns", (2u64 << 32) | 1, fork.id, 2, 100);
+        let out = chrome_trace(&[fork.clone(), worker]);
+        assert!(out.contains("\"ph\": \"s\""));
+        assert!(out.contains("\"ph\": \"f\""));
+        assert!(out.contains(&format!("\"id\": {}", fork.id)));
+    }
+
+    #[test]
+    fn same_thread_parent_has_no_flow_events() {
+        let a = ev("outer", 1, 0, 3, 0);
+        let b = ev("inner", 2, 1, 3, 10);
+        let out = chrome_trace(&[a, b]);
+        assert!(!out.contains("\"ph\": \"s\""));
+        assert!(!out.contains("\"ph\": \"f\""));
+    }
+
+    #[test]
+    fn zero_duration_clamps_to_one_micro_tick() {
+        let mut e = ev("tiny", 7, 0, 0, 0);
+        e.dur_ns = 0;
+        let out = chrome_trace(&[e]);
+        assert!(out.contains("\"dur\": 0.001"));
+    }
+}

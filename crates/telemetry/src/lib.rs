@@ -48,9 +48,11 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod journal;
 mod report;
 
-pub use report::{Bucket, HistogramSummary, Report, SpanEvent};
+pub use report::{AttrValue, Bucket, HistogramSummary, Report, SpanEvent};
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -74,8 +76,37 @@ const HIST_MAX_EXP: i32 = 40;
 /// counted in [`Report::dropped_spans`].
 pub const SPAN_RING_CAP: usize = 1024;
 
-/// Upper bound on span events retained in the global registry.
-const GLOBAL_SPAN_CAP: usize = 16 * SPAN_RING_CAP;
+/// Default upper bound on span events retained in the global registry when
+/// `GMREG_SPAN_CAP` is unset; see [`global_span_cap`].
+pub const DEFAULT_GLOBAL_SPAN_CAP: usize = 16 * SPAN_RING_CAP;
+
+/// Maximum typed attributes one span retains; further attributes are
+/// silently dropped (the cap keeps a span's memory footprint bounded).
+pub const MAX_SPAN_ATTRS: usize = 8;
+
+/// Upper bound on span events retained in the global registry, resolved
+/// once per process from the `GMREG_SPAN_CAP` environment variable
+/// (positive integer) and defaulting to [`DEFAULT_GLOBAL_SPAN_CAP`].
+///
+/// Memory cost: each retained event is ~100 bytes plus ~32 bytes per
+/// attribute, so the default 16384-event cap holds a few MB at worst and
+/// `GMREG_SPAN_CAP=1000000` budgets on the order of 150 MB. Long training
+/// runs that want a complete in-memory timeline raise the cap; runs that
+/// stream to a JSONL journal ([`journal::install`]) do not need to — the
+/// journal sees every drained event regardless of this cap.
+pub fn global_span_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| span_cap_from(std::env::var("GMREG_SPAN_CAP").ok().as_deref()))
+}
+
+/// Parses a `GMREG_SPAN_CAP` value; invalid or absent values fall back to
+/// [`DEFAULT_GLOBAL_SPAN_CAP`]. Split out of [`global_span_cap`] so the
+/// parse is unit-testable without mutating process environment.
+pub fn span_cap_from(val: Option<&str>) -> usize {
+    val.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_GLOBAL_SPAN_CAP)
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
@@ -169,6 +200,14 @@ pub fn bucket_upper_edge(i: usize) -> f64 {
 struct Sink {
     thread: u32,
     seq: u64,
+    /// Per-thread span-id counter; ids are `(thread << 32) | next_span`.
+    next_span: u64,
+    /// Ids of the spans currently open on this thread, outermost first.
+    open: Vec<u64>,
+    /// Parent adopted from another thread ([`adopt_parent`]); used when the
+    /// open stack is empty, which is how pool workers link their root span
+    /// to the fork span on the spawning thread.
+    adopted: u64,
     counters: HashMap<&'static str, u64>,
     gauges: HashMap<&'static str, f64>,
     hists: HashMap<&'static str, Hist>,
@@ -182,6 +221,9 @@ impl Sink {
         Sink {
             thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
             seq: 0,
+            next_span: 0,
+            open: Vec::new(),
+            adopted: 0,
             counters: HashMap::new(),
             gauges: HashMap::new(),
             hists: HashMap::new(),
@@ -191,15 +233,7 @@ impl Sink {
         }
     }
 
-    fn push_event(&mut self, name: &'static str, start_ns: u64, dur_ns: u64) {
-        let ev = SpanEvent {
-            name,
-            thread: self.thread,
-            seq: self.seq,
-            start_ns,
-            dur_ns,
-        };
-        self.seq += 1;
+    fn push_event(&mut self, ev: SpanEvent) {
         if self.ring.len() < SPAN_RING_CAP {
             self.ring.push(ev);
         } else {
@@ -225,13 +259,17 @@ impl Sink {
         }
         reg.dropped_spans += self.dropped;
         self.dropped = 0;
-        // Chronological per-thread order: oldest ring entry first.
+        // Chronological per-thread order: oldest ring entry first. Every
+        // drained event reaches the JSONL journal (when one is installed)
+        // even if the in-memory registry cap drops it.
+        let cap = global_span_cap();
         let head = self.ring_head;
         let n = self.ring.len();
         for i in 0..n {
-            let ev = self.ring[(head + i) % n];
-            if reg.spans.len() < GLOBAL_SPAN_CAP {
-                reg.spans.push(ev);
+            let ev = &self.ring[(head + i) % n];
+            journal::record(ev);
+            if reg.spans.len() < cap {
+                reg.spans.push(ev.clone());
             } else {
                 reg.dropped_spans += 1;
             }
@@ -326,11 +364,16 @@ pub fn histogram_record(name: &'static str, value: f64) {
 
 /// A monotonic span timer. Records its elapsed nanoseconds into the
 /// histogram it was opened under when dropped, and appends a [`SpanEvent`]
-/// to the thread's ring buffer.
+/// — carrying a process-unique id, the id of the innermost span open when
+/// it was created (its *parent*), and any typed attributes attached via
+/// the `with_*` builders — to the thread's ring buffer.
 #[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    id: u64,
+    parent: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
 }
 
 impl Span {
@@ -340,10 +383,77 @@ impl Span {
             .map(|s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
             .unwrap_or(0)
     }
+
+    /// This span's process-unique id (0 when recording is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn push_attr(&mut self, key: &'static str, v: AttrValue) {
+        if self.start.is_some() && self.attrs.len() < MAX_SPAN_ATTRS {
+            self.attrs.push((key, v));
+        }
+    }
+
+    /// Attaches an unsigned-integer attribute (builder style).
+    pub fn with_u64(mut self, key: &'static str, v: u64) -> Span {
+        self.push_attr(key, AttrValue::U64(v));
+        self
+    }
+
+    /// Attaches a signed-integer attribute (builder style).
+    pub fn with_i64(mut self, key: &'static str, v: i64) -> Span {
+        self.push_attr(key, AttrValue::I64(v));
+        self
+    }
+
+    /// Attaches a float attribute (builder style).
+    pub fn with_f64(mut self, key: &'static str, v: f64) -> Span {
+        self.push_attr(key, AttrValue::F64(v));
+        self
+    }
+
+    /// Attaches a string attribute (builder style).
+    pub fn with_str(mut self, key: &'static str, v: &'static str) -> Span {
+        self.push_attr(key, AttrValue::Str(v));
+        self
+    }
+
+    /// Attaches a boolean attribute (builder style).
+    pub fn with_bool(mut self, key: &'static str, v: bool) -> Span {
+        self.push_attr(key, AttrValue::Bool(v));
+        self
+    }
+
+    /// Attaches an attribute to an already-bound span.
+    pub fn set_u64(&mut self, key: &'static str, v: u64) {
+        self.push_attr(key, AttrValue::U64(v));
+    }
+
+    /// Attaches a float attribute to an already-bound span.
+    pub fn set_f64(&mut self, key: &'static str, v: f64) {
+        self.push_attr(key, AttrValue::F64(v));
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.id != 0 {
+            // Always unwind the open-span stack, even if recording was
+            // disabled after this span opened — a leaked entry would
+            // mis-parent every later span on the thread.
+            let id = self.id;
+            let _ = SINK.try_with(|s| {
+                if let Ok(mut holder) = s.try_borrow_mut() {
+                    let open = &mut holder.0.open;
+                    if open.last() == Some(&id) {
+                        open.pop();
+                    } else if let Some(pos) = open.iter().rposition(|&x| x == id) {
+                        open.remove(pos);
+                    }
+                }
+            });
+        }
         let Some(start) = self.start else { return };
         let dur_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let start_ns = start
@@ -351,26 +461,77 @@ impl Drop for Span {
             .as_nanos()
             .min(u128::from(u64::MAX)) as u64;
         let name = self.name;
+        let (id, parent) = (self.id, self.parent);
+        let attrs = std::mem::take(&mut self.attrs);
         with_sink(|s| {
             s.hists
                 .entry(name)
                 .or_insert_with(Hist::new)
                 .record(dur_ns as f64);
-            s.push_event(name, start_ns, dur_ns);
+            let seq = s.seq;
+            s.seq += 1;
+            s.push_event(SpanEvent {
+                name,
+                id,
+                parent,
+                thread: s.thread,
+                seq,
+                start_ns,
+                dur_ns,
+                attrs,
+            });
         });
     }
 }
 
 /// Opens a span timer; by convention the name ends in `.ns` since the
-/// recorded histogram holds nanoseconds.
+/// recorded histogram holds nanoseconds. The new span's parent is the
+/// innermost span currently open on this thread (or the id adopted via
+/// [`adopt_parent`] when none is open); attach typed attributes with the
+/// `with_*` builders.
 pub fn span(name: &'static str) -> Span {
-    let start = if is_enabled() {
-        epoch(); // pin the epoch before the span's own start
-        Some(Instant::now())
-    } else {
-        None
-    };
-    Span { name, start }
+    if !is_enabled() {
+        return Span {
+            name,
+            start: None,
+            id: 0,
+            parent: 0,
+            attrs: Vec::new(),
+        };
+    }
+    epoch(); // pin the epoch before the span's own start
+    let mut id = 0u64;
+    let mut parent = 0u64;
+    with_sink(|s| {
+        s.next_span += 1;
+        id = (u64::from(s.thread) << 32) | s.next_span;
+        parent = s.open.last().copied().unwrap_or(s.adopted);
+        s.open.push(id);
+    });
+    Span {
+        name,
+        start: Some(Instant::now()),
+        id,
+        parent,
+        attrs: Vec::new(),
+    }
+}
+
+/// The id of the innermost span currently open on this thread (falling
+/// back to the adopted parent, then 0). Capture this before forking work
+/// to another thread and hand it to [`adopt_parent`] there, so the
+/// worker's spans parent into the caller's timeline.
+pub fn current_span_id() -> u64 {
+    let mut id = 0;
+    with_sink(|s| id = s.open.last().copied().unwrap_or(s.adopted));
+    id
+}
+
+/// Declares `parent` the default parent for spans opened on this thread
+/// while no local span is open. Used by `gmreg-parallel` workers to link
+/// their root spans to the fork span on the spawning thread.
+pub fn adopt_parent(parent: u64) {
+    with_sink(|s| s.adopted = parent);
 }
 
 /// Flushes the calling thread's sink into the global registry. Other live
@@ -426,6 +587,8 @@ pub fn reset() {
             sink.ring.clear();
             sink.ring_head = 0;
             sink.dropped = 0;
+            sink.open.clear();
+            sink.adopted = 0;
         }
     });
     if let Ok(mut reg) = registry().lock() {
@@ -524,11 +687,20 @@ mod tests {
     fn worker_threads_flush_on_exit() {
         let _g = locked();
         std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    counter_inc("t.worker.calls");
-                    let _t = span("t.worker.ns");
-                });
+            // Join each handle explicitly: the sink flush runs in the TLS
+            // destructor during thread teardown, and the scope's implicit
+            // wait only covers the closure, not teardown. join() blocks
+            // until the thread is gone — this is what the pool does too.
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        counter_inc("t.worker.calls");
+                        let _t = span("t.worker.ns");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker");
             }
         });
         let r = snapshot();
@@ -645,6 +817,89 @@ mod tests {
         assert!(text.contains("gauges"));
         assert!(text.contains("histograms"));
         assert!(text.contains("t.render.h"));
+    }
+
+    #[test]
+    fn spans_nest_into_parent_child_links() {
+        let _g = locked();
+        let (outer_id, inner_parent, sibling_parent);
+        {
+            let outer = span("t.outer.ns").with_u64("epoch", 3);
+            outer_id = outer.id();
+            assert_ne!(outer_id, 0);
+            {
+                let inner = span("t.inner.ns");
+                inner_parent = inner.parent;
+            }
+            {
+                let sib = span("t.sibling.ns");
+                sibling_parent = sib.parent;
+            }
+        }
+        assert_eq!(inner_parent, outer_id);
+        assert_eq!(sibling_parent, outer_id);
+        let r = snapshot();
+        let outer_ev = r.spans.iter().find(|e| e.name == "t.outer.ns").unwrap();
+        let inner_ev = r.spans.iter().find(|e| e.name == "t.inner.ns").unwrap();
+        assert_eq!(outer_ev.parent, 0, "outer is a root span");
+        assert_eq!(inner_ev.parent, outer_ev.id);
+        assert_eq!(outer_ev.attr("epoch"), Some(AttrValue::U64(3)));
+    }
+
+    #[test]
+    fn adopted_parent_links_cross_thread_spans() {
+        let _g = locked();
+        let fork = span("t.fork.ns");
+        let fork_id = fork.id();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                adopt_parent(fork_id);
+                let w = span("t.worker.root.ns");
+                assert_eq!(w.parent, fork_id);
+            });
+        });
+        drop(fork);
+        let r = snapshot();
+        let w = r
+            .spans
+            .iter()
+            .find(|e| e.name == "t.worker.root.ns")
+            .unwrap();
+        let f = r.spans.iter().find(|e| e.name == "t.fork.ns").unwrap();
+        assert_eq!(w.parent, f.id);
+        assert_ne!(w.thread, f.thread);
+    }
+
+    #[test]
+    fn attr_cap_and_builder_types() {
+        let _g = locked();
+        {
+            let mut sp = span("t.attrs.ns")
+                .with_i64("i", -2)
+                .with_f64("f", 2.5)
+                .with_str("s", "x")
+                .with_bool("b", true);
+            for _ in 0..(MAX_SPAN_ATTRS * 2) {
+                sp.set_u64("overflow", 1);
+            }
+        }
+        let r = snapshot();
+        let ev = &r.spans[0];
+        assert_eq!(ev.attr("i"), Some(AttrValue::I64(-2)));
+        assert_eq!(ev.attr("f"), Some(AttrValue::F64(2.5)));
+        assert_eq!(ev.attr("s"), Some(AttrValue::Str("x")));
+        assert_eq!(ev.attr("b"), Some(AttrValue::Bool(true)));
+        assert!(ev.attrs.len() <= MAX_SPAN_ATTRS, "attr cap enforced");
+    }
+
+    #[test]
+    fn span_cap_parse_rules() {
+        assert_eq!(span_cap_from(None), DEFAULT_GLOBAL_SPAN_CAP);
+        assert_eq!(span_cap_from(Some("")), DEFAULT_GLOBAL_SPAN_CAP);
+        assert_eq!(span_cap_from(Some("garbage")), DEFAULT_GLOBAL_SPAN_CAP);
+        assert_eq!(span_cap_from(Some("0")), DEFAULT_GLOBAL_SPAN_CAP);
+        assert_eq!(span_cap_from(Some("500000")), 500_000);
+        assert_eq!(span_cap_from(Some(" 64 ")), 64);
     }
 
     #[test]

@@ -7,11 +7,47 @@ use std::fmt::Write as _;
 
 use crate::{bucket_upper_edge, Hist};
 
+/// One typed span attribute value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (epoch, iteration, K, chunk index, ...).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (loss, rate, drift, ...).
+    F64(f64),
+    /// Static string (decision kind, guard trip label, ...).
+    Str(&'static str),
+    /// Boolean (Im/Ig decision outcome, ...).
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The value rendered as a JSON literal (strings quoted and escaped,
+    /// non-finite floats become `null`).
+    pub fn to_json(self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::I64(v) => v.to_string(),
+            AttrValue::F64(v) => json_num(v),
+            AttrValue::Str(s) => json_str(s),
+            AttrValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
 /// One completed span occurrence, ordered by `(thread, seq)` in reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpanEvent {
     /// Span name (the histogram it was recorded under).
     pub name: &'static str,
+    /// Process-unique span id: `(thread << 32) | per-thread counter`.
+    /// Never 0 for a recorded event.
+    pub id: u64,
+    /// Id of the innermost span open when this one was created; 0 for a
+    /// root span. Cross-thread parents come from
+    /// [`crate::adopt_parent`] (pool fork → worker links).
+    pub parent: u64,
     /// Process-unique id of the recording thread, in creation order.
     pub thread: u32,
     /// Per-thread monotonically increasing sequence number.
@@ -20,6 +56,39 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Typed `key=value` attributes, at most [`crate::MAX_SPAN_ATTRS`].
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanEvent {
+    /// The attribute recorded under `key`, if any.
+    pub fn attr(&self, key: &str) -> Option<AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// Serializes this event as one JSONL object (the journal line format).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"name\": {}, \"id\": {}, \"parent\": {}, \"thread\": {}, \"seq\": {}, \"start_ns\": {}, \"dur_ns\": {}, \"attrs\": {{",
+            json_str(self.name),
+            self.id,
+            self.parent,
+            self.thread,
+            self.seq,
+            self.start_ns,
+            self.dur_ns
+        );
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_str(k), v.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 /// A non-empty histogram bucket: `count` observations with value ≤ `le`
@@ -52,6 +121,54 @@ impl HistogramSummary {
     /// Arithmetic mean of the observations; `NaN` when empty.
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`, linearly interpolated inside
+    /// the power-of-two bucket containing the target rank and clamped to
+    /// the exact `[min, max]` range. `NaN` when the histogram is empty.
+    ///
+    /// The pow2 layout bounds the relative error of the estimate at 2×
+    /// (one octave); the exact min/max clamp removes it entirely at the
+    /// tails.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for b in &self.buckets {
+            let next = cum + b.count;
+            if (next as f64) >= target {
+                // The bucket spans one octave: lower edge is half the
+                // upper edge, except the underflow bucket which starts
+                // at 0.
+                let lower = if b.le <= crate::bucket_upper_edge(0) {
+                    0.0
+                } else {
+                    b.le / 2.0
+                };
+                let frac = (target - cum as f64) / b.count as f64;
+                let est = lower + frac * (b.le - lower);
+                return est.clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Estimated median; see [`HistogramSummary::quantile`].
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile; see [`HistogramSummary::quantile`].
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile; see [`HistogramSummary::quantile`].
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -150,12 +267,15 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
                 json_str(k),
                 h.count,
                 json_num(h.sum),
                 json_num(h.min),
-                json_num(h.max)
+                json_num(h.max),
+                json_num(h.p50()),
+                json_num(h.p95()),
+                json_num(h.p99())
             );
             for (j, b) in h.buckets.iter().enumerate() {
                 if j > 0 {
@@ -178,15 +298,7 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "\n    {{\"name\": {}, \"thread\": {}, \"seq\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
-                json_str(s.name),
-                s.thread,
-                s.seq,
-                s.start_ns,
-                s.dur_ns
-            );
+            let _ = write!(out, "\n    {}", s.to_jsonl());
         }
         if !self.spans.is_empty() {
             out.push_str("\n  ");
@@ -198,6 +310,14 @@ impl Report {
     /// Renders an aligned plain-text summary for terminal consumption.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(1024);
+        if self.dropped_spans > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} span events dropped (per-thread ring or global cap); \
+                 raise GMREG_SPAN_CAP or stream to a JSONL journal (--trace-out)",
+                self.dropped_spans
+            );
+        }
         let width = self
             .counters
             .keys()
@@ -219,10 +339,13 @@ impl Report {
         for (k, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "  {k:<width$}  n={} mean={:.3} min={:.3} max={:.3}",
+                "  {k:<width$}  n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
                 h.count,
                 h.mean(),
                 h.min,
+                h.p50(),
+                h.p95(),
+                h.p99(),
                 h.max
             );
         }
@@ -237,7 +360,7 @@ impl Report {
 }
 
 /// JSON string literal with the mandatory escapes.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -258,7 +381,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// JSON number; non-finite values are not representable and become `null`.
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -1,0 +1,75 @@
+//! Live-endpoint e2e: a short durable logistic fit runs with the
+//! `gmreg-obs` HTTP server bound to an ephemeral port; `/metrics` and
+//! `/status` are scraped afterwards and must reflect the training that
+//! actually happened (epoch gauge, GM counters, checkpoint generation).
+//!
+//! One test only: the telemetry registry behind both endpoints is
+//! process-wide.
+
+#![cfg(all(feature = "telemetry", feature = "obs"))]
+
+use gmreg_core::gm::{GmConfig, GmRegularizer};
+use gmreg_linear::{blobs, DurableFitConfig, LogisticRegression, LrConfig};
+use gmreg_telemetry as tele;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn metrics_endpoint_reflects_a_durable_fit() {
+    tele::reset();
+    tele::set_enabled(true);
+    let server = gmreg_obs::ObsServer::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = server.local_addr();
+
+    let ckpt_dir = std::env::temp_dir().join(format!("gmreg-obs-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let m = 8usize;
+    let cfg = LrConfig {
+        epochs: 4,
+        ..LrConfig::default()
+    };
+    let ds = blobs(120, m, 1.5, 11).expect("generator");
+    let mut lr = LogisticRegression::new(m, cfg).expect("config");
+    lr.set_regularizer(Some(Box::new(
+        GmRegularizer::new(m, cfg.init_std, GmConfig::default()).expect("valid"),
+    )));
+    let stats = lr
+        .fit_durable(&ds, &ckpt_dir, &DurableFitConfig::default())
+        .expect("training");
+    assert!(stats.final_loss.is_finite());
+
+    // The runtime flushes per epoch, so the scrape needs no extra flush —
+    // exactly what a live Prometheus poll against a running fit sees.
+    let (head, body) = get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        body.contains("gmreg_runtime_epoch 4"),
+        "epoch gauge visible mid-flight:\n{body}"
+    );
+    assert!(body.contains("# TYPE gmreg_runtime_loss gauge"), "{body}");
+    assert!(body.contains("gmreg_gm_e_step_runs"), "{body}");
+    assert!(body.contains("gmreg_ckpt_saves"), "{body}");
+    assert!(body.contains("gmreg_telemetry_dropped_spans 0"), "{body}");
+
+    let (head, body) = get(addr, "/status");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    assert!(body.contains("\"epoch\": 4"), "{body}");
+    assert!(!body.contains("\"loss\": null"), "loss gauge set:\n{body}");
+    assert!(body.contains("\"checkpoint\""), "{body}");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    tele::reset();
+}

@@ -1,0 +1,122 @@
+//! Structured trace export, end to end: parallel pool work produces
+//! parent-linked spans, the drain order is deterministic, the JSONL
+//! journal captures every event, and the Chrome conversion emits flow
+//! events for the cross-thread fork/worker links.
+//!
+//! One test only: the telemetry registry and the journal sink are
+//! process-wide, and integration-test files run as separate binaries.
+
+#![cfg(all(feature = "telemetry", feature = "parallel"))]
+
+use gmreg_telemetry as tele;
+
+#[test]
+fn pool_spans_link_journal_and_convert() {
+    let dir = std::env::temp_dir().join(format!("gmreg-trace-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal_path = dir.join("run.jsonl");
+
+    tele::reset();
+    tele::set_enabled(true);
+    tele::journal::install(&journal_path, tele::journal::DEFAULT_JOURNAL_CAP).expect("journal");
+
+    // An enclosing span so the pool's fork span has a parent, then a
+    // 4-thread map over 8 chunks: one fork span, >= 4 worker spans.
+    let sums = {
+        let _outer = tele::span("trace_e2e.outer.ns").with_u64("epoch", 1);
+        gmreg_parallel::map_chunks(8, 4, |i| i as u64)
+    };
+    assert_eq!(sums.iter().sum::<u64>(), 28, "pool did the work");
+    tele::flush();
+
+    let report = tele::snapshot();
+    assert_eq!(report.dropped_spans, 0);
+    let spans = &report.spans;
+
+    // Drain order is deterministic: sorted by (thread, seq).
+    let keys: Vec<(u32, u64)> = spans.iter().map(|s| (s.thread, s.seq)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "spans are (thread, seq)-ordered");
+
+    // Parent/child links: outer -> fork -> every worker.
+    let outer = spans
+        .iter()
+        .find(|s| s.name == "trace_e2e.outer.ns")
+        .expect("outer span recorded");
+    let fork = spans
+        .iter()
+        .find(|s| s.name == "pool.fork.ns")
+        .expect("fork span recorded");
+    assert_eq!(fork.parent, outer.id, "fork nests under the enclosing span");
+    assert_eq!(outer.parent, 0, "outer span is a root");
+    let workers: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "pool.worker.ns")
+        .collect();
+    assert!(
+        workers.len() >= 4,
+        "one span per pool worker: {}",
+        workers.len()
+    );
+    for w in &workers {
+        assert_eq!(w.parent, fork.id, "worker adopted the fork span as parent");
+        assert!(w.id != 0 && w.id != fork.id);
+    }
+    assert!(
+        workers.iter().any(|w| w.thread != fork.thread),
+        "at least one worker ran on a different thread"
+    );
+
+    // The journal captured the same events, parseable line by line.
+    let stats = tele::journal::uninstall().expect("journal was active");
+    assert_eq!(stats.dropped, 0);
+    assert!(stats.written >= spans.len() as u64);
+    let text = std::fs::read_to_string(&journal_path).expect("journal file");
+    let events = gmreg_bench::trace::parse_jsonl(&text).expect("every line parses");
+    assert_eq!(stats.written, events.len() as u64);
+    let journal_fork = events
+        .iter()
+        .find(|e| e.name == "pool.fork.ns")
+        .expect("fork span journaled");
+    assert_eq!(journal_fork.id, fork.id);
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.name == "pool.worker.ns")
+            .all(|e| e.parent == fork.id),
+        "journaled workers keep their parent links"
+    );
+
+    // Chrome conversion: complete events plus cross-thread flow arrows.
+    let chrome_path = dir.join("run.chrome.json");
+    let n = gmreg_bench::trace::convert_jsonl_file(&journal_path, &chrome_path).expect("convert");
+    assert_eq!(n, events.len());
+    let chrome = std::fs::read_to_string(&chrome_path).expect("chrome file");
+    assert!(chrome.contains("\"traceEvents\""), "valid trace container");
+    assert!(chrome.contains("\"ph\": \"X\""), "complete events present");
+    assert!(
+        chrome.contains("\"ph\": \"s\"") && chrome.contains("\"ph\": \"f\""),
+        "cross-thread fork->worker links become flow events"
+    );
+    assert!(chrome.contains("pool.worker.ns"));
+
+    // Two identical runs drain the same span names in the same order
+    // (journal already sealed, so the replay does not pollute it).
+    tele::reset();
+    {
+        let _outer = tele::span("trace_e2e.outer.ns").with_u64("epoch", 1);
+        gmreg_parallel::map_chunks(8, 4, |i| i as u64);
+    }
+    tele::flush();
+    let replay = tele::snapshot();
+    assert_eq!(
+        spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+        replay.spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+        "deterministic drain: same workload, same span sequence"
+    );
+
+    tele::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}
