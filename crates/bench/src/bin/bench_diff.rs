@@ -3,7 +3,13 @@
 //! ```text
 //! bench_diff <baseline.json> <candidate.json> [--threshold 10%]
 //!            [--only <prefix>]... [--allow-missing]
+//!            [--min <pattern>=<value>]...
 //! ```
+//!
+//! `--min` asserts an absolute floor: every candidate metric whose path
+//! contains `<pattern>` must be at least `<value>`, regardless of the
+//! baseline — this is how CI fails a thread-sweep speedup that sits at
+//! parity (e.g. `--min 'e_step[m=1000000 k=4]@t8.speedup=3.0'`).
 //!
 //! Exit codes: 0 no regression, 1 regression detected, 2 usage/parse error.
 
@@ -12,9 +18,29 @@ use gmreg_bench::diff::{compare, flatten, has_regression, render, DiffConfig, Js
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff <baseline.json> <candidate.json> \
-         [--threshold <pct>%] [--only <prefix>]... [--allow-missing]"
+         [--threshold <pct>%] [--only <prefix>]... [--allow-missing] \
+         [--min <pattern>=<value>]..."
     );
     std::process::exit(2);
+}
+
+/// Splits `--min`'s `<pattern>=<value>` at the *last* `=`: metric paths
+/// themselves contain `=` (`e_step[m=1000000 k=4]@t8.speedup`).
+fn parse_floor(raw: &str) -> Result<(String, f64), String> {
+    let (pattern, value) = raw
+        .rsplit_once('=')
+        .ok_or_else(|| format!("--min: `{raw}` is not <pattern>=<value>"))?;
+    if pattern.is_empty() {
+        return Err(format!("--min: `{raw}` has an empty pattern"));
+    }
+    let min: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("--min: `{value}` is not a number"))?;
+    if !min.is_finite() {
+        return Err(format!("--min: `{value}` must be finite"));
+    }
+    Ok((pattern.to_string(), min))
 }
 
 fn parse_threshold(raw: &str) -> Result<f64, String> {
@@ -75,6 +101,17 @@ fn main() {
                 std::process::exit(2);
             }
             cfg.only.push(v.to_string());
+        } else if a == "--min" {
+            let v = value(&mut args, "--min");
+            cfg.floors.push(parse_floor(&v).unwrap_or_else(|e| {
+                eprintln!("bench_diff: {e}");
+                std::process::exit(2);
+            }));
+        } else if let Some(v) = a.strip_prefix("--min=") {
+            cfg.floors.push(parse_floor(v).unwrap_or_else(|e| {
+                eprintln!("bench_diff: {e}");
+                std::process::exit(2);
+            }));
         } else if a == "--allow-missing" {
             cfg.allow_missing = true;
         } else if a.starts_with("--") {

@@ -5,13 +5,17 @@
 //! Run from the repository root with the `parallel` feature (default):
 //!
 //! ```text
-//! cargo run --release -p gmreg-bench --bin bench_pr1
+//! cargo run --release -p gmreg-bench --bin bench_pr1 [-- --threads 1,2,4,8]
 //! ```
 //!
-//! Each kernel is timed best-of-N after a warm-up, serial path pinned via
-//! the `*_serial` entry points and parallel path via the production
-//! dispatchers, with the pool size reported alongside (so a 1-core box
-//! honestly records speedup ≈ 1).
+//! Every kernel is swept over a list of thread counts (default
+//! `1,2,4,8`, override with `--threads`) by lowering the persistent
+//! pool's ceiling via [`gmreg_parallel::set_thread_cap`] — one
+//! `(kernel, size, threads)` record per point, where `threads` is the
+//! ceiling the pool actually applied, not a hard-coded constant. Each
+//! kernel is timed best-of-N after a warm-up, serial path pinned via the
+//! `*_serial` entry points and parallel path via the production
+//! dispatchers (so a 1-core box honestly records speedup ≈ 1).
 
 use gmreg_bench::report::{write_bench_pr1, KernelBench, Table};
 use gmreg_core::gm::{e_step, e_step_serial, GaussianMixture};
@@ -88,44 +92,92 @@ fn bench_matmul(kernel: &str, n: usize, iters: usize, threads: usize) -> KernelB
     KernelBench::new(kernel, format!("{n}x{n}x{n}"), serial, parallel, threads)
 }
 
+/// The thread counts to sweep: `--threads 1,2,4` (or `--threads=1,2,4`)
+/// when given, otherwise the acceptance sweep {1, 2, 4, 8}.
+fn thread_sweep() -> Vec<usize> {
+    let mut args = std::env::args().skip(1);
+    let mut spec = None;
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            spec = args.next();
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            spec = Some(v.to_string());
+        }
+    }
+    let Some(spec) = spec else {
+        return vec![1, 2, 4, 8];
+    };
+    let sweep: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+        .collect();
+    if sweep.is_empty() {
+        eprintln!("bench_pr1: --threads `{spec}` has no positive integers");
+        std::process::exit(2);
+    }
+    sweep
+}
+
 fn main() {
     let _telemetry = gmreg_bench::telemetry::TelemetryOut::from_args();
     let _obs = gmreg_bench::obs::ObsOut::from_args();
     let mut health = gmreg_bench::health::RunHealth::new();
-    let threads = gmreg_parallel::max_threads();
-    println!("pool size: {threads} worker(s)\n");
+    let sweep = thread_sweep();
+    println!(
+        "thread sweep: {sweep:?} (process ceiling {})\n",
+        gmreg_parallel::max_threads()
+    );
 
     let mut records = Vec::new();
-    // The paper's largest model (ResNet, M = 270,896) and the acceptance
-    // shape (M >= 1e6 weights).
-    for &m in &[270_896usize, 1_000_000] {
-        records.push(bench_e_step(m, 4, 7, threads));
+    for &cap in &sweep {
+        gmreg_parallel::set_thread_cap(cap);
+        // Report the ceiling the pool actually applies, not the request.
+        let threads = gmreg_parallel::current_threads();
+        // The paper's largest model (ResNet, M = 270,896) and the
+        // acceptance shape (M >= 1e6 weights).
+        for &m in &[270_896usize, 1_000_000] {
+            records.push(bench_e_step(m, 4, 7, threads));
+        }
+        // 256 sits near the serial/parallel dispatch edge; 512 is the
+        // acceptance shape.
+        for &n in &[256usize, 512] {
+            records.push(bench_matmul("matmul", n, 5, threads));
+        }
+        records.push(bench_matmul("matmul_tn", 512, 5, threads));
+        records.push(bench_matmul("matmul_nt", 512, 5, threads));
     }
-    // 256 sits near the serial/parallel dispatch edge; 512 is the
-    // acceptance shape.
-    for &n in &[256usize, 512] {
-        records.push(bench_matmul("matmul", n, 5, threads));
-    }
-    records.push(bench_matmul("matmul_tn", 512, 5, threads));
-    records.push(bench_matmul("matmul_nt", 512, 5, threads));
+    gmreg_parallel::set_thread_cap(0);
 
     for r in &records {
-        health.check(&format!("{} serial_ns", r.kernel), r.serial_ns);
-        health.check(&format!("{} parallel_ns", r.kernel), r.parallel_ns);
-        health.check(&format!("{} speedup", r.kernel), r.speedup);
+        let tag = format!("{} t={}", r.kernel, r.threads);
+        health.check(&format!("{tag} serial_ns"), r.serial_ns);
+        health.check(&format!("{tag} parallel_ns"), r.parallel_ns);
+        health.check(&format!("{tag} speedup"), r.speedup);
     }
 
-    let mut table = Table::new(&["kernel", "size", "serial ms", "parallel ms", "speedup"]);
+    let mut table = Table::new(&[
+        "kernel",
+        "size",
+        "threads",
+        "serial ms",
+        "parallel ms",
+        "speedup",
+    ]);
     for r in &records {
         table.row(&[
             r.kernel.clone(),
             r.size.clone(),
+            r.threads.to_string(),
             format!("{:.3}", r.serial_ns / 1e6),
             format!("{:.3}", r.parallel_ns / 1e6),
             format!("{:.2}x", r.speedup),
         ]);
     }
     print!("{}", table.render());
+    println!(
+        "\npool width after sweep: {} live worker(s)",
+        gmreg_parallel::pool_width()
+    );
 
     match write_bench_pr1(&records) {
         Ok(path) => println!("\nwrote {}", path.display()),

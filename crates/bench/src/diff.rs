@@ -15,6 +15,11 @@
 //!   change past the threshold regresses. A drifted counter means the
 //!   run's behaviour changed, which a pinned baseline must flag.
 //!
+//! On top of the relative comparison, [`DiffConfig::floors`] asserts
+//! absolute minimums on candidate metrics (`--min <pattern>=<value>` in
+//! `bench_diff`), so CI can fail a speedup stuck at parity even when the
+//! baseline was equally slow.
+//!
 //! The JSON parser is hand-rolled on purpose: the tool must accept reports
 //! produced by any build of the workspace without caring which serde
 //! implementation wrote them.
@@ -225,7 +230,9 @@ impl<'a> P<'a> {
 // ----------------------------------------------------------- flattening --
 
 /// Label an array element: prefer a human-meaningful field over the index
-/// so `BENCH_PR1.json` entries diff by kernel, not position.
+/// so `BENCH_PR1.json` entries diff by kernel, not position. A numeric
+/// `threads` field is appended as `@tN` so one thread-sweep point diffs
+/// against the same point, not whichever record shares its index.
 fn element_label(v: &Json, index: usize) -> String {
     let field = |k: &str| match v.get(k) {
         Some(Json::Str(s)) if !s.is_empty() => Some(s.clone()),
@@ -234,9 +241,13 @@ fn element_label(v: &Json, index: usize) -> String {
     let primary = field("kernel")
         .or_else(|| field("name"))
         .or_else(|| field("dataset"));
+    let threads = match v.get("threads") {
+        Some(Json::Num(n)) if n.is_finite() && *n >= 1.0 => format!("@t{}", *n as u64),
+        _ => String::new(),
+    };
     match (primary, field("size")) {
-        (Some(p), Some(s)) => format!("{p}[{s}]"),
-        (Some(p), None) => p,
+        (Some(p), Some(s)) => format!("{p}[{s}]{threads}"),
+        (Some(p), None) => format!("{p}{threads}"),
         _ => index.to_string(),
     }
 }
@@ -356,6 +367,16 @@ pub struct DiffConfig {
     /// Metrics present in the baseline but absent from the candidate are
     /// tolerated instead of regressing.
     pub allow_missing: bool,
+    /// Absolute floors on **candidate** metrics: every candidate metric
+    /// whose path contains the pattern must be at least the given value.
+    ///
+    /// Relative diffing alone cannot fail a run that was *already* at
+    /// parity — a 1.0x speedup baseline diffed against a 1.0x candidate
+    /// is a 0% change. A floor like `("e_step[m=1000000 k=4]@t8.speedup",
+    /// 3.0)` makes parity itself the regression. A pattern that matches
+    /// no candidate metric regresses too (a silently-skipped floor would
+    /// pass forever).
+    pub floors: Vec<(String, f64)>,
 }
 
 impl Default for DiffConfig {
@@ -364,6 +385,7 @@ impl Default for DiffConfig {
             threshold_pct: 10.0,
             only: Vec::new(),
             allow_missing: false,
+            floors: Vec::new(),
         }
     }
 }
@@ -420,6 +442,31 @@ pub fn compare(
             change_pct: Some(pct),
             regressed,
         });
+    }
+    for (pattern, min) in &cfg.floors {
+        let mut matched = false;
+        for (path, &new_v) in new {
+            if !path.contains(pattern.as_str()) {
+                continue;
+            }
+            matched = true;
+            out.push(DiffEntry {
+                path: format!("{path} >= {min}"),
+                old: *min,
+                new: Some(new_v),
+                change_pct: Some(change_pct(*min, new_v)),
+                regressed: new_v < *min,
+            });
+        }
+        if !matched {
+            out.push(DiffEntry {
+                path: format!("{pattern} >= {min}"),
+                old: *min,
+                new: None,
+                change_pct: None,
+                regressed: true,
+            });
+        }
     }
     out
 }
@@ -492,6 +539,16 @@ mod tests {
         assert_eq!(m["gauges.g"], 1.5);
         assert_eq!(m["bench.e_step[m=1e6].serial_ns"], 100.0);
         assert_eq!(m["bench.matmul.serial_ns"], 50.0);
+    }
+
+    #[test]
+    fn thread_sweep_records_label_by_thread_count() {
+        let m = metrics(
+            r#"[{"kernel": "e_step", "size": "m=1e6 k=4", "threads": 1, "speedup": 0.99},
+                {"kernel": "e_step", "size": "m=1e6 k=4", "threads": 8, "speedup": 3.4}]"#,
+        );
+        assert_eq!(m["e_step[m=1e6 k=4]@t1.speedup"], 0.99);
+        assert_eq!(m["e_step[m=1e6 k=4]@t8.speedup"], 3.4);
     }
 
     #[test]
@@ -577,6 +634,39 @@ mod tests {
             &old,
             &DiffConfig::default()
         )));
+    }
+
+    #[test]
+    fn floors_fail_parity_even_when_the_baseline_agrees() {
+        // Baseline and candidate are both stuck at 1.0x: relative diffing
+        // sees 0% change, but the floor still regresses.
+        let old = metrics(r#"[{"kernel": "e_step", "threads": 8, "speedup": 1.0}]"#);
+        let new = old.clone();
+        let cfg = DiffConfig {
+            floors: vec![("e_step@t8.speedup".to_string(), 3.0)],
+            ..DiffConfig::default()
+        };
+        let entries = compare(&old, &new, &cfg);
+        assert!(has_regression(&entries));
+        let floor = entries.last().unwrap();
+        assert_eq!(floor.path, "e_step@t8.speedup >= 3");
+        assert_eq!(floor.new, Some(1.0));
+
+        // A candidate above the floor passes.
+        let fast = metrics(r#"[{"kernel": "e_step", "threads": 8, "speedup": 3.4}]"#);
+        assert!(!has_regression(&compare(&old, &fast, &cfg)));
+    }
+
+    #[test]
+    fn unmatched_floor_patterns_regress() {
+        let m = metrics(r#"{"speedup": 2.0}"#);
+        let cfg = DiffConfig {
+            floors: vec![("no_such_kernel.speedup".to_string(), 1.5)],
+            ..DiffConfig::default()
+        };
+        let entries = compare(&m, &m, &cfg);
+        assert!(has_regression(&entries));
+        assert!(entries.last().unwrap().new.is_none());
     }
 
     #[test]

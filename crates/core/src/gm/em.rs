@@ -2,6 +2,7 @@
 //! vector and the closed-form, prior-smoothed M-step (Eq. 13 and Eq. 17).
 
 use crate::gm::mixture::GaussianMixture;
+use crate::gm::simd;
 use crate::tele;
 
 /// Per-component sufficient statistics gathered by an E-step sweep:
@@ -60,9 +61,10 @@ pub const E_STEP_CHUNK: usize = 4096;
 const MIN_CHUNKS_PER_THREAD: usize = 4;
 
 /// Reusable per-call buffers for [`e_step_with_scratch`]: the per-component
-/// log weights and the per-element log-responsibility workspace. Owning one
-/// of these across calls (as [`GmRegularizer`] does) removes the two heap
-/// allocations the sweep would otherwise make on every invocation.
+/// log weights and the four-lane kernel workspace
+/// ([`simd::SCRATCH_PER_K`]`·k` f64 slots). Owning one of these across calls
+/// (as [`GmRegularizer`] does) removes the two heap allocations the sweep
+/// would otherwise make on every invocation.
 ///
 /// [`GmRegularizer`]: crate::gm::GmRegularizer
 #[derive(Debug, Clone, Default)]
@@ -100,7 +102,6 @@ pub fn e_step_with_scratch(
     }
     let _t = tele::span("gm.em.sweep.ns");
     tele::counter_add("gm.em.sweep.weights", w.len() as u64);
-    let k = gm.k();
     prepare_log_base(gm, &mut scratch.log_base);
 
     #[cfg(feature = "parallel")]
@@ -112,8 +113,6 @@ pub fn e_step_with_scratch(
         }
     }
 
-    scratch.logs.clear();
-    scratch.logs.resize(k, 0.0);
     e_step_serial_chunked(
         gm.lambda(),
         &scratch.log_base,
@@ -135,7 +134,6 @@ pub fn e_step_serial(
     }
     let mut scratch = EStepScratch::default();
     prepare_log_base(gm, &mut scratch.log_base);
-    scratch.logs.resize(gm.k(), 0.0);
     e_step_serial_chunked(
         gm.lambda(),
         &scratch.log_base,
@@ -161,7 +159,6 @@ pub fn e_step_with_threads(
     let mut scratch = EStepScratch::default();
     prepare_log_base(gm, &mut scratch.log_base);
     if threads <= 1 {
-        scratch.logs.resize(gm.k(), 0.0);
         return e_step_serial_chunked(
             gm.lambda(),
             &scratch.log_base,
@@ -187,46 +184,18 @@ fn prepare_log_base(gm: &GaussianMixture, log_base: &mut Vec<f64>) {
 }
 
 /// The fused per-chunk kernel: responsibilities, sufficient statistics and
-/// (optionally) `g_reg` for one contiguous run of weights. `logs` is a
-/// `k`-sized workspace owned by the caller.
+/// (optionally) `g_reg` for one contiguous run of weights. Delegates to the
+/// four-lane [`simd`] kernel (AVX2 when available, bit-identical scalar
+/// mirror otherwise); `scratch` is a caller-owned workspace the kernel
+/// resizes to [`simd::SCRATCH_PER_K`]`·k`.
 fn e_step_chunk(
     lambda: &[f64],
     log_base: &[f64],
     w: &[f32],
-    mut greg: Option<&mut [f32]>,
-    logs: &mut [f64],
+    greg: Option<&mut [f32]>,
+    scratch: &mut Vec<f64>,
 ) -> EmAccumulators {
-    let k = lambda.len();
-    let mut acc = EmAccumulators::zeros(k);
-    acc.m = w.len();
-    for (m_idx, &wv) in w.iter().enumerate() {
-        let x = wv as f64;
-        let xsq = x * x;
-        let mut max = f64::NEG_INFINITY;
-        for i in 0..k {
-            let t = log_base[i] - 0.5 * lambda[i] * xsq;
-            logs[i] = t;
-            if t > max {
-                max = t;
-            }
-        }
-        let mut z = 0.0;
-        for t in logs.iter_mut() {
-            *t = (*t - max).exp();
-            z += *t;
-        }
-        let mut coeff = 0.0;
-        for i in 0..k {
-            let r = logs[i] / z;
-            acc.resp_sum[i] += r;
-            acc.resp_wsq_sum[i] += r * xsq;
-            coeff += r * lambda[i];
-        }
-        if let Some(out) = greg.as_deref_mut() {
-            out[m_idx] = (coeff * x) as f32;
-        }
-    }
-    acc
+    simd::chunk_kernel(lambda, log_base, w, greg, scratch)
 }
 
 /// Fold `partial` into `total` (component-wise f64 adds). Both sweeps call
@@ -249,7 +218,7 @@ fn e_step_serial_chunked(
     log_base: &[f64],
     w: &[f32],
     mut greg_out: Option<&mut [f32]>,
-    logs: &mut [f64],
+    logs: &mut Vec<f64>,
 ) -> EmAccumulators {
     let k = lambda.len();
     let mut total = EmAccumulators::zeros(k);
@@ -308,13 +277,13 @@ fn e_step_parallel(
     }
 
     gmreg_parallel::for_each_part(&mut tasks, threads, |_, task| {
-        let mut logs = vec![0.0f64; k];
+        let mut scratch = Vec::new();
         task.partial = e_step_chunk(
             lambda,
             log_base,
             task.w,
             task.greg.as_deref_mut(),
-            &mut logs,
+            &mut scratch,
         );
     });
 

@@ -28,6 +28,7 @@ mod lazy;
 mod merge;
 mod mixture;
 mod regularizer;
+pub mod simd;
 mod soft_sharing;
 mod tool;
 

@@ -1,0 +1,454 @@
+//! Four-lane vectorized E-step responsibility kernel with a bit-identical
+//! scalar mirror.
+//!
+//! The E-step's per-weight work — `t_k = ln π_k + ½ln λ_k − ½λ_k w²`,
+//! max-subtracted softmax, sufficient-statistic accumulation — is batched
+//! four weights at a time. On x86_64 with AVX2 the four lanes live in one
+//! `__m256d`; everywhere else (or with `GMREG_SIMD=0`) the scalar mirror
+//! runs the same operation sequence per lane. Both paths produce **identical
+//! bits**, because:
+//!
+//! * every lane op is a plain IEEE-754 multiply/add/divide (no FMA);
+//! * `exp` is our own Cephes-style rational approximation, evaluated with
+//!   the same magic-number rounding and polynomial order in both paths
+//!   (`std`'s `exp` is libm-dependent and has no vector form);
+//! * the running max uses the same `if m < t` select semantics;
+//! * per-component sums accumulate into four per-lane partials folded by a
+//!   fixed tree `(l0+l1)+(l2+l3)` at chunk end, and the `len % 4` tail runs
+//!   through the scalar mirror in both paths.
+//!
+//! Swapping `std::f64::exp` for the rational approximation moves
+//! responsibilities by ~1 ulp — far inside the 1e-12 band the golden tests
+//! pin — while making the whole sweep independent of the platform libm.
+
+use crate::gm::em::EmAccumulators;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Lanes per group: four f64 weights per pass.
+pub const LANES: usize = 4;
+
+/// f64 scratch slots the chunk kernel needs per mixture component: the
+/// per-lane log/exp workspace plus two per-lane accumulator rows.
+pub const SCRATCH_PER_K: usize = 3 * LANES;
+
+/// Tri-state runtime override: 0 = auto, 1 = force scalar, 2 = force vector.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Pin the dispatch for tests and benches: `Some(false)` forces the scalar
+/// mirror, `Some(true)` requests the AVX2 path (still requires CPU
+/// support), `None` restores automatic dispatch.
+pub fn set_simd_enabled(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    OVERRIDE.store(v, Ordering::Release);
+}
+
+/// True when the running CPU supports the AVX2 path.
+pub fn simd_supported() -> bool {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+fn env_allows_simd() -> bool {
+    static ALLOWED: OnceLock<bool> = OnceLock::new();
+    *ALLOWED.get_or_init(|| {
+        !matches!(
+            std::env::var("GMREG_SIMD").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// True when the vector path is taken for the next kernel call.
+pub fn simd_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Acquire) {
+        1 => false,
+        2 => simd_supported(),
+        _ => simd_supported() && env_allows_simd(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// exp: Cephes-style rational approximation, shared constants.
+// ---------------------------------------------------------------------------
+
+/// Round-to-nearest magic constant (2^52 + 2^51): adding and subtracting it
+/// leaves the nearest integer, which is how both paths round `x·log2(e)`
+/// (Rust 1.75 has no `round_ties_even`, and `round()` ties away from zero —
+/// different semantics from the vector rounding).
+const MAGIC: f64 = 6755399441055744.0;
+const LOG2E: f64 = std::f64::consts::LOG2_E;
+/// Cody–Waite split of ln 2 for exact range reduction. The low part keeps
+/// its published digits (beyond f64 precision), hence the lint allow.
+const LN2_HI: f64 = 6.93145751953125e-1;
+#[allow(clippy::excessive_precision)]
+const LN2_LO: f64 = 1.42860682030941723212e-6;
+/// Below this the true `exp` underflows toward subnormals; both paths
+/// return exactly 0 to stay clear of platform-dependent subnormal handling.
+const EXP_CUTOFF: f64 = -708.0;
+// Cephes expl() rational coefficients: exp(r) = 1 + 2·p/(q − p) on
+// |r| ≤ ½ln2 with p = r·P(r²), q = Q(r²). Digits are quoted as published
+// (beyond f64 precision), hence the module-wide lint allow.
+#[allow(clippy::excessive_precision)]
+mod cephes {
+    pub const P0: f64 = 1.26177193074810590878e-4;
+    pub const P1: f64 = 3.02994407707441961300e-2;
+    pub const P2: f64 = 9.99999999999999999910e-1;
+    pub const Q0: f64 = 3.00198505138664455042e-6;
+    pub const Q1: f64 = 2.52448340349684104192e-3;
+    pub const Q2: f64 = 2.27265548208155028766e-1;
+    pub const Q3: f64 = 2.00000000000000000005e0;
+}
+use cephes::{P0, P1, P2, Q0, Q1, Q2, Q3};
+
+/// Scalar `exp` mirror. Accurate to ~1 ulp on the E-step's domain
+/// `(-inf, 0]`; bit-identical to the lanes of [`exp4_avx2`].
+#[inline]
+pub fn exp_scalar(x: f64) -> f64 {
+    let nf = x * LOG2E + MAGIC - MAGIC;
+    let r = x - nf * LN2_HI - nf * LN2_LO;
+    let xx = r * r;
+    let p = r * ((P0 * xx + P1) * xx + P2);
+    let q = ((Q0 * xx + Q1) * xx + Q2) * xx + Q3;
+    let e = p / (q - p);
+    let y = 1.0 + 2.0 * e;
+    // 2^n by exponent-field construction; n is integral and, on the kernel's
+    // domain, within [-1022, 1023]. The cutoff select below discards the
+    // (wrapped, but well-defined) bit pattern for deeper arguments.
+    let n = nf as i64;
+    let pow2 = f64::from_bits(((n + 1023) << 52) as u64);
+    if x < EXP_CUTOFF {
+        0.0
+    } else {
+        y * pow2
+    }
+}
+
+/// Four-lane AVX2 `exp`, lane-for-lane identical to [`exp_scalar`].
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn exp4_avx2(x: core::arch::x86_64::__m256d) -> core::arch::x86_64::__m256d {
+    use core::arch::x86_64::*;
+    let magic = _mm256_set1_pd(MAGIC);
+    let nf = _mm256_sub_pd(
+        _mm256_add_pd(_mm256_mul_pd(x, _mm256_set1_pd(LOG2E)), magic),
+        magic,
+    );
+    let r = _mm256_sub_pd(
+        _mm256_sub_pd(x, _mm256_mul_pd(nf, _mm256_set1_pd(LN2_HI))),
+        _mm256_mul_pd(nf, _mm256_set1_pd(LN2_LO)),
+    );
+    let xx = _mm256_mul_pd(r, r);
+    let p = _mm256_mul_pd(
+        r,
+        _mm256_add_pd(
+            _mm256_mul_pd(
+                _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(P0), xx), _mm256_set1_pd(P1)),
+                xx,
+            ),
+            _mm256_set1_pd(P2),
+        ),
+    );
+    let q = _mm256_add_pd(
+        _mm256_mul_pd(
+            _mm256_add_pd(
+                _mm256_mul_pd(
+                    _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(Q0), xx), _mm256_set1_pd(Q1)),
+                    xx,
+                ),
+                _mm256_set1_pd(Q2),
+            ),
+            xx,
+        ),
+        _mm256_set1_pd(Q3),
+    );
+    let e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+    let y = _mm256_add_pd(_mm256_set1_pd(1.0), _mm256_mul_pd(_mm256_set1_pd(2.0), e));
+    // 2^n: nf -> i32 (exact, nf is integral) -> i64, exponent-field build.
+    let n32 = _mm256_cvtpd_epi32(nf);
+    let n64 = _mm256_cvtepi32_epi64(n32);
+    let bits = _mm256_slli_epi64(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+    let pow2 = _mm256_castsi256_pd(bits);
+    let val = _mm256_mul_pd(y, pow2);
+    // Lanes below the cutoff flush to exactly 0, like the scalar mirror.
+    let under = _mm256_cmp_pd(x, _mm256_set1_pd(EXP_CUTOFF), _CMP_LT_OQ);
+    _mm256_andnot_pd(under, val)
+}
+
+// ---------------------------------------------------------------------------
+// The chunk kernel.
+// ---------------------------------------------------------------------------
+
+/// Scratch layout inside the caller's `Vec<f64>` (resized to
+/// `SCRATCH_PER_K * k`): `[t/e values (4k)] [resp lanes (4k)] [wsq lanes (4k)]`.
+fn split_scratch(scratch: &mut [f64], k: usize) -> (&mut [f64], &mut [f64], &mut [f64]) {
+    let (logs, rest) = scratch.split_at_mut(LANES * k);
+    let (resp, wsq) = rest.split_at_mut(LANES * k);
+    (logs, resp, wsq)
+}
+
+/// One scalar group of `g ≤ 4` weights: the mirror both dispatch paths use
+/// for the chunk tail, and the whole-chunk body when SIMD is off. Lane `l`
+/// of the group writes `logs[i*4+l]` and accumulates `resp[i*4+l]` /
+/// `wsq[i*4+l]` — the same slots the vector path uses.
+#[allow(clippy::too_many_arguments)]
+fn group_scalar(
+    lambda: &[f64],
+    log_base: &[f64],
+    w: &[f32],
+    mut greg: Option<&mut [f32]>,
+    logs: &mut [f64],
+    resp: &mut [f64],
+    wsq: &mut [f64],
+) {
+    let k = lambda.len();
+    for (l, &wv) in w.iter().enumerate() {
+        let x = wv as f64;
+        let xsq = x * x;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..k {
+            let half_lambda = 0.5 * lambda[i];
+            let t = log_base[i] - half_lambda * xsq;
+            logs[i * LANES + l] = t;
+            max = if max < t { t } else { max };
+        }
+        let mut z = 0.0;
+        for i in 0..k {
+            let e = exp_scalar(logs[i * LANES + l] - max);
+            logs[i * LANES + l] = e;
+            z += e;
+        }
+        let mut coeff = 0.0;
+        for i in 0..k {
+            let r = logs[i * LANES + l] / z;
+            resp[i * LANES + l] += r;
+            wsq[i * LANES + l] += r * xsq;
+            coeff += r * lambda[i];
+        }
+        if let Some(out) = greg.as_deref_mut() {
+            out[l] = (coeff * x) as f32;
+        }
+    }
+}
+
+/// One AVX2 group of exactly four weights; lane-for-lane identical to
+/// [`group_scalar`].
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2; `w` (and `greg`, if given)
+/// must hold at least four elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn group_avx2(
+    lambda: &[f64],
+    log_base: &[f64],
+    w: &[f32],
+    greg: Option<&mut [f32]>,
+    logs: &mut [f64],
+    resp: &mut [f64],
+    wsq: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+    let k = lambda.len();
+    let x = _mm256_cvtps_pd(_mm_loadu_ps(w.as_ptr()));
+    let xsq = _mm256_mul_pd(x, x);
+    let mut max = _mm256_set1_pd(f64::NEG_INFINITY);
+    for i in 0..k {
+        let half_lambda = _mm256_set1_pd(0.5 * lambda[i]);
+        let t = _mm256_sub_pd(_mm256_set1_pd(log_base[i]), _mm256_mul_pd(half_lambda, xsq));
+        _mm256_storeu_pd(logs.as_mut_ptr().add(i * LANES), t);
+        // `if max < t { t } else { max }`, lane-wise.
+        let lt = _mm256_cmp_pd(max, t, _CMP_LT_OQ);
+        max = _mm256_blendv_pd(max, t, lt);
+    }
+    let mut z = _mm256_setzero_pd();
+    for i in 0..k {
+        let t = _mm256_loadu_pd(logs.as_ptr().add(i * LANES));
+        let e = exp4_avx2(_mm256_sub_pd(t, max));
+        _mm256_storeu_pd(logs.as_mut_ptr().add(i * LANES), e);
+        z = _mm256_add_pd(z, e);
+    }
+    let mut coeff = _mm256_setzero_pd();
+    for (i, &lam) in lambda.iter().enumerate() {
+        let e = _mm256_loadu_pd(logs.as_ptr().add(i * LANES));
+        let r = _mm256_div_pd(e, z);
+        let acc = _mm256_loadu_pd(resp.as_ptr().add(i * LANES));
+        _mm256_storeu_pd(resp.as_mut_ptr().add(i * LANES), _mm256_add_pd(acc, r));
+        let acc = _mm256_loadu_pd(wsq.as_ptr().add(i * LANES));
+        _mm256_storeu_pd(
+            wsq.as_mut_ptr().add(i * LANES),
+            _mm256_add_pd(acc, _mm256_mul_pd(r, xsq)),
+        );
+        coeff = _mm256_add_pd(coeff, _mm256_mul_pd(r, _mm256_set1_pd(lam)));
+    }
+    if let Some(out) = greg {
+        let g = _mm256_cvtpd_ps(_mm256_mul_pd(coeff, x));
+        _mm_storeu_ps(out.as_mut_ptr(), g);
+    }
+}
+
+/// The fused per-chunk E-step kernel: responsibilities, sufficient
+/// statistics and (optionally) `g_reg` for one contiguous run of weights,
+/// four lanes at a time. `scratch` is resized to `SCRATCH_PER_K * k` and
+/// owned by the caller so repeated sweeps allocate nothing.
+pub(crate) fn chunk_kernel(
+    lambda: &[f64],
+    log_base: &[f64],
+    w: &[f32],
+    mut greg: Option<&mut [f32]>,
+    scratch: &mut Vec<f64>,
+) -> EmAccumulators {
+    let k = lambda.len();
+    scratch.clear();
+    scratch.resize(SCRATCH_PER_K * k, 0.0);
+    let (logs, resp, wsq) = split_scratch(scratch, k);
+
+    let n_groups = w.len() / LANES;
+    let split = n_groups * LANES;
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        for g in 0..n_groups {
+            let at = g * LANES;
+            let gout = greg.as_deref_mut().map(|o| &mut o[at..at + LANES]);
+            // SAFETY: AVX2 support was verified by `simd_enabled`; the
+            // group slices hold exactly LANES elements.
+            unsafe { group_avx2(lambda, log_base, &w[at..at + LANES], gout, logs, resp, wsq) };
+        }
+        let gout = greg.as_deref_mut().map(|o| &mut o[split..]);
+        group_scalar(lambda, log_base, &w[split..], gout, logs, resp, wsq);
+        return fold(resp, wsq, k, w.len());
+    }
+    for g in 0..n_groups {
+        let at = g * LANES;
+        let gout = greg.as_deref_mut().map(|o| &mut o[at..at + LANES]);
+        group_scalar(lambda, log_base, &w[at..at + LANES], gout, logs, resp, wsq);
+    }
+    let gout = greg.map(|o| &mut o[split..]);
+    group_scalar(lambda, log_base, &w[split..], gout, logs, resp, wsq);
+    fold(resp, wsq, k, w.len())
+}
+
+/// Fold the four lane partials per component with the fixed tree
+/// `(l0+l1)+(l2+l3)` — the only cross-lane reduction in the kernel.
+fn fold(resp: &[f64], wsq: &[f64], k: usize, m: usize) -> EmAccumulators {
+    let mut acc = EmAccumulators::zeros(k);
+    acc.m = m;
+    for i in 0..k {
+        let r = &resp[i * LANES..(i + 1) * LANES];
+        let s = &wsq[i * LANES..(i + 1) * LANES];
+        acc.resp_sum[i] = (r[0] + r[1]) + (r[2] + r[3]);
+        acc.resp_wsq_sum[i] = (s[0] + s[1]) + (s[2] + s[3]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the process-global dispatch override.
+    static TOGGLE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn exp_scalar_tracks_std_exp() {
+        let mut worst = 0.0f64;
+        let mut x = -708.0;
+        while x < 0.5 {
+            let got = exp_scalar(x);
+            let want = x.exp();
+            let rel = if want == 0.0 {
+                got.abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            worst = worst.max(rel);
+            x += 0.137;
+        }
+        assert!(worst < 1e-14, "worst relative error {worst:e}");
+        assert_eq!(exp_scalar(0.0), 1.0);
+        assert_eq!(exp_scalar(-800.0), 0.0, "below cutoff flushes to zero");
+        assert_eq!(exp_scalar(f64::NEG_INFINITY), 0.0);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn exp4_lanes_match_scalar_bitwise() {
+        if !simd_supported() {
+            return;
+        }
+        use core::arch::x86_64::*;
+        let mut x = -750.0;
+        while x < 1.0 {
+            let xs = [x, x + 0.03, x + 0.61, x + 0.99];
+            // SAFETY: AVX2 support verified above.
+            let got: [f64; 4] = unsafe {
+                let v = exp4_avx2(_mm256_loadu_pd(xs.as_ptr()));
+                let mut out = [0.0; 4];
+                _mm256_storeu_pd(out.as_mut_ptr(), v);
+                out
+            };
+            for (g, xv) in got.iter().zip(xs) {
+                assert_eq!(
+                    g.to_bits(),
+                    exp_scalar(xv).to_bits(),
+                    "lane mismatch at x={xv}"
+                );
+            }
+            x += 1.618;
+        }
+    }
+
+    #[test]
+    fn chunk_kernel_paths_are_bit_identical() {
+        let _g = TOGGLE.lock().unwrap();
+        if !simd_supported() {
+            return;
+        }
+        let lambda = [1.0f64, 64.0, 0.25];
+        let log_base: Vec<f64> = lambda.iter().map(|l| 0.3 + 0.5 * l.ln()).collect();
+        for len in [1usize, 3, 4, 5, 8, 17, 100] {
+            let w: Vec<f32> = (0..len).map(|i| (i as f32 * 0.31 - 2.0) * 0.8).collect();
+            let mut scratch = Vec::new();
+
+            set_simd_enabled(Some(false));
+            let mut greg_s = vec![0.0f32; len];
+            let want = chunk_kernel(&lambda, &log_base, &w, Some(&mut greg_s), &mut scratch);
+
+            set_simd_enabled(Some(true));
+            let mut greg_v = vec![0.0f32; len];
+            let got = chunk_kernel(&lambda, &log_base, &w, Some(&mut greg_v), &mut scratch);
+            set_simd_enabled(None);
+
+            assert_eq!(got, want, "accumulators len={len}");
+            assert_eq!(greg_v, greg_s, "greg len={len}");
+        }
+    }
+
+    #[test]
+    fn override_pins_dispatch() {
+        let _g = TOGGLE.lock().unwrap();
+        set_simd_enabled(Some(false));
+        assert!(!simd_enabled());
+        set_simd_enabled(Some(true));
+        assert_eq!(simd_enabled(), simd_supported());
+        set_simd_enabled(None);
+    }
+}

@@ -39,9 +39,16 @@ fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
 ///   "gm": {"pi_min": ..., "pi_max": ..., "lambda_min": ..., "lambda_max": ...},
 ///   "guard": {"trips": 0, "rollbacks": 0, "degraded": 0},
 ///   "checkpoint": {"generation": 3, "saves": 3},
+///   "pool": {"width": 7, "jobs": 120, "tasks": 960, "steals": 41,
+///            "worker_panics": 0, "workers_replaced": 0},
 ///   "telemetry": {"spans": 140, "dropped_spans": 0}
 /// }
 /// ```
+///
+/// The `pool` section mirrors the persistent work-stealing pool's
+/// counters (`pool.jobs`/`pool.tasks`/`pool.steals`) and `pool.width`
+/// gauge, so a live scrape shows whether parallelism is actually engaged:
+/// `width: null` with `jobs: 0` means every kernel stayed serial.
 ///
 /// `epoch` counts *completed* epochs (the `runtime.epoch` gauge both the NN
 /// and linear durable runtimes publish once per epoch); it is `null` until
@@ -79,6 +86,22 @@ pub fn status_json(report: &Report) -> String {
     field_f64(&mut out, "generation", gauge("ckpt.generation"));
     out.push_str(", ");
     field_u64(&mut out, "saves", counter("ckpt.saves"));
+    out.push_str("}, \"pool\": {");
+    field_f64(&mut out, "width", gauge("pool.width"));
+    out.push_str(", ");
+    field_u64(&mut out, "jobs", counter("pool.jobs"));
+    out.push_str(", ");
+    field_u64(&mut out, "tasks", counter("pool.tasks"));
+    out.push_str(", ");
+    field_u64(&mut out, "steals", counter("pool.steals"));
+    out.push_str(", ");
+    field_u64(&mut out, "worker_panics", counter("pool.worker.panics"));
+    out.push_str(", ");
+    field_u64(
+        &mut out,
+        "workers_replaced",
+        counter("pool.workers.replaced"),
+    );
     out.push_str("}, \"telemetry\": {");
     field_u64(&mut out, "spans", report.spans.len() as u64);
     out.push_str(", ");
@@ -99,7 +122,27 @@ mod tests {
         assert!(s.contains("\"loss\": null"));
         assert!(s.contains("\"trips\": 0"));
         assert!(s.contains("\"generation\": null"));
+        // A run that never forked shows an idle pool, not a missing one.
+        assert!(s.contains("\"pool\": {\"width\": null, \"jobs\": 0"));
         assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn pool_metrics_flow_through() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::gauge_set("pool.width", 7.0);
+        gmreg_telemetry::counter_add("pool.jobs", 12);
+        gmreg_telemetry::counter_add("pool.tasks", 96);
+        gmreg_telemetry::counter_add("pool.steals", 5);
+        gmreg_telemetry::counter_inc("pool.workers.replaced");
+        let s = status_json(&gmreg_telemetry::snapshot());
+        assert!(s.contains("\"width\": 7.0"), "{s}");
+        assert!(s.contains("\"jobs\": 12"), "{s}");
+        assert!(s.contains("\"tasks\": 96"), "{s}");
+        assert!(s.contains("\"steals\": 5"), "{s}");
+        assert!(s.contains("\"workers_replaced\": 1"), "{s}");
+        gmreg_telemetry::reset();
     }
 
     #[test]

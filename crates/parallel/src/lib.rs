@@ -1,38 +1,49 @@
-//! Fork-join execution layer for the gmreg workspace.
+//! Fork-join execution layer for the gmreg workspace, backed by a
+//! persistent work-stealing pool.
 //!
 //! Every compute kernel in the workspace that wants parallelism goes through
 //! the two primitives in this crate:
 //!
 //! * [`map_chunks`] — evaluate a pure function over chunk indices
-//!   `0..n_chunks` on a small pool of scoped threads and return the partial
-//!   results **in chunk-index order**. Callers fold the returned partials
-//!   serially, so a floating-point reduction performed through `map_chunks`
-//!   is bit-identical for every thread count, including one.
+//!   `0..n_chunks` across the pool and return the partial results **in
+//!   chunk-index order**. Callers fold the returned partials serially, so a
+//!   floating-point reduction performed through `map_chunks` is
+//!   bit-identical for every thread count, including one.
 //! * [`for_each_part`] — apply a function to every element of a slice of
-//!   disjoint work items (mutable output bands, parameter groups) from a
-//!   small pool of scoped threads. Each item is touched exactly once; items
-//!   never alias, so no synchronisation beyond the fork/join is needed.
+//!   disjoint work items (mutable output bands, parameter groups). Each item
+//!   is touched exactly once; items never alias, so no synchronisation
+//!   beyond the job's completion protocol is needed.
 //!
-//! Work is split into **contiguous** index ranges, one per worker, rather
-//! than work-stolen: gmreg kernels have uniform per-chunk cost, and static
-//! partitioning keeps the reduction order independent of scheduling.
+//! Work is split into **contiguous** index ranges — always exactly
+//! `threads` of them, regardless of how many pool workers exist — so the
+//! reduction order is a function of the requested thread count alone, never
+//! of scheduling. Which thread *executes* a range is dynamic (the caller
+//! and the pool workers race to claim them; idle workers steal), which
+//! keeps all cores busy without perturbing results.
 //!
-//! The crate has zero dependencies and is built directly on
-//! [`std::thread::scope`], so a `--no-default-features` build of the
-//! consuming crates drops it entirely.
+//! The executing threads live in a lazily-created, process-wide pool
+//! ([`mod@pool`]): the first real fork spawns the workers, subsequent forks
+//! reuse them (no per-call spawn), idle workers park on a condvar, and a
+//! C `atexit` hook joins them at process exit. The crate still has zero
+//! dependencies, and a `--no-default-features` build of the consuming
+//! crates drops it — and the pool — entirely.
 //!
 //! ## Thread-count policy
 //!
-//! [`max_threads`] resolves the pool ceiling once per process: the
+//! [`max_threads`] resolves the process ceiling once: the
 //! `GMREG_NUM_THREADS` environment variable when set to a positive integer,
-//! otherwise [`std::thread::available_parallelism`]. Kernels derive their
-//! actual worker count with [`effective_threads`], which caps the pool so
-//! that every worker receives at least a minimum amount of work — small
-//! problems stay on the calling thread with no spawn at all.
+//! otherwise [`std::thread::available_parallelism`]. [`set_thread_cap`]
+//! lowers (or raises, up to the pool's hard cap) that ceiling at runtime —
+//! benches use it to sweep thread counts inside one process. Kernels derive
+//! their actual worker count with [`effective_threads`], which also caps
+//! the fork so every worker receives a minimum amount of work — small
+//! problems stay on the calling thread and never touch the pool.
 
+mod pool;
 mod tele;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// A worker panic contained by one of the `try_*` primitives.
@@ -42,7 +53,7 @@ use std::sync::OnceLock;
 /// `Box<dyn Any>`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolError {
-    /// Index of the worker (0 = the calling thread's range) that panicked.
+    /// Index of the work range (0 = the first range) that panicked.
     pub worker: usize,
     /// The panic message, or a placeholder for non-string payloads.
     pub message: String,
@@ -84,7 +95,8 @@ fn worker_failpoint() {}
 /// Process-wide thread ceiling, resolved once.
 ///
 /// Honours `GMREG_NUM_THREADS` (positive integer) and falls back to
-/// [`std::thread::available_parallelism`]. Never returns 0.
+/// [`std::thread::available_parallelism`]. Never returns 0. See
+/// [`set_thread_cap`] for the runtime override.
 pub fn max_threads() -> usize {
     static MAX: OnceLock<usize> = OnceLock::new();
     *MAX.get_or_init(|| match std::env::var("GMREG_NUM_THREADS") {
@@ -104,11 +116,39 @@ fn available() -> usize {
         .unwrap_or(1)
 }
 
+/// Runtime override of the [`max_threads`] ceiling (0 clears it).
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the process thread ceiling at runtime. `0` restores the
+/// [`max_threads`] default. Values above the pool's hard cap (64) are
+/// honoured for range *counts* but executed on at most 64 workers.
+///
+/// This exists for thread-sweep benches (`bench_pr1 --threads 1,2,4,8`)
+/// where `GMREG_NUM_THREADS` — read once per process — cannot vary.
+pub fn set_thread_cap(cap: usize) {
+    THREAD_CAP.store(cap, Ordering::Release);
+}
+
+/// The ceiling [`effective_threads`] currently applies: the
+/// [`set_thread_cap`] override when set, otherwise [`max_threads`].
+pub fn current_threads() -> usize {
+    match THREAD_CAP.load(Ordering::Acquire) {
+        0 => max_threads(),
+        cap => cap,
+    }
+}
+
+/// Number of live pool workers (0 until the first fork). Exposed so
+/// observability endpoints can report whether parallelism is engaged.
+pub fn pool_width() -> usize {
+    pool::width()
+}
+
 /// Worker count for a kernel with `n_units` units of work, ensuring every
 /// worker gets at least `min_units_per_thread` units. Returns a value in
-/// `1..=max_threads()`; `1` means "stay serial".
+/// `1..=current_threads()`; `1` means "stay serial".
 pub fn effective_threads(n_units: usize, min_units_per_thread: usize) -> usize {
-    let ceil = max_threads();
+    let ceil = current_threads();
     if min_units_per_thread == 0 {
         return ceil.max(1);
     }
@@ -127,16 +167,63 @@ pub fn split_range(n: usize, parts: usize, idx: usize) -> (usize, usize) {
     (start, start + len)
 }
 
+/// Per-range result slots written concurrently by the range executors.
+/// Each index is written by exactly one executor (the range claim is an
+/// atomic fetch-add), and the caller reads only after the job's completion
+/// protocol has synchronised, so the `UnsafeCell` access never races.
+struct Slots<T> {
+    cells: Vec<std::cell::UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: see the struct docs — disjoint writes, synchronised read-back.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots {
+            cells: (0..n).map(|_| std::cell::UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Store range `i`'s result. Called exactly once per index.
+    fn set(&self, i: usize, v: T) {
+        // SAFETY: index `i` is owned by the single executor that claimed
+        // range `i`; no other thread touches this cell until read-back.
+        unsafe { *self.cells[i].get() = Some(v) };
+    }
+
+    fn take(&mut self, i: usize) -> Option<T> {
+        self.cells[i].get_mut().take()
+    }
+}
+
+/// A raw mutable base pointer that may cross threads. Range executors use
+/// it to carve **disjoint** sub-slices out of one parts buffer.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: executors only ever form non-overlapping sub-slices from the
+// pointer, and the job completion protocol orders all writes before the
+// caller resumes.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the `Sync`
+    /// wrapper, not the raw pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 /// Evaluate `f(chunk_idx)` for every `chunk_idx` in `0..n_chunks` using up to
 /// `threads` workers, returning the results **in chunk-index order**.
 ///
-/// Each worker owns a contiguous range of chunk indices and evaluates them in
-/// ascending order; the per-worker vectors are concatenated in worker order.
+/// Each work range covers a contiguous run of chunk indices evaluated in
+/// ascending order; the per-range vectors are concatenated in range order.
 /// The output is therefore identical — element for element — to
 /// `(0..n_chunks).map(f).collect()` regardless of `threads`.
 ///
 /// `threads <= 1` (or fewer than two chunks) runs on the calling thread with
-/// no spawn. A panic in any worker propagates to the caller.
+/// no fork. A panic in any worker propagates to the caller.
 pub fn map_chunks<T, F>(n_chunks: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -148,11 +235,10 @@ where
     }
 }
 
-/// [`map_chunks`] with worker-panic containment: a panic in any worker (or
-/// in the calling thread's own range) is caught, every other worker runs to
-/// completion and is joined, and the panic of the lowest-indexed failing
-/// worker is returned as a [`PoolError`] instead of unwinding through the
-/// fork-join.
+/// [`map_chunks`] with worker-panic containment: a panic in any range (on a
+/// pool worker or on the calling thread) is caught, every other range runs
+/// to completion, and the panic of the lowest-indexed failing range is
+/// returned as a [`PoolError`] instead of unwinding through the join.
 pub fn try_map_chunks<T, F>(n_chunks: usize, threads: usize, f: F) -> Result<Vec<T>, PoolError>
 where
     T: Send,
@@ -169,57 +255,53 @@ where
     if threads <= 1 {
         return run_range(0, n_chunks).map_err(|message| PoolError { worker: 0, message });
     }
-    tele::counter_inc("pool.forks");
-    tele::gauge_set("pool.threads", threads as f64);
+    tele::counter_inc("pool.jobs");
     let _fork = tele::span("pool.fork.ns")
         .with_u64("threads", threads as u64)
         .with_u64("chunks", n_chunks as u64);
-    // Spawned workers live on fresh threads with empty span stacks; handing
-    // them the fork span's id keeps the trace tree connected across the join.
+    // Pool workers run with empty span stacks; handing them the fork span's
+    // id keeps the trace tree connected across the join.
     let fork_id = _fork.id();
-    std::thread::scope(|s| {
-        let run_range = &run_range;
-        let handles: Vec<_> = (1..threads)
-            .map(|w| {
-                let (lo, hi) = split_range(n_chunks, threads, w);
-                s.spawn(move || {
-                    tele::adopt_parent(fork_id);
-                    let _t = tele::span("pool.worker.ns")
-                        .with_u64("worker", w as u64)
-                        .with_u64("lo", lo as u64)
-                        .with_u64("hi", hi as u64);
-                    tele::counter_add("pool.tasks", (hi - lo) as u64);
-                    run_range(lo, hi)
-                })
-            })
-            .collect();
-        // The calling thread computes worker 0's range while the pool runs.
-        let (lo, hi) = split_range(n_chunks, threads, 0);
-        let _t = tele::span("pool.worker.ns")
-            .with_u64("worker", 0)
-            .with_u64("lo", lo as u64)
-            .with_u64("hi", hi as u64);
+    let mut slots: Slots<Result<Vec<T>, String>> = Slots::new(threads);
+    let runner = |range: usize| {
+        let (lo, hi) = split_range(n_chunks, threads, range);
         tele::counter_add("pool.tasks", (hi - lo) as u64);
-        let mine = run_range(lo, hi);
+        slots.set(range, run_range(lo, hi));
+    };
+    pool::run_job(threads, fork_id, &runner);
+    collect_ranges(&mut slots, threads, n_chunks)
+}
 
-        // Join every worker before reporting, so no thread outlives the
-        // error path; the lowest worker index wins for determinism.
-        let mut partials = vec![mine];
-        for h in handles {
-            partials.push(h.join().expect("contained worker cannot unwind"));
-        }
-        let mut out = Vec::with_capacity(n_chunks);
-        for (worker, partial) in partials.into_iter().enumerate() {
-            match partial {
-                Ok(items) => out.extend(items),
-                Err(message) => {
-                    tele::counter_inc("pool.worker.panics");
-                    return Err(PoolError { worker, message });
-                }
+/// Fold the per-range slots of a finished map job in range order; the
+/// lowest failing range index wins for determinism.
+fn collect_ranges<T>(
+    slots: &mut Slots<Result<Vec<T>, String>>,
+    threads: usize,
+    n_chunks: usize,
+) -> Result<Vec<T>, PoolError> {
+    let mut out = Vec::with_capacity(n_chunks);
+    for range in 0..threads {
+        match slots.take(range) {
+            Some(Ok(items)) => out.extend(items),
+            Some(Err(message)) => {
+                tele::counter_inc("pool.worker.panics");
+                return Err(PoolError {
+                    worker: range,
+                    message,
+                });
+            }
+            // Unreachable in practice (every claimed range writes its
+            // slot, even on a contained panic); fail closed regardless.
+            None => {
+                tele::counter_inc("pool.worker.panics");
+                return Err(PoolError {
+                    worker: range,
+                    message: "pool worker produced no result".to_string(),
+                });
             }
         }
-        Ok(out)
-    })
+    }
+    Ok(out)
 }
 
 /// Apply `f(part_idx, &mut part)` to every element of `parts` using up to
@@ -227,7 +309,7 @@ where
 /// is visited exactly once and parts never alias, so `f` may mutate freely.
 ///
 /// `threads <= 1` (or fewer than two parts) runs on the calling thread with
-/// no spawn. A panic in any worker propagates to the caller.
+/// no fork. A panic in any worker propagates to the caller.
 pub fn for_each_part<T, F>(parts: &mut [T], threads: usize, f: F)
 where
     T: Send,
@@ -240,8 +322,8 @@ where
 
 /// [`for_each_part`] with worker-panic containment (see [`try_map_chunks`]).
 ///
-/// On `Err` the parts owned by non-panicking workers have been fully
-/// processed and the panicking worker's parts may be partially mutated —
+/// On `Err` the parts owned by non-panicking ranges have been fully
+/// processed and the panicking range's parts may be partially mutated —
 /// callers that need transactional semantics must discard the buffer.
 pub fn try_for_each_part<T, F>(parts: &mut [T], threads: usize, f: F) -> Result<(), PoolError>
 where
@@ -250,70 +332,70 @@ where
 {
     let n = parts.len();
     let threads = threads.clamp(1, n.max(1));
-    let run_range = |lo: usize, mine: &mut [T]| -> Result<(), String> {
-        catch_unwind(AssertUnwindSafe(|| {
+    if threads <= 1 {
+        return catch_unwind(AssertUnwindSafe(|| {
+            worker_failpoint();
+            for (i, p) in parts.iter_mut().enumerate() {
+                f(i, p);
+            }
+        }))
+        .map_err(|p| PoolError {
+            worker: 0,
+            message: payload_message(p.as_ref()),
+        });
+    }
+    tele::counter_inc("pool.jobs");
+    let _fork = tele::span("pool.fork.ns")
+        .with_u64("threads", threads as u64)
+        .with_u64("parts", n as u64);
+    let fork_id = _fork.id();
+    let base = SendPtr(parts.as_mut_ptr());
+    let mut slots: Slots<Result<(), String>> = Slots::new(threads);
+    let runner = |range: usize| {
+        let (lo, hi) = split_range(n, threads, range);
+        // SAFETY: ranges partition `0..n`, so these sub-slices are
+        // disjoint; the borrow of `parts` is inactive until the job
+        // completes.
+        let mine = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+        tele::counter_add("pool.tasks", mine.len() as u64);
+        let res = catch_unwind(AssertUnwindSafe(|| {
             worker_failpoint();
             for (i, p) in mine.iter_mut().enumerate() {
                 f(lo + i, p);
             }
         }))
-        .map_err(|p| payload_message(p.as_ref()))
+        .map_err(|p| payload_message(p.as_ref()));
+        slots.set(range, res);
     };
-    if threads <= 1 {
-        return run_range(0, parts).map_err(|message| PoolError { worker: 0, message });
-    }
-    tele::counter_inc("pool.forks");
-    tele::gauge_set("pool.threads", threads as f64);
-    let _fork = tele::span("pool.fork.ns")
-        .with_u64("threads", threads as u64)
-        .with_u64("parts", n as u64);
-    let fork_id = _fork.id();
-    std::thread::scope(|s| {
-        let run_range = &run_range;
-        // Peel contiguous ranges off the slice; the calling thread keeps
-        // range 0 and computes it while the pool runs the rest.
-        let (head, mut rest) = parts.split_at_mut(split_range(n, threads, 0).1);
-        let handles: Vec<_> = (1..threads)
-            .map(|w| {
-                let (lo, hi) = split_range(n, threads, w);
-                let (mine, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
-                rest = tail;
-                s.spawn(move || {
-                    tele::adopt_parent(fork_id);
-                    let _t = tele::span("pool.worker.ns")
-                        .with_u64("worker", w as u64)
-                        .with_u64("lo", lo as u64)
-                        .with_u64("hi", hi as u64);
-                    tele::counter_add("pool.tasks", mine.len() as u64);
-                    run_range(lo, mine)
-                })
-            })
-            .collect();
-        assert!(rest.is_empty(), "range partition must cover all parts");
-        let _t = tele::span("pool.worker.ns")
-            .with_u64("worker", 0)
-            .with_u64("lo", 0)
-            .with_u64("hi", head.len() as u64);
-        tele::counter_add("pool.tasks", head.len() as u64);
-        let mine = run_range(0, head);
-
-        let mut results = vec![mine];
-        for h in handles {
-            results.push(h.join().expect("contained worker cannot unwind"));
-        }
-        for (worker, result) in results.into_iter().enumerate() {
-            if let Err(message) = result {
+    pool::run_job(threads, fork_id, &runner);
+    for range in 0..threads {
+        match slots.take(range) {
+            Some(Ok(())) => {}
+            Some(Err(message)) => {
                 tele::counter_inc("pool.worker.panics");
-                return Err(PoolError { worker, message });
+                return Err(PoolError {
+                    worker: range,
+                    message,
+                });
+            }
+            None => {
+                tele::counter_inc("pool.worker.panics");
+                return Err(PoolError {
+                    worker: range,
+                    message: "pool worker produced no result".to_string(),
+                });
             }
         }
-        Ok(())
-    })
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serialises tests that touch the global [`set_thread_cap`] override.
+    static CAP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn split_range_covers_everything_once() {
@@ -415,6 +497,7 @@ mod tests {
 
     #[test]
     fn effective_threads_respects_min_work() {
+        let _cap = CAP_LOCK.lock().unwrap();
         // With a huge per-thread minimum only one thread qualifies.
         assert_eq!(effective_threads(100, usize::MAX), 1);
         // Zero minimum means "use the ceiling".
@@ -425,8 +508,55 @@ mod tests {
     }
 
     #[test]
+    fn thread_cap_overrides_the_ceiling() {
+        let _cap = CAP_LOCK.lock().unwrap();
+        set_thread_cap(3);
+        assert_eq!(current_threads(), 3);
+        assert_eq!(effective_threads(1000, 1), 3);
+        set_thread_cap(0);
+        assert_eq!(current_threads(), max_threads());
+    }
+
+    #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_threads_are_persistent_and_named() {
+        // Two forks must reuse the same pool: collect the executing thread
+        // names and assert every non-caller thread is a pool worker (the
+        // PR 1 scoped threads were unnamed and died after every call), and
+        // that the pool's width is bounded by the request.
+        let me = std::thread::current().name().map(str::to_string);
+        for _ in 0..2 {
+            let names = map_chunks(16, 4, |_| std::thread::current().name().map(str::to_string));
+            for name in names {
+                assert!(
+                    name.as_deref()
+                        .is_some_and(|n| n.starts_with("gmreg-pool-"))
+                        || name == me,
+                    "unexpected executor {name:?}"
+                );
+            }
+        }
+        assert!(pool_width() >= 1, "a fork must have spawned the pool");
+        assert!(pool_width() <= super::pool::MAX_WORKERS);
+    }
+
+    #[test]
+    fn nested_forks_complete_without_deadlock() {
+        // A job whose ranges fork again: the inner jobs are submitted from
+        // pool workers (own-deque path + ref retraction) and from the
+        // caller. Everything must drain.
+        let mut parts: Vec<u64> = vec![0; 6];
+        for_each_part(&mut parts, 3, |idx, p| {
+            let inner: u64 = map_chunks(8, 2, |i| (i + idx) as u64).into_iter().sum();
+            *p = inner;
+        });
+        for (idx, p) in parts.iter().enumerate() {
+            assert_eq!(*p, (0..8u64).map(|i| i + idx as u64).sum::<u64>());
+        }
     }
 
     #[test]
@@ -451,6 +581,21 @@ mod tests {
     }
 
     #[test]
+    fn pool_survives_contained_panics() {
+        // A panicking job must not cost the pool a worker: the same
+        // thread count keeps working afterwards, repeatedly.
+        for round in 0..4 {
+            let _ = try_map_chunks(16, 4, |i| {
+                if i % 5 == round {
+                    panic!("round {round}");
+                }
+                i
+            });
+            assert_eq!(map_chunks(16, 4, |i| i).len(), 16, "round {round}");
+        }
+    }
+
+    #[test]
     fn try_for_each_part_contains_worker_panic_and_joins_all() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         for threads in [1, 2, 4] {
@@ -466,7 +611,7 @@ mod tests {
             .unwrap_err();
             assert!(err.message.contains("part 5 poisoned"), "threads={threads}");
             // Parts before the faulting index in the same range are always
-            // processed, and the fork-join fully joined (nothing hung).
+            // processed, and the join completed (nothing hung).
             assert!(visited.load(Ordering::Relaxed) >= 5, "threads={threads}");
         }
     }
@@ -497,7 +642,8 @@ mod tests {
         let err = try_map_chunks(8, 2, |i| i).unwrap_err();
         assert!(err.message.contains("injected fault: pool.worker"));
         gmreg_faults::reset();
-        // Once disarmed the same call succeeds.
+        // Once disarmed the same call succeeds — the pool replaced nothing
+        // and lost nothing.
         assert_eq!(try_map_chunks(8, 2, |i| i).unwrap().len(), 8);
     }
 

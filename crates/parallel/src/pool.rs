@@ -1,0 +1,464 @@
+//! The long-lived work-stealing pool behind the fork-join primitives.
+//!
+//! PR 1's fork-join spawned fresh scoped threads on every call; at Fig. 3
+//! scale that is tens of thousands of spawns per training run. This module
+//! replaces it with a process-wide pool that is:
+//!
+//! * **lazy** — no thread exists until the first real fork. Serial builds
+//!   and `threads <= 1` calls never touch it, so `--no-default-features`
+//!   consumers and small problems stay spawn-free.
+//! * **work-stealing** — every worker owns a deque. Jobs submitted from
+//!   non-worker threads spread their participation tokens round-robin over
+//!   the deques; a nested job submitted from inside a worker pushes to
+//!   that worker's own deque. Idle workers pop their own deque front,
+//!   then the shared injector, then steal from the backs of their peers'
+//!   deques (counted as `pool.steals`).
+//! * **parked when idle** — workers sleep on a condvar between jobs and
+//!   are woken by submissions; an `epoch` counter bumped under the state
+//!   lock on every submission closes the classic lost-wakeup race (a
+//!   worker only parks if the epoch is unchanged since its last scan).
+//! * **deterministic in its reduction order** — the pool distributes
+//!   *range claims*, not results. A job still splits into exactly
+//!   `threads` contiguous ranges whose partials the caller folds in
+//!   range-index order, so scheduling cannot perturb float reductions
+//!   and `e_step` stays bit-identical at every thread count.
+//! * **cleanly shut down** — the first spawn registers a C `atexit` hook
+//!   (no dependencies) that signals and joins every worker before the
+//!   process exits.
+//!
+//! ## Participation tokens and the completion protocol
+//!
+//! A [`Job`] lives on the **caller's stack**; workers reach it through a
+//! lifetime-erased pointer. A job with `n_ranges` ranges queues
+//! `n_refs = min(n_ranges - 1, width)` **tokens**. `pending` starts at
+//! `n_ranges + n_refs`: every completed range and every released token
+//! decrements it, and the decrement that reaches zero unparks the caller.
+//! `run_job` returns only at zero, so no worker can touch the job — or
+//! the borrowed closure behind it — after the call returns. (The `Thread`
+//! handle is cloned *before* the final decrement: the caller may return
+//! the instant `pending` hits zero, after which the job memory is gone.)
+//!
+//! A token admits **one distinct worker** to the job (enforced by a
+//! participant bitmap — a worker that pops a second token of the same job
+//! re-queues it for a peer). Each admitted worker emits exactly one
+//! `pool.worker.ns` span and then claims ranges from the shared atomic
+//! cursor until the job is dry; the caller does the same under its own
+//! span. Range distribution is therefore fully dynamic — whichever
+//! participant is free takes the next range — while the *observable
+//! shape* of a fork (one span per participant, `1 + n_refs` participants)
+//! is deterministic, which keeps the trace-replay guarantees of the
+//! observability suite intact on a pool whose scheduling is not.
+//!
+//! Workers flush their telemetry ring *before* releasing their token:
+//! a persistent worker has no thread-exit flush (PR 1's scoped threads
+//! did), and the caller may snapshot the registry the moment the join
+//! completes.
+//!
+//! A nested (worker-initiated) job retracts its still-queued tokens once
+//! the submitting worker has drained the ranges itself, instead of
+//! waiting for busy peers — two workers forking into each other could
+//! otherwise deadlock waiting for tokens neither can service.
+
+use crate::tele;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::Thread;
+
+/// Hard ceiling on spawned workers (also the participant-bitmap width).
+/// The pool grows to the largest width any job has requested, but never
+/// past this; ranges beyond the width are simply multiplexed over the
+/// existing workers plus the caller.
+pub(crate) const MAX_WORKERS: usize = 64;
+
+thread_local! {
+    /// `Some(index)` on pool worker threads, `None` everywhere else.
+    static WORKER_ID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// One fork-join job: a lifetime-erased range runner plus the claim and
+/// completion state. Stack-allocated by [`run_job`].
+struct Job {
+    /// Runs one range by index. Erased to `'static`; soundness comes from
+    /// the `pending` protocol (see module docs).
+    run: &'static (dyn Fn(usize) + Sync),
+    /// Ranges `0..n_ranges` are claimable through `next`.
+    n_ranges: usize,
+    /// Next unclaimed range (values at or past `n_ranges` mean done).
+    next: AtomicUsize,
+    /// Unfinished ranges + outstanding tokens.
+    pending: AtomicUsize,
+    /// Bit `i` set once worker `i` holds or has held a token of this job.
+    participants: AtomicU64,
+    /// Unparked when `pending` reaches zero.
+    caller: Thread,
+    /// The fork span's id; participants adopt it so their spans stay
+    /// linked to the caller's trace tree.
+    fork_id: u64,
+}
+
+impl Job {
+    /// Claim the next range, if any remain.
+    fn claim(&self) -> Option<usize> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        (idx < self.n_ranges).then_some(idx)
+    }
+
+    /// Admit worker `me` to the job; `false` if it already participated
+    /// (its token must go to a different worker).
+    fn try_admit(&self, me: usize) -> bool {
+        let bit = 1u64 << me;
+        self.participants.fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// Decrement `pending`; the decrement that reaches zero unparks the
+    /// caller. The `Thread` clone must happen first — the caller may
+    /// return (freeing this job) the instant the counter hits zero.
+    fn finish_one(&self) {
+        let caller = self.caller.clone();
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            caller.unpark();
+        }
+    }
+}
+
+/// Decrements one `pending` unit on drop, so a range claim is paid back
+/// even if the runner unwinds.
+struct RangeGuard<'a>(&'a Job);
+
+impl Drop for RangeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.finish_one();
+    }
+}
+
+/// A queued participation token for an in-flight job. Plain pointer copy;
+/// validity is guaranteed by the `pending` protocol.
+#[derive(Clone, Copy)]
+struct JobRef(*const Job);
+
+// SAFETY: the pointee outlives every queued token (each token is counted
+// in `pending`, and the owning `run_job` frame does not return until
+// `pending` is zero). Workers only use the pointer to claim ranges and
+// decrement counters, all of which are atomic.
+unsafe impl Send for JobRef {}
+
+struct State {
+    /// Re-queued tokens (and nothing else in steady state): any worker
+    /// may take them.
+    injector: VecDeque<JobRef>,
+    /// One deque per worker; tokens are dealt round-robin onto these and
+    /// idle workers steal from the backs of their peers'.
+    deques: Vec<Arc<Mutex<VecDeque<JobRef>>>>,
+    /// Round-robin cursor for dealing tokens.
+    deal: usize,
+    /// Bumped under the lock on every submission; parks compare it.
+    epoch: u64,
+    shutdown: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Pool {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    width: AtomicUsize,
+}
+
+/// The process-wide pool, created on first use (no threads yet).
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            injector: VecDeque::new(),
+            deques: Vec::new(),
+            deal: 0,
+            epoch: 0,
+            shutdown: false,
+            handles: Vec::new(),
+        }),
+        work_cv: Condvar::new(),
+        width: AtomicUsize::new(0),
+    })
+}
+
+/// Number of live pool workers (0 until the first fork).
+pub(crate) fn width() -> usize {
+    pool().width.load(Ordering::Acquire)
+}
+
+/// Run `run(range_idx)` for every range in `0..n_ranges`, distributing
+/// ranges over the pool workers and the calling thread, and return once
+/// every range has finished and no worker holds a token for the job.
+///
+/// Requires `n_ranges >= 2` (the `threads <= 1` case never reaches the
+/// pool). The closure must not unwind — callers wrap the user function in
+/// `catch_unwind` and report panics through their result slots.
+pub(crate) fn run_job(n_ranges: usize, fork_id: u64, run: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(n_ranges >= 2, "serial jobs must not reach the pool");
+    let p = pool();
+    let caller_is_worker = WORKER_ID.with(|w| w.get().is_some());
+    let width = p.ensure_width((n_ranges - 1).min(MAX_WORKERS));
+    let n_refs = (n_ranges - 1).min(width);
+
+    // SAFETY: `run` outlives this frame; the frame does not return until
+    // `pending` is zero, i.e. until no queued or held token remains.
+    let run_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(run) };
+    let job = Job {
+        run: run_static,
+        n_ranges,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(n_ranges + n_refs),
+        participants: AtomicU64::new(0),
+        caller: std::thread::current(),
+        fork_id,
+    };
+    p.submit(JobRef(&job), n_refs, caller_is_worker);
+
+    // The caller participates like any admitted worker: one span, then
+    // dynamic range claims against the shared cursor.
+    {
+        let span = tele::span("pool.worker.ns").with_u64("worker", 0);
+        let mut claimed = 0u64;
+        while let Some(idx) = job.claim() {
+            let _g = RangeGuard(&job);
+            (job.run)(idx);
+            claimed += 1;
+        }
+        drop(span.with_u64("ranges", claimed));
+    }
+
+    if caller_is_worker {
+        // Nested job: peers may all be busy, so reclaim the tokens still
+        // sitting in queues instead of waiting for them. Tokens already
+        // popped are actively held and will be released promptly.
+        let removed = p.retract(&job);
+        for _ in 0..removed {
+            job.finish_one();
+        }
+    }
+
+    while job.pending.load(Ordering::Acquire) > 0 {
+        // `unpark` tokens make a bare `park` safe here; the timeout is
+        // pure defense in depth.
+        std::thread::park_timeout(std::time::Duration::from_millis(2));
+    }
+}
+
+impl Pool {
+    /// Grow the pool to `target` workers (capped at [`MAX_WORKERS`]);
+    /// returns the resulting width.
+    fn ensure_width(&self, target: usize) -> usize {
+        let target = target.min(MAX_WORKERS);
+        let cur = self.width.load(Ordering::Acquire);
+        if cur >= target {
+            return cur;
+        }
+        let mut st = self.state.lock().expect("pool state");
+        if st.shutdown {
+            return st.deques.len();
+        }
+        while st.deques.len() < target {
+            let me = st.deques.len();
+            st.deques.push(Arc::new(Mutex::new(VecDeque::new())));
+            let handle = std::thread::Builder::new()
+                .name(format!("gmreg-pool-{me}"))
+                .spawn(move || worker_main(pool(), me))
+                .expect("spawn pool worker");
+            st.handles.push(handle);
+        }
+        let w = st.deques.len();
+        drop(st);
+        self.width.store(w, Ordering::Release);
+        tele::gauge_set("pool.width", w as f64);
+        register_shutdown_hook();
+        w
+    }
+
+    /// Queue `n_refs` tokens for the job and wake the workers: dealt
+    /// round-robin over the worker deques for a non-worker caller, pushed
+    /// onto the submitting worker's own deque for a nested job.
+    fn submit(&self, jref: JobRef, n_refs: usize, from_worker: bool) {
+        if n_refs == 0 {
+            return;
+        }
+        let own = from_worker.then(|| WORKER_ID.with(|w| w.get())).flatten();
+        let mut st = self.state.lock().expect("pool state");
+        match own {
+            Some(me) => {
+                let deque = st.deques[me].clone();
+                let mut d = deque.lock().expect("worker deque");
+                for _ in 0..n_refs {
+                    d.push_back(jref);
+                }
+            }
+            None => {
+                for _ in 0..n_refs {
+                    let at = st.deal % st.deques.len();
+                    st.deal = st.deal.wrapping_add(1);
+                    let deque = st.deques[at].clone();
+                    deque.lock().expect("worker deque").push_back(jref);
+                }
+            }
+        }
+        st.epoch += 1;
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    /// Push one token back for a different worker to take (the popper
+    /// already participated in its job). Goes to the shared injector and
+    /// re-signals, so no peer can miss it.
+    fn requeue(&self, jref: JobRef) {
+        let mut st = self.state.lock().expect("pool state");
+        st.injector.push_back(jref);
+        st.epoch += 1;
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    /// Remove every queued token of `job`; returns how many were removed.
+    /// Used by nested (worker-initiated) jobs to avoid waiting on busy
+    /// peers.
+    fn retract(&self, job: &Job) -> usize {
+        let target: *const Job = job;
+        let mut removed = 0usize;
+        let deques = {
+            let mut st = self.state.lock().expect("pool state");
+            let before = st.injector.len();
+            st.injector.retain(|r| !std::ptr::eq(r.0, target));
+            removed += before - st.injector.len();
+            st.deques.clone()
+        };
+        for deque in deques {
+            let mut d = deque.lock().expect("worker deque");
+            let before = d.len();
+            d.retain(|r| !std::ptr::eq(r.0, target));
+            removed += before - d.len();
+        }
+        removed
+    }
+
+    /// Pop work for worker `me`: own deque first, then the injector, then
+    /// steal from peers. Parks when everything is empty; returns `None`
+    /// on shutdown. The boolean is `true` for a steal.
+    fn find_work(&self, me: usize) -> Option<(JobRef, bool)> {
+        loop {
+            let (epoch, own, peers) = {
+                let st = self.state.lock().expect("pool state");
+                if st.shutdown {
+                    return None;
+                }
+                (st.epoch, st.deques[me].clone(), st.deques.clone())
+            };
+            if let Some(j) = own.lock().expect("worker deque").pop_front() {
+                return Some((j, false));
+            }
+            {
+                let mut st = self.state.lock().expect("pool state");
+                if let Some(j) = st.injector.pop_front() {
+                    return Some((j, false));
+                }
+            }
+            for k in 1..peers.len() {
+                let victim = (me + k) % peers.len();
+                if let Some(j) = peers[victim].lock().expect("worker deque").pop_back() {
+                    return Some((j, true));
+                }
+            }
+            let st = self.state.lock().expect("pool state");
+            if st.shutdown {
+                return None;
+            }
+            if st.epoch == epoch {
+                // Nothing was submitted since the scan began: sleep until
+                // the next submission (or shutdown) bumps the condvar.
+                let _unused = self.work_cv.wait(st).expect("pool condvar");
+            }
+        }
+    }
+
+    /// Signal shutdown and join every worker. Idempotent; called from the
+    /// `atexit` hook (and from nothing else in normal operation).
+    fn shutdown(&self) {
+        let handles = {
+            let mut st = self.state.lock().expect("pool state");
+            st.shutdown = true;
+            st.epoch += 1;
+            std::mem::take(&mut st.handles)
+        };
+        self.work_cv.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker thread body: pop a token, work the job dry under one span,
+/// flush telemetry, release the token, repeat. A panic escaping a job is
+/// contained here and counted as `pool.workers.replaced` — the worker
+/// re-enters service immediately (a logical replacement on the same OS
+/// thread), so one poisoned job cannot shrink the pool.
+fn worker_main(p: &'static Pool, me: usize) {
+    WORKER_ID.with(|w| w.set(Some(me)));
+    while let Some((jref, stolen)) = p.find_work(me) {
+        // SAFETY: a popped token is counted in `pending`, so the job is
+        // alive until `finish_one` below releases it.
+        let job = unsafe { &*jref.0 };
+        if !job.try_admit(me) {
+            // Already participated: this token belongs to a peer. Requeue
+            // and give the scheduler a chance to run that peer before we
+            // scan again (it re-signals, so nothing is lost).
+            p.requeue(jref);
+            std::thread::yield_now();
+            continue;
+        }
+        if stolen {
+            tele::counter_inc("pool.steals");
+        }
+        tele::adopt_parent(job.fork_id);
+        {
+            let span = tele::span("pool.worker.ns").with_u64("worker", me as u64 + 1);
+            let mut claimed = 0u64;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                while let Some(idx) = job.claim() {
+                    let _g = RangeGuard(job);
+                    (job.run)(idx);
+                    claimed += 1;
+                }
+            }));
+            if outcome.is_err() {
+                tele::counter_inc("pool.workers.replaced");
+            }
+            drop(span.with_u64("ranges", claimed));
+        }
+        tele::adopt_parent(0);
+        // Drain this thread's span ring into the process registry *before*
+        // releasing the token: the caller may snapshot the registry the
+        // moment the job completes, and a persistent worker (unlike PR 1's
+        // scoped threads) has no thread-exit flush to rely on.
+        tele::flush();
+        job.finish_one();
+    }
+    tele::flush();
+}
+
+/// Register the process-exit shutdown hook exactly once. `atexit` is C89,
+/// present in every libc and the Windows CRT, so this stays dependency-free.
+fn register_shutdown_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        extern "C" fn pool_shutdown_at_exit() {
+            pool().shutdown();
+        }
+        extern "C" {
+            fn atexit(cb: extern "C" fn()) -> core::ffi::c_int;
+        }
+        // SAFETY: registering a no-argument C function pointer with the
+        // C runtime; the hook only touches process-static state.
+        unsafe {
+            atexit(pool_shutdown_at_exit);
+        }
+    });
+}

@@ -24,6 +24,7 @@ mod ops;
 mod random;
 mod reduce;
 mod shape;
+pub mod simd;
 mod tele;
 mod tensor;
 
@@ -31,4 +32,5 @@ pub use error::{Result, TensorError};
 pub use matmul::matmul_naive;
 pub use random::{shuffled_indices, SampleExt};
 pub use shape::Shape;
+pub use simd::{set_simd_enabled, simd_enabled, simd_supported};
 pub use tensor::Tensor;

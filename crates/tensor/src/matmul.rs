@@ -1,10 +1,12 @@
 //! Matrix multiplication kernels.
 //!
-//! `matmul` uses a cache-blocked i-k-j loop order over contiguous rows, which
-//! keeps the inner loop a vectorizable fused multiply-add over the output
-//! row. The `_tn` / `_nt` variants multiply with one operand logically
-//! transposed without materializing the transpose, which is exactly what the
-//! dense-layer backward pass needs.
+//! `matmul` uses a cache-blocked i-k-j loop order over contiguous rows; the
+//! inner loop is an explicit eight-wide SIMD multiply-add over the output
+//! row ([`crate::simd`]), register-tiled four k-steps deep, with a scalar
+//! mirror that produces identical bits on CPUs without AVX2. The `_tn` /
+//! `_nt` variants multiply with one operand logically transposed without
+//! materializing the transpose, which is exactly what the dense-layer
+//! backward pass needs.
 //!
 //! Every kernel is written as a *band* kernel computing a contiguous range of
 //! output rows. The serial entry points run one band covering the whole
@@ -15,6 +17,7 @@
 //! serial one for every thread count.
 
 use crate::error::{Result, TensorError};
+use crate::simd;
 use crate::tele;
 use crate::tensor::Tensor;
 use core::ops::Range;
@@ -51,8 +54,12 @@ fn check_inner(a: &Tensor, b: &Tensor, ka: usize, kb: usize, op: &'static str) -
     Ok(())
 }
 
-/// Rows `rows` of `C = A · B`, cache-blocked, written into `c_band`
-/// (`rows.len() * n` elements).
+/// Rows `rows` of `C = A · B`, cache-blocked and register-tiled, written
+/// into `c_band` (`rows.len() * n` elements). The k dimension advances four
+/// steps per `c`-row pass ([`simd::axpy4`]) so each output vector is loaded
+/// and stored once per quad; per output element the accumulation is still
+/// one multiply-add per ascending `k`, which keeps every band partition and
+/// both SIMD dispatch targets bit-identical.
 fn matmul_band(a: &[f32], b: &[f32], ka: usize, n: usize, rows: Range<usize>, c_band: &mut [f32]) {
     let lo = rows.start;
     for i0 in (rows.start..rows.end).step_by(BLOCK) {
@@ -61,12 +68,27 @@ fn matmul_band(a: &[f32], b: &[f32], ka: usize, n: usize, rows: Range<usize>, c_
             let k1 = (k0 + BLOCK).min(ka);
             for i in i0..i1 {
                 let c_row = &mut c_band[(i - lo) * n..(i - lo + 1) * n];
-                for k in k0..k1 {
-                    let aik = a[i * ka + k];
-                    let b_row = &b[k * n..(k + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * bv;
-                    }
+                let mut k = k0;
+                while k + 4 <= k1 {
+                    simd::axpy4(
+                        c_row,
+                        [
+                            a[i * ka + k],
+                            a[i * ka + k + 1],
+                            a[i * ka + k + 2],
+                            a[i * ka + k + 3],
+                        ],
+                        [
+                            &b[k * n..(k + 1) * n],
+                            &b[(k + 1) * n..(k + 2) * n],
+                            &b[(k + 2) * n..(k + 3) * n],
+                            &b[(k + 3) * n..(k + 4) * n],
+                        ],
+                    );
+                    k += 4;
+                }
+                for k in k..k1 {
+                    simd::axpy(c_row, a[i * ka + k], &b[k * n..(k + 1) * n]);
                 }
             }
         }
@@ -84,19 +106,46 @@ fn matmul_tn_band(
     rows: Range<usize>,
     c_band: &mut [f32],
 ) {
-    for k in 0..ka {
+    let n_rows = rows.len();
+    let mut k = 0;
+    // Four k-steps per pass so each c-row is loaded/stored once per quad;
+    // per element this is still one multiply-add per ascending k.
+    while k + 4 <= ka {
+        let b_quad = [
+            &b[k * n..(k + 1) * n],
+            &b[(k + 1) * n..(k + 2) * n],
+            &b[(k + 2) * n..(k + 3) * n],
+            &b[(k + 3) * n..(k + 4) * n],
+        ];
+        for bi in 0..n_rows {
+            let i = rows.start + bi;
+            let c_row = &mut c_band[bi * n..(bi + 1) * n];
+            simd::axpy4(
+                c_row,
+                [
+                    a[k * m + i],
+                    a[(k + 1) * m + i],
+                    a[(k + 2) * m + i],
+                    a[(k + 3) * m + i],
+                ],
+                b_quad,
+            );
+        }
+        k += 4;
+    }
+    for k in k..ka {
         let a_row = &a[k * m..(k + 1) * m];
         let b_row = &b[k * n..(k + 1) * n];
         for (bi, &av) in a_row[rows.clone()].iter().enumerate() {
             let c_row = &mut c_band[bi * n..(bi + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
+            simd::axpy(c_row, av, b_row);
         }
     }
 }
 
-/// Rows `rows` of `C = A · Bᵀ` (A is (m, k), B is (n, k)): row-dot products.
+/// Rows `rows` of `C = A · Bᵀ` (A is (m, k), B is (n, k)): row-dot products
+/// with [`simd::dot`]'s fixed eight-lane reduction (identical bits on both
+/// dispatch targets and for every band partition).
 fn matmul_nt_band(
     a: &[f32],
     b: &[f32],
@@ -109,12 +158,7 @@ fn matmul_nt_band(
         let a_row = &a[i * ka..(i + 1) * ka];
         let c_row = &mut c_band[bi * n..(bi + 1) * n];
         for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * ka..(j + 1) * ka];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *cv = acc;
+            *cv = simd::dot(a_row, &b[j * ka..(j + 1) * ka]);
         }
     }
 }

@@ -1,0 +1,330 @@
+//! Runtime-dispatched SIMD kernels for the matrix-product hot loops.
+//!
+//! Every kernel here has two implementations with **bit-identical** IEEE-754
+//! semantics: an AVX2 path built on `core::arch` intrinsics and a portable
+//! scalar mirror that performs the exact same operations in the exact same
+//! order. The vector paths never use fused multiply-add — each lane does a
+//! rounded multiply followed by a rounded add, exactly like the scalar
+//! mirror — so dispatching on CPU features can never change a result bit.
+//!
+//! Dispatch is decided once per process: AVX2 is probed with
+//! `is_x86_feature_detected!` on x86_64 (other targets always take the
+//! scalar mirror) and the `GMREG_SIMD` environment variable (`0` or `off`)
+//! force-disables the vector paths. Tests and benches can pin either path
+//! with [`set_simd_enabled`].
+//!
+//! The dot-product kernel defines its reduction as eight interleaved lane
+//! accumulators folded by a fixed binary tree, with the `len % 8` tail added
+//! sequentially afterwards. The scalar mirror implements that same shape, so
+//! the two agree bitwise even though the reduction is not the naive
+//! sequential sum.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Vector width of the f32 kernels (AVX2 ymm register).
+pub const LANES: usize = 8;
+
+/// Tri-state runtime override: 0 = auto, 1 = force scalar, 2 = force vector
+/// (still subject to CPU support).
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Pin the dispatch for tests and benches: `Some(false)` forces the scalar
+/// mirrors, `Some(true)` requests the vector paths (still requires CPU
+/// support), `None` restores automatic dispatch.
+pub fn set_simd_enabled(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    OVERRIDE.store(v, Ordering::Release);
+}
+
+/// True when the running CPU supports the AVX2 paths.
+pub fn simd_supported() -> bool {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+fn env_allows_simd() -> bool {
+    static ALLOWED: OnceLock<bool> = OnceLock::new();
+    *ALLOWED.get_or_init(|| {
+        !matches!(
+            std::env::var("GMREG_SIMD").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// True when the vector paths are taken for the next kernel call.
+pub fn simd_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Acquire) {
+        1 => false,
+        2 => simd_supported(),
+        _ => simd_supported() && env_allows_simd(),
+    }
+}
+
+/// `c[j] += a * b[j]` over the common prefix of `c` and `b`.
+///
+/// Multiply-then-add per element in index order; the vector path is the
+/// same computation eight lanes at a time, so the two are bit-identical.
+#[inline]
+pub fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: AVX2 support was verified by `simd_enabled`.
+        unsafe { axpy_avx2(c, a, b) };
+        return;
+    }
+    axpy_scalar(c, a, b);
+}
+
+/// Scalar mirror of [`axpy`].
+#[inline]
+pub fn axpy_scalar(c: &mut [f32], a: f32, b: &[f32]) {
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv += a * bv;
+    }
+}
+
+/// AVX2 path of [`axpy`]. Bit-identical to [`axpy_scalar`]: `vmulps` +
+/// `vaddps` round exactly like the scalar multiply and add.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy_avx2(c: &mut [f32], a: f32, b: &[f32]) {
+    use core::arch::x86_64::*;
+    let n = c.len().min(b.len());
+    let av = _mm256_set1_ps(a);
+    let mut j = 0;
+    while j + LANES <= n {
+        let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+        let cv = _mm256_loadu_ps(c.as_ptr().add(j));
+        let out = _mm256_add_ps(cv, _mm256_mul_ps(av, bv));
+        _mm256_storeu_ps(c.as_mut_ptr().add(j), out);
+        j += LANES;
+    }
+    axpy_scalar(&mut c[j..n], a, &b[j..n]);
+}
+
+/// Register-tiled quad update `c[j] += a0·b0[j]; c[j] += a1·b1[j]; …` over
+/// four source rows at once: `c` is loaded and stored once per vector while
+/// the four multiply-adds stay in registers. The per-element operation
+/// sequence is exactly four consecutive [`axpy`] calls, so this is
+/// bit-identical to them (and to the scalar mirror) while touching memory
+/// four times less.
+#[inline]
+pub fn axpy4(c: &mut [f32], a: [f32; 4], b: [&[f32]; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: AVX2 support was verified by `simd_enabled`.
+        unsafe { axpy4_avx2(c, a, b) };
+        return;
+    }
+    axpy4_scalar(c, a, b);
+}
+
+/// Scalar mirror of [`axpy4`].
+#[inline]
+pub fn axpy4_scalar(c: &mut [f32], a: [f32; 4], b: [&[f32]; 4]) {
+    let n = c
+        .len()
+        .min(b[0].len())
+        .min(b[1].len())
+        .min(b[2].len())
+        .min(b[3].len());
+    for (j, cv) in c[..n].iter_mut().enumerate() {
+        *cv += a[0] * b[0][j];
+        *cv += a[1] * b[1][j];
+        *cv += a[2] * b[2][j];
+        *cv += a[3] * b[3][j];
+    }
+}
+
+/// AVX2 path of [`axpy4`].
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy4_avx2(c: &mut [f32], a: [f32; 4], b: [&[f32]; 4]) {
+    use core::arch::x86_64::*;
+    let n = c
+        .len()
+        .min(b[0].len())
+        .min(b[1].len())
+        .min(b[2].len())
+        .min(b[3].len());
+    let a0 = _mm256_set1_ps(a[0]);
+    let a1 = _mm256_set1_ps(a[1]);
+    let a2 = _mm256_set1_ps(a[2]);
+    let a3 = _mm256_set1_ps(a[3]);
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut cv = _mm256_loadu_ps(c.as_ptr().add(j));
+        cv = _mm256_add_ps(cv, _mm256_mul_ps(a0, _mm256_loadu_ps(b[0].as_ptr().add(j))));
+        cv = _mm256_add_ps(cv, _mm256_mul_ps(a1, _mm256_loadu_ps(b[1].as_ptr().add(j))));
+        cv = _mm256_add_ps(cv, _mm256_mul_ps(a2, _mm256_loadu_ps(b[2].as_ptr().add(j))));
+        cv = _mm256_add_ps(cv, _mm256_mul_ps(a3, _mm256_loadu_ps(b[3].as_ptr().add(j))));
+        _mm256_storeu_ps(c.as_mut_ptr().add(j), cv);
+        j += LANES;
+    }
+    axpy4_scalar(
+        &mut c[j..n],
+        a,
+        [&b[0][j..n], &b[1][j..n], &b[2][j..n], &b[3][j..n]],
+    );
+}
+
+/// Dot product with the fixed eight-lane reduction shape described in the
+/// module docs. Identical bits from both dispatch targets.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: AVX2 support was verified by `simd_enabled`.
+        return unsafe { dot_avx2(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Fold eight lane partials with the fixed tree `((l0+l1)+(l2+l3)) +
+/// ((l4+l5)+(l6+l7))` — shared by both dot-product paths.
+#[inline]
+fn fold_lanes(l: [f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Scalar mirror of [`dot`]: eight interleaved lane accumulators, the fixed
+/// combine tree, then the sequential tail.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut k = 0;
+    while k + LANES <= n {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += a[k + l] * b[k + l];
+        }
+        k += LANES;
+    }
+    let mut acc = fold_lanes(lanes);
+    while k < n {
+        acc += a[k] * b[k];
+        k += 1;
+    }
+    acc
+}
+
+/// AVX2 path of [`dot`]; same lane accumulators and combine tree as
+/// [`dot_scalar`].
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use core::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let mut acc = _mm256_setzero_ps();
+    let mut k = 0;
+    while k + LANES <= n {
+        let av = _mm256_loadu_ps(a.as_ptr().add(k));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(k));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+        k += LANES;
+    }
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut total = fold_lanes(lanes);
+    while k < n {
+        total += a[k] * b[k];
+        k += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the process-global dispatch override.
+    static TOGGLE: Mutex<()> = Mutex::new(());
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37 - 3.1) * scale).collect()
+    }
+
+    #[test]
+    fn axpy_paths_are_bit_identical() {
+        let _g = TOGGLE.lock().unwrap();
+        for n in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let b = seq(n, 1.3);
+            let mut c_scalar = seq(n, 0.5);
+            let mut c_dispatch = c_scalar.clone();
+            axpy_scalar(&mut c_scalar, 1.7, &b);
+            set_simd_enabled(Some(true));
+            axpy(&mut c_dispatch, 1.7, &b);
+            set_simd_enabled(None);
+            assert_eq!(c_scalar, c_dispatch, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_paths_are_bit_identical() {
+        let _g = TOGGLE.lock().unwrap();
+        for n in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let a = seq(n, 0.9);
+            let b = seq(n, -1.1);
+            let want = dot_scalar(&a, &b);
+            set_simd_enabled(Some(true));
+            let got = dot(&a, &b);
+            set_simd_enabled(None);
+            assert_eq!(want.to_bits(), got.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy4_matches_four_single_updates() {
+        let _g = TOGGLE.lock().unwrap();
+        for n in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let rows: Vec<Vec<f32>> = (0..4).map(|r| seq(n, 0.7 + r as f32 * 0.21)).collect();
+            let a = [1.5f32, -0.25, 0.875, 2.0];
+            let start = seq(n, 0.4);
+            let mut c_singles = start.clone();
+            for (av, b) in a.iter().zip(&rows) {
+                axpy_scalar(&mut c_singles, *av, b);
+            }
+            for on in [Some(false), Some(true)] {
+                let mut c = start.clone();
+                set_simd_enabled(on);
+                axpy4(&mut c, a, [&rows[0], &rows[1], &rows[2], &rows[3]]);
+                set_simd_enabled(None);
+                assert_eq!(c, c_singles, "n={n} on={on:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn override_pins_dispatch() {
+        let _g = TOGGLE.lock().unwrap();
+        set_simd_enabled(Some(false));
+        assert!(!simd_enabled());
+        set_simd_enabled(Some(true));
+        assert_eq!(simd_enabled(), simd_supported());
+        set_simd_enabled(None);
+    }
+}

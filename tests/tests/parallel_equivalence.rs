@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn random_weights(seed: u64, len: usize) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -123,5 +123,46 @@ proptest! {
             let acc = e_step_with_threads(&gm, &w, None, threads);
             prop_assert_eq!(&acc, &base, "threads={}", threads);
         }
+    }
+}
+
+/// A `pool.worker` failpoint panic must not cost the persistent pool its
+/// determinism: the panic is contained, the affected worker is replaced if
+/// needed, and every subsequent sweep is still bit-identical to serial at
+/// every thread count.
+#[cfg(feature = "failpoints")]
+#[test]
+fn e_step_stays_bit_identical_after_pool_worker_panic() {
+    let len = 2 * E_STEP_CHUNK + 777;
+    let w = random_weights(42, len);
+    let gm = random_mixture(42, 4);
+    let mut greg_serial = vec![0.0f32; len];
+    let want = e_step_serial(&gm, &w, Some(&mut greg_serial));
+
+    gmreg_faults::reset();
+    gmreg_faults::arm(
+        "pool.worker",
+        gmreg_faults::FaultSpec::once_at(gmreg_faults::FaultKind::Panic, 0),
+    );
+    let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        e_step_with_threads(&gm, &w, None, 4)
+    }));
+    gmreg_faults::reset();
+    assert!(
+        poisoned.is_err(),
+        "the armed failpoint must panic the sweep"
+    );
+
+    for threads in THREAD_COUNTS {
+        let mut greg = vec![0.0f32; len];
+        let got = e_step_with_threads(&gm, &w, Some(&mut greg), threads);
+        assert_eq!(
+            got, want,
+            "accumulators differ at {threads} threads after the panic"
+        );
+        assert_eq!(
+            greg, greg_serial,
+            "g_reg differs at {threads} threads after the panic"
+        );
     }
 }

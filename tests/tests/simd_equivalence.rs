@@ -1,0 +1,139 @@
+//! Property tests pinning the SIMD dispatch to the scalar mirrors: for
+//! every random shape, the AVX2 paths of the matrix-product family and the
+//! E-step responsibility kernel must be **bit-identical** to their portable
+//! scalar counterparts — not approximately equal. The vector kernels never
+//! fuse multiply-add and share their reduction shapes with the mirrors, so
+//! these tests compare raw bits.
+//!
+//! On hardware without AVX2 (or under `GMREG_SIMD=0`), `Some(true)` falls
+//! back to the scalar mirror and the comparisons hold trivially — the suite
+//! is still worth running there because it exercises the dispatch plumbing
+//! the `-C target-cpu=x86-64` CI job builds.
+
+use gmreg_core::gm::{e_step_serial, GaussianMixture};
+use gmreg_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::sync::Mutex;
+
+/// The dispatch overrides are process-global; every test that pins them
+/// serializes on this lock so a concurrent case cannot flip the path
+/// mid-comparison.
+static TOGGLE: Mutex<()> = Mutex::new(());
+
+fn random_weights(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| (rng.random::<f64>() * 4.0 - 2.0) as f32)
+        .collect()
+}
+
+fn random_mixture(seed: u64, k: usize) -> GaussianMixture {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    let mut pi: Vec<f64> = (0..k).map(|_| rng.random::<f64>() + 0.05).collect();
+    let z: f64 = pi.iter().sum();
+    for p in pi.iter_mut() {
+        *p /= z;
+    }
+    let lambda: Vec<f64> = (0..k)
+        .map(|_| 10f64.powf(rng.random::<f64>() * 4.0 - 1.0))
+        .collect();
+    GaussianMixture::new(pi, lambda).expect("valid mixture")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All three matrix products produce the same bits with the vector
+    /// paths forced on as with the scalar mirrors forced, across shapes
+    /// that hit full 8-lane runs, the `% 8` tails, the 4-row register
+    /// tile, and the `k % 4` remainder columns.
+    #[test]
+    fn matmul_family_simd_matches_scalar_bitwise(
+        seed in 0u64..1000,
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+    ) {
+        let _toggle = TOGGLE.lock().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&mut rng, [m, k], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, [k, n], 0.0, 1.0);
+        let at = Tensor::randn(&mut rng, [k, m], 0.0, 1.0);
+        let bt = Tensor::randn(&mut rng, [n, k], 0.0, 1.0);
+
+        gmreg_tensor::set_simd_enabled(Some(false));
+        let scalar = a.matmul_serial(&b).unwrap();
+        let scalar_tn = at.matmul_tn_serial(&b).unwrap();
+        let scalar_nt = a.matmul_nt_serial(&bt).unwrap();
+        gmreg_tensor::set_simd_enabled(Some(true));
+        let simd = a.matmul_serial(&b).unwrap();
+        let simd_tn = at.matmul_tn_serial(&b).unwrap();
+        let simd_nt = a.matmul_nt_serial(&bt).unwrap();
+        gmreg_tensor::set_simd_enabled(None);
+
+        prop_assert_eq!(
+            scalar.as_slice(), simd.as_slice(),
+            "matmul {}x{}x{}", m, k, n
+        );
+        prop_assert_eq!(
+            scalar_tn.as_slice(), simd_tn.as_slice(),
+            "matmul_tn {}x{}x{}", m, k, n
+        );
+        prop_assert_eq!(
+            scalar_nt.as_slice(), simd_nt.as_slice(),
+            "matmul_nt {}x{}x{}", m, k, n
+        );
+    }
+
+    /// The E-step responsibility kernel (batched exp over 4 lanes) returns
+    /// the same accumulator bits and the same g_reg bits on both dispatch
+    /// paths, across lengths that straddle the 4-weight group tail.
+    #[test]
+    fn e_step_simd_matches_scalar_bitwise(
+        seed in 0u64..1000,
+        k in 1usize..5,
+        len in 1usize..600,
+    ) {
+        let _toggle = TOGGLE.lock().unwrap();
+        let w = random_weights(seed, len);
+        let gm = random_mixture(seed, k);
+
+        gmreg_core::gm::simd::set_simd_enabled(Some(false));
+        let mut greg_scalar = vec![0.0f32; len];
+        let scalar = e_step_serial(&gm, &w, Some(&mut greg_scalar));
+        gmreg_core::gm::simd::set_simd_enabled(Some(true));
+        let mut greg_simd = vec![0.0f32; len];
+        let simd = e_step_serial(&gm, &w, Some(&mut greg_simd));
+        gmreg_core::gm::simd::set_simd_enabled(None);
+
+        prop_assert_eq!(&scalar, &simd, "accumulators differ (len={}, k={})", len, k);
+        prop_assert_eq!(&greg_scalar, &greg_simd, "g_reg differs (len={}, k={})", len, k);
+    }
+}
+
+/// The automatic dispatch (whatever the CPU probe picked) agrees with the
+/// forced-scalar mirror on a shape large enough to engage every code path —
+/// the cheap end-to-end check that `None` never routes somewhere untested.
+#[test]
+fn auto_dispatch_agrees_with_scalar_mirror() {
+    let _toggle = TOGGLE.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::randn(&mut rng, [33, 37], 0.0, 1.0);
+    let b = Tensor::randn(&mut rng, [37, 29], 0.0, 1.0);
+    let w = random_weights(7, 1013);
+    let gm = random_mixture(7, 4);
+
+    gmreg_tensor::set_simd_enabled(Some(false));
+    gmreg_core::gm::simd::set_simd_enabled(Some(false));
+    let want = a.matmul_serial(&b).unwrap();
+    let want_acc = e_step_serial(&gm, &w, None);
+    gmreg_tensor::set_simd_enabled(None);
+    gmreg_core::gm::simd::set_simd_enabled(None);
+    let got = a.matmul_serial(&b).unwrap();
+    let got_acc = e_step_serial(&gm, &w, None);
+
+    assert_eq!(want.as_slice(), got.as_slice());
+    assert_eq!(want_acc, got_acc);
+}
