@@ -1,0 +1,116 @@
+//! `gmreg-load` — load generator for the `gmreg-serve` daemon.
+//!
+//! ```text
+//! gmreg-load --addr 127.0.0.1:9900 [--threads N] [--rate RPS]
+//!            [--duration-secs S] [--rows N] [--dim D] [--seed N]
+//!            [--p99-budget-ms MS] [--out BENCH_SERVE.json]
+//! ```
+//!
+//! Drives N closed-loop client threads at an aggregate target rate,
+//! prints a latency summary, and writes `BENCH_SERVE.json` for
+//! `bench_diff` gating (see `EXPERIMENTS.md` for the schema). Exit code 1
+//! when every request failed — a smoke job pointed at a dead server must
+//! not produce a green baseline.
+
+use gmreg_bench::load::{run_load, write_bench_serve, BenchServe, LoadConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: LoadConfig,
+    p99_budget_ms: f64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: LoadConfig::default(),
+        p99_budget_ms: 250.0,
+        out: PathBuf::from("BENCH_SERVE.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        }
+        match arg.as_str() {
+            "--addr" => args.cfg.addr = value("--addr")?,
+            "--threads" => args.cfg.threads = num("--threads", value("--threads")?)?,
+            "--rate" => args.cfg.rate_rps = num("--rate", value("--rate")?)?,
+            "--duration-secs" => {
+                args.cfg.duration_secs = num("--duration-secs", value("--duration-secs")?)?
+            }
+            "--rows" => args.cfg.rows_per_request = num("--rows", value("--rows")?)?,
+            "--dim" => args.cfg.dim = num("--dim", value("--dim")?)?,
+            "--seed" => args.cfg.seed = num("--seed", value("--seed")?)?,
+            "--p99-budget-ms" => {
+                args.p99_budget_ms = num("--p99-budget-ms", value("--p99-budget-ms")?)?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "gmreg-load --addr HOST:PORT [--threads N] [--rate RPS] \
+                     [--duration-secs S] [--rows N] [--dim D] [--seed N] \
+                     [--p99-budget-ms MS] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.cfg.threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    if args.cfg.rows_per_request == 0 || args.cfg.dim == 0 {
+        return Err("--rows and --dim must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gmreg-load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "gmreg-load: {} threads -> {} at {} rps target for {}s",
+        args.cfg.threads, args.cfg.addr, args.cfg.rate_rps, args.cfg.duration_secs
+    );
+    let report = run_load(&args.cfg, args.p99_budget_ms);
+    println!(
+        "requests {}  errors {}  throughput {:.1} rps",
+        report.requests, report.errors, report.throughput_rps
+    );
+    println!(
+        "latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (budget {} ms, headroom {:.1}x)",
+        report.latency_ms.p50,
+        report.latency_ms.p95,
+        report.latency_ms.p99,
+        report.p99_budget_ms,
+        report.latency_headroom
+    );
+
+    let all_failed = report.requests == 0;
+    let doc = BenchServe {
+        config: args.cfg,
+        serve: report,
+    };
+    if let Err(e) = write_bench_serve(&doc, &args.out) {
+        eprintln!("gmreg-load: writing {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", args.out.display());
+    if all_failed {
+        eprintln!("gmreg-load: every request failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

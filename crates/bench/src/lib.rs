@@ -11,6 +11,7 @@
 pub mod diff;
 pub mod dl;
 pub mod health;
+pub mod load;
 pub mod obs;
 pub mod report;
 pub mod scale;

@@ -1,0 +1,340 @@
+//! Closed-loop load generator for the `gmreg-serve` daemon.
+//!
+//! [`run_load`] drives N client threads against a serving endpoint at a
+//! target aggregate request rate for a fixed duration. Each request is one
+//! `POST /predict` carrying deterministic pseudo-random rows (seeded, no
+//! RNG dependency, so two runs against the same server are byte-identical
+//! request streams). Per-request latency is recorded both into the
+//! process-local telemetry registry (`load.request.ns` histogram) and as
+//! raw samples from which exact p50/p95/p99 are computed for the report.
+//!
+//! [`write_bench_serve`] serializes the run as `BENCH_SERVE.json`, the
+//! serving counterpart of `BENCH_PR1.json`, with `bench_diff`-friendly
+//! metric names:
+//!
+//! ```json
+//! {
+//!   "config": {"threads": 2, "rate_rps": 200.0, "duration_secs": 5.0,
+//!              "rows_per_request": 1, "dim": 8, "seed": 42},
+//!   "serve": {"requests": 950, "errors": 0, "throughput_rps": 189.7,
+//!             "latency_ms": {"p50": 1.1, "p95": 2.0, "p99": 3.2},
+//!             "p99_budget_ms": 250.0, "latency_headroom": 78.1}
+//! }
+//! ```
+//!
+//! `latency_headroom = p99_budget_ms / p99_ms` exists because `bench_diff`
+//! floors (`--min`) assert *minimums*: CI pins "p99 under budget" as
+//! `--min 'serve.latency_headroom=1'` instead of needing a maximum.
+
+use serde::Serialize;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters (the `gmreg-load` binary's flags).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadConfig {
+    /// Serving endpoint, e.g. `127.0.0.1:9900`.
+    pub addr: String,
+    /// Client threads.
+    pub threads: usize,
+    /// Target aggregate request rate across all threads, in requests/s.
+    /// `0.0` means unpaced (each thread fires as fast as replies return).
+    pub rate_rps: f64,
+    /// Wall-clock run length in seconds.
+    pub duration_secs: f64,
+    /// Rows per `/predict` request body.
+    pub rows_per_request: usize,
+    /// Features per row; must match the served model.
+    pub dim: usize,
+    /// Seed for the deterministic request-stream generator.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:9900".to_string(),
+            threads: 2,
+            rate_rps: 200.0,
+            duration_secs: 5.0,
+            rows_per_request: 1,
+            dim: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Latency percentiles in milliseconds, exact over the raw samples.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyMs {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Requests answered `200 OK`.
+    pub requests: u64,
+    /// Requests that failed (connect error, non-200, short read).
+    pub errors: u64,
+    /// Achieved aggregate throughput over the run window.
+    pub throughput_rps: f64,
+    /// End-to-end request latency percentiles.
+    pub latency_ms: LatencyMs,
+    /// The p99 budget the run was gated against.
+    pub p99_budget_ms: f64,
+    /// `p99_budget_ms / latency_ms.p99` — at least 1.0 means "within
+    /// budget"; gated in CI via `bench_diff --min`.
+    pub latency_headroom: f64,
+}
+
+/// The on-disk `BENCH_SERVE.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchServe {
+    /// Run parameters, for reproducibility.
+    pub config: LoadConfig,
+    /// Measured results.
+    pub serve: LoadReport,
+}
+
+/// splitmix64: deterministic, dependency-free request-stream generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Renders one `/predict` body with `rows` rows of `dim` features drawn
+/// deterministically from `seed` in roughly `[-2, 2)`.
+pub fn predict_body(seed: u64, rows: usize, dim: usize) -> String {
+    let mut state = seed;
+    let mut out = String::with_capacity(16 + rows * dim * 8);
+    out.push_str("{\"inputs\": [");
+    for r in 0..rows {
+        if r > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for c in 0..dim {
+            if c > 0 {
+                out.push_str(", ");
+            }
+            let v = (splitmix64(&mut state) % 4000) as f64 / 1000.0 - 2.0;
+            out.push_str(&format!("{v}"));
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One blocking `POST /predict`; returns the latency on 200, an error
+/// description otherwise.
+fn one_request(addr: &str, body: &str) -> Result<Duration, String> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream
+        .write_all(
+            format!(
+                "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    if response.starts_with("HTTP/1.1 200") {
+        Ok(started.elapsed())
+    } else {
+        Err(format!(
+            "status: {}",
+            response.lines().next().unwrap_or("<empty>")
+        ))
+    }
+}
+
+/// Exact percentile (nearest-rank) over sorted samples, in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e6
+}
+
+/// Drive the endpoint per `cfg` and summarize. `p99_budget_ms` only feeds
+/// the report's headroom field; it does not stop the run.
+pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
+    let deadline = Instant::now() + Duration::from_secs_f64(cfg.duration_secs);
+    // Aggregate pacing split evenly over threads; 0 disables pacing.
+    let interval = if cfg.rate_rps > 0.0 {
+        Some(Duration::from_secs_f64(cfg.threads as f64 / cfg.rate_rps))
+    } else {
+        None
+    };
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let addr = cfg.addr.clone();
+        let (rows, dim) = (cfg.rows_per_request, cfg.dim);
+        let thread_seed = cfg.seed.wrapping_add(0x5151 * (t as u64 + 1));
+        handles.push(std::thread::spawn(move || {
+            let mut latencies_ns: Vec<u64> = Vec::new();
+            let mut errors = 0u64;
+            let mut seq = 0u64;
+            let mut next_fire = Instant::now();
+            while Instant::now() < deadline {
+                if let Some(interval) = interval {
+                    let now = Instant::now();
+                    if now < next_fire {
+                        std::thread::sleep(next_fire - now);
+                    }
+                    next_fire += interval;
+                }
+                let body = predict_body(thread_seed.wrapping_add(seq), rows, dim);
+                seq += 1;
+                match one_request(&addr, &body) {
+                    Ok(latency) => {
+                        let ns = latency.as_nanos() as u64;
+                        latencies_ns.push(ns);
+                        #[cfg(feature = "telemetry")]
+                        gmreg_telemetry::histogram_record("load.request.ns", ns as f64);
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            (latencies_ns, errors)
+        }));
+    }
+
+    let mut all_ns: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for handle in handles {
+        let (ns, e) = handle.join().expect("load client thread panicked");
+        all_ns.extend(ns);
+        errors += e;
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    all_ns.sort_unstable();
+
+    let latency_ms = LatencyMs {
+        p50: percentile_ms(&all_ns, 0.50),
+        p95: percentile_ms(&all_ns, 0.95),
+        p99: percentile_ms(&all_ns, 0.99),
+    };
+    LoadReport {
+        requests: all_ns.len() as u64,
+        errors,
+        throughput_rps: all_ns.len() as f64 / elapsed,
+        latency_ms,
+        p99_budget_ms,
+        latency_headroom: if latency_ms.p99 > 0.0 {
+            p99_budget_ms / latency_ms.p99
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Write the report as pretty JSON to `path` (`BENCH_SERVE.json` by
+/// convention, so `bench_diff` can gate it like `BENCH_PR1.json`).
+pub fn write_bench_serve(doc: &BenchServe, path: &std::path::Path) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_body_is_deterministic_and_parseable_json() {
+        let a = predict_body(7, 2, 3);
+        let b = predict_body(7, 2, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, predict_body(8, 2, 3));
+        let doc = crate::diff::Json::parse(&a).unwrap();
+        let flat = crate::diff::flatten(&doc);
+        // 2 rows x 3 features of numeric leaves.
+        assert_eq!(flat.len(), 6, "{flat:?}");
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        assert_eq!(percentile_ms(&ns, 0.50), 50.0);
+        assert_eq!(percentile_ms(&ns, 0.99), 99.0);
+        assert_eq!(percentile_ms(&[], 0.99), 0.0);
+        assert_eq!(percentile_ms(&[5_000_000], 0.50), 5.0);
+    }
+
+    #[test]
+    fn bench_serve_json_flattens_with_gateable_paths() {
+        let doc = BenchServe {
+            config: LoadConfig::default(),
+            serve: LoadReport {
+                requests: 10,
+                errors: 0,
+                throughput_rps: 123.4,
+                latency_ms: LatencyMs {
+                    p50: 1.0,
+                    p95: 2.0,
+                    p99: 3.0,
+                },
+                p99_budget_ms: 250.0,
+                latency_headroom: 250.0 / 3.0,
+            },
+        };
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        let flat = crate::diff::flatten(&crate::diff::Json::parse(&json).unwrap());
+        assert_eq!(flat["serve.requests"], 10.0);
+        assert_eq!(flat["serve.latency_ms.p99"], 3.0);
+        assert!(flat["serve.latency_headroom"] > 1.0);
+        // The paths CI floors on must stay gateable by substring match.
+        assert!(flat.keys().any(|k| k.contains("serve.requests")));
+        assert!(flat.keys().any(|k| k.contains("serve.latency_headroom")));
+        // And percentile paths must diff as lower-is-better.
+        assert_eq!(
+            crate::diff::direction("serve.latency_ms.p99"),
+            crate::diff::Direction::LowerIsBetter
+        );
+        assert_eq!(
+            crate::diff::direction("serve.throughput_rps"),
+            crate::diff::Direction::HigherIsBetter
+        );
+    }
+
+    #[test]
+    fn run_load_against_dead_endpoint_reports_errors_not_panics() {
+        // Port 9 (discard) on localhost is almost certainly closed; every
+        // request should fail fast and be counted, never panic.
+        let cfg = LoadConfig {
+            addr: "127.0.0.1:9".to_string(),
+            threads: 2,
+            rate_rps: 0.0,
+            duration_secs: 0.2,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg, 250.0);
+        assert_eq!(report.requests, 0);
+        assert!(report.errors > 0);
+        assert_eq!(report.latency_ms.p99, 0.0);
+    }
+}

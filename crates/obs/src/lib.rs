@@ -30,4 +30,4 @@ pub use status::status_json;
 mod server;
 
 #[cfg(feature = "serve")]
-pub use server::ObsServer;
+pub use server::{HttpRequest, HttpResponse, ObsServer, Router};

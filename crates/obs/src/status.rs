@@ -41,9 +41,15 @@ fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
 ///   "checkpoint": {"generation": 3, "saves": 3},
 ///   "pool": {"width": 7, "jobs": 120, "tasks": 960, "steals": 41,
 ///            "worker_panics": 0, "workers_replaced": 0},
+///   "serve": {"generation": 3, "requests": 1200, "batches": 310,
+///             "reloads": 1, "fallbacks": 0, "rejected": 0,
+///             "batch_failures": 0},
 ///   "telemetry": {"spans": 140, "dropped_spans": 0}
 /// }
 /// ```
+///
+/// The `serve` section mirrors the `gmreg-serve` daemon's counters; for a
+/// training-only run it is all zeros with a `null` generation.
 ///
 /// The `pool` section mirrors the persistent work-stealing pool's
 /// counters (`pool.jobs`/`pool.tasks`/`pool.steals`) and `pool.width`
@@ -102,6 +108,20 @@ pub fn status_json(report: &Report) -> String {
         "workers_replaced",
         counter("pool.workers.replaced"),
     );
+    out.push_str("}, \"serve\": {");
+    field_f64(&mut out, "generation", gauge("serve.generation"));
+    out.push_str(", ");
+    field_u64(&mut out, "requests", counter("serve.requests"));
+    out.push_str(", ");
+    field_u64(&mut out, "batches", counter("serve.batches"));
+    out.push_str(", ");
+    field_u64(&mut out, "reloads", counter("serve.reloads"));
+    out.push_str(", ");
+    field_u64(&mut out, "fallbacks", counter("serve.fallbacks"));
+    out.push_str(", ");
+    field_u64(&mut out, "rejected", counter("serve.rejected"));
+    out.push_str(", ");
+    field_u64(&mut out, "batch_failures", counter("serve.batch.failures"));
     out.push_str("}, \"telemetry\": {");
     field_u64(&mut out, "spans", report.spans.len() as u64);
     out.push_str(", ");
@@ -160,6 +180,26 @@ mod tests {
         assert!(s.contains("\"lambda_max\": 40.0"), "{s}");
         assert!(s.contains("\"trips\": 2"), "{s}");
         assert!(s.contains("\"saves\": 1"), "{s}");
+        gmreg_telemetry::reset();
+    }
+
+    #[test]
+    fn serve_metrics_flow_through() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::gauge_set("serve.generation", 3.0);
+        gmreg_telemetry::counter_add("serve.requests", 1200);
+        gmreg_telemetry::counter_add("serve.batches", 310);
+        gmreg_telemetry::counter_inc("serve.reloads");
+        gmreg_telemetry::counter_inc("serve.fallbacks");
+        let s = status_json(&gmreg_telemetry::snapshot());
+        assert!(
+            s.contains("\"serve\": {\"generation\": 3.0, \"requests\": 1200"),
+            "{s}"
+        );
+        assert!(s.contains("\"batches\": 310"), "{s}");
+        assert!(s.contains("\"reloads\": 1"), "{s}");
+        assert!(s.contains("\"fallbacks\": 1"), "{s}");
         gmreg_telemetry::reset();
     }
 

@@ -1,0 +1,345 @@
+//! Micro-batching: coalesce concurrent `/predict` calls into one matmul.
+//!
+//! Callers enqueue single rows onto a bounded queue and block on a
+//! one-shot reply channel. A dedicated batcher thread drains the queue
+//! under a dual cutoff — dispatch as soon as `max_size` rows are waiting
+//! *or* `max_wait_us` has elapsed since the batch opened, whichever comes
+//! first — then runs the whole batch through
+//! [`ServedModel::forward`](crate::model::ServedModel::forward) as a single
+//! pool-dispatched matmul and fans the per-row results back out.
+//!
+//! Failure containment: the forward pass runs under `catch_unwind`, so a
+//! worker panic mid-batch (e.g. an armed `pool.worker` failpoint) errors
+//! only the requests riding in that batch; the queue is never wedged and
+//! the next batch proceeds on a freshly-replaced pool worker.
+//!
+//! Back-pressure is load-shedding, not blocking: a full queue rejects the
+//! request immediately (`serve.rejected`) instead of stacking unbounded
+//! latency onto every later caller.
+
+use crate::error::ServeError;
+use crate::registry::ModelRegistry;
+use crate::tele;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Micro-batch cutoffs and queue bound (`[batch]` in `serve.toml`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Dispatch as soon as this many rows are waiting.
+    pub max_size: usize,
+    /// ... or once the oldest waiting row is this old, in microseconds.
+    /// `0` means dispatch immediately (batching only under burst arrival).
+    pub max_wait_us: u64,
+    /// Bounded queue depth; submissions beyond it are shed with
+    /// [`ServeError::QueueFull`].
+    pub queue_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_size: 32,
+            max_wait_us: 500,
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// One successful prediction: the generation that served it and the
+/// probability.
+pub type Prediction = (u64, f64);
+
+struct Pending {
+    row: Vec<f32>,
+    reply: mpsc::SyncSender<Result<Prediction, ServeError>>,
+}
+
+struct Shared {
+    cfg: BatchConfig,
+    registry: Arc<ModelRegistry>,
+    queue: Mutex<VecDeque<Pending>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Handle to the batching queue plus its dispatcher thread. Dropping the
+/// batcher drains the queue (pending callers get
+/// [`ServeError::ShuttingDown`]) and joins the thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawn the dispatcher thread over `registry`.
+    pub fn new(registry: Arc<ModelRegistry>, cfg: BatchConfig) -> Batcher {
+        let shared = Arc::new(Shared {
+            cfg,
+            registry,
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gmreg-serve-batch".to_string())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawn batch dispatcher")
+        };
+        Batcher {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Enqueue one row and block until its batch completes.
+    ///
+    /// Counts `serve.requests` and records end-to-end latency into the
+    /// `serve.request.ns` histogram on every accepted request, including
+    /// ones whose batch subsequently failed.
+    pub fn submit(&self, row: Vec<f32>) -> Result<Prediction, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let started = Instant::now();
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        {
+            let mut queue = self.shared.queue.lock().expect("batch queue poisoned");
+            if queue.len() >= self.shared.cfg.queue_cap {
+                tele::counter_inc("serve.rejected");
+                return Err(ServeError::QueueFull);
+            }
+            queue.push_back(Pending {
+                row,
+                reply: reply_tx,
+            });
+        }
+        self.shared.wake.notify_one();
+        let result = reply_rx.recv().unwrap_or(Err(ServeError::ShuttingDown));
+        tele::counter_inc("serve.requests");
+        tele::histogram_record("serve.request.ns", started.elapsed().as_nanos() as f64);
+        result
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        let batch = collect_batch(shared);
+        if batch.is_empty() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                drain_on_shutdown(shared);
+                return;
+            }
+            continue;
+        }
+        run_batch(shared, batch);
+        // The dispatcher is long-lived: push its per-thread counters into
+        // the global registry so live scrapes see batches as they happen.
+        tele::flush();
+    }
+}
+
+/// Block until at least one row is waiting, then hold the batch open until
+/// it fills to `max_size` or the wait cutoff expires.
+fn collect_batch(shared: &Shared) -> Vec<Pending> {
+    let mut queue = shared.queue.lock().expect("batch queue poisoned");
+    while queue.is_empty() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        let (guard, _) = shared
+            .wake
+            .wait_timeout(queue, Duration::from_millis(50))
+            .expect("batch queue poisoned");
+        queue = guard;
+    }
+    let deadline = Instant::now() + Duration::from_micros(shared.cfg.max_wait_us);
+    while queue.len() < shared.cfg.max_size && !shared.shutdown.load(Ordering::Acquire) {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, _) = shared
+            .wake
+            .wait_timeout(queue, deadline - now)
+            .expect("batch queue poisoned");
+        queue = guard;
+    }
+    let take = queue.len().min(shared.cfg.max_size);
+    queue.drain(..take).collect()
+}
+
+fn drain_on_shutdown(shared: &Shared) {
+    let mut queue = shared.queue.lock().expect("batch queue poisoned");
+    for pending in queue.drain(..) {
+        let _ = pending.reply.send(Err(ServeError::ShuttingDown));
+    }
+}
+
+fn run_batch(shared: &Shared, mut batch: Vec<Pending>) {
+    let Some(model) = shared.registry.current() else {
+        for pending in batch {
+            let _ = pending.reply.send(Err(ServeError::NoModel));
+        }
+        return;
+    };
+
+    // Reject malformed rows individually so one bad request cannot fail
+    // the well-formed rows sharing its batch.
+    let mut valid = Vec::with_capacity(batch.len());
+    for pending in batch.drain(..) {
+        if pending.row.len() == model.dim() {
+            valid.push(pending);
+        } else {
+            let _ = pending.reply.send(Err(ServeError::DimensionMismatch {
+                expected: model.dim(),
+                actual: pending.row.len(),
+            }));
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    let rows: Vec<Vec<f32>> = valid.iter().map(|p| p.row.clone()).collect();
+    tele::counter_inc("serve.batches");
+    tele::histogram_record("serve.batch_size", rows.len() as f64);
+
+    match catch_unwind(AssertUnwindSafe(|| model.forward(&rows))) {
+        Ok(Ok(probs)) => {
+            debug_assert_eq!(probs.len(), valid.len());
+            for (pending, prob) in valid.into_iter().zip(probs) {
+                let _ = pending.reply.send(Ok((model.generation, prob)));
+            }
+        }
+        Ok(Err(e)) => {
+            tele::counter_inc("serve.batch.failures");
+            let msg = e.to_string();
+            for pending in valid {
+                let _ = pending
+                    .reply
+                    .send(Err(ServeError::BatchFailed(msg.clone())));
+            }
+        }
+        Err(panic) => {
+            tele::counter_inc("serve.batch.failures");
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "forward pass panicked".to_string());
+            for pending in valid {
+                let _ = pending
+                    .reply
+                    .send(Err(ServeError::BatchFailed(msg.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServedModel;
+    use gmreg_core::durable::CheckpointManager;
+    use gmreg_linear::LinearFitState;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gmreg-serve-batch-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seeded_registry(dir: &PathBuf, dim: usize) -> Arc<ModelRegistry> {
+        let mgr = CheckpointManager::new(dir, "linfit", 4).unwrap();
+        mgr.save(&LinearFitState {
+            next_epoch: 1,
+            iterations: 10,
+            current_lr: 0.1,
+            w: (0..dim).map(|i| (i as f32 - 1.0) * 0.3).collect(),
+            bias: -0.25,
+            velocity: vec![0.0; dim],
+            bias_velocity: 0.0,
+            gm: None,
+            degraded_beta: None,
+        })
+        .unwrap();
+        let reg = Arc::new(ModelRegistry::new(dir, "linfit", 4).unwrap());
+        reg.reload().unwrap();
+        reg
+    }
+
+    #[test]
+    fn submit_matches_direct_forward_bitwise() {
+        let dir = tmp_dir("direct");
+        let reg = seeded_registry(&dir, 4);
+        let reference: Arc<ServedModel> = reg.current().unwrap();
+        let batcher = Batcher::new(Arc::clone(&reg), BatchConfig::default());
+
+        let row = vec![0.5, -0.25, 0.125, 1.0];
+        let (generation, prob) = batcher.submit(row.clone()).unwrap();
+        let direct = reference.forward(std::slice::from_ref(&row)).unwrap()[0];
+        assert_eq!(generation, 0);
+        assert_eq!(prob.to_bits(), direct.to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_registry_yields_no_model() {
+        let dir = tmp_dir("nomodel");
+        let reg = Arc::new(ModelRegistry::new(&dir, "linfit", 4).unwrap());
+        let batcher = Batcher::new(reg, BatchConfig::default());
+        assert!(matches!(
+            batcher.submit(vec![1.0]).unwrap_err(),
+            ServeError::NoModel
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_dimension_fails_only_that_request() {
+        let dir = tmp_dir("baddim");
+        let reg = seeded_registry(&dir, 4);
+        let batcher = Arc::new(Batcher::new(reg, BatchConfig::default()));
+
+        let b2 = Arc::clone(&batcher);
+        let good = std::thread::spawn(move || b2.submit(vec![0.1, 0.2, 0.3, 0.4]));
+        let bad = batcher.submit(vec![1.0, 2.0]);
+        assert!(matches!(
+            bad.unwrap_err(),
+            ServeError::DimensionMismatch {
+                expected: 4,
+                actual: 2
+            }
+        ));
+        assert!(good.join().unwrap().is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_drains_cleanly() {
+        let dir = tmp_dir("shutdown");
+        let reg = seeded_registry(&dir, 4);
+        let batcher = Batcher::new(reg, BatchConfig::default());
+        drop(batcher); // must not hang
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,174 @@
+//! `gmreg-serve` — the batched model-serving daemon.
+//!
+//! ```text
+//! gmreg-serve [--config serve.toml] [--listen ADDR] [--model-dir DIR]
+//!             [--init-demo] [--run-secs N] [--print-addr]
+//! ```
+//!
+//! Boot sequence: parse config → (optionally) train a demo checkpoint →
+//! install the SIGHUP handler → load the newest checkpoint generation →
+//! spawn the micro-batcher → bind the HTTP server with `/predict`,
+//! `/healthz`, `/reload` layered over `/metrics` and `/status`. The main
+//! thread then polls for SIGHUP (hot-swap) and flushes telemetry until
+//! `--run-secs` elapses (0 = run until killed).
+//!
+//! `--init-demo` trains a small logistic model on synthetic blobs with
+//! `fit_durable`, leaving real GMCK generations in the model directory —
+//! this is how the CI smoke job seeds a model without a separate trainer.
+
+use gmreg_serve::{BatchConfig, Batcher, ModelRegistry, ReloadOutcome, ServeConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    config: Option<PathBuf>,
+    listen: Option<String>,
+    model_dir: Option<PathBuf>,
+    init_demo: bool,
+    run_secs: u64,
+    print_addr: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: None,
+        listen: None,
+        model_dir: None,
+        init_demo: false,
+        run_secs: 0,
+        print_addr: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--model-dir" => args.model_dir = Some(PathBuf::from(value("--model-dir")?)),
+            "--init-demo" => args.init_demo = true,
+            "--run-secs" => {
+                args.run_secs = value("--run-secs")?
+                    .parse()
+                    .map_err(|e| format!("--run-secs: {e}"))?
+            }
+            "--print-addr" => args.print_addr = true,
+            "--help" | "-h" => {
+                println!(
+                    "gmreg-serve [--config serve.toml] [--listen ADDR] [--model-dir DIR] \
+                     [--init-demo] [--run-secs N] [--print-addr]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Train a small demo model into `cfg.model_dir` so the daemon has
+/// something real to serve (used by CI smoke and local experimentation).
+fn init_demo(cfg: &ServeConfig) -> Result<(), String> {
+    use gmreg_linear::{blobs, LogisticRegression, LrConfig};
+    let ds = blobs(512, 8, 1.5, 42).map_err(|e| e.to_string())?;
+    let lr_cfg = LrConfig {
+        epochs: 5,
+        ..LrConfig::default()
+    };
+    let mut model = LogisticRegression::new(8, lr_cfg).map_err(|e| e.to_string())?;
+    let durable_cfg = gmreg_linear::DurableFitConfig {
+        keep: cfg.model_keep,
+        ..gmreg_linear::DurableFitConfig::default()
+    };
+    model
+        .fit_durable(&ds, &cfg.model_dir, &durable_cfg)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "gmreg-serve: demo model trained into {}",
+        cfg.model_dir.display()
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut cfg = match &args.config {
+        Some(path) => ServeConfig::load(path).map_err(|e| e.to_string())?,
+        None => ServeConfig::default(),
+    };
+    if let Some(listen) = args.listen {
+        cfg.listen = listen;
+    }
+    if let Some(dir) = args.model_dir {
+        cfg.model_dir = dir;
+    }
+
+    if args.init_demo {
+        init_demo(&cfg)?;
+    }
+
+    gmreg_serve::signal::install_sighup_handler();
+
+    let registry = Arc::new(
+        ModelRegistry::new(&cfg.model_dir, &cfg.model_prefix, cfg.model_keep)
+            .map_err(|e| e.to_string())?,
+    );
+    match registry.reload() {
+        Ok(ReloadOutcome::Swapped(generation)) => {
+            eprintln!("gmreg-serve: serving generation {generation}");
+        }
+        Ok(_) | Err(_) => {
+            // An empty or corrupt model dir is not fatal: /healthz reports
+            // 503 until a reload finds a loadable generation.
+            eprintln!(
+                "gmreg-serve: no loadable checkpoint in {} yet; serving unhealthy",
+                cfg.model_dir.display()
+            );
+        }
+    }
+
+    let batch_cfg = BatchConfig {
+        max_size: cfg.batch.max_size,
+        max_wait_us: cfg.batch.max_wait_us,
+        queue_cap: cfg.batch.queue_cap,
+    };
+    let batcher = Arc::new(Batcher::new(Arc::clone(&registry), batch_cfg));
+    let router = gmreg_serve::http::serving_router(Arc::clone(&registry), batcher);
+    let server = gmreg_obs::ObsServer::bind_with(&cfg.listen, router)
+        .map_err(|e| format!("bind {}: {e}", cfg.listen))?;
+    eprintln!("gmreg-serve: listening on {}", server.local_addr());
+    if args.print_addr {
+        // Machine-readable line for harnesses that passed port 0.
+        println!("ADDR {}", server.local_addr());
+    }
+
+    let started = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if gmreg_serve::signal::take_reload_request() {
+            match registry.reload() {
+                Ok(ReloadOutcome::Swapped(generation)) => {
+                    eprintln!("gmreg-serve: SIGHUP reload -> generation {generation}");
+                }
+                Ok(outcome) => eprintln!("gmreg-serve: SIGHUP reload -> {outcome:?}"),
+                Err(e) => eprintln!("gmreg-serve: SIGHUP reload failed: {e}"),
+            }
+        }
+        gmreg_telemetry::flush();
+        if args.run_secs > 0 && started.elapsed() >= Duration::from_secs(args.run_secs) {
+            eprintln!("gmreg-serve: --run-secs {} elapsed, exiting", args.run_secs);
+            return Ok(());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gmreg-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

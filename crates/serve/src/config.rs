@@ -1,0 +1,260 @@
+//! Declarative daemon configuration: a strict, hand-rolled parser for a
+//! TOML subset (`[section]` headers, `key = value` lines, `#` comments).
+//!
+//! The grammar is deliberately tiny — no arrays, no nested tables, no
+//! multi-line strings — because the config is flat and a full TOML crate
+//! would be a dependency the container cannot fetch. The parser is strict
+//! the way `cackle`-style tools are: an unknown section or key is an
+//! **error**, not a warning, so a typo (`max_wait_ms` for `max_wait_us`)
+//! can never silently fall back to a default.
+//!
+//! ```toml
+//! [server]
+//! listen = "127.0.0.1:9900"
+//!
+//! [model]
+//! dir = "ckpts"
+//! prefix = "linfit"
+//! keep = 4
+//!
+//! [batch]
+//! max_size = 32
+//! max_wait_us = 500
+//! queue_cap = 1024
+//! ```
+
+use crate::batch::BatchConfig;
+use crate::error::ServeError;
+use std::path::{Path, PathBuf};
+
+/// Parsed daemon configuration with defaults for every field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// `[server] listen` — address the HTTP server binds.
+    pub listen: String,
+    /// `[model] dir` — checkpoint directory the registry watches.
+    pub model_dir: PathBuf,
+    /// `[model] prefix` — checkpoint file prefix (`<prefix>-NNNNNNNNNN.gmck`).
+    pub model_prefix: String,
+    /// `[model] keep` — retention window passed to the checkpoint manager.
+    pub model_keep: usize,
+    /// `[batch]` — micro-batching cutoffs and queue bound.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:9900".to_string(),
+            model_dir: PathBuf::from("ckpts"),
+            model_prefix: "linfit".to_string(),
+            model_keep: 4,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+fn bad(line: usize, reason: impl Into<String>) -> ServeError {
+    ServeError::Config {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Strip a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(raw: &str, line: usize) -> Result<String, ServeError> {
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| bad(line, format!("expected a quoted string, got `{raw}`")))?;
+    if inner.contains('"') {
+        return Err(bad(line, "embedded quotes are not supported"));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_usize(raw: &str, line: usize) -> Result<usize, ServeError> {
+    raw.trim().parse::<usize>().map_err(|_| {
+        bad(
+            line,
+            format!("expected an unsigned integer, got `{}`", raw.trim()),
+        )
+    })
+}
+
+fn parse_u64(raw: &str, line: usize) -> Result<u64, ServeError> {
+    raw.trim().parse::<u64>().map_err(|_| {
+        bad(
+            line,
+            format!("expected an unsigned integer, got `{}`", raw.trim()),
+        )
+    })
+}
+
+impl ServeConfig {
+    /// Parse the TOML-subset text. Unknown sections/keys, duplicate keys,
+    /// malformed values, and zero-valued cutoffs are all hard errors.
+    pub fn parse(text: &str) -> Result<ServeConfig, ServeError> {
+        let mut cfg = ServeConfig::default();
+        let mut section = String::new();
+        let mut seen: Vec<String> = Vec::new();
+
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(bad(
+                        line_no,
+                        format!("unterminated section header `{line}`"),
+                    ));
+                };
+                let name = name.trim();
+                match name {
+                    "server" | "model" | "batch" => section = name.to_string(),
+                    other => {
+                        return Err(bad(
+                            line_no,
+                            format!(
+                            "unknown section `[{other}]` (expected [server], [model], or [batch])"
+                        ),
+                        ))
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(bad(
+                    line_no,
+                    format!("expected `key = value`, got `{line}`"),
+                ));
+            };
+            let key = key.trim();
+            let qualified = format!("{section}.{key}");
+            if seen.contains(&qualified) {
+                return Err(bad(line_no, format!("duplicate key `{qualified}`")));
+            }
+            seen.push(qualified.clone());
+            match qualified.as_str() {
+                "server.listen" => cfg.listen = parse_string(value, line_no)?,
+                "model.dir" => cfg.model_dir = PathBuf::from(parse_string(value, line_no)?),
+                "model.prefix" => cfg.model_prefix = parse_string(value, line_no)?,
+                "model.keep" => cfg.model_keep = parse_usize(value, line_no)?.max(1),
+                "batch.max_size" => {
+                    cfg.batch.max_size = parse_usize(value, line_no)?;
+                    if cfg.batch.max_size == 0 {
+                        return Err(bad(line_no, "batch.max_size must be at least 1"));
+                    }
+                }
+                "batch.max_wait_us" => cfg.batch.max_wait_us = parse_u64(value, line_no)?,
+                "batch.queue_cap" => {
+                    cfg.batch.queue_cap = parse_usize(value, line_no)?;
+                    if cfg.batch.queue_cap == 0 {
+                        return Err(bad(line_no, "batch.queue_cap must be at least 1"));
+                    }
+                }
+                _ => {
+                    let place = if section.is_empty() {
+                        "outside any section".to_string()
+                    } else {
+                        format!("in [{section}]")
+                    };
+                    return Err(bad(line_no, format!("unknown key `{key}` {place}")));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Read and parse a config file; a missing path is an I/O-flavoured
+    /// config error so the daemon fails fast instead of serving defaults.
+    pub fn load(path: &Path) -> Result<ServeConfig, ServeError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ServeError::Config {
+            line: 0,
+            reason: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_yields_defaults() {
+        assert_eq!(ServeConfig::parse("").unwrap(), ServeConfig::default());
+    }
+
+    #[test]
+    fn full_config_parses() {
+        let cfg = ServeConfig::parse(
+            r#"
+            # serving config
+            [server]
+            listen = "0.0.0.0:7777"   # public
+
+            [model]
+            dir = "/var/lib/gmreg/ckpts"
+            prefix = "linfit"
+            keep = 8
+
+            [batch]
+            max_size = 64
+            max_wait_us = 250
+            queue_cap = 512
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.listen, "0.0.0.0:7777");
+        assert_eq!(cfg.model_dir, PathBuf::from("/var/lib/gmreg/ckpts"));
+        assert_eq!(cfg.model_keep, 8);
+        assert_eq!(cfg.batch.max_size, 64);
+        assert_eq!(cfg.batch.max_wait_us, 250);
+        assert_eq!(cfg.batch.queue_cap, 512);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error_with_line_number() {
+        let err = ServeConfig::parse("[batch]\nmax_wait_ms = 5\n").unwrap_err();
+        match err {
+            ServeError::Config { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("max_wait_ms"), "{reason}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_section_duplicate_key_and_bad_values_fail() {
+        assert!(ServeConfig::parse("[tuning]\n").is_err());
+        assert!(ServeConfig::parse("[model]\nkeep = 2\nkeep = 3\n").is_err());
+        assert!(ServeConfig::parse("[model]\nkeep = \"two\"\n").is_err());
+        assert!(ServeConfig::parse("[server]\nlisten = 9900\n").is_err());
+        assert!(ServeConfig::parse("[batch]\nmax_size = 0\n").is_err());
+        assert!(ServeConfig::parse("listen = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let cfg = ServeConfig::parse("[model]\nprefix = \"a#b\"\n").unwrap();
+        assert_eq!(cfg.model_prefix, "a#b");
+    }
+}

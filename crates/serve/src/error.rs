@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Error type for every serving-layer operation.
+#[derive(Debug)]
+pub enum ServeError {
+    /// `serve.toml` could not be parsed. Carries the 1-based line number and
+    /// a human-readable reason (unknown section, unknown key, bad value).
+    Config {
+        /// 1-based line in the config file.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The checkpoint layer failed (I/O, corruption with no fallback, ...).
+    Checkpoint(gmreg_core::CoreError),
+    /// No generation is loaded: the registry is empty. `/healthz` maps this
+    /// to 503, `/predict` to a request error.
+    NoModel,
+    /// A request row's feature count does not match the served model.
+    DimensionMismatch {
+        /// Feature count of the served model.
+        expected: usize,
+        /// Feature count of the offending request row.
+        actual: usize,
+    },
+    /// The micro-batch queue is at capacity; the request was shed rather
+    /// than queued unboundedly (counted as `serve.rejected`).
+    QueueFull,
+    /// The batch this request rode in panicked mid-forward (e.g. an armed
+    /// `pool.worker` failpoint). Only the requests in that batch fail; the
+    /// queue keeps draining.
+    BatchFailed(String),
+    /// The batcher is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config { line, reason } => {
+                write!(f, "config error at line {line}: {reason}")
+            }
+            ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::NoModel => write!(f, "no model generation loaded"),
+            ServeError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "input has {actual} features but the served model expects {expected}"
+            ),
+            ServeError::QueueFull => write!(f, "prediction queue is full"),
+            ServeError::BatchFailed(reason) => write!(f, "batch execution failed: {reason}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<gmreg_core::CoreError> for ServeError {
+    fn from(e: gmreg_core::CoreError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}

@@ -1,0 +1,141 @@
+//! HTTP surface of the serving daemon: `/predict`, `/healthz`, `/reload`
+//! registered on the `gmreg-obs` [`Router`] next to the built-in
+//! `/metrics` and `/status` endpoints, so one port serves both inference
+//! traffic and observability scrapes.
+//!
+//! * `POST /predict` — body `{"inputs": [[f32, ...], ...]}`; each row is
+//!   submitted to the [`Batcher`] (rows from one request still coalesce
+//!   with rows from concurrent requests). Reply:
+//!   `{"generation": N, "predictions": [p, ...]}`. Predictions are
+//!   rendered with Rust's shortest-round-trip float formatting, so the
+//!   wire value parses back to exactly the bits the model produced.
+//! * `GET /healthz` — `200 {"status": "ok", ...}` when a model generation
+//!   is published, `503` when the registry is empty.
+//! * `POST /reload` — synchronous hot-swap attempt; reports the outcome.
+
+use crate::batch::Batcher;
+use crate::registry::{ModelRegistry, ReloadOutcome};
+use gmreg_obs::{HttpRequest, HttpResponse, Router};
+use serde::Deserialize;
+use std::sync::Arc;
+
+#[derive(Deserialize)]
+struct PredictRequest {
+    inputs: Vec<Vec<f32>>,
+}
+
+/// Largest number of rows one request may carry; protects the queue bound
+/// from a single caller smuggling in an effectively unbounded batch.
+pub const MAX_ROWS_PER_REQUEST: usize = 4096;
+
+fn predict(batcher: &Batcher, req: &HttpRequest) -> HttpResponse {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return HttpResponse::error("400 Bad Request", "body is not UTF-8"),
+    };
+    let parsed: PredictRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => {
+            return HttpResponse::error("400 Bad Request", &format!("malformed request: {e}"))
+        }
+    };
+    if parsed.inputs.is_empty() {
+        return HttpResponse::error("400 Bad Request", "inputs is empty");
+    }
+    if parsed.inputs.len() > MAX_ROWS_PER_REQUEST {
+        return HttpResponse::error(
+            "400 Bad Request",
+            &format!("at most {MAX_ROWS_PER_REQUEST} rows per request"),
+        );
+    }
+
+    let mut generation = None;
+    let mut predictions = Vec::with_capacity(parsed.inputs.len());
+    for row in parsed.inputs {
+        match batcher.submit(row) {
+            Ok((generation_served, p)) => {
+                generation = Some(generation_served);
+                predictions.push(p);
+            }
+            Err(e) => return error_response(&e),
+        }
+    }
+
+    let mut out = String::with_capacity(32 + predictions.len() * 20);
+    out.push_str(&format!(
+        "{{\"generation\": {}, \"predictions\": [",
+        generation.expect("non-empty inputs produced at least one prediction")
+    ));
+    for (i, p) in predictions.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        // `{}` on f64 is shortest round-trip: the client re-parses to the
+        // identical bits, which the bit-identity test suite relies on.
+        out.push_str(&format!("{p}"));
+    }
+    out.push_str("]}\n");
+    HttpResponse::json(out)
+}
+
+fn error_response(e: &crate::ServeError) -> HttpResponse {
+    use crate::ServeError::*;
+    let status = match e {
+        NoModel => "503 Service Unavailable",
+        QueueFull => "503 Service Unavailable",
+        ShuttingDown => "503 Service Unavailable",
+        DimensionMismatch { .. } => "400 Bad Request",
+        Config { .. } => "400 Bad Request",
+        Checkpoint(_) | BatchFailed(_) => "500 Internal Server Error",
+    };
+    HttpResponse::error(status, &e.to_string())
+}
+
+fn healthz(registry: &ModelRegistry) -> HttpResponse {
+    match registry.generation() {
+        Some(generation) => HttpResponse::json(format!(
+            "{{\"status\": \"ok\", \"generation\": {generation}}}\n"
+        )),
+        None => HttpResponse {
+            status: "503 Service Unavailable",
+            content_type: "application/json",
+            body: "{\"status\": \"unavailable\", \"generation\": null}\n".to_string(),
+        },
+    }
+}
+
+fn reload(registry: &ModelRegistry) -> HttpResponse {
+    match registry.reload() {
+        Ok(ReloadOutcome::Swapped(generation)) => HttpResponse::json(format!(
+            "{{\"outcome\": \"swapped\", \"generation\": {generation}}}\n"
+        )),
+        Ok(ReloadOutcome::Unchanged(generation)) => HttpResponse::json(format!(
+            "{{\"outcome\": \"unchanged\", \"generation\": {generation}}}\n"
+        )),
+        Ok(ReloadOutcome::Empty) => HttpResponse::error(
+            "503 Service Unavailable",
+            "no loadable checkpoint generation found",
+        ),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Build the serving [`Router`]: `/predict`, `/healthz`, `/reload` over the
+/// built-ins, in threaded mode (a `/predict` handler blocks on its
+/// micro-batch, so connections must not serialize on the accept thread —
+/// concurrent requests are exactly what the batcher coalesces).
+pub fn serving_router(registry: Arc<ModelRegistry>, batcher: Arc<Batcher>) -> Router {
+    let health_registry = Arc::clone(&registry);
+    let reload_registry = Arc::clone(&registry);
+    Router::new()
+        .route("POST", "/predict", move |req: &HttpRequest| {
+            predict(&batcher, req)
+        })
+        .route("GET", "/healthz", move |_req: &HttpRequest| {
+            healthz(&health_registry)
+        })
+        .route("POST", "/reload", move |_req: &HttpRequest| {
+            reload(&reload_registry)
+        })
+        .threaded(true)
+}

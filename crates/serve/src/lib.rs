@@ -1,0 +1,53 @@
+//! # gmreg-serve
+//!
+//! The model-serving layer: everything between a durable GMCK checkpoint on
+//! disk and a `/predict` response on the wire.
+//!
+//! * [`config`] — a declarative `serve.toml` (hand-rolled TOML-subset
+//!   parser, cackle-style strict: unknown keys are errors) instead of an
+//!   ever-growing flag set.
+//! * [`registry`] — [`ModelRegistry`]: generation-keyed models loaded
+//!   through [`gmreg_core::durable::CheckpointManager`], published
+//!   atomically by `Arc` swap so in-flight batches keep the model they
+//!   started with. Corrupt newest generations fall back to N−1 and count
+//!   `serve.fallbacks`.
+//! * [`model`] — [`ServedModel`]: the frozen forward pass. One batch is one
+//!   `matmul` on the persistent pool; every output row depends only on its
+//!   own input row, so batch composition never changes a prediction's bits.
+//! * [`batch`] — [`Batcher`]: coalesces concurrent predict calls into
+//!   micro-batches under a size/time cutoff on a bounded queue, with
+//!   panic containment (a poisoned batch errors its own requests and the
+//!   queue keeps draining).
+//! * `http` (behind the `http` feature) — `/predict`, `/healthz`, `/reload`
+//!   routes registered on the `gmreg-obs` server next to `/metrics` and
+//!   `/status`.
+//! * `signal` — SIGHUP requests a hot-swap, exactly like POST `/reload`.
+//!
+//! The `gmreg-serve` binary composes all of the above into the daemon.
+//!
+//! ## Metric names
+//!
+//! `serve.requests`, `serve.batches`, `serve.batch_size` (histogram),
+//! `serve.request.ns` (latency histogram → p50/p95/p99 in `/metrics`),
+//! `serve.reloads`, `serve.fallbacks`, `serve.rejected`,
+//! `serve.batch.failures`, and the `serve.generation` gauge. The `/status`
+//! document exposes them under its `serve` section.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod config;
+mod error;
+pub mod model;
+pub mod registry;
+pub mod signal;
+mod tele;
+
+#[cfg(feature = "http")]
+pub mod http;
+
+pub use batch::{BatchConfig, Batcher};
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use model::ServedModel;
+pub use registry::{ModelRegistry, ReloadOutcome};

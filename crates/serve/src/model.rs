@@ -1,0 +1,175 @@
+//! The frozen forward pass served by the daemon.
+//!
+//! A [`ServedModel`] is an immutable snapshot of a trained logistic model
+//! (`w`, `bias`) reconstructed from a `LinearFitState` checkpoint payload.
+//! Inference is one `matmul` of the request batch `[rows × d]` against the
+//! weight column `[d × 1]` followed by a numerically-stable sigmoid.
+//!
+//! ## Bitwise batch invariance
+//!
+//! Every output row of the matmul is `dot(x_row, w)` computed with the same
+//! fixed fold tree regardless of how many other rows share the batch, and
+//! the band partitioner splits *rows*, never the reduction dimension. A
+//! prediction therefore has exactly the same bits whether its row was
+//! served alone or coalesced into a 32-row micro-batch — the property the
+//! `serve_batching` suite asserts at thread counts {1, 2, 4, 8}.
+
+use crate::error::ServeError;
+use gmreg_linear::LinearFitState;
+use gmreg_tensor::Tensor;
+
+/// Immutable, generation-stamped inference model.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// Checkpoint generation this model was loaded from.
+    pub generation: u64,
+    /// Weight column, shape `[d, 1]`.
+    w: Tensor,
+    /// Intercept, applied in f64 after the f32 dot product.
+    bias: f64,
+    dim: usize,
+}
+
+/// Numerically-stable sigmoid; same formula as the training path so served
+/// probabilities match `predict_proba` to within f32-dot accumulation.
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl ServedModel {
+    /// Freeze the inference-relevant slice of a training checkpoint.
+    pub fn from_state(generation: u64, state: &LinearFitState) -> Result<Self, ServeError> {
+        let dim = state.w.len();
+        let w = Tensor::from_vec(state.w.clone(), [dim, 1])
+            .map_err(|e| ServeError::BatchFailed(format!("weight tensor: {e}")))?;
+        Ok(ServedModel {
+            generation,
+            w,
+            bias: state.bias,
+            dim,
+        })
+    }
+
+    /// Build a model directly from weights (test/bench convenience).
+    pub fn from_weights(generation: u64, w: Vec<f32>, bias: f64) -> Result<Self, ServeError> {
+        let dim = w.len();
+        let w = Tensor::from_vec(w, [dim, 1])
+            .map_err(|e| ServeError::BatchFailed(format!("weight tensor: {e}")))?;
+        Ok(ServedModel {
+            generation,
+            w,
+            bias,
+            dim,
+        })
+    }
+
+    /// Feature count the model expects per input row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Run the batch through one matmul and return one probability per row.
+    ///
+    /// Multi-row batches are dispatched onto the persistent pool (capped at
+    /// one thread per row); single rows stay serial — the pool's fixed
+    /// per-row arithmetic keeps both paths bit-identical.
+    pub fn forward(&self, rows: &[Vec<f32>]) -> Result<Vec<f64>, ServeError> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut flat = Vec::with_capacity(rows.len() * self.dim);
+        for row in rows {
+            if row.len() != self.dim {
+                return Err(ServeError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: row.len(),
+                });
+            }
+            flat.extend_from_slice(row);
+        }
+        let x = Tensor::from_vec(flat, [rows.len(), self.dim])
+            .map_err(|e| ServeError::BatchFailed(format!("input tensor: {e}")))?;
+
+        // Small batches never clear the auto-parallel FLOP threshold, so
+        // engage the pool explicitly for multi-row batches: serving latency
+        // wants the width, and the chaos suite needs real pool tasks for
+        // the `pool.worker` failpoint to land in.
+        #[cfg(feature = "parallel")]
+        let z = x
+            .matmul_with_threads(&self.w, gmreg_parallel::current_threads().min(rows.len()))
+            .map_err(|e| ServeError::BatchFailed(format!("matmul: {e}")))?;
+        #[cfg(not(feature = "parallel"))]
+        let z = x
+            .matmul_serial(&self.w)
+            .map_err(|e| ServeError::BatchFailed(format!("matmul: {e}")))?;
+
+        Ok(z.as_slice()
+            .iter()
+            .map(|&zi| sigmoid(zi as f64 + self.bias))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_model() -> ServedModel {
+        let w: Vec<f32> = (0..8).map(|i| (i as f32 - 3.5) * 0.25).collect();
+        ServedModel::from_weights(7, w, 0.125).unwrap()
+    }
+
+    fn demo_row(seed: u64) -> Vec<f32> {
+        (0..8)
+            .map(|i| ((seed * 31 + i) % 17) as f32 * 0.1 - 0.8)
+            .collect()
+    }
+
+    #[test]
+    fn outputs_are_probabilities() {
+        let m = demo_model();
+        let out = m.forward(&[demo_row(1), demo_row(2)]).unwrap();
+        assert_eq!(out.len(), 2);
+        for p in out {
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_single_rows_bitwise() {
+        let m = demo_model();
+        let rows: Vec<Vec<f32>> = (0..13).map(demo_row).collect();
+        let batched = m.forward(&rows).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let single = m.forward(std::slice::from_ref(row)).unwrap();
+            assert_eq!(
+                batched[i].to_bits(),
+                single[0].to_bits(),
+                "row {i} diverged between batch and single execution"
+            );
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let m = demo_model();
+        let err = m.forward(&[vec![1.0; 5]]).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::DimensionMismatch {
+                expected: 8,
+                actual: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_empty_output() {
+        assert!(demo_model().forward(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Generation-keyed model registry with atomic hot-swap.
+//!
+//! The registry wraps a [`CheckpointManager`] and publishes the newest
+//! loadable generation as an `Arc<ServedModel>` behind an `RwLock`. Readers
+//! ([`ModelRegistry::current`]) clone the `Arc` — a few nanoseconds under a
+//! read lock — so an in-flight batch keeps the exact model it started with
+//! even while a reload swaps the pointer underneath it.
+//!
+//! [`ModelRegistry::reload`] is the single mutation path, driven by three
+//! triggers that all behave identically: daemon startup, `POST /reload`,
+//! and SIGHUP. A reload that finds a *corrupt* newest generation falls back
+//! to the newest one that validates (the checkpoint layer's behaviour) and
+//! counts `serve.fallbacks` so the degradation is visible in `/status`
+//! rather than silent.
+
+use crate::error::ServeError;
+use crate::model::ServedModel;
+use crate::tele;
+use gmreg_core::durable::CheckpointManager;
+use gmreg_linear::LinearFitState;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// What a [`ModelRegistry::reload`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReloadOutcome {
+    /// A new generation was published (carries the generation number).
+    Swapped(u64),
+    /// The newest on-disk generation is already being served.
+    Unchanged(u64),
+    /// The directory has no loadable checkpoint and nothing was published.
+    Empty,
+}
+
+/// Thread-safe holder of the currently-served model.
+pub struct ModelRegistry {
+    manager: CheckpointManager,
+    current: RwLock<Option<Arc<ServedModel>>>,
+}
+
+impl ModelRegistry {
+    /// Create a registry over `<dir>/<prefix>-NNNNNNNNNN.gmck` checkpoints.
+    /// No generation is loaded yet; call [`ModelRegistry::reload`].
+    pub fn new(dir: &Path, prefix: &str, keep: usize) -> Result<Self, ServeError> {
+        let manager = CheckpointManager::new(dir, prefix, keep)?;
+        Ok(ModelRegistry {
+            manager,
+            current: RwLock::new(None),
+        })
+    }
+
+    /// The model serving right now, if any. Cheap: one `Arc` clone.
+    pub fn current(&self) -> Option<Arc<ServedModel>> {
+        self.current.read().expect("registry lock poisoned").clone()
+    }
+
+    /// Generation of the model serving right now, if any.
+    pub fn generation(&self) -> Option<u64> {
+        self.current().map(|m| m.generation)
+    }
+
+    /// Load the newest valid generation and publish it atomically.
+    ///
+    /// * newest file valid → serve it (`serve.reloads` on change);
+    /// * newest file corrupt, older valid → serve the older one and count
+    ///   `serve.fallbacks`;
+    /// * nothing loadable → keep whatever is currently published (a corrupt
+    ///   upload must not take down a healthy server) and report
+    ///   [`ReloadOutcome::Empty`] / the checkpoint error.
+    pub fn reload(&self) -> Result<ReloadOutcome, ServeError> {
+        let newest_on_disk = self.manager.generations()?.last().copied();
+        let loaded = match self.manager.load_latest::<LinearFitState>() {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                // Every generation failed validation. Existing traffic keeps
+                // the old model; surface the error to the reload caller.
+                tele::counter_inc("serve.fallbacks");
+                return Err(e.into());
+            }
+        };
+        let Some((generation, state)) = loaded else {
+            return Ok(ReloadOutcome::Empty);
+        };
+        if newest_on_disk.is_some_and(|newest| generation < newest) {
+            // Served generation N-1 because generation N failed validation.
+            tele::counter_inc("serve.fallbacks");
+        }
+        if self.generation() == Some(generation) {
+            return Ok(ReloadOutcome::Unchanged(generation));
+        }
+        let model = Arc::new(ServedModel::from_state(generation, &state)?);
+        *self.current.write().expect("registry lock poisoned") = Some(model);
+        tele::counter_inc("serve.reloads");
+        tele::gauge_set("serve.generation", generation as f64);
+        Ok(ReloadOutcome::Swapped(generation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gmreg-serve-reg-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Serializes the tests that assert on the process-global
+    /// `serve.fallbacks` counter, so their before/after deltas can't
+    /// interleave.
+    static FALLBACK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn state(dim: usize, fill: f32) -> LinearFitState {
+        LinearFitState {
+            next_epoch: 1,
+            iterations: 10,
+            current_lr: 0.1,
+            w: vec![fill; dim],
+            bias: 0.5,
+            velocity: vec![0.0; dim],
+            bias_velocity: 0.0,
+            gm: None,
+            degraded_beta: None,
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn counter(name: &str) -> u64 {
+        gmreg_telemetry::flush();
+        gmreg_telemetry::snapshot()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn empty_dir_publishes_nothing() {
+        let dir = tmp_dir("empty");
+        let reg = ModelRegistry::new(&dir, "linfit", 4).unwrap();
+        assert_eq!(reg.reload().unwrap(), ReloadOutcome::Empty);
+        assert!(reg.current().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_publishes_and_deduplicates() {
+        let dir = tmp_dir("dedup");
+        let mgr = CheckpointManager::new(&dir, "linfit", 4).unwrap();
+        mgr.save(&state(4, 1.0)).unwrap();
+
+        let reg = ModelRegistry::new(&dir, "linfit", 4).unwrap();
+        assert_eq!(reg.reload().unwrap(), ReloadOutcome::Swapped(0));
+        assert_eq!(reg.generation(), Some(0));
+        // Same generation again: no swap, no reload counted.
+        assert_eq!(reg.reload().unwrap(), ReloadOutcome::Unchanged(0));
+
+        mgr.save(&state(4, 2.0)).unwrap();
+        assert_eq!(reg.reload().unwrap(), ReloadOutcome::Swapped(1));
+        assert_eq!(reg.generation(), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Truncate the newest GMCK file on disk: the registry must serve
+    /// generation N−1 and count the degradation as a `serve.fallbacks`.
+    #[test]
+    fn truncated_newest_generation_falls_back_to_previous() {
+        let _g = FALLBACK_LOCK.lock().unwrap();
+        let dir = tmp_dir("trunc");
+        let mgr = CheckpointManager::new(&dir, "linfit", 4).unwrap();
+        mgr.save(&state(4, 1.0)).unwrap(); // generation 0
+        mgr.save(&state(4, 2.0)).unwrap(); // generation 1 — about to die
+
+        let newest = dir.join("linfit-0000000001.gmck");
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        #[cfg(feature = "telemetry")]
+        let fallbacks_before = counter("serve.fallbacks");
+
+        let reg = ModelRegistry::new(&dir, "linfit", 4).unwrap();
+        assert_eq!(reg.reload().unwrap(), ReloadOutcome::Swapped(0));
+        assert_eq!(reg.generation(), Some(0), "must serve generation N-1");
+
+        #[cfg(feature = "telemetry")]
+        assert_eq!(
+            counter("serve.fallbacks"),
+            fallbacks_before + 1,
+            "fallback must be counted"
+        );
+
+        // The served model is usable despite the corrupt newest file.
+        let model = reg.current().unwrap();
+        let out = model.forward(&[vec![0.1, 0.2, 0.3, 0.4]]).unwrap();
+        assert!(out[0].is_finite());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_generations_corrupt_keeps_previous_model_and_errors() {
+        let _g = FALLBACK_LOCK.lock().unwrap();
+        let dir = tmp_dir("allbad");
+        let mgr = CheckpointManager::new(&dir, "linfit", 4).unwrap();
+        mgr.save(&state(4, 1.0)).unwrap();
+
+        let reg = ModelRegistry::new(&dir, "linfit", 4).unwrap();
+        reg.reload().unwrap();
+        assert_eq!(reg.generation(), Some(0));
+
+        // New generation arrives but is garbage; gen 0 pruned away too.
+        let g0 = dir.join("linfit-0000000000.gmck");
+        fs::remove_file(&g0).unwrap();
+        fs::write(dir.join("linfit-0000000001.gmck"), b"not a checkpoint").unwrap();
+
+        assert!(reg.reload().is_err());
+        // Healthy traffic continues on the previously-published model.
+        assert_eq!(reg.generation(), Some(0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

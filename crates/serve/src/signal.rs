@@ -1,0 +1,87 @@
+//! SIGHUP-triggered hot-swap, without a signal-handling dependency.
+//!
+//! `std` exposes no signal API, so on Unix we register a handler through
+//! the C `signal(2)` entry point. The handler does the only thing that is
+//! async-signal-safe here: it flips an `AtomicBool`. The daemon's main
+//! loop polls [`take_reload_request`] between accept cycles and performs
+//! the actual registry reload on a normal thread — exactly the same code
+//! path as `POST /reload`.
+//!
+//! On non-Unix targets the module compiles to a stub that never reports a
+//! pending request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    use super::RELOAD_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGHUP: i32 = 1;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sighup(_signum: i32) {
+        // Async-signal-safe: a single relaxed store, nothing else.
+        RELOAD_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(
+                SIGHUP,
+                on_sighup as extern "C" fn(i32) as *const () as usize,
+            );
+        }
+    }
+}
+
+/// Install the SIGHUP handler (idempotent; no-op off Unix).
+pub fn install_sighup_handler() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+/// True exactly once per delivered SIGHUP: reads and clears the flag.
+pub fn take_reload_request() -> bool {
+    RELOAD_REQUESTED.swap(false, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_is_one_shot() {
+        RELOAD_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(take_reload_request());
+        assert!(!take_reload_request());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_sighup_sets_the_flag() {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+            fn getpid() -> i32;
+        }
+        install_sighup_handler();
+        let _ = take_reload_request(); // clear any stale state
+        unsafe {
+            assert_eq!(kill(getpid(), 1), 0);
+        }
+        // Delivery is synchronous for a self-directed signal on Linux, but
+        // allow a brief grace period to be safe.
+        for _ in 0..100 {
+            if take_reload_request() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("SIGHUP was not observed");
+    }
+}

@@ -1,0 +1,287 @@
+//! Micro-batching correctness under real concurrency: for any interleaving
+//! of concurrent `/predict` submissions, each caller's prediction must be
+//! **bit-identical** to running that row alone through the serial forward
+//! pass — batching is a latency optimisation, never a numerics change.
+//!
+//! The invariant holds because the banded matmul splits the *row*
+//! dimension only: each output row's reduction tree depends on the row's
+//! own contents, never on which rows share its batch or how many pool
+//! workers execute it. These tests pin that end to end through the
+//! [`Batcher`] queue at pool caps {1, 2, 4, 8} with 2–32 client threads.
+//!
+//! The failpoint section proves the containment story: an armed
+//! `pool.worker` fault panics a worker mid-batch, the riding requests get
+//! [`ServeError::BatchFailed`], and the queue keeps serving afterwards.
+
+#![cfg(all(feature = "serve", feature = "parallel"))]
+
+use gmreg_core::durable::CheckpointManager;
+use gmreg_linear::LinearFitState;
+use gmreg_serve::{BatchConfig, Batcher, ModelRegistry, ServeError, ServedModel};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+
+const DIM: usize = 16;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Every test here mutates process-global state (the pool thread cap, the
+/// failpoint table, the telemetry registry), so they must not interleave.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic pseudo-random feature row in roughly [-2, 2).
+fn row(seed: u64, dim: usize) -> Vec<f32> {
+    let mut s = seed ^ 0xC0FF_EE00;
+    (0..dim)
+        .map(|_| (splitmix64(&mut s) % 4000) as f32 / 1000.0 - 2.0)
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gmreg-serve-batching-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Write one deterministic checkpoint and publish it through a registry.
+fn seeded_registry(dir: &PathBuf, seed: u64) -> Arc<ModelRegistry> {
+    let mut s = seed;
+    let mgr = CheckpointManager::new(dir, "linfit", 4).expect("manager");
+    mgr.save(&LinearFitState {
+        next_epoch: 1,
+        iterations: 10,
+        current_lr: 0.1,
+        w: (0..DIM)
+            .map(|_| (splitmix64(&mut s) % 2000) as f32 / 1000.0 - 1.0)
+            .collect(),
+        bias: (splitmix64(&mut s) % 1000) as f64 / 1000.0 - 0.5,
+        velocity: vec![0.0; DIM],
+        bias_velocity: 0.0,
+        gm: None,
+        degraded_beta: None,
+    })
+    .expect("checkpoint");
+    let reg = Arc::new(ModelRegistry::new(dir, "linfit", 4).expect("registry"));
+    reg.reload().expect("publish");
+    reg
+}
+
+/// Serial single-request reference: a 1-row forward never engages the
+/// pool (`threads.min(1) == 1` falls through to `matmul_serial`), so this
+/// is the ground truth every batched result must match bitwise.
+fn serial_reference(model: &ServedModel, rows: &[Vec<f32>]) -> Vec<f64> {
+    rows.iter()
+        .map(|r| model.forward(std::slice::from_ref(r)).expect("reference")[0])
+        .collect()
+}
+
+/// Client index paired with its prediction (or error) from the batcher.
+type ClientResult = (usize, Result<(u64, f64), ServeError>);
+
+/// Fire `rows` at the batcher from one thread per row, all released by a
+/// barrier so the queue sees a genuinely concurrent interleaving.
+fn submit_concurrently(batcher: &Arc<Batcher>, rows: &[Vec<f32>]) -> Vec<ClientResult> {
+    let barrier = Arc::new(Barrier::new(rows.len()));
+    let handles: Vec<_> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let batcher = Arc::clone(batcher);
+            let barrier = Arc::clone(&barrier);
+            let row = r.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                (i, batcher.submit(row))
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any interleaving of 2–32 concurrent clients, at every pool cap in
+    /// {1, 2, 4, 8}, yields per-request predictions bit-identical to
+    /// serial single-request execution.
+    #[test]
+    fn concurrent_interleavings_match_serial_bitwise(
+        seed in 0u64..10_000,
+        clients in 2usize..=32,
+    ) {
+        let _g = lock();
+        let dir = tmp_dir("prop");
+        let reg = seeded_registry(&dir, seed);
+        let model = reg.current().expect("model published");
+        let rows: Vec<Vec<f32>> = (0..clients as u64)
+            .map(|i| row(seed.wrapping_mul(1031).wrapping_add(i), DIM))
+            .collect();
+        let reference = serial_reference(&model, &rows);
+
+        for cap in THREAD_COUNTS {
+            gmreg_parallel::set_thread_cap(cap);
+            // Small max_size + a real wait window force multi-row batches
+            // with shifting compositions across runs.
+            let batcher = Arc::new(Batcher::new(
+                Arc::clone(&reg),
+                BatchConfig {
+                    max_size: 8,
+                    max_wait_us: 2_000,
+                    queue_cap: 1024,
+                },
+            ));
+            for (i, result) in submit_concurrently(&batcher, &rows) {
+                let (generation, prob) = result.expect("prediction");
+                prop_assert_eq!(generation, model.generation);
+                prop_assert_eq!(
+                    prob.to_bits(),
+                    reference[i].to_bits(),
+                    "client {} diverged at pool cap {}: {} != {}",
+                    i, cap, prob, reference[i]
+                );
+            }
+        }
+        gmreg_parallel::set_thread_cap(0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Burst arrival actually coalesces: 16 concurrent submissions land in
+/// strictly fewer batches than requests (i.e. at least one multi-row
+/// matmul), visible through the serve counters.
+#[cfg(feature = "telemetry")]
+#[test]
+fn concurrent_burst_coalesces_into_fewer_batches() {
+    let _g = lock();
+    gmreg_telemetry::set_enabled(true);
+    let dir = tmp_dir("coalesce");
+    let reg = seeded_registry(&dir, 99);
+    let model = reg.current().expect("model");
+    let rows: Vec<Vec<f32>> = (0..16).map(|i| row(7_000 + i, DIM)).collect();
+    let reference = serial_reference(&model, &rows);
+
+    let counter = |name: &str| {
+        gmreg_telemetry::flush();
+        gmreg_telemetry::snapshot()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    };
+    let requests_before = counter("serve.requests");
+    let batches_before = counter("serve.batches");
+
+    let batcher = Arc::new(Batcher::new(
+        Arc::clone(&reg),
+        BatchConfig {
+            // A wide wait window so the whole barrier-released burst
+            // reliably shares batches.
+            max_size: 8,
+            max_wait_us: 100_000,
+            queue_cap: 1024,
+        },
+    ));
+    for (i, result) in submit_concurrently(&batcher, &rows) {
+        let (_, prob) = result.expect("prediction");
+        assert_eq!(prob.to_bits(), reference[i].to_bits(), "client {i}");
+    }
+    // Joining the dispatcher (Drop) drains its thread-local sink into the
+    // global registry, so the deltas below see the final batch.
+    drop(batcher);
+
+    let requests = counter("serve.requests") - requests_before;
+    let batches = counter("serve.batches") - batches_before;
+    assert_eq!(requests, 16);
+    assert!(batches >= 2, "max_size 8 forces at least two batches");
+    assert!(
+        batches < requests,
+        "burst of {requests} requests must coalesce (got {batches} batches)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An armed `pool.worker` failpoint panics a worker mid-batch: every
+/// request riding that batch gets [`ServeError::BatchFailed`] naming the
+/// injected fault, and the queue is not wedged — the next submission
+/// succeeds with the usual bitwise guarantee.
+#[cfg(feature = "failpoints")]
+#[test]
+fn pool_worker_failpoint_errors_batch_without_wedging_queue() {
+    let _g = lock();
+    gmreg_faults::reset();
+    let dir = tmp_dir("failpoint");
+    let reg = seeded_registry(&dir, 4242);
+    let model = reg.current().expect("model");
+
+    gmreg_parallel::set_thread_cap(4);
+    let batcher = Arc::new(Batcher::new(
+        Arc::clone(&reg),
+        BatchConfig {
+            max_size: 8,
+            max_wait_us: 100_000,
+            queue_cap: 64,
+        },
+    ));
+
+    // Every parallel (>= 2 rows) matmul panics while armed. Single-row
+    // batches run serial and bypass the pool, so retry the concurrent
+    // burst until one multi-row batch actually formed — in practice the
+    // first barrier-released burst always coalesces.
+    gmreg_faults::arm(
+        "pool.worker",
+        gmreg_faults::FaultSpec::always(gmreg_faults::FaultKind::Panic),
+    );
+    let mut failed = 0usize;
+    for attempt in 0..20 {
+        let rows: Vec<Vec<f32>> = (0..4).map(|i| row(900 + attempt * 10 + i, DIM)).collect();
+        let reference = serial_reference(&model, &rows);
+        for (i, result) in submit_concurrently(&batcher, &rows) {
+            match result {
+                Err(ServeError::BatchFailed(msg)) => {
+                    assert!(
+                        msg.contains("injected fault: pool.worker"),
+                        "unexpected failure message: {msg}"
+                    );
+                    failed += 1;
+                }
+                // A request that raced into its own 1-row batch ran
+                // serial and must still be bit-correct.
+                Ok((_, prob)) => assert_eq!(prob.to_bits(), reference[i].to_bits()),
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        if failed > 0 {
+            break;
+        }
+    }
+    assert!(failed >= 2, "a multi-row batch must fail while armed");
+
+    // Disarm: the same queue keeps serving, bit-identical as ever.
+    gmreg_faults::reset();
+    let recovery = row(31_337, DIM);
+    let expect = serial_reference(&model, std::slice::from_ref(&recovery))[0];
+    let rows: Vec<Vec<f32>> = (0..4).map(|_| recovery.clone()).collect();
+    for (_, result) in submit_concurrently(&batcher, &rows) {
+        let (_, prob) = result.expect("queue must not be wedged after the fault");
+        assert_eq!(prob.to_bits(), expect.to_bits());
+    }
+
+    gmreg_parallel::set_thread_cap(0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,228 @@
+//! Serving-daemon e2e: boot the full HTTP stack (registry, micro-batcher,
+//! router) on an ephemeral port against a real checkpoint directory
+//! written by `fit_durable`, and drive it over the wire.
+//!
+//! Covered end to end, in order, inside one test (the server, the
+//! telemetry registry, and the checkpoint directory are shared state):
+//!
+//! 1. `/healthz` answers 503 while the registry is empty;
+//! 2. after training + `/reload`, `/healthz` answers 200 with the
+//!    generation;
+//! 3. `/predict` responses are **bit-identical** to the in-process
+//!    [`ServedModel::forward`] reference on the same rows;
+//! 4. a newer checkpoint generation is picked up by `POST /reload` and
+//!    served — and its predictions move to the new weights;
+//! 5. malformed requests get 400s without disturbing the server.
+
+#![cfg(all(feature = "serve", feature = "telemetry"))]
+
+use gmreg_core::durable::CheckpointManager;
+use gmreg_linear::{blobs, DurableFitConfig, LinearFitState, LogisticRegression, LrConfig};
+use gmreg_serve::{BatchConfig, Batcher, ModelRegistry, ReloadOutcome};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+    (head.to_string(), body.to_string())
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+    (head.to_string(), body.to_string())
+}
+
+/// Renders rows as a `/predict` body. `{}` on f32 is shortest round-trip,
+/// so the server re-parses exactly these values.
+fn predict_body(rows: &[Vec<f32>]) -> String {
+    let mut out = String::from("{\"inputs\": [");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{v}"));
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Extracts the `predictions` array from a `/predict` response body.
+fn parse_predictions(body: &str) -> Vec<f64> {
+    let start = body
+        .find("\"predictions\": [")
+        .unwrap_or_else(|| panic!("no predictions array in {body}"))
+        + "\"predictions\": [".len();
+    let end = start + body[start..].find(']').expect("unterminated array");
+    body[start..end]
+        .split(',')
+        .map(|t| t.trim().parse::<f64>().expect("prediction parses"))
+        .collect()
+}
+
+fn parse_generation(body: &str) -> u64 {
+    let start = body.find("\"generation\": ").expect("generation field") + "\"generation\": ".len();
+    body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("generation parses")
+}
+
+fn demo_rows(dim: usize, n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|r| {
+            (0..dim)
+                .map(|c| ((r * 31 + c * 7) % 23) as f32 * 0.125 - 1.5)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn serving_stack_end_to_end() {
+    gmreg_telemetry::set_enabled(true);
+    let dir = std::env::temp_dir().join(format!("gmreg-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Boot the whole stack over an empty model directory.
+    let registry = Arc::new(ModelRegistry::new(&dir, "linfit", 4).expect("registry"));
+    assert_eq!(
+        registry.reload().expect("empty reload"),
+        ReloadOutcome::Empty
+    );
+    let batcher = Arc::new(Batcher::new(Arc::clone(&registry), BatchConfig::default()));
+    let router = gmreg_serve::http::serving_router(Arc::clone(&registry), batcher);
+    let server = gmreg_obs::ObsServer::bind_with("127.0.0.1:0", router).expect("ephemeral port");
+    let addr = server.local_addr();
+
+    // 1. Unhealthy while no generation is published.
+    let (head, body) = get(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+    assert!(body.contains("\"generation\": null"), "{body}");
+    let (head, _) = post(addr, "/predict", &predict_body(&demo_rows(8, 1)));
+    assert!(head.starts_with("HTTP/1.1 503"), "no model yet: {head}");
+
+    // 2. Train a real checkpoint with fit_durable, hot-swap it in.
+    let dim = 8usize;
+    let lr_cfg = LrConfig {
+        epochs: 3,
+        ..LrConfig::default()
+    };
+    let ds = blobs(120, dim, 1.5, 11).expect("generator");
+    let mut lr = LogisticRegression::new(dim, lr_cfg).expect("config");
+    lr.fit_durable(&ds, &dir, &DurableFitConfig::default())
+        .expect("training");
+
+    let (head, body) = post(addr, "/reload", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+    assert!(body.contains("\"outcome\": \"swapped\""), "{body}");
+    let (head, body) = get(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+
+    // 3. Wire predictions are bit-identical to the in-process reference.
+    let model = registry.current().expect("model published");
+    let rows = demo_rows(dim, 5);
+    let reference = model.forward(&rows).expect("reference forward");
+    let (head, body) = post(addr, "/predict", &predict_body(&rows));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+    assert_eq!(parse_generation(&body), model.generation);
+    let served = parse_predictions(&body);
+    assert_eq!(served.len(), reference.len());
+    for (i, (s, r)) in served.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            r.to_bits(),
+            "row {i}: served {s} != reference {r}"
+        );
+    }
+
+    // 4. A newer generation on disk is picked up by /reload and served.
+    let manager = CheckpointManager::new(&dir, "linfit", 4).expect("manager");
+    let (old_generation, mut state) = manager
+        .load_latest::<LinearFitState>()
+        .expect("load")
+        .expect("exists");
+    state.bias += 2.0; // visibly different model
+    let new_generation = manager.save(&state).expect("save");
+    assert!(new_generation > old_generation);
+
+    let (head, body) = post(addr, "/reload", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+    assert_eq!(parse_generation(&body), new_generation);
+
+    let new_model = registry.current().expect("new model");
+    assert_eq!(new_model.generation, new_generation);
+    let new_reference = new_model.forward(&rows).expect("new reference");
+    let (head, body) = post(addr, "/predict", &predict_body(&rows));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(parse_generation(&body), new_generation);
+    let new_served = parse_predictions(&body);
+    for (s, r) in new_served.iter().zip(&new_reference) {
+        assert_eq!(s.to_bits(), r.to_bits());
+    }
+    // The +2 bias shift must actually move the probabilities.
+    assert!(
+        served
+            .iter()
+            .zip(&new_served)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "new generation served identical outputs"
+    );
+
+    // A second reload with nothing new is a no-op, not an error.
+    let (head, body) = post(addr, "/reload", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("\"outcome\": \"unchanged\""), "{body}");
+
+    // 5. Malformed requests get 400s; the server keeps serving after.
+    let (head, _) = post(addr, "/predict", "{\"inputs\": \"nope\"}");
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    let (head, _) = post(addr, "/predict", "{\"inputs\": []}");
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    let (head, _) = post(addr, "/predict", &predict_body(&demo_rows(3, 1)));
+    assert!(head.starts_with("HTTP/1.1 400"), "wrong dim: {head}");
+    let (head, _) = get(addr, "/predict");
+    assert!(head.starts_with("HTTP/1.1 404"), "GET /predict: {head}");
+    let (head, _) = post(addr, "/predict", &predict_body(&rows));
+    assert!(head.starts_with("HTTP/1.1 200"), "server wedged: {head}");
+
+    // /metrics and /status still serve beside the predict routes, and the
+    // serve section reflects the traffic that just happened.
+    let (head, body) = get(addr, "/status");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("\"serve\": {"), "{body}");
+    let (head, body) = get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("gmreg_serve_requests"), "{body}");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
