@@ -1,0 +1,110 @@
+//! `bench_shard` — worker-count sweep for the elastic sharded trainer.
+//!
+//! ```text
+//! bench_shard [--n ROWS] [--dim D] [--epochs N] [--shards S] [--seed N]
+//!             [--workers 1,2,4,8] [--out BENCH_SHARD.json]
+//! ```
+//!
+//! Trains the same model once per worker count on a fixed shard grid and
+//! writes `BENCH_SHARD.json` (see `gmreg_bench::shard_sweep` for the
+//! schema). Exit code 1 when any worker count fails to reproduce the
+//! reference bits — the CI gate additionally floors `shard.identical`
+//! through `bench_diff --min`, but a red exit here fails fast with the
+//! offending worker count named.
+
+use gmreg_bench::shard_sweep::{run_sweep, write_bench_shard, SweepConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: SweepConfig,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: SweepConfig::default(),
+        out: PathBuf::from("BENCH_SHARD.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        }
+        match arg.as_str() {
+            "--n" => args.cfg.n = num("--n", value("--n")?)?,
+            "--dim" => args.cfg.dim = num("--dim", value("--dim")?)?,
+            "--epochs" => args.cfg.epochs = num("--epochs", value("--epochs")?)?,
+            "--shards" => args.cfg.shards = num("--shards", value("--shards")?)?,
+            "--seed" => args.cfg.seed = num("--seed", value("--seed")?)?,
+            "--workers" => {
+                args.cfg.worker_counts = value("--workers")?
+                    .split(',')
+                    .map(|w| num("--workers", w.trim().to_string()))
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "bench_shard [--n ROWS] [--dim D] [--epochs N] [--shards S] \
+                     [--seed N] [--workers 1,2,4,8] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.cfg.worker_counts.is_empty() {
+        return Err("--workers needs at least one count".to_string());
+    }
+    if args.cfg.worker_counts.contains(&0) {
+        return Err("--workers counts must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_shard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_shard: n={} dim={} epochs={} shards={} workers={:?}",
+        args.cfg.n, args.cfg.dim, args.cfg.epochs, args.cfg.shards, args.cfg.worker_counts
+    );
+    let doc = match run_sweep(&args.cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_shard: sweep failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for fit in &doc.shard.fits {
+        println!(
+            "workers {:>2}: {:>8.1} ms  loss {:.6}  acc {:.4}  identical {}",
+            fit.threads,
+            fit.wall_ms,
+            fit.final_loss,
+            fit.final_accuracy,
+            if fit.identical == 1.0 { "yes" } else { "NO" }
+        );
+    }
+    if let Err(e) = write_bench_shard(&doc, &args.out) {
+        eprintln!("bench_shard: writing {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", args.out.display());
+    if doc.shard.identical != 1.0 {
+        eprintln!("bench_shard: worker count changed the result bits");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,14 +3,17 @@
 //! ```text
 //! gmreg-load --addr 127.0.0.1:9900 [--threads N] [--rate RPS]
 //!            [--duration-secs S] [--rows N] [--dim D] [--seed N]
-//!            [--p99-budget-ms MS] [--out BENCH_SERVE.json]
+//!            [--p99-budget-ms MS] [--max-error-rate F]
+//!            [--out BENCH_SERVE.json]
 //! ```
 //!
 //! Drives N closed-loop client threads at an aggregate target rate,
 //! prints a latency summary, and writes `BENCH_SERVE.json` for
 //! `bench_diff` gating (see `EXPERIMENTS.md` for the schema). Exit code 1
 //! when every request failed — a smoke job pointed at a dead server must
-//! not produce a green baseline.
+//! not produce a green baseline — or when the run's `error_rate`
+//! (`errors / attempts`) exceeds `--max-error-rate` (default `1.0`, i.e.
+//! not gated; the serve-smoke CI job passes an explicit budget).
 
 use gmreg_bench::load::{run_load, write_bench_serve, BenchServe, LoadConfig};
 use std::path::PathBuf;
@@ -19,6 +22,7 @@ use std::process::ExitCode;
 struct Args {
     cfg: LoadConfig,
     p99_budget_ms: f64,
+    max_error_rate: f64,
     out: PathBuf,
 }
 
@@ -26,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cfg: LoadConfig::default(),
         p99_budget_ms: 250.0,
+        max_error_rate: 1.0,
         out: PathBuf::from("BENCH_SERVE.json"),
     };
     let mut it = std::env::args().skip(1);
@@ -50,12 +55,15 @@ fn parse_args() -> Result<Args, String> {
             "--p99-budget-ms" => {
                 args.p99_budget_ms = num("--p99-budget-ms", value("--p99-budget-ms")?)?
             }
+            "--max-error-rate" => {
+                args.max_error_rate = num("--max-error-rate", value("--max-error-rate")?)?
+            }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
                 println!(
                     "gmreg-load --addr HOST:PORT [--threads N] [--rate RPS] \
                      [--duration-secs S] [--rows N] [--dim D] [--seed N] \
-                     [--p99-budget-ms MS] [--out PATH]"
+                     [--p99-budget-ms MS] [--max-error-rate F] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -67,6 +75,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.cfg.rows_per_request == 0 || args.cfg.dim == 0 {
         return Err("--rows and --dim must be at least 1".to_string());
+    }
+    if !(0.0..=1.0).contains(&args.max_error_rate) {
+        return Err("--max-error-rate must be within [0, 1]".to_string());
     }
     Ok(args)
 }
@@ -86,8 +97,8 @@ fn main() -> ExitCode {
     );
     let report = run_load(&args.cfg, args.p99_budget_ms);
     println!(
-        "requests {}  errors {}  throughput {:.1} rps",
-        report.requests, report.errors, report.throughput_rps
+        "requests {}  errors {}  error_rate {:.4}  throughput {:.1} rps",
+        report.requests, report.errors, report.error_rate, report.throughput_rps
     );
     println!(
         "latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (budget {} ms, headroom {:.1}x)",
@@ -99,6 +110,7 @@ fn main() -> ExitCode {
     );
 
     let all_failed = report.requests == 0;
+    let error_rate = report.error_rate;
     let doc = BenchServe {
         config: args.cfg,
         serve: report,
@@ -110,6 +122,13 @@ fn main() -> ExitCode {
     println!("wrote {}", args.out.display());
     if all_failed {
         eprintln!("gmreg-load: every request failed");
+        return ExitCode::FAILURE;
+    }
+    if error_rate > args.max_error_rate {
+        eprintln!(
+            "gmreg-load: error_rate {error_rate:.4} exceeds --max-error-rate {}",
+            args.max_error_rate
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -328,8 +328,9 @@ pub fn direction(path: &str) -> Direction {
     // classify `runs` as a timing.
     let unit_suffix =
         last == "ns" || last == "ms" || last.ends_with("_ns") || last.ends_with("_ms");
+    // `error` outranks `rate` below so `error_rate` diffs lower-is-better.
     const LOWER: &[&str] = &[
-        "time", "dur", "loss", "dropped", "fail", "panic", "rollback", "p50", "p95", "p99",
+        "time", "dur", "loss", "dropped", "fail", "panic", "rollback", "error", "p50", "p95", "p99",
     ];
     const HIGHER: &[&str] = &["speedup", "acc", "throughput", "rate", "ops", "hit"];
     if unit_suffix || LOWER.iter().any(|w| last.contains(w)) {

@@ -15,6 +15,8 @@ pub mod load;
 pub mod obs;
 pub mod report;
 pub mod scale;
+#[cfg(feature = "shard")]
+pub mod shard_sweep;
 pub mod small;
 pub mod telemetry;
 pub mod timing;

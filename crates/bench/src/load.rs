@@ -16,7 +16,8 @@
 //! {
 //!   "config": {"threads": 2, "rate_rps": 200.0, "duration_secs": 5.0,
 //!              "rows_per_request": 1, "dim": 8, "seed": 42},
-//!   "serve": {"requests": 950, "errors": 0, "throughput_rps": 189.7,
+//!   "serve": {"requests": 950, "errors": 0, "error_rate": 0.0,
+//!             "throughput_rps": 189.7,
 //!             "latency_ms": {"p50": 1.1, "p95": 2.0, "p99": 3.2},
 //!             "p99_budget_ms": 250.0, "latency_headroom": 78.1}
 //! }
@@ -83,6 +84,10 @@ pub struct LoadReport {
     pub requests: u64,
     /// Requests that failed (connect error, non-200, short read).
     pub errors: u64,
+    /// `errors / (requests + errors)` — the fraction of the attempted
+    /// stream that failed, `1.0` when nothing was attempted. Gated by
+    /// `gmreg-load --max-error-rate` and floorable via `bench_diff`.
+    pub error_rate: f64,
     /// Achieved aggregate throughput over the run window.
     pub throughput_rps: f64,
     /// End-to-end request latency percentiles.
@@ -238,9 +243,15 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
         p95: percentile_ms(&all_ns, 0.95),
         p99: percentile_ms(&all_ns, 0.99),
     };
+    let attempted = all_ns.len() as u64 + errors;
     LoadReport {
         requests: all_ns.len() as u64,
         errors,
+        error_rate: if attempted > 0 {
+            errors as f64 / attempted as f64
+        } else {
+            1.0
+        },
         throughput_rps: all_ns.len() as f64 / elapsed,
         latency_ms,
         p99_budget_ms,
@@ -292,6 +303,7 @@ mod tests {
             serve: LoadReport {
                 requests: 10,
                 errors: 0,
+                error_rate: 0.0,
                 throughput_rps: 123.4,
                 latency_ms: LatencyMs {
                     p50: 1.0,
@@ -316,6 +328,10 @@ mod tests {
             crate::diff::Direction::LowerIsBetter
         );
         assert_eq!(
+            crate::diff::direction("serve.error_rate"),
+            crate::diff::Direction::LowerIsBetter
+        );
+        assert_eq!(
             crate::diff::direction("serve.throughput_rps"),
             crate::diff::Direction::HigherIsBetter
         );
@@ -335,6 +351,7 @@ mod tests {
         let report = run_load(&cfg, 250.0);
         assert_eq!(report.requests, 0);
         assert!(report.errors > 0);
+        assert_eq!(report.error_rate, 1.0, "every attempt failed");
         assert_eq!(report.latency_ms.p99, 0.0);
     }
 }

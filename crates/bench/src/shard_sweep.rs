@@ -1,0 +1,207 @@
+//! Worker-count sweep for the elastic sharded trainer (`bench_shard`).
+//!
+//! [`run_sweep`] trains the same model, on the same dataset, with the same
+//! `ShardConfig` shard grid, once per worker count — and checks that the
+//! resulting weights are **bit-identical** across the whole sweep. That is
+//! the determinism contract of `gmreg-shard`: the worker count is an
+//! execution detail, never a numerics input.
+//!
+//! [`write_bench_shard`] serializes the sweep as `BENCH_SHARD.json` with
+//! `bench_diff`-friendly paths:
+//!
+//! ```json
+//! {
+//!   "config": {"n": 512, "dim": 16, "epochs": 6, "shards": 8, "seed": 3},
+//!   "shard": {
+//!     "identical": 1.0,
+//!     "final_loss": 0.21, "final_accuracy": 0.97,
+//!     "fits": [{"name": "fit", "threads": 1, "wall_ms": 120.0, ...}, ...]
+//!   }
+//! }
+//! ```
+//!
+//! `shard.identical` is `1.0` only when every worker count reproduced the
+//! reference bits; CI pins it with `bench_diff --min 'shard.identical=1'`
+//! (a floor, like `serve.latency_headroom`, because the gate asserts a
+//! minimum). Per-fit wall times ride along labelled `@tN` but are never
+//! gated — shared runners are too noisy for cross-count timing claims.
+
+use gmreg_linear::{blobs, LrConfig};
+use gmreg_shard::{Result, ShardConfig, ShardedTrainer};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sweep parameters (the `bench_shard` binary's flags).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepConfig {
+    /// Dataset rows.
+    pub n: usize,
+    /// Features per row.
+    pub dim: usize,
+    /// Training epochs per fit.
+    pub epochs: usize,
+    /// Fixed shard count shared by every fit (the determinism anchor).
+    pub shards: usize,
+    /// Dataset + shuffle seed.
+    pub seed: u64,
+    /// Worker counts to sweep.
+    pub worker_counts: Vec<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            n: 512,
+            dim: 16,
+            epochs: 6,
+            shards: 8,
+            seed: 3,
+            worker_counts: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// One fit of the sweep. `threads` holds the worker count so the flattener
+/// labels the record `fit@tN` (same convention as the `BENCH_PR1.json`
+/// thread sweep).
+#[derive(Debug, Clone, Serialize)]
+pub struct FitRecord {
+    /// Constant label for the flattener.
+    pub name: String,
+    /// Worker count (flattens into the `@tN` suffix).
+    pub threads: usize,
+    /// Wall-clock fit time in milliseconds (informational, never gated).
+    pub wall_ms: f64,
+    /// Mean epoch loss of the final epoch.
+    pub final_loss: f64,
+    /// Training accuracy of the final epoch.
+    pub final_accuracy: f64,
+    /// `1.0` when this fit's weights bit-match the reference fit.
+    pub identical: f64,
+}
+
+/// Sweep summary written under the `"shard"` key.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// `1.0` iff every worker count reproduced the reference bits.
+    pub identical: f64,
+    /// Final-epoch loss of the reference (fewest-workers) fit.
+    pub final_loss: f64,
+    /// Final-epoch accuracy of the reference fit.
+    pub final_accuracy: f64,
+    /// Per-worker-count records.
+    pub fits: Vec<FitRecord>,
+}
+
+/// The on-disk `BENCH_SHARD.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchShard {
+    /// Sweep parameters, for reproducibility.
+    pub config: SweepConfig,
+    /// Measured results.
+    pub shard: SweepReport,
+}
+
+/// Run the sweep: one fit per worker count, bit-compared to the first.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<BenchShard> {
+    let ds = Arc::new(blobs(cfg.n, cfg.dim, 1.5, cfg.seed)?);
+    let train = LrConfig {
+        epochs: cfg.epochs,
+        batch_size: 32,
+        seed: cfg.seed.wrapping_add(11),
+        ..LrConfig::default()
+    };
+
+    let mut reference: Option<(Vec<u32>, u32)> = None;
+    let mut fits = Vec::with_capacity(cfg.worker_counts.len());
+    let mut all_identical = true;
+    let mut final_loss = f64::INFINITY;
+    let mut final_accuracy = 0.0;
+
+    for &workers in &cfg.worker_counts {
+        let shard_cfg = ShardConfig {
+            workers,
+            shards: cfg.shards,
+            ..ShardConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "gmreg-bench-shard-w{workers}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut trainer = ShardedTrainer::new(cfg.dim, train, None, shard_cfg)?;
+        let started = Instant::now();
+        let stats = trainer.train(&ds, &dir)?;
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let bits: Vec<u32> = trainer.weights().iter().map(|w| w.to_bits()).collect();
+        let bias_bits = trainer.bias().to_bits();
+        let identical = match &reference {
+            None => {
+                reference = Some((bits, bias_bits));
+                final_loss = stats.final_loss;
+                final_accuracy = stats.final_accuracy;
+                true
+            }
+            Some((ref_bits, ref_bias)) => bits == *ref_bits && bias_bits == *ref_bias,
+        };
+        all_identical &= identical;
+
+        fits.push(FitRecord {
+            name: "fit".to_string(),
+            threads: workers,
+            wall_ms,
+            final_loss: stats.final_loss,
+            final_accuracy: stats.final_accuracy,
+            identical: if identical { 1.0 } else { 0.0 },
+        });
+    }
+
+    Ok(BenchShard {
+        config: cfg.clone(),
+        shard: SweepReport {
+            identical: if all_identical { 1.0 } else { 0.0 },
+            final_loss,
+            final_accuracy,
+            fits,
+        },
+    })
+}
+
+/// Write the sweep as pretty JSON (`BENCH_SHARD.json` by convention).
+pub fn write_bench_shard(doc: &BenchShard, path: &std::path::Path) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_bit_identical_and_flattens_with_gateable_paths() {
+        let cfg = SweepConfig {
+            n: 96,
+            dim: 6,
+            epochs: 2,
+            shards: 4,
+            worker_counts: vec![1, 3],
+            ..SweepConfig::default()
+        };
+        let doc = run_sweep(&cfg).expect("sweep");
+        assert_eq!(doc.shard.identical, 1.0, "worker count changed the bits");
+        assert_eq!(doc.shard.fits.len(), 2);
+        assert!(doc.shard.final_loss.is_finite());
+
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        let flat = crate::diff::flatten(&crate::diff::Json::parse(&json).unwrap());
+        // The paths the CI gate floors on must stay stable.
+        assert_eq!(flat["shard.identical"], 1.0);
+        assert!(flat.contains_key("shard.final_accuracy"));
+        assert!(flat.contains_key("shard.fits.fit@t1.wall_ms"), "{flat:?}");
+        assert!(flat.contains_key("shard.fits.fit@t3.identical"));
+    }
+}

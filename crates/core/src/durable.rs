@@ -135,7 +135,10 @@ fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> CoreError {
 /// Atomically write `bytes` to `path` via a `.tmp` sibling plus rename.
 ///
 /// The temp file is fsynced before the rename so the container is fully on
-/// disk before it becomes visible under the final name.
+/// disk before it becomes visible under the final name, and the parent
+/// directory is fsynced after the rename so the directory entry itself is
+/// durable — without it a power loss after a "successful" save can leave
+/// the generation file missing entirely (the torn-directory case).
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = path.with_extension("tmp");
     {
@@ -144,6 +147,27 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
         f.sync_all().map_err(|e| io_err(&tmp, "sync", e))?;
     }
     fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", e))?;
+
+    // Failpoint: model a power loss in the window between the rename and
+    // the directory fsync — the rename was never made durable, so the new
+    // generation vanishes and the writer must report failure, not success.
+    #[cfg(feature = "failpoints")]
+    if gmreg_faults::fire("ckpt.dir").is_some() {
+        let _ = fs::remove_file(path);
+        return Err(io_err(
+            path,
+            "dir_sync",
+            std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "injected torn-directory fault (ckpt.dir)",
+            ),
+        ));
+    }
+
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir = fs::File::open(parent).map_err(|e| io_err(parent, "open_dir", e))?;
+        dir.sync_all().map_err(|e| io_err(parent, "dir_sync", e))?;
+    }
     Ok(())
 }
 

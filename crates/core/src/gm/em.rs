@@ -173,14 +173,51 @@ pub fn e_step_with_threads(
 /// Per-component log weights: ln π_k + 0.5 ln λ_k (the -0.5 ln 2π constant
 /// cancels in the softmax).
 fn prepare_log_base(gm: &GaussianMixture, log_base: &mut Vec<f64>) {
+    prepare_log_base_parts(gm.pi(), gm.lambda(), log_base);
+}
+
+fn prepare_log_base_parts(pi: &[f64], lambda: &[f64], log_base: &mut Vec<f64>) {
     log_base.clear();
-    log_base.extend(gm.pi().iter().zip(gm.lambda()).map(|(&pi, &lambda)| {
+    log_base.extend(pi.iter().zip(lambda).map(|(&pi, &lambda)| {
         if pi > 0.0 {
             pi.ln() + 0.5 * lambda.ln()
         } else {
             f64::NEG_INFINITY
         }
     }));
+}
+
+/// Per-shard E-step: sufficient statistics (and optionally `g_reg`) for one
+/// contiguous run of weights, computed from raw mixture parameters so a
+/// remote/sharded worker does not need the [`GaussianMixture`] itself.
+///
+/// Shard boundaries must sit on [`E_STEP_CHUNK`] multiples of the *global*
+/// weight vector; the shard's internal chunking then coincides with the
+/// global sweep's, so merging shard partials in a fixed shard order (see
+/// [`merge_partials`]) is deterministic for any worker count.
+pub fn e_step_partial(
+    pi: &[f64],
+    lambda: &[f64],
+    w: &[f32],
+    greg_out: Option<&mut [f32]>,
+) -> EmAccumulators {
+    if let Some(out) = greg_out.as_deref() {
+        assert_eq!(out.len(), w.len(), "greg buffer must match weight length");
+    }
+    let mut log_base = Vec::new();
+    prepare_log_base_parts(pi, lambda, &mut log_base);
+    let mut logs = Vec::new();
+    e_step_serial_chunked(lambda, &log_base, w, greg_out, &mut logs)
+}
+
+/// Merge one shard's E-step statistics into `total` (component-wise f64
+/// adds plus the covered-dimension count). Callers must invoke this in a
+/// fixed shard order — ascending shard index, or a fixed-shape reduction
+/// tree over it — so the floating-point sums are independent of how shards
+/// were distributed over workers.
+pub fn merge_partials(total: &mut EmAccumulators, partial: &EmAccumulators) {
+    fold_partial(total, partial);
+    total.m += partial.m;
 }
 
 /// The fused per-chunk kernel: responsibilities, sufficient statistics and

@@ -37,8 +37,8 @@ pub use config::{GmConfig, GAMMA_GRID};
 #[cfg(feature = "parallel")]
 pub use em::e_step_with_threads;
 pub use em::{
-    e_step, e_step_serial, e_step_with_scratch, m_step, m_step_bounded, EStepScratch,
-    EmAccumulators, E_STEP_CHUNK, LAMBDA_MAX, LAMBDA_MIN, PI_FLOOR,
+    e_step, e_step_partial, e_step_serial, e_step_with_scratch, m_step, m_step_bounded,
+    merge_partials, EStepScratch, EmAccumulators, E_STEP_CHUNK, LAMBDA_MAX, LAMBDA_MIN, PI_FLOOR,
 };
 pub use guard::{GuardConfig, GuardTrip, GuardedGmRegularizer};
 pub use guidance::{recommended_config, ModelKind};

@@ -204,6 +204,62 @@ impl GmRegularizer {
         Ok(())
     }
 
+    /// Installs externally computed E-step results: the merged sufficient
+    /// statistics plus the full `g_reg` cache assembled from per-shard
+    /// slices. This is the sharded-runtime entry point — workers compute
+    /// [`e_step_partial`](crate::gm::e_step_partial) over disjoint weight
+    /// ranges, the supervisor merges them in fixed shard order with
+    /// [`merge_partials`](crate::gm::merge_partials), and the merged result
+    /// lands here exactly as if [`Regularizer::accumulate_grad`] had run the
+    /// sweep itself.
+    pub fn adopt_e_step(&mut self, acc: EmAccumulators, greg: &[f32]) -> Result<()> {
+        self.check_dims(greg)?;
+        if acc.resp_sum.len() != self.config.k {
+            return Err(CoreError::InvalidConfig {
+                field: "acc",
+                reason: format!(
+                    "statistics cover {} components but config K = {}",
+                    acc.resp_sum.len(),
+                    self.config.k
+                ),
+            });
+        }
+        if acc.m != self.m {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.m,
+                actual: acc.m,
+            });
+        }
+        self.greg.copy_from_slice(greg);
+        self.acc = acc;
+        self.e_steps += 1;
+        tele::counter_inc("gm.e_step.runs");
+        Ok(())
+    }
+
+    /// Runs the M-step from the current (possibly adopted) statistics with
+    /// [`Regularizer::accumulate_grad`]'s freeze-on-invalid semantics: a
+    /// degenerate update leaves the mixture untouched instead of erroring.
+    /// Returns whether the mixture was updated. No-op (returning `false`)
+    /// before the first E-step.
+    pub fn m_step_from_stats(&mut self) -> bool {
+        if self.acc.m == 0 {
+            return false;
+        }
+        tele::counter_inc("gm.m_step.scheduled");
+        let (floor, ceiling) = self.lambda_bounds();
+        let (pi, lambda) = m_step_bounded(&self.acc, self.a, self.b, &self.alpha, floor, ceiling);
+        if self.gm.set_params(pi, lambda).is_ok() {
+            self.m_steps += 1;
+            tele::counter_inc("gm.m_step.runs");
+            true
+        } else {
+            self.degenerate_skips += 1;
+            tele::counter_inc("gm.m_step.degenerate_skips");
+            false
+        }
+    }
+
     /// Runs one explicit M-step from the most recent sufficient statistics.
     pub fn force_m_step(&mut self) -> Result<()> {
         if self.acc.m == 0 {

@@ -2,9 +2,10 @@
 //!
 //! This crate is compiled into the workspace only when the off-by-default
 //! `failpoints` feature is enabled on a consuming crate. Injection *sites*
-//! are named strings (e.g. `"gm.greg.nan"`, `"ckpt.bytes"`, `"pool.worker"`)
-//! scattered through the library crates behind `#[cfg(feature =
-//! "failpoints")]` blocks. A test (or a chaos CI job) *arms* a site with a
+//! are named strings (e.g. `"gm.greg.nan"`, `"ckpt.bytes"`, `"ckpt.dir"`,
+//! `"pool.worker"`, and the sharded-runtime trio `"shard.worker.die"`,
+//! `"shard.reduce.drop"`, `"shard.heartbeat.stall"`) scattered through the
+//! library crates behind `#[cfg(feature = "failpoints")]` blocks. A test (or a chaos CI job) *arms* a site with a
 //! [`FaultSpec`] that says which fault to deliver and on which hits of the
 //! site it should fire. Determinism comes from hit-count indexing: the n-th
 //! traversal of a site always observes the same decision for a given spec,

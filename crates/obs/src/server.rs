@@ -47,6 +47,9 @@ pub struct HttpResponse {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// `Retry-After` header value in seconds, emitted when set (back-off
+    /// hint on 503s from overload shedding and deadline expiry).
+    pub retry_after_secs: Option<u64>,
 }
 
 impl HttpResponse {
@@ -56,6 +59,7 @@ impl HttpResponse {
             status: "200 OK",
             content_type: "application/json",
             body: body.into(),
+            retry_after_secs: None,
         }
     }
 
@@ -65,6 +69,7 @@ impl HttpResponse {
             status: "200 OK",
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            retry_after_secs: None,
         }
     }
 
@@ -74,7 +79,14 @@ impl HttpResponse {
             status,
             content_type: "application/json",
             body: format!("{{\"error\": {}}}\n", json_escape(detail)),
+            retry_after_secs: None,
         }
+    }
+
+    /// Attach a `Retry-After` header (seconds).
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after_secs = Some(secs);
+        self
     }
 }
 
@@ -326,11 +338,16 @@ fn handle_connection(mut stream: TcpStream, router: &Router) -> std::io::Result<
     } else {
         router.dispatch(&req)
     };
+    let retry_after = match resp.retry_after_secs {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let response = format!(
-        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         resp.status,
         resp.content_type,
         resp.body.len(),
+        retry_after,
         resp.body
     );
     stream.write_all(response.as_bytes())?;
@@ -343,6 +360,7 @@ fn builtin_route(router: &Router, req: &HttpRequest) -> HttpResponse {
             status: "200 OK",
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: crate::prometheus_text(&gmreg_telemetry::snapshot()),
+            retry_after_secs: None,
         },
         "/status" => HttpResponse::json(crate::status_json(&gmreg_telemetry::snapshot())),
         "/" => {
@@ -358,6 +376,7 @@ fn builtin_route(router: &Router, req: &HttpRequest) -> HttpResponse {
             status: "404 Not Found",
             content_type: "text/plain; charset=utf-8",
             body: "not found\n".to_string(),
+            retry_after_secs: None,
         },
     }
 }

@@ -43,13 +43,20 @@ fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
 ///            "worker_panics": 0, "workers_replaced": 0},
 ///   "serve": {"generation": 3, "requests": 1200, "batches": 310,
 ///             "reloads": 1, "fallbacks": 0, "rejected": 0,
-///             "batch_failures": 0},
+///             "batch_failures": 0, "deadline_expired": 0},
+///   "shard": {"workers": 4, "restarts": 0, "reassignments": 0,
+///             "heartbeat_misses": 0, "replays": 0},
 ///   "telemetry": {"spans": 140, "dropped_spans": 0}
 /// }
 /// ```
 ///
 /// The `serve` section mirrors the `gmreg-serve` daemon's counters; for a
 /// training-only run it is all zeros with a `null` generation.
+///
+/// The `shard` section mirrors the elastic sharded runtime: the
+/// `shard.workers` gauge (live worker count) plus its recovery counters
+/// (`shard.restarts`, `shard.reassignments`, `shard.heartbeat.misses`,
+/// `shard.replays`). `workers: null` means no sharded fit ever ran.
 ///
 /// The `pool` section mirrors the persistent work-stealing pool's
 /// counters (`pool.jobs`/`pool.tasks`/`pool.steals`) and `pool.width`
@@ -122,6 +129,26 @@ pub fn status_json(report: &Report) -> String {
     field_u64(&mut out, "rejected", counter("serve.rejected"));
     out.push_str(", ");
     field_u64(&mut out, "batch_failures", counter("serve.batch.failures"));
+    out.push_str(", ");
+    field_u64(
+        &mut out,
+        "deadline_expired",
+        counter("serve.deadline_expired"),
+    );
+    out.push_str("}, \"shard\": {");
+    field_f64(&mut out, "workers", gauge("shard.workers"));
+    out.push_str(", ");
+    field_u64(&mut out, "restarts", counter("shard.restarts"));
+    out.push_str(", ");
+    field_u64(&mut out, "reassignments", counter("shard.reassignments"));
+    out.push_str(", ");
+    field_u64(
+        &mut out,
+        "heartbeat_misses",
+        counter("shard.heartbeat.misses"),
+    );
+    out.push_str(", ");
+    field_u64(&mut out, "replays", counter("shard.replays"));
     out.push_str("}, \"telemetry\": {");
     field_u64(&mut out, "spans", report.spans.len() as u64);
     out.push_str(", ");
@@ -200,6 +227,28 @@ mod tests {
         assert!(s.contains("\"batches\": 310"), "{s}");
         assert!(s.contains("\"reloads\": 1"), "{s}");
         assert!(s.contains("\"fallbacks\": 1"), "{s}");
+        gmreg_telemetry::reset();
+    }
+
+    #[test]
+    fn shard_metrics_flow_through() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::gauge_set("shard.workers", 3.0);
+        gmreg_telemetry::counter_add("shard.restarts", 2);
+        gmreg_telemetry::counter_inc("shard.reassignments");
+        gmreg_telemetry::counter_add("shard.heartbeat.misses", 5);
+        gmreg_telemetry::counter_add("shard.replays", 4);
+        gmreg_telemetry::counter_inc("serve.deadline_expired");
+        let s = status_json(&gmreg_telemetry::snapshot());
+        assert!(
+            s.contains("\"shard\": {\"workers\": 3.0, \"restarts\": 2"),
+            "{s}"
+        );
+        assert!(s.contains("\"reassignments\": 1"), "{s}");
+        assert!(s.contains("\"heartbeat_misses\": 5"), "{s}");
+        assert!(s.contains("\"replays\": 4"), "{s}");
+        assert!(s.contains("\"deadline_expired\": 1"), "{s}");
         gmreg_telemetry::reset();
     }
 

@@ -37,6 +37,12 @@ pub struct BatchConfig {
     /// Bounded queue depth; submissions beyond it are shed with
     /// [`ServeError::QueueFull`].
     pub queue_cap: usize,
+    /// Per-request deadline: a row that has sat in the queue this long —
+    /// typically behind a batch stalled in its forward pass — is answered
+    /// with [`ServeError::DeadlineExpired`] (HTTP 503 + `Retry-After`)
+    /// instead of riding the next batch arbitrarily late. `0` disables
+    /// expiry. Counted as `serve.deadline_expired`.
+    pub max_wait_budget_ms: u64,
 }
 
 impl Default for BatchConfig {
@@ -45,6 +51,7 @@ impl Default for BatchConfig {
             max_size: 32,
             max_wait_us: 500,
             queue_cap: 1024,
+            max_wait_budget_ms: 50,
         }
     }
 }
@@ -56,6 +63,7 @@ pub type Prediction = (u64, f64);
 struct Pending {
     row: Vec<f32>,
     reply: mpsc::SyncSender<Result<Prediction, ServeError>>,
+    enqueued: Instant,
 }
 
 struct Shared {
@@ -117,6 +125,7 @@ impl Batcher {
             queue.push_back(Pending {
                 row,
                 reply: reply_tx,
+                enqueued: started,
             });
         }
         self.shared.wake.notify_one();
@@ -154,10 +163,38 @@ fn dispatch_loop(shared: &Shared) {
     }
 }
 
+/// Expire every queued row older than the per-request budget: each gets an
+/// immediate [`ServeError::DeadlineExpired`] reply (503 + `Retry-After` at
+/// the HTTP layer) instead of riding the next batch. No-op when the budget
+/// is 0. The queue is FIFO, so expired rows always form a prefix.
+fn expire_overdue(queue: &mut VecDeque<Pending>, budget_ms: u64) {
+    if budget_ms == 0 {
+        return;
+    }
+    let budget = Duration::from_millis(budget_ms);
+    let now = Instant::now();
+    while let Some(front) = queue.front() {
+        let waited = now.saturating_duration_since(front.enqueued);
+        if waited < budget {
+            break;
+        }
+        let pending = queue.pop_front().expect("front exists");
+        tele::counter_inc("serve.deadline_expired");
+        let _ = pending.reply.send(Err(ServeError::DeadlineExpired {
+            waited_ms: waited.as_millis() as u64,
+        }));
+    }
+}
+
 /// Block until at least one row is waiting, then hold the batch open until
-/// it fills to `max_size` or the wait cutoff expires.
+/// it fills to `max_size` or the wait cutoff expires. Rows that out-sit
+/// their per-request budget are expired rather than collected.
 fn collect_batch(shared: &Shared) -> Vec<Pending> {
+    let budget_ms = shared.cfg.max_wait_budget_ms;
     let mut queue = shared.queue.lock().expect("batch queue poisoned");
+    // Shed whatever went overdue while the previous batch was running —
+    // the stalled-batch case the per-request deadline exists for.
+    expire_overdue(&mut queue, budget_ms);
     while queue.is_empty() {
         if shared.shutdown.load(Ordering::Acquire) {
             return Vec::new();
@@ -170,16 +207,30 @@ fn collect_batch(shared: &Shared) -> Vec<Pending> {
     }
     let deadline = Instant::now() + Duration::from_micros(shared.cfg.max_wait_us);
     while queue.len() < shared.cfg.max_size && !shared.shutdown.load(Ordering::Acquire) {
+        expire_overdue(&mut queue, budget_ms);
         let now = Instant::now();
-        if now >= deadline {
+        if queue.is_empty() || now >= deadline {
             break;
+        }
+        // Wake in time for both the batch cutoff and the oldest row's
+        // expiry, whichever lands first.
+        let mut wait = deadline - now;
+        if budget_ms > 0 {
+            let oldest = queue.front().expect("queue is non-empty").enqueued;
+            let expiry = oldest + Duration::from_millis(budget_ms);
+            wait = wait.min(
+                expiry
+                    .saturating_duration_since(now)
+                    .max(Duration::from_millis(1)),
+            );
         }
         let (guard, _) = shared
             .wake
-            .wait_timeout(queue, deadline - now)
+            .wait_timeout(queue, wait)
             .expect("batch queue poisoned");
         queue = guard;
     }
+    expire_overdue(&mut queue, budget_ms);
     let take = queue.len().min(shared.cfg.max_size);
     queue.drain(..take).collect()
 }
@@ -331,6 +382,54 @@ mod tests {
             }
         ));
         assert!(good.join().unwrap().is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queued_request_past_budget_expires_with_deadline_error() {
+        let dir = tmp_dir("deadline");
+        let reg = seeded_registry(&dir, 4);
+        // A batch that stays open far longer than the 10 ms budget: the
+        // dispatcher waits for max_size rows that never come, so the lone
+        // queued row must be expired by the budget sweep, not served.
+        let batcher = Batcher::new(
+            reg,
+            BatchConfig {
+                max_size: 64,
+                max_wait_us: 400_000,
+                queue_cap: 8,
+                max_wait_budget_ms: 10,
+            },
+        );
+        let started = Instant::now();
+        let err = batcher.submit(vec![0.1, 0.2, 0.3, 0.4]).unwrap_err();
+        assert!(
+            matches!(err, ServeError::DeadlineExpired { waited_ms } if waited_ms >= 10),
+            "{err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(300),
+            "expiry must cut the wait short of the 400ms batch cutoff"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_zero_disables_expiry() {
+        let dir = tmp_dir("nodeadline");
+        let reg = seeded_registry(&dir, 4);
+        let batcher = Batcher::new(
+            reg,
+            BatchConfig {
+                max_size: 4,
+                max_wait_us: 30_000,
+                queue_cap: 8,
+                max_wait_budget_ms: 0,
+            },
+        );
+        // 30ms batch window > any disabled budget: the request rides the
+        // batch and succeeds.
+        assert!(batcher.submit(vec![0.1, 0.2, 0.3, 0.4]).is_ok());
         let _ = fs::remove_dir_all(&dir);
     }
 

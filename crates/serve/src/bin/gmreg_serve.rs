@@ -132,6 +132,7 @@ fn run() -> Result<(), String> {
         max_size: cfg.batch.max_size,
         max_wait_us: cfg.batch.max_wait_us,
         queue_cap: cfg.batch.queue_cap,
+        max_wait_budget_ms: cfg.batch.max_wait_budget_ms,
     };
     let batcher = Arc::new(Batcher::new(Arc::clone(&registry), batch_cfg));
     let router = gmreg_serve::http::serving_router(Arc::clone(&registry), batcher);

@@ -21,6 +21,7 @@
 //! max_size = 32
 //! max_wait_us = 500
 //! queue_cap = 1024
+//! max_wait_budget_ms = 50
 //! ```
 
 use crate::batch::BatchConfig;
@@ -163,6 +164,9 @@ impl ServeConfig {
                     }
                 }
                 "batch.max_wait_us" => cfg.batch.max_wait_us = parse_u64(value, line_no)?,
+                "batch.max_wait_budget_ms" => {
+                    cfg.batch.max_wait_budget_ms = parse_u64(value, line_no)?;
+                }
                 "batch.queue_cap" => {
                     cfg.batch.queue_cap = parse_usize(value, line_no)?;
                     if cfg.batch.queue_cap == 0 {
@@ -219,6 +223,7 @@ mod tests {
             max_size = 64
             max_wait_us = 250
             queue_cap = 512
+            max_wait_budget_ms = 20
             "#,
         )
         .unwrap();
@@ -228,6 +233,7 @@ mod tests {
         assert_eq!(cfg.batch.max_size, 64);
         assert_eq!(cfg.batch.max_wait_us, 250);
         assert_eq!(cfg.batch.queue_cap, 512);
+        assert_eq!(cfg.batch.max_wait_budget_ms, 20);
     }
 
     #[test]

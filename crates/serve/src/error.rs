@@ -30,6 +30,15 @@ pub enum ServeError {
     /// `pool.worker` failpoint). Only the requests in that batch fail; the
     /// queue keeps draining.
     BatchFailed(String),
+    /// The request sat in the batcher queue past its per-request deadline
+    /// (`max_wait_budget_ms`) — typically behind a stalled batch — and was
+    /// shed with a back-off hint instead of being served arbitrarily late
+    /// (counted as `serve.deadline_expired`; HTTP maps it to 503 with
+    /// `Retry-After`).
+    DeadlineExpired {
+        /// How long the request waited before expiring, in milliseconds.
+        waited_ms: u64,
+    },
     /// The batcher is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -48,6 +57,9 @@ impl fmt::Display for ServeError {
             ),
             ServeError::QueueFull => write!(f, "prediction queue is full"),
             ServeError::BatchFailed(reason) => write!(f, "batch execution failed: {reason}"),
+            ServeError::DeadlineExpired { waited_ms } => {
+                write!(f, "request deadline expired after {waited_ms}ms in queue")
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }

@@ -84,11 +84,19 @@ fn error_response(e: &crate::ServeError) -> HttpResponse {
         NoModel => "503 Service Unavailable",
         QueueFull => "503 Service Unavailable",
         ShuttingDown => "503 Service Unavailable",
+        DeadlineExpired { .. } => "503 Service Unavailable",
         DimensionMismatch { .. } => "400 Bad Request",
         Config { .. } => "400 Bad Request",
         Checkpoint(_) | BatchFailed(_) => "500 Internal Server Error",
     };
-    HttpResponse::error(status, &e.to_string())
+    let resp = HttpResponse::error(status, &e.to_string());
+    // An expired deadline means the queue is (or just was) congested; hand
+    // the client an explicit back-off instead of letting it hammer a
+    // saturated batcher.
+    match e {
+        DeadlineExpired { .. } | QueueFull => resp.with_retry_after(1),
+        _ => resp,
+    }
 }
 
 fn healthz(registry: &ModelRegistry) -> HttpResponse {
@@ -100,6 +108,7 @@ fn healthz(registry: &ModelRegistry) -> HttpResponse {
             status: "503 Service Unavailable",
             content_type: "application/json",
             body: "{\"status\": \"unavailable\", \"generation\": null}\n".to_string(),
+            retry_after_secs: None,
         },
     }
 }

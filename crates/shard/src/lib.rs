@@ -1,0 +1,37 @@
+//! `gmreg-shard` — elastic sharded data-parallel training for gmreg.
+//!
+//! Distributed-style data parallelism (ISSUE 8, robustness tentpole) built
+//! from three orthogonal pieces:
+//!
+//! * [`plan`] — the *fixed* shard grid: shard boundaries are a pure
+//!   function of the problem size, assignment is round-robin over the
+//!   sorted live-worker set, and the per-epoch permutation reuses the
+//!   workspace's `seed + 1 + epoch` keying.
+//! * [`reduce`] — the fixed-shard-order tree all-reduce: per-shard
+//!   partials merge with a binary tree whose shape depends only on the
+//!   shard count, so every floating-point add pairs the same operands on
+//!   every run.
+//! * [`ShardedTrainer`] — the supervisor: heartbeat-based death detection,
+//!   bounded restarts with exponential backoff, graceful degradation to
+//!   fewer workers, and checkpointed elastic resume through
+//!   `gmreg_core::durable::CheckpointManager`.
+//!
+//! The headline invariant: **the worker count is an execution detail**.
+//! Final weights, bias, and mixture parameters are bit-identical at 1, 2,
+//! 4, or 8 workers — and across any schedule of worker deaths the
+//! supervisor survives — because only the shard grid ever touches the
+//! floating-point stream.
+//!
+//! Chaos coverage lives behind the off-by-default `failpoints` feature via
+//! the `shard.worker.die`, `shard.reduce.drop`, and
+//! `shard.heartbeat.stall` sites.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod reduce;
+mod runtime;
+mod tele;
+mod worker;
+
+pub use runtime::{Result, ShardConfig, ShardError, ShardFitStats, ShardedTrainer};

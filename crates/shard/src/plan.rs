@@ -1,0 +1,107 @@
+//! Deterministic shard planning: how a batch (or a weight-chunk space) is
+//! carved into a *fixed* number of logical shards, and how shards map onto
+//! whatever workers happen to be alive.
+//!
+//! The invariants that make the runtime's results independent of worker
+//! count (and of worker death) all live here:
+//!
+//! 1. **Shard count is fixed by configuration**, never derived from the
+//!    worker count. A shard is a unit of *data*, a worker is a unit of
+//!    *execution*; results are reduced in shard order, so only the shard
+//!    grid may influence floating-point outcomes.
+//! 2. **Shard boundaries are a pure function of the problem size** —
+//!    contiguous near-equal ranges, the same `split_range` arithmetic the
+//!    parallel pool uses for its chunk claims.
+//! 3. **Assignment is round-robin over the sorted live-worker list**:
+//!    shard `s` runs on `live[s % live.len()]`. Any subset of workers
+//!    produces the same per-shard results, so reassignment after a death
+//!    is invisible in the output.
+//!
+//! The per-epoch permutation reuses the workspace's `seed+epoch` keying
+//! convention (`StdRng::seed_from_u64(seed + 1 + epoch)` feeding
+//! [`shuffled_indices`]), which is what lets a resumed run replay the exact
+//! batch sequence of the run it replaced.
+
+use gmreg_tensor::shuffled_indices;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The contiguous sub-range of `0..n` owned by shard `idx` of `shards`
+/// (first `n % shards` shards get one extra element). Mirrors the
+/// contiguous split the parallel pool uses, so shard composition stays a
+/// partition for every `n`.
+pub fn shard_range(n: usize, shards: usize, idx: usize) -> (usize, usize) {
+    debug_assert!(idx < shards, "shard index out of range");
+    let base = n / shards;
+    let extra = n % shards;
+    let lo = idx * base + idx.min(extra);
+    let hi = lo + base + usize::from(idx < extra);
+    (lo, hi.min(n))
+}
+
+/// The worker that owns shard `shard`, given the sorted list of live
+/// worker ids. Deterministic round-robin: reassignment after a death is a
+/// pure function of the surviving set.
+pub fn shard_owner(shard: usize, live: &[usize]) -> usize {
+    debug_assert!(!live.is_empty(), "no live workers to assign shards to");
+    live[shard % live.len()]
+}
+
+/// The epoch permutation of row indices, keyed by `seed + 1 + epoch` — the
+/// same convention `fit_durable` uses, so a run resumed from a checkpoint
+/// at epoch `e` replays exactly the batches the uninterrupted run saw.
+pub fn epoch_order(n: usize, seed: u64, epoch: u64) -> Vec<usize> {
+    let base_seed = seed.wrapping_add(1);
+    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(epoch));
+    shuffled_indices(&mut rng, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_any_n() {
+        for n in [0usize, 1, 7, 8, 9, 100, 1000] {
+            for shards in [1usize, 2, 3, 8, 16] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for s in 0..shards {
+                    let (lo, hi) = shard_range(n, shards, s);
+                    assert_eq!(lo, prev_hi, "gap before shard {s} (n={n})");
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n, "shards must partition n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_are_near_equal() {
+        for s in 0..8 {
+            let (lo, hi) = shard_range(100, 8, s);
+            assert!(hi - lo == 12 || hi - lo == 13);
+        }
+    }
+
+    #[test]
+    fn assignment_is_round_robin_over_live_set() {
+        assert_eq!(shard_owner(0, &[0, 1, 2, 3]), 0);
+        assert_eq!(shard_owner(5, &[0, 1, 2, 3]), 1);
+        // After worker 1 dies, shards redistribute deterministically.
+        assert_eq!(shard_owner(5, &[0, 2, 3]), 3);
+        assert_eq!(shard_owner(5, &[2]), 2);
+    }
+
+    #[test]
+    fn epoch_order_is_reproducible_and_epoch_keyed() {
+        let a = epoch_order(64, 42, 3);
+        let b = epoch_order(64, 42, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, epoch_order(64, 42, 4));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+}

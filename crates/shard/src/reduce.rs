@@ -1,0 +1,147 @@
+//! The fixed-shard-order tree all-reduce.
+//!
+//! Per-shard partials arrive in whatever order workers finish, but they are
+//! *stored* into a slot array indexed by shard and merged with a
+//! fixed-shape binary tree over that array: round 1 combines shards
+//! (0,1), (2,3), (4,5)…, round 2 combines the survivors pairwise, and so
+//! on until one value remains. The tree's shape depends only on the shard
+//! count — never on worker count, arrival order, restarts, or
+//! reassignment — which extends the chunk-ordered E-step reduction's
+//! bit-identity guarantee to the multi-worker runtime: every floating-point
+//! add happens between the same two operands in the same order on every
+//! run.
+
+use gmreg_core::gm::{merge_partials, EmAccumulators};
+
+/// Fold `parts` (indexed by shard) with a fixed-shape binary tree.
+/// `merge(a, b)` must fold `b` into `a`. Returns `None` for no shards.
+pub fn tree_reduce<T>(mut parts: Vec<T>, mut merge: impl FnMut(&mut T, &T)) -> Option<T> {
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                merge(&mut a, &b);
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    parts.pop()
+}
+
+/// One shard's contribution to a gradient all-reduce: unnormalized f64
+/// gradient sums over the shard's rows, plus the loss/accuracy bookkeeping
+/// that rides along for free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradPartial {
+    /// `Σ_rows err · x_j` per weight, in f64 so merge order inside a shard
+    /// is the only rounding the shard contributes.
+    pub grad: Vec<f64>,
+    /// `Σ_rows err` for the bias term.
+    pub bias_grad: f64,
+    /// `Σ_rows -ln p(correct class)`.
+    pub loss: f64,
+    /// Correctly classified rows.
+    pub hits: usize,
+    /// Rows this shard covered.
+    pub n: usize,
+}
+
+impl GradPartial {
+    /// Zeroed partial for an `m`-dimensional model.
+    pub fn zeros(m: usize) -> Self {
+        GradPartial {
+            grad: vec![0.0; m],
+            bias_grad: 0.0,
+            loss: 0.0,
+            hits: 0,
+            n: 0,
+        }
+    }
+
+    /// Fold `other` into `self` (component-wise f64 adds).
+    pub fn merge(&mut self, other: &GradPartial) {
+        debug_assert_eq!(self.grad.len(), other.grad.len());
+        for (a, b) in self.grad.iter_mut().zip(&other.grad) {
+            *a += b;
+        }
+        self.bias_grad += other.bias_grad;
+        self.loss += other.loss;
+        self.hits += other.hits;
+        self.n += other.n;
+    }
+}
+
+/// Tree all-reduce over per-shard gradient partials in shard order.
+pub fn reduce_grad(parts: Vec<GradPartial>) -> Option<GradPartial> {
+    tree_reduce(parts, |a, b| a.merge(b))
+}
+
+/// Tree all-reduce over per-shard E-step statistics in shard order.
+pub fn reduce_em(parts: Vec<EmAccumulators>) -> Option<EmAccumulators> {
+    tree_reduce(parts, merge_partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reduce_shape_is_fixed_by_part_count() {
+        // Record the merge sequence as (left, right) labels; it must be the
+        // canonical pairing regardless of the values involved.
+        let parts: Vec<Vec<usize>> = (0..5).map(|i| vec![i]).collect();
+        let mut merges = Vec::new();
+        let out = tree_reduce(parts, |a, b| {
+            merges.push((a[0], b[0]));
+            a.extend_from_slice(b);
+        })
+        .unwrap();
+        assert_eq!(merges, vec![(0, 1), (2, 3), (0, 2), (0, 4)]);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tree_reduce_handles_empty_and_single() {
+        assert_eq!(tree_reduce(Vec::<u32>::new(), |a, b| *a += b), None);
+        assert_eq!(tree_reduce(vec![7u32], |a, b| *a += b), Some(7));
+    }
+
+    #[test]
+    fn grad_partials_merge_componentwise() {
+        let mut a = GradPartial {
+            grad: vec![1.0, 2.0],
+            bias_grad: 0.5,
+            loss: 1.0,
+            hits: 3,
+            n: 4,
+        };
+        let b = GradPartial {
+            grad: vec![0.25, -1.0],
+            bias_grad: -0.5,
+            loss: 0.5,
+            hits: 1,
+            n: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.grad, vec![1.25, 1.0]);
+        assert_eq!(a.bias_grad, 0.0);
+        assert_eq!(a.loss, 1.5);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.n, 8);
+    }
+
+    #[test]
+    fn em_reduce_sums_dimension_counts() {
+        let mut p1 = EmAccumulators::zeros(2);
+        p1.resp_sum = vec![1.0, 2.0];
+        p1.m = 10;
+        let mut p2 = EmAccumulators::zeros(2);
+        p2.resp_sum = vec![0.5, 0.5];
+        p2.m = 6;
+        let total = reduce_em(vec![p1, p2]).unwrap();
+        assert_eq!(total.resp_sum, vec![1.5, 2.5]);
+        assert_eq!(total.m, 16);
+    }
+}

@@ -1,0 +1,951 @@
+//! The elastic supervisor: dispatch rounds, heartbeat-based death
+//! detection, bounded restarts with exponential backoff, graceful
+//! degradation to fewer workers, and checkpointed elastic resume.
+//!
+//! # Determinism contract
+//!
+//! Every floating-point operation in a sharded fit happens in exactly one
+//! of three places:
+//!
+//! 1. **Inside a worker task** — a pure function of the task payload
+//!    ([`crate::worker`]), so re-dispatch, restart, and reassignment cannot
+//!    change its bytes;
+//! 2. **Inside the fixed-shard-order tree reduce** ([`crate::reduce`]),
+//!    whose shape depends only on the shard count;
+//! 3. **On the supervisor** (the SGD update), which consumes only the
+//!    reduced values.
+//!
+//! The shard grid is fixed by [`ShardConfig::shards`]; the worker count
+//! never touches a float. Consequently the final model is **bit-identical**
+//! across worker counts {1, 2, 4, 8, …} and across any schedule of worker
+//! deaths the supervisor survives. Checkpoint resume travels through JSON
+//! (1 ULP per value), which is where the documented `1e-5` resume
+//! tolerance comes from.
+//!
+//! # Recovery state machine
+//!
+//! ```text
+//!             reply lost / stall            panic / channel closed
+//!   DISPATCHED ───────────────► SUSPECT ───────────────► DEAD
+//!       ▲      (miss counting)     │ reply arrives          │
+//!       │                          ▼                        │
+//!       └─────────── re-dispatch (idempotent slots) ◄───────┤
+//!                                                           │
+//!                restarts left?  ── yes ──► RESTART (backoff, fresh id)
+//!                      │
+//!                      no ──► DEGRADE (shards reassigned round-robin
+//!                             over survivors; `shard.reassignments`)
+//!                      │
+//!                      └─ no survivors ──► `ShardError::WorkersExhausted`
+//!                         (resume later from the epoch checkpoint)
+//! ```
+
+use crate::plan::{epoch_order, shard_owner, shard_range};
+use crate::reduce::{reduce_em, reduce_grad, GradPartial};
+use crate::tele;
+use crate::worker::{worker_loop, Reply, Task};
+use gmreg_core::durable::CheckpointManager;
+use gmreg_core::gm::{EmAccumulators, GmRegularizer, E_STEP_CHUNK};
+use gmreg_core::{CoreError, Regularizer};
+use gmreg_data::Dataset;
+use gmreg_linear::{LinearError, LinearFitState, LogisticRegression, LrConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors surfaced by the sharded runtime.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A configuration field failed validation.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The dataset is unusable for sharded logistic training.
+    Data {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Every worker died and the restart budget is spent. The last epoch
+    /// checkpoint is intact; a later [`ShardedTrainer::train`] call resumes
+    /// from it.
+    WorkersExhausted {
+        /// What killed the last worker.
+        detail: String,
+    },
+    /// Checkpoint or mixture error from `gmreg-core`.
+    Core(CoreError),
+    /// Model error from `gmreg-linear`.
+    Linear(LinearError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::InvalidConfig { field, reason } => {
+                write!(f, "invalid shard config `{field}`: {reason}")
+            }
+            ShardError::Data { reason } => write!(f, "unusable dataset: {reason}"),
+            ShardError::WorkersExhausted { detail } => {
+                write!(f, "all workers dead and restart budget spent: {detail}")
+            }
+            ShardError::Core(e) => write!(f, "core error: {e}"),
+            ShardError::Linear(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<CoreError> for ShardError {
+    fn from(e: CoreError) -> Self {
+        ShardError::Core(e)
+    }
+}
+
+impl From<LinearError> for ShardError {
+    fn from(e: LinearError) -> Self {
+        ShardError::Linear(e)
+    }
+}
+
+/// Result alias for the sharded runtime.
+pub type Result<T> = std::result::Result<T, ShardError>;
+
+/// Tuning knobs for the elastic sharded runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardConfig {
+    /// Worker threads to start with (the *execution* width; results do not
+    /// depend on it).
+    pub workers: usize,
+    /// Fixed logical shard count (the *data* grid; this is what floating
+    /// point outcomes depend on). Keep it a multiple of the largest worker
+    /// count you intend to run for even load.
+    pub shards: usize,
+    /// Heartbeat window: how long the supervisor waits for any reply before
+    /// counting a miss against every worker with outstanding shards.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed windows before a silent worker is declared dead.
+    pub max_missed: u32,
+    /// Total worker restarts allowed across the whole fit; beyond this the
+    /// runtime degrades to fewer workers instead.
+    pub max_restarts: u32,
+    /// Base restart backoff; doubles per restart already used.
+    pub backoff_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Write a checkpoint every this many completed epochs (minimum 1).
+    pub checkpoint_every: usize,
+    /// Checkpoint generations retained (minimum 1).
+    pub keep: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            workers: 4,
+            shards: 8,
+            heartbeat_ms: 100,
+            max_missed: 5,
+            max_restarts: 8,
+            backoff_ms: 10,
+            backoff_cap_ms: 500,
+            checkpoint_every: 1,
+            keep: 3,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        for (field, v) in [
+            ("workers", self.workers),
+            ("shards", self.shards),
+            ("checkpoint_every", self.checkpoint_every),
+            ("keep", self.keep),
+        ] {
+            if v == 0 {
+                return Err(ShardError::InvalidConfig {
+                    field,
+                    reason: "must be at least 1".into(),
+                });
+            }
+        }
+        if self.heartbeat_ms == 0 {
+            return Err(ShardError::InvalidConfig {
+                field: "heartbeat_ms",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What a completed sharded fit reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFitStats {
+    /// Mean training loss of the final epoch.
+    pub final_loss: f64,
+    /// Training accuracy of the final epoch.
+    pub final_accuracy: f64,
+    /// SGD iterations completed.
+    pub iterations: u64,
+    /// Worker restarts performed.
+    pub restarts: u64,
+    /// Shard reassignments after a death that could not be restarted.
+    pub reassignments: u64,
+    /// Workers still alive at the end.
+    pub workers_alive: usize,
+}
+
+struct WorkerHandle {
+    id: usize,
+    tx: mpsc::Sender<Task>,
+    misses: u32,
+}
+
+/// The worker fleet plus the dispatch/collect/recover machinery. Private:
+/// callers drive it through [`ShardedTrainer`].
+struct Supervisor {
+    cfg: ShardConfig,
+    ds: Arc<Dataset>,
+    workers: Vec<WorkerHandle>,
+    reply_tx: mpsc::Sender<Reply>,
+    reply_rx: mpsc::Receiver<Reply>,
+    next_id: usize,
+    tag: u64,
+    restarts_used: u32,
+    restarts: u64,
+    reassignments: u64,
+}
+
+impl Supervisor {
+    fn spawn(cfg: ShardConfig, ds: Arc<Dataset>) -> Self {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut sup = Supervisor {
+            cfg,
+            ds,
+            workers: Vec::new(),
+            reply_tx,
+            reply_rx,
+            next_id: 0,
+            tag: 0,
+            restarts_used: 0,
+            restarts: 0,
+            reassignments: 0,
+        };
+        for _ in 0..sup.cfg.workers {
+            sup.spawn_worker();
+        }
+        tele::gauge_set("shard.workers", sup.workers.len() as f64);
+        sup
+    }
+
+    fn spawn_worker(&mut self) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let (tx, rx) = mpsc::channel();
+        let ds = Arc::clone(&self.ds);
+        let reply_tx = self.reply_tx.clone();
+        std::thread::spawn(move || worker_loop(id, ds, rx, reply_tx));
+        // Ids grow monotonically, so pushing keeps the live list sorted —
+        // the property `shard_owner`'s round-robin determinism rests on.
+        self.workers.push(WorkerHandle { id, tx, misses: 0 });
+    }
+
+    fn live_ids(&self) -> Vec<usize> {
+        self.workers.iter().map(|h| h.id).collect()
+    }
+
+    /// Remove `worker` from the live set and either restart it (budget
+    /// permitting, with exponential backoff) or degrade to the survivors.
+    /// A no-op for ids already removed (stale `Died` replies, double
+    /// detection via miss counting and channel closure).
+    fn note_death(&mut self, worker: usize, detail: &str) -> Result<()> {
+        let Some(idx) = self.workers.iter().position(|h| h.id == worker) else {
+            return Ok(());
+        };
+        self.workers.remove(idx);
+        let mut _death_span = tele::span("shard.worker.death.ns")
+            .with_u64("worker", worker as u64)
+            .with_u64("restarts_used", self.restarts_used as u64);
+        if self.restarts_used < self.cfg.max_restarts {
+            self.restarts_used += 1;
+            self.restarts += 1;
+            tele::counter_inc("shard.restarts");
+            _death_span.set_u64("restarted", 1);
+            let exp = (self.restarts_used - 1).min(16);
+            let backoff = self
+                .cfg
+                .backoff_ms
+                .saturating_mul(1u64 << exp)
+                .min(self.cfg.backoff_cap_ms);
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            self.spawn_worker();
+        } else {
+            // Budget spent: the shard grid redistributes round-robin over
+            // the survivors. Results are unchanged — a shard is a unit of
+            // data, not of execution.
+            self.reassignments += 1;
+            tele::counter_inc("shard.reassignments");
+        }
+        tele::gauge_set("shard.workers", self.workers.len() as f64);
+        if self.workers.is_empty() {
+            return Err(ShardError::WorkersExhausted {
+                detail: detail.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Send every unfilled shard of the round to its current owner.
+    /// `replay` marks re-dispatches (counted separately from first sends).
+    fn dispatch<F>(
+        &mut self,
+        tag: u64,
+        shard_ids: &[usize],
+        slots: &[Option<Reply>],
+        assigned: &mut HashMap<usize, usize>,
+        make: &mut F,
+        replay: bool,
+    ) -> Result<()>
+    where
+        F: FnMut(u64, usize) -> Task,
+    {
+        for (i, &s) in shard_ids.iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            loop {
+                let live = self.live_ids();
+                if live.is_empty() {
+                    return Err(ShardError::WorkersExhausted {
+                        detail: "no live workers to dispatch to".into(),
+                    });
+                }
+                let owner = shard_owner(s, &live);
+                let handle = self
+                    .workers
+                    .iter()
+                    .find(|h| h.id == owner)
+                    .expect("owner comes from the live list");
+                if handle.tx.send(make(tag, s)).is_ok() {
+                    assigned.insert(s, owner);
+                    tele::counter_inc(if replay {
+                        "shard.replays"
+                    } else {
+                        "shard.tasks"
+                    });
+                    break;
+                }
+                // The worker's channel is closed: it died without managing
+                // to report. Recover and retry the send against the new
+                // live set.
+                self.note_death(owner, "task channel closed")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One dispatch round: fan `shard_ids` out over the live workers,
+    /// collect replies into shard-indexed slots, and survive whatever dies
+    /// in between. Returns the replies aligned with `shard_ids`.
+    fn run_round<F>(&mut self, shard_ids: &[usize], mut make: F) -> Result<Vec<Reply>>
+    where
+        F: FnMut(u64, usize) -> Task,
+    {
+        self.tag += 1;
+        let tag = self.tag;
+        tele::counter_inc("shard.rounds");
+        let mut slots: Vec<Option<Reply>> = Vec::new();
+        slots.resize_with(shard_ids.len(), || None);
+        let slot_of: HashMap<usize, usize> =
+            shard_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut assigned: HashMap<usize, usize> = HashMap::new();
+        self.dispatch(tag, shard_ids, &slots, &mut assigned, &mut make, false)?;
+
+        let mut outstanding = shard_ids.len();
+        while outstanding > 0 {
+            match self
+                .reply_rx
+                .recv_timeout(Duration::from_millis(self.cfg.heartbeat_ms))
+            {
+                Ok(Reply::Died { worker, detail }) => {
+                    self.note_death(worker, &detail)?;
+                    self.dispatch(tag, shard_ids, &slots, &mut assigned, &mut make, true)?;
+                }
+                Ok(reply) => {
+                    let (rtag, shard) = match &reply {
+                        Reply::Grad { tag, shard, .. } | Reply::EStep { tag, shard, .. } => {
+                            (*tag, *shard)
+                        }
+                        Reply::Died { .. } => unreachable!("handled above"),
+                    };
+                    if rtag != tag {
+                        continue; // stale reply from a replayed round
+                    }
+                    #[cfg(feature = "failpoints")]
+                    if gmreg_faults::fire("shard.reduce.drop").is_some() {
+                        // A partial lost on its way into the reduce. The
+                        // slot stays empty and the heartbeat path replays
+                        // the shard — the reduce NEVER proceeds without it
+                        // (renormalizing over survivors would silently bias
+                        // the gradient).
+                        tele::counter_inc("shard.reduce.drops");
+                        continue;
+                    }
+                    let slot = slot_of[&shard];
+                    if slots[slot].is_none() {
+                        slots[slot] = Some(reply);
+                        outstanding -= 1;
+                        if let Some(&owner) = assigned.get(&shard) {
+                            if let Some(h) = self.workers.iter_mut().find(|h| h.id == owner) {
+                                h.misses = 0;
+                            }
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    tele::counter_inc("shard.heartbeat.misses");
+                    // Count a miss against every worker sitting on an
+                    // outstanding shard; the repeatedly silent ones die.
+                    let mut suspects: Vec<usize> = shard_ids
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| slots[*i].is_none())
+                        .filter_map(|(_, s)| assigned.get(s).copied())
+                        .collect();
+                    suspects.sort_unstable();
+                    suspects.dedup();
+                    for worker in suspects {
+                        let dead = match self.workers.iter_mut().find(|h| h.id == worker) {
+                            Some(h) => {
+                                h.misses += 1;
+                                h.misses > self.cfg.max_missed
+                            }
+                            None => false,
+                        };
+                        if dead {
+                            self.note_death(worker, "heartbeat misses exhausted")?;
+                        }
+                    }
+                    // Replay all outstanding shards. Slots are idempotent,
+                    // so a duplicate reply from a merely-slow worker is
+                    // harmless; this is also what recovers a partial lost
+                    // to `shard.reduce.drop`.
+                    self.dispatch(tag, shard_ids, &slots, &mut assigned, &mut make, true)?;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("supervisor holds a reply sender")
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("round complete"))
+            .collect())
+    }
+}
+
+/// Elastic sharded data-parallel trainer for binary logistic regression
+/// with an optional GM regularizer — `fit_durable`'s multi-worker sibling.
+///
+/// See the [module docs](self) for the determinism contract and recovery
+/// state machine.
+pub struct ShardedTrainer {
+    cfg: ShardConfig,
+    train: LrConfig,
+    reg: Option<GmRegularizer>,
+    w: Vec<f32>,
+    bias: f32,
+    velocity: Vec<f32>,
+    bias_velocity: f32,
+    current_lr: f32,
+}
+
+impl ShardedTrainer {
+    /// A trainer for an `m`-feature model. Weight initialization reuses
+    /// [`LogisticRegression::new`]'s seeded draw, so sharded and local fits
+    /// start from identical weights.
+    pub fn new(
+        m: usize,
+        train: LrConfig,
+        reg: Option<GmRegularizer>,
+        cfg: ShardConfig,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        train.validate()?;
+        if let Some(r) = &reg {
+            if r.dims() != m {
+                return Err(ShardError::InvalidConfig {
+                    field: "reg",
+                    reason: format!("regularizer covers {} dims, model has {m}", r.dims()),
+                });
+            }
+        }
+        let init = LogisticRegression::new(m, train)?;
+        Ok(ShardedTrainer {
+            cfg,
+            train,
+            reg,
+            w: init.weights().to_vec(),
+            bias: 0.0,
+            velocity: vec![0.0; m],
+            bias_velocity: 0.0,
+            current_lr: train.lr,
+        })
+    }
+
+    /// Final weight vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// Final bias.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// The GM regularizer, if the trainer carries one.
+    pub fn regularizer(&self) -> Option<&GmRegularizer> {
+        self.reg.as_ref()
+    }
+
+    fn capture_state(&self, next_epoch: u64, iterations: u64) -> LinearFitState {
+        LinearFitState {
+            next_epoch,
+            iterations,
+            current_lr: self.current_lr as f64,
+            w: self.w.clone(),
+            bias: self.bias as f64,
+            velocity: self.velocity.clone(),
+            bias_velocity: self.bias_velocity as f64,
+            gm: self.reg.as_ref().map(|r| r.snapshot()),
+            degraded_beta: None,
+        }
+    }
+
+    fn restore_state(&mut self, state: &LinearFitState) -> Result<()> {
+        if state.w.len() != self.w.len() {
+            return Err(ShardError::InvalidConfig {
+                field: "checkpoint",
+                reason: format!(
+                    "checkpoint covers {} dims, model has {}",
+                    state.w.len(),
+                    self.w.len()
+                ),
+            });
+        }
+        self.w.copy_from_slice(&state.w);
+        self.velocity.copy_from_slice(&state.velocity);
+        self.bias = state.bias as f32;
+        self.bias_velocity = state.bias_velocity as f32;
+        self.current_lr = state.current_lr as f32;
+        if let (Some(snap), Some(_)) = (&state.gm, &self.reg) {
+            self.reg = Some(GmRegularizer::from_snapshot(snap)?);
+        }
+        Ok(())
+    }
+
+    /// Train on `ds`, checkpointing into `dir`.
+    ///
+    /// If `dir` already holds a valid generation the fit **resumes** from
+    /// it — weights, momentum, learning-rate position, iteration counter
+    /// and mixture state are restored, and the `seed + 1 + epoch` shuffle
+    /// keying replays exactly the batches the interrupted run would have
+    /// seen. A run that dies with [`ShardError::WorkersExhausted`] mid-fit
+    /// therefore completes, on the next call, within the JSON round-trip
+    /// tolerance (1e-5) of an uninterrupted one.
+    pub fn train(&mut self, ds: &Arc<Dataset>, dir: impl AsRef<Path>) -> Result<ShardFitStats> {
+        let n = ds.len();
+        let m = self.w.len();
+        if n == 0 {
+            return Err(ShardError::Data {
+                reason: "empty dataset".into(),
+            });
+        }
+        if ds.n_features() != m {
+            return Err(ShardError::Data {
+                reason: format!("dataset has {} features, model has {m}", ds.n_features()),
+            });
+        }
+        if ds.y().iter().any(|&y| y > 1) {
+            return Err(ShardError::Data {
+                reason: "labels must be binary {0, 1}".into(),
+            });
+        }
+        let ckpt = CheckpointManager::new(dir.as_ref(), "shardfit", self.cfg.keep.max(1))?;
+
+        let mut epoch: u64 = 0;
+        let mut it: u64 = 0;
+        self.current_lr = self.train.lr;
+        match ckpt.load_latest::<LinearFitState>()? {
+            Some((_, state)) => {
+                self.restore_state(&state)?;
+                epoch = state.next_epoch;
+                it = state.iterations;
+                tele::counter_inc("shard.resumes");
+            }
+            None => {
+                ckpt.save(&self.capture_state(0, 0))?;
+            }
+        }
+
+        let epochs = self.train.epochs as u64;
+        let batch_size = self.train.batch_size;
+        let eff_scale = if self.train.scale_reg_by_n {
+            self.train.reg_scale / n as f32
+        } else {
+            self.train.reg_scale
+        };
+        let (lr_decay, momentum) = (self.train.lr_decay, self.train.momentum);
+
+        let mut sup = Supervisor::spawn(self.cfg.clone(), Arc::clone(ds));
+        let n_batches = n.div_ceil(batch_size);
+        let mut final_loss = f64::INFINITY;
+        let mut final_acc = 0.0;
+
+        while epoch < epochs {
+            let mut _epoch_span = tele::span("shard.epoch.ns").with_u64("epoch", epoch);
+            let order = Arc::new(epoch_order(n, self.train.seed, epoch));
+            let mut epoch_loss = 0.0;
+            let mut epoch_hits = 0usize;
+            for b in 0..n_batches {
+                let blo = b * batch_size;
+                let bhi = (blo + batch_size).min(n);
+                let bn = bhi - blo;
+
+                if let Some(reg) = &self.reg {
+                    if reg.config().lazy.run_e_step(it, epoch) {
+                        self.sharded_e_step(&mut sup)?;
+                    }
+                }
+
+                let merged = self.sharded_grad(&mut sup, &order, blo, bhi)?;
+
+                // Supervisor-side combine + SGD. The per-row `/n` of the
+                // local trainer becomes one division of the reduced f64
+                // sums — a fixed association, identical at every worker
+                // count.
+                let inv_n = 1.0 / bn as f64;
+                let greg = self.reg.as_ref().map(|r| r.cached_reg_grad());
+                for i in 0..m {
+                    let mut g = (merged.grad[i] * inv_n) as f32;
+                    if let Some(greg) = greg {
+                        g += eff_scale * greg[i];
+                    }
+                    self.velocity[i] = momentum * self.velocity[i] - self.current_lr * g;
+                    self.w[i] += self.velocity[i];
+                }
+                let bias_g = (merged.bias_grad * inv_n) as f32;
+                self.bias_velocity = momentum * self.bias_velocity - self.current_lr * bias_g;
+                self.bias += self.bias_velocity;
+
+                if let Some(reg) = &mut self.reg {
+                    if reg.config().lazy.run_m_step(it, epoch) {
+                        reg.m_step_from_stats();
+                    }
+                }
+
+                epoch_loss += merged.loss / bn as f64;
+                epoch_hits += merged.hits;
+                it += 1;
+            }
+            if let Some(reg) = &mut self.reg {
+                reg.end_epoch();
+            }
+            self.current_lr *= lr_decay;
+            final_loss = epoch_loss / n_batches as f64;
+            final_acc = epoch_hits as f64 / n as f64;
+            epoch += 1;
+            tele::gauge_set("runtime.epoch", epoch as f64);
+            tele::gauge_set("runtime.loss", final_loss);
+            if epoch % self.cfg.checkpoint_every as u64 == 0 || epoch == epochs {
+                ckpt.save(&self.capture_state(epoch, it))?;
+            }
+            drop(_epoch_span);
+            tele::flush();
+        }
+
+        Ok(ShardFitStats {
+            final_loss,
+            final_accuracy: final_acc,
+            iterations: it,
+            restarts: sup.restarts,
+            reassignments: sup.reassignments,
+            workers_alive: sup.workers.len(),
+        })
+    }
+
+    /// One sharded E-step: weight-chunk shards fan out, statistics reduce
+    /// in shard order, the assembled `g_reg` and merged accumulators land
+    /// in the regularizer exactly as a local sweep would.
+    fn sharded_e_step(&mut self, sup: &mut Supervisor) -> Result<()> {
+        let reg = self.reg.as_mut().expect("caller checked");
+        let m = self.w.len();
+        let n_chunks = m.div_ceil(E_STEP_CHUNK);
+        let shards = sup.cfg.shards;
+        let pi = Arc::new(reg.mixture().pi().to_vec());
+        let lambda = Arc::new(reg.mixture().lambda().to_vec());
+        let w = Arc::new(self.w.clone());
+        // Shards with an empty chunk range are excluded up front — a pure
+        // function of (m, shards), so the reduce shape stays fixed.
+        let shard_ids: Vec<usize> = (0..shards)
+            .filter(|&s| {
+                let (lo, hi) = shard_range(n_chunks, shards, s);
+                hi > lo
+            })
+            .collect();
+        let replies = sup.run_round(&shard_ids, |tag, s| {
+            let (chunk_lo, chunk_hi) = shard_range(n_chunks, shards, s);
+            Task::EStep {
+                tag,
+                shard: s,
+                w: Arc::clone(&w),
+                chunk_lo,
+                chunk_hi,
+                pi: Arc::clone(&pi),
+                lambda: Arc::clone(&lambda),
+            }
+        })?;
+        let mut full_greg = vec![0.0f32; m];
+        let mut parts: Vec<EmAccumulators> = Vec::with_capacity(replies.len());
+        for reply in replies {
+            let Reply::EStep {
+                acc,
+                greg,
+                weight_lo,
+                ..
+            } = reply
+            else {
+                unreachable!("E-step round yields E-step replies");
+            };
+            full_greg[weight_lo..weight_lo + greg.len()].copy_from_slice(&greg);
+            parts.push(acc);
+        }
+        let merged = reduce_em(parts).expect("at least one chunk shard");
+        reg.adopt_e_step(merged, &full_greg)?;
+        Ok(())
+    }
+
+    /// One sharded gradient round over rows `order[blo..bhi]`.
+    fn sharded_grad(
+        &mut self,
+        sup: &mut Supervisor,
+        order: &Arc<Vec<usize>>,
+        blo: usize,
+        bhi: usize,
+    ) -> Result<GradPartial> {
+        let bn = bhi - blo;
+        let shards = sup.cfg.shards;
+        let w = Arc::new(self.w.clone());
+        let bias = self.bias;
+        let shard_ids: Vec<usize> = (0..shards)
+            .filter(|&s| {
+                let (lo, hi) = shard_range(bn, shards, s);
+                hi > lo
+            })
+            .collect();
+        let replies = sup.run_round(&shard_ids, |tag, s| {
+            let (lo, hi) = shard_range(bn, shards, s);
+            Task::Grad {
+                tag,
+                shard: s,
+                rows: Arc::clone(order),
+                lo: blo + lo,
+                hi: blo + hi,
+                w: Arc::clone(&w),
+                bias,
+            }
+        })?;
+        let parts: Vec<GradPartial> = replies
+            .into_iter()
+            .map(|reply| {
+                let Reply::Grad { part, .. } = reply else {
+                    unreachable!("gradient round yields gradient replies");
+                };
+                part
+            })
+            .collect();
+        Ok(reduce_grad(parts).expect("at least one row shard"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmreg_core::gm::GmConfig;
+    use gmreg_linear::blobs;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gmreg-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn train_cfg(epochs: usize) -> LrConfig {
+        LrConfig {
+            epochs,
+            batch_size: 16,
+            ..LrConfig::default()
+        }
+    }
+
+    fn gm_reg(m: usize) -> GmRegularizer {
+        GmRegularizer::new(
+            m,
+            0.1,
+            GmConfig {
+                min_precision: Some(10.0),
+                ..GmConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn fit_with_workers(workers: usize, tag: &str) -> (Vec<f32>, f32, Vec<f64>, ShardFitStats) {
+        let ds = Arc::new(blobs(96, 6, 1.5, 3).unwrap());
+        let cfg = ShardConfig {
+            workers,
+            shards: 8,
+            ..ShardConfig::default()
+        };
+        let mut t = ShardedTrainer::new(6, train_cfg(4), Some(gm_reg(6)), cfg).unwrap();
+        let dir = temp_dir(tag);
+        let stats = t.train(&ds, &dir).unwrap();
+        let lambda = t.regularizer().unwrap().mixture().lambda().to_vec();
+        let out = (t.weights().to_vec(), t.bias(), lambda, stats);
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    #[test]
+    fn worker_count_never_changes_a_bit() {
+        let (w1, b1, l1, s1) = fit_with_workers(1, "w1");
+        for workers in [2usize, 4, 8] {
+            let (w, b, l, s) = fit_with_workers(workers, &format!("w{workers}"));
+            assert_eq!(w1, w, "weights must be bit-identical at {workers} workers");
+            assert_eq!(b1, b, "bias must be bit-identical at {workers} workers");
+            assert_eq!(l1, l, "mixture must be bit-identical at {workers} workers");
+            assert_eq!(s1.iterations, s.iterations);
+        }
+        assert!(s1.final_accuracy > 0.85, "{s1:?}");
+        assert_eq!(s1.restarts, 0);
+    }
+
+    #[test]
+    fn trains_without_regularizer() {
+        let ds = Arc::new(blobs(64, 4, 1.8, 9).unwrap());
+        let cfg = ShardConfig {
+            workers: 2,
+            shards: 4,
+            ..ShardConfig::default()
+        };
+        let mut t = ShardedTrainer::new(4, train_cfg(3), None, cfg).unwrap();
+        let dir = temp_dir("noreg");
+        let stats = t.train(&ds, &dir).unwrap();
+        assert!(stats.final_loss.is_finite());
+        assert!(stats.final_accuracy > 0.8, "{stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_completes_an_interrupted_fit() {
+        let ds = Arc::new(blobs(96, 6, 1.5, 3).unwrap());
+        let mk = |epochs: usize| {
+            ShardedTrainer::new(
+                6,
+                train_cfg(epochs),
+                Some(gm_reg(6)),
+                ShardConfig {
+                    workers: 2,
+                    shards: 8,
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let dir_a = temp_dir("resume-ref");
+        let mut full = mk(6);
+        let stats_a = full.train(&ds, &dir_a).unwrap();
+
+        let dir_b = temp_dir("resume-split");
+        mk(3).train(&ds, &dir_b).unwrap();
+        let mut rest = mk(6);
+        let stats_b = rest.train(&ds, &dir_b).unwrap();
+
+        assert_eq!(stats_a.iterations, stats_b.iterations);
+        for (i, (a, b)) in full.weights().iter().zip(rest.weights()).enumerate() {
+            assert!((a - b).abs() < 1e-5, "weight {i}: {a} vs {b}");
+        }
+        assert!((full.bias() - rest.bias()).abs() < 1e-5);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn sharded_matches_local_fit_numerically() {
+        // The sharded runtime is its own algorithm (f64 shard sums vs the
+        // local trainer's per-row f32 folds), so this is a numerical
+        // sanity bound, not bit-identity — that lives between worker
+        // counts, not between runtimes.
+        let ds = Arc::new(blobs(96, 6, 1.5, 3).unwrap());
+        let train = train_cfg(4);
+        let mut local = LogisticRegression::new(6, train).unwrap();
+        local.set_regularizer(Some(Box::new(gm_reg(6))));
+        let dir_l = temp_dir("local");
+        local
+            .fit_durable(&ds, &dir_l, &gmreg_linear::DurableFitConfig::default())
+            .unwrap();
+
+        let (w, b, _, _) = fit_with_workers(4, "vs-local");
+        for (i, (a, s)) in local.weights().iter().zip(&w).enumerate() {
+            assert!((a - s).abs() < 1e-3, "weight {i}: local {a} vs sharded {s}");
+        }
+        assert!((local.bias() - b).abs() < 1e-3);
+        let _ = std::fs::remove_dir_all(&dir_l);
+    }
+
+    #[test]
+    fn config_validation_rejects_zeroes() {
+        for bad in [
+            ShardConfig {
+                workers: 0,
+                ..ShardConfig::default()
+            },
+            ShardConfig {
+                shards: 0,
+                ..ShardConfig::default()
+            },
+            ShardConfig {
+                heartbeat_ms: 0,
+                ..ShardConfig::default()
+            },
+            ShardConfig {
+                checkpoint_every: 0,
+                ..ShardConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        assert!(ShardConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn dataset_validation() {
+        let cfg = ShardConfig::default();
+        let mut t = ShardedTrainer::new(6, train_cfg(2), None, cfg).unwrap();
+        let ds = Arc::new(blobs(32, 4, 1.0, 5).unwrap());
+        let dir = temp_dir("baddim");
+        assert!(matches!(t.train(&ds, &dir), Err(ShardError::Data { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,100 @@
+//! Feature-gated telemetry facade: re-exports `gmreg-telemetry` when the
+//! `telemetry` feature is enabled and compiles to inlined no-ops otherwise,
+//! so instrumented call sites need no `cfg` of their own. Computations that
+//! exist only to feed a metric (entropy, drift) must still sit inside a
+//! `#[cfg(feature = "telemetry")]` block — a no-op function does not stop
+//! its arguments from being evaluated.
+
+#![allow(unused_imports, dead_code)]
+
+#[cfg(feature = "telemetry")]
+pub(crate) use gmreg_telemetry::{
+    adopt_parent, counter_add, counter_inc, current_span_id, flush, gauge_set, histogram_record,
+    span, AttrValue, Span,
+};
+
+#[cfg(not(feature = "telemetry"))]
+mod noop {
+    /// Zero-cost stand-in for the telemetry span guard. The attribute
+    /// builders consume and return `self` unchanged so annotated call
+    /// sites compile to nothing.
+    #[must_use = "a span measures the scope it is bound to"]
+    pub struct Span;
+
+    impl Span {
+        /// Always 0 without the `telemetry` feature.
+        #[inline(always)]
+        pub fn elapsed_ns(&self) -> u64 {
+            0
+        }
+
+        /// Always 0 without the `telemetry` feature.
+        #[inline(always)]
+        pub fn id(&self) -> u64 {
+            0
+        }
+
+        #[inline(always)]
+        pub fn with_u64(self, _key: &'static str, _value: u64) -> Self {
+            self
+        }
+
+        #[inline(always)]
+        pub fn with_i64(self, _key: &'static str, _value: i64) -> Self {
+            self
+        }
+
+        #[inline(always)]
+        pub fn with_f64(self, _key: &'static str, _value: f64) -> Self {
+            self
+        }
+
+        #[inline(always)]
+        pub fn with_str(self, _key: &'static str, _value: &'static str) -> Self {
+            self
+        }
+
+        #[inline(always)]
+        pub fn with_bool(self, _key: &'static str, _value: bool) -> Self {
+            self
+        }
+
+        #[inline(always)]
+        pub fn set_u64(&mut self, _key: &'static str, _value: u64) {}
+
+        #[inline(always)]
+        pub fn set_f64(&mut self, _key: &'static str, _value: f64) {}
+    }
+
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    pub fn counter_inc(_name: &'static str) {}
+
+    #[inline(always)]
+    pub fn gauge_set(_name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    pub fn histogram_record(_name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span
+    }
+
+    /// Always 0 without the `telemetry` feature.
+    #[inline(always)]
+    pub fn current_span_id() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn adopt_parent(_parent: u64) {}
+
+    #[inline(always)]
+    pub fn flush() {}
+}
+
+#[cfg(not(feature = "telemetry"))]
+pub(crate) use noop::*;

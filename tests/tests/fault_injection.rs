@@ -19,7 +19,7 @@
 
 use gmreg_core::durable::CheckpointManager;
 use gmreg_core::gm::{GmConfig, GmRegularizer, GuardConfig, GuardedGmRegularizer};
-use gmreg_core::{Regularizer, StepCtx};
+use gmreg_core::{CoreError, Regularizer, StepCtx};
 use gmreg_data::Dataset;
 use gmreg_faults::{seeded_hits, FaultKind, FaultSpec};
 use gmreg_nn::{
@@ -334,6 +334,130 @@ fn seeded_chaos_schedule_is_survived_and_reproducible() {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct CkptPayload {
     step: u64,
+}
+
+/// The retry ladder walked end to end under a *persistent* λ blow-up:
+/// every M-step is scaled past the ceiling, so the guard must trip, roll
+/// back `max_retries` times, then degrade to L2 — exactly once. After the
+/// degradation the GM inner is never consulted again (no further failpoint
+/// traversals, no second `guard.degraded` increment).
+#[cfg(feature = "telemetry")]
+#[test]
+fn repeated_lambda_blowup_walks_rollback_ladder_and_degrades_exactly_once() {
+    let _g = lock();
+    gmreg_telemetry::set_enabled(true);
+    let counter = |name: &str| {
+        gmreg_telemetry::flush();
+        gmreg_telemetry::snapshot()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    };
+    let trips0 = counter("guard.trips");
+    let rollbacks0 = counter("guard.rollbacks");
+    let degraded0 = counter("guard.degraded");
+
+    let m = 24;
+    let w: Vec<f32> = (0..m).map(|i| ((i as f32) * 0.41).sin() * 0.3).collect();
+    let inner = GmRegularizer::new(m, 0.3, GmConfig::default()).unwrap();
+    let mut guard = GuardedGmRegularizer::new(
+        inner,
+        GuardConfig {
+            max_retries: 2,
+            ..GuardConfig::default()
+        },
+    );
+
+    gmreg_faults::arm(
+        "gm.lambda.blowup",
+        FaultSpec::always(FaultKind::Scale(1e20)),
+    );
+    let mut grad = vec![0.0f32; m];
+    // Step 0: trip -> rollback (retry 1). Step 1: trip -> rollback
+    // (retry 2). Step 2: trip -> budget spent -> degrade.
+    for it in 0..3u64 {
+        grad.fill(0.0);
+        guard.accumulate_grad(&w, &mut grad, StepCtx::new(it, 0));
+        assert!(
+            grad.iter().all(|v| v.is_finite()),
+            "iteration {it}: gradient stayed finite"
+        );
+    }
+    assert_eq!(
+        guard.trip_count(),
+        3,
+        "validate fired on every poisoned step"
+    );
+    assert_eq!(guard.rollback_count(), 2, "exactly max_retries rollbacks");
+    assert!(guard.is_degraded());
+    assert_eq!(guard.name(), "L2(degraded)");
+    assert_eq!(counter("guard.trips") - trips0, 3);
+    assert_eq!(counter("guard.rollbacks") - rollbacks0, 2);
+    assert_eq!(counter("guard.degraded") - degraded0, 1);
+
+    // Past the degradation the inner GM is bypassed entirely: the armed
+    // site stops being traversed and the degrade counter must not move
+    // again (no double-degrade).
+    let fires_at_degrade = gmreg_faults::hits("gm.lambda.blowup");
+    for it in 3..10u64 {
+        grad.fill(0.0);
+        guard.accumulate_grad(&w, &mut grad, StepCtx::new(it, 0));
+        assert!(grad.iter().all(|v| v.is_finite()));
+    }
+    assert_eq!(gmreg_faults::hits("gm.lambda.blowup"), fires_at_degrade);
+    assert_eq!(guard.trip_count(), 3, "L2 path never trips");
+    assert_eq!(
+        counter("guard.degraded") - degraded0,
+        1,
+        "degrade is one-shot"
+    );
+    gmreg_faults::reset();
+}
+
+/// A torn directory entry — power loss between the rename and the parent
+/// directory fsync — must surface as a *failed* save (never a silent
+/// success for a file that is not durable), and the previous generation
+/// must remain loadable.
+#[test]
+fn torn_directory_fault_fails_save_and_keeps_previous_generation() {
+    let _g = lock();
+    let dir = temp_dir("ckpt-dir");
+    let mgr = CheckpointManager::new(&dir, "state", 4).expect("manager");
+    mgr.save(&CkptPayload { step: 0 }).expect("clean gen 0");
+
+    // The kind is irrelevant for this site: any armed fault models the
+    // crash window after rename but before the directory fsync.
+    gmreg_faults::arm("ckpt.dir", FaultSpec::once_at(FaultKind::Panic, 0));
+    let err = mgr
+        .save(&CkptPayload { step: 1 })
+        .expect_err("a non-durable rename must be reported as failure");
+    match &err {
+        CoreError::Io { op, .. } => assert_eq!(*op, "dir_sync", "names the lost fsync"),
+        other => panic!("expected Io/dir_sync, got {other}"),
+    }
+    gmreg_faults::reset();
+
+    // The generation that was never made durable is gone from disk, and
+    // loading falls back to the intact generation 0.
+    assert_eq!(mgr.generations().expect("listable"), vec![0]);
+    let (generation, state) = mgr
+        .load_latest::<CkptPayload>()
+        .expect("loads")
+        .expect("gen 0 survives");
+    assert_eq!(generation, 0);
+    assert_eq!(state, CkptPayload { step: 0 });
+
+    // The manager is not wedged: the next save claims the torn slot again.
+    let generation = mgr.save(&CkptPayload { step: 2 }).expect("clean save");
+    assert_eq!(generation, 1);
+    let (generation, state) = mgr
+        .load_latest::<CkptPayload>()
+        .expect("loads")
+        .expect("newest intact");
+    assert_eq!(generation, 1);
+    assert_eq!(state, CkptPayload { step: 2 });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -144,6 +144,7 @@ proptest! {
                     max_size: 8,
                     max_wait_us: 2_000,
                     queue_cap: 1024,
+                    max_wait_budget_ms: 0,
                 },
             ));
             for (i, result) in submit_concurrently(&batcher, &rows) {
@@ -195,6 +196,7 @@ fn concurrent_burst_coalesces_into_fewer_batches() {
             max_size: 8,
             max_wait_us: 100_000,
             queue_cap: 1024,
+            max_wait_budget_ms: 0,
         },
     ));
     for (i, result) in submit_concurrently(&batcher, &rows) {
@@ -236,6 +238,7 @@ fn pool_worker_failpoint_errors_batch_without_wedging_queue() {
             max_size: 8,
             max_wait_us: 100_000,
             queue_cap: 64,
+            max_wait_budget_ms: 0,
         },
     ));
 

@@ -1,0 +1,328 @@
+//! Chaos suite for the elastic sharded training runtime: workers are
+//! killed at epoch boundaries and mid-reduce, partials are dropped on the
+//! reduce path, and heartbeats are stalled — and in every case the fit
+//! must finish with results **bit-identical** to an undisturbed run,
+//! because recovery replays pure per-shard tasks on a fixed reduce grid.
+//!
+//! The one place bitwise equality is relaxed to the documented 1e-5
+//! resume tolerance is the `WorkersExhausted` → checkpoint-resume path,
+//! where state travels through a JSON checkpoint (shortest-round-trip
+//! floats drift by ≤ 1 ULP per hop).
+//!
+//! Like `fault_injection.rs`, every test serializes on a process-global
+//! lock because the failpoint registry is shared. `GMREG_FAULT_SEED`
+//! (default 7) drives the seeded schedules so CI can sweep them; when
+//! `GMREG_CHAOS_JOURNAL_DIR` is set each test streams its telemetry to a
+//! JSONL journal there, which the CI chaos job uploads on failure.
+
+#![cfg(all(feature = "shard", feature = "failpoints"))]
+
+use gmreg_core::gm::{GmConfig, GmRegularizer};
+use gmreg_data::Dataset;
+use gmreg_faults::{seeded_hits, FaultKind, FaultSpec};
+use gmreg_linear::{blobs, LrConfig};
+use gmreg_shard::{ShardConfig, ShardError, ShardedTrainer};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    gmreg_faults::reset();
+    guard
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("GMREG_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Stream this test's telemetry into a journal when the CI chaos job asks
+/// for artifacts (`GMREG_CHAOS_JOURNAL_DIR`). Returns a guard that syncs
+/// and uninstalls on drop so journals from serialized tests never mix.
+fn maybe_journal(tag: &str) -> JournalGuard {
+    let installed = match std::env::var("GMREG_CHAOS_JOURNAL_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let _ = std::fs::create_dir_all(&dir);
+            let path = std::path::Path::new(&dir).join(format!("{tag}-seed{}.jsonl", fault_seed()));
+            gmreg_telemetry::set_enabled(true);
+            gmreg_telemetry::journal::install(&path, gmreg_telemetry::journal::DEFAULT_JOURNAL_CAP)
+                .is_ok()
+        }
+        _ => false,
+    };
+    JournalGuard { installed }
+}
+
+struct JournalGuard {
+    installed: bool,
+}
+
+impl Drop for JournalGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            gmreg_telemetry::flush();
+            gmreg_telemetry::journal::sync();
+            gmreg_telemetry::journal::uninstall();
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gmreg-shardchaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(blobs(96, 6, 1.5, 3).expect("blobs"))
+}
+
+fn train_cfg(epochs: usize) -> LrConfig {
+    LrConfig {
+        epochs,
+        batch_size: 32,
+        seed: 11,
+        ..LrConfig::default()
+    }
+}
+
+fn shard_cfg() -> ShardConfig {
+    ShardConfig {
+        workers: 4,
+        shards: 4,
+        heartbeat_ms: 60,
+        max_missed: 4,
+        max_restarts: 8,
+        backoff_ms: 5,
+        backoff_cap_ms: 50,
+        checkpoint_every: 1,
+        keep: 4,
+    }
+}
+
+/// A fit with no faults armed: the ground truth every chaos run must hit.
+fn clean_run(ds: &Arc<Dataset>, epochs: usize, reg: bool, tag: &str) -> (Vec<f32>, f32) {
+    let dir = temp_dir(tag);
+    let reg = reg.then(|| GmRegularizer::new(6, 0.5, GmConfig::default()).expect("gm"));
+    let mut t = ShardedTrainer::new(6, train_cfg(epochs), reg, shard_cfg()).expect("trainer");
+    t.train(ds, &dir).expect("clean fit");
+    let out = (t.weights().to_vec(), t.bias());
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn assert_bitwise(label: &str, w: &[f32], bias: f32, ref_w: &[f32], ref_bias: f32) {
+    assert_eq!(w.len(), ref_w.len());
+    for (i, (a, b)) in w.iter().zip(ref_w).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: weight {i} diverged ({a} vs {b})"
+        );
+    }
+    assert_eq!(bias.to_bits(), ref_bias.to_bits(), "{label}: bias diverged");
+}
+
+/// Kill a worker at (or just after) every epoch boundary: 4 epochs × 3
+/// batches × 4 row shards puts the first task of epoch `e` near traversal
+/// `12·e`; each death shifts later indices by one replay. Every scheduled
+/// death restarts a worker and the final weights are bit-identical to the
+/// undisturbed fit — well inside the 1e-5 acceptance bound.
+#[test]
+fn worker_killed_every_epoch_matches_uninterrupted_run() {
+    let _g = lock();
+    let _j = maybe_journal("die-epoch-boundary");
+    let ds = dataset();
+    let epochs = 4;
+    let (ref_w, ref_bias) = clean_run(&ds, epochs, false, "die-epoch-ref");
+
+    let hits: Vec<u64> = (0..epochs as u64).map(|e| 12 * e + e).collect();
+    gmreg_faults::arm(
+        "shard.worker.die",
+        FaultSpec::at_hits(FaultKind::Panic, hits),
+    );
+    let dir = temp_dir("die-epoch");
+    let mut t = ShardedTrainer::new(6, train_cfg(epochs), None, shard_cfg()).expect("trainer");
+    let stats = t.train(&ds, &dir).expect("every death is survivable");
+    gmreg_faults::reset();
+
+    assert_eq!(
+        stats.restarts, epochs as u64,
+        "one restart per scheduled epoch-boundary death"
+    );
+    assert_eq!(stats.reassignments, 0, "budget never exhausted");
+    assert_eq!(stats.workers_alive, 4);
+    assert_bitwise(
+        "epoch-boundary deaths",
+        t.weights(),
+        t.bias(),
+        &ref_w,
+        ref_bias,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mid-reduce death: the second task of a 4-shard round panics, so the
+/// round already holds some partials when the owner dies. The replay must
+/// refill only the missing slots and reduce in fixed shard order —
+/// bit-identical result, exactly one restart.
+#[test]
+fn worker_killed_mid_reduce_replays_missing_shards_only() {
+    let _g = lock();
+    let _j = maybe_journal("die-mid-reduce");
+    let ds = dataset();
+    let (ref_w, ref_bias) = clean_run(&ds, 3, false, "die-mid-ref");
+
+    // Traversal 5 is the middle of the second gradient round.
+    gmreg_faults::arm("shard.worker.die", FaultSpec::once_at(FaultKind::Panic, 5));
+    let dir = temp_dir("die-mid");
+    let mut t = ShardedTrainer::new(6, train_cfg(3), None, shard_cfg()).expect("trainer");
+    let stats = t.train(&ds, &dir).expect("mid-reduce death is survivable");
+    gmreg_faults::reset();
+
+    assert_eq!(stats.restarts, 1);
+    assert_bitwise("mid-reduce death", t.weights(), t.bias(), &ref_w, ref_bias);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dropped reduce partials (`shard.reduce.drop`) are recovered by the
+/// timeout replay: the reduce never proceeds with a hole, so the result
+/// stays bit-identical even when several partials vanish in flight.
+#[test]
+fn dropped_partials_are_replayed_not_skipped() {
+    let _g = lock();
+    let _j = maybe_journal("reduce-drop");
+    let ds = dataset();
+    let (ref_w, ref_bias) = clean_run(&ds, 3, false, "drop-ref");
+
+    gmreg_faults::arm(
+        "shard.reduce.drop",
+        FaultSpec::at_hits(FaultKind::Panic, vec![2, 9, 17]),
+    );
+    let dir = temp_dir("drop");
+    let mut t = ShardedTrainer::new(6, train_cfg(3), None, shard_cfg()).expect("trainer");
+    t.train(&ds, &dir).expect("drops are survivable");
+    gmreg_faults::reset();
+
+    assert_bitwise("dropped partials", t.weights(), t.bias(), &ref_w, ref_bias);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stalled worker (`shard.heartbeat.stall`) accumulates heartbeat
+/// misses until the supervisor declares it dead and replays its shards on
+/// a replacement. The stalled thread's late replies carry a stale tag and
+/// are discarded, so the result is still bit-identical.
+#[test]
+fn stalled_heartbeat_is_detected_and_worked_around() {
+    let _g = lock();
+    let _j = maybe_journal("heartbeat-stall");
+    let ds = dataset();
+    let (ref_w, ref_bias) = clean_run(&ds, 2, false, "stall-ref");
+
+    // One 900ms freeze against a 60ms heartbeat with max_missed = 4: the
+    // supervisor must give up on the worker long before it wakes.
+    gmreg_faults::arm(
+        "shard.heartbeat.stall",
+        FaultSpec::once_at(FaultKind::Scale(900.0), 3),
+    );
+    let dir = temp_dir("stall");
+    let mut t = ShardedTrainer::new(6, train_cfg(2), None, shard_cfg()).expect("trainer");
+    let stats = t.train(&ds, &dir).expect("stall is survivable");
+    gmreg_faults::reset();
+
+    assert!(
+        stats.restarts >= 1,
+        "the stalled worker was declared dead and replaced"
+    );
+    assert_bitwise("heartbeat stall", t.weights(), t.bias(), &ref_w, ref_bias);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Restart budget exhausted mid-fit: with `max_restarts = 0` every death
+/// permanently shrinks the worker pool (deterministic reassignment); when
+/// the last worker dies the fit fails *typed* (`WorkersExhausted`), and a
+/// follow-up call resumes from the last checkpoint generation to land
+/// within the documented 1e-5 of an uninterrupted fit.
+#[test]
+fn exhausted_workers_fail_typed_then_resume_from_checkpoint() {
+    let _g = lock();
+    let _j = maybe_journal("exhausted-resume");
+    let ds = dataset();
+    let epochs = 6;
+    let (ref_w, ref_bias) = clean_run(&ds, epochs, false, "exhaust-ref");
+
+    let cfg = ShardConfig {
+        max_restarts: 0,
+        ..shard_cfg()
+    };
+    // Four scheduled deaths into a 4-worker pool with no restart budget:
+    // three degrade the pool, the fourth leaves it empty mid-epoch.
+    gmreg_faults::arm(
+        "shard.worker.die",
+        FaultSpec::at_hits(FaultKind::Panic, vec![14, 15, 16, 18]),
+    );
+    let dir = temp_dir("exhaust");
+    let mut t = ShardedTrainer::new(6, train_cfg(epochs), None, cfg.clone()).expect("trainer");
+    let err = t
+        .train(&ds, &dir)
+        .expect_err("an empty worker pool must fail, not hang");
+    assert!(
+        matches!(err, ShardError::WorkersExhausted { .. }),
+        "typed exhaustion, got: {err}"
+    );
+    gmreg_faults::reset();
+
+    // Elastic resume: a fresh call picks up the newest generation and
+    // finishes the remaining epochs without any faults armed.
+    let mut resumed = ShardedTrainer::new(6, train_cfg(epochs), None, cfg).expect("trainer");
+    let stats = resumed.train(&ds, &dir).expect("resume completes");
+    assert_eq!(stats.iterations, (epochs * 3) as u64, "all batches ran");
+    for (i, (a, b)) in resumed.weights().iter().zip(&ref_w).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-5,
+            "weight {i}: resumed {a} vs uninterrupted {b}"
+        );
+    }
+    assert!((resumed.bias() - ref_bias).abs() < 1e-5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The seeded chaos matrix entry: `GMREG_FAULT_SEED` expands into a
+/// reproducible death schedule over a *regularized* fit (gradient and
+/// E-step rounds both in play). Any schedule inside the restart budget
+/// must finish bit-identical to the clean run.
+#[test]
+fn seeded_death_schedule_is_survived_bit_identically() {
+    let _g = lock();
+    let _j = maybe_journal("seeded-matrix");
+    let seed = fault_seed();
+    let hits = seeded_hits(seed, 5, 60);
+    assert_eq!(hits, seeded_hits(seed, 5, 60), "schedule is reproducible");
+    let ds = dataset();
+    let (ref_w, ref_bias) = clean_run(&ds, 4, true, &format!("seeded-ref-{seed}"));
+
+    gmreg_faults::arm(
+        "shard.worker.die",
+        FaultSpec::at_hits(FaultKind::Panic, hits.clone()),
+    );
+    let dir = temp_dir(&format!("seeded-{seed}"));
+    let reg = GmRegularizer::new(6, 0.5, GmConfig::default()).expect("gm");
+    let mut t = ShardedTrainer::new(6, train_cfg(4), Some(reg), shard_cfg()).expect("trainer");
+    let stats = t
+        .train(&ds, &dir)
+        .unwrap_or_else(|e| panic!("seed {seed} (hits {hits:?}) must be survivable: {e}"));
+    gmreg_faults::reset();
+
+    assert!(stats.restarts >= 1, "the schedule actually fired");
+    assert_bitwise(
+        &format!("seeded schedule {seed}"),
+        t.weights(),
+        t.bias(),
+        &ref_w,
+        ref_bias,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
