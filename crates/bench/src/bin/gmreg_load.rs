@@ -3,24 +3,30 @@
 //! ```text
 //! gmreg-load --addr 127.0.0.1:9900 [--threads N] [--rate RPS]
 //!            [--duration-secs S] [--rows N] [--dim D] [--seed N]
+//!            [--keep-alive] [--sweep-connections 1,2,4]
 //!            [--p99-budget-ms MS] [--max-error-rate F]
 //!            [--out BENCH_SERVE.json]
 //! ```
 //!
 //! Drives N closed-loop client threads at an aggregate target rate,
 //! prints a latency summary, and writes `BENCH_SERVE.json` for
-//! `bench_diff` gating (see `EXPERIMENTS.md` for the schema). Exit code 1
-//! when every request failed — a smoke job pointed at a dead server must
-//! not produce a green baseline — or when the run's `error_rate`
-//! (`errors / attempts`) exceeds `--max-error-rate` (default `1.0`, i.e.
-//! not gated; the serve-smoke CI job passes an explicit budget).
+//! `bench_diff` gating (see `EXPERIMENTS.md` for the schema).
+//! `--keep-alive` holds one persistent HTTP/1.1 connection per thread;
+//! `--sweep-connections` additionally re-runs the load once per listed
+//! client count and records the points under the report's `sweep` array.
+//! Exit code 1 when every request failed — a smoke job pointed at a dead
+//! server must not produce a green baseline — or when the run's
+//! `error_rate` (`errors / attempts`) exceeds `--max-error-rate` (default
+//! `1.0`, i.e. not gated; the serve-smoke CI job passes an explicit
+//! budget).
 
-use gmreg_bench::load::{run_load, write_bench_serve, BenchServe, LoadConfig};
+use gmreg_bench::load::{run_load, run_sweep, write_bench_serve, BenchServe, LoadConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     cfg: LoadConfig,
+    sweep_connections: Vec<usize>,
     p99_budget_ms: f64,
     max_error_rate: f64,
     out: PathBuf,
@@ -29,6 +35,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cfg: LoadConfig::default(),
+        sweep_connections: Vec::new(),
         p99_budget_ms: 250.0,
         max_error_rate: 1.0,
         out: PathBuf::from("BENCH_SERVE.json"),
@@ -52,6 +59,13 @@ fn parse_args() -> Result<Args, String> {
             "--rows" => args.cfg.rows_per_request = num("--rows", value("--rows")?)?,
             "--dim" => args.cfg.dim = num("--dim", value("--dim")?)?,
             "--seed" => args.cfg.seed = num("--seed", value("--seed")?)?,
+            "--keep-alive" => args.cfg.keep_alive = true,
+            "--sweep-connections" => {
+                for part in value("--sweep-connections")?.split(',') {
+                    args.sweep_connections
+                        .push(num("--sweep-connections", part.trim().to_string())?);
+                }
+            }
             "--p99-budget-ms" => {
                 args.p99_budget_ms = num("--p99-budget-ms", value("--p99-budget-ms")?)?
             }
@@ -63,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "gmreg-load --addr HOST:PORT [--threads N] [--rate RPS] \
                      [--duration-secs S] [--rows N] [--dim D] [--seed N] \
+                     [--keep-alive] [--sweep-connections 1,2,4] \
                      [--p99-budget-ms MS] [--max-error-rate F] [--out PATH]"
                 );
                 std::process::exit(0);
@@ -75,6 +90,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.cfg.rows_per_request == 0 || args.cfg.dim == 0 {
         return Err("--rows and --dim must be at least 1".to_string());
+    }
+    if args.sweep_connections.contains(&0) {
+        return Err("--sweep-connections counts must be at least 1".to_string());
     }
     if !(0.0..=1.0).contains(&args.max_error_rate) {
         return Err("--max-error-rate must be within [0, 1]".to_string());
@@ -92,8 +110,16 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "gmreg-load: {} threads -> {} at {} rps target for {}s",
-        args.cfg.threads, args.cfg.addr, args.cfg.rate_rps, args.cfg.duration_secs
+        "gmreg-load: {} threads -> {} at {} rps target for {}s ({})",
+        args.cfg.threads,
+        args.cfg.addr,
+        args.cfg.rate_rps,
+        args.cfg.duration_secs,
+        if args.cfg.keep_alive {
+            "keep-alive"
+        } else {
+            "connection-per-request"
+        }
     );
     let report = run_load(&args.cfg, args.p99_budget_ms);
     println!(
@@ -108,12 +134,30 @@ fn main() -> ExitCode {
         report.p99_budget_ms,
         report.latency_headroom
     );
+    println!(
+        "connections {}  reused_ratio {:.4}  connect p50 {:.3} ms  p99 {:.3} ms",
+        report.connections, report.reused_ratio, report.connect_ms.p50, report.connect_ms.p99
+    );
+
+    let sweep = if args.sweep_connections.is_empty() {
+        Vec::new()
+    } else {
+        let points = run_sweep(&args.cfg, &args.sweep_connections, args.p99_budget_ms);
+        for p in &points {
+            println!(
+                "sweep {}: {} requests  {:.1} rps  p99 {:.3} ms  reused_ratio {:.4}",
+                p.name, p.requests, p.throughput_rps, p.p99_ms, p.reused_ratio
+            );
+        }
+        points
+    };
 
     let all_failed = report.requests == 0;
     let error_rate = report.error_rate;
     let doc = BenchServe {
         config: args.cfg,
         serve: report,
+        sweep,
     };
     if let Err(e) = write_bench_serve(&doc, &args.out) {
         eprintln!("gmreg-load: writing {}: {e}", args.out.display());

@@ -10,7 +10,8 @@
 //!   `*dropped*`, `*fail*`, `*panic*`, `*rollback*`): only increases past
 //!   the threshold regress;
 //! * **higher is better** (`*speedup*`, `*acc*`, `*throughput*`, `*rate*`,
-//!   `*ops*`, `*hit*`): only decreases past the threshold regress;
+//!   `*ops*`, `*hit*`, `*ratio*`): only decreases past the threshold
+//!   regress;
 //! * **neutral** (everything else — e.g. event counters): any relative
 //!   change past the threshold regresses. A drifted counter means the
 //!   run's behaviour changed, which a pinned baseline must flag.
@@ -332,7 +333,15 @@ pub fn direction(path: &str) -> Direction {
     const LOWER: &[&str] = &[
         "time", "dur", "loss", "dropped", "fail", "panic", "rollback", "error", "p50", "p95", "p99",
     ];
-    const HIGHER: &[&str] = &["speedup", "acc", "throughput", "rate", "ops", "hit"];
+    const HIGHER: &[&str] = &[
+        "speedup",
+        "acc",
+        "throughput",
+        "rate",
+        "ops",
+        "hit",
+        "ratio",
+    ];
     if unit_suffix || LOWER.iter().any(|w| last.contains(w)) {
         Direction::LowerIsBetter
     } else if HIGHER.iter().any(|w| last.contains(w)) {
@@ -568,6 +577,9 @@ mod tests {
         assert_eq!(direction("gauges.runtime.loss"), Direction::LowerIsBetter);
         assert_eq!(direction("bench.e_step.speedup"), Direction::HigherIsBetter);
         assert_eq!(direction("final_accuracy"), Direction::HigherIsBetter);
+        assert_eq!(direction("serve.reused_ratio"), Direction::HigherIsBetter);
+        // `error` outranks `rate`/`ratio`: a rising error share regresses.
+        assert_eq!(direction("serve.error_rate"), Direction::LowerIsBetter);
         assert_eq!(direction("counters.gm.e_step.runs"), Direction::Pinned);
     }
 

@@ -4,9 +4,21 @@
 //! target aggregate request rate for a fixed duration. Each request is one
 //! `POST /predict` carrying deterministic pseudo-random rows (seeded, no
 //! RNG dependency, so two runs against the same server are byte-identical
-//! request streams). Per-request latency is recorded both into the
-//! process-local telemetry registry (`load.request.ns` histogram) and as
-//! raw samples from which exact p50/p95/p99 are computed for the report.
+//! request streams). With `keep_alive` set each thread holds one
+//! persistent HTTP/1.1 connection and reconnects only when the server
+//! closes it; otherwise every request dials a fresh connection, which is
+//! the pre-keep-alive baseline the committed `BENCH_SERVE.json` numbers
+//! came from.
+//!
+//! TCP connect time is measured separately from request latency in *both*
+//! modes: `latency_ms` is write-request→full-response only, and
+//! `connect_ms` covers the dials. That split is what makes the keep-alive
+//! comparison honest — a reused connection skips the dial entirely, and
+//! `reused_ratio` (`1 − connections/attempts`) says how often.
+//!
+//! Per-request latency is recorded both into the process-local telemetry
+//! registry (`load.request.ns` histogram) and as raw samples from which
+//! exact p50/p95/p99 are computed for the report.
 //!
 //! [`write_bench_serve`] serializes the run as `BENCH_SERVE.json`, the
 //! serving counterpart of `BENCH_PR1.json`, with `bench_diff`-friendly
@@ -15,17 +27,23 @@
 //! ```json
 //! {
 //!   "config": {"threads": 2, "rate_rps": 200.0, "duration_secs": 5.0,
-//!              "rows_per_request": 1, "dim": 8, "seed": 42},
+//!              "rows_per_request": 1, "dim": 8, "seed": 42,
+//!              "keep_alive": true},
 //!   "serve": {"requests": 950, "errors": 0, "error_rate": 0.0,
 //!             "throughput_rps": 189.7,
 //!             "latency_ms": {"p50": 1.1, "p95": 2.0, "p99": 3.2},
-//!             "p99_budget_ms": 250.0, "latency_headroom": 78.1}
+//!             "connect_ms": {"p50": 0.1, "p95": 0.2, "p99": 0.3},
+//!             "connections": 2, "reused_ratio": 0.997,
+//!             "p99_budget_ms": 250.0, "latency_headroom": 78.1},
+//!   "sweep": [{"name": "c1", "connections": 1, ...}, ...]
 //! }
 //! ```
 //!
 //! `latency_headroom = p99_budget_ms / p99_ms` exists because `bench_diff`
 //! floors (`--min`) assert *minimums*: CI pins "p99 under budget" as
-//! `--min 'serve.latency_headroom=1'` instead of needing a maximum.
+//! `--min 'serve.latency_headroom=1'` instead of needing a maximum. The
+//! `sweep` array labels its points by `name` (`c1`, `c2`, ...) so
+//! `bench_diff` flattens them as `sweep.cN.throughput_rps` etc.
 
 use serde::Serialize;
 use std::io::{Read as _, Write as _};
@@ -50,6 +68,9 @@ pub struct LoadConfig {
     pub dim: usize,
     /// Seed for the deterministic request-stream generator.
     pub seed: u64,
+    /// Hold one persistent HTTP/1.1 connection per thread instead of
+    /// dialing per request (`gmreg-load --keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Default for LoadConfig {
@@ -62,6 +83,7 @@ impl Default for LoadConfig {
             rows_per_request: 1,
             dim: 8,
             seed: 42,
+            keep_alive: false,
         }
     }
 }
@@ -90,13 +112,43 @@ pub struct LoadReport {
     pub error_rate: f64,
     /// Achieved aggregate throughput over the run window.
     pub throughput_rps: f64,
-    /// End-to-end request latency percentiles.
+    /// Request latency percentiles: write-request → full-response,
+    /// excluding TCP connect time (reported separately in `connect_ms`).
     pub latency_ms: LatencyMs,
+    /// TCP connect latency percentiles over the dials that succeeded.
+    pub connect_ms: LatencyMs,
+    /// Connections dialed (successfully or not) over the whole run. Equals
+    /// attempts without keep-alive; close to `threads` with it.
+    pub connections: u64,
+    /// `1 − connections/attempts` — the fraction of requests that rode an
+    /// already-open connection. `0.0` without keep-alive.
+    pub reused_ratio: f64,
     /// The p99 budget the run was gated against.
     pub p99_budget_ms: f64,
     /// `p99_budget_ms / latency_ms.p99` — at least 1.0 means "within
     /// budget"; gated in CI via `bench_diff --min`.
     pub latency_headroom: f64,
+}
+
+/// One point of a connection-count sweep: a full [`run_load`] at a given
+/// concurrent-connection (client thread) count. The `name` field (`c1`,
+/// `c2`, ...) is what `bench_diff` labels the array element by.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// `bench_diff` element label, `c{connections}`.
+    pub name: String,
+    /// Concurrent client connections (threads) this point ran with.
+    pub connections: u64,
+    /// Whether the point ran with persistent connections.
+    pub keep_alive: bool,
+    /// Requests answered `200 OK`.
+    pub requests: u64,
+    /// Achieved aggregate throughput.
+    pub throughput_rps: f64,
+    /// Request-latency p99 in milliseconds.
+    pub p99_ms: f64,
+    /// Connection-reuse fraction for the point.
+    pub reused_ratio: f64,
 }
 
 /// The on-disk `BENCH_SERVE.json` document.
@@ -106,6 +158,9 @@ pub struct BenchServe {
     pub config: LoadConfig,
     /// Measured results.
     pub serve: LoadReport,
+    /// Connection-count sweep points (empty unless
+    /// `gmreg-load --sweep-connections` ran one).
+    pub sweep: Vec<SweepPoint>,
 }
 
 /// splitmix64: deterministic, dependency-free request-stream generator.
@@ -141,35 +196,150 @@ pub fn predict_body(seed: u64, rows: usize, dim: usize) -> String {
     out
 }
 
-/// One blocking `POST /predict`; returns the latency on 200, an error
-/// description otherwise.
-fn one_request(addr: &str, body: &str) -> Result<Duration, String> {
-    let started = Instant::now();
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    let _ = stream.set_nodelay(true);
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .map_err(|e| format!("timeout: {e}"))?;
-    stream
-        .write_all(
-            format!(
-                "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
-                body.len()
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Read one `Content-Length`-framed HTTP response from `stream`,
+/// accumulating into `buf` (which may carry bytes left over from a
+/// previous response on the same connection). The consumed response is
+/// drained out of `buf`. Returns the status line and whether the server
+/// announced `Connection: close`.
+fn read_framed_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<(String, bool), String> {
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        if let Some(head_end) = find_subslice(buf, b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..head_end])
+                .map_err(|_| "non-utf8 response head".to_string())?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().unwrap_or("").to_string();
+            let mut content_length = None;
+            let mut close = false;
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else {
+                    continue;
+                };
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| format!("content-length: {e}"))?,
+                    );
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.eq_ignore_ascii_case("close");
+                }
+            }
+            let body_len =
+                content_length.ok_or_else(|| "response missing Content-Length".to_string())?;
+            let total = head_end + 4 + body_len;
+            while buf.len() < total {
+                let n = stream
+                    .read(&mut scratch)
+                    .map_err(|e| format!("read: {e}"))?;
+                if n == 0 {
+                    return Err("connection closed mid-body".to_string());
+                }
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            buf.drain(..total);
+            return Ok((status_line, close));
+        }
+        let n = stream
+            .read(&mut scratch)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before response".to_string());
+        }
+        buf.extend_from_slice(&scratch[..n]);
+    }
+}
+
+/// One client thread's connection state: at most one open stream, reused
+/// across requests under keep-alive, plus the dial bookkeeping the report
+/// aggregates.
+struct Client {
+    addr: String,
+    keep_alive: bool,
+    stream: Option<TcpStream>,
+    /// Response read buffer; carries any leftover bytes between requests.
+    buf: Vec<u8>,
+    /// Dials attempted (successful or not).
+    connections: u64,
+    /// Connect latencies of the dials that succeeded.
+    connect_ns: Vec<u64>,
+}
+
+impl Client {
+    fn new(addr: String, keep_alive: bool) -> Client {
+        Client {
+            addr,
+            keep_alive,
+            stream: None,
+            buf: Vec::with_capacity(16 * 1024),
+            connections: 0,
+            connect_ns: Vec::new(),
+        }
+    }
+
+    fn dial(&mut self) -> Result<(), String> {
+        self.connections += 1;
+        let started = Instant::now();
+        let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+        self.connect_ns.push(started.elapsed().as_nanos() as u64);
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| format!("timeout: {e}"))?;
+        self.buf.clear();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// One blocking `POST /predict`; returns the request latency
+    /// (excluding any dial) on 200, an error description otherwise.
+    fn one_request(&mut self, body: &str) -> Result<Duration, String> {
+        if self.stream.is_none() {
+            self.dial()?;
+        }
+        let mut stream = self.stream.take().expect("dialed above");
+        // Without keep-alive ask the server to close, matching the
+        // pre-persistent-connection baseline wire exchange.
+        let connection = if self.keep_alive {
+            ""
+        } else {
+            "Connection: close\r\n"
+        };
+        let started = Instant::now();
+        let outcome = stream
+            .write_all(
+                format!(
+                    "POST /predict HTTP/1.1\r\nHost: x\r\n{connection}Content-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
             )
-            .as_bytes(),
-        )
-        .map_err(|e| format!("write: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("read: {e}"))?;
-    if response.starts_with("HTTP/1.1 200") {
-        Ok(started.elapsed())
-    } else {
-        Err(format!(
-            "status: {}",
-            response.lines().next().unwrap_or("<empty>")
-        ))
+            .map_err(|e| format!("write: {e}"))
+            .and_then(|()| read_framed_response(&mut stream, &mut self.buf));
+        match outcome {
+            Ok((status_line, close)) => {
+                let latency = started.elapsed();
+                if self.keep_alive && !close {
+                    self.stream = Some(stream);
+                }
+                if status_line.starts_with("HTTP/1.1 200") {
+                    Ok(latency)
+                } else {
+                    Err(format!("status: {status_line}"))
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -180,6 +350,14 @@ fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
     }
     let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
     sorted_ns[rank - 1] as f64 / 1e6
+}
+
+fn latency_summary(sorted_ns: &[u64]) -> LatencyMs {
+    LatencyMs {
+        p50: percentile_ms(sorted_ns, 0.50),
+        p95: percentile_ms(sorted_ns, 0.95),
+        p99: percentile_ms(sorted_ns, 0.99),
+    }
 }
 
 /// Drive the endpoint per `cfg` and summarize. `p99_budget_ms` only feeds
@@ -197,9 +375,11 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
     let mut handles = Vec::with_capacity(cfg.threads);
     for t in 0..cfg.threads {
         let addr = cfg.addr.clone();
+        let keep_alive = cfg.keep_alive;
         let (rows, dim) = (cfg.rows_per_request, cfg.dim);
         let thread_seed = cfg.seed.wrapping_add(0x5151 * (t as u64 + 1));
         handles.push(std::thread::spawn(move || {
+            let mut client = Client::new(addr, keep_alive);
             let mut latencies_ns: Vec<u64> = Vec::new();
             let mut errors = 0u64;
             let mut seq = 0u64;
@@ -214,7 +394,7 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
                 }
                 let body = predict_body(thread_seed.wrapping_add(seq), rows, dim);
                 seq += 1;
-                match one_request(&addr, &body) {
+                match client.one_request(&body) {
                     Ok(latency) => {
                         let ns = latency.as_nanos() as u64;
                         latencies_ns.push(ns);
@@ -224,25 +404,26 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
                     Err(_) => errors += 1,
                 }
             }
-            (latencies_ns, errors)
+            (latencies_ns, errors, client.connections, client.connect_ns)
         }));
     }
 
     let mut all_ns: Vec<u64> = Vec::new();
+    let mut all_connect_ns: Vec<u64> = Vec::new();
     let mut errors = 0u64;
+    let mut connections = 0u64;
     for handle in handles {
-        let (ns, e) = handle.join().expect("load client thread panicked");
+        let (ns, e, dials, connect_ns) = handle.join().expect("load client thread panicked");
         all_ns.extend(ns);
+        all_connect_ns.extend(connect_ns);
         errors += e;
+        connections += dials;
     }
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     all_ns.sort_unstable();
+    all_connect_ns.sort_unstable();
 
-    let latency_ms = LatencyMs {
-        p50: percentile_ms(&all_ns, 0.50),
-        p95: percentile_ms(&all_ns, 0.95),
-        p99: percentile_ms(&all_ns, 0.99),
-    };
+    let latency_ms = latency_summary(&all_ns);
     let attempted = all_ns.len() as u64 + errors;
     LoadReport {
         requests: all_ns.len() as u64,
@@ -254,6 +435,13 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
         },
         throughput_rps: all_ns.len() as f64 / elapsed,
         latency_ms,
+        connect_ms: latency_summary(&all_connect_ns),
+        connections,
+        reused_ratio: if attempted > 0 {
+            (1.0 - connections as f64 / attempted as f64).clamp(0.0, 1.0)
+        } else {
+            0.0
+        },
         p99_budget_ms,
         latency_headroom: if latency_ms.p99 > 0.0 {
             p99_budget_ms / latency_ms.p99
@@ -261,6 +449,32 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
             0.0
         },
     }
+}
+
+/// Run [`run_load`] once per connection count in `counts`, holding every
+/// other knob from `cfg` fixed. Points run sequentially so they don't
+/// contend with each other.
+pub fn run_sweep(cfg: &LoadConfig, counts: &[usize], p99_budget_ms: f64) -> Vec<SweepPoint> {
+    counts
+        .iter()
+        .filter(|&&n| n > 0)
+        .map(|&n| {
+            let point_cfg = LoadConfig {
+                threads: n,
+                ..cfg.clone()
+            };
+            let report = run_load(&point_cfg, p99_budget_ms);
+            SweepPoint {
+                name: format!("c{n}"),
+                connections: n as u64,
+                keep_alive: point_cfg.keep_alive,
+                requests: report.requests,
+                throughput_rps: report.throughput_rps,
+                p99_ms: report.latency_ms.p99,
+                reused_ratio: report.reused_ratio,
+            }
+        })
+        .collect()
 }
 
 /// Write the report as pretty JSON to `path` (`BENCH_SERVE.json` by
@@ -274,6 +488,7 @@ pub fn write_bench_serve(doc: &BenchServe, path: &std::path::Path) -> std::io::R
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
 
     #[test]
     fn predict_body_is_deterministic_and_parseable_json() {
@@ -296,32 +511,71 @@ mod tests {
         assert_eq!(percentile_ms(&[5_000_000], 0.50), 5.0);
     }
 
+    fn sample_report() -> LoadReport {
+        LoadReport {
+            requests: 10,
+            errors: 0,
+            error_rate: 0.0,
+            throughput_rps: 123.4,
+            latency_ms: LatencyMs {
+                p50: 1.0,
+                p95: 2.0,
+                p99: 3.0,
+            },
+            connect_ms: LatencyMs {
+                p50: 0.1,
+                p95: 0.2,
+                p99: 0.3,
+            },
+            connections: 2,
+            reused_ratio: 0.8,
+            p99_budget_ms: 250.0,
+            latency_headroom: 250.0 / 3.0,
+        }
+    }
+
     #[test]
     fn bench_serve_json_flattens_with_gateable_paths() {
         let doc = BenchServe {
             config: LoadConfig::default(),
-            serve: LoadReport {
-                requests: 10,
-                errors: 0,
-                error_rate: 0.0,
-                throughput_rps: 123.4,
-                latency_ms: LatencyMs {
-                    p50: 1.0,
-                    p95: 2.0,
-                    p99: 3.0,
+            serve: sample_report(),
+            sweep: vec![
+                SweepPoint {
+                    name: "c1".to_string(),
+                    connections: 1,
+                    keep_alive: true,
+                    requests: 5,
+                    throughput_rps: 100.0,
+                    p99_ms: 2.5,
+                    reused_ratio: 0.8,
                 },
-                p99_budget_ms: 250.0,
-                latency_headroom: 250.0 / 3.0,
-            },
+                SweepPoint {
+                    name: "c4".to_string(),
+                    connections: 4,
+                    keep_alive: true,
+                    requests: 20,
+                    throughput_rps: 350.0,
+                    p99_ms: 3.5,
+                    reused_ratio: 0.95,
+                },
+            ],
         };
         let json = serde_json::to_string_pretty(&doc).unwrap();
         let flat = crate::diff::flatten(&crate::diff::Json::parse(&json).unwrap());
         assert_eq!(flat["serve.requests"], 10.0);
         assert_eq!(flat["serve.latency_ms.p99"], 3.0);
+        assert_eq!(flat["serve.connect_ms.p99"], 0.3);
+        assert_eq!(flat["serve.connections"], 2.0);
+        assert_eq!(flat["serve.reused_ratio"], 0.8);
         assert!(flat["serve.latency_headroom"] > 1.0);
+        // Sweep points label by `name`, not index, so c4 keeps diffing
+        // against c4 however the array is ordered.
+        assert_eq!(flat["sweep.c1.throughput_rps"], 100.0);
+        assert_eq!(flat["sweep.c4.p99_ms"], 3.5);
         // The paths CI floors on must stay gateable by substring match.
         assert!(flat.keys().any(|k| k.contains("serve.requests")));
         assert!(flat.keys().any(|k| k.contains("serve.latency_headroom")));
+        assert!(flat.keys().any(|k| k.contains("serve.reused_ratio")));
         // And percentile paths must diff as lower-is-better.
         assert_eq!(
             crate::diff::direction("serve.latency_ms.p99"),
@@ -334,6 +588,14 @@ mod tests {
         assert_eq!(
             crate::diff::direction("serve.throughput_rps"),
             crate::diff::Direction::HigherIsBetter
+        );
+        assert_eq!(
+            crate::diff::direction("serve.reused_ratio"),
+            crate::diff::Direction::HigherIsBetter
+        );
+        assert_eq!(
+            crate::diff::direction("sweep.c4.p99_ms"),
+            crate::diff::Direction::LowerIsBetter
         );
     }
 
@@ -353,5 +615,71 @@ mod tests {
         assert!(report.errors > 0);
         assert_eq!(report.error_rate, 1.0, "every attempt failed");
         assert_eq!(report.latency_ms.p99, 0.0);
+        // Every attempt dialed (and failed), so nothing was reused.
+        assert_eq!(report.connections, report.errors);
+        assert_eq!(report.reused_ratio, 0.0);
+    }
+
+    /// A canned single-connection server: accepts once and answers each
+    /// request with the next scripted framed response.
+    fn canned_server(responses: Vec<String>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut scratch = [0u8; 4096];
+            for response in responses {
+                // Drain one request (best effort; the client always sends
+                // < 4 KiB here, so one read sees the whole request).
+                let _ = stream.read(&mut scratch).unwrap();
+                stream.write_all(response.as_bytes()).unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection_and_honors_close() {
+        let ok = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                  Content-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
+            .to_string();
+        let closing = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                       Content-Length: 2\r\nConnection: close\r\n\r\n{}"
+            .to_string();
+        let (addr, handle) = canned_server(vec![ok.clone(), ok, closing]);
+        let mut client = Client::new(addr, true);
+        for _ in 0..3 {
+            client.one_request("{\"inputs\": [[1]]}").unwrap();
+        }
+        handle.join().unwrap();
+        assert_eq!(client.connections, 1, "all three rode one dial");
+        assert!(
+            client.stream.is_none(),
+            "Connection: close dropped the stream"
+        );
+        assert_eq!(client.connect_ns.len(), 1);
+    }
+
+    #[test]
+    fn framed_reader_keeps_leftover_bytes_for_the_next_response() {
+        // Two responses arrive in one segment; the reader must consume
+        // exactly one and leave the rest buffered for the next call.
+        let two = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nab\
+                   HTTP/1.1 503 unavailable\r\nContent-Length: 0\r\n\
+                   Connection: close\r\n\r\n"
+            .to_string();
+        let (addr, handle) = canned_server(vec![two]);
+        let mut client = Client::new(addr, true);
+        client.dial().unwrap();
+        let mut stream = client.stream.take().unwrap();
+        stream.write_all(b"x").unwrap();
+        let (status, close) = read_framed_response(&mut stream, &mut client.buf).unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(!close);
+        let (status, close) = read_framed_response(&mut stream, &mut client.buf).unwrap();
+        assert_eq!(status, "HTTP/1.1 503 unavailable");
+        assert!(close);
+        assert!(client.buf.is_empty());
+        handle.join().unwrap();
     }
 }

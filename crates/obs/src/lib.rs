@@ -23,8 +23,8 @@
 mod prom;
 mod status;
 
-pub use prom::prometheus_text;
-pub use status::status_json;
+pub use prom::{prometheus_text, prometheus_text_into};
+pub use status::{status_json, status_json_into};
 
 #[cfg(feature = "serve")]
 mod server;

@@ -22,17 +22,35 @@ pub(crate) fn metric_name(name: &str) -> String {
 }
 
 /// Renders a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN`
-/// spellings included).
-fn num(v: f64) -> String {
+/// spellings included) onto `out`.
+fn num(v: f64, out: &mut String) {
+    use std::fmt::Write as _;
     if v.is_nan() {
-        "NaN".to_string()
+        out.push_str("NaN");
     } else if v == f64::INFINITY {
-        "+Inf".to_string()
+        out.push_str("+Inf");
     } else if v == f64::NEG_INFINITY {
-        "-Inf".to_string()
+        out.push_str("-Inf");
     } else {
-        format!("{v}")
+        let _ = write!(out, "{v}");
     }
+}
+
+/// Sanitized metric-name cache: exposition reuses the same metric names
+/// scrape after scrape, so sanitize each once instead of per render.
+fn cached_name(name: &str, out: &mut String) {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    static CACHE: Mutex<Option<HashMap<String, String>>> = Mutex::new(None);
+    let mut cache = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    let cache = cache.get_or_insert_with(HashMap::new);
+    if let Some(m) = cache.get(name) {
+        out.push_str(m);
+        return;
+    }
+    let m = metric_name(name);
+    out.push_str(&m);
+    cache.insert(name.to_string(), m);
 }
 
 /// Renders `report` as Prometheus text exposition.
@@ -49,39 +67,61 @@ fn num(v: f64) -> String {
 /// `BTreeMap`s), so the output is deterministic for a given report.
 pub fn prometheus_text(report: &Report) -> String {
     let mut out = String::new();
+    prometheus_text_into(report, &mut out);
+    out
+}
+
+/// [`prometheus_text`] rendered onto a caller-owned buffer — the serving
+/// hot path reuses one buffer per connection instead of allocating a fresh
+/// `String` per scrape.
+pub fn prometheus_text_into(report: &Report, out: &mut String) {
+    use std::fmt::Write as _;
 
     for (name, &value) in &report.counters {
-        let m = metric_name(name);
-        out.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+        out.push_str("# TYPE ");
+        cached_name(name, out);
+        out.push_str(" counter\n");
+        cached_name(name, out);
+        let _ = writeln!(out, " {value}");
     }
 
     for (name, &value) in &report.gauges {
-        let m = metric_name(name);
-        out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", num(value)));
+        out.push_str("# TYPE ");
+        cached_name(name, out);
+        out.push_str(" gauge\n");
+        cached_name(name, out);
+        out.push(' ');
+        num(value, out);
+        out.push('\n');
     }
 
     for (name, hist) in &report.histograms {
-        let m = metric_name(name);
-        out.push_str(&format!("# TYPE {m} histogram\n"));
+        out.push_str("# TYPE ");
+        cached_name(name, out);
+        out.push_str(" histogram\n");
         let mut cumulative = 0u64;
         for b in &hist.buckets {
             cumulative += b.count;
-            out.push_str(&format!(
-                "{m}_bucket{{le=\"{}\"}} {cumulative}\n",
-                num(b.le)
-            ));
+            cached_name(name, out);
+            out.push_str("_bucket{le=\"");
+            num(b.le, out);
+            let _ = writeln!(out, "\"}} {cumulative}");
         }
-        out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
-        out.push_str(&format!("{m}_sum {}\n", num(hist.sum)));
-        out.push_str(&format!("{m}_count {}\n", hist.count));
+        cached_name(name, out);
+        let _ = writeln!(out, "_bucket{{le=\"+Inf\"}} {}", hist.count);
+        cached_name(name, out);
+        out.push_str("_sum ");
+        num(hist.sum, out);
+        out.push('\n');
+        cached_name(name, out);
+        let _ = writeln!(out, "_count {}", hist.count);
     }
 
-    let dropped = metric_name("telemetry.dropped_spans");
-    out.push_str(&format!(
-        "# TYPE {dropped} counter\n{dropped} {}\n",
-        report.dropped_spans
-    ));
-    out
+    out.push_str("# TYPE ");
+    cached_name("telemetry.dropped_spans", out);
+    out.push_str(" counter\n");
+    cached_name("telemetry.dropped_spans", out);
+    let _ = writeln!(out, " {}", report.dropped_spans);
 }
 
 /// The telemetry registry is process-global; unit tests that reset and

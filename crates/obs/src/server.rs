@@ -1,34 +1,83 @@
-//! Minimal blocking HTTP server (std::net only) for `/metrics` and
+//! Minimal blocking HTTP/1.1 server (std::net only) for `/metrics` and
 //! `/status`, plus a [`Router`] so other crates (e.g. `gmreg-serve`) can
 //! register additional routes — `/predict`, `/healthz`, `/reload` — next to
 //! the built-in ones. Compiled only with the `serve` feature.
+//!
+//! ## Connection model
+//!
+//! Two modes, chosen per [`Router`]:
+//!
+//! * **Inline** (default): each accepted connection is served one request on
+//!   the accept thread and closed (`Connection: close`). Right for
+//!   scrape-only traffic — one client every few seconds.
+//! * **Pooled** ([`Router::threaded`]): a bounded pool of persistent
+//!   connection-worker threads serves each connection with HTTP/1.1
+//!   **keep-alive** — the worker loops `read_request` on the same socket
+//!   until the client closes, asks to (`Connection: close`, HTTP/1.0
+//!   without `keep-alive`), goes idle past [`Router::idle_timeout_ms`], or
+//!   hits [`Router::max_requests_per_conn`]. When every worker is busy and
+//!   the hand-off queue is full, the accept loop stops accepting — pending
+//!   connections wait in the kernel backlog (accept-backpressure, counted
+//!   as `serve.conn.backpressure`) instead of spawning unbounded threads.
+//!
+//! The per-request hot path is allocation-free after warm-up: each worker
+//! keeps one reusable read buffer, one [`HttpRequest`] whose `String`/`Vec`
+//! fields are cleared and refilled in place, one [`HttpResponse`] whose
+//! body is a reused render buffer, and one write buffer the response head
+//! and body are serialized into for a single `write_all`.
+//!
+//! Live pooled connections are published as the `serve.connections` gauge.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Accept-poll ceiling: how long the loop may sleep between polls once
 /// fully idle. Bounds both shutdown latency and idle wakeup cost.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
-/// Accept-poll floor, used while traffic is flowing. Every request on a
-/// `Connection: close` protocol pays one accept poll, so under load the
-/// poll must be much tighter than the idle ceiling — a fixed 25 ms here
-/// put 25 ms on the serving path's p50.
+/// Accept-poll floor, used while traffic is flowing. On keep-alive
+/// connections only the *first* request pays an accept poll, but a fresh
+/// burst of connections still wants a tight loop.
 const POLL_INTERVAL_MIN: Duration = Duration::from_millis(1);
 
-/// Per-connection socket timeouts; a stalled scraper cannot wedge the
-/// single accept thread for longer than this.
+/// Socket read/write timeout granularity. Blocking reads wake at this
+/// cadence so per-connection deadlines (idle, slowloris) and the stop flag
+/// are checked without busy-waiting.
+const IO_STEP: Duration = Duration::from_millis(100);
+
+/// Inline-mode socket timeouts; a stalled scraper cannot wedge the single
+/// accept thread for longer than this.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Default keep-alive idle timeout: how long a pooled worker waits for the
+/// next request on a connection before closing it.
+const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Default whole-request read deadline (slowloris guard): once the first
+/// byte of a request has arrived, the rest of the head and body must
+/// follow within this long or the connection is closed.
+const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Default pooled connection-worker count.
+const DEFAULT_WORKERS: usize = 4;
+
+/// Default cap on requests served over one keep-alive connection.
+const DEFAULT_MAX_REQUESTS_PER_CONN: usize = 1000;
 
 /// Largest request body accepted; anything bigger is answered with 413.
 const MAX_BODY: usize = 4 << 20;
 
-/// A parsed HTTP request handed to a route handler.
-#[derive(Debug, Clone)]
+/// Largest request head accepted before the connection is dropped.
+const MAX_HEAD: usize = 64 * 1024;
+
+/// A parsed HTTP request handed to a route handler. In pooled mode the
+/// same instance is cleared and refilled for every request on a
+/// connection, so the buffers' capacity is reused.
+#[derive(Debug, Clone, Default)]
 pub struct HttpRequest {
     /// Request method, upper-case (`GET`, `POST`, ...).
     pub method: String,
@@ -36,24 +85,66 @@ pub struct HttpRequest {
     pub path: String,
     /// Raw request body (empty unless the client sent `Content-Length`).
     pub body: Vec<u8>,
+    /// Declared `Content-Length` exceeded [`MAX_BODY`]; the body was not
+    /// read and the connection must close after the 413.
+    too_large: bool,
+    /// The request (version + `Connection` header) asks for the connection
+    /// to close after the response.
+    wants_close: bool,
 }
 
-/// A route handler's reply.
+impl HttpRequest {
+    /// Build a request by hand (handler unit tests).
+    pub fn new(method: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> HttpRequest {
+        HttpRequest {
+            method: method.into(),
+            path: path.into(),
+            body,
+            too_large: false,
+            wants_close: false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.method.clear();
+        self.path.clear();
+        self.body.clear();
+        self.too_large = false;
+        self.wants_close = false;
+    }
+}
+
+/// A route handler's reply: a reusable render target. Handlers receive
+/// `&mut HttpResponse` with the previous request's content already
+/// cleared, set the status/content-type, and write the body into the
+/// reused `body` buffer (via [`HttpResponse::start`] or the `set_*`
+/// helpers) instead of allocating a fresh `String` per request.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
     /// Status line text, e.g. `200 OK`.
     pub status: &'static str,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body.
+    /// Response body (reused buffer).
     pub body: String,
     /// `Retry-After` header value in seconds, emitted when set (back-off
     /// hint on 503s from overload shedding and deadline expiry).
     pub retry_after_secs: Option<u64>,
 }
 
+impl Default for HttpResponse {
+    fn default() -> Self {
+        HttpResponse {
+            status: "200 OK",
+            content_type: "text/plain; charset=utf-8",
+            body: String::new(),
+            retry_after_secs: None,
+        }
+    }
+}
+
 impl HttpResponse {
-    /// `200 OK` with a JSON body.
+    /// `200 OK` with a JSON body (allocating convenience constructor).
     pub fn json(body: impl Into<String>) -> Self {
         HttpResponse {
             status: "200 OK",
@@ -63,7 +154,7 @@ impl HttpResponse {
         }
     }
 
-    /// `200 OK` with a plain-text body.
+    /// `200 OK` with a plain-text body (allocating convenience constructor).
     pub fn text(body: impl Into<String>) -> Self {
         HttpResponse {
             status: "200 OK",
@@ -73,14 +164,11 @@ impl HttpResponse {
         }
     }
 
-    /// An error response with a JSON body.
+    /// An error response with a JSON body (allocating constructor).
     pub fn error(status: &'static str, detail: &str) -> Self {
-        HttpResponse {
-            status,
-            content_type: "application/json",
-            body: format!("{{\"error\": {}}}\n", json_escape(detail)),
-            retry_after_secs: None,
-        }
+        let mut resp = HttpResponse::default();
+        resp.set_error(status, detail);
+        resp
     }
 
     /// Attach a `Retry-After` header (seconds).
@@ -88,11 +176,52 @@ impl HttpResponse {
         self.retry_after_secs = Some(secs);
         self
     }
+
+    /// Reset to an empty `200 OK` so the instance can be rendered into.
+    pub fn clear(&mut self) {
+        self.status = "200 OK";
+        self.content_type = "text/plain; charset=utf-8";
+        self.body.clear();
+        self.retry_after_secs = None;
+    }
+
+    /// Set the status line and content type, clear the body, and return
+    /// the reused body buffer to write into.
+    pub fn start(&mut self, status: &'static str, content_type: &'static str) -> &mut String {
+        self.status = status;
+        self.content_type = content_type;
+        self.retry_after_secs = None;
+        self.body.clear();
+        &mut self.body
+    }
+
+    /// [`HttpResponse::start`] for a `200 OK` JSON reply.
+    pub fn start_json(&mut self) -> &mut String {
+        self.start("200 OK", "application/json")
+    }
+
+    /// [`HttpResponse::start`] for a `200 OK` plain-text reply.
+    pub fn start_text(&mut self) -> &mut String {
+        self.start("200 OK", "text/plain; charset=utf-8")
+    }
+
+    /// Render an error (`{"error": "..."}`) into the reused body buffer.
+    pub fn set_error(&mut self, status: &'static str, detail: &str) {
+        let body = self.start(status, "application/json");
+        body.push_str("{\"error\": ");
+        json_escape_into(detail, body);
+        body.push_str("}\n");
+    }
+
+    /// Attach a `Retry-After` header (seconds) in place.
+    pub fn set_retry_after(&mut self, secs: u64) {
+        self.retry_after_secs = Some(secs);
+    }
 }
 
-/// Renders `s` as a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
+/// Appends `s` as a JSON string literal onto `out` without allocating.
+fn json_escape_into(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -101,28 +230,47 @@ fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out.push('"');
-    out
 }
 
-type Handler = Box<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static>;
+type Handler = Box<dyn Fn(&HttpRequest, &mut HttpResponse) + Send + Sync + 'static>;
 
 /// A set of custom routes layered over the built-in `/metrics`, `/status`
 /// and `/` endpoints. Custom routes win on an exact `(method, path)` match;
 /// unmatched requests fall through to the built-ins and finally to 404.
 ///
-/// `threaded(true)` serves each accepted connection on its own thread —
-/// required when handlers block (a `/predict` call waits for its
-/// micro-batch, so inline handling would defeat request coalescing
-/// entirely). The default inline mode is right for scrape-only traffic.
-#[derive(Default)]
+/// `threaded(true)` serves connections on the pooled connection workers
+/// with HTTP/1.1 keep-alive — required when handlers block (a `/predict`
+/// call waits for its micro-batch, so inline handling would defeat request
+/// coalescing entirely). The default inline mode (one request per
+/// connection, served on the accept thread) is right for scrape-only
+/// traffic.
 pub struct Router {
     routes: Vec<(&'static str, String, Handler)>,
     threaded: bool,
+    workers: usize,
+    max_requests_per_conn: usize,
+    idle_timeout: Duration,
+    read_deadline: Duration,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router {
+            routes: Vec::new(),
+            threaded: false,
+            workers: DEFAULT_WORKERS,
+            max_requests_per_conn: DEFAULT_MAX_REQUESTS_PER_CONN,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            read_deadline: DEFAULT_READ_DEADLINE,
+        }
+    }
 }
 
 impl std::fmt::Debug for Router {
@@ -135,6 +283,7 @@ impl std::fmt::Debug for Router {
         f.debug_struct("Router")
             .field("routes", &paths)
             .field("threaded", &self.threaded)
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -150,36 +299,67 @@ impl Router {
         mut self,
         method: &'static str,
         path: impl Into<String>,
-        handler: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+        handler: impl Fn(&HttpRequest, &mut HttpResponse) + Send + Sync + 'static,
     ) -> Router {
         self.routes.push((method, path.into(), Box::new(handler)));
         self
     }
 
-    /// Serve each connection on its own thread instead of inline on the
-    /// accept thread.
+    /// Serve connections on the pooled workers (keep-alive) instead of
+    /// inline on the accept thread.
     pub fn threaded(mut self, on: bool) -> Router {
         self.threaded = on;
         self
     }
 
-    fn dispatch(&self, req: &HttpRequest) -> HttpResponse {
+    /// Size of the connection-worker pool (pooled mode only; min 1).
+    pub fn workers(mut self, n: usize) -> Router {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Cap on requests served over one keep-alive connection before the
+    /// server closes it (min 1).
+    pub fn max_requests_per_conn(mut self, n: usize) -> Router {
+        self.max_requests_per_conn = n.max(1);
+        self
+    }
+
+    /// How long a pooled worker waits for the next request on an idle
+    /// keep-alive connection before closing it.
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Router {
+        self.idle_timeout = Duration::from_millis(ms.max(1));
+        self
+    }
+
+    /// Slowloris guard: once the first byte of a request arrives, the full
+    /// head and body must follow within this long or the connection is
+    /// closed — a half-written request cannot pin a worker.
+    pub fn read_deadline_ms(mut self, ms: u64) -> Router {
+        self.read_deadline = Duration::from_millis(ms.max(1));
+        self
+    }
+
+    fn dispatch(&self, req: &HttpRequest, resp: &mut HttpResponse) {
+        resp.clear();
         for (method, path, handler) in &self.routes {
             if *method == req.method && *path == req.path {
-                return handler(req);
+                handler(req, resp);
+                return;
             }
         }
-        builtin_route(self, req)
+        builtin_route(self, req, resp);
     }
 }
 
 /// A background HTTP endpoint over the process-global telemetry registry.
 ///
-/// `bind` spawns one thread that polls a non-blocking listener every
-/// ~25 ms; each accepted request gets a fresh
+/// `bind` spawns one accept thread that polls a non-blocking listener
+/// (1–25 ms adaptive cadence) plus, in pooled mode, the connection-worker
+/// threads; each scraped request gets a fresh
 /// [`snapshot`](gmreg_telemetry::snapshot) of the registry, so scrapes see
 /// everything flushed up to that instant and never block a training loop.
-/// Dropping the server stops the thread and closes the listener.
+/// Dropping the server stops the threads and closes the listener.
 ///
 /// Routes: `/metrics` (Prometheus text), `/status` (JSON), `/` (plain-text
 /// index), plus whatever the [`Router`] given to [`ObsServer::bind_with`]
@@ -208,7 +388,7 @@ impl ObsServer {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("gmreg-obs".to_string())
-            .spawn(move || accept_loop(listener, &stop_flag, Arc::new(router)))?;
+            .spawn(move || accept_loop(listener, stop_flag, Arc::new(router)))?;
         Ok(ObsServer {
             addr,
             stop,
@@ -231,37 +411,92 @@ impl Drop for ObsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, stop: &AtomicBool, router: Arc<Router>) {
-    // Live connection threads in threaded mode, so shutdown has a bound on
-    // how much it leaves behind (threads are detached; they finish their
-    // one response and exit).
-    let live = Arc::new(AtomicUsize::new(0));
-    // Adaptive poll: 1 ms while connections are arriving (each request
-    // pays one poll of accept latency), doubling back off to the 25 ms
-    // idle cadence after consecutive empty polls.
+/// Hand-off queue between the accept loop and the connection workers.
+struct ConnQueue {
+    queue: Mutex<std::collections::VecDeque<TcpStream>>,
+    wake: Condvar,
+    /// Queue bound; the accept loop stops accepting once reached.
+    cap: usize,
+    /// Connections currently being served by a worker.
+    live: AtomicUsize,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(stream);
+        self.wake.notify_one();
+    }
+
+    fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn pop(&self, stop: &AtomicBool) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self
+                .wake
+                .wait_timeout(queue, IO_STEP)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = guard;
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, router: Arc<Router>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let conns = Arc::new(ConnQueue {
+        queue: Mutex::new(std::collections::VecDeque::new()),
+        wake: Condvar::new(),
+        cap: router.workers * 2,
+        live: AtomicUsize::new(0),
+    });
+    if router.threaded {
+        for i in 0..router.workers {
+            let router = Arc::clone(&router);
+            let conns = Arc::clone(&conns);
+            let stop = Arc::clone(&stop);
+            let spawned = std::thread::Builder::new()
+                .name(format!("gmreg-obs-conn-{i}"))
+                .spawn(move || conn_worker(&conns, &router, &stop));
+            if let Ok(handle) = spawned {
+                workers.push(handle);
+            }
+        }
+    }
+
+    // Adaptive poll: 1 ms while connections are arriving, doubling back
+    // off to the 25 ms idle cadence after consecutive empty polls.
     let mut idle_backoff = POLL_INTERVAL_MIN;
+    // Inline mode reuses one connection state across connections.
+    let mut inline_state = ConnState::new();
     while !stop.load(Ordering::Acquire) {
+        if router.threaded && conns.len() >= conns.cap {
+            // Every worker is busy and the hand-off queue is full: stop
+            // accepting and let connections wait in the kernel backlog.
+            gmreg_telemetry::counter_inc("serve.conn.backpressure");
+            std::thread::sleep(POLL_INTERVAL_MIN);
+            continue;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 idle_backoff = POLL_INTERVAL_MIN;
                 let _ = stream.set_nodelay(true);
                 if router.threaded {
-                    let router = Arc::clone(&router);
-                    let conn_live = Arc::clone(&live);
-                    live.fetch_add(1, Ordering::AcqRel);
-                    let spawned = std::thread::Builder::new()
-                        .name("gmreg-obs-conn".to_string())
-                        .spawn(move || {
-                            let _ = handle_connection(stream, &router);
-                            conn_live.fetch_sub(1, Ordering::AcqRel);
-                        });
-                    if spawned.is_err() {
-                        live.fetch_sub(1, Ordering::AcqRel);
-                    }
+                    conns.push(stream);
                 } else {
-                    // Serve inline: scrape traffic is one client every few
-                    // seconds, not a web workload.
-                    let _ = handle_connection(stream, &router);
+                    // Serve one request inline: scrape traffic is one
+                    // client every few seconds, not a web workload.
+                    let _ = serve_inline(stream, &router, &mut inline_state);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -271,113 +506,355 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool, router: Arc<Router>) {
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
+    conns.wake.notify_all();
+    for handle in workers {
+        let _ = handle.join();
+    }
 }
 
-/// Reads the request head (and `Content-Length` body, if any) off `stream`.
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
-    let mut buf = Vec::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            break pos + 4;
-        }
-        if buf.len() > 64 * 1024 {
-            return Ok(None); // unreasonable header section
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(None),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return Ok(None),
-        }
-    };
-
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
-    let mut lines = head.lines();
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("GET").to_ascii_uppercase();
-    let path = parts.next().unwrap_or("/");
-    let path = path.split('?').next().unwrap_or("/").to_string();
-
-    let content_length = lines
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
-        .unwrap_or(0);
-    if content_length > MAX_BODY {
-        return Ok(Some(HttpRequest {
-            method,
-            path,
-            // An oversized body is never read; the handler layer answers
-            // 413 based on this marker.
-            body: vec![0; MAX_BODY + 1],
-        }));
-    }
-
-    let mut body = buf[head_end..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(_) => break,
-        }
-    }
-    body.truncate(content_length);
-    Ok(Some(HttpRequest { method, path, body }))
+/// Reusable per-connection buffers: the request, the response render
+/// target, the raw read accumulator, and the response write buffer. After
+/// the first few requests warm the capacities up, serving a request
+/// performs no heap allocation in this layer.
+struct ConnState {
+    req: HttpRequest,
+    resp: HttpResponse,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
 }
 
-fn handle_connection(mut stream: TcpStream, router: &Router) -> std::io::Result<()> {
+impl ConnState {
+    fn new() -> ConnState {
+        ConnState {
+            req: HttpRequest::default(),
+            resp: HttpResponse::default(),
+            read_buf: Vec::with_capacity(4096),
+            write_buf: Vec::with_capacity(4096),
+        }
+    }
+}
+
+fn conn_worker(conns: &ConnQueue, router: &Router, stop: &AtomicBool) {
+    let mut state = ConnState::new();
+    while let Some(stream) = conns.pop(stop) {
+        let live = conns.live.fetch_add(1, Ordering::AcqRel) + 1 + conns.len();
+        gmreg_telemetry::gauge_set("serve.connections", live as f64);
+        let _ = serve_connection(stream, router, &mut state, stop);
+        let live = conns.live.fetch_sub(1, Ordering::AcqRel) - 1 + conns.len();
+        gmreg_telemetry::gauge_set("serve.connections", live as f64);
+        gmreg_telemetry::counter_inc("serve.conn.served");
+        // Long-lived worker: push its per-thread counters into the global
+        // registry so live scrapes see connection traffic as it happens.
+        gmreg_telemetry::flush();
+    }
+}
+
+/// Inline mode: one request, `Connection: close`, exactly the pre-pool
+/// behavior (bounded by the 500 ms socket timeouts).
+fn serve_inline(
+    mut stream: TcpStream,
+    router: &Router,
+    state: &mut ConnState,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-
-    let Some(req) = read_request(&mut stream)? else {
-        return Ok(());
-    };
-    let resp = if req.body.len() > MAX_BODY {
-        HttpResponse::error("413 Payload Too Large", "request body too large")
-    } else {
-        router.dispatch(&req)
-    };
-    let retry_after = match resp.retry_after_secs {
-        Some(secs) => format!("Retry-After: {secs}\r\n"),
-        None => String::new(),
-    };
-    let response = format!(
-        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
-        resp.status,
-        resp.content_type,
-        resp.body.len(),
-        retry_after,
-        resp.body
+    state.read_buf.clear();
+    let stop = AtomicBool::new(false);
+    let outcome = read_request(
+        &mut stream,
+        &mut state.read_buf,
+        &mut state.req,
+        IO_TIMEOUT,
+        IO_TIMEOUT,
+        &stop,
     );
-    stream.write_all(response.as_bytes())?;
+    if outcome != ReadOutcome::Request {
+        return Ok(());
+    }
+    respond(&mut stream, router, state, true)
+}
+
+/// Pooled mode: loop requests on one connection with keep-alive.
+fn serve_connection(
+    mut stream: TcpStream,
+    router: &Router,
+    state: &mut ConnState,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_STEP))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    state.read_buf.clear();
+    let mut served = 0usize;
+    loop {
+        let outcome = read_request(
+            &mut stream,
+            &mut state.read_buf,
+            &mut state.req,
+            router.idle_timeout,
+            router.read_deadline,
+            stop,
+        );
+        if outcome != ReadOutcome::Request {
+            return Ok(());
+        }
+        served += 1;
+        gmreg_telemetry::counter_inc("serve.conn.requests");
+        let close = state.req.wants_close
+            || state.req.too_large
+            || served >= router.max_requests_per_conn
+            || stop.load(Ordering::Acquire);
+        respond(&mut stream, router, state, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatch the parsed request and write the rendered response.
+fn respond(
+    stream: &mut TcpStream,
+    router: &Router,
+    state: &mut ConnState,
+    close: bool,
+) -> std::io::Result<()> {
+    if state.req.too_large {
+        state
+            .resp
+            .set_error("413 Payload Too Large", "request body too large");
+    } else {
+        router.dispatch(&state.req, &mut state.resp);
+    }
+    render_response(&mut state.write_buf, &state.resp, close);
+    stream.write_all(&state.write_buf)?;
     stream.flush()
 }
 
-fn builtin_route(router: &Router, req: &HttpRequest) -> HttpResponse {
+/// Serialize the head + body into the reused write buffer.
+fn render_response(out: &mut Vec<u8>, resp: &HttpResponse, close: bool) {
+    use std::io::Write as _;
+    out.clear();
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(resp.status.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(resp.content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    let _ = write!(out, "{}", resp.body.len());
+    if let Some(secs) = resp.retry_after_secs {
+        out.extend_from_slice(b"\r\nRetry-After: ");
+        let _ = write!(out, "{secs}");
+    }
+    if close {
+        out.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
+    } else {
+        out.extend_from_slice(b"\r\nConnection: keep-alive\r\n\r\n");
+    }
+    out.extend_from_slice(resp.body.as_bytes());
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadOutcome {
+    /// A complete request was parsed into the given [`HttpRequest`].
+    Request,
+    /// EOF, timeout, malformed framing, or shutdown: close the connection.
+    Closed,
+}
+
+/// Reads one request off `stream` into `req`, reusing `buf` as the raw
+/// accumulator across requests on the same connection (bytes past this
+/// request's body — a pipelined next request — are kept for the next call).
+///
+/// Two deadlines govern the read: until the first byte of a new request
+/// arrives the connection may sit idle for `idle_timeout`; once a request
+/// has started (any byte buffered), its head and body must complete within
+/// `read_deadline` — the slowloris guard.
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    req: &mut HttpRequest,
+    idle_timeout: Duration,
+    read_deadline: Duration,
+    stop: &AtomicBool,
+) -> ReadOutcome {
+    req.clear();
+    let started = Instant::now();
+    let mut chunk = [0u8; 4096];
+
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return ReadOutcome::Closed; // unreasonable header section
+        }
+        if stop.load(Ordering::Acquire) {
+            return ReadOutcome::Closed;
+        }
+        let deadline = if buf.is_empty() {
+            idle_timeout
+        } else {
+            read_deadline
+        };
+        if started.elapsed() >= deadline {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    };
+
+    let content_length = parse_head(&buf[..head_end], req);
+    if req.too_large {
+        // The body is never read; the connection closes after the 413.
+        buf.clear();
+        return ReadOutcome::Request;
+    }
+
+    // Move the body out of the accumulator; bytes beyond it (a pipelined
+    // next request) stay buffered for the next call.
+    let body_end = head_end + 4;
+    let have = (buf.len() - body_end).min(content_length);
+    req.body.extend_from_slice(&buf[body_end..body_end + have]);
+    buf.copy_within(body_end + have.., 0);
+    buf.truncate(buf.len() - body_end - have);
+
+    while req.body.len() < content_length {
+        if stop.load(Ordering::Acquire) || started.elapsed() >= read_deadline {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                let need = content_length - req.body.len();
+                let take = n.min(need);
+                req.body.extend_from_slice(&chunk[..take]);
+                buf.extend_from_slice(&chunk[take..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Request
+}
+
+/// Position of the `\r\n\r\n` head terminator, if complete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse the request line + headers in place (no allocation beyond the
+/// reused `req` buffers). Returns the declared `Content-Length`.
+fn parse_head(head: &[u8], req: &mut HttpRequest) -> usize {
+    let mut lines = head.split(|&b| b == b'\n').map(|l| {
+        let l = if l.last() == Some(&b'\r') {
+            &l[..l.len() - 1]
+        } else {
+            l
+        };
+        l
+    });
+
+    // Request line: METHOD SP PATH SP VERSION.
+    let request_line = lines.next().unwrap_or(b"");
+    let mut parts = request_line.split(|&b| b == b' ').filter(|p| !p.is_empty());
+    let method = parts.next().unwrap_or(b"GET");
+    for &b in method {
+        req.method.push(b.to_ascii_uppercase() as char);
+    }
+    let path = parts.next().unwrap_or(b"/");
+    let path = path.split(|&b| b == b'?').next().unwrap_or(b"/");
+    req.path.push_str(&String::from_utf8_lossy(path));
+    let http10 = parts.next() == Some(b"HTTP/1.0");
+
+    let mut content_length = 0usize;
+    let mut connection_close = false;
+    let mut connection_keep_alive = false;
+    for line in lines {
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            continue;
+        };
+        let (key, value) = (&line[..colon], trim_ascii(&line[colon + 1..]));
+        if key.eq_ignore_ascii_case(b"content-length") {
+            content_length = std::str::from_utf8(value)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+        } else if key.eq_ignore_ascii_case(b"connection") {
+            if value.eq_ignore_ascii_case(b"close") {
+                connection_close = true;
+            } else if value.eq_ignore_ascii_case(b"keep-alive") {
+                connection_keep_alive = true;
+            }
+        }
+    }
+
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    req.wants_close = connection_close || (http10 && !connection_keep_alive);
+    if content_length > MAX_BODY {
+        req.too_large = true;
+        return 0;
+    }
+    content_length
+}
+
+fn trim_ascii(mut b: &[u8]) -> &[u8] {
+    while let Some((first, rest)) = b.split_first() {
+        if first.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    while let Some((last, rest)) = b.split_last() {
+        if last.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    b
+}
+
+fn builtin_route(router: &Router, req: &HttpRequest, resp: &mut HttpResponse) {
     match req.path.as_str() {
-        "/metrics" => HttpResponse {
-            status: "200 OK",
-            content_type: "text/plain; version=0.0.4; charset=utf-8",
-            body: crate::prometheus_text(&gmreg_telemetry::snapshot()),
-            retry_after_secs: None,
-        },
-        "/status" => HttpResponse::json(crate::status_json(&gmreg_telemetry::snapshot())),
+        "/metrics" => {
+            let body = resp.start("200 OK", "text/plain; version=0.0.4; charset=utf-8");
+            crate::prometheus_text_into(&gmreg_telemetry::snapshot(), body);
+        }
+        "/status" => {
+            let body = resp.start_json();
+            crate::status_json_into(&gmreg_telemetry::snapshot(), body);
+        }
         "/" => {
-            let mut body = String::from(
+            let body = resp.start_text();
+            body.push_str(
                 "gmreg-obs\n\n/metrics  Prometheus text exposition\n/status   training status JSON\n",
             );
             for (method, path, _) in &router.routes {
-                body.push_str(&format!("{method} {path}\n"));
+                body.push_str(method);
+                body.push(' ');
+                body.push_str(path);
+                body.push('\n');
             }
-            HttpResponse::text(body)
         }
-        _ => HttpResponse {
-            status: "404 Not Found",
-            content_type: "text/plain; charset=utf-8",
-            body: "not found\n".to_string(),
-            retry_after_secs: None,
-        },
+        _ => {
+            let body = resp.start("404 Not Found", "text/plain; charset=utf-8");
+            body.push_str("not found\n");
+        }
     }
 }
 
@@ -388,7 +865,9 @@ mod tests {
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
-            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
             .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
@@ -401,7 +880,7 @@ mod tests {
         stream
             .write_all(
                 format!(
-                    "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                    "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                     body.len()
                 )
                 .as_bytes(),
@@ -411,6 +890,35 @@ mod tests {
         stream.read_to_string(&mut response).unwrap();
         let (head, body) = response.split_once("\r\n\r\n").unwrap();
         (head.to_string(), body.to_string())
+    }
+
+    /// Read exactly one keep-alive response off an open stream by
+    /// `Content-Length` framing (the connection stays open after).
+    fn read_keepalive_response(stream: &mut TcpStream) -> (String, String) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                break pos;
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed before a full head arrived");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let content_length: usize = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse().ok())
+            .unwrap();
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        (head, String::from_utf8_lossy(&body).into_owned())
     }
 
     #[test]
@@ -445,12 +953,21 @@ mod tests {
     #[test]
     fn custom_routes_receive_method_and_body() {
         let router = Router::new()
-            .route("POST", "/echo", |req: &HttpRequest| {
-                HttpResponse::json(String::from_utf8_lossy(&req.body).into_owned())
-            })
-            .route("GET", "/pong", |_req: &HttpRequest| {
-                HttpResponse::text("pong\n")
-            })
+            .route(
+                "POST",
+                "/echo",
+                |req: &HttpRequest, resp: &mut HttpResponse| {
+                    resp.start_json()
+                        .push_str(&String::from_utf8_lossy(&req.body));
+                },
+            )
+            .route(
+                "GET",
+                "/pong",
+                |_req: &HttpRequest, resp: &mut HttpResponse| {
+                    resp.start_text().push_str("pong\n");
+                },
+            )
             .threaded(true);
         let server = ObsServer::bind_with("127.0.0.1:0", router).unwrap();
         let addr = server.local_addr();
@@ -475,8 +992,150 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let router = Router::new()
+            .route(
+                "GET",
+                "/pong",
+                |_req: &HttpRequest, resp: &mut HttpResponse| {
+                    resp.start_text().push_str("pong\n");
+                },
+            )
+            .threaded(true);
+        let server = ObsServer::bind_with("127.0.0.1:0", router).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        for _ in 0..5 {
+            stream
+                .write_all(b"GET /pong HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let (head, body) = read_keepalive_response(&mut stream);
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+            assert_eq!(body, "pong\n");
+        }
+
+        // An explicit close is honored: the server answers, then EOF.
+        stream
+            .write_all(b"GET /pong HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (head, _) = read_keepalive_response(&mut stream);
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "bytes after a closed response");
+    }
+
+    #[test]
+    fn http10_closes_unless_keep_alive_requested() {
+        let router = Router::new().threaded(true);
+        let server = ObsServer::bind_with("127.0.0.1:0", router).unwrap();
+        let addr = server.local_addr();
+
+        // HTTP/1.0 default: one response, then close.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("Connection: close"), "{response}");
+
+        // HTTP/1.0 with an explicit keep-alive stays open.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for _ in 0..2 {
+            stream
+                .write_all(b"GET / HTTP/1.0\r\nHost: x\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap();
+            let (head, _) = read_keepalive_response(&mut stream);
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+        }
+    }
+
+    #[test]
+    fn request_cap_closes_the_connection() {
+        let router = Router::new().threaded(true).max_requests_per_conn(2);
+        let server = ObsServer::bind_with("127.0.0.1:0", router).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (head, _) = read_keepalive_response(&mut stream);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (head, _) = read_keepalive_response(&mut stream);
+        assert!(head.contains("Connection: close"), "capped: {head}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn half_written_request_is_dropped_by_the_read_deadline() {
+        let router = Router::new()
+            .threaded(true)
+            .workers(2)
+            .idle_timeout_ms(200)
+            .read_deadline_ms(200);
+        let server = ObsServer::bind_with("127.0.0.1:0", router).unwrap();
+        let addr = server.local_addr();
+
+        // A client that sends half a request head and stalls forever.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET / HTTP/1.1\r\nHost:").unwrap();
+
+        // A healthy client on the second worker is unaffected.
+        let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+        // The stalled connection is closed within the read deadline
+        // (plus scheduling slack), not pinned until the client gives up.
+        slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let started = Instant::now();
+        let mut buf = [0u8; 64];
+        let n = slow.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "server must close a half-written request");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "close took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
     fn error_responses_escape_json() {
         let resp = HttpResponse::error("400 Bad Request", "a \"quoted\"\nproblem");
         assert_eq!(resp.body, "{\"error\": \"a \\\"quoted\\\"\\nproblem\"}\n");
+    }
+
+    #[test]
+    fn parse_head_framing_and_connection_semantics() {
+        let mut req = HttpRequest::default();
+        let len = parse_head(
+            b"POST /predict?x=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n",
+            &mut req,
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(len, 12);
+        assert!(!req.wants_close, "HTTP/1.1 defaults to keep-alive");
+
+        req.clear();
+        parse_head(b"GET / HTTP/1.0\r\n", &mut req);
+        assert!(req.wants_close, "HTTP/1.0 defaults to close");
+
+        req.clear();
+        parse_head(b"GET / HTTP/1.1\r\nConnection: Close\r\n", &mut req);
+        assert!(req.wants_close, "Connection: close is case-insensitive");
+
+        req.clear();
+        parse_head(
+            b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n",
+            &mut req,
+        );
+        assert!(req.too_large);
     }
 }

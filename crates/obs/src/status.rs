@@ -4,11 +4,12 @@
 use gmreg_telemetry::Report;
 
 fn json_num(v: f64, out: &mut String) {
+    use std::fmt::Write as _;
     if v.is_finite() {
         if v == v.trunc() && v.abs() < 1e15 {
-            out.push_str(&format!("{:.1}", v));
+            let _ = write!(out, "{:.1}", v);
         } else {
-            out.push_str(&format!("{v}"));
+            let _ = write!(out, "{v}");
         }
     } else {
         // JSON has no Inf/NaN literals; null keeps the document parseable.
@@ -17,11 +18,13 @@ fn json_num(v: f64, out: &mut String) {
 }
 
 fn field_u64(out: &mut String, key: &str, value: u64) {
-    out.push_str(&format!("\"{key}\": {value}"));
+    use std::fmt::Write as _;
+    let _ = write!(out, "\"{key}\": {value}");
 }
 
 fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
-    out.push_str(&format!("\"{key}\": "));
+    use std::fmt::Write as _;
+    let _ = write!(out, "\"{key}\": ");
     match value {
         Some(v) => json_num(v, out),
         None => out.push_str("null"),
@@ -43,7 +46,8 @@ fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
 ///            "worker_panics": 0, "workers_replaced": 0},
 ///   "serve": {"generation": 3, "requests": 1200, "batches": 310,
 ///             "reloads": 1, "fallbacks": 0, "rejected": 0,
-///             "batch_failures": 0, "deadline_expired": 0},
+///             "batch_failures": 0, "deadline_expired": 0,
+///             "connections": 2},
 ///   "shard": {"workers": 4, "restarts": 0, "reassignments": 0,
 ///             "heartbeat_misses": 0, "replays": 0},
 ///   "telemetry": {"spans": 140, "dropped_spans": 0}
@@ -67,94 +71,91 @@ fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
 /// and linear durable runtimes publish once per epoch); it is `null` until
 /// the first epoch finishes.
 pub fn status_json(report: &Report) -> String {
+    let mut out = String::with_capacity(512);
+    status_json_into(report, &mut out);
+    out
+}
+
+/// [`status_json`] rendered onto a caller-owned buffer — the serving hot
+/// path reuses one buffer per connection instead of allocating a fresh
+/// `String` per request.
+pub fn status_json_into(report: &Report, out: &mut String) {
     let gauge = |name: &str| report.gauges.get(name).copied();
     let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
 
-    let mut out = String::with_capacity(512);
     out.push('{');
-    field_f64(&mut out, "epoch", gauge("runtime.epoch"));
+    field_f64(out, "epoch", gauge("runtime.epoch"));
     out.push_str(", ");
-    field_f64(&mut out, "loss", gauge("runtime.loss"));
+    field_f64(out, "loss", gauge("runtime.loss"));
     out.push_str(", \"gm\": {");
-    field_f64(&mut out, "pi_min", gauge("gm.pi.min"));
+    field_f64(out, "pi_min", gauge("gm.pi.min"));
     out.push_str(", ");
-    field_f64(&mut out, "pi_max", gauge("gm.pi.max"));
+    field_f64(out, "pi_max", gauge("gm.pi.max"));
     out.push_str(", ");
-    field_f64(&mut out, "lambda_min", gauge("gm.lambda.min"));
+    field_f64(out, "lambda_min", gauge("gm.lambda.min"));
     out.push_str(", ");
-    field_f64(&mut out, "lambda_max", gauge("gm.lambda.max"));
+    field_f64(out, "lambda_max", gauge("gm.lambda.max"));
     out.push_str(", ");
-    field_u64(&mut out, "e_steps", counter("gm.e_step.runs"));
+    field_u64(out, "e_steps", counter("gm.e_step.runs"));
     out.push_str(", ");
-    field_u64(&mut out, "e_step_skips", counter("gm.e_step.skips"));
+    field_u64(out, "e_step_skips", counter("gm.e_step.skips"));
     out.push_str(", ");
-    field_u64(&mut out, "m_steps", counter("gm.m_step.runs"));
+    field_u64(out, "m_steps", counter("gm.m_step.runs"));
     out.push_str("}, \"guard\": {");
-    field_u64(&mut out, "trips", counter("guard.trips"));
+    field_u64(out, "trips", counter("guard.trips"));
     out.push_str(", ");
-    field_u64(&mut out, "rollbacks", counter("guard.rollbacks"));
+    field_u64(out, "rollbacks", counter("guard.rollbacks"));
     out.push_str(", ");
-    field_u64(&mut out, "degraded", counter("guard.degraded"));
+    field_u64(out, "degraded", counter("guard.degraded"));
     out.push_str("}, \"checkpoint\": {");
-    field_f64(&mut out, "generation", gauge("ckpt.generation"));
+    field_f64(out, "generation", gauge("ckpt.generation"));
     out.push_str(", ");
-    field_u64(&mut out, "saves", counter("ckpt.saves"));
+    field_u64(out, "saves", counter("ckpt.saves"));
     out.push_str("}, \"pool\": {");
-    field_f64(&mut out, "width", gauge("pool.width"));
+    field_f64(out, "width", gauge("pool.width"));
     out.push_str(", ");
-    field_u64(&mut out, "jobs", counter("pool.jobs"));
+    field_u64(out, "jobs", counter("pool.jobs"));
     out.push_str(", ");
-    field_u64(&mut out, "tasks", counter("pool.tasks"));
+    field_u64(out, "tasks", counter("pool.tasks"));
     out.push_str(", ");
-    field_u64(&mut out, "steals", counter("pool.steals"));
+    field_u64(out, "steals", counter("pool.steals"));
     out.push_str(", ");
-    field_u64(&mut out, "worker_panics", counter("pool.worker.panics"));
+    field_u64(out, "worker_panics", counter("pool.worker.panics"));
     out.push_str(", ");
-    field_u64(
-        &mut out,
-        "workers_replaced",
-        counter("pool.workers.replaced"),
-    );
+    field_u64(out, "workers_replaced", counter("pool.workers.replaced"));
     out.push_str("}, \"serve\": {");
-    field_f64(&mut out, "generation", gauge("serve.generation"));
+    field_f64(out, "generation", gauge("serve.generation"));
     out.push_str(", ");
-    field_u64(&mut out, "requests", counter("serve.requests"));
+    field_u64(out, "requests", counter("serve.requests"));
     out.push_str(", ");
-    field_u64(&mut out, "batches", counter("serve.batches"));
+    field_u64(out, "batches", counter("serve.batches"));
     out.push_str(", ");
-    field_u64(&mut out, "reloads", counter("serve.reloads"));
+    field_u64(out, "reloads", counter("serve.reloads"));
     out.push_str(", ");
-    field_u64(&mut out, "fallbacks", counter("serve.fallbacks"));
+    field_u64(out, "fallbacks", counter("serve.fallbacks"));
     out.push_str(", ");
-    field_u64(&mut out, "rejected", counter("serve.rejected"));
+    field_u64(out, "rejected", counter("serve.rejected"));
     out.push_str(", ");
-    field_u64(&mut out, "batch_failures", counter("serve.batch.failures"));
+    field_u64(out, "batch_failures", counter("serve.batch.failures"));
     out.push_str(", ");
-    field_u64(
-        &mut out,
-        "deadline_expired",
-        counter("serve.deadline_expired"),
-    );
+    field_u64(out, "deadline_expired", counter("serve.deadline_expired"));
+    out.push_str(", ");
+    field_f64(out, "connections", gauge("serve.connections"));
     out.push_str("}, \"shard\": {");
-    field_f64(&mut out, "workers", gauge("shard.workers"));
+    field_f64(out, "workers", gauge("shard.workers"));
     out.push_str(", ");
-    field_u64(&mut out, "restarts", counter("shard.restarts"));
+    field_u64(out, "restarts", counter("shard.restarts"));
     out.push_str(", ");
-    field_u64(&mut out, "reassignments", counter("shard.reassignments"));
+    field_u64(out, "reassignments", counter("shard.reassignments"));
     out.push_str(", ");
-    field_u64(
-        &mut out,
-        "heartbeat_misses",
-        counter("shard.heartbeat.misses"),
-    );
+    field_u64(out, "heartbeat_misses", counter("shard.heartbeat.misses"));
     out.push_str(", ");
-    field_u64(&mut out, "replays", counter("shard.replays"));
+    field_u64(out, "replays", counter("shard.replays"));
     out.push_str("}, \"telemetry\": {");
-    field_u64(&mut out, "spans", report.spans.len() as u64);
+    field_u64(out, "spans", report.spans.len() as u64);
     out.push_str(", ");
-    field_u64(&mut out, "dropped_spans", report.dropped_spans);
+    field_u64(out, "dropped_spans", report.dropped_spans);
     out.push_str("}}");
-    out
 }
 
 #[cfg(test)]
@@ -219,6 +220,7 @@ mod tests {
         gmreg_telemetry::counter_add("serve.batches", 310);
         gmreg_telemetry::counter_inc("serve.reloads");
         gmreg_telemetry::counter_inc("serve.fallbacks");
+        gmreg_telemetry::gauge_set("serve.connections", 2.0);
         let s = status_json(&gmreg_telemetry::snapshot());
         assert!(
             s.contains("\"serve\": {\"generation\": 3.0, \"requests\": 1200"),
@@ -227,6 +229,7 @@ mod tests {
         assert!(s.contains("\"batches\": 310"), "{s}");
         assert!(s.contains("\"reloads\": 1"), "{s}");
         assert!(s.contains("\"fallbacks\": 1"), "{s}");
+        assert!(s.contains("\"connections\": 2.0"), "{s}");
         gmreg_telemetry::reset();
     }
 

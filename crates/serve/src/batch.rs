@@ -1,12 +1,34 @@
 //! Micro-batching: coalesce concurrent `/predict` calls into one matmul.
 //!
-//! Callers enqueue single rows onto a bounded queue and block on a
-//! one-shot reply channel. A dedicated batcher thread drains the queue
+//! Callers enqueue rows onto a sharded bounded queue and block on a
+//! one-shot reply channel. A dedicated batcher thread drains the shards
 //! under a dual cutoff — dispatch as soon as `max_size` rows are waiting
 //! *or* `max_wait_us` has elapsed since the batch opened, whichever comes
 //! first — then runs the whole batch through
 //! [`ServedModel::forward`](crate::model::ServedModel::forward) as a single
 //! pool-dispatched matmul and fans the per-row results back out.
+//!
+//! ## Sharding
+//!
+//! The queue is split across [`NUM_SHARDS`] independently-locked FIFO
+//! shards with one atomic length counter, so concurrent connection workers
+//! enqueue without serializing on a single mutex. Capacity is reserved
+//! all-or-nothing on the atomic counter *before* touching any shard lock —
+//! a full queue rejects in one CAS. Rows are spread round-robin and the
+//! dispatcher drains the shards round-robin, so each shard stays FIFO by
+//! enqueue time and per-request deadlines still expire from shard fronts.
+//! Because every prediction is bitwise independent of its batch-mates
+//! (fixed per-row fold tree — see `crate::model`), the cross-shard
+//! interleaving order cannot affect any output bit.
+//!
+//! ## Allocation discipline
+//!
+//! The dispatcher owns one [`Scratch`] reused across batches, rows are
+//! `mem::take`n out of their [`Pending`]s (never cloned) and recycled
+//! through a row pool the HTTP layer draws from, and the forward pass
+//! writes into reused flat/probability buffers
+//! ([`ServedModel::forward_into`](crate::model::ServedModel::forward_into)).
+//! Steady-state batch assembly performs no heap allocation.
 //!
 //! Failure containment: the forward pass runs under `catch_unwind`, so a
 //! worker panic mid-batch (e.g. an armed `pool.worker` failpoint) errors
@@ -22,9 +44,14 @@ use crate::registry::ModelRegistry;
 use crate::tele;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Queue shards; a power of two so the round-robin cursor can mask.
+/// Sized for the connection-worker pool (default 4 workers): at most a
+/// handful of threads contend per shard even under a full house.
+const NUM_SHARDS: usize = 4;
 
 /// Micro-batch cutoffs and queue bound (`[batch]` in `serve.toml`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,18 +87,49 @@ impl Default for BatchConfig {
 /// probability.
 pub type Prediction = (u64, f64);
 
+/// A reply is routed back to its slot in the submitting request, so one
+/// multi-row request shares one channel instead of one channel per row.
+type Reply = (usize, Result<Prediction, ServeError>);
+
 struct Pending {
+    slot: usize,
     row: Vec<f32>,
-    reply: mpsc::SyncSender<Result<Prediction, ServeError>>,
+    reply: mpsc::SyncSender<Reply>,
     enqueued: Instant,
+}
+
+struct Shard {
+    queue: Mutex<VecDeque<Pending>>,
 }
 
 struct Shared {
     cfg: BatchConfig,
     registry: Arc<ModelRegistry>,
-    queue: Mutex<VecDeque<Pending>>,
-    wake: Condvar,
+    shards: Vec<Shard>,
+    /// Rows queued across all shards; doubles as the capacity reservation
+    /// counter (incremented before enqueue, decremented on drain/expiry).
+    len: AtomicUsize,
+    /// Round-robin enqueue cursor.
+    cursor: AtomicUsize,
+    /// Dispatcher wake channel (the shard locks are never held while
+    /// waiting).
+    wake: Mutex<()>,
+    wake_cv: Condvar,
     shutdown: AtomicBool,
+    /// Recycled row buffers: the dispatcher returns spent rows here and
+    /// the HTTP layer draws request rows from it, so steady-state traffic
+    /// reuses the same `Vec<f32>`s round after round.
+    row_pool: Mutex<Vec<Vec<f32>>>,
+}
+
+impl Shared {
+    fn shard_for(&self, ticket: usize) -> &Shard {
+        &self.shards[ticket & (NUM_SHARDS - 1)]
+    }
+
+    fn lock_shard(&self, i: usize) -> std::sync::MutexGuard<'_, VecDeque<Pending>> {
+        self.shards[i].queue.lock().expect("batch queue poisoned")
+    }
 }
 
 /// Handle to the batching queue plus its dispatcher thread. Dropping the
@@ -88,9 +146,17 @@ impl Batcher {
         let shared = Arc::new(Shared {
             cfg,
             registry,
-            queue: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
+            shards: (0..NUM_SHARDS)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            len: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            wake: Mutex::new(()),
+            wake_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            row_pool: Mutex::new(Vec::new()),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -105,58 +171,163 @@ impl Batcher {
         }
     }
 
+    /// A recycled row buffer (cleared), or a fresh one if the pool is dry.
+    /// Request parsing fills these so spent batch rows cycle back into new
+    /// requests instead of being reallocated.
+    pub fn take_row(&self) -> Vec<f32> {
+        let mut pool = self.shared.row_pool.lock().expect("row pool poisoned");
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Return unused row buffers to the pool (e.g. rows parsed from a
+    /// request that was rejected before submission).
+    pub fn recycle_rows(&self, rows: &mut Vec<Vec<f32>>) {
+        let mut pool = self.shared.row_pool.lock().expect("row pool poisoned");
+        for mut row in rows.drain(..) {
+            row.clear();
+            if pool.len() < self.shared.cfg.queue_cap {
+                pool.push(row);
+            }
+        }
+    }
+
     /// Enqueue one row and block until its batch completes.
     ///
     /// Counts `serve.requests` and records end-to-end latency into the
     /// `serve.request.ns` histogram on every accepted request, including
     /// ones whose batch subsequently failed.
     pub fn submit(&self, row: Vec<f32>) -> Result<Prediction, ServeError> {
-        if self.shared.shutdown.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
+        let mut rows = vec![row];
+        let mut out = Vec::with_capacity(1);
+        self.submit_all(&mut rows, &mut out);
+        out.pop().expect("one row in, one result out")
+    }
+
+    /// Enqueue every row of one request and block until all replies are in;
+    /// `out[i]` is the result for `rows[i]`. Capacity is reserved
+    /// all-or-nothing: either every row is queued or the whole request is
+    /// shed with [`ServeError::QueueFull`]. Rows are consumed (moved into
+    /// the queue and later recycled through the row pool).
+    pub fn submit_all(
+        &self,
+        rows: &mut Vec<Vec<f32>>,
+        out: &mut Vec<Result<Prediction, ServeError>>,
+    ) {
+        let n = rows.len();
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let shared = &*self.shared;
+        if shared.shutdown.load(Ordering::Acquire) {
+            out.extend(rows.drain(..).map(|_| Err(ServeError::ShuttingDown)));
+            return;
         }
         let started = Instant::now();
-        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        {
-            let mut queue = self.shared.queue.lock().expect("batch queue poisoned");
-            if queue.len() >= self.shared.cfg.queue_cap {
-                tele::counter_inc("serve.rejected");
-                return Err(ServeError::QueueFull);
-            }
-            queue.push_back(Pending {
-                row,
-                reply: reply_tx,
-                enqueued: started,
-            });
+
+        // All-or-nothing capacity reservation on the atomic length: no
+        // shard lock is touched unless the whole request fits.
+        let cap = shared.cfg.queue_cap;
+        let reserved = shared
+            .len
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                if cur + n > cap {
+                    None
+                } else {
+                    Some(cur + n)
+                }
+            })
+            .is_ok();
+        if !reserved {
+            tele::counter_add("serve.rejected", n as u64);
+            out.extend(rows.drain(..).map(|_| Err(ServeError::QueueFull)));
+            return;
         }
-        self.shared.wake.notify_one();
-        let result = reply_rx.recv().unwrap_or(Err(ServeError::ShuttingDown));
-        tele::counter_inc("serve.requests");
-        tele::histogram_record("serve.request.ns", started.elapsed().as_nanos() as f64);
-        result
+
+        let (reply_tx, reply_rx) = mpsc::sync_channel(n);
+        for (slot, row) in rows.drain(..).enumerate() {
+            let ticket = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            shared
+                .shard_for(ticket)
+                .queue
+                .lock()
+                .expect("batch queue poisoned")
+                .push_back(Pending {
+                    slot,
+                    row,
+                    reply: reply_tx.clone(),
+                    enqueued: started,
+                });
+        }
+        drop(reply_tx);
+        // Pair the notify with the wake mutex so the dispatcher either
+        // sees the new length before sleeping or is woken from its wait.
+        drop(shared.wake.lock().expect("wake lock poisoned"));
+        shared.wake_cv.notify_one();
+
+        // Pre-fill with ShuttingDown so a dispatcher death mid-request
+        // leaves the unanswered slots with a sane error.
+        for _ in 0..n {
+            out.push(Err(ServeError::ShuttingDown));
+        }
+        let mut received = 0;
+        while received < n {
+            match reply_rx.recv() {
+                Ok((slot, result)) => {
+                    out[slot] = result;
+                    received += 1;
+                }
+                // Dispatcher gone mid-request: remaining slots keep the
+                // ShuttingDown placeholder.
+                Err(_) => break,
+            }
+        }
+        let elapsed_ns = started.elapsed().as_nanos() as f64;
+        tele::counter_add("serve.requests", n as u64);
+        for _ in 0..n {
+            tele::histogram_record("serve.request.ns", elapsed_ns);
+        }
     }
 }
 
 impl Drop for Batcher {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.wake.notify_all();
+        self.shared.wake_cv.notify_all();
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
         }
     }
 }
 
+/// Dispatcher-owned buffers reused across batches.
+struct Scratch {
+    batch: Vec<Pending>,
+    valid: Vec<Pending>,
+    rows: Vec<Vec<f32>>,
+    flat: Vec<f32>,
+    probs: Vec<f64>,
+}
+
 fn dispatch_loop(shared: &Shared) {
+    let mut scratch = Scratch {
+        batch: Vec::new(),
+        valid: Vec::new(),
+        rows: Vec::new(),
+        flat: Vec::new(),
+        probs: Vec::new(),
+    };
+    let mut drain_from = 0usize;
     loop {
-        let batch = collect_batch(shared);
-        if batch.is_empty() {
+        collect_batch(shared, &mut scratch.batch, &mut drain_from);
+        if scratch.batch.is_empty() {
             if shared.shutdown.load(Ordering::Acquire) {
                 drain_on_shutdown(shared);
                 return;
             }
             continue;
         }
-        run_batch(shared, batch);
+        run_batch(shared, &mut scratch);
         // The dispatcher is long-lived: push its per-thread counters into
         // the global registry so live scrapes see batches as they happen.
         tele::flush();
@@ -166,125 +337,188 @@ fn dispatch_loop(shared: &Shared) {
 /// Expire every queued row older than the per-request budget: each gets an
 /// immediate [`ServeError::DeadlineExpired`] reply (503 + `Retry-After` at
 /// the HTTP layer) instead of riding the next batch. No-op when the budget
-/// is 0. The queue is FIFO, so expired rows always form a prefix.
-fn expire_overdue(queue: &mut VecDeque<Pending>, budget_ms: u64) {
+/// is 0. Each shard is FIFO by enqueue time, so expired rows always form a
+/// prefix of every shard.
+fn expire_overdue(shared: &Shared, budget_ms: u64) {
     if budget_ms == 0 {
         return;
     }
     let budget = Duration::from_millis(budget_ms);
     let now = Instant::now();
-    while let Some(front) = queue.front() {
-        let waited = now.saturating_duration_since(front.enqueued);
-        if waited < budget {
-            break;
+    for i in 0..NUM_SHARDS {
+        let mut queue = shared.lock_shard(i);
+        while let Some(front) = queue.front() {
+            let waited = now.saturating_duration_since(front.enqueued);
+            if waited < budget {
+                break;
+            }
+            let pending = queue.pop_front().expect("front exists");
+            shared.len.fetch_sub(1, Ordering::AcqRel);
+            tele::counter_inc("serve.deadline_expired");
+            let _ = pending.reply.send((
+                pending.slot,
+                Err(ServeError::DeadlineExpired {
+                    waited_ms: waited.as_millis() as u64,
+                }),
+            ));
         }
-        let pending = queue.pop_front().expect("front exists");
-        tele::counter_inc("serve.deadline_expired");
-        let _ = pending.reply.send(Err(ServeError::DeadlineExpired {
-            waited_ms: waited.as_millis() as u64,
-        }));
     }
 }
 
+/// Enqueue time of the oldest row across all shards, if any.
+fn oldest_enqueued(shared: &Shared) -> Option<Instant> {
+    let mut oldest: Option<Instant> = None;
+    for i in 0..NUM_SHARDS {
+        let queue = shared.lock_shard(i);
+        if let Some(front) = queue.front() {
+            oldest = Some(match oldest {
+                Some(o) => o.min(front.enqueued),
+                None => front.enqueued,
+            });
+        }
+    }
+    oldest
+}
+
 /// Block until at least one row is waiting, then hold the batch open until
-/// it fills to `max_size` or the wait cutoff expires. Rows that out-sit
-/// their per-request budget are expired rather than collected.
-fn collect_batch(shared: &Shared) -> Vec<Pending> {
+/// it fills to `max_size` or the wait cutoff expires. Rows stay in their
+/// shards for the whole window — a row that out-sits its per-request budget
+/// mid-window is expired rather than collected — and are only drained into
+/// `batch` when the window closes. Shards are drained round-robin from a
+/// rotating start so no shard is systematically favored.
+fn collect_batch(shared: &Shared, batch: &mut Vec<Pending>, drain_from: &mut usize) {
+    batch.clear();
     let budget_ms = shared.cfg.max_wait_budget_ms;
-    let mut queue = shared.queue.lock().expect("batch queue poisoned");
     // Shed whatever went overdue while the previous batch was running —
     // the stalled-batch case the per-request deadline exists for.
-    expire_overdue(&mut queue, budget_ms);
-    while queue.is_empty() {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return Vec::new();
+    expire_overdue(shared, budget_ms);
+    {
+        let mut guard = shared.wake.lock().expect("wake lock poisoned");
+        while shared.len.load(Ordering::Acquire) == 0 {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let (g, _) = shared
+                .wake_cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .expect("wake lock poisoned");
+            guard = g;
         }
-        let (guard, _) = shared
-            .wake
-            .wait_timeout(queue, Duration::from_millis(50))
-            .expect("batch queue poisoned");
-        queue = guard;
     }
     let deadline = Instant::now() + Duration::from_micros(shared.cfg.max_wait_us);
-    while queue.len() < shared.cfg.max_size && !shared.shutdown.load(Ordering::Acquire) {
-        expire_overdue(&mut queue, budget_ms);
+    while shared.len.load(Ordering::Acquire) < shared.cfg.max_size
+        && !shared.shutdown.load(Ordering::Acquire)
+    {
+        expire_overdue(shared, budget_ms);
         let now = Instant::now();
-        if queue.is_empty() || now >= deadline {
+        if shared.len.load(Ordering::Acquire) == 0 || now >= deadline {
             break;
         }
         // Wake in time for both the batch cutoff and the oldest row's
         // expiry, whichever lands first.
         let mut wait = deadline - now;
         if budget_ms > 0 {
-            let oldest = queue.front().expect("queue is non-empty").enqueued;
-            let expiry = oldest + Duration::from_millis(budget_ms);
-            wait = wait.min(
-                expiry
-                    .saturating_duration_since(now)
-                    .max(Duration::from_millis(1)),
-            );
+            if let Some(oldest) = oldest_enqueued(shared) {
+                let expiry = oldest + Duration::from_millis(budget_ms);
+                wait = wait.min(
+                    expiry
+                        .saturating_duration_since(now)
+                        .max(Duration::from_millis(1)),
+                );
+            }
         }
-        let (guard, _) = shared
-            .wake
-            .wait_timeout(queue, wait)
-            .expect("batch queue poisoned");
-        queue = guard;
+        let guard = shared.wake.lock().expect("wake lock poisoned");
+        let _ = shared
+            .wake_cv
+            .wait_timeout(guard, wait)
+            .expect("wake lock poisoned");
     }
-    expire_overdue(&mut queue, budget_ms);
-    let take = queue.len().min(shared.cfg.max_size);
-    queue.drain(..take).collect()
+    expire_overdue(shared, budget_ms);
+    // Window closed: drain up to max_size rows, round-robin across shards.
+    let max = shared.cfg.max_size;
+    for step in 0..NUM_SHARDS {
+        if batch.len() >= max {
+            break;
+        }
+        let i = (*drain_from + step) & (NUM_SHARDS - 1);
+        let mut queue = shared.lock_shard(i);
+        while batch.len() < max {
+            match queue.pop_front() {
+                Some(pending) => {
+                    shared.len.fetch_sub(1, Ordering::AcqRel);
+                    batch.push(pending);
+                }
+                None => break,
+            }
+        }
+    }
+    *drain_from = (*drain_from + 1) & (NUM_SHARDS - 1);
 }
 
 fn drain_on_shutdown(shared: &Shared) {
-    let mut queue = shared.queue.lock().expect("batch queue poisoned");
-    for pending in queue.drain(..) {
-        let _ = pending.reply.send(Err(ServeError::ShuttingDown));
+    for i in 0..NUM_SHARDS {
+        let mut queue = shared.lock_shard(i);
+        for pending in queue.drain(..) {
+            shared.len.fetch_sub(1, Ordering::AcqRel);
+            let _ = pending
+                .reply
+                .send((pending.slot, Err(ServeError::ShuttingDown)));
+        }
     }
 }
 
-fn run_batch(shared: &Shared, mut batch: Vec<Pending>) {
+fn run_batch(shared: &Shared, scratch: &mut Scratch) {
     let Some(model) = shared.registry.current() else {
-        for pending in batch {
-            let _ = pending.reply.send(Err(ServeError::NoModel));
+        for pending in scratch.batch.drain(..) {
+            let _ = pending.reply.send((pending.slot, Err(ServeError::NoModel)));
         }
         return;
     };
 
     // Reject malformed rows individually so one bad request cannot fail
     // the well-formed rows sharing its batch.
-    let mut valid = Vec::with_capacity(batch.len());
-    for pending in batch.drain(..) {
+    scratch.valid.clear();
+    scratch.rows.clear();
+    for mut pending in scratch.batch.drain(..) {
         if pending.row.len() == model.dim() {
-            valid.push(pending);
+            scratch.rows.push(std::mem::take(&mut pending.row));
+            scratch.valid.push(pending);
         } else {
-            let _ = pending.reply.send(Err(ServeError::DimensionMismatch {
-                expected: model.dim(),
-                actual: pending.row.len(),
-            }));
+            let _ = pending.reply.send((
+                pending.slot,
+                Err(ServeError::DimensionMismatch {
+                    expected: model.dim(),
+                    actual: pending.row.len(),
+                }),
+            ));
         }
     }
-    if valid.is_empty() {
+    if scratch.valid.is_empty() {
         return;
     }
 
-    let rows: Vec<Vec<f32>> = valid.iter().map(|p| p.row.clone()).collect();
     tele::counter_inc("serve.batches");
-    tele::histogram_record("serve.batch_size", rows.len() as f64);
+    tele::histogram_record("serve.batch_size", scratch.rows.len() as f64);
 
-    match catch_unwind(AssertUnwindSafe(|| model.forward(&rows))) {
-        Ok(Ok(probs)) => {
-            debug_assert_eq!(probs.len(), valid.len());
-            for (pending, prob) in valid.into_iter().zip(probs) {
-                let _ = pending.reply.send(Ok((model.generation, prob)));
+    let forward = catch_unwind(AssertUnwindSafe(|| {
+        model.forward_into(&scratch.rows, &mut scratch.flat, &mut scratch.probs)
+    }));
+    match forward {
+        Ok(Ok(())) => {
+            debug_assert_eq!(scratch.probs.len(), scratch.valid.len());
+            for (pending, &prob) in scratch.valid.drain(..).zip(scratch.probs.iter()) {
+                let _ = pending
+                    .reply
+                    .send((pending.slot, Ok((model.generation, prob))));
             }
         }
         Ok(Err(e)) => {
             tele::counter_inc("serve.batch.failures");
             let msg = e.to_string();
-            for pending in valid {
+            for pending in scratch.valid.drain(..) {
                 let _ = pending
                     .reply
-                    .send(Err(ServeError::BatchFailed(msg.clone())));
+                    .send((pending.slot, Err(ServeError::BatchFailed(msg.clone()))));
             }
         }
         Err(panic) => {
@@ -294,11 +528,19 @@ fn run_batch(shared: &Shared, mut batch: Vec<Pending>) {
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "forward pass panicked".to_string());
-            for pending in valid {
+            for pending in scratch.valid.drain(..) {
                 let _ = pending
                     .reply
-                    .send(Err(ServeError::BatchFailed(msg.clone())));
+                    .send((pending.slot, Err(ServeError::BatchFailed(msg.clone()))));
             }
+        }
+    }
+    // Recycle the spent row buffers for the next requests.
+    let mut pool = shared.row_pool.lock().expect("row pool poisoned");
+    for mut row in scratch.rows.drain(..) {
+        row.clear();
+        if pool.len() < shared.cfg.queue_cap {
+            pool.push(row);
         }
     }
 }
@@ -350,6 +592,60 @@ mod tests {
         let direct = reference.forward(std::slice::from_ref(&row)).unwrap()[0];
         assert_eq!(generation, 0);
         assert_eq!(prob.to_bits(), direct.to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_all_returns_results_in_request_order() {
+        let dir = tmp_dir("multirow");
+        let reg = seeded_registry(&dir, 4);
+        let reference: Arc<ServedModel> = reg.current().unwrap();
+        let batcher = Batcher::new(Arc::clone(&reg), BatchConfig::default());
+
+        let rows: Vec<Vec<f32>> = (0..11)
+            .map(|i| (0..4).map(|j| (i * 4 + j) as f32 * 0.05 - 0.3).collect())
+            .collect();
+        let mut submitted = rows.clone();
+        let mut out = Vec::new();
+        batcher.submit_all(&mut submitted, &mut out);
+        assert!(submitted.is_empty(), "rows are consumed");
+        assert_eq!(out.len(), rows.len());
+        let direct = reference.forward(&rows).unwrap();
+        for (i, result) in out.iter().enumerate() {
+            let (generation, prob) = result.as_ref().unwrap();
+            assert_eq!(*generation, 0);
+            assert_eq!(
+                prob.to_bits(),
+                direct[i].to_bits(),
+                "row {i} diverged between submit_all and direct forward"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_all_over_capacity_sheds_whole_request() {
+        let dir = tmp_dir("cap");
+        let reg = seeded_registry(&dir, 4);
+        let batcher = Batcher::new(
+            reg,
+            BatchConfig {
+                max_size: 4,
+                max_wait_us: 1_000,
+                queue_cap: 8,
+                max_wait_budget_ms: 50,
+            },
+        );
+        let mut rows: Vec<Vec<f32>> = (0..9).map(|_| vec![0.1, 0.2, 0.3, 0.4]).collect();
+        let mut out = Vec::new();
+        batcher.submit_all(&mut rows, &mut out);
+        assert_eq!(out.len(), 9);
+        for result in &out {
+            assert!(
+                matches!(result, Err(ServeError::QueueFull)),
+                "all-or-nothing shed: {result:?}"
+            );
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -430,6 +726,21 @@ mod tests {
         // 30ms batch window > any disabled budget: the request rides the
         // batch and succeeds.
         assert!(batcher.submit(vec![0.1, 0.2, 0.3, 0.4]).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn row_pool_recycles_spent_buffers() {
+        let dir = tmp_dir("rowpool");
+        let reg = seeded_registry(&dir, 4);
+        let batcher = Batcher::new(reg, BatchConfig::default());
+        // Before any traffic the pool is dry.
+        assert!(batcher.take_row().is_empty());
+        batcher.submit(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        // The spent row is back in the pool with its capacity intact.
+        let recycled = batcher.take_row();
+        assert!(recycled.is_empty());
+        assert!(recycled.capacity() >= 4, "spent row buffer was recycled");
         let _ = fs::remove_dir_all(&dir);
     }
 

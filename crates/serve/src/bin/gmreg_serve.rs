@@ -135,7 +135,13 @@ fn run() -> Result<(), String> {
         max_wait_budget_ms: cfg.batch.max_wait_budget_ms,
     };
     let batcher = Arc::new(Batcher::new(Arc::clone(&registry), batch_cfg));
-    let router = gmreg_serve::http::serving_router(Arc::clone(&registry), batcher);
+    let router = gmreg_serve::http::serving_router_with(
+        Arc::clone(&registry),
+        batcher,
+        cfg.workers,
+        cfg.max_requests_per_conn,
+        cfg.idle_ms,
+    );
     let server = gmreg_obs::ObsServer::bind_with(&cfg.listen, router)
         .map_err(|e| format!("bind {}: {e}", cfg.listen))?;
     eprintln!("gmreg-serve: listening on {}", server.local_addr());

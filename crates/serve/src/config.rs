@@ -11,6 +11,9 @@
 //! ```toml
 //! [server]
 //! listen = "127.0.0.1:9900"
+//! workers = 4
+//! max_requests_per_conn = 1000
+//! idle_ms = 500
 //!
 //! [model]
 //! dir = "ckpts"
@@ -33,6 +36,15 @@ use std::path::{Path, PathBuf};
 pub struct ServeConfig {
     /// `[server] listen` — address the HTTP server binds.
     pub listen: String,
+    /// `[server] workers` — connection-worker pool width (each worker
+    /// serves one keep-alive connection at a time).
+    pub workers: usize,
+    /// `[server] max_requests_per_conn` — requests served over one
+    /// keep-alive connection before the server closes it.
+    pub max_requests_per_conn: usize,
+    /// `[server] idle_ms` — keep-alive idle timeout: how long a worker
+    /// waits for the next request on a connection before closing it.
+    pub idle_ms: u64,
     /// `[model] dir` — checkpoint directory the registry watches.
     pub model_dir: PathBuf,
     /// `[model] prefix` — checkpoint file prefix (`<prefix>-NNNNNNNNNN.gmck`).
@@ -47,6 +59,9 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             listen: "127.0.0.1:9900".to_string(),
+            workers: 4,
+            max_requests_per_conn: 1000,
+            idle_ms: 500,
             model_dir: PathBuf::from("ckpts"),
             model_prefix: "linfit".to_string(),
             model_keep: 4,
@@ -154,6 +169,27 @@ impl ServeConfig {
             seen.push(qualified.clone());
             match qualified.as_str() {
                 "server.listen" => cfg.listen = parse_string(value, line_no)?,
+                "server.workers" => {
+                    cfg.workers = parse_usize(value, line_no)?;
+                    if cfg.workers == 0 {
+                        return Err(bad(line_no, "server.workers must be at least 1"));
+                    }
+                }
+                "server.max_requests_per_conn" => {
+                    cfg.max_requests_per_conn = parse_usize(value, line_no)?;
+                    if cfg.max_requests_per_conn == 0 {
+                        return Err(bad(
+                            line_no,
+                            "server.max_requests_per_conn must be at least 1",
+                        ));
+                    }
+                }
+                "server.idle_ms" => {
+                    cfg.idle_ms = parse_u64(value, line_no)?;
+                    if cfg.idle_ms == 0 {
+                        return Err(bad(line_no, "server.idle_ms must be at least 1"));
+                    }
+                }
                 "model.dir" => cfg.model_dir = PathBuf::from(parse_string(value, line_no)?),
                 "model.prefix" => cfg.model_prefix = parse_string(value, line_no)?,
                 "model.keep" => cfg.model_keep = parse_usize(value, line_no)?.max(1),
@@ -213,6 +249,9 @@ mod tests {
             # serving config
             [server]
             listen = "0.0.0.0:7777"   # public
+            workers = 8
+            max_requests_per_conn = 5000
+            idle_ms = 250
 
             [model]
             dir = "/var/lib/gmreg/ckpts"
@@ -228,6 +267,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cfg.listen, "0.0.0.0:7777");
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.max_requests_per_conn, 5000);
+        assert_eq!(cfg.idle_ms, 250);
         assert_eq!(cfg.model_dir, PathBuf::from("/var/lib/gmreg/ckpts"));
         assert_eq!(cfg.model_keep, 8);
         assert_eq!(cfg.batch.max_size, 64);
@@ -255,6 +297,8 @@ mod tests {
         assert!(ServeConfig::parse("[model]\nkeep = \"two\"\n").is_err());
         assert!(ServeConfig::parse("[server]\nlisten = 9900\n").is_err());
         assert!(ServeConfig::parse("[batch]\nmax_size = 0\n").is_err());
+        assert!(ServeConfig::parse("[server]\nworkers = 0\n").is_err());
+        assert!(ServeConfig::parse("[server]\nidle_ms = 0\n").is_err());
         assert!(ServeConfig::parse("listen = \"x\"\n").is_err());
     }
 

@@ -3,82 +3,107 @@
 //! `/metrics` and `/status` endpoints, so one port serves both inference
 //! traffic and observability scrapes.
 //!
-//! * `POST /predict` — body `{"inputs": [[f32, ...], ...]}`; each row is
-//!   submitted to the [`Batcher`] (rows from one request still coalesce
-//!   with rows from concurrent requests). Reply:
+//! * `POST /predict` — body `{"inputs": [[f32, ...], ...]}`; the rows are
+//!   parsed straight into pooled buffers ([`crate::wire`]) and submitted
+//!   to the [`Batcher`] as one multi-row request (rows from one request
+//!   still coalesce with rows from concurrent requests). Reply:
 //!   `{"generation": N, "predictions": [p, ...]}`. Predictions are
 //!   rendered with Rust's shortest-round-trip float formatting, so the
 //!   wire value parses back to exactly the bits the model produced.
 //! * `GET /healthz` — `200 {"status": "ok", ...}` when a model generation
 //!   is published, `503` when the registry is empty.
 //! * `POST /reload` — synchronous hot-swap attempt; reports the outcome.
+//!
+//! Handlers render into the connection's reused [`HttpResponse`] buffer
+//! (no per-request `String`), and `/predict` keeps per-thread scratch for
+//! rows and results — the steady-state request path does not allocate in
+//! this layer.
 
-use crate::batch::Batcher;
+use crate::batch::{Batcher, Prediction};
 use crate::registry::{ModelRegistry, ReloadOutcome};
+use crate::wire;
+use crate::ServeError;
 use gmreg_obs::{HttpRequest, HttpResponse, Router};
-use serde::Deserialize;
+use std::cell::RefCell;
+use std::fmt::Write as _;
 use std::sync::Arc;
-
-#[derive(Deserialize)]
-struct PredictRequest {
-    inputs: Vec<Vec<f32>>,
-}
 
 /// Largest number of rows one request may carry; protects the queue bound
 /// from a single caller smuggling in an effectively unbounded batch.
 pub const MAX_ROWS_PER_REQUEST: usize = 4096;
 
-fn predict(batcher: &Batcher, req: &HttpRequest) -> HttpResponse {
-    let body = match std::str::from_utf8(&req.body) {
-        Ok(s) => s,
-        Err(_) => return HttpResponse::error("400 Bad Request", "body is not UTF-8"),
-    };
-    let parsed: PredictRequest = match serde_json::from_str(body) {
-        Ok(p) => p,
-        Err(e) => {
-            return HttpResponse::error("400 Bad Request", &format!("malformed request: {e}"))
-        }
-    };
-    if parsed.inputs.is_empty() {
-        return HttpResponse::error("400 Bad Request", "inputs is empty");
-    }
-    if parsed.inputs.len() > MAX_ROWS_PER_REQUEST {
-        return HttpResponse::error(
-            "400 Bad Request",
-            &format!("at most {MAX_ROWS_PER_REQUEST} rows per request"),
-        );
-    }
-
-    let mut generation = None;
-    let mut predictions = Vec::with_capacity(parsed.inputs.len());
-    for row in parsed.inputs {
-        match batcher.submit(row) {
-            Ok((generation_served, p)) => {
-                generation = Some(generation_served);
-                predictions.push(p);
-            }
-            Err(e) => return error_response(&e),
-        }
-    }
-
-    let mut out = String::with_capacity(32 + predictions.len() * 20);
-    out.push_str(&format!(
-        "{{\"generation\": {}, \"predictions\": [",
-        generation.expect("non-empty inputs produced at least one prediction")
-    ));
-    for (i, p) in predictions.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        // `{}` on f64 is shortest round-trip: the client re-parses to the
-        // identical bits, which the bit-identity test suite relies on.
-        out.push_str(&format!("{p}"));
-    }
-    out.push_str("]}\n");
-    HttpResponse::json(out)
+/// Per-thread `/predict` scratch: each connection worker reuses its own
+/// row container and result vector across requests.
+struct PredictScratch {
+    rows: Vec<Vec<f32>>,
+    results: Vec<Result<Prediction, ServeError>>,
 }
 
-fn error_response(e: &crate::ServeError) -> HttpResponse {
+thread_local! {
+    static SCRATCH: RefCell<PredictScratch> = const {
+        RefCell::new(PredictScratch {
+            rows: Vec::new(),
+            results: Vec::new(),
+        })
+    };
+}
+
+fn predict(batcher: &Batcher, req: &HttpRequest, resp: &mut HttpResponse) {
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        if let Err(e) = wire::parse_predict(&req.body, &mut scratch.rows, || batcher.take_row()) {
+            batcher.recycle_rows(&mut scratch.rows);
+            resp.set_error("400 Bad Request", &format!("malformed request: {e}"));
+            return;
+        }
+        if scratch.rows.is_empty() {
+            resp.set_error("400 Bad Request", "inputs is empty");
+            return;
+        }
+        if scratch.rows.len() > MAX_ROWS_PER_REQUEST {
+            batcher.recycle_rows(&mut scratch.rows);
+            resp.set_error(
+                "400 Bad Request",
+                &format!("at most {MAX_ROWS_PER_REQUEST} rows per request"),
+            );
+            return;
+        }
+
+        batcher.submit_all(&mut scratch.rows, &mut scratch.results);
+
+        let mut generation = 0;
+        for result in &scratch.results {
+            match result {
+                Ok((generation_served, _)) => generation = *generation_served,
+                Err(e) => {
+                    error_response_into(e, resp);
+                    return;
+                }
+            }
+        }
+
+        let body = resp.start_json();
+        let _ = write!(body, "{{\"generation\": {generation}, \"predictions\": [");
+        for (i, result) in scratch.results.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            let p = result.as_ref().expect("errors returned above").1;
+            // `{}` on f64 is shortest round-trip: the client re-parses to
+            // the identical bits, which the bit-identity test suite relies
+            // on.
+            let _ = write!(body, "{p}");
+        }
+        body.push_str("]}\n");
+    });
+}
+
+/// Map a batching error onto its HTTP status and render it into `resp`.
+/// Overload shedding (`QueueFull`) and deadline expiry both carry a
+/// `Retry-After` back-off hint with their 503 — the queue is (or just was)
+/// congested, so the client should ease off rather than hammer a
+/// saturated batcher.
+fn error_response_into(e: &ServeError, resp: &mut HttpResponse) {
     use crate::ServeError::*;
     let status = match e {
         NoModel => "503 Service Unavailable",
@@ -89,62 +114,134 @@ fn error_response(e: &crate::ServeError) -> HttpResponse {
         Config { .. } => "400 Bad Request",
         Checkpoint(_) | BatchFailed(_) => "500 Internal Server Error",
     };
-    let resp = HttpResponse::error(status, &e.to_string());
-    // An expired deadline means the queue is (or just was) congested; hand
-    // the client an explicit back-off instead of letting it hammer a
-    // saturated batcher.
-    match e {
-        DeadlineExpired { .. } | QueueFull => resp.with_retry_after(1),
-        _ => resp,
+    resp.set_error(status, &e.to_string());
+    if matches!(e, DeadlineExpired { .. } | QueueFull) {
+        resp.set_retry_after(1);
     }
 }
 
-fn healthz(registry: &ModelRegistry) -> HttpResponse {
+fn healthz(registry: &ModelRegistry, resp: &mut HttpResponse) {
     match registry.generation() {
-        Some(generation) => HttpResponse::json(format!(
-            "{{\"status\": \"ok\", \"generation\": {generation}}}\n"
-        )),
-        None => HttpResponse {
-            status: "503 Service Unavailable",
-            content_type: "application/json",
-            body: "{\"status\": \"unavailable\", \"generation\": null}\n".to_string(),
-            retry_after_secs: None,
-        },
+        Some(generation) => {
+            let body = resp.start_json();
+            let _ = write!(body, "{{\"status\": \"ok\", \"generation\": {generation}}}");
+            body.push('\n');
+        }
+        None => {
+            let body = resp.start("503 Service Unavailable", "application/json");
+            body.push_str("{\"status\": \"unavailable\", \"generation\": null}\n");
+        }
     }
 }
 
-fn reload(registry: &ModelRegistry) -> HttpResponse {
+fn reload(registry: &ModelRegistry, resp: &mut HttpResponse) {
     match registry.reload() {
-        Ok(ReloadOutcome::Swapped(generation)) => HttpResponse::json(format!(
-            "{{\"outcome\": \"swapped\", \"generation\": {generation}}}\n"
-        )),
-        Ok(ReloadOutcome::Unchanged(generation)) => HttpResponse::json(format!(
-            "{{\"outcome\": \"unchanged\", \"generation\": {generation}}}\n"
-        )),
-        Ok(ReloadOutcome::Empty) => HttpResponse::error(
+        Ok(ReloadOutcome::Swapped(generation)) => {
+            let body = resp.start_json();
+            let _ = write!(
+                body,
+                "{{\"outcome\": \"swapped\", \"generation\": {generation}}}"
+            );
+            body.push('\n');
+        }
+        Ok(ReloadOutcome::Unchanged(generation)) => {
+            let body = resp.start_json();
+            let _ = write!(
+                body,
+                "{{\"outcome\": \"unchanged\", \"generation\": {generation}}}"
+            );
+            body.push('\n');
+        }
+        Ok(ReloadOutcome::Empty) => resp.set_error(
             "503 Service Unavailable",
             "no loadable checkpoint generation found",
         ),
-        Err(e) => error_response(&e),
+        Err(e) => error_response_into(&e, resp),
     }
 }
 
 /// Build the serving [`Router`]: `/predict`, `/healthz`, `/reload` over the
 /// built-ins, in threaded mode (a `/predict` handler blocks on its
 /// micro-batch, so connections must not serialize on the accept thread —
-/// concurrent requests are exactly what the batcher coalesces).
+/// concurrent requests are exactly what the batcher coalesces). Connection
+/// pool knobs keep the [`Router`] defaults; the daemon passes its
+/// `[server]` config through [`serving_router_with`].
 pub fn serving_router(registry: Arc<ModelRegistry>, batcher: Arc<Batcher>) -> Router {
     let health_registry = Arc::clone(&registry);
     let reload_registry = Arc::clone(&registry);
     Router::new()
-        .route("POST", "/predict", move |req: &HttpRequest| {
-            predict(&batcher, req)
-        })
-        .route("GET", "/healthz", move |_req: &HttpRequest| {
-            healthz(&health_registry)
-        })
-        .route("POST", "/reload", move |_req: &HttpRequest| {
-            reload(&reload_registry)
-        })
+        .route(
+            "POST",
+            "/predict",
+            move |req: &HttpRequest, resp: &mut HttpResponse| predict(&batcher, req, resp),
+        )
+        .route(
+            "GET",
+            "/healthz",
+            move |_req: &HttpRequest, resp: &mut HttpResponse| healthz(&health_registry, resp),
+        )
+        .route(
+            "POST",
+            "/reload",
+            move |_req: &HttpRequest, resp: &mut HttpResponse| reload(&reload_registry, resp),
+        )
         .threaded(true)
+}
+
+/// [`serving_router`] with the daemon's `[server]` connection knobs:
+/// worker-pool width, per-connection request cap, and keep-alive idle
+/// timeout.
+pub fn serving_router_with(
+    registry: Arc<ModelRegistry>,
+    batcher: Arc<Batcher>,
+    workers: usize,
+    max_requests_per_conn: usize,
+    idle_ms: u64,
+) -> Router {
+    serving_router(registry, batcher)
+        .workers(workers)
+        .max_requests_per_conn(max_requests_per_conn)
+        .idle_timeout_ms(idle_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_503_carries_retry_after() {
+        let mut resp = HttpResponse::default();
+        error_response_into(&ServeError::QueueFull, &mut resp);
+        assert_eq!(resp.status, "503 Service Unavailable");
+        assert_eq!(resp.retry_after_secs, Some(1));
+        assert!(resp.body.contains("queue"), "{}", resp.body);
+    }
+
+    #[test]
+    fn deadline_expired_503_carries_retry_after() {
+        let mut resp = HttpResponse::default();
+        error_response_into(&ServeError::DeadlineExpired { waited_ms: 75 }, &mut resp);
+        assert_eq!(resp.status, "503 Service Unavailable");
+        assert_eq!(resp.retry_after_secs, Some(1));
+        assert!(resp.body.contains("75"), "{}", resp.body);
+    }
+
+    #[test]
+    fn other_errors_do_not_back_off() {
+        // The 503s that are NOT congestion (no model yet, shutting down)
+        // and the caller-fault 4xx/5xx must not advertise a retry delay.
+        for e in [
+            ServeError::NoModel,
+            ServeError::ShuttingDown,
+            ServeError::DimensionMismatch {
+                expected: 8,
+                actual: 2,
+            },
+            ServeError::BatchFailed("boom".to_string()),
+        ] {
+            let mut resp = HttpResponse::default();
+            error_response_into(&e, &mut resp);
+            assert_eq!(resp.retry_after_secs, None, "{e}");
+        }
+    }
 }

@@ -42,6 +42,7 @@ pub mod model;
 pub mod registry;
 pub mod signal;
 mod tele;
+pub mod wire;
 
 #[cfg(feature = "http")]
 pub mod http;

@@ -79,10 +79,29 @@ impl ServedModel {
     /// one thread per row); single rows stay serial — the pool's fixed
     /// per-row arithmetic keeps both paths bit-identical.
     pub fn forward(&self, rows: &[Vec<f32>]) -> Result<Vec<f64>, ServeError> {
+        let mut flat = Vec::new();
+        let mut out = Vec::new();
+        self.forward_into(rows, &mut flat, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ServedModel::forward`] into caller-owned scratch: `flat` is the
+    /// reusable `[rows × d]` staging buffer (its backing allocation rides
+    /// through the tensor and is recovered afterwards), `out` receives one
+    /// probability per row. The batcher calls this every batch with the
+    /// same two buffers, so steady-state inference reallocates neither.
+    pub fn forward_into(
+        &self,
+        rows: &[Vec<f32>],
+        flat: &mut Vec<f32>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ServeError> {
+        out.clear();
         if rows.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut flat = Vec::with_capacity(rows.len() * self.dim);
+        flat.clear();
+        flat.reserve(rows.len() * self.dim);
         for row in rows {
             if row.len() != self.dim {
                 return Err(ServeError::DimensionMismatch {
@@ -92,7 +111,7 @@ impl ServedModel {
             }
             flat.extend_from_slice(row);
         }
-        let x = Tensor::from_vec(flat, [rows.len(), self.dim])
+        let x = Tensor::from_vec(std::mem::take(flat), [rows.len(), self.dim])
             .map_err(|e| ServeError::BatchFailed(format!("input tensor: {e}")))?;
 
         // Small batches never clear the auto-parallel FLOP threshold, so
@@ -108,10 +127,14 @@ impl ServedModel {
             .matmul_serial(&self.w)
             .map_err(|e| ServeError::BatchFailed(format!("matmul: {e}")))?;
 
-        Ok(z.as_slice()
-            .iter()
-            .map(|&zi| sigmoid(zi as f64 + self.bias))
-            .collect())
+        out.extend(
+            z.as_slice()
+                .iter()
+                .map(|&zi| sigmoid(zi as f64 + self.bias)),
+        );
+        // Hand the staging allocation back for the next batch.
+        *flat = x.into_vec();
+        Ok(())
     }
 }
 

@@ -1,0 +1,346 @@
+//! Hand-rolled `/predict` request parser.
+//!
+//! The predict hot path parses `{"inputs": [[f32, ...], ...]}` straight
+//! off the request bytes into row buffers drawn from the batcher's row
+//! pool — no DOM, no intermediate `Vec<Vec<f32>>` allocation per request,
+//! matching the repo's other hand-rolled readers (`serve.toml`,
+//! `bench_diff`'s report walker). Numbers go through `str::parse::<f32>`,
+//! the exact inverse of the `{}` shortest-round-trip formatting the
+//! response renderer and the test clients use, so wire values re-parse to
+//! identical bits.
+//!
+//! Unknown top-level keys are skipped (any valid JSON value), mirroring
+//! serde's default lenient-object behavior the endpoint previously had;
+//! anything structurally malformed is a position-stamped error the HTTP
+//! layer maps to a 400.
+
+/// Parser over the raw body bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// A structural parse failure: byte offset plus what was expected.
+#[derive(Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset into the request body where parsing stopped.
+    pub pos: usize,
+    /// What the parser was looking for at that position.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.pos)
+    }
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn err(&self, expected: &'static str) -> WireError {
+        WireError {
+            pos: self.pos,
+            expected,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, expected: &'static str) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    /// Consume a JSON string, returning the raw bytes between the quotes.
+    /// Escapes are tolerated (skipped) but not unescaped — the only
+    /// strings the endpoint compares against are plain ASCII key names.
+    fn string(&mut self) -> Result<&'a [u8], WireError> {
+        self.eat(b'"', "string")?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let s = &self.bytes[start..self.pos];
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => self.pos += 2,
+                Some(_) => self.pos += 1,
+                None => return Err(self.err("closing '\"'")),
+            }
+        }
+    }
+
+    fn number_f32(&mut self) -> Result<f32, WireError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f32>().ok())
+            .ok_or(WireError {
+                pos: start,
+                expected: "number",
+            })
+    }
+
+    /// Skip any one JSON value (for unknown keys).
+    fn skip_value(&mut self) -> Result<(), WireError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b'{') => self.skip_delimited(b'{', b'}'),
+            Some(b'[') => self.skip_delimited(b'[', b']'),
+            Some(b) if b.is_ascii_digit() || b == b'-' => {
+                self.number_f32()?;
+                Ok(())
+            }
+            Some(b't') => self.keyword(b"true"),
+            Some(b'f') => self.keyword(b"false"),
+            Some(b'n') => self.keyword(b"null"),
+            _ => Err(self.err("value")),
+        }
+    }
+
+    fn keyword(&mut self, word: &'static [u8]) -> Result<(), WireError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err("keyword"))
+        }
+    }
+
+    fn skip_delimited(&mut self, open: u8, close: u8) -> Result<(), WireError> {
+        self.eat(open, "container")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                Some(b'"') => {
+                    self.string()?;
+                    continue;
+                }
+                Some(b) if b == open => depth += 1,
+                Some(b) if b == close => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err("closing delimiter")),
+            }
+            self.pos += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Parse a `/predict` body into `rows`. Row buffers are drawn from
+/// `take_row` (the batcher's recycle pool) so a steady request stream
+/// reuses the same allocations; on error the partially-filled rows stay in
+/// `rows` for the caller to recycle.
+pub fn parse_predict(
+    body: &[u8],
+    rows: &mut Vec<Vec<f32>>,
+    mut take_row: impl FnMut() -> Vec<f32>,
+) -> Result<(), WireError> {
+    rows.clear();
+    let mut c = Cursor::new(body);
+    c.skip_ws();
+    c.eat(b'{', "'{'")?;
+    let mut saw_inputs = false;
+    loop {
+        c.skip_ws();
+        if c.peek() == Some(b'}') {
+            c.pos += 1;
+            break;
+        }
+        let key = c.string()?;
+        c.skip_ws();
+        c.eat(b':', "':'")?;
+        if key == b"inputs" {
+            saw_inputs = true;
+            parse_rows(&mut c, rows, &mut take_row)?;
+        } else {
+            c.skip_value()?;
+        }
+        c.skip_ws();
+        match c.peek() {
+            Some(b',') => c.pos += 1,
+            Some(b'}') => {
+                c.pos += 1;
+                break;
+            }
+            _ => return Err(c.err("',' or '}'")),
+        }
+    }
+    if !saw_inputs {
+        return Err(WireError {
+            pos: c.pos,
+            expected: "\"inputs\" key",
+        });
+    }
+    c.skip_ws();
+    if c.pos != body.len() {
+        return Err(c.err("end of body"));
+    }
+    Ok(())
+}
+
+fn parse_rows(
+    c: &mut Cursor<'_>,
+    rows: &mut Vec<Vec<f32>>,
+    take_row: &mut impl FnMut() -> Vec<f32>,
+) -> Result<(), WireError> {
+    c.skip_ws();
+    c.eat(b'[', "array of rows")?;
+    c.skip_ws();
+    if c.peek() == Some(b']') {
+        c.pos += 1;
+        return Ok(());
+    }
+    loop {
+        let mut row = take_row();
+        row.clear();
+        parse_row(c, &mut row)?;
+        rows.push(row);
+        c.skip_ws();
+        match c.peek() {
+            Some(b',') => c.pos += 1,
+            Some(b']') => {
+                c.pos += 1;
+                return Ok(());
+            }
+            _ => return Err(c.err("',' or ']'")),
+        }
+    }
+}
+
+fn parse_row(c: &mut Cursor<'_>, row: &mut Vec<f32>) -> Result<(), WireError> {
+    c.skip_ws();
+    c.eat(b'[', "row array")?;
+    c.skip_ws();
+    if c.peek() == Some(b']') {
+        c.pos += 1;
+        return Ok(());
+    }
+    loop {
+        c.skip_ws();
+        row.push(c.number_f32()?);
+        c.skip_ws();
+        match c.peek() {
+            Some(b',') => c.pos += 1,
+            Some(b']') => {
+                c.pos += 1;
+                return Ok(());
+            }
+            _ => return Err(c.err("',' or ']'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<Vec<Vec<f32>>, WireError> {
+        let mut rows = Vec::new();
+        parse_predict(body.as_bytes(), &mut rows, Vec::new)?;
+        Ok(rows)
+    }
+
+    #[test]
+    fn parses_plain_and_spaced_bodies() {
+        assert_eq!(
+            parse("{\"inputs\": [[1, 2.5], [-0.25, 3e-2]]}").unwrap(),
+            vec![vec![1.0, 2.5], vec![-0.25, 0.03]]
+        );
+        assert_eq!(
+            parse(" { \"inputs\" : [ [ 1.0 ] ] } ").unwrap(),
+            vec![vec![1.0]]
+        );
+        assert_eq!(parse("{\"inputs\": []}").unwrap(), Vec::<Vec<f32>>::new());
+        assert_eq!(
+            parse("{\"inputs\": [[]]}").unwrap(),
+            vec![Vec::<f32>::new()]
+        );
+    }
+
+    #[test]
+    fn round_trips_shortest_float_formatting_bitwise() {
+        let values: Vec<f32> = vec![0.1, -3.4028235e38, 1.1754944e-38, 123456.78, -0.0];
+        let body = format!(
+            "{{\"inputs\": [[{}]]}}",
+            values
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let parsed = parse(&body).unwrap();
+        for (a, b) in values.iter().zip(&parsed[0]) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} reparsed as {b}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped() {
+        let rows = parse(
+            "{\"version\": 2, \"tag\": \"a[b{c\", \"meta\": {\"x\": [1, {}]}, \"inputs\": [[1]], \"after\": null}",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_with_position() {
+        assert!(parse("").is_err());
+        assert!(parse("{}").is_err(), "missing inputs key");
+        assert!(parse("{\"inputs\": \"nope\"}").is_err());
+        assert!(parse("{\"inputs\": [[1,]]}").is_err());
+        assert!(parse("{\"inputs\": [[1] [2]]}").is_err());
+        assert!(parse("{\"inputs\": [[NaN]]}").is_err(), "no NaN literals");
+        assert!(parse("{\"inputs\": [[1]]} trailing").is_err());
+        let err = parse("{\"inputs\": [[1, oops]]}").unwrap_err();
+        assert_eq!(err.expected, "number");
+        assert!(err.to_string().contains("byte 16"), "{err}");
+    }
+
+    #[test]
+    fn rows_come_from_the_supplied_pool() {
+        let mut pool = vec![Vec::with_capacity(64), Vec::with_capacity(64)];
+        let mut rows = Vec::new();
+        parse_predict("{\"inputs\": [[1, 2], [3]]}".as_bytes(), &mut rows, || {
+            pool.pop().unwrap_or_default()
+        })
+        .unwrap();
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0]]);
+        assert!(
+            rows.iter().any(|r| r.capacity() >= 64),
+            "pooled buffer used"
+        );
+        assert_eq!(pool.len(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Keep-alive wire fidelity: persistent connections must change *when*
+//! bytes move, never *which* bytes move.
+//!
+//! Boots the full serving stack (registry, micro-batcher, pooled
+//! connection workers) on an ephemeral port against a real `fit_durable`
+//! checkpoint and drives it over raw TCP:
+//!
+//! 1. N sequential `/predict` requests down ONE connection produce
+//!    byte-identical bodies to the same N requests over N fresh
+//!    connections;
+//! 2. `/predict`, `/healthz`, and `/metrics` interleave on one connection
+//!    without disturbing each other's framing;
+//! 3. `Connection: close` and HTTP/1.0 requests still end the connection;
+//! 4. the per-connection request cap closes the socket after the
+//!    configured number of responses;
+//! 5. a half-written request (slowloris) wedging one worker does not
+//!    block other clients, and more simultaneous connections than pool
+//!    workers all get served.
+
+#![cfg(all(feature = "serve", feature = "telemetry"))]
+
+use gmreg_linear::{blobs, DurableFitConfig, LogisticRegression, LrConfig};
+use gmreg_serve::{BatchConfig, Batcher, ModelRegistry, ReloadOutcome};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Write one request on an already-open connection. An empty `extra` sends
+/// a plain HTTP/1.1 request (persistent by default).
+fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str, extra: &str) {
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: x\r\n{extra}Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("request write");
+}
+
+/// Read one `Content-Length`-framed response; leftover bytes stay in
+/// `carry` for the next response on the same connection.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (String, String) {
+    let mut scratch = [0u8; 16 * 1024];
+    let head_end = loop {
+        if let Some(i) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        let n = stream.read(&mut scratch).expect("response read");
+        assert!(n > 0, "connection closed before a full response head");
+        carry.extend_from_slice(&scratch[..n]);
+    };
+    let head = String::from_utf8(carry[..head_end].to_vec()).expect("utf8 head");
+    let content_length: usize = head
+        .split("\r\n")
+        .find_map(|line| line.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .expect("numeric Content-Length");
+    let total = head_end + 4 + content_length;
+    while carry.len() < total {
+        let n = stream.read(&mut scratch).expect("body read");
+        assert!(n > 0, "connection closed mid-body");
+        carry.extend_from_slice(&scratch[..n]);
+    }
+    let body = String::from_utf8(carry[head_end + 4..total].to_vec()).expect("utf8 body");
+    carry.drain(..total);
+    (head, body)
+}
+
+/// One fresh-connection request: dial, send with `Connection: close`, read
+/// to EOF. The baseline exchange every keep-alive response is compared to.
+fn fresh(addr: SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    send_request(&mut stream, method, path, body, "Connection: close\r\n");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+    (head.to_string(), body.to_string())
+}
+
+/// Reads until EOF, asserting the server actually closed the connection
+/// within the read timeout.
+fn assert_closed(stream: &mut TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("drain to EOF");
+}
+
+fn predict_body(rows: &[Vec<f32>]) -> String {
+    let mut out = String::from("{\"inputs\": [");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{v}"));
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn demo_rows(dim: usize, n: usize, salt: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|r| {
+            (0..dim)
+                .map(|c| ((r * 31 + c * 7 + salt * 13) % 23) as f32 * 0.125 - 1.5)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn keep_alive_wire_fidelity() {
+    gmreg_telemetry::set_enabled(true);
+    let dir = std::env::temp_dir().join(format!("gmreg-serve-ka-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Train a real checkpoint and boot the stack on it.
+    let dim = 8usize;
+    let lr_cfg = LrConfig {
+        epochs: 3,
+        ..LrConfig::default()
+    };
+    let ds = blobs(120, dim, 1.5, 11).expect("generator");
+    let mut lr = LogisticRegression::new(dim, lr_cfg).expect("config");
+    lr.fit_durable(&ds, &dir, &DurableFitConfig::default())
+        .expect("training");
+
+    let registry = Arc::new(ModelRegistry::new(&dir, "linfit", 4).expect("registry"));
+    assert!(matches!(
+        registry.reload().expect("reload"),
+        ReloadOutcome::Swapped(_)
+    ));
+    let batcher = Arc::new(Batcher::new(Arc::clone(&registry), BatchConfig::default()));
+    // 2 pool workers, generous request cap, short idle so queued
+    // connections rotate quickly in the over-subscription check.
+    let router = gmreg_serve::http::serving_router_with(
+        Arc::clone(&registry),
+        Arc::clone(&batcher),
+        2,
+        1000,
+        300,
+    );
+    let server = gmreg_obs::ObsServer::bind_with("127.0.0.1:0", router).expect("ephemeral port");
+    let addr = server.local_addr();
+
+    // 1. N sequential keep-alive requests == N fresh-connection requests,
+    //    byte for byte on the payload.
+    let n = 8;
+    let bodies: Vec<String> = (0..n)
+        .map(|i| predict_body(&demo_rows(dim, 3, i)))
+        .collect();
+    let fresh_bodies: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let (head, body) = fresh(addr, "POST", "/predict", b);
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert!(head.contains("Connection: close"), "{head}");
+            body
+        })
+        .collect();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut carry = Vec::new();
+    for (b, expected) in bodies.iter().zip(&fresh_bodies) {
+        send_request(&mut stream, "POST", "/predict", b, "");
+        let (head, body) = read_response(&mut stream, &mut carry);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert_eq!(
+            body.as_bytes(),
+            expected.as_bytes(),
+            "keep-alive response diverged from fresh-connection response"
+        );
+    }
+
+    // 2. Interleaved routes on the same still-open connection.
+    send_request(&mut stream, "GET", "/healthz", "", "");
+    let (head, healthz) = read_response(&mut stream, &mut carry);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(healthz.contains("\"status\": \"ok\""), "{healthz}");
+    let (_, fresh_healthz) = fresh(addr, "GET", "/healthz", "");
+    assert_eq!(healthz, fresh_healthz, "healthz payload diverged");
+
+    send_request(&mut stream, "GET", "/metrics", "", "");
+    let (head, metrics) = read_response(&mut stream, &mut carry);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(metrics.contains("gmreg_serve_requests"), "{metrics}");
+
+    send_request(&mut stream, "POST", "/predict", &bodies[0], "");
+    let (head, body) = read_response(&mut stream, &mut carry);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, fresh_bodies[0], "predict after interleaving diverged");
+
+    // 3. Connection: close is honored mid-stream...
+    send_request(
+        &mut stream,
+        "POST",
+        "/predict",
+        &bodies[1],
+        "Connection: close\r\n",
+    );
+    let (head, body) = read_response(&mut stream, &mut carry);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("Connection: close"), "{head}");
+    assert_eq!(body, fresh_bodies[1]);
+    assert_closed(&mut stream);
+
+    // ...and an HTTP/1.0 request defaults to close.
+    let mut http10 = TcpStream::connect(addr).expect("connect");
+    http10
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+        .expect("request");
+    let mut response = String::new();
+    http10.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
+
+    // 4. The per-connection request cap closes the socket. A second
+    //    router on the same registry/batcher, capped at 2 requests.
+    let capped_router = gmreg_serve::http::serving_router_with(
+        Arc::clone(&registry),
+        Arc::clone(&batcher),
+        1,
+        2,
+        300,
+    );
+    let capped =
+        gmreg_obs::ObsServer::bind_with("127.0.0.1:0", capped_router).expect("ephemeral port");
+    let mut stream = TcpStream::connect(capped.local_addr()).expect("connect");
+    let mut carry = Vec::new();
+    send_request(&mut stream, "GET", "/healthz", "", "");
+    let (head, _) = read_response(&mut stream, &mut carry);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    send_request(&mut stream, "GET", "/healthz", "", "");
+    let (head, _) = read_response(&mut stream, &mut carry);
+    assert!(head.contains("Connection: close"), "capped: {head}");
+    assert_closed(&mut stream);
+    drop(capped);
+
+    // 5a. A wedged half-written request does not block other clients.
+    let mut slow = TcpStream::connect(addr).expect("connect");
+    slow.write_all(b"POST /predict HTTP/1.1\r\nHost:")
+        .expect("partial write");
+    let started = std::time::Instant::now();
+    let (head, body) = fresh(addr, "POST", "/predict", &bodies[2]);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, fresh_bodies[2]);
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "full request waited on the slowloris connection: {:?}",
+        started.elapsed()
+    );
+    assert_closed(&mut slow); // the read deadline reaps it
+
+    // 5b. More simultaneous connections than pool workers all get served:
+    //     4 idle keep-alive connections against 2 workers. The queued ones
+    //     are picked up once the short idle timeout rotates the first two.
+    let mut conns: Vec<(TcpStream, Vec<u8>)> = (0..4)
+        .map(|_| (TcpStream::connect(addr).expect("connect"), Vec::new()))
+        .collect();
+    for (i, (stream, carry)) in conns.iter_mut().enumerate() {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let body = &bodies[i % bodies.len()];
+        send_request(stream, "POST", "/predict", body, "");
+        let (head, got) = read_response(stream, carry);
+        assert!(head.starts_with("HTTP/1.1 200"), "conn {i}: {head}");
+        assert_eq!(got, fresh_bodies[i % fresh_bodies.len()], "conn {i}");
+    }
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
