@@ -62,7 +62,11 @@ const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_millis(500);
 /// follow within this long or the connection is closed.
 const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(2);
 
-/// Default pooled connection-worker count.
+/// Default pooled connection-worker count. Each worker is pinned to one
+/// connection (including its keep-alive idle time), so this bounds
+/// concurrent in-flight requests — callers whose handlers coalesce work
+/// across connections (e.g. `gmreg-serve`'s micro-batcher) should size
+/// the pool to their target concurrency via [`Router::workers`].
 const DEFAULT_WORKERS: usize = 4;
 
 /// Default cap on requests served over one keep-alive connection.
@@ -88,6 +92,11 @@ pub struct HttpRequest {
     /// Declared `Content-Length` exceeded [`MAX_BODY`]; the body was not
     /// read and the connection must close after the 413.
     too_large: bool,
+    /// The request declared `Transfer-Encoding` (e.g. chunked), which this
+    /// server does not frame; the body was not read and the connection
+    /// must close after the 501 — treating chunk data as the next
+    /// pipelined request would serve garbage.
+    unsupported_encoding: bool,
     /// The request (version + `Connection` header) asks for the connection
     /// to close after the response.
     wants_close: bool,
@@ -101,6 +110,7 @@ impl HttpRequest {
             path: path.into(),
             body,
             too_large: false,
+            unsupported_encoding: false,
             wants_close: false,
         }
     }
@@ -110,6 +120,7 @@ impl HttpRequest {
         self.path.clear();
         self.body.clear();
         self.too_large = false;
+        self.unsupported_encoding = false;
         self.wants_close = false;
     }
 }
@@ -313,6 +324,15 @@ impl Router {
     }
 
     /// Size of the connection-worker pool (pooled mode only; min 1).
+    ///
+    /// Each worker serves one connection at a time — for its whole
+    /// keep-alive lifetime, idle gaps included — so `n` is the hard bound
+    /// on concurrently-handled requests, and the accept loop stops
+    /// accepting beyond `2×n` pending connections. Size this to the
+    /// request concurrency the handlers want to see (e.g. the batch
+    /// `max_size` a `/predict` micro-batcher coalesces toward), not to
+    /// the CPU count: workers spend their time blocked on I/O or batch
+    /// replies, not computing.
     pub fn workers(mut self, n: usize) -> Router {
         self.workers = n.max(1);
         self
@@ -601,6 +621,7 @@ fn serve_connection(
         gmreg_telemetry::counter_inc("serve.conn.requests");
         let close = state.req.wants_close
             || state.req.too_large
+            || state.req.unsupported_encoding
             || served >= router.max_requests_per_conn
             || stop.load(Ordering::Acquire);
         respond(&mut stream, router, state, close)?;
@@ -621,6 +642,11 @@ fn respond(
         state
             .resp
             .set_error("413 Payload Too Large", "request body too large");
+    } else if state.req.unsupported_encoding {
+        state.resp.set_error(
+            "501 Not Implemented",
+            "Transfer-Encoding is not supported; send a Content-Length body",
+        );
     } else {
         router.dispatch(&state.req, &mut state.resp);
     }
@@ -712,8 +738,9 @@ fn read_request(
     };
 
     let content_length = parse_head(&buf[..head_end], req);
-    if req.too_large {
-        // The body is never read; the connection closes after the 413.
+    if req.too_large || req.unsupported_encoding {
+        // The body is never read; the connection closes after the
+        // 413/501, so the unread bytes can simply be discarded.
         buf.clear();
         return ReadOutcome::Request;
     }
@@ -793,6 +820,11 @@ fn parse_head(head: &[u8], req: &mut HttpRequest) -> usize {
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(0);
+        } else if key.eq_ignore_ascii_case(b"transfer-encoding") {
+            // Chunked (or any other) transfer coding is not implemented;
+            // without its framing the body bytes would be misread as the
+            // next pipelined request, so flag it for a 501 + close.
+            req.unsupported_encoding = true;
         } else if key.eq_ignore_ascii_case(b"connection") {
             if value.eq_ignore_ascii_case(b"close") {
                 connection_close = true;
@@ -1106,6 +1138,30 @@ mod tests {
     }
 
     #[test]
+    fn chunked_transfer_encoding_gets_501_and_close() {
+        let router = Router::new().threaded(true);
+        let server = ObsServer::bind_with("127.0.0.1:0", router).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A chunked body the server cannot frame: it must answer 501 and
+        // close rather than parse the chunk data as the next request.
+        stream
+            .write_all(
+                b"POST / HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n\
+                  5\r\nhello\r\n0\r\n\r\n",
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 501"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+        assert_eq!(
+            response.matches("HTTP/1.1").count(),
+            1,
+            "chunk bytes must not be served as another request: {response}"
+        );
+    }
+
+    #[test]
     fn error_responses_escape_json() {
         let resp = HttpResponse::error("400 Bad Request", "a \"quoted\"\nproblem");
         assert_eq!(resp.body, "{\"error\": \"a \\\"quoted\\\"\\nproblem\"}\n");
@@ -1137,5 +1193,12 @@ mod tests {
             &mut req,
         );
         assert!(req.too_large);
+
+        req.clear();
+        parse_head(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: Chunked\r\n",
+            &mut req,
+        );
+        assert!(req.unsupported_encoding, "TE detection is case-insensitive");
     }
 }

@@ -13,8 +13,11 @@
 //! The queue is split across [`NUM_SHARDS`] independently-locked FIFO
 //! shards with one atomic length counter, so concurrent connection workers
 //! enqueue without serializing on a single mutex. Capacity is reserved
-//! all-or-nothing on the atomic counter *before* touching any shard lock —
-//! a full queue rejects in one CAS. Rows are spread round-robin and the
+//! on the atomic counter *before* touching any shard lock — a full queue
+//! rejects in one CAS. A request larger than `queue_cap` is fed through in
+//! chunks of at most `queue_cap` rows (each chunk reserved atomically), so
+//! an oversized-but-legal request is served rather than permanently shed.
+//! Rows are spread round-robin and the
 //! dispatcher drains the shards round-robin, so each shard stays FIFO by
 //! enqueue time and per-request deadlines still expire from shard fronts.
 //! Because every prediction is bitwise independent of its batch-mates
@@ -49,9 +52,10 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Queue shards; a power of two so the round-robin cursor can mask.
-/// Sized for the connection-worker pool (default 4 workers): at most a
-/// handful of threads contend per shard even under a full house.
-const NUM_SHARDS: usize = 4;
+/// Sized for the connection-worker pool (which defaults to `max_size`
+/// workers, i.e. 32): a handful of threads contend per shard even under a
+/// full house.
+const NUM_SHARDS: usize = 8;
 
 /// Micro-batch cutoffs and queue bound (`[batch]` in `serve.toml`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +175,12 @@ impl Batcher {
         }
     }
 
+    /// The batching configuration this batcher runs under (e.g. so the
+    /// HTTP layer can size its connection-worker pool to `max_size`).
+    pub fn config(&self) -> BatchConfig {
+        self.shared.cfg
+    }
+
     /// A recycled row buffer (cleared), or a fresh one if the pool is dry.
     /// Request parsing fills these so spent batch rows cycle back into new
     /// requests instead of being reallocated.
@@ -205,9 +215,13 @@ impl Batcher {
 
     /// Enqueue every row of one request and block until all replies are in;
     /// `out[i]` is the result for `rows[i]`. Capacity is reserved
-    /// all-or-nothing: either every row is queued or the whole request is
-    /// shed with [`ServeError::QueueFull`]. Rows are consumed (moved into
-    /// the queue and later recycled through the row pool).
+    /// atomically per chunk of at most `queue_cap` rows: a request that
+    /// fits the queue is admitted or shed whole in one CAS, and a request
+    /// *larger* than `queue_cap` is served in sequential chunks instead of
+    /// being unservable. If a chunk cannot reserve, it and every row after
+    /// it are shed with [`ServeError::QueueFull`]. Rows are consumed
+    /// (moved into the queue and later recycled through the row pool; shed
+    /// rows are recycled immediately).
     pub fn submit_all(
         &self,
         rows: &mut Vec<Vec<f32>>,
@@ -219,73 +233,87 @@ impl Batcher {
             return;
         }
         let shared = &*self.shared;
-        if shared.shutdown.load(Ordering::Acquire) {
-            out.extend(rows.drain(..).map(|_| Err(ServeError::ShuttingDown)));
-            return;
-        }
         let started = Instant::now();
-
-        // All-or-nothing capacity reservation on the atomic length: no
-        // shard lock is touched unless the whole request fits.
-        let cap = shared.cfg.queue_cap;
-        let reserved = shared
-            .len
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
-                if cur + n > cap {
-                    None
-                } else {
-                    Some(cur + n)
-                }
-            })
-            .is_ok();
-        if !reserved {
-            tele::counter_add("serve.rejected", n as u64);
-            out.extend(rows.drain(..).map(|_| Err(ServeError::QueueFull)));
-            return;
-        }
-
-        let (reply_tx, reply_rx) = mpsc::sync_channel(n);
-        for (slot, row) in rows.drain(..).enumerate() {
-            let ticket = shared.cursor.fetch_add(1, Ordering::Relaxed);
-            shared
-                .shard_for(ticket)
-                .queue
-                .lock()
-                .expect("batch queue poisoned")
-                .push_back(Pending {
-                    slot,
-                    row,
-                    reply: reply_tx.clone(),
-                    enqueued: started,
-                });
-        }
-        drop(reply_tx);
-        // Pair the notify with the wake mutex so the dispatcher either
-        // sees the new length before sleeping or is woken from its wait.
-        drop(shared.wake.lock().expect("wake lock poisoned"));
-        shared.wake_cv.notify_one();
-
         // Pre-fill with ShuttingDown so a dispatcher death mid-request
         // leaves the unanswered slots with a sane error.
         for _ in 0..n {
             out.push(Err(ServeError::ShuttingDown));
         }
-        let mut received = 0;
-        while received < n {
-            match reply_rx.recv() {
-                Ok((slot, result)) => {
-                    out[slot] = result;
-                    received += 1;
-                }
-                // Dispatcher gone mid-request: remaining slots keep the
-                // ShuttingDown placeholder.
-                Err(_) => break,
+        let cap = shared.cfg.queue_cap.max(1);
+        let mut base = 0usize;
+        while base < n {
+            if shared.shutdown.load(Ordering::Acquire) {
+                // `out[base..]` already holds ShuttingDown placeholders.
+                self.recycle_rows(rows);
+                break;
             }
+            let chunk = (n - base).min(cap);
+            // Per-chunk capacity reservation on the atomic length: no
+            // shard lock is touched unless the whole chunk fits.
+            let reserved = shared
+                .len
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                    if cur + chunk > cap {
+                        None
+                    } else {
+                        Some(cur + chunk)
+                    }
+                })
+                .is_ok();
+            if !reserved {
+                tele::counter_add("serve.rejected", (n - base) as u64);
+                // Shed everything not yet submitted, returning the parsed
+                // row buffers to the pool — overload is exactly when fresh
+                // allocations hurt most.
+                self.recycle_rows(rows);
+                for slot in out[base..].iter_mut() {
+                    *slot = Err(ServeError::QueueFull);
+                }
+                break;
+            }
+
+            let (reply_tx, reply_rx) = mpsc::sync_channel(chunk);
+            let enqueued = Instant::now();
+            for (i, row) in rows.drain(..chunk).enumerate() {
+                let ticket = shared.cursor.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .shard_for(ticket)
+                    .queue
+                    .lock()
+                    .expect("batch queue poisoned")
+                    .push_back(Pending {
+                        slot: base + i,
+                        row,
+                        reply: reply_tx.clone(),
+                        enqueued,
+                    });
+            }
+            drop(reply_tx);
+            // Pair the notify with the wake mutex so the dispatcher either
+            // sees the new length before sleeping or is woken from its wait.
+            drop(shared.wake.lock().expect("wake lock poisoned"));
+            shared.wake_cv.notify_one();
+
+            let mut received = 0;
+            while received < chunk {
+                match reply_rx.recv() {
+                    Ok((slot, result)) => {
+                        out[slot] = result;
+                        received += 1;
+                    }
+                    // Dispatcher gone mid-request: remaining slots keep the
+                    // ShuttingDown placeholder.
+                    Err(_) => break,
+                }
+            }
+            base += chunk;
         }
-        let elapsed_ns = started.elapsed().as_nanos() as f64;
-        tele::counter_add("serve.requests", n as u64);
-        for _ in 0..n {
-            tele::histogram_record("serve.request.ns", elapsed_ns);
+        if base > 0 {
+            let elapsed_ns = started.elapsed().as_nanos() as f64;
+            tele::counter_add("serve.requests", base as u64);
+            for _ in 0..base {
+                tele::histogram_record("serve.request.ns", elapsed_ns);
+            }
         }
     }
 }
@@ -624,11 +652,12 @@ mod tests {
     }
 
     #[test]
-    fn submit_all_over_capacity_sheds_whole_request() {
+    fn submit_all_larger_than_queue_cap_is_served_in_chunks() {
         let dir = tmp_dir("cap");
         let reg = seeded_registry(&dir, 4);
+        let reference: Arc<ServedModel> = reg.current().unwrap();
         let batcher = Batcher::new(
-            reg,
+            Arc::clone(&reg),
             BatchConfig {
                 max_size: 4,
                 max_wait_us: 1_000,
@@ -636,15 +665,60 @@ mod tests {
                 max_wait_budget_ms: 50,
             },
         );
-        let mut rows: Vec<Vec<f32>> = (0..9).map(|_| vec![0.1, 0.2, 0.3, 0.4]).collect();
+        // 9 rows > queue_cap 8: served as an 8-row chunk then a 1-row
+        // chunk, not permanently shed.
+        let rows: Vec<Vec<f32>> = (0..9)
+            .map(|i| (0..4).map(|j| (i * 4 + j) as f32 * 0.03 - 0.4).collect())
+            .collect();
+        let mut submitted = rows.clone();
         let mut out = Vec::new();
-        batcher.submit_all(&mut rows, &mut out);
+        batcher.submit_all(&mut submitted, &mut out);
+        assert!(submitted.is_empty(), "rows are consumed");
         assert_eq!(out.len(), 9);
-        for result in &out {
-            assert!(
-                matches!(result, Err(ServeError::QueueFull)),
-                "all-or-nothing shed: {result:?}"
-            );
+        let direct = reference.forward(&rows).unwrap();
+        for (i, result) in out.iter().enumerate() {
+            let (_, prob) = result.as_ref().unwrap_or_else(|e| panic!("row {i}: {e}"));
+            assert_eq!(prob.to_bits(), direct[i].to_bits(), "row {i} diverged");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_queue_sheds_request_and_recycles_its_rows() {
+        let dir = tmp_dir("full");
+        let reg = seeded_registry(&dir, 4);
+        // A wide-open batch window (500 ms, max_size never reached) keeps
+        // the 4 queued rows parked, so the queue is genuinely full when
+        // the second request arrives.
+        let batcher = Arc::new(Batcher::new(
+            reg,
+            BatchConfig {
+                max_size: 64,
+                max_wait_us: 500_000,
+                queue_cap: 4,
+                max_wait_budget_ms: 0,
+            },
+        ));
+        let filler = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                let mut rows: Vec<Vec<f32>> = (0..4).map(|_| vec![0.1, 0.2, 0.3, 0.4]).collect();
+                let mut out = Vec::new();
+                batcher.submit_all(&mut rows, &mut out);
+                out
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        let err = batcher.submit(vec![0.5, 0.6, 0.7, 0.8]).unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull), "{err:?}");
+        // The shed request's parsed row buffer went back to the pool
+        // instead of being dropped (the filler batch is still parked, so
+        // the pool holds only the shed row).
+        let recycled = batcher.take_row();
+        assert!(recycled.is_empty());
+        assert!(recycled.capacity() >= 4, "shed row buffer was recycled");
+        for result in filler.join().unwrap() {
+            assert!(result.is_ok(), "{result:?}");
         }
         let _ = fs::remove_dir_all(&dir);
     }

@@ -36,8 +36,11 @@ use std::path::{Path, PathBuf};
 pub struct ServeConfig {
     /// `[server] listen` — address the HTTP server binds.
     pub listen: String,
-    /// `[server] workers` — connection-worker pool width (each worker
-    /// serves one keep-alive connection at a time).
+    /// `[server] workers` — connection-worker pool width. Each worker
+    /// serves one keep-alive connection at a time, so this bounds
+    /// concurrent in-flight requests (notably `/predict` coalescing).
+    /// When unset it defaults to `batch.max_size` so a full micro-batch
+    /// can be in flight at once.
     pub workers: usize,
     /// `[server] max_requests_per_conn` — requests served over one
     /// keep-alive connection before the server closes it.
@@ -59,7 +62,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             listen: "127.0.0.1:9900".to_string(),
-            workers: 4,
+            workers: BatchConfig::default().max_size,
             max_requests_per_conn: 1000,
             idle_ms: 500,
             model_dir: PathBuf::from("ckpts"),
@@ -219,6 +222,12 @@ impl ServeConfig {
                 }
             }
         }
+        // The worker pool bounds in-flight /predict concurrency; unless
+        // pinned explicitly, track the batch size so coalescing can
+        // actually reach `max_size` rows.
+        if !seen.iter().any(|k| k == "server.workers") {
+            cfg.workers = cfg.batch.max_size.max(1);
+        }
         Ok(cfg)
     }
 
@@ -300,6 +309,18 @@ mod tests {
         assert!(ServeConfig::parse("[server]\nworkers = 0\n").is_err());
         assert!(ServeConfig::parse("[server]\nidle_ms = 0\n").is_err());
         assert!(ServeConfig::parse("listen = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn workers_default_tracks_batch_max_size() {
+        // Unset workers follow the batch size so the connection pool can
+        // keep a full micro-batch in flight...
+        let cfg = ServeConfig::parse("[batch]\nmax_size = 64\n").unwrap();
+        assert_eq!(cfg.workers, 64);
+        assert_eq!(ServeConfig::default().workers, 32);
+        // ...but an explicit setting always wins, in either key order.
+        let cfg = ServeConfig::parse("[server]\nworkers = 2\n[batch]\nmax_size = 64\n").unwrap();
+        assert_eq!(cfg.workers, 2);
     }
 
     #[test]

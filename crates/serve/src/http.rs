@@ -28,8 +28,10 @@ use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-/// Largest number of rows one request may carry; protects the queue bound
-/// from a single caller smuggling in an effectively unbounded batch.
+/// Largest number of rows one request may carry — an abuse guard against
+/// a single caller smuggling in an effectively unbounded batch. Requests
+/// up to this size are always servable regardless of `queue_cap`: the
+/// batcher feeds rows through in chunks of at most `queue_cap`.
 pub const MAX_ROWS_PER_REQUEST: usize = 4096;
 
 /// Per-thread `/predict` scratch: each connection worker reuses its own
@@ -163,12 +165,16 @@ fn reload(registry: &ModelRegistry, resp: &mut HttpResponse) {
 /// Build the serving [`Router`]: `/predict`, `/healthz`, `/reload` over the
 /// built-ins, in threaded mode (a `/predict` handler blocks on its
 /// micro-batch, so connections must not serialize on the accept thread —
-/// concurrent requests are exactly what the batcher coalesces). Connection
-/// pool knobs keep the [`Router`] defaults; the daemon passes its
-/// `[server]` config through [`serving_router_with`].
+/// concurrent requests are exactly what the batcher coalesces). Each
+/// connection worker serves one keep-alive connection at a time, so the
+/// pool width bounds `/predict` concurrency — the default is sized to
+/// `batch.max_size` so a full micro-batch can actually be in flight at
+/// once. The daemon passes its `[server]` config through
+/// [`serving_router_with`].
 pub fn serving_router(registry: Arc<ModelRegistry>, batcher: Arc<Batcher>) -> Router {
     let health_registry = Arc::clone(&registry);
     let reload_registry = Arc::clone(&registry);
+    let workers = batcher.config().max_size.max(1);
     Router::new()
         .route(
             "POST",
@@ -186,6 +192,7 @@ pub fn serving_router(registry: Arc<ModelRegistry>, batcher: Arc<Batcher>) -> Ro
             move |_req: &HttpRequest, resp: &mut HttpResponse| reload(&reload_registry, resp),
         )
         .threaded(true)
+        .workers(workers)
 }
 
 /// [`serving_router`] with the daemon's `[server]` connection knobs:

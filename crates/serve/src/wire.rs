@@ -11,8 +11,9 @@
 //!
 //! Unknown top-level keys are skipped (any valid JSON value), mirroring
 //! serde's default lenient-object behavior the endpoint previously had;
-//! anything structurally malformed is a position-stamped error the HTTP
-//! layer maps to a 400.
+//! a duplicated `"inputs"` key is rejected outright (deterministic, where
+//! serde silently kept the last value); anything structurally malformed
+//! is a position-stamped error the HTTP layer maps to a 400.
 
 /// Parser over the raw body bytes.
 struct Cursor<'a> {
@@ -181,6 +182,12 @@ pub fn parse_predict(
         c.skip_ws();
         c.eat(b':', "':'")?;
         if key == b"inputs" {
+            // A repeated key would silently concatenate rows here, where
+            // the serde path this parser replaced kept the last value;
+            // neither is worth supporting — make duplicates an error.
+            if saw_inputs {
+                return Err(c.err("a single \"inputs\" key"));
+            }
             saw_inputs = true;
             parse_rows(&mut c, rows, &mut take_row)?;
         } else {
@@ -323,6 +330,10 @@ mod tests {
         assert!(parse("{\"inputs\": [[1] [2]]}").is_err());
         assert!(parse("{\"inputs\": [[NaN]]}").is_err(), "no NaN literals");
         assert!(parse("{\"inputs\": [[1]]} trailing").is_err());
+        assert!(
+            parse("{\"inputs\": [[1]], \"inputs\": [[2]]}").is_err(),
+            "duplicate inputs keys must not concatenate"
+        );
         let err = parse("{\"inputs\": [[1, oops]]}").unwrap_err();
         assert_eq!(err.expected, "number");
         assert!(err.to_string().contains("byte 16"), "{err}");
