@@ -5,7 +5,7 @@
 //!            [--duration-secs S] [--rows N] [--dim D] [--seed N]
 //!            [--keep-alive] [--sweep-connections 1,2,4]
 //!            [--p99-budget-ms MS] [--max-error-rate F]
-//!            [--out BENCH_SERVE.json]
+//!            [--require-trace] [--out BENCH_SERVE.json]
 //! ```
 //!
 //! Drives N closed-loop client threads at an aggregate target rate,
@@ -18,9 +18,17 @@
 //! server must not produce a green baseline — or when the run's
 //! `error_rate` (`errors / attempts`) exceeds `--max-error-rate` (default
 //! `1.0`, i.e. not gated; the serve-smoke CI job passes an explicit
-//! budget).
+//! budget), or when `--require-trace` is set and any `200` response came
+//! back without its `X-Gmreg-Trace` header.
+//!
+//! After the run the daemon's `GET /debug/requests` is scraped into the
+//! report's `serve.stage_p99_ms.*` / `serve.stage_coverage` fields (zeros
+//! when the debug endpoints are compiled out), so `bench_diff` can gate
+//! the server-side stage decomposition alongside client-side latency.
 
-use gmreg_bench::load::{run_load, run_sweep, write_bench_serve, BenchServe, LoadConfig};
+use gmreg_bench::load::{
+    run_load, run_sweep, scrape_stages, write_bench_serve, BenchServe, LoadConfig,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -29,6 +37,7 @@ struct Args {
     sweep_connections: Vec<usize>,
     p99_budget_ms: f64,
     max_error_rate: f64,
+    require_trace: bool,
     out: PathBuf,
 }
 
@@ -38,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         sweep_connections: Vec::new(),
         p99_budget_ms: 250.0,
         max_error_rate: 1.0,
+        require_trace: false,
         out: PathBuf::from("BENCH_SERVE.json"),
     };
     let mut it = std::env::args().skip(1);
@@ -72,13 +82,15 @@ fn parse_args() -> Result<Args, String> {
             "--max-error-rate" => {
                 args.max_error_rate = num("--max-error-rate", value("--max-error-rate")?)?
             }
+            "--require-trace" => args.require_trace = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
                 println!(
                     "gmreg-load --addr HOST:PORT [--threads N] [--rate RPS] \
                      [--duration-secs S] [--rows N] [--dim D] [--seed N] \
                      [--keep-alive] [--sweep-connections 1,2,4] \
-                     [--p99-budget-ms MS] [--max-error-rate F] [--out PATH]"
+                     [--p99-budget-ms MS] [--max-error-rate F] \
+                     [--require-trace] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -121,10 +133,14 @@ fn main() -> ExitCode {
             "connection-per-request"
         }
     );
-    let report = run_load(&args.cfg, args.p99_budget_ms);
+    let mut report = run_load(&args.cfg, args.p99_budget_ms);
     println!(
-        "requests {}  errors {}  error_rate {:.4}  throughput {:.1} rps",
-        report.requests, report.errors, report.error_rate, report.throughput_rps
+        "requests {}  errors {}  error_rate {:.4}  trace_misses {}  throughput {:.1} rps",
+        report.requests,
+        report.errors,
+        report.error_rate,
+        report.trace_misses,
+        report.throughput_rps
     );
     println!(
         "latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (budget {} ms, headroom {:.1}x)",
@@ -138,6 +154,24 @@ fn main() -> ExitCode {
         "connections {}  reused_ratio {:.4}  connect p50 {:.3} ms  p99 {:.3} ms",
         report.connections, report.reused_ratio, report.connect_ms.p50, report.connect_ms.p99
     );
+    match scrape_stages(&args.cfg.addr) {
+        Some((stages, coverage)) => {
+            println!(
+                "stage p99 ms: parse {:.3}  queue {:.3}  assemble {:.3}  compute {:.3}  \
+                 render {:.3}  write {:.3}  (coverage {:.2})",
+                stages.parse,
+                stages.queue,
+                stages.assemble,
+                stages.compute,
+                stages.render,
+                stages.write,
+                coverage
+            );
+            report.stage_p99_ms = stages;
+            report.stage_coverage = coverage;
+        }
+        None => println!("stage scrape: /debug/requests unavailable (compiled out?)"),
+    }
 
     let sweep = if args.sweep_connections.is_empty() {
         Vec::new()
@@ -154,6 +188,7 @@ fn main() -> ExitCode {
 
     let all_failed = report.requests == 0;
     let error_rate = report.error_rate;
+    let trace_misses = report.trace_misses;
     let doc = BenchServe {
         config: args.cfg,
         serve: report,
@@ -172,6 +207,13 @@ fn main() -> ExitCode {
         eprintln!(
             "gmreg-load: error_rate {error_rate:.4} exceeds --max-error-rate {}",
             args.max_error_rate
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.require_trace && trace_misses > 0 {
+        eprintln!(
+            "gmreg-load: {trace_misses} 200 response(s) missing the X-Gmreg-Trace header \
+             (--require-trace)"
         );
         return ExitCode::FAILURE;
     }

@@ -322,16 +322,32 @@ pub enum Direction {
     Pinned,
 }
 
-/// Classifies a metric path by its final segment.
+/// Classifies a metric path by its final segment, with two path-level
+/// exceptions where the meaning lives one segment up:
+///
+/// * `stage_p99_ms.<stage>` leaves end in a stage *name* (`parse`,
+///   `compute`, ...), but the container says they are p99 timings —
+///   lower-is-better.
+/// * windowed rate gauges (`..._window_rate_10s`, `window.*_rate_60s`)
+///   are throughputs however the window suffix decorates them —
+///   higher-is-better.
 pub fn direction(path: &str) -> Direction {
-    let last = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    let lower_path = path.to_ascii_lowercase();
+    if lower_path.contains("stage_p99_ms.") {
+        return Direction::LowerIsBetter;
+    }
+    let last = lower_path.rsplit('.').next().unwrap_or(&lower_path);
+    if last.contains("window_rate") || (lower_path.contains("window") && last.contains("rate")) {
+        return Direction::HigherIsBetter;
+    }
     // Unit suffixes need a word boundary: plain `contains("ns")` would
     // classify `runs` as a timing.
     let unit_suffix =
         last == "ns" || last == "ms" || last.ends_with("_ns") || last.ends_with("_ms");
     // `error` outranks `rate` below so `error_rate` diffs lower-is-better.
     const LOWER: &[&str] = &[
-        "time", "dur", "loss", "dropped", "fail", "panic", "rollback", "error", "p50", "p95", "p99",
+        "time", "dur", "loss", "dropped", "fail", "panic", "rollback", "error", "miss", "p50",
+        "p95", "p99",
     ];
     const HIGHER: &[&str] = &[
         "speedup",
@@ -341,6 +357,7 @@ pub fn direction(path: &str) -> Direction {
         "ops",
         "hit",
         "ratio",
+        "coverage",
     ];
     if unit_suffix || LOWER.iter().any(|w| last.contains(w)) {
         Direction::LowerIsBetter
@@ -581,6 +598,32 @@ mod tests {
         // `error` outranks `rate`/`ratio`: a rising error share regresses.
         assert_eq!(direction("serve.error_rate"), Direction::LowerIsBetter);
         assert_eq!(direction("counters.gm.e_step.runs"), Direction::Pinned);
+        // Stage-decomposition leaves end in a stage name; the container
+        // marks them as p99 timings.
+        assert_eq!(
+            direction("serve.stage_p99_ms.compute"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction("serve.stage_p99_ms.queue"),
+            Direction::LowerIsBetter
+        );
+        // Windowed rates are throughputs whatever the window suffix.
+        assert_eq!(
+            direction("gauges.gmreg_serve_requests_window_rate_10s"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction("window.requests_rate_60s"),
+            Direction::HigherIsBetter
+        );
+        // Window latency percentiles keep diffing as timings.
+        assert_eq!(
+            direction("window.latency_ms.p99_10s"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction("serve.trace_misses"), Direction::LowerIsBetter);
+        assert_eq!(direction("serve.stage_coverage"), Direction::HigherIsBetter);
     }
 
     #[test]

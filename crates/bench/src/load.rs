@@ -34,10 +34,21 @@
 //!             "latency_ms": {"p50": 1.1, "p95": 2.0, "p99": 3.2},
 //!             "connect_ms": {"p50": 0.1, "p95": 0.2, "p99": 0.3},
 //!             "connections": 2, "reused_ratio": 0.997,
-//!             "p99_budget_ms": 250.0, "latency_headroom": 78.1},
+//!             "p99_budget_ms": 250.0, "latency_headroom": 78.1,
+//!             "trace_misses": 0,
+//!             "stage_p99_ms": {"parse": 0.1, ..., "write": 0.05},
+//!             "stage_coverage": 1.0},
 //!   "sweep": [{"name": "c1", "connections": 1, ...}, ...]
 //! }
 //! ```
+//!
+//! Every `200` response is additionally checked for the `X-Gmreg-Trace`
+//! header the serving daemon echoes per request; responses missing it
+//! count into `trace_misses` (`gmreg-load --require-trace` turns any miss
+//! into a failing exit). After the run, [`scrape_stages`] pulls the
+//! server-side stage decomposition from `GET /debug/requests` into
+//! `serve.stage_p99_ms.*` and `serve.stage_coverage`, which CI floors via
+//! `bench_diff --min 'serve.stage_coverage=1'`.
 //!
 //! `latency_headroom = p99_budget_ms / p99_ms` exists because `bench_diff`
 //! floors (`--min`) assert *minimums*: CI pins "p99 under budget" as
@@ -128,6 +139,37 @@ pub struct LoadReport {
     /// `p99_budget_ms / latency_ms.p99` — at least 1.0 means "within
     /// budget"; gated in CI via `bench_diff --min`.
     pub latency_headroom: f64,
+    /// `200` responses that did NOT carry the `X-Gmreg-Trace` header the
+    /// daemon echoes per request. `gmreg-load --require-trace` fails the
+    /// run when this is non-zero.
+    pub trace_misses: u64,
+    /// Server-side per-stage p99s scraped from `GET /debug/requests` after
+    /// the run ([`scrape_stages`]); zeros when the scrape was skipped or
+    /// the daemon's debug endpoints are compiled out.
+    pub stage_p99_ms: StageP99Ms,
+    /// The daemon's `stage_coverage` (fraction of the six stage histograms
+    /// with samples) from the same scrape; `1.0` means the decomposition
+    /// is complete. CI floors it via `bench_diff --min`.
+    pub stage_coverage: f64,
+}
+
+/// Per-stage p99 latencies in milliseconds, mirroring the daemon's
+/// `/debug/requests` `stage_p99_ms` object. The six stages tile a
+/// `/predict` request end to end.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageP99Ms {
+    /// Request-body parsing.
+    pub parse: f64,
+    /// Queue wait in the batcher.
+    pub queue: f64,
+    /// Micro-batch assembly.
+    pub assemble: f64,
+    /// The pooled matmul.
+    pub compute: f64,
+    /// Response-body rendering.
+    pub render: f64,
+    /// Socket write.
+    pub write: f64,
 }
 
 /// One point of a connection-count sweep: a full [`run_load`] at a given
@@ -205,12 +247,13 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 /// Read one `Content-Length`-framed HTTP response from `stream`,
 /// accumulating into `buf` (which may carry bytes left over from a
 /// previous response on the same connection). The consumed response is
-/// drained out of `buf`. Returns the status line and whether the server
-/// announced `Connection: close`.
+/// drained out of `buf`. Returns the status line, whether the server
+/// announced `Connection: close`, and whether an `X-Gmreg-Trace` header
+/// was present.
 fn read_framed_response(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
-) -> Result<(String, bool), String> {
+) -> Result<(String, bool, bool), String> {
     let mut scratch = [0u8; 16 * 1024];
     loop {
         if let Some(head_end) = find_subslice(buf, b"\r\n\r\n") {
@@ -220,6 +263,7 @@ fn read_framed_response(
             let status_line = lines.next().unwrap_or("").to_string();
             let mut content_length = None;
             let mut close = false;
+            let mut traced = false;
             for line in lines {
                 let Some((name, value)) = line.split_once(':') else {
                     continue;
@@ -233,6 +277,8 @@ fn read_framed_response(
                     );
                 } else if name.eq_ignore_ascii_case("connection") {
                     close = value.eq_ignore_ascii_case("close");
+                } else if name.eq_ignore_ascii_case("x-gmreg-trace") {
+                    traced = !value.is_empty();
                 }
             }
             let body_len =
@@ -248,7 +294,7 @@ fn read_framed_response(
                 buf.extend_from_slice(&scratch[..n]);
             }
             buf.drain(..total);
-            return Ok((status_line, close));
+            return Ok((status_line, close, traced));
         }
         let n = stream
             .read(&mut scratch)
@@ -302,8 +348,9 @@ impl Client {
     }
 
     /// One blocking `POST /predict`; returns the request latency
-    /// (excluding any dial) on 200, an error description otherwise.
-    fn one_request(&mut self, body: &str) -> Result<Duration, String> {
+    /// (excluding any dial) and whether the response carried an
+    /// `X-Gmreg-Trace` header on 200, an error description otherwise.
+    fn one_request(&mut self, body: &str) -> Result<(Duration, bool), String> {
         if self.stream.is_none() {
             self.dial()?;
         }
@@ -327,13 +374,13 @@ impl Client {
             .map_err(|e| format!("write: {e}"))
             .and_then(|()| read_framed_response(&mut stream, &mut self.buf));
         match outcome {
-            Ok((status_line, close)) => {
+            Ok((status_line, close, traced)) => {
                 let latency = started.elapsed();
                 if self.keep_alive && !close {
                     self.stream = Some(stream);
                 }
                 if status_line.starts_with("HTTP/1.1 200") {
-                    Ok(latency)
+                    Ok((latency, traced))
                 } else {
                     Err(format!("status: {status_line}"))
                 }
@@ -382,6 +429,7 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
             let mut client = Client::new(addr, keep_alive);
             let mut latencies_ns: Vec<u64> = Vec::new();
             let mut errors = 0u64;
+            let mut trace_misses = 0u64;
             let mut seq = 0u64;
             let mut next_fire = Instant::now();
             while Instant::now() < deadline {
@@ -395,28 +443,38 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
                 let body = predict_body(thread_seed.wrapping_add(seq), rows, dim);
                 seq += 1;
                 match client.one_request(&body) {
-                    Ok(latency) => {
+                    Ok((latency, traced)) => {
                         let ns = latency.as_nanos() as u64;
                         latencies_ns.push(ns);
+                        trace_misses += u64::from(!traced);
                         #[cfg(feature = "telemetry")]
                         gmreg_telemetry::histogram_record("load.request.ns", ns as f64);
                     }
                     Err(_) => errors += 1,
                 }
             }
-            (latencies_ns, errors, client.connections, client.connect_ns)
+            (
+                latencies_ns,
+                errors,
+                trace_misses,
+                client.connections,
+                client.connect_ns,
+            )
         }));
     }
 
     let mut all_ns: Vec<u64> = Vec::new();
     let mut all_connect_ns: Vec<u64> = Vec::new();
     let mut errors = 0u64;
+    let mut trace_misses = 0u64;
     let mut connections = 0u64;
     for handle in handles {
-        let (ns, e, dials, connect_ns) = handle.join().expect("load client thread panicked");
+        let (ns, e, misses, dials, connect_ns) =
+            handle.join().expect("load client thread panicked");
         all_ns.extend(ns);
         all_connect_ns.extend(connect_ns);
         errors += e;
+        trace_misses += misses;
         connections += dials;
     }
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
@@ -448,7 +506,56 @@ pub fn run_load(cfg: &LoadConfig, p99_budget_ms: f64) -> LoadReport {
         } else {
             0.0
         },
+        trace_misses,
+        stage_p99_ms: StageP99Ms::default(),
+        stage_coverage: 0.0,
     }
+}
+
+/// One plain `GET path` with `Connection: close` against `addr`, returning
+/// the response body on 200.
+fn get_body(addr: &str, path: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .ok()?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).ok()?;
+    let head_end = find_subslice(&buf, b"\r\n\r\n")?;
+    if !buf.starts_with(b"HTTP/1.1 200") {
+        return None;
+    }
+    String::from_utf8(buf[head_end + 4..].to_vec()).ok()
+}
+
+/// Scrape the daemon's server-side stage decomposition from
+/// `GET /debug/requests`: the six `stage_p99_ms` percentiles plus
+/// `stage_coverage`. `None` when the endpoint is unreachable or compiled
+/// out (`--no-default-features` builds of `gmreg-obs` drop it), so a
+/// missing scrape degrades to the report's zero defaults rather than
+/// failing the run.
+pub fn scrape_stages(addr: &str) -> Option<(StageP99Ms, f64)> {
+    let body = get_body(addr, "/debug/requests")?;
+    let flat = crate::diff::flatten(&crate::diff::Json::parse(&body).ok()?);
+    let stage = |name: &str| {
+        flat.get(&format!("stage_p99_ms.{name}"))
+            .copied()
+            .unwrap_or(0.0)
+    };
+    Some((
+        StageP99Ms {
+            parse: stage("parse"),
+            queue: stage("queue"),
+            assemble: stage("assemble"),
+            compute: stage("compute"),
+            render: stage("render"),
+            write: stage("write"),
+        },
+        flat.get("stage_coverage").copied().unwrap_or(0.0),
+    ))
 }
 
 /// Run [`run_load`] once per connection count in `counts`, holding every
@@ -531,6 +638,16 @@ mod tests {
             reused_ratio: 0.8,
             p99_budget_ms: 250.0,
             latency_headroom: 250.0 / 3.0,
+            trace_misses: 0,
+            stage_p99_ms: StageP99Ms {
+                parse: 0.05,
+                queue: 0.4,
+                assemble: 0.1,
+                compute: 0.9,
+                render: 0.08,
+                write: 0.02,
+            },
+            stage_coverage: 1.0,
         }
     }
 
@@ -597,6 +714,26 @@ mod tests {
             crate::diff::direction("sweep.c4.p99_ms"),
             crate::diff::Direction::LowerIsBetter
         );
+        // The scraped stage decomposition flattens under the `serve` key
+        // and must be both present and lower-is-better per stage.
+        assert_eq!(flat["serve.stage_coverage"], 1.0);
+        assert_eq!(flat["serve.trace_misses"], 0.0);
+        assert_eq!(flat["serve.stage_p99_ms.compute"], 0.9);
+        for stage in ["parse", "queue", "assemble", "compute", "render", "write"] {
+            assert_eq!(
+                crate::diff::direction(&format!("serve.stage_p99_ms.{stage}")),
+                crate::diff::Direction::LowerIsBetter,
+                "{stage}"
+            );
+        }
+        assert_eq!(
+            crate::diff::direction("serve.trace_misses"),
+            crate::diff::Direction::LowerIsBetter
+        );
+        assert_eq!(
+            crate::diff::direction("serve.stage_coverage"),
+            crate::diff::Direction::HigherIsBetter
+        );
     }
 
     #[test]
@@ -641,6 +778,7 @@ mod tests {
     #[test]
     fn keep_alive_client_reuses_one_connection_and_honors_close() {
         let ok = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                  X-Gmreg-Trace: 00c0ffee00c0ffee\r\n\
                   Content-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
             .to_string();
         let closing = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
@@ -648,9 +786,12 @@ mod tests {
             .to_string();
         let (addr, handle) = canned_server(vec![ok.clone(), ok, closing]);
         let mut client = Client::new(addr, true);
+        let mut traced_count = 0;
         for _ in 0..3 {
-            client.one_request("{\"inputs\": [[1]]}").unwrap();
+            let (_, traced) = client.one_request("{\"inputs\": [[1]]}").unwrap();
+            traced_count += u32::from(traced);
         }
+        assert_eq!(traced_count, 2, "two of three responses carried the header");
         handle.join().unwrap();
         assert_eq!(client.connections, 1, "all three rode one dial");
         assert!(
@@ -673,10 +814,11 @@ mod tests {
         client.dial().unwrap();
         let mut stream = client.stream.take().unwrap();
         stream.write_all(b"x").unwrap();
-        let (status, close) = read_framed_response(&mut stream, &mut client.buf).unwrap();
+        let (status, close, traced) = read_framed_response(&mut stream, &mut client.buf).unwrap();
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(!close);
-        let (status, close) = read_framed_response(&mut stream, &mut client.buf).unwrap();
+        assert!(!traced, "no X-Gmreg-Trace header was sent");
+        let (status, close, _) = read_framed_response(&mut stream, &mut client.buf).unwrap();
         assert_eq!(status, "HTTP/1.1 503 unavailable");
         assert!(close);
         assert!(client.buf.is_empty());

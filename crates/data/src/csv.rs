@@ -81,7 +81,11 @@ fn split_record(line: &str, delim: char) -> Result<Vec<String>> {
 /// Parses CSV text into a [`RawDataset`] with inferred column types.
 ///
 /// Labels are read from `options.label_column`; distinct label strings are
-/// mapped to class indices by first appearance.
+/// mapped to class indices by first appearance, with one round-trip
+/// exception: when the distinct labels are exactly the dense integer set
+/// `{0..k-1}` — the form [`to_csv`] emits — each label *is* its own class
+/// id. Export → import therefore preserves class ids regardless of which
+/// class happens to appear in the first record.
 pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<RawDataset> {
     let mut lines = text
         .lines()
@@ -116,15 +120,41 @@ pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<RawDataset> {
         }
     }
 
-    // Labels.
-    let mut label_ids: HashMap<String, usize> = HashMap::new();
+    // Labels. A dense-integer label set maps identically (round-trip
+    // stability for `to_csv` output); anything else by first appearance.
+    let raw_labels: Vec<&str> = records
+        .iter()
+        .map(|r| r[options.label_column].trim())
+        .collect();
+    let mut distinct: Vec<&str> = raw_labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let dense_ints: Option<Vec<usize>> = distinct
+        .iter()
+        .map(|s| s.parse::<usize>().ok())
+        .collect::<Option<Vec<usize>>>()
+        .filter(|ids| {
+            // Distinct strings must stay distinct as numbers ("0" vs "00")
+            // and tile 0..k-1 exactly.
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len() == distinct.len() && sorted.iter().copied().eq(0..distinct.len())
+        });
     let mut y = Vec::with_capacity(records.len());
-    for r in &records {
-        let raw = r[options.label_column].trim().to_string();
-        let next = label_ids.len();
-        y.push(*label_ids.entry(raw).or_insert(next));
-    }
-    let n_classes = label_ids.len().max(1);
+    let n_classes = if dense_ints.is_some() {
+        for raw in &raw_labels {
+            y.push(raw.parse::<usize>().expect("checked dense-integer above"));
+        }
+        distinct.len().max(1)
+    } else {
+        let mut label_ids: HashMap<&str, usize> = HashMap::new();
+        for raw in &raw_labels {
+            let next = label_ids.len();
+            y.push(*label_ids.entry(raw).or_insert(next));
+        }
+        label_ids.len().max(1)
+    };
 
     let is_missing = |s: &str| -> bool { options.missing_markers.iter().any(|m| m == s.trim()) };
 
@@ -273,6 +303,22 @@ no,28,\"green, dark\",2.0
             ..CsvOptions::default()
         };
         assert!(parse_csv(text, &bad).is_err());
+    }
+
+    #[test]
+    fn dense_integer_labels_keep_their_ids() {
+        // `to_csv` emits class ids as labels; re-importing must not remap
+        // them by appearance order even when class 1 shows up first.
+        let opts = CsvOptions {
+            label_column: 1,
+            ..CsvOptions::default()
+        };
+        let ds = parse_csv("x,label\n1.0,1\n2.0,0\n3.0,1\n", &opts).expect("parses");
+        assert_eq!(ds.y(), &[1, 0, 1]);
+        // Sparse numeric labels ({1, 2}) are not the dense set {0, 1}:
+        // they fall back to first-appearance ids.
+        let ds = parse_csv("x,label\n1.0,2\n2.0,1\n", &opts).expect("parses");
+        assert_eq!(ds.y(), &[0, 1]);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Stamps the build with `git describe` output so `/status` can report
+//! exactly which tree a running daemon was compiled from. Falls back to
+//! `"unknown"` outside a git checkout (crates.io builds, exported
+//! tarballs) — the build must never fail over provenance metadata.
+
+use std::process::Command;
+
+fn main() {
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=GMREG_GIT_DESCRIBE={describe}");
+    // Re-stamp when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -1,0 +1,344 @@
+//! Debug introspection endpoints: the slow-request ring behind
+//! `GET /debug/requests` and the timed span capture behind
+//! `GET /debug/trace?secs=N`. Compiled only with the `debug` feature so
+//! deployments can run the serving surface with this one absent.
+//!
+//! ## Slow-request ring
+//!
+//! A fixed-memory, lock-striped record of the worst-latency completed
+//! requests. Each completed traced request is offered to the stripe its
+//! trace id hashes to ([`STRIPES`] stripes × [`PER_STRIPE`] slots, all
+//! `Copy` — no allocation on insert); a full stripe evicts its current
+//! minimum *strictly* by total latency, so a stripe always holds the top
+//! [`PER_STRIPE`] requests it ever saw. Any request among the global
+//! worst-[`PER_STRIPE`] is by construction among its own stripe's worst,
+//! so the merged view returned by `/debug/requests` — all stripes, sorted
+//! by total latency descending — always contains the true global
+//! worst-[`PER_STRIPE`] and usually much more.
+//!
+//! ## Timed capture
+//!
+//! `/debug/trace?secs=N` clears retained span events, opens a capture
+//! window ([`gmreg_telemetry::trace::capture_for_secs`]), sleeps the
+//! window out (plus one flush cadence so connection workers drain their
+//! sinks), and converts the captured spans to a Chrome `trace_event`
+//! document via [`gmreg_telemetry::chrome`]. The handler blocks its
+//! connection worker for the duration — it is a debugging tool, not a
+//! scrape target. Concurrent captures race benignly: the latest window
+//! wins.
+
+use crate::server::{HttpRequest, HttpResponse, StageNs, STAGE_HISTS, STAGE_LABELS};
+use gmreg_telemetry::trace::{capture_end, capture_for_secs, now_ns};
+use gmreg_telemetry::TraceCtx;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// Lock stripes in the slow-request ring (power of two; trace ids are
+/// splitmix64-mixed, so the low bits stripe uniformly).
+pub(crate) const STRIPES: usize = 4;
+
+/// Worst-request slots per stripe.
+pub(crate) const PER_STRIPE: usize = 8;
+
+/// Longest capture window `/debug/trace` accepts, seconds.
+const MAX_CAPTURE_SECS: u64 = 30;
+
+/// One completed request in the slow ring. `Copy`, so inserts move a flat
+/// ~100 bytes under the stripe lock and never allocate.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SlowEntry {
+    pub trace_id: u64,
+    pub total_ns: u64,
+    /// Completion time, telemetry-epoch nanoseconds.
+    pub end_ns: u64,
+    pub stages: StageNs,
+}
+
+#[derive(Debug)]
+struct Stripe {
+    entries: [SlowEntry; PER_STRIPE],
+    len: usize,
+}
+
+/// The lock-striped worst-N ring; see the module docs for the eviction
+/// guarantee.
+pub(crate) struct SlowRing {
+    stripes: [Mutex<Stripe>; STRIPES],
+}
+
+impl SlowRing {
+    pub(crate) fn new() -> SlowRing {
+        SlowRing {
+            stripes: std::array::from_fn(|_| {
+                Mutex::new(Stripe {
+                    entries: [SlowEntry::default(); PER_STRIPE],
+                    len: 0,
+                })
+            }),
+        }
+    }
+
+    /// Offers one completed request. A full stripe replaces its current
+    /// minimum only when the newcomer's total latency is strictly larger,
+    /// so stripe contents are exactly the stripe's worst [`PER_STRIPE`]
+    /// requests regardless of insertion order or interleaving.
+    pub(crate) fn record(&self, entry: SlowEntry) {
+        let stripe = &self.stripes[(entry.trace_id as usize) & (STRIPES - 1)];
+        let mut s = stripe.lock().unwrap_or_else(|e| e.into_inner());
+        if s.len < PER_STRIPE {
+            let at = s.len;
+            s.entries[at] = entry;
+            s.len += 1;
+            return;
+        }
+        let (min_idx, min_total) = s
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.total_ns))
+            .min_by_key(|&(_, t)| t)
+            .expect("stripe is non-empty");
+        if entry.total_ns > min_total {
+            s.entries[min_idx] = entry;
+        }
+    }
+
+    /// All retained entries, worst first.
+    pub(crate) fn worst(&self) -> Vec<SlowEntry> {
+        let mut out = Vec::with_capacity(STRIPES * PER_STRIPE);
+        for stripe in &self.stripes {
+            let s = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            out.extend_from_slice(&s.entries[..s.len]);
+        }
+        out.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        out
+    }
+
+    #[cfg(test)]
+    fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).len = 0;
+        }
+    }
+}
+
+fn ring() -> &'static SlowRing {
+    static RING: OnceLock<SlowRing> = OnceLock::new();
+    RING.get_or_init(SlowRing::new)
+}
+
+/// Hook called by the server once a traced request's response is on the
+/// wire.
+pub(crate) fn record_completed(trace: TraceCtx, stages: &StageNs) {
+    ring().record(SlowEntry {
+        trace_id: trace.id,
+        total_ns: stages.total(),
+        end_ns: now_ns(),
+        stages: *stages,
+    });
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.3}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// `GET /debug/requests`: the worst-latency completed request traces plus
+/// cross-request stage tail percentiles, as fixed-shape JSON:
+///
+/// ```json
+/// {"worst": [{"trace": "16 hex", "total_ms": 1.2, "batch_mates": 3,
+///             "generation": 1, "age_s": 4.0,
+///             "stage_ms": {"parse": ..., "queue": ..., "assemble": ...,
+///                          "compute": ..., "render": ..., "write": ...}}],
+///  "stage_p99_ms": {"parse": ..., ..., "write": ...},
+///  "stage_coverage": 1.0}
+/// ```
+///
+/// `stage_coverage` is the fraction of the six stage histograms that have
+/// recorded at least one observation — 1.0 on a server that has served
+/// traced traffic, the bench gate for "the decomposition is actually on".
+pub(crate) fn requests_json(resp: &mut HttpResponse) {
+    let report = gmreg_telemetry::snapshot();
+    let now = now_ns();
+    let body = resp.start_json();
+    body.push_str("{\"worst\": [");
+    for (i, e) in ring().worst().iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let hex = TraceCtx {
+            id: e.trace_id,
+            parent: 0,
+        }
+        .id_hex();
+        body.push_str("{\"trace\": \"");
+        body.push_str(std::str::from_utf8(&hex).expect("hex digits are ascii"));
+        body.push_str("\", \"total_ms\": ");
+        push_f64(body, ms(e.total_ns));
+        let _ = write!(
+            body,
+            ", \"batch_mates\": {}, \"generation\": {}, \"age_s\": ",
+            e.stages.batch_mates, e.stages.generation
+        );
+        push_f64(body, now.saturating_sub(e.end_ns) as f64 / 1e9);
+        body.push_str(", \"stage_ms\": {");
+        for (j, (label, v)) in STAGE_LABELS.iter().zip(e.stages.stage_values()).enumerate() {
+            if j > 0 {
+                body.push_str(", ");
+            }
+            let _ = write!(body, "\"{label}\": ");
+            push_f64(body, ms(v));
+        }
+        body.push_str("}}");
+    }
+    body.push_str("], \"stage_p99_ms\": {");
+    let mut present = 0usize;
+    for (j, (label, hist)) in STAGE_LABELS.iter().zip(STAGE_HISTS).enumerate() {
+        if j > 0 {
+            body.push_str(", ");
+        }
+        let _ = write!(body, "\"{label}\": ");
+        match report.histogram(hist) {
+            Some(h) if h.count > 0 => {
+                present += 1;
+                push_f64(body, h.p99() / 1e6);
+            }
+            _ => body.push_str("null"),
+        }
+    }
+    body.push_str("}, \"stage_coverage\": ");
+    push_f64(body, present as f64 / STAGE_HISTS.len() as f64);
+    body.push('}');
+    body.push('\n');
+}
+
+/// `GET /debug/trace?secs=N` (default 2, clamped to 1..=30): records every
+/// span for N seconds and returns the window as a Chrome `trace_event`
+/// JSON document loadable in `chrome://tracing` / Perfetto.
+pub(crate) fn trace_capture(req: &HttpRequest, resp: &mut HttpResponse) {
+    let secs = crate::server::query_param(&req.query, "secs")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2)
+        .clamp(1, MAX_CAPTURE_SECS);
+    gmreg_telemetry::clear_spans();
+    capture_for_secs(secs);
+    std::thread::sleep(std::time::Duration::from_secs(secs));
+    // One extra flush cadence: connection workers drain their sinks every
+    // ~1 s, and the window's own 500 ms grace lets requests in flight at
+    // the boundary finish materializing first.
+    std::thread::sleep(std::time::Duration::from_millis(1_200));
+    capture_end();
+    let report = gmreg_telemetry::snapshot();
+    let body = resp.start_json();
+    body.push_str(&report.to_chrome_trace());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Entries all land in one stripe when their ids share low bits; the
+    /// stripe must end up holding exactly the top [`PER_STRIPE`] totals no
+    /// matter how many threads race their inserts.
+    #[test]
+    fn slow_ring_keeps_strict_worst_under_concurrent_insertion() {
+        let ring = SlowRing::new();
+        let per_thread = 64u64;
+        let threads = 8u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let total = t * per_thread + i + 1;
+                        ring.record(SlowEntry {
+                            // Same stripe for every entry: id multiple of 4.
+                            trace_id: total * 4,
+                            total_ns: total * 1_000,
+                            end_ns: 0,
+                            stages: StageNs::default(),
+                        });
+                    }
+                });
+            }
+        });
+        let worst = ring.worst();
+        assert_eq!(worst.len(), PER_STRIPE, "one stripe, full");
+        let expect_max = threads * per_thread * 1_000;
+        for (i, e) in worst.iter().enumerate() {
+            assert_eq!(
+                e.total_ns,
+                expect_max - (i as u64) * 1_000,
+                "strict eviction keeps exactly the top {PER_STRIPE} totals, sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_ring_stripes_by_trace_id_and_merges_sorted() {
+        let ring = SlowRing::new();
+        for id in 1..=100u64 {
+            ring.record(SlowEntry {
+                trace_id: id,
+                total_ns: id,
+                end_ns: 0,
+                stages: StageNs::default(),
+            });
+        }
+        let worst = ring.worst();
+        assert_eq!(worst.len(), STRIPES * PER_STRIPE);
+        assert!(worst.windows(2).all(|w| w[0].total_ns >= w[1].total_ns));
+        // The global worst-PER_STRIPE is guaranteed present.
+        for want in (100 - PER_STRIPE as u64 + 1)..=100 {
+            assert!(
+                worst.iter().any(|e| e.total_ns == want),
+                "global top entry {want} must survive striped eviction"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_latency_does_not_evict() {
+        let ring = SlowRing::new();
+        for i in 0..(PER_STRIPE as u64) {
+            ring.record(SlowEntry {
+                trace_id: i * 4 + 4,
+                total_ns: 500,
+                end_ns: 0,
+                stages: StageNs::default(),
+            });
+        }
+        // Same total as the stripe minimum: strictly-greater is required.
+        ring.record(SlowEntry {
+            trace_id: 123_456 * 4,
+            total_ns: 500,
+            end_ns: 7,
+            stages: StageNs::default(),
+        });
+        assert!(
+            ring.worst().iter().all(|e| e.end_ns == 0),
+            "an equal-latency newcomer must not replace a resident"
+        );
+        ring.clear();
+        assert!(ring.worst().is_empty());
+    }
+
+    #[test]
+    fn requests_json_has_fixed_shape_when_empty() {
+        let mut resp = HttpResponse::default();
+        requests_json(&mut resp);
+        let body = &resp.body;
+        assert!(body.starts_with("{\"worst\": ["), "{body}");
+        assert!(body.contains("\"stage_p99_ms\": {\"parse\": "), "{body}");
+        assert!(body.contains("\"stage_coverage\": "), "{body}");
+        assert_eq!(body.matches('{').count(), body.matches('}').count());
+    }
+}

@@ -17,8 +17,12 @@
 //!   map 1:1; pow2 telemetry histograms become cumulative `_bucket{le=...}`
 //!   series with exact `_sum`/`_count`.
 //! * `GET /status` — one JSON object summarizing training progress: current
-//!   epoch and loss, π/λ ranges of the GM mixture, guard-rail counters, and
-//!   the newest durable checkpoint generation.
+//!   epoch and loss, π/λ ranges of the GM mixture, guard-rail counters, the
+//!   newest durable checkpoint generation, rolling 10 s / 60 s request-rate
+//!   and latency windows, and build provenance.
+//! * `GET /debug/requests`, `GET /debug/trace?secs=N` (`debug` feature) —
+//!   the worst-N slow-request ring and a timed Chrome `trace_event`
+//!   capture; see the `debug` module.
 
 mod prom;
 mod status;
@@ -30,4 +34,7 @@ pub use status::{status_json, status_json_into};
 mod server;
 
 #[cfg(feature = "serve")]
-pub use server::{HttpRequest, HttpResponse, ObsServer, Router};
+pub use server::{query_param, HttpRequest, HttpResponse, ObsServer, Router, StageNs};
+
+#[cfg(feature = "debug")]
+mod debug;

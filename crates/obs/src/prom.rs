@@ -60,6 +60,9 @@ fn cached_name(name: &str, out: &mut String) {
 /// * pow2 histograms → `histogram` families with **cumulative**
 ///   `_bucket{le="..."}` series, a closing `le="+Inf"` bucket, and exact
 ///   `_sum` / `_count` samples;
+/// * rolling windows → `gmreg_<name>_window_rate_{10s,60s}` gauges (plus
+///   `_window_p99_{10s,60s}` for histograms), emitted only for metrics
+///   active in the last 60 s;
 /// * `dropped_spans` → the `gmreg_telemetry_dropped_spans` counter, so a
 ///   scraper can alert on trace loss.
 ///
@@ -117,6 +120,45 @@ pub fn prometheus_text_into(report: &Report, out: &mut String) {
         let _ = writeln!(out, "_count {}", hist.count);
     }
 
+    // Rolling-window views export as gauges (a rate over a sliding window
+    // can fall, so `counter` would be a lie). Only metrics with activity in
+    // the last 60 s are exported — idle windows would otherwise emit four
+    // zero series per metric name forever.
+    for (name, w) in &report.windows {
+        if w.count_60s == 0 {
+            continue;
+        }
+        for (suffix, value) in [
+            ("_window_rate_10s", w.rate_10s),
+            ("_window_rate_60s", w.rate_60s),
+        ] {
+            out.push_str("# TYPE ");
+            cached_name(name, out);
+            out.push_str(suffix);
+            out.push_str(" gauge\n");
+            cached_name(name, out);
+            out.push_str(suffix);
+            out.push(' ');
+            num(value, out);
+            out.push('\n');
+        }
+        for (suffix, hist) in [
+            ("_window_p99_10s", &w.hist_10s),
+            ("_window_p99_60s", &w.hist_60s),
+        ] {
+            let Some(h) = hist else { continue };
+            out.push_str("# TYPE ");
+            cached_name(name, out);
+            out.push_str(suffix);
+            out.push_str(" gauge\n");
+            cached_name(name, out);
+            out.push_str(suffix);
+            out.push(' ');
+            num(h.p99(), out);
+            out.push('\n');
+        }
+    }
+
     out.push_str("# TYPE ");
     cached_name("telemetry.dropped_spans", out);
     out.push_str(" counter\n");
@@ -164,6 +206,28 @@ mod tests {
             last = v;
         }
         gmreg_telemetry::reset();
+    }
+
+    #[test]
+    fn active_windows_export_as_gauges_and_idle_ones_do_not() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        gmreg_telemetry::counter_add("t.req", 20);
+        gmreg_telemetry::histogram_record("t.lat.ns", 5_000_000.0);
+        let text = prometheus_text(&gmreg_telemetry::snapshot());
+        assert!(
+            text.contains(
+                "# TYPE gmreg_t_req_window_rate_10s gauge\ngmreg_t_req_window_rate_10s 2\n"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("gmreg_t_lat_ns_window_p99_10s "), "{text}");
+        // Counters have no in-window percentiles.
+        assert!(!text.contains("gmreg_t_req_window_p99_10s"), "{text}");
+        gmreg_telemetry::reset();
+        // After a reset nothing is active: no window series at all.
+        let text = prometheus_text(&gmreg_telemetry::snapshot());
+        assert!(!text.contains("_window_"), "{text}");
     }
 
     #[test]

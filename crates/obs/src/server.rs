@@ -28,6 +28,7 @@
 //!
 //! Live pooled connections are published as the `serve.connections` gauge.
 
+use gmreg_telemetry::TraceCtx;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -87,8 +88,19 @@ pub struct HttpRequest {
     pub method: String,
     /// Request path with any query string stripped.
     pub path: String,
+    /// The raw query string (bytes after `?`, without the `?`), empty when
+    /// absent. Parse with [`query_param`].
+    pub query: String,
     /// Raw request body (empty unless the client sent `Content-Length`).
     pub body: Vec<u8>,
+    /// Request-scoped trace context, minted by the server once the request
+    /// head has been read; its id is echoed back as the `X-Gmreg-Trace`
+    /// response header. `parent` is the pre-allocated root span id while a
+    /// capture window is open, 0 otherwise.
+    pub trace: TraceCtx,
+    /// When this request's processing began (head fully read), nanoseconds
+    /// since the telemetry epoch.
+    pub start_ns: u64,
     /// Declared `Content-Length` exceeded [`MAX_BODY`]; the body was not
     /// read and the connection must close after the 413.
     too_large: bool,
@@ -108,7 +120,10 @@ impl HttpRequest {
         HttpRequest {
             method: method.into(),
             path: path.into(),
+            query: String::new(),
             body,
+            trace: TraceCtx::NONE,
+            start_ns: 0,
             too_large: false,
             unsupported_encoding: false,
             wants_close: false,
@@ -118,10 +133,94 @@ impl HttpRequest {
     fn clear(&mut self) {
         self.method.clear();
         self.path.clear();
+        self.query.clear();
         self.body.clear();
+        self.trace = TraceCtx::NONE;
+        self.start_ns = 0;
         self.too_large = false;
         self.unsupported_encoding = false;
         self.wants_close = false;
+    }
+}
+
+/// Value of `key` in a raw query string (`a=1&b=2`); `None` when absent,
+/// `Some("")` for a bare flag. No percent-decoding — the debug endpoints
+/// only take small integers.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
+/// Per-stage nanosecond timings for one traced request, filled by the
+/// route handler (`parse` through `render`) and the server (`write`), and
+/// consumed after the response hits the wire: each stage feeds its
+/// `serve.stage.*.ns` histogram, the whole set rides into the slow-request
+/// ring, and — while a capture window is open — materializes as span
+/// events. The six stages tile the request end to end, so their sum is the
+/// request's total latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNs {
+    /// Wire parsing: request body → row buffers.
+    pub parse: u64,
+    /// Queue wait: blocked in the batcher minus the batch's own
+    /// assemble/compute time (so the six stages stay additive).
+    pub queue: u64,
+    /// Batch assembly on the dispatcher: drain, validation, row moves.
+    pub assemble: u64,
+    /// When assembly began (telemetry-epoch ns), for span reconstruction.
+    pub assemble_start: u64,
+    /// The batched forward pass.
+    pub compute: u64,
+    /// Response-body rendering in the handler.
+    pub render: u64,
+    /// Head serialization + socket write (filled by the server).
+    pub write: u64,
+    /// Rows sharing the batch that served this request.
+    pub batch_mates: u64,
+    /// Model generation that served the request.
+    pub generation: u64,
+    /// Set by handlers that fill the stages; gates all stage recording so
+    /// scrape endpoints stay cost-free.
+    pub traced: bool,
+}
+
+impl StageNs {
+    /// Total latency: the six stages summed.
+    pub fn total(&self) -> u64 {
+        self.parse + self.queue + self.assemble + self.compute + self.render + self.write
+    }
+}
+
+/// Stage histogram names, in pipeline order; index-aligned with
+/// [`StageNs::stage_values`].
+pub(crate) const STAGE_HISTS: [&str; 6] = [
+    "serve.stage.parse.ns",
+    "serve.stage.queue.ns",
+    "serve.stage.assemble.ns",
+    "serve.stage.compute.ns",
+    "serve.stage.render.ns",
+    "serve.stage.write.ns",
+];
+
+/// Short stage labels, index-aligned with [`STAGE_HISTS`]. Consumed by the
+/// `debug`-gated slow-request ring.
+#[cfg_attr(not(feature = "debug"), allow(dead_code))]
+pub(crate) const STAGE_LABELS: [&str; 6] =
+    ["parse", "queue", "assemble", "compute", "render", "write"];
+
+impl StageNs {
+    /// The six stage durations, index-aligned with [`STAGE_HISTS`].
+    pub(crate) fn stage_values(&self) -> [u64; 6] {
+        [
+            self.parse,
+            self.queue,
+            self.assemble,
+            self.compute,
+            self.render,
+            self.write,
+        ]
     }
 }
 
@@ -141,6 +240,10 @@ pub struct HttpResponse {
     /// `Retry-After` header value in seconds, emitted when set (back-off
     /// hint on 503s from overload shedding and deadline expiry).
     pub retry_after_secs: Option<u64>,
+    /// Per-stage latency attribution filled by tracing-aware handlers
+    /// (`/predict`); the server completes the `write` stage and records
+    /// the set once the response is on the wire.
+    pub stages: StageNs,
 }
 
 impl Default for HttpResponse {
@@ -150,6 +253,7 @@ impl Default for HttpResponse {
             content_type: "text/plain; charset=utf-8",
             body: String::new(),
             retry_after_secs: None,
+            stages: StageNs::default(),
         }
     }
 }
@@ -161,7 +265,7 @@ impl HttpResponse {
             status: "200 OK",
             content_type: "application/json",
             body: body.into(),
-            retry_after_secs: None,
+            ..HttpResponse::default()
         }
     }
 
@@ -171,7 +275,7 @@ impl HttpResponse {
             status: "200 OK",
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
-            retry_after_secs: None,
+            ..HttpResponse::default()
         }
     }
 
@@ -194,6 +298,7 @@ impl HttpResponse {
         self.content_type = "text/plain; charset=utf-8";
         self.body.clear();
         self.retry_after_secs = None;
+        self.stages = StageNs::default();
     }
 
     /// Set the status line and content type, clear the body, and return
@@ -541,6 +646,11 @@ struct ConnState {
     resp: HttpResponse,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
+    /// Last time this worker flushed its telemetry sink; keep-alive
+    /// connections can serve thousands of requests without ever exiting
+    /// `serve_connection`, so the worker flushes on a ~1 s cadence to feed
+    /// the per-second windowed-aggregation rings.
+    last_flush: Instant,
 }
 
 impl ConnState {
@@ -550,7 +660,84 @@ impl ConnState {
             resp: HttpResponse::default(),
             read_buf: Vec::with_capacity(4096),
             write_buf: Vec::with_capacity(4096),
+            last_flush: Instant::now(),
         }
+    }
+}
+
+/// Stamps a freshly-read request with its trace identity and start time.
+/// While a capture window is open the root span id is allocated up front —
+/// stages queued behind the batcher need a parent to link to before the
+/// root's own duration is known.
+fn begin_request(req: &mut HttpRequest) {
+    req.start_ns = gmreg_telemetry::trace::now_ns();
+    req.trace = TraceCtx::next();
+    if gmreg_telemetry::trace::capture_active() {
+        req.trace.parent = gmreg_telemetry::alloc_span_id();
+    }
+}
+
+/// Post-write bookkeeping for one completed request: always feeds the
+/// per-stage histograms and the slow-request ring (traced handlers only —
+/// plain timestamp arithmetic, no allocation), and materializes span
+/// events only while a capture window is open.
+fn finish_request(req: &HttpRequest, resp: &HttpResponse) {
+    use gmreg_telemetry::AttrValue;
+    let st = &resp.stages;
+    if st.traced {
+        for (name, v) in STAGE_HISTS.iter().zip(st.stage_values()) {
+            gmreg_telemetry::histogram_record(name, v as f64);
+        }
+        #[cfg(feature = "debug")]
+        crate::debug::record_completed(req.trace, st);
+    }
+    let root = req.trace.parent;
+    if root == 0 {
+        return;
+    }
+    // Capture window open: reconstruct the stage timeline as span events.
+    // `assemble`/`compute` spans were already emitted on the dispatcher
+    // thread (that is what draws the cross-thread flow links); the root
+    // plus the conn-thread stages are emitted here.
+    let end_ns = gmreg_telemetry::trace::now_ns();
+    let total = end_ns.saturating_sub(req.start_ns);
+    gmreg_telemetry::record_span_with_id(
+        root,
+        "serve.request.root.ns",
+        req.start_ns,
+        total,
+        0,
+        &[
+            ("trace", AttrValue::U64(req.trace.id)),
+            ("batch_mates", AttrValue::U64(st.batch_mates)),
+            ("generation", AttrValue::U64(st.generation)),
+        ],
+    );
+    if st.traced {
+        let attrs: &[(&'static str, AttrValue)] = &[("trace", AttrValue::U64(req.trace.id))];
+        gmreg_telemetry::record_span_at(
+            "serve.stage.parse.ns",
+            req.start_ns,
+            st.parse,
+            root,
+            attrs,
+        );
+        gmreg_telemetry::record_span_at(
+            "serve.stage.queue.ns",
+            req.start_ns + st.parse,
+            st.queue,
+            root,
+            attrs,
+        );
+        let write_start = end_ns.saturating_sub(st.write);
+        gmreg_telemetry::record_span_at(
+            "serve.stage.render.ns",
+            write_start.saturating_sub(st.render),
+            st.render,
+            root,
+            attrs,
+        );
+        gmreg_telemetry::record_span_at("serve.stage.write.ns", write_start, st.write, root, attrs);
     }
 }
 
@@ -591,6 +778,7 @@ fn serve_inline(
     if outcome != ReadOutcome::Request {
         return Ok(());
     }
+    begin_request(&mut state.req);
     respond(&mut stream, router, state, true)
 }
 
@@ -617,6 +805,7 @@ fn serve_connection(
         if outcome != ReadOutcome::Request {
             return Ok(());
         }
+        begin_request(&mut state.req);
         served += 1;
         gmreg_telemetry::counter_inc("serve.conn.requests");
         let close = state.req.wants_close
@@ -625,6 +814,10 @@ fn serve_connection(
             || served >= router.max_requests_per_conn
             || stop.load(Ordering::Acquire);
         respond(&mut stream, router, state, close)?;
+        if state.last_flush.elapsed() >= Duration::from_secs(1) {
+            gmreg_telemetry::flush();
+            state.last_flush = Instant::now();
+        }
         if close {
             return Ok(());
         }
@@ -650,13 +843,19 @@ fn respond(
     } else {
         router.dispatch(&state.req, &mut state.resp);
     }
-    render_response(&mut state.write_buf, &state.resp, close);
+    let write_started = Instant::now();
+    render_response(&mut state.write_buf, &state.resp, close, state.req.trace);
     stream.write_all(&state.write_buf)?;
-    stream.flush()
+    stream.flush()?;
+    state.resp.stages.write = write_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    finish_request(&state.req, &state.resp);
+    Ok(())
 }
 
-/// Serialize the head + body into the reused write buffer.
-fn render_response(out: &mut Vec<u8>, resp: &HttpResponse, close: bool) {
+/// Serialize the head + body into the reused write buffer. A non-empty
+/// trace id is echoed as the `X-Gmreg-Trace` header so clients can quote
+/// the id when reporting a slow request.
+fn render_response(out: &mut Vec<u8>, resp: &HttpResponse, close: bool, trace: TraceCtx) {
     use std::io::Write as _;
     out.clear();
     out.extend_from_slice(b"HTTP/1.1 ");
@@ -665,6 +864,10 @@ fn render_response(out: &mut Vec<u8>, resp: &HttpResponse, close: bool) {
     out.extend_from_slice(resp.content_type.as_bytes());
     out.extend_from_slice(b"\r\nContent-Length: ");
     let _ = write!(out, "{}", resp.body.len());
+    if trace.is_some() {
+        out.extend_from_slice(b"\r\nX-Gmreg-Trace: ");
+        out.extend_from_slice(&trace.id_hex());
+    }
     if let Some(secs) = resp.retry_after_secs {
         out.extend_from_slice(b"\r\nRetry-After: ");
         let _ = write!(out, "{secs}");
@@ -802,9 +1005,13 @@ fn parse_head(head: &[u8], req: &mut HttpRequest) -> usize {
     for &b in method {
         req.method.push(b.to_ascii_uppercase() as char);
     }
-    let path = parts.next().unwrap_or(b"/");
-    let path = path.split(|&b| b == b'?').next().unwrap_or(b"/");
+    let target = parts.next().unwrap_or(b"/");
+    let mut halves = target.splitn(2, |&b| b == b'?');
+    let path = halves.next().unwrap_or(b"/");
     req.path.push_str(&String::from_utf8_lossy(path));
+    if let Some(query) = halves.next() {
+        req.query.push_str(&String::from_utf8_lossy(query));
+    }
     let http10 = parts.next() == Some(b"HTTP/1.0");
 
     let mut content_length = 0usize;
@@ -871,10 +1078,18 @@ fn builtin_route(router: &Router, req: &HttpRequest, resp: &mut HttpResponse) {
             let body = resp.start_json();
             crate::status_json_into(&gmreg_telemetry::snapshot(), body);
         }
+        #[cfg(feature = "debug")]
+        "/debug/requests" => crate::debug::requests_json(resp),
+        #[cfg(feature = "debug")]
+        "/debug/trace" => crate::debug::trace_capture(req, resp),
         "/" => {
             let body = resp.start_text();
             body.push_str(
                 "gmreg-obs\n\n/metrics  Prometheus text exposition\n/status   training status JSON\n",
+            );
+            #[cfg(feature = "debug")]
+            body.push_str(
+                "/debug/requests  worst-N slow request traces\n/debug/trace     timed span capture (Chrome trace_event JSON)\n",
             );
             for (method, path, _) in &router.routes {
                 body.push_str(method);

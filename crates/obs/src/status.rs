@@ -1,7 +1,7 @@
 //! The `/status` JSON document: a fixed-shape summary of training progress
 //! assembled from well-known telemetry metric names.
 
-use gmreg_telemetry::Report;
+use gmreg_telemetry::{Report, WindowStats};
 
 fn json_num(v: f64, out: &mut String) {
     use std::fmt::Write as _;
@@ -31,6 +31,28 @@ fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
     }
 }
 
+/// The crate features this build compiled in, as a comma-joined list. A
+/// compile-time fact rendered at runtime — `cfg!` cannot build a `const`
+/// string without a proc macro.
+fn build_features() -> &'static str {
+    match (cfg!(feature = "serve"), cfg!(feature = "debug")) {
+        (_, true) => "serve,debug",
+        (true, false) => "serve",
+        (false, false) => "",
+    }
+}
+
+/// Renders a rolling-window percentile (`hist_10s`/`hist_60s` member) in
+/// milliseconds, `null` when the window holds no observations.
+fn window_pctl(
+    out: &mut String,
+    key: &str,
+    w: Option<&WindowStats>,
+    pick: fn(&WindowStats) -> Option<f64>,
+) {
+    field_f64(out, key, w.and_then(pick).map(|ns| ns / 1e6));
+}
+
 /// Renders `report` as the `/status` JSON object.
 ///
 /// The document has a fixed shape; metrics a run never recorded appear as
@@ -48,11 +70,26 @@ fn field_f64(out: &mut String, key: &str, value: Option<f64>) {
 ///             "reloads": 1, "fallbacks": 0, "rejected": 0,
 ///             "batch_failures": 0, "deadline_expired": 0,
 ///             "connections": 2},
+///   "window": {"requests_rate_10s": 2650.0, "requests_rate_60s": 2512.4,
+///              "latency_ms": {"p50_10s": ..., "p95_10s": ..., "p99_10s": ...,
+///                             "p50_60s": ..., "p95_60s": ..., "p99_60s": ...}},
 ///   "shard": {"workers": 4, "restarts": 0, "reassignments": 0,
 ///             "heartbeat_misses": 0, "replays": 0},
-///   "telemetry": {"spans": 140, "dropped_spans": 0}
+///   "telemetry": {"spans": 140, "dropped_spans": 0},
+///   "build": {"version": "0.1.0", "git": "f7413d4", "features": "serve,debug",
+///             "uptime_secs": 86}
 /// }
 /// ```
+///
+/// The `window` section is the rolling live view (see
+/// [`gmreg_telemetry::window`]): request rates over the last 10 s / 60 s
+/// and in-window latency percentiles in milliseconds, all `null` until the
+/// serving path records traffic. Unlike the cumulative `serve` counters it
+/// answers "what is the server doing *now*".
+///
+/// The `build` section is compile-time provenance: crate version,
+/// `git describe` of the built tree (`"unknown"` outside a checkout),
+/// compiled-in features, and seconds since the process telemetry epoch.
 ///
 /// The `serve` section mirrors the `gmreg-serve` daemon's counters; for a
 /// training-only run it is all zeros with a `null` generation.
@@ -141,7 +178,37 @@ pub fn status_json_into(report: &Report, out: &mut String) {
     field_u64(out, "deadline_expired", counter("serve.deadline_expired"));
     out.push_str(", ");
     field_f64(out, "connections", gauge("serve.connections"));
-    out.push_str("}, \"shard\": {");
+    out.push_str("}, \"window\": {");
+    let req_w = report.window("serve.requests");
+    field_f64(out, "requests_rate_10s", req_w.map(|w| w.rate_10s));
+    out.push_str(", ");
+    field_f64(out, "requests_rate_60s", req_w.map(|w| w.rate_60s));
+    out.push_str(", \"latency_ms\": {");
+    let lat = report.window("serve.request.ns");
+    window_pctl(out, "p50_10s", lat, |w| {
+        w.hist_10s.as_ref().map(|h| h.p50())
+    });
+    out.push_str(", ");
+    window_pctl(out, "p95_10s", lat, |w| {
+        w.hist_10s.as_ref().map(|h| h.p95())
+    });
+    out.push_str(", ");
+    window_pctl(out, "p99_10s", lat, |w| {
+        w.hist_10s.as_ref().map(|h| h.p99())
+    });
+    out.push_str(", ");
+    window_pctl(out, "p50_60s", lat, |w| {
+        w.hist_60s.as_ref().map(|h| h.p50())
+    });
+    out.push_str(", ");
+    window_pctl(out, "p95_60s", lat, |w| {
+        w.hist_60s.as_ref().map(|h| h.p95())
+    });
+    out.push_str(", ");
+    window_pctl(out, "p99_60s", lat, |w| {
+        w.hist_60s.as_ref().map(|h| h.p99())
+    });
+    out.push_str("}}, \"shard\": {");
     field_f64(out, "workers", gauge("shard.workers"));
     out.push_str(", ");
     field_u64(out, "restarts", counter("shard.restarts"));
@@ -155,6 +222,18 @@ pub fn status_json_into(report: &Report, out: &mut String) {
     field_u64(out, "spans", report.spans.len() as u64);
     out.push_str(", ");
     field_u64(out, "dropped_spans", report.dropped_spans);
+    out.push_str("}, \"build\": {");
+    {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "\"version\": \"{}\", \"git\": \"{}\", \"features\": \"{}\", ",
+            env!("CARGO_PKG_VERSION"),
+            env!("GMREG_GIT_DESCRIBE"),
+            build_features()
+        );
+    }
+    field_u64(out, "uptime_secs", gmreg_telemetry::uptime_secs());
     out.push_str("}}");
 }
 
@@ -253,6 +332,48 @@ mod tests {
         assert!(s.contains("\"replays\": 4"), "{s}");
         assert!(s.contains("\"deadline_expired\": 1"), "{s}");
         gmreg_telemetry::reset();
+    }
+
+    #[test]
+    fn window_section_is_null_until_traffic_flows() {
+        let _g = locked();
+        gmreg_telemetry::reset();
+        let s = status_json(&gmreg_telemetry::snapshot());
+        assert!(
+            s.contains("\"window\": {\"requests_rate_10s\": null, \"requests_rate_60s\": null"),
+            "{s}"
+        );
+        assert!(s.contains("\"latency_ms\": {\"p50_10s\": null"), "{s}");
+
+        gmreg_telemetry::counter_add("serve.requests", 30);
+        for _ in 0..10 {
+            gmreg_telemetry::histogram_record("serve.request.ns", 2_000_000.0);
+        }
+        gmreg_telemetry::flush();
+        let s = status_json(&gmreg_telemetry::snapshot());
+        // 30 requests landed in the current second: 3/s over 10 s.
+        assert!(s.contains("\"requests_rate_10s\": 3.0"), "{s}");
+        assert!(s.contains("\"requests_rate_60s\": 0.5"), "{s}");
+        // 2 ms observations: every in-window percentile is near 2 ms and
+        // definitely not null.
+        assert!(!s.contains("\"p99_10s\": null"), "{s}");
+        assert!(!s.contains("\"p50_60s\": null"), "{s}");
+        gmreg_telemetry::reset();
+    }
+
+    #[test]
+    fn build_section_reports_provenance() {
+        let s = status_json(&Report::default());
+        let version = format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"));
+        assert!(s.contains(&version), "{s}");
+        assert!(s.contains("\"git\": \""), "{s}");
+        assert!(
+            !s.contains("\"git\": \"\""),
+            "git describe must not be empty"
+        );
+        assert!(s.contains("\"features\": \""), "{s}");
+        assert!(s.contains("\"uptime_secs\": "), "{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");
     }
 
     #[test]

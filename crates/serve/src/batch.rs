@@ -91,15 +91,38 @@ impl Default for BatchConfig {
 /// probability.
 pub type Prediction = (u64, f64);
 
+/// Per-batch timing attribution riding back with every reply: when and how
+/// long the dispatcher spent assembling the batch, how long the forward
+/// pass took, and how many rows shared it. `Copy` and fixed-size, so the
+/// reply channel stays allocation-free; a reply that never rode a batch
+/// (shed, expired, shutdown) carries the zero stamp (`batch_mates == 0`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStamp {
+    /// When batch assembly began, telemetry-epoch nanoseconds (0 when the
+    /// `telemetry` feature is off).
+    pub assemble_start_ns: u64,
+    /// Drain + validation + row moves, nanoseconds.
+    pub assemble_ns: u64,
+    /// The batched forward pass, nanoseconds.
+    pub compute_ns: u64,
+    /// Rows that shared the batch.
+    pub batch_mates: u64,
+}
+
 /// A reply is routed back to its slot in the submitting request, so one
 /// multi-row request shares one channel instead of one channel per row.
-type Reply = (usize, Result<Prediction, ServeError>);
+type Reply = (usize, Result<Prediction, ServeError>, BatchStamp);
 
 struct Pending {
     slot: usize,
     row: Vec<f32>,
     reply: mpsc::SyncSender<Reply>,
     enqueued: Instant,
+    /// Root span id of the submitting request's trace while a capture
+    /// window is open (0 otherwise): the dispatcher parents its
+    /// assemble/compute spans to the first traced rider, which is what
+    /// draws the cross-thread flow link in the Chrome trace.
+    trace_parent: u64,
 }
 
 struct Shard {
@@ -227,10 +250,28 @@ impl Batcher {
         rows: &mut Vec<Vec<f32>>,
         out: &mut Vec<Result<Prediction, ServeError>>,
     ) {
+        self.submit_all_traced(rows, out, 0);
+    }
+
+    /// [`Batcher::submit_all`] carrying the submitting request's root span
+    /// id (`0` when no capture window is open — the dispatcher then emits
+    /// no spans for this request), returning the request's batch-side
+    /// latency attribution: `assemble_ns` and `compute_ns` summed over the
+    /// distinct batches its rows rode (sequential on the one dispatcher
+    /// thread, so the sum is the critical-path time), `batch_mates` from
+    /// the largest such batch. The caller derives queue wait as its own
+    /// blocking time minus these two.
+    pub fn submit_all_traced(
+        &self,
+        rows: &mut Vec<Vec<f32>>,
+        out: &mut Vec<Result<Prediction, ServeError>>,
+        trace_parent: u64,
+    ) -> BatchStamp {
+        let mut stamp = BatchStamp::default();
         let n = rows.len();
         out.clear();
         if n == 0 {
-            return;
+            return stamp;
         }
         let shared = &*self.shared;
         let started = Instant::now();
@@ -286,6 +327,7 @@ impl Batcher {
                         row,
                         reply: reply_tx.clone(),
                         enqueued,
+                        trace_parent,
                     });
             }
             drop(reply_tx);
@@ -295,11 +337,24 @@ impl Batcher {
             shared.wake_cv.notify_one();
 
             let mut received = 0;
+            // Batches are sequential on the one dispatcher thread and each
+            // batch's replies are sent together, so a change in
+            // `assemble_start_ns` marks a new distinct batch to accumulate.
+            let mut last_batch_start = 0u64;
             while received < chunk {
                 match reply_rx.recv() {
-                    Ok((slot, result)) => {
+                    Ok((slot, result, batch)) => {
                         out[slot] = result;
                         received += 1;
+                        if batch.batch_mates > 0 && batch.assemble_start_ns != last_batch_start {
+                            last_batch_start = batch.assemble_start_ns;
+                            if stamp.batch_mates == 0 {
+                                stamp.assemble_start_ns = batch.assemble_start_ns;
+                            }
+                            stamp.assemble_ns += batch.assemble_ns;
+                            stamp.compute_ns += batch.compute_ns;
+                        }
+                        stamp.batch_mates = stamp.batch_mates.max(batch.batch_mates);
                     }
                     // Dispatcher gone mid-request: remaining slots keep the
                     // ShuttingDown placeholder.
@@ -315,6 +370,7 @@ impl Batcher {
                 tele::histogram_record("serve.request.ns", elapsed_ns);
             }
         }
+        stamp
     }
 }
 
@@ -347,7 +403,7 @@ fn dispatch_loop(shared: &Shared) {
     };
     let mut drain_from = 0usize;
     loop {
-        collect_batch(shared, &mut scratch.batch, &mut drain_from);
+        let drain_started = collect_batch(shared, &mut scratch.batch, &mut drain_from);
         if scratch.batch.is_empty() {
             if shared.shutdown.load(Ordering::Acquire) {
                 drain_on_shutdown(shared);
@@ -355,7 +411,7 @@ fn dispatch_loop(shared: &Shared) {
             }
             continue;
         }
-        run_batch(shared, &mut scratch);
+        run_batch(shared, &mut scratch, drain_started);
         // The dispatcher is long-lived: push its per-thread counters into
         // the global registry so live scrapes see batches as they happen.
         tele::flush();
@@ -388,6 +444,7 @@ fn expire_overdue(shared: &Shared, budget_ms: u64) {
                 Err(ServeError::DeadlineExpired {
                     waited_ms: waited.as_millis() as u64,
                 }),
+                BatchStamp::default(),
             ));
         }
     }
@@ -414,7 +471,11 @@ fn oldest_enqueued(shared: &Shared) -> Option<Instant> {
 /// mid-window is expired rather than collected — and are only drained into
 /// `batch` when the window closes. Shards are drained round-robin from a
 /// rotating start so no shard is systematically favored.
-fn collect_batch(shared: &Shared, batch: &mut Vec<Pending>, drain_from: &mut usize) {
+///
+/// Returns when the drain began — the start of the batch's *assemble*
+/// stage. The open wait window before it counts as the riders' queue time,
+/// not assembly.
+fn collect_batch(shared: &Shared, batch: &mut Vec<Pending>, drain_from: &mut usize) -> Instant {
     batch.clear();
     let budget_ms = shared.cfg.max_wait_budget_ms;
     // Shed whatever went overdue while the previous batch was running —
@@ -424,7 +485,7 @@ fn collect_batch(shared: &Shared, batch: &mut Vec<Pending>, drain_from: &mut usi
         let mut guard = shared.wake.lock().expect("wake lock poisoned");
         while shared.len.load(Ordering::Acquire) == 0 {
             if shared.shutdown.load(Ordering::Acquire) {
-                return;
+                return Instant::now();
             }
             let (g, _) = shared
                 .wake_cv
@@ -463,6 +524,7 @@ fn collect_batch(shared: &Shared, batch: &mut Vec<Pending>, drain_from: &mut usi
     }
     expire_overdue(shared, budget_ms);
     // Window closed: drain up to max_size rows, round-robin across shards.
+    let drain_started = Instant::now();
     let max = shared.cfg.max_size;
     for step in 0..NUM_SHARDS {
         if batch.len() >= max {
@@ -481,6 +543,7 @@ fn collect_batch(shared: &Shared, batch: &mut Vec<Pending>, drain_from: &mut usi
         }
     }
     *drain_from = (*drain_from + 1) & (NUM_SHARDS - 1);
+    drain_started
 }
 
 fn drain_on_shutdown(shared: &Shared) {
@@ -488,17 +551,24 @@ fn drain_on_shutdown(shared: &Shared) {
         let mut queue = shared.lock_shard(i);
         for pending in queue.drain(..) {
             shared.len.fetch_sub(1, Ordering::AcqRel);
-            let _ = pending
-                .reply
-                .send((pending.slot, Err(ServeError::ShuttingDown)));
+            let _ = pending.reply.send((
+                pending.slot,
+                Err(ServeError::ShuttingDown),
+                BatchStamp::default(),
+            ));
         }
     }
 }
 
-fn run_batch(shared: &Shared, scratch: &mut Scratch) {
+fn run_batch(shared: &Shared, scratch: &mut Scratch, drain_started: Instant) {
+    let assemble_start_ns = tele::now_ns();
     let Some(model) = shared.registry.current() else {
         for pending in scratch.batch.drain(..) {
-            let _ = pending.reply.send((pending.slot, Err(ServeError::NoModel)));
+            let _ = pending.reply.send((
+                pending.slot,
+                Err(ServeError::NoModel),
+                BatchStamp::default(),
+            ));
         }
         return;
     };
@@ -518,6 +588,7 @@ fn run_batch(shared: &Shared, scratch: &mut Scratch) {
                     expected: model.dim(),
                     actual: pending.row.len(),
                 }),
+                BatchStamp::default(),
             ));
         }
     }
@@ -528,25 +599,88 @@ fn run_batch(shared: &Shared, scratch: &mut Scratch) {
     tele::counter_inc("serve.batches");
     tele::histogram_record("serve.batch_size", scratch.rows.len() as f64);
 
+    let batch_mates = scratch.rows.len() as u64;
+    let assemble_ns = drain_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    // While a capture window is open, the dispatcher materializes its two
+    // stages as spans parented to the first traced rider's root — the
+    // parent lives on a connection-worker thread, which is exactly what
+    // draws the cross-thread flow arrow in the Chrome trace. The compute
+    // span id is adopted as this thread's default parent before the
+    // forward pass so the pool's fork/matmul spans nest under it.
+    let mut compute_id = 0u64;
+    if tele::capture_active() {
+        let trace_root = scratch
+            .valid
+            .iter()
+            .map(|p| p.trace_parent)
+            .find(|&p| p != 0);
+        if let Some(root) = trace_root {
+            tele::record_span_at(
+                "serve.stage.assemble.ns",
+                assemble_start_ns,
+                assemble_ns,
+                root,
+                &[("batch_mates", tele::AttrValue::U64(batch_mates))],
+            );
+            compute_id = tele::alloc_span_id();
+            tele::adopt_parent(compute_id);
+        }
+    }
+
+    let compute_started = Instant::now();
+    let compute_start_ns = tele::now_ns();
     let forward = catch_unwind(AssertUnwindSafe(|| {
         model.forward_into(&scratch.rows, &mut scratch.flat, &mut scratch.probs)
     }));
+    let compute_ns = compute_started
+        .elapsed()
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64;
+    if compute_id != 0 {
+        tele::adopt_parent(0);
+        let root = scratch
+            .valid
+            .iter()
+            .map(|p| p.trace_parent)
+            .find(|&p| p != 0)
+            .unwrap_or(0);
+        tele::record_span_with_id(
+            compute_id,
+            "serve.stage.compute.ns",
+            compute_start_ns,
+            compute_ns,
+            root,
+            &[
+                ("batch_mates", tele::AttrValue::U64(batch_mates)),
+                ("generation", tele::AttrValue::U64(model.generation)),
+            ],
+        );
+    }
+    let stamp = BatchStamp {
+        assemble_start_ns,
+        assemble_ns,
+        compute_ns,
+        batch_mates,
+    };
+
     match forward {
         Ok(Ok(())) => {
             debug_assert_eq!(scratch.probs.len(), scratch.valid.len());
             for (pending, &prob) in scratch.valid.drain(..).zip(scratch.probs.iter()) {
                 let _ = pending
                     .reply
-                    .send((pending.slot, Ok((model.generation, prob))));
+                    .send((pending.slot, Ok((model.generation, prob)), stamp));
             }
         }
         Ok(Err(e)) => {
             tele::counter_inc("serve.batch.failures");
             let msg = e.to_string();
             for pending in scratch.valid.drain(..) {
-                let _ = pending
-                    .reply
-                    .send((pending.slot, Err(ServeError::BatchFailed(msg.clone()))));
+                let _ = pending.reply.send((
+                    pending.slot,
+                    Err(ServeError::BatchFailed(msg.clone())),
+                    stamp,
+                ));
             }
         }
         Err(panic) => {
@@ -557,9 +691,11 @@ fn run_batch(shared: &Shared, scratch: &mut Scratch) {
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "forward pass panicked".to_string());
             for pending in scratch.valid.drain(..) {
-                let _ = pending
-                    .reply
-                    .send((pending.slot, Err(ServeError::BatchFailed(msg.clone()))));
+                let _ = pending.reply.send((
+                    pending.slot,
+                    Err(ServeError::BatchFailed(msg.clone())),
+                    stamp,
+                ));
             }
         }
     }
@@ -648,6 +784,24 @@ mod tests {
                 "row {i} diverged between submit_all and direct forward"
             );
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_submission_returns_batch_attribution() {
+        let dir = tmp_dir("stamp");
+        let reg = seeded_registry(&dir, 4);
+        let batcher = Batcher::new(Arc::clone(&reg), BatchConfig::default());
+        let mut rows: Vec<Vec<f32>> = (0..3).map(|_| vec![0.1, 0.2, 0.3, 0.4]).collect();
+        let mut out = Vec::new();
+        let stamp = batcher.submit_all_traced(&mut rows, &mut out, 0);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.is_ok()), "{out:?}");
+        assert!(
+            (1..=32).contains(&stamp.batch_mates),
+            "rows rode a real batch: {stamp:?}"
+        );
+        assert!(stamp.compute_ns > 0, "forward pass took measurable time");
         let _ = fs::remove_dir_all(&dir);
     }
 

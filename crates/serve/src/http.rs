@@ -23,10 +23,16 @@ use crate::batch::{Batcher, Prediction};
 use crate::registry::{ModelRegistry, ReloadOutcome};
 use crate::wire;
 use crate::ServeError;
-use gmreg_obs::{HttpRequest, HttpResponse, Router};
+use gmreg_obs::{HttpRequest, HttpResponse, Router, StageNs};
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// `Instant::elapsed` as saturating nanoseconds.
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
 
 /// Largest number of rows one request may carry — an abuse guard against
 /// a single caller smuggling in an effectively unbounded batch. Requests
@@ -53,6 +59,7 @@ thread_local! {
 fn predict(batcher: &Batcher, req: &HttpRequest, resp: &mut HttpResponse) {
     SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
+        let parse_started = Instant::now();
         if let Err(e) = wire::parse_predict(&req.body, &mut scratch.rows, || batcher.take_row()) {
             batcher.recycle_rows(&mut scratch.rows);
             resp.set_error("400 Bad Request", &format!("malformed request: {e}"));
@@ -70,8 +77,12 @@ fn predict(batcher: &Batcher, req: &HttpRequest, resp: &mut HttpResponse) {
             );
             return;
         }
+        let parse = elapsed_ns(parse_started);
 
-        batcher.submit_all(&mut scratch.rows, &mut scratch.results);
+        let submit_started = Instant::now();
+        let stamp =
+            batcher.submit_all_traced(&mut scratch.rows, &mut scratch.results, req.trace.parent);
+        let submit_wait = elapsed_ns(submit_started);
 
         let mut generation = 0;
         for result in &scratch.results {
@@ -84,6 +95,7 @@ fn predict(batcher: &Batcher, req: &HttpRequest, resp: &mut HttpResponse) {
             }
         }
 
+        let render_started = Instant::now();
         let body = resp.start_json();
         let _ = write!(body, "{{\"generation\": {generation}, \"predictions\": [");
         for (i, result) in scratch.results.iter().enumerate() {
@@ -97,6 +109,23 @@ fn predict(batcher: &Batcher, req: &HttpRequest, resp: &mut HttpResponse) {
             let _ = write!(body, "{p}");
         }
         body.push_str("]}\n");
+
+        // Stage attribution for the server to finish (it times the socket
+        // write) and record. Queue wait is the blocking time in the
+        // batcher minus the batch work itself, so the six stages tile the
+        // request without double counting.
+        resp.stages = StageNs {
+            parse,
+            queue: submit_wait.saturating_sub(stamp.assemble_ns + stamp.compute_ns),
+            assemble: stamp.assemble_ns,
+            assemble_start: stamp.assemble_start_ns,
+            compute: stamp.compute_ns,
+            render: elapsed_ns(render_started),
+            write: 0,
+            batch_mates: stamp.batch_mates,
+            generation,
+            traced: true,
+        };
     });
 }
 

@@ -32,6 +32,13 @@
 //! `serve.reloads`, `serve.fallbacks`, `serve.rejected`,
 //! `serve.batch.failures`, and the `serve.generation` gauge. The `/status`
 //! document exposes them under its `serve` section.
+//!
+//! Every `/predict` response additionally decomposes into the six
+//! `serve.stage.{parse,queue,assemble,compute,render,write}.ns` histograms
+//! — the stages tile the request end to end, so the per-stage p99s explain
+//! where tail latency lives — and echoes its request trace id as the
+//! `X-Gmreg-Trace` header (see `gmreg-obs`'s `/debug/requests` and
+//! `/debug/trace`).
 
 #![warn(missing_docs)]
 
@@ -47,7 +54,7 @@ pub mod wire;
 #[cfg(feature = "http")]
 pub mod http;
 
-pub use batch::{BatchConfig, Batcher};
+pub use batch::{BatchConfig, BatchStamp, Batcher};
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use model::ServedModel;

@@ -9,9 +9,12 @@
 
 #[cfg(feature = "telemetry")]
 pub(crate) use gmreg_telemetry::{
-    adopt_parent, counter_add, counter_inc, current_span_id, flush, gauge_set, histogram_record,
-    span, AttrValue, Span,
+    adopt_parent, alloc_span_id, counter_add, counter_inc, current_span_id, flush, gauge_set,
+    histogram_record, record_span_at, record_span_with_id, span, AttrValue, Span,
 };
+
+#[cfg(feature = "telemetry")]
+pub(crate) use gmreg_telemetry::trace::{capture_active, now_ns};
 
 #[cfg(not(feature = "telemetry"))]
 mod noop {
@@ -94,6 +97,57 @@ mod noop {
 
     #[inline(always)]
     pub fn flush() {}
+
+    /// Stand-in for span attribute values (capture-mode spans only, so the
+    /// no-op build never constructs one outside dead code).
+    #[derive(Debug, Clone, Copy)]
+    pub enum AttrValue {
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Str(&'static str),
+        Bool(bool),
+    }
+
+    /// Always false without the `telemetry` feature: no capture windows.
+    #[inline(always)]
+    pub fn capture_active() -> bool {
+        false
+    }
+
+    /// Always 0 without the `telemetry` feature.
+    #[inline(always)]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    /// Always 0 without the `telemetry` feature.
+    #[inline(always)]
+    pub fn alloc_span_id() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn record_span_with_id(
+        _id: u64,
+        _name: &'static str,
+        _start_ns: u64,
+        _dur_ns: u64,
+        _parent: u64,
+        _attrs: &[(&'static str, AttrValue)],
+    ) {
+    }
+
+    #[inline(always)]
+    pub fn record_span_at(
+        _name: &'static str,
+        _start_ns: u64,
+        _dur_ns: u64,
+        _parent: u64,
+        _attrs: &[(&'static str, AttrValue)],
+    ) -> u64 {
+        0
+    }
 }
 
 #[cfg(not(feature = "telemetry"))]

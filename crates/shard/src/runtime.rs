@@ -266,16 +266,21 @@ impl Supervisor {
     /// Remove `worker` from the live set and either restart it (budget
     /// permitting, with exponential backoff) or degrade to the survivors.
     /// A no-op for ids already removed (stale `Died` replies, double
-    /// detection via miss counting and channel closure).
-    fn note_death(&mut self, worker: usize, detail: &str) -> Result<()> {
+    /// detection via miss counting and channel closure). `trace` is the
+    /// surrounding round's root span id (0 outside capture windows); the
+    /// recovery decision is annotated into that round's trace tree.
+    fn note_death(&mut self, worker: usize, detail: &str, trace: u64) -> Result<()> {
         let Some(idx) = self.workers.iter().position(|h| h.id == worker) else {
             return Ok(());
         };
         self.workers.remove(idx);
+        let death_start = tele::now_ns();
         let mut _death_span = tele::span("shard.worker.death.ns")
             .with_u64("worker", worker as u64)
+            .with_u64("round", self.tag)
             .with_u64("restarts_used", self.restarts_used as u64);
-        if self.restarts_used < self.cfg.max_restarts {
+        let restarted = self.restarts_used < self.cfg.max_restarts;
+        if restarted {
             self.restarts_used += 1;
             self.restarts += 1;
             tele::counter_inc("shard.restarts");
@@ -296,6 +301,26 @@ impl Supervisor {
             // data, not of execution.
             self.reassignments += 1;
             tele::counter_inc("shard.reassignments");
+            _death_span.set_u64("reassigned", 1);
+        }
+        if trace != 0 {
+            // Annotate the recovery into the round's trace tree so a
+            // captured window shows *which* round absorbed the death and
+            // how (restart vs degrade-and-reassign).
+            tele::record_span_at(
+                if restarted {
+                    "shard.round.restart"
+                } else {
+                    "shard.round.reassign"
+                },
+                death_start,
+                tele::now_ns().saturating_sub(death_start),
+                trace,
+                &[
+                    ("worker", tele::AttrValue::U64(worker as u64)),
+                    ("survivors", tele::AttrValue::U64(self.workers.len() as u64)),
+                ],
+            );
         }
         tele::gauge_set("shard.workers", self.workers.len() as f64);
         if self.workers.is_empty() {
@@ -308,9 +333,13 @@ impl Supervisor {
 
     /// Send every unfilled shard of the round to its current owner.
     /// `replay` marks re-dispatches (counted separately from first sends).
+    /// Each task is stamped with `trace`, the round's root span id, before
+    /// it crosses the channel.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch<F>(
         &mut self,
         tag: u64,
+        trace: u64,
         shard_ids: &[usize],
         slots: &[Option<Reply>],
         assigned: &mut HashMap<usize, usize>,
@@ -337,7 +366,9 @@ impl Supervisor {
                     .iter()
                     .find(|h| h.id == owner)
                     .expect("owner comes from the live list");
-                if handle.tx.send(make(tag, s)).is_ok() {
+                let mut task = make(tag, s);
+                task.set_trace(trace);
+                if handle.tx.send(task).is_ok() {
                     assigned.insert(s, owner);
                     tele::counter_inc(if replay {
                         "shard.replays"
@@ -349,7 +380,7 @@ impl Supervisor {
                 // The worker's channel is closed: it died without managing
                 // to report. Recover and retry the send against the new
                 // live set.
-                self.note_death(owner, "task channel closed")?;
+                self.note_death(owner, "task channel closed", trace)?;
             }
         }
         Ok(())
@@ -357,20 +388,40 @@ impl Supervisor {
 
     /// One dispatch round: fan `shard_ids` out over the live workers,
     /// collect replies into shard-indexed slots, and survive whatever dies
-    /// in between. Returns the replies aligned with `shard_ids`.
-    fn run_round<F>(&mut self, shard_ids: &[usize], mut make: F) -> Result<Vec<Reply>>
+    /// in between. Returns the replies aligned with `shard_ids`, plus the
+    /// round's trace root span id (0 outside capture windows) so the
+    /// caller can parent the reduce into the same tree.
+    fn run_round<F>(&mut self, shard_ids: &[usize], mut make: F) -> Result<(Vec<Reply>, u64)>
     where
         F: FnMut(u64, usize) -> Task,
     {
         self.tag += 1;
         let tag = self.tag;
         tele::counter_inc("shard.rounds");
+        // Round-scoped trace root: pre-allocated so dispatched tasks,
+        // worker compute spans, recovery annotations, and the caller's
+        // reduce all parent into one id; recorded (with its real duration)
+        // once the round completes.
+        let round_start = tele::now_ns();
+        let trace = if tele::capture_active() {
+            tele::alloc_span_id()
+        } else {
+            0
+        };
         let mut slots: Vec<Option<Reply>> = Vec::new();
         slots.resize_with(shard_ids.len(), || None);
         let slot_of: HashMap<usize, usize> =
             shard_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         let mut assigned: HashMap<usize, usize> = HashMap::new();
-        self.dispatch(tag, shard_ids, &slots, &mut assigned, &mut make, false)?;
+        self.dispatch(
+            tag,
+            trace,
+            shard_ids,
+            &slots,
+            &mut assigned,
+            &mut make,
+            false,
+        )?;
 
         let mut outstanding = shard_ids.len();
         while outstanding > 0 {
@@ -379,8 +430,16 @@ impl Supervisor {
                 .recv_timeout(Duration::from_millis(self.cfg.heartbeat_ms))
             {
                 Ok(Reply::Died { worker, detail }) => {
-                    self.note_death(worker, &detail)?;
-                    self.dispatch(tag, shard_ids, &slots, &mut assigned, &mut make, true)?;
+                    self.note_death(worker, &detail, trace)?;
+                    self.dispatch(
+                        tag,
+                        trace,
+                        shard_ids,
+                        &slots,
+                        &mut assigned,
+                        &mut make,
+                        true,
+                    )?;
                 }
                 Ok(reply) => {
                     let (rtag, shard) = match &reply {
@@ -434,24 +493,49 @@ impl Supervisor {
                             None => false,
                         };
                         if dead {
-                            self.note_death(worker, "heartbeat misses exhausted")?;
+                            self.note_death(worker, "heartbeat misses exhausted", trace)?;
                         }
                     }
                     // Replay all outstanding shards. Slots are idempotent,
                     // so a duplicate reply from a merely-slow worker is
                     // harmless; this is also what recovers a partial lost
                     // to `shard.reduce.drop`.
-                    self.dispatch(tag, shard_ids, &slots, &mut assigned, &mut make, true)?;
+                    self.dispatch(
+                        tag,
+                        trace,
+                        shard_ids,
+                        &slots,
+                        &mut assigned,
+                        &mut make,
+                        true,
+                    )?;
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     unreachable!("supervisor holds a reply sender")
                 }
             }
         }
-        Ok(slots
-            .into_iter()
-            .map(|s| s.expect("round complete"))
-            .collect())
+        if trace != 0 {
+            tele::record_span_with_id(
+                trace,
+                "shard.round.ns",
+                round_start,
+                tele::now_ns().saturating_sub(round_start),
+                tele::current_span_id(),
+                &[
+                    ("round", tele::AttrValue::U64(tag)),
+                    ("shards", tele::AttrValue::U64(shard_ids.len() as u64)),
+                    ("workers", tele::AttrValue::U64(self.workers.len() as u64)),
+                ],
+            );
+        }
+        Ok((
+            slots
+                .into_iter()
+                .map(|s| s.expect("round complete"))
+                .collect(),
+            trace,
+        ))
     }
 }
 
@@ -704,11 +788,12 @@ impl ShardedTrainer {
                 hi > lo
             })
             .collect();
-        let replies = sup.run_round(&shard_ids, |tag, s| {
+        let (replies, trace) = sup.run_round(&shard_ids, |tag, s| {
             let (chunk_lo, chunk_hi) = shard_range(n_chunks, shards, s);
             Task::EStep {
                 tag,
                 shard: s,
+                trace: 0,
                 w: Arc::clone(&w),
                 chunk_lo,
                 chunk_hi,
@@ -731,7 +816,18 @@ impl ShardedTrainer {
             full_greg[weight_lo..weight_lo + greg.len()].copy_from_slice(&greg);
             parts.push(acc);
         }
+        let n_parts = parts.len() as u64;
+        let reduce_start = tele::now_ns();
         let merged = reduce_em(parts).expect("at least one chunk shard");
+        if trace != 0 {
+            tele::record_span_at(
+                "shard.reduce.em.ns",
+                reduce_start,
+                tele::now_ns().saturating_sub(reduce_start),
+                trace,
+                &[("parts", tele::AttrValue::U64(n_parts))],
+            );
+        }
         reg.adopt_e_step(merged, &full_greg)?;
         Ok(())
     }
@@ -754,11 +850,12 @@ impl ShardedTrainer {
                 hi > lo
             })
             .collect();
-        let replies = sup.run_round(&shard_ids, |tag, s| {
+        let (replies, trace) = sup.run_round(&shard_ids, |tag, s| {
             let (lo, hi) = shard_range(bn, shards, s);
             Task::Grad {
                 tag,
                 shard: s,
+                trace: 0,
                 rows: Arc::clone(order),
                 lo: blo + lo,
                 hi: blo + hi,
@@ -775,7 +872,19 @@ impl ShardedTrainer {
                 part
             })
             .collect();
-        Ok(reduce_grad(parts).expect("at least one row shard"))
+        let n_parts = parts.len() as u64;
+        let reduce_start = tele::now_ns();
+        let merged = reduce_grad(parts).expect("at least one row shard");
+        if trace != 0 {
+            tele::record_span_at(
+                "shard.reduce.grad.ns",
+                reduce_start,
+                tele::now_ns().saturating_sub(reduce_start),
+                trace,
+                &[("parts", tele::AttrValue::U64(n_parts))],
+            );
+        }
+        Ok(merged)
     }
 }
 
@@ -912,6 +1021,51 @@ mod tests {
         }
         assert!((local.bias() - b).abs() < 1e-3);
         let _ = std::fs::remove_dir_all(&dir_l);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn capture_window_links_round_worker_and_reduce_spans() {
+        use gmreg_telemetry as t;
+        let ds = Arc::new(blobs(64, 4, 1.8, 9).unwrap());
+        let cfg = ShardConfig {
+            workers: 2,
+            shards: 4,
+            ..ShardConfig::default()
+        };
+        let mut trainer = ShardedTrainer::new(4, train_cfg(2), Some(gm_reg(4)), cfg).unwrap();
+        let dir = temp_dir("trace");
+        t::trace::capture_for_secs(30);
+        trainer.train(&ds, &dir).unwrap();
+        t::trace::capture_end();
+        t::flush();
+        let report = t::snapshot();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let round_ids: std::collections::HashSet<u64> = report
+            .spans
+            .iter()
+            .filter(|s| s.name == "shard.round.ns")
+            .map(|s| s.id)
+            .collect();
+        assert!(!round_ids.is_empty(), "no round spans captured");
+        // Worker task spans cross a thread boundary; the adopted round
+        // root must still be their recorded parent.
+        assert!(
+            report
+                .spans
+                .iter()
+                .any(|s| s.name == "shard.task.grad.ns" && round_ids.contains(&s.parent)),
+            "worker grad spans must parent into a round"
+        );
+        // The supervisor-side tree reduce joins the same tree.
+        assert!(
+            report
+                .spans
+                .iter()
+                .any(|s| s.name == "shard.reduce.grad.ns" && round_ids.contains(&s.parent)),
+            "reduce spans must parent into a round"
+        );
     }
 
     #[test]

@@ -26,12 +26,17 @@ use std::sync::Arc;
 
 /// One unit of work dispatched to a worker. `tag` identifies the dispatch
 /// round; replies carrying a stale tag are discarded by the supervisor.
+/// `trace` is the round's pre-allocated root span id (0 outside capture
+/// windows): the worker adopts it as the cross-thread parent of its task
+/// span, so dispatch → compute reads as one connected tree in
+/// `/debug/trace`.
 #[derive(Debug, Clone)]
 pub(crate) enum Task {
     /// Gradient sums over rows `rows[lo..hi]` of the current global batch.
     Grad {
         tag: u64,
         shard: usize,
+        trace: u64,
         rows: Arc<Vec<usize>>,
         lo: usize,
         hi: usize,
@@ -42,12 +47,22 @@ pub(crate) enum Task {
     EStep {
         tag: u64,
         shard: usize,
+        trace: u64,
         w: Arc<Vec<f32>>,
         chunk_lo: usize,
         chunk_hi: usize,
         pi: Arc<Vec<f64>>,
         lambda: Arc<Vec<f64>>,
     },
+}
+
+impl Task {
+    /// Stamps the round's trace root onto the task before dispatch.
+    pub(crate) fn set_trace(&mut self, id: u64) {
+        match self {
+            Task::Grad { trace, .. } | Task::EStep { trace, .. } => *trace = id,
+        }
+    }
 }
 
 /// A worker's reply. `Died` is sent (best-effort) when task execution
@@ -96,6 +111,12 @@ pub(crate) fn worker_loop(
                 if tx.send(reply).is_err() {
                     return; // supervisor gone
                 }
+                // Workers are long-lived, so the thread-exit flush would
+                // land their spans after the capture window closed; while
+                // one is open, drain eagerly so the round's tree is whole.
+                if tele::capture_active() {
+                    tele::flush();
+                }
             }
             Err(panic) => {
                 let detail = panic
@@ -119,13 +140,20 @@ fn execute(ds: &Dataset, task: &Task) -> Reply {
         Task::Grad {
             tag,
             shard,
+            trace,
             rows,
             lo,
             hi,
             w,
             bias,
         } => {
-            let _t = tele::span("shard.task.grad.ns");
+            // Adopt the round root as this thread's cross-thread parent
+            // (0 outside capture windows, which also clears any stale
+            // adoption from a previous round).
+            tele::adopt_parent(*trace);
+            let _t = tele::span("shard.task.grad.ns")
+                .with_u64("shard", *shard as u64)
+                .with_u64("rows", (*hi - *lo) as u64);
             Reply::Grad {
                 tag: *tag,
                 shard: *shard,
@@ -135,13 +163,17 @@ fn execute(ds: &Dataset, task: &Task) -> Reply {
         Task::EStep {
             tag,
             shard,
+            trace,
             w,
             chunk_lo,
             chunk_hi,
             pi,
             lambda,
         } => {
-            let _t = tele::span("shard.task.estep.ns");
+            tele::adopt_parent(*trace);
+            let _t = tele::span("shard.task.estep.ns")
+                .with_u64("shard", *shard as u64)
+                .with_u64("chunks", (*chunk_hi - *chunk_lo) as u64);
             let lo = chunk_lo * E_STEP_CHUNK;
             let hi = (chunk_hi * E_STEP_CHUNK).min(w.len());
             let mut greg = vec![0.0f32; hi - lo];

@@ -51,8 +51,12 @@
 pub mod chrome;
 pub mod journal;
 mod report;
+pub mod trace;
+pub mod window;
 
 pub use report::{AttrValue, Bucket, HistogramSummary, Report, SpanEvent};
+pub use trace::TraceCtx;
+pub use window::{WindowStats, WINDOWS_SECS, WINDOW_SLOTS};
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -128,6 +132,11 @@ pub fn is_enabled() -> bool {
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the telemetry epoch (the span timestamp clock).
+pub(crate) fn epoch_elapsed_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// One histogram: exact count/sum/min/max plus the fixed bucket layout.
@@ -246,8 +255,15 @@ impl Sink {
     /// Moves everything recorded so far into the global registry, leaving
     /// the sink empty (thread id and sequence counter persist).
     fn drain_into(&mut self, reg: &mut Registry) {
+        // The deltas drained here double as this flush's contribution to
+        // the current second's windowed-aggregation slot.
+        let now_sec = epoch().elapsed().as_secs();
         for (name, v) in self.counters.drain() {
             *reg.counters.entry(name).or_insert(0) += v;
+            reg.win_counters
+                .entry(name)
+                .or_insert_with(window::CounterRing::new)
+                .add(now_sec, v);
         }
         reg.flush_seq += 1;
         let fs = reg.flush_seq;
@@ -256,13 +272,22 @@ impl Sink {
         }
         for (name, h) in self.hists.drain() {
             reg.hists.entry(name).or_insert_with(Hist::new).merge(&h);
+            reg.win_hists
+                .entry(name)
+                .or_insert_with(window::HistRing::new)
+                .add(now_sec, &h);
         }
         reg.dropped_spans += self.dropped;
         self.dropped = 0;
         // Chronological per-thread order: oldest ring entry first. Every
         // drained event reaches the JSONL journal (when one is installed)
-        // even if the in-memory registry cap drops it.
-        let cap = global_span_cap();
+        // even if the in-memory registry cap drops it. An open capture
+        // window ([`trace::capture_for_secs`]) raises the cap so the
+        // window it was asked to record is not silently truncated.
+        let mut cap = global_span_cap();
+        if trace::capture_active() {
+            cap += trace::CAPTURE_EXTRA_SPAN_CAP;
+        }
         let head = self.ring_head;
         let n = self.ring.len();
         for i in 0..n {
@@ -315,6 +340,10 @@ struct Registry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, (u64, f64)>,
     hists: BTreeMap<&'static str, Hist>,
+    /// Per-second counter deltas backing the rolling-window rates.
+    win_counters: BTreeMap<&'static str, window::CounterRing>,
+    /// Per-second histogram deltas backing the rolling-window percentiles.
+    win_hists: BTreeMap<&'static str, window::HistRing>,
     spans: Vec<SpanEvent>,
     dropped_spans: u64,
     flush_seq: u64,
@@ -326,6 +355,8 @@ impl Registry {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             hists: BTreeMap::new(),
+            win_counters: BTreeMap::new(),
+            win_hists: BTreeMap::new(),
             spans: Vec::new(),
             dropped_spans: 0,
             flush_seq: 0,
@@ -517,6 +548,80 @@ pub fn span(name: &'static str) -> Span {
     }
 }
 
+/// Allocates a process-unique span id on this thread without opening a
+/// span or touching the open-span stack. Pair with [`record_span_with_id`]
+/// when a span's id must exist *before* its timing is known — e.g. a
+/// request root allocated at arrival so queued stages can parent into it,
+/// recorded only once the response is written. Returns 0 when recording is
+/// disabled.
+pub fn alloc_span_id() -> u64 {
+    if !is_enabled() {
+        return 0;
+    }
+    let mut id = 0u64;
+    with_sink(|s| {
+        s.next_span += 1;
+        id = (u64::from(s.thread) << 32) | s.next_span;
+    });
+    id
+}
+
+/// Records a span event with explicit timing under a pre-allocated id
+/// (see [`alloc_span_id`]). Unlike a [`span`] guard this records **no
+/// histogram** and never touches the open-span stack: it is the
+/// materialization path for stages measured as raw timestamps on a hot
+/// path (the serving request pipeline) and emitted only while a capture
+/// window is open. `start_ns` is nanoseconds since the telemetry epoch
+/// ([`trace::now_ns`]); at most [`MAX_SPAN_ATTRS`] attributes are kept.
+/// A zero `id` is ignored.
+pub fn record_span_with_id(
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+    parent: u64,
+    attrs: &[(&'static str, AttrValue)],
+) {
+    if id == 0 {
+        return;
+    }
+    with_sink(|s| {
+        let seq = s.seq;
+        s.seq += 1;
+        s.push_event(SpanEvent {
+            name,
+            id,
+            parent,
+            thread: s.thread,
+            seq,
+            start_ns,
+            dur_ns,
+            attrs: attrs.iter().take(MAX_SPAN_ATTRS).copied().collect(),
+        });
+    });
+}
+
+/// [`record_span_with_id`] with a freshly allocated id; returns that id so
+/// later events can parent into it.
+pub fn record_span_at(
+    name: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+    parent: u64,
+    attrs: &[(&'static str, AttrValue)],
+) -> u64 {
+    let id = alloc_span_id();
+    record_span_with_id(id, name, start_ns, dur_ns, parent, attrs);
+    id
+}
+
+/// Whole seconds since the process telemetry epoch (pinned at the first
+/// telemetry call, i.e. effectively process start for instrumented
+/// binaries). Surfaced as `uptime_secs` in the `/status` build section.
+pub fn uptime_secs() -> u64 {
+    epoch().elapsed().as_secs()
+}
+
 /// The id of the innermost span currently open on this thread (falling
 /// back to the adopted parent, then 0). Capture this before forking work
 /// to another thread and hand it to [`adopt_parent`] there, so the
@@ -551,9 +656,20 @@ pub fn flush() {
 /// events by `(thread, sequence)`.
 pub fn snapshot() -> Report {
     flush();
+    let now_sec = epoch().elapsed().as_secs();
     let reg = registry().lock().expect("telemetry registry poisoned");
     let mut spans = reg.spans.clone();
     spans.sort_by_key(|e| (e.thread, e.seq));
+    // Counter windows first, histogram windows second: a name recorded as
+    // both (unusual) reports its richer histogram view.
+    let mut windows: BTreeMap<String, WindowStats> = reg
+        .win_counters
+        .iter()
+        .map(|(k, r)| (k.to_string(), WindowStats::from_counter(r, now_sec)))
+        .collect();
+    for (k, r) in &reg.win_hists {
+        windows.insert(k.to_string(), WindowStats::from_hist(r, now_sec));
+    }
     Report {
         counters: reg
             .counters
@@ -570,8 +686,19 @@ pub fn snapshot() -> Report {
             .iter()
             .map(|(k, h)| (k.to_string(), report::summarize(h)))
             .collect(),
+        windows,
         spans,
         dropped_spans: reg.dropped_spans,
+    }
+}
+
+/// Drops every span event retained in the global registry, leaving
+/// counters, gauges, histograms, and windows untouched. `/debug/trace`
+/// clears retained spans before opening a capture window so the converted
+/// document holds exactly that window.
+pub fn clear_spans() {
+    if let Ok(mut reg) = registry().lock() {
+        reg.spans.clear();
     }
 }
 
@@ -890,6 +1017,49 @@ mod tests {
         assert_eq!(ev.attr("s"), Some(AttrValue::Str("x")));
         assert_eq!(ev.attr("b"), Some(AttrValue::Bool(true)));
         assert!(ev.attrs.len() <= MAX_SPAN_ATTRS, "attr cap enforced");
+    }
+
+    #[test]
+    fn explicit_timing_spans_record_events_without_histograms() {
+        let _g = locked();
+        let root = alloc_span_id();
+        assert_ne!(root, 0);
+        record_span_with_id(root, "t.explicit.root.ns", 100, 50, 0, &[]);
+        let child = record_span_at(
+            "t.explicit.child.ns",
+            110,
+            20,
+            root,
+            &[("k", AttrValue::U64(7))],
+        );
+        assert_ne!(child, 0);
+        assert_ne!(child, root);
+        record_span_with_id(0, "t.explicit.ignored.ns", 0, 1, 0, &[]);
+        let r = snapshot();
+        assert!(
+            r.histogram("t.explicit.root.ns").is_none(),
+            "explicit spans must not feed histograms"
+        );
+        let root_ev = r
+            .spans
+            .iter()
+            .find(|e| e.name == "t.explicit.root.ns")
+            .unwrap();
+        assert_eq!(
+            (root_ev.id, root_ev.start_ns, root_ev.dur_ns),
+            (root, 100, 50)
+        );
+        let child_ev = r
+            .spans
+            .iter()
+            .find(|e| e.name == "t.explicit.child.ns")
+            .unwrap();
+        assert_eq!(child_ev.parent, root);
+        assert_eq!(child_ev.attr("k"), Some(AttrValue::U64(7)));
+        assert!(
+            !r.spans.iter().any(|e| e.name == "t.explicit.ignored.ns"),
+            "zero id is ignored"
+        );
     }
 
     #[test]

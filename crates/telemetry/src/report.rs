@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::window::WindowStats;
 use crate::{bucket_upper_edge, Hist};
 
 /// One typed span attribute value.
@@ -201,6 +202,9 @@ pub struct Report {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries (spans record into histograms named after them).
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Rolling 10 s / 60 s window views (rates for counters, rates plus
+    /// percentiles for histograms); see [`crate::window`].
+    pub windows: BTreeMap<String, WindowStats>,
     /// Individual span events, `(thread, seq)`-ordered.
     pub spans: Vec<SpanEvent>,
     /// Span events lost to ring-buffer overwrite or the global cap.
@@ -223,6 +227,13 @@ impl Report {
         self.histograms.get(name)
     }
 
+    /// Rolling-window view of a metric, `None` when never recorded since
+    /// the process started (windows outlive their data aging out — an
+    /// idle metric reports zero rates, not absence).
+    pub fn window(&self, name: &str) -> Option<&WindowStats> {
+        self.windows.get(name)
+    }
+
     /// `counter(num) / counter(den)`, `None` when the denominator is 0.
     /// This is what the lazy-update overhead checks consume:
     /// `ratio("gm.e_step.runs", "gm.e_step.decisions")`.
@@ -236,8 +247,8 @@ impl Report {
     }
 
     /// Serializes the full report as a JSON object with keys `counters`,
-    /// `gauges`, `histograms`, `spans` and `dropped_spans`. Non-finite
-    /// numbers become `null`.
+    /// `gauges`, `histograms`, `windows`, `spans` and `dropped_spans`.
+    /// Non-finite numbers become `null`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n  \"counters\": {");
@@ -291,6 +302,36 @@ impl Report {
             out.push_str("]}");
         }
         if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"windows\": {");
+        for (i, (k, w)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let q = |h: &Option<HistogramSummary>, f: fn(&HistogramSummary) -> f64| {
+                h.as_ref()
+                    .map_or_else(|| "null".to_string(), |h| json_num(f(h)))
+            };
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count_10s\": {}, \"count_60s\": {}, \"rate_10s\": {}, \"rate_60s\": {}, \
+                 \"p50_10s\": {}, \"p95_10s\": {}, \"p99_10s\": {}, \
+                 \"p50_60s\": {}, \"p95_60s\": {}, \"p99_60s\": {}}}",
+                json_str(k),
+                w.count_10s,
+                w.count_60s,
+                json_num(w.rate_10s),
+                json_num(w.rate_60s),
+                q(&w.hist_10s, HistogramSummary::p50),
+                q(&w.hist_10s, HistogramSummary::p95),
+                q(&w.hist_10s, HistogramSummary::p99),
+                q(&w.hist_60s, HistogramSummary::p50),
+                q(&w.hist_60s, HistogramSummary::p95),
+                q(&w.hist_60s, HistogramSummary::p99),
+            );
+        }
+        if !self.windows.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("},\n  \"spans\": [");

@@ -1,0 +1,177 @@
+//! Request-scoped trace contexts and time-boxed span capture.
+//!
+//! A [`TraceCtx`] is a process-unique request identity: a splitmix64-mixed
+//! id (echoed to clients as the `X-Gmreg-Trace` response header) plus the
+//! span id of the request's root span, handed across threads through the
+//! existing [`crate::adopt_parent`] flow-link machinery. It is `Copy` and
+//! allocation-free, so carrying one through a queue costs two `u64`s.
+//!
+//! Span *capture* is the switch that keeps default-on tracing off the hot
+//! path: per-stage latencies are always recorded as plain timestamps and
+//! histograms, but full [`crate::SpanEvent`]s for every request are only
+//! materialized while a capture window ([`capture_for_secs`]) is open —
+//! `GET /debug/trace?secs=N` opens one, sleeps, and converts the captured
+//! window through [`crate::chrome`]. While a window is open the global
+//! span cap is raised by [`CAPTURE_EXTRA_SPAN_CAP`] so a loaded server
+//! does not silently truncate the window it was asked to record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Extra span events admitted into the global registry while a capture
+/// window is open (on top of [`crate::global_span_cap`]). At ~10 spans per
+/// request this covers several seconds of multi-thousand-rps load.
+pub const CAPTURE_EXTRA_SPAN_CAP: usize = 256 * 1024;
+
+/// A request-scoped trace identity, created once per request (or per
+/// training round) and carried by value through every stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Process-unique trace id; 0 means "no trace".
+    pub id: u64,
+    /// Span id of the trace's root span (0 when capture is off — stage
+    /// histograms still record, but no span events materialize).
+    pub parent: u64,
+}
+
+/// splitmix64 finalizer: bijective on `u64`, so distinct counter values
+/// can never collide into the same trace id.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+impl TraceCtx {
+    /// The absent trace (id 0). Stage recording still works; header
+    /// echoing and span parenting are skipped.
+    pub const NONE: TraceCtx = TraceCtx { id: 0, parent: 0 };
+
+    /// Mints a fresh process-unique trace id. The id is the splitmix64
+    /// image of a monotonically increasing counter: unique (splitmix64 is
+    /// a bijection), well-mixed (usable as a lock-stripe key), and free of
+    /// any wall-clock or RNG dependency.
+    pub fn next() -> TraceCtx {
+        let n = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        TraceCtx {
+            id: splitmix64(n).max(1),
+            parent: 0,
+        }
+    }
+
+    /// Whether this context carries a real trace id.
+    pub fn is_some(&self) -> bool {
+        self.id != 0
+    }
+
+    /// The id as 16 lowercase hex digits, written into a fixed buffer —
+    /// the allocation-free form the response-header writer needs.
+    pub fn id_hex(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        const DIGITS: &[u8; 16] = b"0123456789abcdef";
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = DIGITS[((self.id >> (60 - 4 * i)) & 0xf) as usize];
+        }
+        out
+    }
+}
+
+/// Nanoseconds since the process telemetry epoch — the clock span events
+/// are stamped with, exposed so stage timestamps recorded outside spans
+/// (the serve hot path) line up with captured spans.
+pub fn now_ns() -> u64 {
+    crate::epoch_elapsed_ns()
+}
+
+static CAPTURE_UNTIL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Opens a capture window `secs` seconds long (plus a short grace so
+/// in-flight requests at the boundary still materialize), returning the
+/// window's start in epoch nanoseconds. Windows do not stack; the latest
+/// call wins.
+pub fn capture_for_secs(secs: u64) -> u64 {
+    let start = now_ns();
+    let until = start
+        .saturating_add(secs.saturating_mul(1_000_000_000))
+        .saturating_add(500_000_000);
+    CAPTURE_UNTIL_NS.store(until, Ordering::Relaxed);
+    start
+}
+
+/// Closes any open capture window.
+pub fn capture_end() {
+    CAPTURE_UNTIL_NS.store(0, Ordering::Relaxed);
+}
+
+/// Whether a capture window is currently open. One relaxed atomic load —
+/// cheap enough for the per-request hot path.
+pub fn capture_active() -> bool {
+    let until = CAPTURE_UNTIL_NS.load(Ordering::Relaxed);
+    until != 0 && now_ns() < until
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let t = TraceCtx::next();
+            assert!(t.is_some());
+            assert!(seen.insert(t.id), "duplicate trace id {}", t.id);
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| (0..2_000).map(|_| TraceCtx::next().id).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate trace id {id}");
+            }
+        }
+        assert_eq!(seen.len(), 16_000);
+    }
+
+    #[test]
+    fn hex_rendering_matches_format() {
+        let t = TraceCtx {
+            id: 0x0123_4567_89ab_cdef,
+            parent: 0,
+        };
+        assert_eq!(&t.id_hex(), b"0123456789abcdef");
+        let t2 = TraceCtx::next();
+        let hex = t2.id_hex();
+        assert_eq!(
+            std::str::from_utf8(&hex).unwrap(),
+            format!("{:016x}", t2.id)
+        );
+    }
+
+    #[test]
+    fn capture_window_opens_and_closes() {
+        capture_end();
+        assert!(!capture_active());
+        let start = capture_for_secs(5);
+        assert!(capture_active());
+        assert!(start <= now_ns());
+        capture_end();
+        assert!(!capture_active());
+    }
+
+    #[test]
+    fn none_context_is_inactive() {
+        assert!(!TraceCtx::NONE.is_some());
+        assert_eq!(&TraceCtx::NONE.id_hex(), b"0000000000000000");
+    }
+}

@@ -1,0 +1,231 @@
+//! Windowed aggregation: a ring of per-second metric snapshots giving
+//! rolling rates and percentiles without unbounded memory.
+//!
+//! Every flush ([`crate::flush`]) attributes the drained deltas — counter
+//! increments and histogram observations since the thread's last flush —
+//! to the current second's slot of a fixed-size ring ([`WINDOW_SLOTS`]
+//! seconds deep, enough for a 60 s window plus slack). Reading a window
+//! merges the slots belonging to the last N whole seconds, so
+//! [`crate::snapshot`] can report rolling 10 s / 60 s request rates and
+//! p50/p95/p99 for any histogram next to the cumulative totals.
+//!
+//! The ring lives inside the global registry and is only touched at drain
+//! time — the recording hot path never sees it. Memory is fixed: one
+//! [`Hist`] (or one `u64`) per occupied slot per metric name, reused in
+//! place as seconds wrap around.
+
+use crate::report::{summarize, HistogramSummary};
+use crate::Hist;
+
+/// Ring depth in seconds. Must exceed the longest supported window (60 s)
+/// so a slot is never overwritten while still inside it.
+pub const WINDOW_SLOTS: usize = 64;
+
+/// The two rolling windows surfaced in reports, in seconds.
+pub const WINDOWS_SECS: [u64; 2] = [10, 60];
+
+/// Per-second histogram deltas for one metric name.
+pub(crate) struct HistRing {
+    /// `slots[sec % WINDOW_SLOTS] = Some((sec, deltas))`; a slot whose
+    /// stored second disagrees with the current one is stale and is reset
+    /// in place before reuse.
+    slots: Vec<Option<(u64, Hist)>>,
+}
+
+impl HistRing {
+    pub(crate) fn new() -> Self {
+        let mut slots = Vec::with_capacity(WINDOW_SLOTS);
+        slots.resize_with(WINDOW_SLOTS, || None);
+        HistRing { slots }
+    }
+
+    /// Merges one flush's histogram delta into second `sec`'s slot.
+    pub(crate) fn add(&mut self, sec: u64, delta: &Hist) {
+        let idx = (sec as usize) % WINDOW_SLOTS;
+        match &mut self.slots[idx] {
+            Some((slot_sec, h)) => {
+                if *slot_sec != sec {
+                    *slot_sec = sec;
+                    h.count = 0;
+                    h.sum = 0.0;
+                    h.min = f64::INFINITY;
+                    h.max = f64::NEG_INFINITY;
+                    h.buckets.fill(0);
+                }
+                h.merge(delta);
+            }
+            empty => {
+                let mut h = Hist::new();
+                h.merge(delta);
+                *empty = Some((sec, h));
+            }
+        }
+    }
+
+    /// Merged view over the last `window` seconds ending at `now_sec`
+    /// (inclusive). `None` when no slot in the window holds data.
+    pub(crate) fn merged(&self, now_sec: u64, window: u64) -> Option<Hist> {
+        let lo = now_sec.saturating_sub(window.saturating_sub(1).min(WINDOW_SLOTS as u64 - 1));
+        let mut out: Option<Hist> = None;
+        for slot in self.slots.iter().flatten() {
+            let (sec, h) = slot;
+            if *sec >= lo && *sec <= now_sec && h.count > 0 {
+                out.get_or_insert_with(Hist::new).merge(h);
+            }
+        }
+        out
+    }
+}
+
+/// Per-second counter deltas for one metric name.
+pub(crate) struct CounterRing {
+    slots: [(u64, u64); WINDOW_SLOTS],
+}
+
+impl CounterRing {
+    pub(crate) fn new() -> Self {
+        CounterRing {
+            slots: [(u64::MAX, 0); WINDOW_SLOTS],
+        }
+    }
+
+    /// Adds one flush's counter delta to second `sec`'s slot.
+    pub(crate) fn add(&mut self, sec: u64, delta: u64) {
+        let idx = (sec as usize) % WINDOW_SLOTS;
+        let (slot_sec, v) = &mut self.slots[idx];
+        if *slot_sec != sec {
+            *slot_sec = sec;
+            *v = 0;
+        }
+        *v += delta;
+    }
+
+    /// Total increments over the last `window` seconds ending at `now_sec`.
+    pub(crate) fn total(&self, now_sec: u64, window: u64) -> u64 {
+        let lo = now_sec.saturating_sub(window.saturating_sub(1).min(WINDOW_SLOTS as u64 - 1));
+        self.slots
+            .iter()
+            .filter(|(sec, _)| *sec >= lo && *sec <= now_sec)
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// Rolling-window view of one metric: event rates over the standard 10 s /
+/// 60 s windows, plus in-window percentile summaries for histograms.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    /// Events in the last 10 seconds (counter increments or histogram
+    /// observations).
+    pub count_10s: u64,
+    /// Events in the last 60 seconds.
+    pub count_60s: u64,
+    /// `count_10s / 10` — events per second.
+    pub rate_10s: f64,
+    /// `count_60s / 60` — events per second.
+    pub rate_60s: f64,
+    /// Merged histogram over the last 10 seconds (histograms only).
+    pub hist_10s: Option<HistogramSummary>,
+    /// Merged histogram over the last 60 seconds (histograms only).
+    pub hist_60s: Option<HistogramSummary>,
+}
+
+impl WindowStats {
+    pub(crate) fn from_counter(ring: &CounterRing, now_sec: u64) -> WindowStats {
+        let (c10, c60) = (ring.total(now_sec, 10), ring.total(now_sec, 60));
+        WindowStats {
+            count_10s: c10,
+            count_60s: c60,
+            rate_10s: c10 as f64 / 10.0,
+            rate_60s: c60 as f64 / 60.0,
+            hist_10s: None,
+            hist_60s: None,
+        }
+    }
+
+    pub(crate) fn from_hist(ring: &HistRing, now_sec: u64) -> WindowStats {
+        let h10 = ring.merged(now_sec, 10);
+        let h60 = ring.merged(now_sec, 60);
+        let c10 = h10.as_ref().map_or(0, |h| h.count);
+        let c60 = h60.as_ref().map_or(0, |h| h.count);
+        WindowStats {
+            count_10s: c10,
+            count_60s: c60,
+            rate_10s: c10 as f64 / 10.0,
+            rate_60s: c60 as f64 / 60.0,
+            hist_10s: h10.as_ref().map(summarize),
+            hist_60s: h60.as_ref().map(summarize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(values: &[f64]) -> Hist {
+        let mut h = Hist::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn counter_ring_windows_by_second() {
+        let mut r = CounterRing::new();
+        r.add(100, 5);
+        r.add(101, 7);
+        r.add(109, 1);
+        assert_eq!(r.total(109, 10), 13);
+        assert_eq!(r.total(109, 1), 1);
+        assert_eq!(r.total(110, 10), 8, "second 100 aged out");
+        assert_eq!(r.total(200, 60), 0, "all slots aged out");
+    }
+
+    #[test]
+    fn counter_slots_reset_on_wraparound() {
+        let mut r = CounterRing::new();
+        r.add(10, 3);
+        // Same slot index WINDOW_SLOTS seconds later must not inherit the
+        // stale delta.
+        r.add(10 + WINDOW_SLOTS as u64, 2);
+        assert_eq!(r.total(10 + WINDOW_SLOTS as u64, 10), 2);
+    }
+
+    #[test]
+    fn hist_ring_merges_only_in_window_slots() {
+        let mut r = HistRing::new();
+        r.add(50, &hist_of(&[1.0, 2.0]));
+        r.add(55, &hist_of(&[100.0]));
+        let merged = r.merged(55, 10).expect("data in window");
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 103.0);
+        let only_new = r.merged(70, 10);
+        assert!(only_new.is_none(), "both slots aged out");
+    }
+
+    #[test]
+    fn hist_slots_reset_in_place_on_reuse() {
+        let mut r = HistRing::new();
+        r.add(7, &hist_of(&[5.0]));
+        r.add(7 + WINDOW_SLOTS as u64, &hist_of(&[9.0]));
+        let merged = r.merged(7 + WINDOW_SLOTS as u64, 5).unwrap();
+        assert_eq!(merged.count, 1);
+        assert_eq!(merged.sum, 9.0);
+    }
+
+    #[test]
+    fn window_stats_compute_rates_and_percentiles() {
+        let mut r = HistRing::new();
+        for sec in 90..100 {
+            r.add(sec, &hist_of(&[10.0, 20.0]));
+        }
+        let w = WindowStats::from_hist(&r, 99);
+        assert_eq!(w.count_10s, 20);
+        assert_eq!(w.rate_10s, 2.0);
+        let h = w.hist_10s.expect("histogram in window");
+        assert_eq!(h.count, 20);
+        assert!(h.p99() >= 10.0);
+    }
+}
